@@ -1,0 +1,255 @@
+(* The PIGEON command-line tool.
+
+   Subcommands:
+     paths    — extract and print path-contexts from a source file
+     ast      — print the generic AST (or Graphviz) of a file
+     gen      — emit a synthetic corpus into a directory
+     rename   — deobfuscate: train on the fly and predict local names
+     train    — train a variable-name model and save it to a file
+     predict  — predict local names for a file using a saved model
+     stats    — Table-1 style corpus statistics of a directory
+
+   Examples:
+     pigeon paths --lang JavaScript file.js
+     pigeon gen --lang Java --files 100 out/
+     pigeon train --lang JavaScript --files 300 model.crf
+     pigeon predict --lang JavaScript --model model.crf minified.js *)
+
+open Cmdliner
+
+let lang_conv =
+  let parse s =
+    match Pigeon.Lang.by_name s with
+    | Some l -> Ok l
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown language %S (use %s)" s
+                (String.concat ", "
+                   (List.map (fun (l : Pigeon.Lang.t) -> l.Pigeon.Lang.name)
+                      Pigeon.Lang.all))))
+  in
+  let print ppf (l : Pigeon.Lang.t) = Format.fprintf ppf "%s" l.Pigeon.Lang.name in
+  Arg.conv (parse, print)
+
+let lang_arg =
+  Arg.(
+    value
+    & opt lang_conv Pigeon.Lang.javascript
+    & info [ "lang" ] ~docv:"LANG" ~doc:"Language: JavaScript, Java, Python or C#.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Source file.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let handle_parse_errors f =
+  match f () with
+  | v -> v
+  | exception Lexkit.Error (msg, pos) ->
+      Format.eprintf "parse error at %a: %s@." Lexkit.pp_pos pos msg;
+      exit 1
+
+(* ---------- paths ---------- *)
+
+let length_arg =
+  Arg.(value & opt int 7 & info [ "max-length" ] ~doc:"Maximal path length.")
+
+let width_arg =
+  Arg.(value & opt int 3 & info [ "max-width" ] ~doc:"Maximal path width.")
+
+let paths_cmd =
+  let run lang file max_length max_width =
+    handle_parse_errors @@ fun () ->
+    let tree = lang.Pigeon.Lang.parse_tree (read_file file) in
+    let idx = Ast.Index.build tree in
+    let config = Astpath.Config.make ~max_length ~max_width () in
+    let contexts = Astpath.Extract.leaf_pairs idx config in
+    List.iter (fun c -> Format.printf "%a@." Astpath.Context.pp c) contexts;
+    Format.printf "%d path-contexts@." (List.length contexts)
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Extract and print the AST path-contexts of a file.")
+    Term.(const run $ lang_arg $ file_arg $ length_arg $ width_arg)
+
+(* ---------- ast ---------- *)
+
+let ast_cmd =
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of text.")
+  in
+  let run lang file dot_out =
+    handle_parse_errors @@ fun () ->
+    let tree = lang.Pigeon.Lang.parse_tree (read_file file) in
+    if dot_out then print_string (Ast.Dot.tree_to_dot tree)
+    else Format.printf "%a@." Ast.Tree.pp tree
+  in
+  Cmd.v
+    (Cmd.info "ast" ~doc:"Print the generic AST of a file.")
+    Term.(const run $ lang_arg $ file_arg $ dot)
+
+(* ---------- gen ---------- *)
+
+let gen_cmd =
+  let files_arg =
+    Arg.(value & opt int 100 & info [ "files" ] ~doc:"Number of files.")
+  in
+  let seed_arg = Arg.(value & opt int 2018 & info [ "seed" ] ~doc:"Seed.") in
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+  in
+  let run lang n seed dir =
+    let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed } in
+    let sources =
+      Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang
+    in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (name, src) ->
+        let oc = open_out (Filename.concat dir name) in
+        output_string oc src;
+        close_out oc)
+      sources;
+    Format.printf "wrote %d files to %s@." (List.length sources) dir
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic corpus into a directory.")
+    Term.(const run $ lang_arg $ files_arg $ seed_arg $ dir_arg)
+
+(* ---------- rename ---------- *)
+
+let rename_cmd =
+  let train_files =
+    Arg.(
+      value & opt int 300
+      & info [ "train-files" ] ~doc:"Synthetic training corpus size.")
+  in
+  let run lang n file =
+    handle_parse_errors @@ fun () ->
+    let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed = 42 } in
+    let sources =
+      Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang
+    in
+    let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+    let graphs =
+      Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals
+        sources
+    in
+    Format.eprintf "training on %d graphs...@." (List.length graphs);
+    let model = Crf.Train.train graphs in
+    let src = read_file file in
+    let tree = lang.Pigeon.Lang.parse_tree src in
+    let g =
+      Pigeon.Graphs.build repr ~def_labels:lang.Pigeon.Lang.def_labels
+        ~policy:Pigeon.Graphs.Locals tree
+    in
+    let pred = Crf.Train.predict model g in
+    let gold = Crf.Graph.gold_assignment g in
+    Format.printf "predicted names:@.";
+    List.iter
+      (fun node -> Format.printf "  %-16s -> %s@." gold.(node) pred.(node))
+      (Crf.Graph.unknown_ids g)
+  in
+  Cmd.v
+    (Cmd.info "rename"
+       ~doc:
+         "Predict names for the local variables of a file (train on a fresh \
+          synthetic corpus).")
+    Term.(const run $ lang_arg $ train_files $ file_arg)
+
+(* ---------- train ---------- *)
+
+let train_cmd =
+  let files_arg =
+    Arg.(value & opt int 300 & info [ "files" ] ~doc:"Synthetic corpus size.")
+  in
+  let out_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL"
+         ~doc:"Output model file.")
+  in
+  let run lang n out =
+    let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed = 42 } in
+    let sources =
+      Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang
+    in
+    let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+    let graphs =
+      Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals
+        sources
+    in
+    Format.eprintf "training on %d graphs...@." (List.length graphs);
+    let model = Crf.Train.train graphs in
+    Crf.Serialize.save model out;
+    Format.printf "wrote %s (%d features)@." out
+      (Crf.Model.size model.Crf.Train.weights)
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Train a variable-name model on a synthetic corpus and save it.")
+    Term.(const run $ lang_arg $ files_arg $ out_arg)
+
+(* ---------- predict (from a saved model) ---------- *)
+
+let predict_cmd =
+  let model_arg =
+    Arg.(required & opt (some file) None & info [ "model" ] ~docv:"MODEL"
+         ~doc:"Model file written by `pigeon train`.")
+  in
+  let run lang model_path file =
+    handle_parse_errors @@ fun () ->
+    let model = Crf.Serialize.load model_path in
+    let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+    let tree = lang.Pigeon.Lang.parse_tree (read_file file) in
+    let g =
+      Pigeon.Graphs.build repr ~def_labels:lang.Pigeon.Lang.def_labels
+        ~policy:Pigeon.Graphs.Locals tree
+    in
+    let pred = Crf.Train.predict model g in
+    let gold = Crf.Graph.gold_assignment g in
+    List.iter
+      (fun node -> Format.printf "  %-16s -> %s@." gold.(node) pred.(node))
+      (Crf.Graph.unknown_ids g)
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:"Predict local-variable names for a file using a saved model.")
+    Term.(const run $ lang_arg $ model_arg $ file_arg)
+
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR")
+  in
+  let run dir =
+    let entries =
+      Sys.readdir dir |> Array.to_list |> List.sort String.compare
+      |> List.filter_map (fun name ->
+             let path = Filename.concat dir name in
+             if Sys.is_directory path then None
+             else Some { Corpus.Dataset.path; source = read_file path })
+    in
+    let deduped = Corpus.Dataset.dedup entries in
+    let s = Corpus.Dataset.stats deduped in
+    Format.printf "%d files (%d duplicates removed), %d bytes@."
+      s.Corpus.Dataset.files
+      (List.length entries - List.length deduped)
+      s.Corpus.Dataset.bytes
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Corpus statistics of a directory (after dedup).")
+    Term.(const run $ dir_arg)
+
+let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  let doc = "AST-path representations for predicting program properties" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "pigeon" ~version:"1.0.0" ~doc)
+          [ paths_cmd; ast_cmd; gen_cmd; rename_cmd; train_cmd; predict_cmd; stats_cmd ]))

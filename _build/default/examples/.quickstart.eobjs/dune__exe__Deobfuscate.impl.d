@@ -1,0 +1,1 @@
+examples/deobfuscate.ml: Array Corpus Crf Format List Minijava Minijs Minipython Pigeon

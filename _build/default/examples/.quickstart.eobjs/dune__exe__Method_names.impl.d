@@ -1,0 +1,1 @@
+examples/method_names.ml: Array Corpus Crf Format List Pigeon

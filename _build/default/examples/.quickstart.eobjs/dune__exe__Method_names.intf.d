@@ -1,0 +1,1 @@
+examples/method_names.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Astpath Format Int List Minijs String

@@ -1,0 +1,1 @@
+examples/similarity.ml: Corpus Crf Format List Pigeon String Word2vec

@@ -1,0 +1,1 @@
+examples/type_prediction.ml: Array Astpath Corpus Crf Format List Option Pigeon

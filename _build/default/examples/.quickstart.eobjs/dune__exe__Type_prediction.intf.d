@@ -1,0 +1,1 @@
+examples/type_prediction.mli:

@@ -1,0 +1,1 @@
+lib/ast/dot.ml: Buffer Index List Printf String

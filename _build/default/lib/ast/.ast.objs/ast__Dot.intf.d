@@ -1,0 +1,1 @@
+lib/ast/dot.mli: Index Tree

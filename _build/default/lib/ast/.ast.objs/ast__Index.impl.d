@@ -1,0 +1,1 @@
+lib/ast/index.ml: Array List String Tree

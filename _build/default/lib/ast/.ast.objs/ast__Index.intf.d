@@ -1,0 +1,1 @@
+lib/ast/index.mli: Tree

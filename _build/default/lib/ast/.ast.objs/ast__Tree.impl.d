@@ -1,0 +1,1 @@
+lib/ast/tree.ml: Fmt List Stdlib String

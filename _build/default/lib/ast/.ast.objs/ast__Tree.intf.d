@@ -1,0 +1,1 @@
+lib/ast/tree.mli: Format

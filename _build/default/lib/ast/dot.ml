@@ -1,0 +1,37 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_dot ?(highlight = []) idx =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph ast {\n  node [fontname=\"monospace\"];\n";
+  for i = 0 to Index.size idx - 1 do
+    let lbl =
+      match Index.value idx i with
+      | Some v -> Printf.sprintf "%s\\n%s" (escape (Index.label idx i)) (escape v)
+      | None -> escape (Index.label idx i)
+    in
+    let shape = if Index.is_leaf idx i then "box" else "ellipse" in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\", shape=%s];\n" i lbl shape)
+  done;
+  for i = 1 to Index.size idx - 1 do
+    let p = Index.parent idx i in
+    let hl =
+      List.exists (fun (a, b) -> (a = p && b = i) || (a = i && b = p)) highlight
+    in
+    let attrs = if hl then " [color=red, penwidth=2]" else "" in
+    Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" p i attrs)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let tree_to_dot tree = to_dot (Index.build tree)

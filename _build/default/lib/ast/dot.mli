@@ -1,0 +1,9 @@
+(** Graphviz export of generic ASTs, for documentation and debugging
+    (the paper's Fig. 1b / Fig. 4b style drawings). *)
+
+val to_dot : ?highlight:(int * int) list -> Index.t -> string
+(** [to_dot idx] renders the indexed tree as a [digraph]. [highlight]
+    marks tree edges (parent, child) to draw emphasized, e.g. the edges
+    of one extracted AST path. *)
+
+val tree_to_dot : Tree.t -> string

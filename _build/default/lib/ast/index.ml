@@ -1,0 +1,133 @@
+type t = {
+  n : int;
+  labels : string array;
+  values : string option array;
+  sorts : Tree.sort option array;
+  tags : string option array;
+  parent : int array;
+  children : int array array;
+  child_rank : int array;
+  depth : int array;
+  leaves : int array;
+  leaf_rank : int array;
+}
+
+let build tree =
+  let n = Tree.size tree in
+  let labels = Array.make n "" in
+  let values = Array.make n None in
+  let sorts = Array.make n None in
+  let tags = Array.make n None in
+  let parent = Array.make n (-1) in
+  let children = Array.make n [||] in
+  let child_rank = Array.make n 0 in
+  let depth = Array.make n 0 in
+  let leaves_rev = ref [] in
+  let next = ref 0 in
+  let rec go node ~parent_id ~rank ~d =
+    let id = !next in
+    incr next;
+    labels.(id) <- Tree.label node;
+    values.(id) <- Tree.value node;
+    sorts.(id) <- Tree.sort node;
+    tags.(id) <- Tree.tag node;
+    parent.(id) <- parent_id;
+    child_rank.(id) <- rank;
+    depth.(id) <- d;
+    (match node with
+    | Tree.Terminal _ -> leaves_rev := id :: !leaves_rev
+    | Tree.Nonterminal { children = cs; _ } ->
+        let ids =
+          List.mapi (fun i c -> go c ~parent_id:id ~rank:i ~d:(d + 1)) cs
+        in
+        children.(id) <- Array.of_list ids);
+    id
+  in
+  let (_ : int) = go tree ~parent_id:(-1) ~rank:0 ~d:0 in
+  let leaves = Array.of_list (List.rev !leaves_rev) in
+  let leaf_rank = Array.make n (-1) in
+  Array.iteri (fun r id -> leaf_rank.(id) <- r) leaves;
+  {
+    n;
+    labels;
+    values;
+    sorts;
+    tags;
+    parent;
+    children;
+    child_rank;
+    depth;
+    leaves;
+    leaf_rank;
+  }
+
+let size t = t.n
+let root _ = 0
+let label t i = t.labels.(i)
+let value t i = t.values.(i)
+let sort t i = t.sorts.(i)
+let tag t i = t.tags.(i)
+let is_leaf t i = t.values.(i) <> None
+let parent t i = t.parent.(i)
+let children t i = t.children.(i)
+let child_rank t i = t.child_rank.(i)
+let depth t i = t.depth.(i)
+let leaves t = t.leaves
+let leaf_rank t i = t.leaf_rank.(i)
+
+let lca t a b =
+  let a = ref a and b = ref b in
+  while t.depth.(!a) > t.depth.(!b) do
+    a := t.parent.(!a)
+  done;
+  while t.depth.(!b) > t.depth.(!a) do
+    b := t.parent.(!b)
+  done;
+  while !a <> !b do
+    a := t.parent.(!a);
+    b := t.parent.(!b)
+  done;
+  !a
+
+let path_up t n ~stop =
+  let rec go acc n =
+    if n = stop then List.rev (n :: acc)
+    else if n = -1 then invalid_arg "Index.path_up: stop is not an ancestor"
+    else go (n :: acc) t.parent.(n)
+  in
+  go [] n
+
+let ancestors t n =
+  let rec go acc n =
+    let p = t.parent.(n) in
+    if p = -1 then List.rev acc else go (p :: acc) p
+  in
+  go [] n
+
+(* Child of [lca] on the parent chain from [n], assuming [n] is a strict
+   descendant of [lca]. *)
+let child_toward t ~lca n =
+  let rec go n = if t.parent.(n) = lca then n else go t.parent.(n) in
+  go n
+
+let width_between t ~lca a b =
+  if a = lca || b = lca then 0
+  else
+    let ca = child_toward t ~lca a and cb = child_toward t ~lca b in
+    abs (t.child_rank.(ca) - t.child_rank.(cb))
+
+let nodes_with_label t lbl =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if String.equal t.labels.(i) lbl then acc := i :: !acc
+  done;
+  !acc
+
+let terminals_with_value t v =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    match t.values.(i) with
+    | Some x when String.equal x v -> acc := i :: !acc
+    | _ -> ()
+  done;
+  !acc

@@ -1,0 +1,57 @@
+(** Array-indexed view of a {!Tree.t}.
+
+    Path extraction needs parents, depths, lowest common ancestors, leaf
+    order and sibling ranks for many node pairs; this module computes
+    them once per tree. Node ids are preorder positions in [0, size). *)
+
+type t
+
+val build : Tree.t -> t
+val size : t -> int
+val root : t -> int
+
+val label : t -> int -> string
+val value : t -> int -> string option
+val sort : t -> int -> Tree.sort option
+
+val tag : t -> int -> string option
+(** Ground-truth tag of a nonterminal (see {!Tree.nt_tag}). *)
+
+val is_leaf : t -> int -> bool
+
+val parent : t -> int -> int
+(** [-1] for the root. *)
+
+val children : t -> int -> int array
+
+val child_rank : t -> int -> int
+(** Position of a node in its parent's child list; [0] for the root. *)
+
+val depth : t -> int -> int
+(** Root has depth [0]. *)
+
+val leaves : t -> int array
+(** Ids of terminals in left-to-right source order. *)
+
+val leaf_rank : t -> int -> int
+(** Inverse of {!leaves}; [-1] for nonterminals. *)
+
+val lca : t -> int -> int -> int
+(** Lowest common ancestor (by walking parent chains; trees are small). *)
+
+val path_up : t -> int -> stop:int -> int list
+(** [path_up t n ~stop] is the chain [n; parent n; ...; stop], inclusive.
+    Raises [Invalid_argument] if [stop] is not an ancestor of [n]. *)
+
+val ancestors : t -> int -> int list
+(** Strict ancestors, nearest first, ending with the root. *)
+
+val width_between : t -> lca:int -> int -> int -> int
+(** Paper Fig. 5 width: the absolute difference of the child ranks, at
+    the LCA, of the two children through which a path between the given
+    nodes passes. [0] when either node equals the LCA. *)
+
+val nodes_with_label : t -> string -> int list
+(** All node ids carrying the given label, in preorder. *)
+
+val terminals_with_value : t -> string -> int list

@@ -1,0 +1,103 @@
+type sort = Var of int | Name | Lit | Kw
+
+type t =
+  | Nonterminal of { label : string; tag : string option; children : t list }
+  | Terminal of { label : string; value : string; sort : sort }
+
+let nt label children = Nonterminal { label; tag = None; children }
+let nt_tag ~tag label children = Nonterminal { label; tag = Some tag; children }
+
+let tag = function
+  | Nonterminal { tag; _ } -> tag
+  | Terminal _ -> None
+let term ?(sort = Kw) label value = Terminal { label; value; sort }
+let var binder label value = Terminal { label; value; sort = Var binder }
+
+let label = function
+  | Nonterminal { label; _ } -> label
+  | Terminal { label; _ } -> label
+
+let children = function
+  | Nonterminal { children; _ } -> children
+  | Terminal _ -> []
+
+let value = function
+  | Nonterminal _ -> None
+  | Terminal { value; _ } -> Some value
+
+let sort = function
+  | Nonterminal _ -> None
+  | Terminal { sort; _ } -> Some sort
+
+let is_terminal = function Terminal _ -> true | Nonterminal _ -> false
+
+let rec fold f acc t =
+  let acc = f acc t in
+  List.fold_left (fold f) acc (children t)
+
+let iter f t = fold (fun () n -> f n) () t
+let size t = fold (fun n _ -> n + 1) 0 t
+
+let num_leaves t =
+  fold (fun n node -> if is_terminal node then n + 1 else n) 0 t
+
+let leaves t =
+  List.rev
+    (fold (fun acc node -> if is_terminal node then node :: acc else acc) [] t)
+
+let rec map_terminals f = function
+  | Terminal { label; value; sort } -> f ~label ~value ~sort
+  | Nonterminal { label; tag; children } ->
+      Nonterminal { label; tag; children = List.map (map_terminals f) children }
+
+let sort_equal a b =
+  match (a, b) with
+  | Var i, Var j -> i = j
+  | Name, Name | Lit, Lit | Kw, Kw -> true
+  | _ -> false
+
+let rec compare a b =
+  match (a, b) with
+  | Terminal ta, Terminal tb ->
+      let c = String.compare ta.label tb.label in
+      if c <> 0 then c
+      else
+        let c = String.compare ta.value tb.value in
+        if c <> 0 then c else Stdlib.compare ta.sort tb.sort
+  | Terminal _, Nonterminal _ -> -1
+  | Nonterminal _, Terminal _ -> 1
+  | Nonterminal na, Nonterminal nb ->
+      let c = String.compare na.label nb.label in
+      if c <> 0 then c else List.compare compare na.children nb.children
+
+let equal a b = compare a b = 0
+
+let pp_sort ppf = function
+  | Var i -> Fmt.pf ppf "var#%d" i
+  | Name -> Fmt.string ppf "name"
+  | Lit -> Fmt.string ppf "lit"
+  | Kw -> Fmt.string ppf "kw"
+
+let rec pp_indent ppf ~indent t =
+  let pad = String.make indent ' ' in
+  match t with
+  | Terminal { label; value; sort } ->
+      Fmt.pf ppf "%s%s %S [%a]" pad label value pp_sort sort
+  | Nonterminal { label; children; _ } ->
+      Fmt.pf ppf "%s%s" pad label;
+      List.iter
+        (fun c ->
+          Fmt.pf ppf "@\n";
+          pp_indent ppf ~indent:(indent + 2) c)
+        children
+
+let pp ppf t = pp_indent ppf ~indent:0 t
+
+let rec pp_compact ppf = function
+  | Terminal { label; value; _ } -> Fmt.pf ppf "(%s %s)" label value
+  | Nonterminal { label; children; _ } ->
+      Fmt.pf ppf "(%s%a)" label
+        (fun ppf cs -> List.iter (fun c -> Fmt.pf ppf " %a" pp_compact c) cs)
+        children
+
+let to_string t = Fmt.str "%a" pp_compact t

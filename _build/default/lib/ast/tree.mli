@@ -1,0 +1,81 @@
+(** Generic, language-agnostic abstract syntax trees.
+
+    This is the paper's Definition 4.1: an AST is a tuple [⟨N, T, X, s, δ,
+    val⟩] of nonterminals, terminals, terminal values, a root, a
+    children function and a value function. Every language front-end
+    ({!module:Minijs}, {!module:Minijava}, {!module:Minipython},
+    {!module:Minicsharp}) lowers its native AST to this representation;
+    all path extraction works on it. *)
+
+(** Classification of a terminal node, used by the prediction tasks to
+    decide which leaves are unknown elements and how occurrences of the
+    same element are merged into one CRF node. *)
+type sort =
+  | Var of int
+      (** Reference to a local variable or parameter. The integer is a
+          binder id, unique within one program: all occurrences of the
+          same local share the id (front-ends perform scope resolution
+          when lowering). *)
+  | Name  (** Any other identifier: functions, methods, fields, classes. *)
+  | Lit  (** A literal constant (number, string, boolean, null...). *)
+  | Kw  (** A keyword or operator rendered as a terminal. *)
+
+type t =
+  | Nonterminal of { label : string; tag : string option; children : t list }
+  | Terminal of { label : string; value : string; sort : sort }
+
+val nt : string -> t list -> t
+(** [nt label children] builds a nonterminal node (no tag). *)
+
+val nt_tag : tag:string -> string -> t list -> t
+(** Like {!nt} with a ground-truth tag attached. Tags never influence
+    paths or labels; prediction tasks read them back (e.g. the
+    full-type task stores each expression's inferred type as
+    ["type:java.lang.String"]). *)
+
+val tag : t -> string option
+
+val term : ?sort:sort -> string -> string -> t
+(** [term label value] builds a terminal node. [sort] defaults to {!Kw}. *)
+
+val var : int -> string -> string -> t
+(** [var binder label value] builds a variable-reference terminal. *)
+
+val label : t -> string
+val children : t -> t list
+(** [children t] is [δ t] for nonterminals and [[]] for terminals. *)
+
+val value : t -> string option
+(** [value t] is [Some (val t)] for terminals, [None] otherwise. *)
+
+val sort : t -> sort option
+val is_terminal : t -> bool
+
+val size : t -> int
+(** Total number of nodes. *)
+
+val num_leaves : t -> int
+
+val leaves : t -> t list
+(** Terminals in left-to-right order. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Preorder fold over all nodes. *)
+
+val iter : (t -> unit) -> t -> unit
+(** Preorder iteration. *)
+
+val map_terminals : (label:string -> value:string -> sort:sort -> t) -> t -> t
+(** Rebuild the tree, replacing each terminal via the callback. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Multi-line indented rendering, one node per line. *)
+
+val pp_compact : Format.formatter -> t -> unit
+(** Single-line s-expression-like rendering. *)
+
+val to_string : t -> string
+val sort_equal : sort -> sort -> bool
+val pp_sort : Format.formatter -> sort -> unit

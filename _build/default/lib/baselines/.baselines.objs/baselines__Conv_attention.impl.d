@@ -1,0 +1,1 @@
+lib/baselines/conv_attention.ml: Ast Hashtbl Lexkit List Option Pigeon String

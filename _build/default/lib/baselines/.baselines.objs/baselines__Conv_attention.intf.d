@@ -1,0 +1,1 @@
+lib/baselines/conv_attention.mli: Pigeon

@@ -1,0 +1,1 @@
+lib/baselines/ngram.ml: Array Ast Crf Hashtbl Lexkit List Option Pigeon Printf String

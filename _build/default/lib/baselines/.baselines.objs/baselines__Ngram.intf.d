@@ -1,0 +1,1 @@
+lib/baselines/ngram.mli: Crf Pigeon

@@ -1,0 +1,1 @@
+lib/baselines/rule_based.ml: Lexkit List Minijava Option Pigeon String

@@ -1,0 +1,1 @@
+lib/baselines/rule_based.mli: Minijava Pigeon

@@ -1,0 +1,1 @@
+lib/baselines/unuglify.ml: Astpath Pigeon

@@ -1,0 +1,1 @@
+lib/baselines/unuglify.mli: Crf Pigeon

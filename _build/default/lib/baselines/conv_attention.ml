@@ -1,0 +1,146 @@
+type model = {
+  (* (position, sub-token) -> (body token -> count); the model composes
+     a name sub-token by sub-token, like the original network (which
+     generates names as sub-token sequences and can produce neologisms —
+     hence its characteristic low-exact-match / decent-F1 profile). *)
+  profiles : (int * string, (string, int) Hashtbl.t) Hashtbl.t;
+  sub_counts : (int * string, int) Hashtbl.t;
+  vocab : (string, unit) Hashtbl.t;
+  mutable max_positions : int;
+  mutable total_methods : int;
+}
+
+(* A method-definition subtree is a nonterminal with a direct terminal
+   child whose label is one of the language's definition labels. *)
+let methods_of_tree ~def_labels tree =
+  let out = ref [] in
+  let rec walk node =
+    let children = Ast.Tree.children node in
+    let name =
+      List.find_map
+        (fun c ->
+          match c with
+          | Ast.Tree.Terminal { label; value; _ } when List.mem label def_labels ->
+              Some value
+          | _ -> None)
+        children
+    in
+    (match name with
+    | Some name ->
+        let tokens =
+          List.filter_map Ast.Tree.value (Ast.Tree.leaves node)
+          |> List.filter (fun v -> not (String.equal v name))
+        in
+        out := (name, tokens) :: !out
+    | None -> ());
+    List.iter walk children
+  in
+  walk tree;
+  List.rev !out
+
+let methods_of_source ~lang src =
+  match lang.Pigeon.Lang.parse_tree src with
+  | tree -> methods_of_tree ~def_labels:lang.Pigeon.Lang.def_labels tree
+  | exception Lexkit.Error _ -> []
+
+let train ~lang sources =
+  let model =
+    {
+      profiles = Hashtbl.create 256;
+      sub_counts = Hashtbl.create 256;
+      vocab = Hashtbl.create 512;
+      max_positions = 0;
+      total_methods = 0;
+    }
+  in
+  List.iter
+    (fun (_, src) ->
+      List.iter
+        (fun (name, tokens) ->
+          model.total_methods <- model.total_methods + 1;
+          (* an explicit end marker lets decoding learn name lengths *)
+          let subs = Pigeon.Metrics.subtokens name @ [ "<end>" ] in
+          if List.length subs > model.max_positions then
+            model.max_positions <- List.length subs;
+          List.iteri
+            (fun pos sub ->
+              let key = (pos, sub) in
+              Hashtbl.replace model.sub_counts key
+                (1 + Option.value (Hashtbl.find_opt model.sub_counts key) ~default:0);
+              let profile =
+                match Hashtbl.find_opt model.profiles key with
+                | Some p -> p
+                | None ->
+                    let p = Hashtbl.create 32 in
+                    Hashtbl.add model.profiles key p;
+                    p
+              in
+              List.iter
+                (fun tok ->
+                  Hashtbl.replace model.vocab tok ();
+                  Hashtbl.replace profile tok
+                    (1 + Option.value (Hashtbl.find_opt profile tok) ~default:0))
+                tokens)
+            subs)
+        (methods_of_source ~lang src))
+    sources;
+  model
+
+let predict model ~body_tokens =
+  if model.total_methods = 0 then None
+  else begin
+    let vocab_size = float_of_int (Hashtbl.length model.vocab + 1) in
+    (* Greedy sub-token decoding: at each position, pick the naive-Bayes
+       best sub-token (or stop). The composed name may be a neologism
+       never seen in training — faithful to the original network. *)
+    let pick pos =
+      let best = ref None in
+      Hashtbl.iter
+        (fun (p, sub) count ->
+          if p = pos then begin
+            let profile = Hashtbl.find model.profiles (p, sub) in
+            let profile_total =
+              float_of_int (Hashtbl.fold (fun _ c acc -> acc + c) profile 0)
+            in
+            let score =
+              ref (log (float_of_int count /. float_of_int model.total_methods))
+            in
+            List.iter
+              (fun tok ->
+                let c =
+                  float_of_int
+                    (Option.value (Hashtbl.find_opt profile tok) ~default:0)
+                in
+                score := !score +. log ((c +. 1.) /. (profile_total +. vocab_size)))
+              body_tokens;
+            match !best with
+            | Some (_, s) when s >= !score -> ()
+            | _ -> best := Some (sub, !score)
+          end)
+        model.sub_counts;
+      Option.map fst !best
+    in
+    let rec go pos acc =
+      if pos >= model.max_positions then List.rev acc
+      else
+        match pick pos with
+        | Some "<end>" | None -> List.rev acc
+        | Some sub -> go (pos + 1) (sub :: acc)
+    in
+    match go 0 [] with
+    | [] -> None
+    | subs -> Some (String.concat "_" subs)
+  end
+
+let run ~lang ~train:train_sources ~test () : Pigeon.Metrics.summary =
+  let model = train ~lang train_sources in
+  let pairs =
+    List.concat_map
+      (fun (_, src) ->
+        List.filter_map
+          (fun (gold, tokens) ->
+            Option.map (fun pred -> (gold, pred)) (predict model ~body_tokens:tokens))
+          (methods_of_source ~lang src))
+      test
+  in
+  Pigeon.Metrics.summarize pairs

@@ -1,0 +1,32 @@
+(** Token-based method-name comparator, standing in for Allamanis et
+    al.'s convolutional attention network (paper Table 2, Java method
+    names).
+
+    The OCaml ecosystem here has no CNN stack, so we substitute a
+    non-structural token model trained for the same objective the CNN
+    optimizes — sub-token F1: a smoothed naive-Bayes scorer over body
+    tokens, predicting the training method name whose token profile
+    best matches the test method's body. Like the CNN and unlike AST
+    paths, it sees the body as a bag of lexemes, no structure. Its role
+    in the table — competitive sub-token F1, weaker exact match than
+    AST-paths + CRFs — is the comparison the paper draws.
+    (DESIGN.md §4 documents this substitution.) *)
+
+type model
+
+val train : lang:Pigeon.Lang.t -> (string * string) list -> model
+(** Train over all methods of the given (filename, source) pairs. *)
+
+val predict : model -> body_tokens:string list -> string option
+
+val methods_of_source :
+  lang:Pigeon.Lang.t -> string -> (string * string list) list
+(** [(method name, body token bag)] per method — splits the file's
+    token stream at method-definition names using the generic tree. *)
+
+val run :
+  lang:Pigeon.Lang.t ->
+  train:(string * string) list ->
+  test:(string * string) list ->
+  unit ->
+  Pigeon.Metrics.summary

@@ -1,0 +1,94 @@
+(* A token is an element occurrence iff it names a local (unknown, by
+   name) or is any other identifier/literal (known). Token streams have
+   no binder information, so locals sharing a name within a file merge
+   — the honest behavior for a purely token-level model. *)
+
+let graph_of_tree_and_tokens ~n idx ~def_labels tokens =
+  (* local names from the tree *)
+  let locals = Hashtbl.create 16 in
+  let defs = Hashtbl.create 4 in
+  Array.iter
+    (fun leaf ->
+      match Ast.Index.sort idx leaf with
+      | Some (Ast.Tree.Var _) ->
+          let name = Option.value (Ast.Index.value idx leaf) ~default:"?" in
+          if List.mem (Ast.Index.label idx leaf) def_labels then
+            Hashtbl.replace defs name ()
+          else Hashtbl.replace locals name ()
+      | _ -> ())
+    (Ast.Index.leaves idx);
+  Hashtbl.iter (fun name () -> Hashtbl.remove locals name) defs;
+  let is_ident tok =
+    String.length tok > 0 && (Lexkit.is_ident_start tok.[0] || Lexkit.is_digit tok.[0])
+  in
+  let tokens = Array.of_list tokens in
+  (* node per distinct element token *)
+  let ids = Hashtbl.create 32 in
+  let unknown_ids = Hashtbl.create 8 in
+  let nodes_rev = ref [] in
+  let next = ref 0 in
+  let node_of tok =
+    if not (is_ident tok) then None
+    else
+      Some
+        (match Hashtbl.find_opt ids tok with
+        | Some id -> id
+        | None ->
+            let id = !next in
+            incr next;
+            Hashtbl.add ids tok id;
+            let kind = if Hashtbl.mem locals tok then `Unknown else `Known in
+            if kind = `Unknown then Hashtbl.replace unknown_ids id ();
+            nodes_rev := { Crf.Graph.id; gold = tok; kind } :: !nodes_rev;
+            id)
+  in
+  let factors = ref [] in
+  let len = Array.length tokens in
+  for i = 0 to len - 1 do
+    match node_of tokens.(i) with
+    | None -> ()
+    | Some a ->
+        for j = i + 1 to min (len - 1) (i + n - 1) do
+          match node_of tokens.(j) with
+          | None -> ()
+          | Some b when b <> a ->
+              let between =
+                Array.to_list (Array.sub tokens (i + 1) (j - i - 1))
+              in
+              let rel =
+                Printf.sprintf "%d\x1f%s" (j - i) (String.concat "\x1f" between)
+              in
+              if Hashtbl.mem unknown_ids a || Hashtbl.mem unknown_ids b then
+                factors := Crf.Graph.pairwise ~a ~b ~rel :: !factors
+          | Some _ -> ()
+        done
+  done;
+  Crf.Graph.make ~nodes:(List.rev !nodes_rev) ~factors:(List.rev !factors)
+
+let graphs_of_sources ~n ~lang sources =
+  List.filter_map
+    (fun (_, src) ->
+      match
+        (lang.Pigeon.Lang.parse_tree src, lang.Pigeon.Lang.tokens src)
+      with
+      | tree, tokens ->
+          Some
+            (graph_of_tree_and_tokens ~n (Ast.Index.build tree)
+               ~def_labels:lang.Pigeon.Lang.def_labels tokens)
+      | exception Lexkit.Error _ -> None)
+    sources
+
+let run ?(n = 4) ?(crf_config = Crf.Train.default_config) ~lang ~train ~test ()
+    =
+  let train_graphs = graphs_of_sources ~n ~lang train in
+  let test_graphs = graphs_of_sources ~n ~lang test in
+  let model = Crf.Train.train ~config:crf_config train_graphs in
+  let pairs =
+    List.concat_map
+      (fun g ->
+        let pred = Crf.Train.predict model g in
+        let gold = Crf.Graph.gold_assignment g in
+        List.map (fun i -> (gold.(i), pred.(i))) (Crf.Graph.unknown_ids g))
+      test_graphs
+  in
+  Pigeon.Metrics.summarize pairs

@@ -1,0 +1,23 @@
+(** CRF + token n-grams baseline (paper Section 5.3.1, Java):
+
+    "this baseline uses the same CRF nodes as the path-based model,
+    except that the relations between them are the sequential
+    n-grams." Two element tokens within [n] tokens of each other are
+    linked by a pairwise factor whose relation is the sequence of
+    intervening lexemes. *)
+
+val graphs_of_sources :
+  n:int ->
+  lang:Pigeon.Lang.t ->
+  (string * string) list ->
+  Crf.Graph.t list
+
+val run :
+  ?n:int ->
+  ?crf_config:Crf.Train.config ->
+  lang:Pigeon.Lang.t ->
+  train:(string * string) list ->
+  test:(string * string) list ->
+  unit ->
+  Pigeon.Metrics.summary
+(** Default [n = 4] (the paper's value). *)

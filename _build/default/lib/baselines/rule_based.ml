@@ -1,0 +1,109 @@
+open Minijava.Syntax
+module Types = Minijava.Types
+
+(* Default prediction: lower-cased last segment of the declared type. *)
+let type_based_name (ty : Types.t) =
+  let rec go = function
+    | Types.Prim "int" -> "value"
+    | Types.Prim "boolean" -> "flag"
+    | Types.Prim "double" -> "value"
+    | Types.Prim _ -> "value"
+    | Types.Named (q, _) -> (
+        match List.rev q with
+        | last :: _ -> String.uncapitalize_ascii last
+        | [] -> "value")
+    | Types.Arr t -> go t ^ "s"
+  in
+  go ty
+
+(* Does the body contain [this.<field> = <name>;]? *)
+let rec setter_field_for name stmts =
+  List.find_map
+    (fun s ->
+      match s with
+      | ExprStmt (Assign ("=", FieldAccess (This, field), Ident n))
+        when String.equal n name ->
+          Some field
+      | If (_, t, e) -> (
+          match setter_field_for name t with
+          | Some f -> Some f
+          | None -> Option.bind e (setter_field_for name))
+      | Block b | While (_, b) -> setter_field_for name b
+      | _ -> None)
+    stmts
+
+let rec collect_stmts m_name m_body acc stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | LocalDecl (ty, ds) ->
+          List.fold_left
+            (fun acc (n, _) -> (n, type_based_name ty) :: acc)
+            acc ds
+      | For (init, _, _, body) ->
+          let acc =
+            match init with
+            | Some (LocalDecl (Types.Prim "int", ds)) ->
+                (* for (int i = ...) -> "i" *)
+                List.fold_left (fun acc (n, _) -> (n, "i") :: acc) acc ds
+            | Some (LocalDecl (ty, ds)) ->
+                List.fold_left
+                  (fun acc (n, _) -> (n, type_based_name ty) :: acc)
+                  acc ds
+            | _ -> acc
+          in
+          collect_stmts m_name m_body acc body
+      | ForEach (ty, n, _, body) ->
+          collect_stmts m_name m_body ((n, type_based_name ty) :: acc) body
+      | Try (b, catch, fin) ->
+          let acc = collect_stmts m_name m_body acc b in
+          let acc =
+            match catch with
+            | Some (_, v, cb) ->
+                collect_stmts m_name m_body ((v, "e") :: acc) cb
+            | None -> acc
+          in
+          Option.fold ~none:acc ~some:(collect_stmts m_name m_body acc) fin
+      | If (_, t, e) ->
+          let acc = collect_stmts m_name m_body acc t in
+          Option.fold ~none:acc ~some:(collect_stmts m_name m_body acc) e
+      | While (_, b) | DoWhile (b, _) | Block b ->
+          collect_stmts m_name m_body acc b
+      | _ -> acc)
+    acc stmts
+
+let predict_method m =
+  let param_preds =
+    List.map
+      (fun (ty, n) ->
+        (* this.<field> = <param>; or set<Field>(param) *)
+        match setter_field_for n m.m_body with
+        | Some field -> (n, field)
+        | None ->
+            let lower = String.lowercase_ascii m.m_name in
+            if
+              String.length m.m_name > 3
+              && String.sub lower 0 3 = "set"
+              && List.length m.m_params = 1
+            then
+              (n, String.uncapitalize_ascii (String.sub m.m_name 3 (String.length m.m_name - 3)))
+            else (n, type_based_name ty))
+      m.m_params
+  in
+  collect_stmts m.m_name m.m_body param_preds m.m_body
+
+let predict_program p =
+  List.concat_map
+    (fun c -> List.concat_map predict_method c.c_methods)
+    p.classes
+
+let evaluate sources =
+  let pairs =
+    List.concat_map
+      (fun (_, src) ->
+        match Minijava.Parser.parse src with
+        | p -> predict_program p
+        | exception Lexkit.Error _ -> [])
+      sources
+  in
+  Pigeon.Metrics.summarize pairs

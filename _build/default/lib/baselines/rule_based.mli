@@ -1,0 +1,15 @@
+(** The paper's rule-based (non-learning) Java baseline for variable
+    names (Section 5.3.1):
+
+    - [for (int i = ...)] loop variables → ["i"];
+    - [this.<field> = <param>;] setter parameters → the field's name;
+    - [catch (... e)] → ["e"];
+    - [void set<Field>(... x)] parameters → the field name;
+    - otherwise → the variable's type, lower-cased
+      ([HttpClient client], [List list], [int value]). *)
+
+val predict_program : Minijava.Syntax.program -> (string * string) list
+(** [(gold name, predicted name)] for every local/parameter. *)
+
+val evaluate : (string * string) list -> Pigeon.Metrics.summary
+(** Run over (filename, source) pairs; unparseable files are skipped. *)

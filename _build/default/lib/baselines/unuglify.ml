@@ -1,0 +1,23 @@
+(* Raychev et al.'s features are derived from an explicit grammar:
+   short relations inside a single expression/statement, named by the
+   connecting construct — e.g. (i, "<", n) or (x, "field f", y). The
+   closest member of the path family is: statement-local paths of
+   length <= 3, abstracted to (first, top, last) — the top node is
+   exactly their relation name. Using *full* statement-local paths
+   would make this baseline strictly richer than their design. *)
+let repr =
+  {
+    (Pigeon.Graphs.default_repr
+       ~config:(Astpath.Config.make ~max_length:3 ~max_width:3 ())
+       ())
+    with
+    Pigeon.Graphs.statement_local = true;
+    Pigeon.Graphs.abstraction = Astpath.Abstraction.First_top_last;
+  }
+
+let run ?crf_config ~lang ~train ~test () =
+  let result =
+    Pigeon.Task.run_crf ~repr ?crf_config ~lang ~policy:Pigeon.Graphs.Locals
+      ~train ~test ()
+  in
+  result.Pigeon.Task.summary

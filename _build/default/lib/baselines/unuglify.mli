@@ -1,0 +1,18 @@
+(** UnuglifyJS-style representation (Raychev et al. [40]): the same CRF
+    machinery, but relations are restricted to what their explicit
+    grammar derives — relationships that "span only a single statement,
+    and do not include relationships that involve conditional
+    statements or loops". Realized as a {!Pigeon.Graphs.repr} with the
+    statement-local restriction and short paths; the paper's Fig. 3
+    pair is indistinguishable under this representation and separable
+    under full AST paths (tested). *)
+
+val repr : Pigeon.Graphs.repr
+
+val run :
+  ?crf_config:Crf.Train.config ->
+  lang:Pigeon.Lang.t ->
+  train:(string * string) list ->
+  test:(string * string) list ->
+  unit ->
+  Pigeon.Metrics.summary

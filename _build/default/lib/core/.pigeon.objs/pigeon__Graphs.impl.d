@@ -1,0 +1,1 @@
+lib/core/graphs.ml: Array Ast Astpath Crf Hashtbl List Option Random String

@@ -1,0 +1,1 @@
+lib/core/graphs.mli: Ast Astpath Crf

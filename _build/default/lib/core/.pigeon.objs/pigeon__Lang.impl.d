@@ -1,0 +1,1 @@
+lib/core/lang.ml: Ast Astpath Corpus List Minicsharp Minijava Minijs Minipython String

@@ -1,0 +1,1 @@
+lib/core/lang.mli: Ast Astpath Corpus

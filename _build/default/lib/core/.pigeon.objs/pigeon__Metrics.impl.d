@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Buffer Char Fmt Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/core/similarity.ml: Array Crf Graphs Lang Lexkit List String Word2vec

@@ -1,0 +1,1 @@
+lib/core/similarity.mli: Crf Graphs Lang Word2vec

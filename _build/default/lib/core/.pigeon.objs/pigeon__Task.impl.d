@@ -1,0 +1,1 @@
+lib/core/task.ml: Array Astpath Crf Graphs Lang Lexkit List Logs Metrics Option Unix

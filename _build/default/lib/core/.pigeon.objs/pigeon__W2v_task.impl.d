@@ -1,0 +1,1 @@
+lib/core/w2v_task.ml: Array Ast Astpath Graphs Hashtbl Lang Lexkit List Metrics Option Printf Random String Word2vec

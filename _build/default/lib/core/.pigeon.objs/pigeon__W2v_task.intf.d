@@ -1,0 +1,1 @@
+lib/core/w2v_task.mli: Astpath Graphs Lang Metrics Word2vec

@@ -1,0 +1,213 @@
+type repr = {
+  config : Astpath.Config.t;
+  abstraction : Astpath.Abstraction.t;
+  downsample_p : float;
+  use_unary : bool;
+  statement_local : bool;
+  seed : int;
+}
+
+let default_repr ?(config = Astpath.Config.default) () =
+  {
+    config;
+    abstraction = Astpath.Abstraction.Full;
+    downsample_p = 1.0;
+    use_unary = true;
+    statement_local = false;
+    seed = 1;
+  }
+
+type policy = Locals | Methods of { internal_only : bool }
+
+let type_tag_prefix = "type:"
+
+(* Control-flow / declaration labels across all four lowerings; a path
+   whose hierarchically-highest node is one of these spans more than a
+   single simple statement. *)
+let control_label lbl =
+  let has sub =
+    let n = String.length sub and m = String.length lbl in
+    let rec go i = i + n <= m && (String.sub lbl i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.exists has
+    [
+      "If"; "While"; "For"; "Do"; "Try"; "Else"; "Catch"; "Finally"; "Except";
+      "Module"; "Toplevel"; "Defun"; "Function"; "Method"; "Class";
+      "CompilationUnit"; "Namespace"; "orelse"; "finalbody";
+    ]
+
+let keep_context repr (c : Astpath.Context.t) =
+  (not repr.statement_local)
+  || not (control_label (Astpath.Path.top c.Astpath.Context.path))
+
+(* Element identity of a leaf: locals by binder, other names and
+   literals by value; keyword terminals are not program elements. *)
+type elem = Binder of int | Named of string | Literal of string
+
+let elem_of idx leaf =
+  match Ast.Index.sort idx leaf with
+  | Some (Ast.Tree.Var i) -> Some (Binder i)
+  | Some Ast.Tree.Name ->
+      Option.map (fun v -> Named v) (Ast.Index.value idx leaf)
+  | Some Ast.Tree.Lit ->
+      Option.map (fun v -> Literal v) (Ast.Index.value idx leaf)
+  | Some Ast.Tree.Kw | None -> None
+
+let build repr ~def_labels ~policy tree =
+  let idx = Ast.Index.build tree in
+  let leaves = Ast.Index.leaves idx in
+  (* Which binders / named groups contain a definition-name leaf? *)
+  let def_elems = Hashtbl.create 8 in
+  Array.iter
+    (fun leaf ->
+      if List.mem (Ast.Index.label idx leaf) def_labels then
+        match elem_of idx leaf with
+        | Some e -> Hashtbl.replace def_elems e ()
+        | None -> ())
+    leaves;
+  let is_def e = Hashtbl.mem def_elems e in
+  let is_unknown e =
+    match policy with
+    | Locals -> ( match e with Binder _ -> not (is_def e) | _ -> false)
+    | Methods _ -> is_def e
+  in
+  let internal_only =
+    match policy with Methods { internal_only } -> internal_only | Locals -> false
+  in
+  (* Assign node ids; record each leaf's node. *)
+  let elem_ids = Hashtbl.create 64 in
+  let unknown_ids = Hashtbl.create 16 in
+  let nodes_rev = ref [] in
+  let next = ref 0 in
+  let node_of_elem e gold =
+    match Hashtbl.find_opt elem_ids e with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.add elem_ids e id;
+        let kind = if is_unknown e then `Unknown else `Known in
+        if kind = `Unknown then Hashtbl.replace unknown_ids id ();
+        nodes_rev := { Crf.Graph.id; gold; kind } :: !nodes_rev;
+        id
+  in
+  let leaf_node = Hashtbl.create 64 in
+  Array.iter
+    (fun leaf ->
+      match elem_of idx leaf with
+      | None -> ()
+      | Some e ->
+          (* Internal-only method graphs drop invocation occurrences of
+             the unknown method names (they would leak the label). *)
+          let drop =
+            internal_only && is_def e
+            && not (List.mem (Ast.Index.label idx leaf) def_labels)
+          in
+          if not drop then begin
+            let gold =
+              Option.value (Ast.Index.value idx leaf) ~default:"?"
+            in
+            Hashtbl.replace leaf_node leaf (node_of_elem e gold)
+          end)
+    leaves;
+  (* Path-contexts -> factors. *)
+  let contexts = Astpath.Extract.all idx repr.config in
+  let rng = Random.State.make [| repr.seed |] in
+  let contexts = Astpath.Downsample.keep rng ~p:repr.downsample_p contexts in
+  let factors = ref [] in
+  List.iter
+    (fun (c : Astpath.Context.t) ->
+      if keep_context repr c then
+        let rel () =
+          Astpath.Abstraction.apply repr.abstraction c.Astpath.Context.path
+        in
+        let unknown i = Hashtbl.mem unknown_ids i in
+        match
+          ( Hashtbl.find_opt leaf_node c.Astpath.Context.start_node,
+            Hashtbl.find_opt leaf_node c.Astpath.Context.end_node )
+        with
+        | Some a, Some b ->
+            if a = b then begin
+              if repr.use_unary && unknown a then
+                factors := Crf.Graph.unary ~n:a ~rel:(rel ()) :: !factors
+            end
+            else if unknown a || unknown b then
+              factors := Crf.Graph.pairwise ~a ~b ~rel:(rel ()) :: !factors
+        | Some a, None when unknown a ->
+            (* Semi-path (leaf -> ancestor nonterminal): a unary factor —
+               less expressive than a leafwise path but it recurs across
+               programs even when full paths do not (Section 5:
+               "semi-paths provide more generalization"). *)
+            if repr.use_unary then
+              factors := Crf.Graph.unary ~n:a ~rel:(rel ()) :: !factors
+        | _ -> ())
+    contexts;
+  Crf.Graph.make ~nodes:(List.rev !nodes_rev) ~factors:(List.rev !factors)
+
+let full_type_graph repr tree =
+  let idx = Ast.Index.build tree in
+  let leaves = Ast.Index.leaves idx in
+  (* Unknown nodes: tagged expression nonterminals. *)
+  let nodes_rev = ref [] in
+  let next = ref 0 in
+  let add_node gold kind =
+    let id = !next in
+    incr next;
+    nodes_rev := { Crf.Graph.id; gold; kind } :: !nodes_rev;
+    id
+  in
+  let targets = ref [] in
+  for i = 0 to Ast.Index.size idx - 1 do
+    match Ast.Index.tag idx i with
+    | Some tag
+      when String.length tag > String.length type_tag_prefix
+           && String.sub tag 0 (String.length type_tag_prefix) = type_tag_prefix
+      ->
+        let ty =
+          String.sub tag (String.length type_tag_prefix)
+            (String.length tag - String.length type_tag_prefix)
+        in
+        targets := (i, add_node ty `Unknown) :: !targets
+    | _ -> ()
+  done;
+  let targets = List.rev !targets in
+  (* Known nodes: leaf elements (variable names are given here). *)
+  let elem_ids = Hashtbl.create 64 in
+  let leaf_node = Hashtbl.create 64 in
+  Array.iter
+    (fun leaf ->
+      match elem_of idx leaf with
+      | None -> ()
+      | Some e ->
+          let id =
+            match Hashtbl.find_opt elem_ids e with
+            | Some id -> id
+            | None ->
+                let gold = Option.value (Ast.Index.value idx leaf) ~default:"?" in
+                let id = add_node gold `Known in
+                Hashtbl.add elem_ids e id;
+                id
+          in
+          Hashtbl.replace leaf_node leaf id)
+    leaves;
+  let rng = Random.State.make [| repr.seed |] in
+  let factors = ref [] in
+  List.iter
+    (fun (target, tnode) ->
+      let contexts = Astpath.Extract.leaf_to_node idx repr.config ~target in
+      let contexts = Astpath.Downsample.keep rng ~p:repr.downsample_p contexts in
+      List.iter
+        (fun (c : Astpath.Context.t) ->
+          if keep_context repr c then
+            match Hashtbl.find_opt leaf_node c.Astpath.Context.start_node with
+            | Some lnode ->
+                let rel =
+                  Astpath.Abstraction.apply repr.abstraction
+                    c.Astpath.Context.path
+                in
+                factors := Crf.Graph.pairwise ~a:lnode ~b:tnode ~rel :: !factors
+            | None -> ())
+        contexts)
+    targets;
+  Crf.Graph.make ~nodes:(List.rev !nodes_rev) ~factors:(List.rev !factors)

@@ -1,0 +1,40 @@
+(** Building CRF factor graphs from generic ASTs — the bridge between
+    the path representation and the learners.
+
+    Program elements become CRF nodes exactly as in Nice2Predict:
+    occurrences of the same local variable (same binder) merge into one
+    node, as do occurrences of the same external name or constant.
+    Path-contexts become factors: a path between occurrences of two
+    distinct elements is a pairwise factor whose relation is the
+    abstracted path; a path between two occurrences of the *same*
+    element becomes a unary factor. *)
+
+type repr = {
+  config : Astpath.Config.t;
+  abstraction : Astpath.Abstraction.t;
+  downsample_p : float;  (** Keep-probability for path-context occurrences. *)
+  use_unary : bool;  (** The paper's +1.5% unary-factor extension. *)
+  statement_local : bool;
+      (** UnuglifyJS-style restriction: only paths that stay inside a
+          single simple statement (no control-flow node on the path) —
+          the baseline of Raychev et al. that Fig. 3 shows is weaker. *)
+  seed : int;
+}
+
+val default_repr : ?config:Astpath.Config.t -> unit -> repr
+
+type policy =
+  | Locals  (** Variable-name task: locals/params unknown, rest known. *)
+  | Methods of { internal_only : bool }
+      (** Method-name task: definition names unknown (merged with their
+          same-file invocations unless [internal_only]), all other
+          names — including locals — known. *)
+
+val build : repr -> def_labels:string list -> policy:policy -> Ast.Tree.t -> Crf.Graph.t
+
+val full_type_graph : repr -> Ast.Tree.t -> Crf.Graph.t
+(** Full-type task over a typed tree (tags ["type:..."]): each tagged
+    expression nonterminal is an unknown node whose factors are its
+    leaf→nonterminal paths. *)
+
+val type_tag_prefix : string

@@ -1,0 +1,24 @@
+type point = { length : int; width : int; accuracy : float }
+
+let sweep ~lengths ~widths ~eval =
+  List.concat_map
+    (fun length ->
+      List.map
+        (fun width ->
+          let config = Astpath.Config.make ~max_length:length ~max_width:width () in
+          { length; width; accuracy = eval config })
+        widths)
+    lengths
+
+let best = function
+  | [] -> invalid_arg "Grid.best: empty sweep"
+  | points ->
+      List.fold_left
+        (fun acc p ->
+          if
+            p.accuracy > acc.accuracy
+            || (p.accuracy = acc.accuracy
+               && p.length + p.width < acc.length + acc.width)
+          then p
+          else acc)
+        (List.hd points) points

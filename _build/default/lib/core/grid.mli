@@ -1,0 +1,15 @@
+(** Hyper-parameter grid search over [max_length] × [max_width] (paper
+    Sections 4.2 and 5.5, Fig. 10). *)
+
+type point = { length : int; width : int; accuracy : float }
+
+val sweep :
+  lengths:int list ->
+  widths:int list ->
+  eval:(Astpath.Config.t -> float) ->
+  point list
+(** Evaluate every combination (typically on the validation set). *)
+
+val best : point list -> point
+(** Highest accuracy; ties broken toward shorter, narrower paths
+    (cheaper to train). Raises [Invalid_argument] on []. *)

@@ -1,0 +1,85 @@
+type t = {
+  name : string;
+  render_lang : Corpus.Render.lang;
+  parse_tree : string -> Ast.Tree.t;
+  parse_typed_tree : (string -> Ast.Tree.t) option;
+  tokens : string -> string list;
+  def_labels : string list;
+  strip : string -> string;
+  tuned : Astpath.Config.t;
+  tuned_method : Astpath.Config.t;
+}
+
+let cfg l w =
+  Astpath.Config.make ~include_semi_paths:true ~max_length:l ~max_width:w ()
+
+let javascript =
+  {
+    name = "JavaScript";
+    render_lang = Corpus.Render.Js;
+    parse_tree = (fun src -> Minijs.Lower.program (Minijs.Parser.parse src));
+    parse_typed_tree = None;
+    tokens = Minijs.Lexer.token_values;
+    def_labels = [ "SymbolDefun"; "SymbolLambda" ];
+    strip =
+      (fun src ->
+        let stripped, _ = Minijs.Rename.strip (Minijs.Parser.parse src) in
+        Minijs.Printer.program_to_string stripped);
+    tuned = cfg 7 3;
+    tuned_method = cfg 14 6;
+  }
+
+let java =
+  {
+    name = "Java";
+    render_lang = Corpus.Render.Java;
+    parse_tree = (fun src -> Minijava.Lower.program (Minijava.Parser.parse src));
+    parse_typed_tree =
+      Some
+        (fun src -> Minijava.Lower.program ~typed:true (Minijava.Parser.parse src));
+    tokens = Minijava.Lexer.token_values;
+    def_labels = [ Minijava.Lower.method_name_label ];
+    strip =
+      (fun src ->
+        let stripped, _ = Minijava.Rename.strip (Minijava.Parser.parse src) in
+        Minijava.Printer.program_to_string stripped);
+    tuned = cfg 5 2;
+    tuned_method = cfg 14 6;
+  }
+
+let python =
+  {
+    name = "Python";
+    render_lang = Corpus.Render.Python;
+    parse_tree =
+      (fun src -> Minipython.Lower.program (Minipython.Parser.parse src));
+    parse_typed_tree = None;
+    tokens = Minipython.Lexer.token_values;
+    def_labels = [ Minipython.Lower.function_name_label ];
+    strip =
+      (fun src ->
+        let stripped, _ = Minipython.Rename.strip (Minipython.Parser.parse src) in
+        Minipython.Printer.program_to_string stripped);
+    tuned = cfg 7 4;
+    tuned_method = cfg 14 6;
+  }
+
+let csharp =
+  {
+    name = "C#";
+    render_lang = Corpus.Render.Csharp;
+    parse_tree =
+      (fun src -> Minicsharp.Lower.program (Minicsharp.Parser.parse src));
+    parse_typed_tree = None;
+    tokens = Minicsharp.Lexer.token_values;
+    def_labels = [ Minicsharp.Lower.method_name_label ];
+    strip =
+      (fun src ->
+        let stripped, _ = Minicsharp.Rename.strip (Minicsharp.Parser.parse src) in
+        Minicsharp.Printer.program_to_string stripped);
+    tuned = cfg 7 4;
+    tuned_method = cfg 14 6;
+  }
+
+let all = [ javascript; java; python; csharp ]
+let by_name n = List.find_opt (fun l -> String.equal l.name n) all

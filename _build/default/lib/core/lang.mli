@@ -1,0 +1,32 @@
+(** Language descriptors: the uniform interface PIGEON's tasks use over
+    the four front-ends (paper Section 5.1: "separate modules that
+    parse and traverse the AST of a program in each different language,
+    but the main algorithm is the same across all languages"). *)
+
+type t = {
+  name : string;
+  render_lang : Corpus.Render.lang;
+  parse_tree : string -> Ast.Tree.t;
+      (** Parse source and lower to the generic AST (scope-resolved). *)
+  parse_typed_tree : (string -> Ast.Tree.t) option;
+      (** Typed lowering with ground-truth type tags (Java only). *)
+  tokens : string -> string list;
+      (** Raw lexeme stream, for the token-based baselines. *)
+  def_labels : string list;
+      (** Labels of function/method-definition name terminals. *)
+  strip : string -> string;
+      (** Minify/obfuscate: rename local variables and parameters to
+          short meaningless names. *)
+  tuned : Astpath.Config.t;
+      (** The paper's tuned (max_length, max_width) for variable-name
+          prediction in this language (Table 2). *)
+  tuned_method : Astpath.Config.t;
+      (** Tuned parameters for method-name prediction. *)
+}
+
+val javascript : t
+val java : t
+val python : t
+val csharp : t
+val all : t list
+val by_name : string -> t option

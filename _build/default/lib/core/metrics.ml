@@ -1,0 +1,96 @@
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then
+        Buffer.add_char buf c
+      else if c >= 'A' && c <= 'Z' then
+        Buffer.add_char buf (Char.lowercase_ascii c))
+    s;
+  Buffer.contents buf
+
+let exact_match ~gold ~pred = String.equal (normalize gold) (normalize pred)
+
+let subtokens s =
+  let out = ref [] in
+  let cur = Buffer.create 8 in
+  let flush () =
+    if Buffer.length cur > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents cur) :: !out;
+      Buffer.clear cur
+    end
+  in
+  String.iter
+    (fun c ->
+      if c >= 'A' && c <= 'Z' then begin
+        flush ();
+        Buffer.add_char cur c
+      end
+      else if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then
+        Buffer.add_char cur c
+      else flush ())
+    s;
+  flush ();
+  List.rev !out
+
+type counts = { tp : int; n_pred : int; n_gold : int }
+
+let f1_counts ~gold ~pred =
+  let g = subtokens gold and p = subtokens pred in
+  (* multiset intersection *)
+  let remaining = Hashtbl.create 8 in
+  List.iter
+    (fun t ->
+      Hashtbl.replace remaining t
+        (1 + Option.value (Hashtbl.find_opt remaining t) ~default:0))
+    g;
+  let tp =
+    List.fold_left
+      (fun acc t ->
+        match Hashtbl.find_opt remaining t with
+        | Some c when c > 0 ->
+            Hashtbl.replace remaining t (c - 1);
+            acc + 1
+        | _ -> acc)
+      0 p
+  in
+  { tp; n_pred = List.length p; n_gold = List.length g }
+
+let precision_of_counts c =
+  if c.n_pred = 0 then 0. else float_of_int c.tp /. float_of_int c.n_pred
+
+let recall_of_counts c =
+  if c.n_gold = 0 then 0. else float_of_int c.tp /. float_of_int c.n_gold
+
+let f1_of_counts c =
+  let p = precision_of_counts c and r = recall_of_counts c in
+  if p +. r = 0. then 0. else 2. *. p *. r /. (p +. r)
+
+type summary = { accuracy : float; f1 : float; n : int }
+
+let summarize pairs =
+  let n = List.length pairs in
+  if n = 0 then { accuracy = 0.; f1 = 0.; n = 0 }
+  else begin
+    let correct = ref 0 in
+    let agg = ref { tp = 0; n_pred = 0; n_gold = 0 } in
+    List.iter
+      (fun (gold, pred) ->
+        if exact_match ~gold ~pred then incr correct;
+        let c = f1_counts ~gold ~pred in
+        agg :=
+          {
+            tp = !agg.tp + c.tp;
+            n_pred = !agg.n_pred + c.n_pred;
+            n_gold = !agg.n_gold + c.n_gold;
+          })
+      pairs;
+    {
+      accuracy = float_of_int !correct /. float_of_int n;
+      f1 = f1_of_counts !agg;
+      n;
+    }
+  end
+
+let pp_summary ppf s =
+  Fmt.pf ppf "acc %.1f%%, F1 %.1f (n=%d)" (100. *. s.accuracy) (100. *. s.f1) s.n

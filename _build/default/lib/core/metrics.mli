@@ -1,0 +1,30 @@
+(** Evaluation metrics (paper Section 5.2).
+
+    Exact match is "case-insensitive and ignoring differences in
+    non-alphabetical characters": [totalCount] matches [total_count].
+    Sub-token F1 is the Allamanis et al. metric used for Java method
+    names: names split on camelCase and snake_case boundaries,
+    precision/recall over the sub-token multisets. *)
+
+val normalize : string -> string
+(** Lower-case, alphanumeric characters only. *)
+
+val exact_match : gold:string -> pred:string -> bool
+
+val subtokens : string -> string list
+(** [subtokens "totalHttpCount"] = [["total"; "http"; "count"]];
+    [subtokens "total_count"] = [["total"; "count"]]. Lower-cased. *)
+
+type counts = { tp : int; n_pred : int; n_gold : int }
+
+val f1_counts : gold:string -> pred:string -> counts
+val f1_of_counts : counts -> float
+val precision_of_counts : counts -> float
+val recall_of_counts : counts -> float
+
+type summary = { accuracy : float; f1 : float; n : int }
+
+val summarize : (string * string) list -> summary
+(** From (gold, pred) pairs. *)
+
+val pp_summary : Format.formatter -> summary -> unit

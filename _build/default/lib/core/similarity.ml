@@ -1,0 +1,24 @@
+let crf_top_k ~model ~repr ~lang ~source ~var ~k =
+  match lang.Lang.parse_tree source with
+  | exception Lexkit.Error _ -> []
+  | tree -> (
+      let g =
+        Graphs.build repr ~def_labels:lang.Lang.def_labels ~policy:Graphs.Locals
+          tree
+      in
+      let gold = Crf.Graph.gold_assignment g in
+      let target =
+        List.find_opt
+          (fun n -> String.equal gold.(n) var)
+          (Crf.Graph.unknown_ids g)
+      in
+      match target with
+      | None -> []
+      | Some node -> Crf.Train.top_k model g ~node ~k)
+
+let w2v_neighbors ~model ~names ~k =
+  List.map
+    (fun name ->
+      ( name,
+        List.map fst (Word2vec.Sgns.most_similar model name ~k) ))
+    names

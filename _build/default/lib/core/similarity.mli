@@ -1,0 +1,21 @@
+(** Qualitative probes (paper Section 5.4 and Table 4): top-k CRF
+    candidates for a program element, and word2vec semantic-similarity
+    clusters among names. *)
+
+val crf_top_k :
+  model:Crf.Train.model ->
+  repr:Graphs.repr ->
+  lang:Lang.t ->
+  source:string ->
+  var:string ->
+  k:int ->
+  (string * float) list
+(** Top-k candidate names for the local variable named [var] in
+    [source] (e.g. the stripped name [d] of the paper's Fig. 1a).
+    Returns [[]] if no such unknown element exists. *)
+
+val w2v_neighbors :
+  model:Word2vec.Sgns.t -> names:string list -> k:int -> (string * string list) list
+(** For each query name, its [k] cosine-nearest names in the embedding
+    space — the Table 4b probe ([req ∼ request], [array ∼ arr ∼ list],
+    ...). Names absent from the vocabulary map to []. *)

@@ -1,0 +1,113 @@
+type result = {
+  summary : Metrics.summary;
+  train_seconds : float;
+  model : Crf.Train.model;
+}
+
+let log_src = Logs.Src.create "pigeon.task"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let graphs_of_sources ~repr ~lang ~policy sources =
+  List.filter_map
+    (fun (name, src) ->
+      match lang.Lang.parse_tree src with
+      | tree ->
+          Some (Graphs.build repr ~def_labels:lang.Lang.def_labels ~policy tree)
+      | exception Lexkit.Error (msg, pos) ->
+          Log.warn (fun m ->
+              m "skipping %s: parse error at %a: %s" name Lexkit.pp_pos pos msg);
+          None)
+    sources
+
+let eval_pairs model graphs =
+  List.concat_map
+    (fun g ->
+      let pred = Crf.Train.predict model g in
+      let gold = Crf.Graph.gold_assignment g in
+      List.map (fun n -> (gold.(n), pred.(n))) (Crf.Graph.unknown_ids g))
+    graphs
+
+let run_crf ?repr ?(crf_config = Crf.Train.default_config) ~lang ~policy ~train
+    ~test () =
+  let repr =
+    match repr with
+    | Some r -> r
+    | None ->
+        let config =
+          match policy with
+          | Graphs.Locals -> lang.Lang.tuned
+          | Graphs.Methods _ -> lang.Lang.tuned_method
+        in
+        Graphs.default_repr ~config ()
+  in
+  (* Method names draw from a larger label vocabulary than variable
+     names; give candidate pruning a bigger budget there. *)
+  let crf_config =
+    match policy with
+    | Graphs.Methods _ ->
+        {
+          crf_config with
+          Crf.Train.inference =
+            {
+              crf_config.Crf.Train.inference with
+              Crf.Inference.max_candidates = 64;
+            };
+        }
+    | Graphs.Locals -> crf_config
+  in
+  let train_graphs = graphs_of_sources ~repr ~lang ~policy train in
+  let test_graphs = graphs_of_sources ~repr ~lang ~policy test in
+  let t0 = Unix.gettimeofday () in
+  let model = Crf.Train.train ~config:crf_config train_graphs in
+  let train_seconds = Unix.gettimeofday () -. t0 in
+  let summary = Metrics.summarize (eval_pairs model test_graphs) in
+  { summary; train_seconds; model }
+
+let typed_graphs ~repr sources =
+  List.filter_map
+    (fun (name, src) ->
+      let parse = Option.get Lang.java.Lang.parse_typed_tree in
+      match parse src with
+      | tree -> Some (Graphs.full_type_graph repr tree)
+      | exception Lexkit.Error (msg, pos) ->
+          Log.warn (fun m ->
+              m "skipping %s: parse error at %a: %s" name Lexkit.pp_pos pos msg);
+          None)
+    sources
+
+let run_full_types ?repr ?(crf_config = Crf.Train.default_config) ~train ~test
+    () =
+  let repr =
+    match repr with
+    | Some r -> r
+    | None ->
+        Graphs.default_repr
+          ~config:(Astpath.Config.make ~max_length:4 ~max_width:1 ())
+          ()
+  in
+  let train_graphs = typed_graphs ~repr train in
+  let test_graphs = typed_graphs ~repr test in
+  let t0 = Unix.gettimeofday () in
+  let model = Crf.Train.train ~config:crf_config train_graphs in
+  let train_seconds = Unix.gettimeofday () -. t0 in
+  let summary = Metrics.summarize (eval_pairs model test_graphs) in
+  { summary; train_seconds; model }
+
+let string_of_type_baseline test =
+  let repr =
+    Graphs.default_repr
+      ~config:(Astpath.Config.make ~max_length:4 ~max_width:1 ())
+      ()
+  in
+  let graphs = typed_graphs ~repr test in
+  let pairs =
+    List.concat_map
+      (fun g ->
+        let gold = Crf.Graph.gold_assignment g in
+        List.map
+          (fun n -> (gold.(n), "java.lang.String"))
+          (Crf.Graph.unknown_ids g))
+      graphs
+  in
+  Metrics.summarize pairs

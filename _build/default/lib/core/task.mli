@@ -1,0 +1,46 @@
+(** End-to-end prediction tasks: sources → trees → graphs → CRF
+    train/evaluate. The three tasks of the paper's Section 5. *)
+
+type result = {
+  summary : Metrics.summary;
+  train_seconds : float;
+  model : Crf.Train.model;
+}
+
+val graphs_of_sources :
+  repr:Graphs.repr ->
+  lang:Lang.t ->
+  policy:Graphs.policy ->
+  (string * string) list ->
+  Crf.Graph.t list
+(** Parse every (filename, source), lower, and build one factor graph
+    per file; files that fail to parse are skipped (with a [Logs]
+    warning), as a real corpus pipeline would. *)
+
+val run_crf :
+  ?repr:Graphs.repr ->
+  ?crf_config:Crf.Train.config ->
+  lang:Lang.t ->
+  policy:Graphs.policy ->
+  train:(string * string) list ->
+  test:(string * string) list ->
+  unit ->
+  result
+(** Variable-name or method-name prediction with CRFs. [repr] defaults
+    to the language's tuned config for the chosen task. Accuracy is
+    the paper's exact-match metric; [train_seconds] is measured
+    wall-clock training time (used by Figs. 11–12). *)
+
+val run_full_types :
+  ?repr:Graphs.repr ->
+  ?crf_config:Crf.Train.config ->
+  train:(string * string) list ->
+  test:(string * string) list ->
+  unit ->
+  result
+(** Java full-type prediction (paper Section 5.3.3); uses the typed
+    lowering and the tuned length-4/width-1 configuration. *)
+
+val string_of_type_baseline : (string * string) list -> Metrics.summary
+(** The naive baseline that predicts [java.lang.String] for every
+    evaluated expression. *)

@@ -1,0 +1,141 @@
+type mode =
+  | Paths of Graphs.repr
+  | Path_neighbors of Astpath.Config.t
+  | Linear_tokens of int
+
+let mode_name = function
+  | Paths _ -> "AST paths"
+  | Path_neighbors _ -> "path-neighbors, no-paths"
+  | Linear_tokens w -> Printf.sprintf "linear token-stream (window %d)" w
+
+let self_placeholder = "<SELF>"
+
+(* Locals of a tree: binder id -> name, excluding definition names. *)
+let locals_of idx ~def_labels =
+  let tbl = Hashtbl.create 16 in
+  let defs = Hashtbl.create 4 in
+  Array.iter
+    (fun leaf ->
+      match Ast.Index.sort idx leaf with
+      | Some (Ast.Tree.Var i) ->
+          if List.mem (Ast.Index.label idx leaf) def_labels then
+            Hashtbl.replace defs i ();
+          if not (Hashtbl.mem tbl i) then
+            Hashtbl.add tbl i
+              (Option.value (Ast.Index.value idx leaf) ~default:"?")
+      | _ -> ())
+    (Ast.Index.leaves idx);
+  Hashtbl.iter (fun i () -> Hashtbl.remove tbl i) defs;
+  tbl
+
+let path_pairs ~hide_path ~(repr : Graphs.repr) lang src =
+  let idx = Ast.Index.build (lang.Lang.parse_tree src) in
+  let locals = locals_of idx ~def_labels:lang.Lang.def_labels in
+  let binder_of leaf =
+    match Ast.Index.sort idx leaf with
+    | Some (Ast.Tree.Var i) when Hashtbl.mem locals i -> Some i
+    | _ -> None
+  in
+  (* Lexical-substitution setting (Section 3.2): every context word is
+     observed except the target element itself — another occurrence of
+     the *same* element inside a context is masked, everything else
+     (including other variables) keeps its value. *)
+  let value_of ~target leaf =
+    match binder_of leaf with
+    | Some b when b = target -> self_placeholder
+    | _ -> Option.value (Ast.Index.value idx leaf) ~default:"?"
+  in
+  let contexts = Astpath.Extract.all idx repr.Graphs.config in
+  let rng = Random.State.make [| repr.Graphs.seed |] in
+  let contexts =
+    Astpath.Downsample.keep rng ~p:repr.Graphs.downsample_p contexts
+  in
+  let per_binder = Hashtbl.create 16 in
+  let record binder ctx =
+    let cur = Option.value (Hashtbl.find_opt per_binder binder) ~default:[] in
+    Hashtbl.replace per_binder binder (ctx :: cur)
+  in
+  List.iter
+    (fun (c : Astpath.Context.t) ->
+      let ctx_string ~target (c : Astpath.Context.t) other =
+        if hide_path then value_of ~target other
+        else
+          Astpath.Abstraction.apply repr.Graphs.abstraction
+            c.Astpath.Context.path
+          ^ "\x1f" ^ value_of ~target other
+      in
+      (match binder_of c.Astpath.Context.start_node with
+      | Some b -> record b (ctx_string ~target:b c c.Astpath.Context.end_node)
+      | None -> ());
+      match binder_of c.Astpath.Context.end_node with
+      | Some b ->
+          let r = Astpath.Context.reverse c in
+          record b (ctx_string ~target:b r r.Astpath.Context.end_node)
+      | None -> ())
+    contexts;
+  Hashtbl.fold
+    (fun binder ctxs acc -> (Hashtbl.find locals binder, List.rev ctxs) :: acc)
+    per_binder []
+
+let token_pairs ~window lang src =
+  let tokens = Array.of_list (lang.Lang.tokens src) in
+  (* Which token strings are local names in this file? *)
+  let idx = Ast.Index.build (lang.Lang.parse_tree src) in
+  let locals = locals_of idx ~def_labels:lang.Lang.def_labels in
+  let local_names = Hashtbl.create 16 in
+  Hashtbl.iter (fun _ name -> Hashtbl.replace local_names name ()) locals;
+  let masked ~target i =
+    if String.equal tokens.(i) target then self_placeholder else tokens.(i)
+  in
+  let per_name = Hashtbl.create 16 in
+  Array.iteri
+    (fun i tok ->
+      if Hashtbl.mem local_names tok then begin
+        let ctxs = ref [] in
+        for off = -window to window do
+          let j = i + off in
+          if off <> 0 && j >= 0 && j < Array.length tokens then
+            (* Original word2vec: an unpositioned bag of window words. *)
+            ctxs := masked ~target:tok j :: !ctxs
+        done;
+        let cur = Option.value (Hashtbl.find_opt per_name tok) ~default:[] in
+        Hashtbl.replace per_name tok (List.rev !ctxs @ cur)
+      end)
+    tokens;
+  Hashtbl.fold (fun name ctxs acc -> (name, ctxs) :: acc) per_name []
+
+let pairs_of_source ~lang ~mode src =
+  match mode with
+  | Paths repr -> path_pairs ~hide_path:false ~repr lang src
+  | Path_neighbors config ->
+      let repr = Graphs.default_repr ~config () in
+      path_pairs ~hide_path:true ~repr lang src
+  | Linear_tokens window -> token_pairs ~window lang src
+
+type result = { summary : Metrics.summary; model : Word2vec.Sgns.t }
+
+let run ?(sgns_config = Word2vec.Sgns.default_config) ~lang ~mode ~train ~test
+    () =
+  let collect sources =
+    List.concat_map
+      (fun (_, src) ->
+        match pairs_of_source ~lang ~mode src with
+        | pairs -> pairs
+        | exception Lexkit.Error _ -> [])
+      sources
+  in
+  let train_pairs =
+    List.concat_map
+      (fun (name, ctxs) -> List.map (fun c -> (name, c)) ctxs)
+      (collect train)
+  in
+  let model = Word2vec.Sgns.train ~config:sgns_config train_pairs in
+  let eval =
+    List.filter_map
+      (fun (gold, ctxs) ->
+        match Word2vec.Sgns.predict model ctxs with
+        | (pred, _) :: _ -> Some (gold, pred)
+        | [] -> None)
+      (collect test)
+  in
+  { summary = Metrics.summarize eval; model }

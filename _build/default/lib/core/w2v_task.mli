@@ -1,0 +1,36 @@
+(** Variable-name prediction with word2vec (paper Section 5.3.1,
+    Table 3), with the two context baselines of the paper.
+
+    A program element (a local variable) is represented by the set of
+    contexts of all its occurrences; its name is predicted by the
+    paper's equation (4): the vocabulary word maximizing the summed
+    dot-product with the context vectors. Other unknown locals
+    appearing inside a context are masked with a placeholder (at both
+    training and test time), since their names are stripped too. *)
+
+type mode =
+  | Paths of Graphs.repr
+      (** AST-path contexts: (abstracted path, other-end value). *)
+  | Path_neighbors of Astpath.Config.t
+      (** Same surrounding nodes, path hidden: other-end value only —
+          the paper's "path-neighbors, no-paths" baseline. *)
+  | Linear_tokens of int
+      (** Surrounding tokens within the given window, annotated with
+          their offset — the classic word2vec context. *)
+
+val mode_name : mode -> string
+
+val pairs_of_source : lang:Lang.t -> mode:mode -> string -> (string * string list) list
+(** [(variable name, contexts of all its occurrences)] for each local
+    element of one source file. *)
+
+type result = { summary : Metrics.summary; model : Word2vec.Sgns.t }
+
+val run :
+  ?sgns_config:Word2vec.Sgns.config ->
+  lang:Lang.t ->
+  mode:mode ->
+  train:(string * string) list ->
+  test:(string * string) list ->
+  unit ->
+  result

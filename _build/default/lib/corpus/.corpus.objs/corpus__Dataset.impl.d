@@ -1,0 +1,1 @@
+lib/corpus/dataset.ml: Array Digest Fmt Hashtbl List Random String

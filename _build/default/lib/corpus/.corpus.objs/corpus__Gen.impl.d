@@ -1,0 +1,1 @@
+lib/corpus/gen.ml: Array Hashtbl Ir List Option Printf Random Render Role String Templates

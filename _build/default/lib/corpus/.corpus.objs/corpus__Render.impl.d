@@ -1,0 +1,1 @@
+lib/corpus/render.ml: Buffer Ir List Printf Role String

@@ -1,0 +1,1 @@
+lib/corpus/role.ml: List Random String

@@ -1,0 +1,1 @@
+lib/corpus/templates.ml: Ir List Random Role String

@@ -1,0 +1,47 @@
+type entry = { path : string; source : string }
+type t = entry list
+
+type split = { train : t; valid : t; test : t }
+
+let md5 s = Digest.to_hex (Digest.string s)
+
+let dedup entries =
+  let seen = Hashtbl.create 256 in
+  List.filter
+    (fun e ->
+      let h = md5 e.source in
+      if Hashtbl.mem seen h then false
+      else begin
+        Hashtbl.add seen h ();
+        true
+      end)
+    entries
+
+let split_corpus ?(valid_frac = 0.1) ?(test_frac = 0.2) ~seed entries =
+  let rng = Random.State.make [| seed |] in
+  let arr = Array.of_list entries in
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  let n_valid = int_of_float (valid_frac *. float_of_int n) in
+  let n_test = int_of_float (test_frac *. float_of_int n) in
+  let valid = Array.to_list (Array.sub arr 0 n_valid) in
+  let test = Array.to_list (Array.sub arr n_valid n_test) in
+  let train =
+    Array.to_list (Array.sub arr (n_valid + n_test) (n - n_valid - n_test))
+  in
+  { train; valid; test }
+
+type stats = { files : int; bytes : int }
+
+let stats entries =
+  {
+    files = List.length entries;
+    bytes = List.fold_left (fun acc e -> acc + String.length e.source) 0 entries;
+  }
+
+let pp_stats ppf s = Fmt.pf ppf "%d files, %d bytes" s.files s.bytes

@@ -1,0 +1,24 @@
+(** Corpus pipeline: dedup, split, statistics (paper Section 5.2 and
+    Table 1). *)
+
+type entry = { path : string; source : string }
+type t = entry list
+
+type split = { train : t; valid : t; test : t }
+
+val md5 : string -> string
+(** Hex digest of file contents — the paper's dedup key. *)
+
+val dedup : t -> t
+(** Keep the first file for each distinct content digest, preserving
+    order (the paper: "to filter duplicates, we used ... md5 of
+    files"). *)
+
+val split_corpus : ?valid_frac:float -> ?test_frac:float -> seed:int -> t -> split
+(** Random, disjoint, seed-deterministic split. Default fractions:
+    10% validation, 20% test. *)
+
+type stats = { files : int; bytes : int }
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,234 @@
+type config = {
+  n_files : int;
+  min_funcs : int;
+  max_funcs : int;
+  min_templates : int;
+  max_templates : int;
+  driver_prob : float;
+  dup_fraction : float;
+  seed : int;
+}
+
+let default =
+  {
+    n_files = 200;
+    min_funcs = 2;
+    max_funcs = 4;
+    min_templates = 1;
+    max_templates = 2;
+    driver_prob = 0.5;
+    dup_fraction = 0.05;
+    seed = 2018;
+  }
+
+(* Variable allocator with per-function name uniqueness and role-aware
+   reuse: when a later template in the same function asks for a role an
+   earlier one already introduced, it usually receives the same
+   variable (real functions thread one list through several loops
+   rather than introducing [items] and [values] side by side). Reuse
+   also creates cross-statement paths between templates — long-range
+   evidence. Within one template instantiation a variable is never
+   handed out twice (a swap needs two distinct values; parameters must
+   be distinct). *)
+type alloc_state = {
+  rng : Random.State.t;
+  used : (string, unit) Hashtbl.t;
+  pool : (Role.t, Ir.var list) Hashtbl.t;
+  mutable handed : Ir.var list;  (** handed out in the current template *)
+}
+
+let make_alloc rng =
+  { rng; used = Hashtbl.create 16; pool = Hashtbl.create 8; handed = [] }
+
+let begin_template st = st.handed <- []
+
+let alloc_var ?(reuse_prob = 0.6) st role =
+  let reusable =
+    Option.value (Hashtbl.find_opt st.pool role) ~default:[]
+    |> List.filter (fun v ->
+           not (List.exists (fun u -> u.Ir.v_name = v.Ir.v_name) st.handed))
+  in
+  match reusable with
+  | v :: _ when Random.State.float st.rng 1.0 < reuse_prob ->
+      st.handed <- v :: st.handed;
+      v
+  | _ ->
+      let rec try_pick k =
+        let name = Role.pick_name st.rng role in
+        if not (Hashtbl.mem st.used name) then name
+        else if k <= 0 then
+          let rec bump i =
+            let candidate = Printf.sprintf "%s%d" name i in
+            if Hashtbl.mem st.used candidate then bump (i + 1) else candidate
+          in
+          bump 2
+        else try_pick (k - 1)
+      in
+      let name = try_pick 8 in
+      Hashtbl.add st.used name ();
+      let v = { Ir.v_name = name; v_role = role; v_ty = Role.ty role } in
+      Hashtbl.replace st.pool role
+        (v :: Option.value (Hashtbl.find_opt st.pool role) ~default:[]);
+      st.handed <- v :: st.handed;
+      v
+
+let literal_for (v : Ir.var) =
+  match v.Ir.v_ty with
+  | Role.TInt -> Ir.Int 1
+  | Role.TBool -> Ir.Bool true
+  | Role.TStr -> Ir.Str "input"
+  | Role.TDouble -> Ir.Int 0
+  | Role.TListInt | Role.TListStr | Role.TMapStrInt -> Ir.NewList v.Ir.v_ty
+  | Role.TObj c -> Ir.NewObj (c, [])
+
+let gen_driver rng funcs =
+  let st = make_alloc rng in
+  (* The driver declares fresh arguments per call; no reuse. *)
+  let alloc role =
+    begin_template st;
+    alloc_var ~reuse_prob:0.0 st role
+  in
+  let body =
+    List.concat_map
+      (fun (f : Ir.func) ->
+        let arg_decls =
+          List.map
+            (fun p ->
+              let v = alloc p.Ir.v_role in
+              (v, Ir.Let (v, literal_for p)))
+            f.Ir.f_params
+        in
+        List.map snd arg_decls
+        @ [
+            Ir.CallStmt
+              (Ir.CallFree (f.Ir.f_name, List.map (fun (v, _) -> Ir.V v) arg_decls));
+          ])
+      funcs
+  in
+  { Ir.f_name = "run_all"; f_params = []; f_ret = None; f_body = body }
+
+let generate config =
+  let rng = Random.State.make [| config.seed |] in
+  let range lo hi = lo + Random.State.int rng (max 1 (hi - lo + 1)) in
+  let gen_func ~used_names =
+    let st = make_alloc rng in
+    let n_templates = range config.min_templates config.max_templates in
+    let primary = Templates.pick rng in
+    let rest = List.init (n_templates - 1) (fun _ -> Templates.pick rng) in
+    let instances =
+      List.map
+        (fun (t : Templates.t) ->
+          begin_template st;
+          t.Templates.instantiate (alloc_var st) rng)
+        (primary :: rest)
+    in
+    (* Riffle the templates' statements together (each template's own
+       order preserved) about half the time: real functions mix
+       concerns, which blurs the token windows the linear baselines
+       depend on while leaving AST paths intact. *)
+    let riffle lists =
+      let lists = ref (List.filter (fun l -> l <> []) lists) in
+      let out = ref [] in
+      while !lists <> [] do
+        let k = Random.State.int rng (List.length !lists) in
+        let picked = List.nth !lists k in
+        (match picked with
+        | s :: restl ->
+            out := s :: !out;
+            lists :=
+              List.mapi (fun i l -> if i = k then restl else l) !lists
+              |> List.filter (fun l -> l <> [])
+        | [] -> ())
+      done;
+      List.rev !out
+    in
+    let stmt_lists = List.map (fun i -> i.Templates.stmts) instances in
+    let stmts =
+      if List.length stmt_lists > 1 && Random.State.bool rng then
+        riffle stmt_lists
+      else List.concat stmt_lists
+    in
+    (* Occasional distractor statements add token-stream noise. *)
+    let stmts =
+      List.concat_map
+        (fun s ->
+          if Random.State.int rng 100 < 15 then
+            [ s; Ir.CallStmt (Ir.CallFree ("log", [ Ir.Str "step" ])) ]
+          else [ s ])
+        stmts
+    in
+    let params =
+      List.concat_map (fun i -> i.Templates.params) instances
+      |> List.fold_left
+           (fun acc v ->
+             if List.exists (fun u -> String.equal u.Ir.v_name v.Ir.v_name) acc
+             then acc
+             else v :: acc)
+           []
+      |> List.rev
+    in
+    let ret_info = List.find_map (fun i -> i.Templates.ret) instances in
+    let body =
+      match ret_info with
+      | Some (_, ret_stmt) -> stmts @ [ ret_stmt ]
+      | None -> stmts
+    in
+    let head = List.hd instances in
+    let base = Printf.sprintf "%s_%s" head.Templates.verb head.Templates.noun in
+    (* Disambiguate only on an actual collision within the file. *)
+    let name =
+      if not (Hashtbl.mem used_names base) then base
+      else
+        let rec bump i =
+          let candidate = Printf.sprintf "%s%d" base i in
+          if Hashtbl.mem used_names candidate then bump (i + 1) else candidate
+        in
+        bump 2
+    in
+    Hashtbl.replace used_names name ();
+    {
+      Ir.f_name = name;
+      f_params = params;
+      f_ret = Option.map fst ret_info;
+      f_body = body;
+    }
+  in
+  let files =
+    List.init config.n_files (fun id ->
+        let n_funcs = range config.min_funcs config.max_funcs in
+        let used_names = Hashtbl.create 8 in
+        let funcs = List.init n_funcs (fun _ -> gen_func ~used_names) in
+        let funcs =
+          if Random.State.float rng 1.0 < config.driver_prob then
+            funcs @ [ gen_driver rng funcs ]
+          else funcs
+        in
+        { Ir.file_name = Printf.sprintf "sample_%04d" id; funcs })
+  in
+  (* Verbatim duplicates, to exercise dedup. The IR (and hence the
+     rendered content, including any class name derived from
+     [file_name]) is identical; only the output path differs — see
+     {!generate_sources}. *)
+  let n_dups =
+    int_of_float (config.dup_fraction *. float_of_int config.n_files)
+  in
+  let files_arr = Array.of_list files in
+  let dups =
+    List.init n_dups (fun _ ->
+        files_arr.(Random.State.int rng (Array.length files_arr)))
+  in
+  files @ dups
+
+let generate_sources config lang =
+  let seen = Hashtbl.create 64 in
+  List.map
+    (fun (f : Ir.file) ->
+      let base = f.Ir.file_name in
+      let count = Option.value (Hashtbl.find_opt seen base) ~default:0 in
+      Hashtbl.replace seen base (count + 1);
+      let path =
+        if count = 0 then base
+        else Printf.sprintf "vendored/copy%d/%s" count base
+      in
+      (path ^ Render.file_extension lang, Render.render lang f))
+    (generate config)

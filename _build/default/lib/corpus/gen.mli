@@ -1,0 +1,27 @@
+(** Seeded synthetic program generator.
+
+    Composes {!Templates} instances into functions and files. Each
+    function takes its name from its primary template's (verb, noun)
+    pair, so method names correlate with body structure; an optional
+    driver function invokes the file's other functions, providing the
+    same-file external paths the method-name task uses. A configurable
+    fraction of files is duplicated verbatim, so the dedup stage of
+    {!Dataset} has real work to do (mirroring the paper's GitHub
+    pipeline). *)
+
+type config = {
+  n_files : int;
+  min_funcs : int;
+  max_funcs : int;
+  min_templates : int;
+  max_templates : int;
+  driver_prob : float;  (** Probability a file gets a driver function. *)
+  dup_fraction : float;
+  seed : int;
+}
+
+val default : config
+val generate : config -> Ir.file list
+
+val generate_sources : config -> Render.lang -> (string * string) list
+(** [(filename, source)] pairs for one language. *)

@@ -1,0 +1,91 @@
+type var = { v_name : string; v_role : Role.t; v_ty : Role.ty }
+
+type expr =
+  | V of var
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Bin of string * expr * expr
+  | Not of expr
+  | CallFree of string * expr list
+  | Method of expr * string * expr list
+  | Len of expr
+  | Idx of expr * expr
+  | StrCat of expr * expr
+  | NewList of Role.ty
+  | NewObj of string * expr list
+
+and stmt =
+  | Let of var * expr
+  | SetV of var * expr
+  | AugAdd of var * expr
+  | Incr of var
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | ForEach of var * expr * stmt list
+  | ForRange of var * expr * stmt list
+  | CallStmt of expr
+  | Append of var * expr
+  | Ret of expr
+  | RetNone
+  | TryCatch of stmt list * var * stmt list
+  | ThrowNew of string * expr list
+  | Log of expr
+
+type func = {
+  f_name : string;
+  f_params : var list;
+  f_ret : Role.ty option;
+  f_body : stmt list;
+}
+
+type file = { file_name : string; funcs : func list }
+
+let free_vars_of_func f =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let record v =
+    if not (Hashtbl.mem seen v.v_name) then begin
+      Hashtbl.add seen v.v_name ();
+      acc := v :: !acc
+    end
+  in
+  let rec expr = function
+    | V v -> record v
+    | Int _ | Str _ | Bool _ -> ()
+    | Bin (_, a, b) | StrCat (a, b) | Idx (a, b) ->
+        expr a;
+        expr b
+    | Not a | Len a -> expr a
+    | CallFree (_, args) | NewObj (_, args) -> List.iter expr args
+    | Method (r, _, args) ->
+        expr r;
+        List.iter expr args
+    | NewList _ -> ()
+  and stmt = function
+    | Let (v, e) | SetV (v, e) | AugAdd (v, e) | Append (v, e) ->
+        record v;
+        expr e
+    | Incr v -> record v
+    | If (c, t, e) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt e
+    | While (c, b) ->
+        expr c;
+        List.iter stmt b
+    | ForEach (v, e, b) | ForRange (v, e, b) ->
+        record v;
+        expr e;
+        List.iter stmt b
+    | CallStmt e | Ret e | Log e -> expr e
+    | RetNone -> ()
+    | TryCatch (b, v, h) ->
+        List.iter stmt b;
+        record v;
+        List.iter stmt h
+    | ThrowNew (_, args) -> List.iter expr args
+  in
+  List.iter record f.f_params;
+  List.iter stmt f.f_body;
+  List.rev !acc

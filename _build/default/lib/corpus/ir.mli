@@ -1,0 +1,54 @@
+(** Language-neutral template IR.
+
+    The corpus generator composes functions in this IR; per-language
+    renderers ({!Render}) turn one IR file into idiomatic JavaScript,
+    Java, Python or C# source, which the corresponding front-end then
+    parses back — exercising the full pipeline the way the paper's
+    GitHub corpora did. *)
+
+type var = { v_name : string; v_role : Role.t; v_ty : Role.ty }
+
+type expr =
+  | V of var
+  | Int of int
+  | Str of string
+  | Bool of bool
+  | Bin of string * expr * expr  (** [+ - * / % == != < > <= >= && ||] *)
+  | Not of expr
+  | CallFree of string * expr list  (** Free/builtin function. *)
+  | Method of expr * string * expr list
+  | Len of expr  (** Collection length: idiom differs per language. *)
+  | Idx of expr * expr
+  | StrCat of expr * expr
+  | NewList of Role.ty  (** Fresh empty list. *)
+  | NewObj of string * expr list  (** [new Classname(args)]. *)
+
+and stmt =
+  | Let of var * expr
+  | SetV of var * expr
+  | AugAdd of var * expr
+  | Incr of var
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | ForEach of var * expr * stmt list
+  | ForRange of var * expr * stmt list  (** index from 0 below bound *)
+  | CallStmt of expr
+  | Append of var * expr  (** [xs.push/add/append/Add]. *)
+  | Ret of expr
+  | RetNone
+  | TryCatch of stmt list * var * stmt list
+  | ThrowNew of string * expr list
+  | Log of expr  (** [console.log/System.out.println/print/Console.WriteLine]. *)
+
+type func = {
+  f_name : string;
+  f_params : var list;
+  f_ret : Role.ty option;  (** [None] = void/no return. *)
+  f_body : stmt list;
+}
+
+type file = { file_name : string; funcs : func list }
+
+val free_vars_of_func : func -> var list
+(** Locals and parameters appearing in a function (each once, by
+    name). *)

@@ -1,0 +1,325 @@
+open Ir
+
+type lang = Js | Java | Python | Csharp
+
+let all_langs = [ Js; Java; Python; Csharp ]
+
+let lang_name = function
+  | Js -> "JavaScript"
+  | Java -> "Java"
+  | Python -> "Python"
+  | Csharp -> "C#"
+
+let file_extension = function
+  | Js -> ".js"
+  | Java -> ".java"
+  | Python -> ".py"
+  | Csharp -> ".cs"
+
+let subtokens name = String.split_on_char '_' name
+
+let method_name lang name =
+  let parts = subtokens name in
+  match lang with
+  | Python -> name
+  | Js | Java -> (
+      match parts with
+      | [] -> name
+      | hd :: tl -> hd ^ String.concat "" (List.map String.capitalize_ascii tl))
+  | Csharp -> String.concat "" (List.map String.capitalize_ascii parts)
+
+let ty_java = function
+  | Role.TInt -> "int"
+  | Role.TBool -> "boolean"
+  | Role.TStr -> "String"
+  | Role.TDouble -> "double"
+  | Role.TListInt -> "List<Integer>"
+  | Role.TListStr -> "List<String>"
+  | Role.TMapStrInt -> "Map<String, Integer>"
+  | Role.TObj c -> c
+
+let ty_cs = function
+  | Role.TInt -> "int"
+  | Role.TBool -> "bool"
+  | Role.TStr -> "string"
+  | Role.TDouble -> "double"
+  | Role.TListInt -> "List<int>"
+  | Role.TListStr -> "List<string>"
+  | Role.TMapStrInt -> "Dictionary<string, int>"
+  | Role.TObj c -> c
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr lang e =
+  let go = expr lang in
+  match e with
+  | V v -> v.v_name
+  | Int n -> string_of_int n
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Bool b -> (
+      match lang with
+      | Python -> if b then "True" else "False"
+      | _ -> if b then "true" else "false")
+  | Bin (op, a, b) ->
+      let op =
+        match (lang, op) with
+        | Python, "&&" -> "and"
+        | Python, "||" -> "or"
+        | _ -> op
+      in
+      Printf.sprintf "%s %s %s" (atom lang a) op (atom lang b)
+  | Not a -> (
+      match lang with
+      | Python -> "not " ^ atom lang a
+      | _ -> "!" ^ atom lang a)
+  | CallFree (f, args) ->
+      Printf.sprintf "%s(%s)" (method_name lang f)
+        (String.concat ", " (List.map go args))
+  | Method (r, m, args) ->
+      Printf.sprintf "%s.%s(%s)" (atom lang r) m
+        (String.concat ", " (List.map go args))
+  | Len c -> (
+      match lang with
+      | Js -> atom lang c ^ ".length"
+      | Python -> Printf.sprintf "len(%s)" (go c)
+      | Java -> atom lang c ^ ".size()"
+      | Csharp -> atom lang c ^ ".Count")
+  | Idx (c, i) -> Printf.sprintf "%s[%s]" (atom lang c) (go i)
+  | StrCat (a, b) -> Printf.sprintf "%s + %s" (atom lang a) (atom lang b)
+  | NewList ty -> (
+      match lang with
+      | Js | Python -> "[]"
+      | Java -> (
+          match ty with
+          | Role.TListStr -> "new ArrayList<String>()"
+          | _ -> "new ArrayList<Integer>()")
+      | Csharp -> (
+          match ty with
+          | Role.TListStr -> "new List<string>()"
+          | _ -> "new List<int>()"))
+  | NewObj (c, args) -> (
+      match lang with
+      | Python -> Printf.sprintf "%s(%s)" c (String.concat ", " (List.map go args))
+      | _ ->
+          Printf.sprintf "new %s(%s)" c (String.concat ", " (List.map go args)))
+
+and atom lang e =
+  match e with
+  | Bin _ | StrCat _ | Not _ -> "(" ^ expr lang e ^ ")"
+  | _ -> expr lang e
+
+let decl_kw lang v =
+  match lang with
+  | Js -> "var "
+  | Python -> ""
+  | Java -> ty_java v.v_ty ^ " "
+  | Csharp -> ty_cs v.v_ty ^ " "
+
+let rec stmt lang buf ~indent s =
+  let pad = String.make indent ' ' in
+  let step = if lang = Python then 4 else 2 in
+  let line txt = Buffer.add_string buf (pad ^ txt ^ "\n") in
+  let block stmts =
+    if stmts = [] && lang = Python then
+      Buffer.add_string buf (String.make (indent + step) ' ' ^ "pass\n")
+    else List.iter (stmt lang buf ~indent:(indent + step)) stmts
+  in
+  let braces header stmts footer =
+    match lang with
+    | Python ->
+        line (header ^ ":");
+        block stmts
+    | _ ->
+        line (header ^ " {");
+        block stmts;
+        line ("}" ^ footer)
+  in
+  match s with
+  | Let (v, e) -> (
+      match lang with
+      | Python -> line (Printf.sprintf "%s = %s" v.v_name (expr lang e))
+      | _ -> line (Printf.sprintf "%s%s = %s;" (decl_kw lang v) v.v_name (expr lang e)))
+  | SetV (v, e) -> (
+      match lang with
+      | Python -> line (Printf.sprintf "%s = %s" v.v_name (expr lang e))
+      | _ -> line (Printf.sprintf "%s = %s;" v.v_name (expr lang e)))
+  | AugAdd (v, e) -> (
+      match lang with
+      | Python -> line (Printf.sprintf "%s += %s" v.v_name (expr lang e))
+      | _ -> line (Printf.sprintf "%s += %s;" v.v_name (expr lang e)))
+  | Incr v -> (
+      match lang with
+      | Python -> line (Printf.sprintf "%s += 1" v.v_name)
+      | _ -> line (Printf.sprintf "%s++;" v.v_name))
+  | If (c, t, e) -> (
+      match lang with
+      | Python ->
+          line (Printf.sprintf "if %s:" (expr lang c));
+          block t;
+          if e <> [] then begin
+            line "else:";
+            block e
+          end
+      | _ ->
+          line (Printf.sprintf "if (%s) {" (expr lang c));
+          block t;
+          if e <> [] then begin
+            line "} else {";
+            block e
+          end;
+          line "}")
+  | While (c, b) -> (
+      match lang with
+      | Python -> braces (Printf.sprintf "while %s" (expr lang c)) b ""
+      | _ -> braces (Printf.sprintf "while (%s)" (expr lang c)) b "")
+  | ForEach (v, coll, b) -> (
+      match lang with
+      | Js -> braces (Printf.sprintf "for (var %s in %s)" v.v_name (expr lang coll)) b ""
+      | Python -> braces (Printf.sprintf "for %s in %s" v.v_name (expr lang coll)) b ""
+      | Java ->
+          braces
+            (Printf.sprintf "for (%s %s : %s)"
+               (match v.v_ty with Role.TStr -> "String" | _ -> "int")
+               v.v_name (expr lang coll))
+            b ""
+      | Csharp ->
+          braces
+            (Printf.sprintf "foreach (%s %s in %s)"
+               (match v.v_ty with Role.TStr -> "string" | _ -> "int")
+               v.v_name (expr lang coll))
+            b "")
+  | ForRange (v, bound, b) -> (
+      match lang with
+      | Js ->
+          braces
+            (Printf.sprintf "for (var %s = 0; %s < %s; %s++)" v.v_name v.v_name
+               (expr lang bound) v.v_name)
+            b ""
+      | Python ->
+          braces (Printf.sprintf "for %s in range(%s)" v.v_name (expr lang bound)) b ""
+      | Java | Csharp ->
+          braces
+            (Printf.sprintf "for (int %s = 0; %s < %s; %s++)" v.v_name v.v_name
+               (expr lang bound) v.v_name)
+            b "")
+  | CallStmt e -> (
+      match lang with
+      | Python -> line (expr lang e)
+      | _ -> line (expr lang e ^ ";"))
+  | Append (v, e) -> (
+      match lang with
+      | Js -> line (Printf.sprintf "%s.push(%s);" v.v_name (expr lang e))
+      | Python -> line (Printf.sprintf "%s.append(%s)" v.v_name (expr lang e))
+      | Java -> line (Printf.sprintf "%s.add(%s);" v.v_name (expr lang e))
+      | Csharp -> line (Printf.sprintf "%s.Add(%s);" v.v_name (expr lang e)))
+  | Ret e -> (
+      match lang with
+      | Python -> line ("return " ^ expr lang e)
+      | _ -> line ("return " ^ expr lang e ^ ";"))
+  | RetNone -> (
+      match lang with Python -> line "return" | _ -> line "return;")
+  | TryCatch (body, err, handler) -> (
+      match lang with
+      | Js ->
+          line "try {";
+          block body;
+          line (Printf.sprintf "} catch (%s) {" err.v_name);
+          block handler;
+          line "}"
+      | Python ->
+          line "try:";
+          block body;
+          line (Printf.sprintf "except Exception as %s:" err.v_name);
+          block handler
+      | Java | Csharp ->
+          line "try {";
+          block body;
+          line (Printf.sprintf "} catch (Exception %s) {" err.v_name);
+          block handler;
+          line "}")
+  | ThrowNew (cls, args) -> (
+      let args_s = String.concat ", " (List.map (expr lang) args) in
+      match lang with
+      | Js -> line (Printf.sprintf "throw new %s(%s);" cls args_s)
+      | Python -> line (Printf.sprintf "raise %s(%s)" cls args_s)
+      | Java | Csharp -> line (Printf.sprintf "throw new %s(%s);" cls args_s))
+  | Log e -> (
+      match lang with
+      | Js -> line (Printf.sprintf "console.log(%s);" (expr lang e))
+      | Python -> line (Printf.sprintf "print(%s)" (expr lang e))
+      | Java -> line (Printf.sprintf "System.out.println(%s);" (expr lang e))
+      | Csharp -> line (Printf.sprintf "Console.WriteLine(%s);" (expr lang e)))
+
+let func lang buf ~indent f =
+  let pad = String.make indent ' ' in
+  let name = method_name lang f.f_name in
+  let params lang =
+    String.concat ", "
+      (List.map
+         (fun p ->
+           match lang with
+           | Js | Python -> p.v_name
+           | Java -> ty_java p.v_ty ^ " " ^ p.v_name
+           | Csharp -> ty_cs p.v_ty ^ " " ^ p.v_name)
+         f.f_params)
+  in
+  match lang with
+  | Js ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sfunction %s(%s) {\n" pad name (params lang));
+      List.iter (stmt lang buf ~indent:(indent + 2)) f.f_body;
+      Buffer.add_string buf (pad ^ "}\n")
+  | Python ->
+      Buffer.add_string buf (Printf.sprintf "%sdef %s(%s):\n" pad name (params lang));
+      if f.f_body = [] then Buffer.add_string buf (pad ^ "    pass\n")
+      else List.iter (stmt lang buf ~indent:(indent + 4)) f.f_body;
+      Buffer.add_string buf "\n"
+  | Java ->
+      let ret = match f.f_ret with Some t -> ty_java t | None -> "void" in
+      Buffer.add_string buf
+        (Printf.sprintf "%spublic %s %s(%s) {\n" pad ret name (params lang));
+      List.iter (stmt lang buf ~indent:(indent + 2)) f.f_body;
+      Buffer.add_string buf (pad ^ "}\n")
+  | Csharp ->
+      let ret = match f.f_ret with Some t -> ty_cs t | None -> "void" in
+      Buffer.add_string buf
+        (Printf.sprintf "%spublic %s %s(%s) {\n" pad ret name (params lang));
+      List.iter (stmt lang buf ~indent:(indent + 2)) f.f_body;
+      Buffer.add_string buf (pad ^ "}\n")
+
+let class_name_of file_name =
+  String.split_on_char '_' file_name
+  |> List.map String.capitalize_ascii
+  |> String.concat ""
+
+let render lang (file : Ir.file) =
+  let buf = Buffer.create 1024 in
+  (match lang with
+  | Js -> List.iter (func lang buf ~indent:0) file.funcs
+  | Python ->
+      List.iter (func lang buf ~indent:0) file.funcs
+  | Java ->
+      Buffer.add_string buf "import java.util.List;\n";
+      Buffer.add_string buf "import java.util.ArrayList;\n";
+      Buffer.add_string buf
+        (Printf.sprintf "class %s {\n" (class_name_of file.file_name));
+      List.iter (func lang buf ~indent:2) file.funcs;
+      Buffer.add_string buf "}\n"
+  | Csharp ->
+      Buffer.add_string buf "using System;\n";
+      Buffer.add_string buf "using System.Collections.Generic;\n";
+      Buffer.add_string buf
+        (Printf.sprintf "class %s {\n" (class_name_of file.file_name));
+      List.iter (func lang buf ~indent:2) file.funcs;
+      Buffer.add_string buf "}\n");
+  Buffer.contents buf

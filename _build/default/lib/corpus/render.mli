@@ -1,0 +1,17 @@
+(** Rendering IR files to idiomatic source per language.
+
+    The generator emits each IR file in all four languages; each
+    language's front-end then parses its rendering back, so the whole
+    parse → lower → extract pipeline is exercised exactly as it would
+    be on real corpora. Function names are stored in the IR as
+    lower-case sub-tokens ([count_items]) and cased per language:
+    camelCase for JavaScript/Java, snake_case for Python, PascalCase
+    for C#. *)
+
+type lang = Js | Java | Python | Csharp
+
+val all_langs : lang list
+val lang_name : lang -> string
+val file_extension : lang -> string
+val method_name : lang -> string -> string
+val render : lang -> Ir.file -> string

@@ -1,0 +1,119 @@
+type t =
+  | Flag
+  | Counter
+  | Index
+  | Collection
+  | Element
+  | Result
+  | Error
+  | Request
+  | Response
+  | Client
+  | Url
+  | Callback
+  | Message
+  | Name
+  | Size
+  | Temp
+  | Limit
+  | Acc
+  | Target
+  | Key
+  | Value
+  | Found
+  | Valid
+
+type ty = TInt | TBool | TStr | TDouble | TListInt | TListStr | TMapStrInt | TObj of string
+
+(* Distributions are peaked the way real corpora are — one dominant
+   convention plus a tail of synonyms (the tail is what produces the
+   paper's near-miss predictions: message vs msg, complete vs done). *)
+let names = function
+  | Flag -> [ ("done", 12); ("finished", 2); ("stop", 1); ("complete", 1) ]
+  | Found -> [ ("found", 12); ("seen", 2); ("exists", 1); ("present", 1) ]
+  | Valid -> [ ("valid", 12); ("ok", 2); ("enabled", 1); ("active", 1) ]
+  | Counter -> [ ("count", 12); ("counter", 2); ("total", 1); ("num", 1) ]
+  | Index -> [ ("i", 12); ("j", 2); ("index", 2); ("idx", 1) ]
+  | Collection ->
+      [ ("items", 10); ("values", 3); ("list", 1); ("array", 1); ("arr", 1) ]
+  | Element -> [ ("item", 10); ("value", 3); ("elem", 1); ("el", 1) ]
+  | Result -> [ ("result", 12); ("res", 2); ("ret", 1); ("out", 1) ]
+  | Error -> [ ("err", 10); ("e", 3); ("error", 2); ("ex", 1) ]
+  | Request -> [ ("request", 10); ("req", 3) ]
+  | Response -> [ ("response", 10); ("res", 2); ("resp", 1) ]
+  | Client -> [ ("client", 12); ("conn", 1); ("http", 1) ]
+  | Url -> [ ("url", 12); ("uri", 1); ("endpoint", 1); ("link", 1) ]
+  | Callback -> [ ("callback", 10); ("cb", 2); ("handler", 1); ("fn", 1) ]
+  | Message -> [ ("msg", 10); ("message", 3); ("text", 1) ]
+  | Name -> [ ("name", 12); ("id", 2); ("label", 1); ("title", 1) ]
+  | Size -> [ ("size", 10); ("len", 2); ("length", 2) ]
+  | Temp -> [ ("tmp", 10); ("temp", 2); ("t", 1) ]
+  | Limit -> [ ("limit", 10); ("max", 3); ("threshold", 1) ]
+  | Acc -> [ ("sum", 10); ("total", 3); ("acc", 1) ]
+  | Target -> [ ("target", 10); ("value", 2); ("expected", 1) ]
+  | Key -> [ ("key", 12); ("k", 1); ("field", 1) ]
+  | Value -> [ ("value", 10); ("val", 2); ("v", 2); ("x", 1) ]
+
+let all_names r = List.map fst (names r)
+
+let ty = function
+  | Flag | Found | Valid -> TBool
+  | Counter | Index | Size | Limit | Acc | Target -> TInt
+  | Collection -> TListInt
+  | Element | Value -> TInt
+  | Result -> TInt
+  | Error -> TObj "Exception"
+  | Request -> TObj "HttpRequest"
+  | Response -> TObj "HttpResponse"
+  | Client -> TObj "HttpClient"
+  | Url | Message | Name | Key -> TStr
+  | Callback -> TObj "Callback"
+  | Temp -> TInt
+
+let pick_name rng r =
+  let dist = names r in
+  let total = List.fold_left (fun a (_, w) -> a + w) 0 dist in
+  let x = Random.State.int rng total in
+  let rec go acc = function
+    | [] -> fst (List.hd dist)
+    | (n, w) :: rest -> if x < acc + w then n else go (acc + w) rest
+  in
+  go 0 dist
+
+let to_string = function
+  | Flag -> "flag"
+  | Counter -> "counter"
+  | Index -> "index"
+  | Collection -> "collection"
+  | Element -> "element"
+  | Result -> "result"
+  | Error -> "error"
+  | Request -> "request"
+  | Response -> "response"
+  | Client -> "client"
+  | Url -> "url"
+  | Callback -> "callback"
+  | Message -> "message"
+  | Name -> "name"
+  | Size -> "size"
+  | Temp -> "temp"
+  | Limit -> "limit"
+  | Acc -> "acc"
+  | Target -> "target"
+  | Key -> "key"
+  | Value -> "value"
+  | Found -> "found"
+  | Valid -> "valid"
+
+let all =
+  [
+    Flag; Counter; Index; Collection; Element; Result; Error; Request;
+    Response; Client; Url; Callback; Message; Name; Size; Temp; Limit; Acc;
+    Target; Key; Value; Found; Valid;
+  ]
+
+let compound rng r base =
+  let nouns = [ "item"; "value"; "element"; "record"; "entry"; "node" ] in
+  ignore r;
+  let noun = List.nth nouns (Random.State.int rng (List.length nouns)) in
+  noun ^ String.capitalize_ascii base

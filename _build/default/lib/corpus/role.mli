@@ -1,0 +1,52 @@
+(** Semantic roles for synthetic program elements.
+
+    A role is *what a variable is for*; each role carries a
+    distribution of synonymous names (the source of the paper's
+    semantic-similarity clusters: [done ∼ finished ∼ stop],
+    [res ∼ result], [i ∼ j ∼ index], Table 4) and a declared type for
+    the typed languages. Name distributions deliberately overlap a
+    little across roles (e.g. [res] is both a result and a response),
+    so the learners face realistic ambiguity. *)
+
+type t =
+  | Flag
+  | Counter
+  | Index
+  | Collection
+  | Element
+  | Result
+  | Error
+  | Request
+  | Response
+  | Client
+  | Url
+  | Callback
+  | Message
+  | Name
+  | Size
+  | Temp
+  | Limit
+  | Acc
+  | Target
+  | Key
+  | Value
+  | Found  (** Search flag, set inside a for-each. *)
+  | Valid  (** Validity toggle, cleared inside a plain conditional. *)
+
+type ty = TInt | TBool | TStr | TDouble | TListInt | TListStr | TMapStrInt | TObj of string
+
+val names : t -> (string * int) list
+(** Weighted name distribution, e.g. [Flag → (done, 4); (finished, 2);
+    (stop, 1); ...]. *)
+
+val all_names : t -> string list
+val ty : t -> ty
+val pick_name : Random.State.t -> t -> string
+val to_string : t -> string
+val all : t list
+
+val compound : Random.State.t -> t -> string -> string
+(** Java-style compound variant of a sampled name ([count] →
+    [itemCount], [resultCount]...), used to reproduce the paper's
+    observation that Java names are amalgamations. The second argument
+    is a noun hint. *)

@@ -1,0 +1,458 @@
+open Ir
+
+type alloc = Role.t -> Ir.var
+
+type instantiated = {
+  stmts : Ir.stmt list;
+  params : Ir.var list;
+  ret : (Role.ty * Ir.stmt) option;
+  verb : string;
+  noun : string;
+}
+
+type t = { template_name : string; instantiate : alloc -> Random.State.t -> instantiated }
+
+let pick_of rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* Weighted choice: naming conventions are peaked, like real corpora. *)
+let pick_w rng xs =
+  let total = List.fold_left (fun a (_, w) -> a + w) 0 xs in
+  let x = Random.State.int rng total in
+  let rec go acc = function
+    | [] -> fst (List.hd xs)
+    | (v, w) :: rest -> if x < acc + w then v else go (acc + w) rest
+  in
+  go 0 xs
+
+(* The Fig. 1 pattern: a boolean flag guards a polling loop and is set
+   inside a conditional. Long-range: only paths of length >= 5 connect
+   the loop guard to the assignment. *)
+let flag_loop =
+  {
+    template_name = "flag-loop";
+    instantiate =
+      (fun alloc rng ->
+        let flag = alloc Role.Flag in
+        let step = pick_of rng [ "doSomething"; "step"; "poll"; "tick" ] in
+        let cond = pick_of rng [ "someCondition"; "check"; "isReady"; "shouldStop" ] in
+        {
+          stmts =
+            [
+              Let (flag, Bool false);
+              While
+                ( Not (V flag),
+                  [
+                    CallStmt (CallFree (step, []));
+                    If (CallFree (cond, []), [ SetV (flag, Bool true) ], []);
+                  ] );
+            ];
+          params = [];
+          ret = None;
+          verb = pick_w rng [ ("wait", 8); ("run", 1); ("loop", 1) ];
+          noun = pick_w rng [ ("until_done", 8); ("steps", 1); ("tasks", 1) ];
+        });
+  }
+
+(* Search flag: locally identical to the flag loop ([x = false] ...
+   [x = true] inside an [If]) — only the enclosing loop kind (ForEach
+   vs While) on the path distinguishes [found] from [done]. Statement-
+   local representations cannot tell them apart (the paper's Fig. 3
+   argument). *)
+let found_search =
+  {
+    template_name = "found-search";
+    instantiate =
+      (fun alloc rng ->
+        let found = alloc Role.Found in
+        let coll = alloc Role.Collection in
+        let elem = alloc Role.Element in
+        let target = alloc Role.Target in
+        {
+          stmts =
+            [
+              Let (found, Bool false);
+              ForEach
+                ( elem,
+                  V coll,
+                  [
+                    If (Bin ("==", V elem, V target), [ SetV (found, Bool true) ], []);
+                  ] );
+            ];
+          params = [ coll; target ];
+          ret = Some (Role.TBool, Ret (V found));
+          verb = pick_w rng [ ("contains", 8); ("has", 1); ("find", 1) ];
+          noun = pick_w rng [ ("target", 8); ("item", 1); ("match", 1) ];
+        });
+  }
+
+(* Validity toggle: bool initialized and flipped inside a bare [If] —
+   a third locally-identical bool pattern, with no loop at all. *)
+let valid_toggle =
+  {
+    template_name = "valid-toggle";
+    instantiate =
+      (fun alloc rng ->
+        let valid = alloc Role.Valid in
+        let value = alloc Role.Value in
+        let limit = alloc Role.Limit in
+        {
+          stmts =
+            [
+              Let (valid, Bool true);
+              If (Bin (">", V value, V limit), [ SetV (valid, Bool false) ], []);
+            ];
+          params = [ value; limit ];
+          ret = Some (Role.TBool, Ret (V valid));
+          verb = pick_w rng [ ("is", 8); ("check", 1) ];
+          noun = pick_w rng [ ("valid", 8); ("allowed", 1); ("legal", 1) ];
+        });
+  }
+
+(* The Fig. 9 pattern: count elements equal to a target. *)
+let count_matches =
+  {
+    template_name = "count-matches";
+    instantiate =
+      (fun alloc rng ->
+        let count = alloc Role.Counter in
+        let coll = alloc Role.Collection in
+        let elem = alloc Role.Element in
+        let target = alloc Role.Target in
+        (* The increment idiom varies ([count++] / [count += 1]), so the
+           local token window does not identify the role by itself. *)
+        let bump =
+          if Random.State.bool rng then Incr count else AugAdd (count, Int 1)
+        in
+        {
+          stmts =
+            [
+              Let (count, Int 0);
+              ForEach
+                ( elem,
+                  V coll,
+                  [ If (Bin ("==", V elem, V target), [ bump ], []) ] );
+            ];
+          params = [ coll; target ];
+          ret = Some (Role.TInt, Ret (V count));
+          verb = pick_w rng [ ("count", 8); ("get", 1); ("num", 1) ];
+          noun = pick_w rng [ ("matches", 8); ("items", 1); ("values", 1) ];
+        });
+  }
+
+let accumulate =
+  {
+    template_name = "accumulate";
+    instantiate =
+      (fun alloc rng ->
+        let acc = alloc Role.Acc in
+        let coll = alloc Role.Collection in
+        let elem = alloc Role.Element in
+        let add =
+          if Random.State.bool rng then AugAdd (acc, V elem)
+          else SetV (acc, Bin ("+", V acc, V elem))
+        in
+        {
+          stmts = [ Let (acc, Int 0); ForEach (elem, V coll, [ add ]) ];
+          params = [ coll ];
+          ret = Some (Role.TInt, Ret (V acc));
+          verb = pick_w rng [ ("sum", 8); ("compute", 1); ("add", 1) ];
+          noun = pick_w rng [ ("values", 8); ("total", 1); ("items", 1) ];
+        });
+  }
+
+let index_scan =
+  {
+    template_name = "index-scan";
+    instantiate =
+      (fun alloc rng ->
+        let i = alloc Role.Index in
+        let coll = alloc Role.Collection in
+        let elem = alloc Role.Element in
+        let action = pick_of rng [ "process"; "handle"; "use"; "emit" ] in
+        {
+          stmts =
+            [
+              ForRange
+                ( i,
+                  Len (V coll),
+                  [
+                    Let (elem, Idx (V coll, V i));
+                    CallStmt (CallFree (action, [ V elem ]));
+                  ] );
+            ];
+          params = [ coll ];
+          ret = None;
+          verb = pick_w rng [ ("process", 8); ("handle", 1); ("scan", 1) ];
+          noun = pick_w rng [ ("items", 8); ("entries", 1); ("elements", 1) ];
+        });
+  }
+
+let find_max =
+  {
+    template_name = "find-max";
+    instantiate =
+      (fun alloc rng ->
+        let best = alloc Role.Result in
+        let coll = alloc Role.Collection in
+        let elem = alloc Role.Element in
+        {
+          stmts =
+            [
+              Let (best, Idx (V coll, Int 0));
+              ForEach
+                ( elem,
+                  V coll,
+                  [ If (Bin (">", V elem, V best), [ SetV (best, V elem) ], []) ]
+                );
+            ];
+          params = [ coll ];
+          ret = Some (Role.TInt, Ret (V best));
+          verb = pick_w rng [ ("find", 8); ("get", 1); ("compute", 1) ];
+          noun = pick_w rng [ ("max", 8); ("largest", 1); ("best", 1) ];
+        });
+  }
+
+let filter_items =
+  {
+    template_name = "filter-items";
+    instantiate =
+      (fun alloc rng ->
+        let out = alloc Role.Result in
+        let out = { out with v_ty = Role.TListInt } in
+        let coll = alloc Role.Collection in
+        let elem = alloc Role.Element in
+        let limit = alloc Role.Limit in
+        {
+          stmts =
+            [
+              Let (out, NewList Role.TListInt);
+              ForEach
+                ( elem,
+                  V coll,
+                  [ If (Bin (">", V elem, V limit), [ Append (out, V elem) ], []) ]
+                );
+            ];
+          params = [ coll; limit ];
+          ret = Some (Role.TListInt, Ret (V out));
+          verb = pick_w rng [ ("filter", 8); ("select", 1); ("keep", 1) ];
+          noun = pick_w rng [ ("items", 8); ("values", 1); ("matches", 1) ];
+        });
+  }
+
+let build_message =
+  {
+    template_name = "build-message";
+    instantiate =
+      (fun alloc rng ->
+        let msg = alloc Role.Message in
+        let name = alloc Role.Name in
+        let greeting = pick_of rng [ "hello, "; "processing "; "saving "; "loading " ] in
+        {
+          stmts = [ Let (msg, StrCat (Str greeting, V name)); Log (V msg) ];
+          params = [ name ];
+          ret = Some (Role.TStr, Ret (V msg));
+          verb = pick_w rng [ ("build", 8); ("format", 1); ("make", 1) ];
+          noun = pick_w rng [ ("message", 8); ("text", 1); ("label", 1) ];
+        });
+  }
+
+(* String-heavy template: joins a list of names into one string. Keeps
+   the full-type task's java.lang.String share realistic (the paper's
+   naive String baseline scores 24.1%). *)
+let join_names =
+  {
+    template_name = "join-names";
+    instantiate =
+      (fun alloc rng ->
+        let out = alloc Role.Message in
+        let coll = { (alloc Role.Collection) with v_ty = Role.TListStr } in
+        let name = { (alloc Role.Name) with v_ty = Role.TStr } in
+        let sep = pick_of rng [ ", "; " "; ";" ] in
+        {
+          stmts =
+            [
+              Let (out, Str "");
+              ForEach
+                ( name,
+                  V coll,
+                  [ SetV (out, StrCat (StrCat (V out, Str sep), V name)) ] );
+              Log (V out);
+            ];
+          params = [ coll ];
+          ret = Some (Role.TStr, Ret (V out));
+          verb = pick_w rng [ ("join", 8); ("concat", 1); ("merge", 1) ];
+          noun = pick_w rng [ ("names", 8); ("parts", 1); ("words", 1) ];
+        });
+  }
+
+let swap_values =
+  {
+    template_name = "swap";
+    instantiate =
+      (fun alloc rng ->
+        let tmp = alloc Role.Temp in
+        let a = alloc Role.Value in
+        let b = alloc Role.Value in
+        {
+          stmts = [ Let (tmp, V a); SetV (a, V b); SetV (b, V tmp) ];
+          params = [ a; b ];
+          ret = None;
+          verb = pick_w rng [ ("swap", 8); ("exchange", 1) ];
+          noun = pick_w rng [ ("values", 8); ("pair", 1) ];
+        });
+  }
+
+let send_request =
+  {
+    template_name = "send-request";
+    instantiate =
+      (fun alloc rng ->
+        let client = alloc Role.Client in
+        let request = alloc Role.Request in
+        let response = alloc Role.Response in
+        let url = alloc Role.Url in
+        {
+          stmts =
+            [
+              Let (client, NewObj ("HttpClient", []));
+              Let (request, NewObj ("HttpRequest", [ V url ]));
+              Let (response, Method (V client, "execute", [ V request ]));
+              If
+                ( Method (V response, "failed", []),
+                  [ ThrowNew ("Exception", [ V url ]) ],
+                  [] );
+            ];
+          params = [ url ];
+          ret = None;
+          verb = pick_w rng [ ("send", 8); ("fetch", 1); ("post", 1) ];
+          noun = pick_w rng [ ("request", 8); ("data", 1); ("payload", 1) ];
+        });
+  }
+
+(* The Fig. 8 pattern: open/send on a request object with a callback. *)
+let open_send =
+  {
+    template_name = "open-send";
+    instantiate =
+      (fun alloc rng ->
+        let request = alloc Role.Request in
+        let url = alloc Role.Url in
+        let callback = alloc Role.Callback in
+        {
+          stmts =
+            [
+              CallStmt (Method (V request, "open", [ Str "GET"; V url; Bool false ]));
+              CallStmt (Method (V request, "send", [ V callback ]));
+            ];
+          params = [ url; request; callback ];
+          ret = None;
+          verb = pick_w rng [ ("load", 8); ("get", 1) ];
+          noun = pick_w rng [ ("resource", 8); ("page", 1) ];
+        });
+  }
+
+let try_log =
+  {
+    template_name = "try-log";
+    instantiate =
+      (fun alloc rng ->
+        let err = alloc Role.Error in
+        let risky = pick_of rng [ "risky"; "connect"; "save"; "load" ] in
+        {
+          stmts =
+            [
+              TryCatch
+                ( [ CallStmt (CallFree (risky, [])) ],
+                  err,
+                  [ Log (V err) ] );
+            ];
+          params = [];
+          ret = None;
+          verb = pick_w rng [ ("try", 8); ("safe", 1); ("guard", 1) ];
+          noun = pick_w rng [ ("call", 8); ("action", 1); ("task", 1) ];
+        });
+  }
+
+let size_check =
+  {
+    template_name = "size-check";
+    instantiate =
+      (fun alloc rng ->
+        let size = alloc Role.Size in
+        let coll = alloc Role.Collection in
+        let limit = alloc Role.Limit in
+        (* Two idioms: direct length, or a counting loop. The counting
+           loop is token-identical to count-matches' inner increment —
+           they differ only in whether an [If] lies on the path
+           (the paper's Fig. 3 separability argument). *)
+        let compute =
+          if Random.State.bool rng then [ Let (size, Len (V coll)) ]
+          else
+            let elem = alloc Role.Element in
+            [
+              Let (size, Int 0);
+              ForEach
+                ( elem,
+                  V coll,
+                  [ (if Random.State.bool rng then Incr size
+                     else AugAdd (size, Int 1)) ] );
+            ]
+        in
+        {
+          stmts =
+            compute
+            @ [
+                If
+                  ( Bin (">", V size, V limit),
+                    [ ThrowNew ("IllegalArgumentException", [ V size ]) ],
+                    [] );
+              ];
+          params = [ coll; limit ];
+          ret = Some (Role.TInt, Ret (V size));
+          verb = pick_w rng [ ("check", 8); ("validate", 1); ("ensure", 1) ];
+          noun = pick_w rng [ ("size", 8); ("bounds", 1); ("capacity", 1) ];
+        });
+  }
+
+let early_return =
+  {
+    template_name = "early-return";
+    instantiate =
+      (fun alloc rng ->
+        let value = alloc Role.Value in
+        let limit = alloc Role.Limit in
+        {
+          stmts = [ If (Bin (">", V value, V limit), [ Ret (V limit) ], []) ];
+          params = [ value; limit ];
+          ret = Some (Role.TInt, Ret (V value));
+          verb = pick_w rng [ ("clamp", 8); ("cap", 1); ("limit", 1) ];
+          noun = pick_w rng [ ("value", 8); ("amount", 1); ("input", 1) ];
+        });
+  }
+
+let all =
+  [
+    flag_loop; found_search; valid_toggle; count_matches; accumulate;
+    index_scan; find_max; filter_items; build_message; join_names; swap_values;
+    send_request; open_send; try_log; size_check; early_return;
+  ]
+
+(* Template mix. String-producing templates are weighted up so the
+   Java type distribution has a realistic java.lang.String share; the
+   control-flow-discriminated patterns (the bool trio and the counting
+   loops, whose statement-level views coincide) are weighted up because
+   such long-range patterns are exactly what real corpora are full of —
+   and what Fig. 3 shows statement-local representations cannot
+   separate. *)
+let weighted =
+  List.map
+    (fun t ->
+      match t.template_name with
+      | "build-message" | "join-names" -> (t, 3)
+      | "flag-loop" | "found-search" | "count-matches" | "size-check" -> (t, 3)
+      | "valid-toggle" | "accumulate" -> (t, 2)
+      | _ -> (t, 1))
+    all
+
+let by_name n = List.find_opt (fun t -> String.equal t.template_name n) all
+let pick rng = pick_w rng weighted

@@ -1,0 +1,31 @@
+(** Statement templates: the syntactic usage patterns that give roles
+    their learnable signal.
+
+    Each template instantiates to a statement list over freshly
+    allocated role-variables, a set of variables that should become
+    function parameters, an optional return, and a (verb, noun) pair
+    used to derive the function's name — so method names correlate
+    with body structure, as they do in real code. The catalogue covers
+    the paper's running examples: the Fig. 1 flag loop, the Fig. 9
+    count loop, the Fig. 8 request/send pattern, accumulation,
+    index scans, find-max, filtering, try/catch logging, message
+    building, swaps, size checks and early returns. *)
+
+type alloc = Role.t -> Ir.var
+(** Fresh-variable allocator; names are unique within one function. *)
+
+type instantiated = {
+  stmts : Ir.stmt list;
+  params : Ir.var list;
+  ret : (Role.ty * Ir.stmt) option;
+      (** Trailing return statement and its type, when the template
+          produces a value. *)
+  verb : string;
+  noun : string;
+}
+
+type t = { template_name : string; instantiate : alloc -> Random.State.t -> instantiated }
+
+val all : t list
+val by_name : string -> t option
+val pick : Random.State.t -> t

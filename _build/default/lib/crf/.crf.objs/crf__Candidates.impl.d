@@ -1,0 +1,1 @@
+lib/crf/candidates.ml: Array Graph Hashtbl Int List Option String

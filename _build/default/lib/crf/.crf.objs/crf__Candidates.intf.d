@@ -1,0 +1,1 @@
+lib/crf/candidates.mli: Graph

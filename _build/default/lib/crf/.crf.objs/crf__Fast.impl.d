@@ -1,0 +1,1 @@
+lib/crf/fast.ml: Array Candidates Float Fun Graph Hashtbl List Model Option Random

@@ -1,0 +1,1 @@
+lib/crf/fast.mli: Candidates Graph Model

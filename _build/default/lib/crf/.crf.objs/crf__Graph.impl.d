@@ -1,0 +1,1 @@
+lib/crf/graph.ml: Array Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/crf/graph.mli: Format

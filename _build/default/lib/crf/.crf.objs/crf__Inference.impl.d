@@ -1,0 +1,1 @@
+lib/crf/inference.ml: Array Candidates Float Fun Graph List Model Random String

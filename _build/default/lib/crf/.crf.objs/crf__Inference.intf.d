@@ -1,0 +1,1 @@
+lib/crf/inference.mli: Candidates Graph Model

@@ -1,0 +1,1 @@
+lib/crf/model.ml: Array Graph Hashtbl List

@@ -1,0 +1,1 @@
+lib/crf/model.mli: Graph

@@ -1,0 +1,1 @@
+lib/crf/serialize.ml: Buffer Candidates Char Fast Fun Inference List Printf String Train

@@ -1,0 +1,1 @@
+lib/crf/serialize.mli: Train

@@ -1,0 +1,1 @@
+lib/crf/train.ml: Array Candidates Fast Graph Inference List Model String

@@ -1,0 +1,1 @@
+lib/crf/train.mli: Candidates Fast Graph Inference Model

@@ -1,0 +1,164 @@
+type counts = (string, int) Hashtbl.t
+
+type t = {
+  unary : (string, counts) Hashtbl.t;  (** rel → label counts *)
+  pairwise : (string, counts) Hashtbl.t;
+      (** direction+rel+neighbor-label → label counts *)
+  global : counts;
+  mutable sorted_global : string list;  (** lazily computed, desc freq *)
+}
+
+let bump ?(by = 1) tbl key label =
+  let inner =
+    match Hashtbl.find_opt tbl key with
+    | Some h -> h
+    | None ->
+        let h = Hashtbl.create 4 in
+        Hashtbl.add tbl key h;
+        h
+  in
+  Hashtbl.replace inner label
+    (by + Option.value (Hashtbl.find_opt inner label) ~default:0)
+
+let pw_key ~dir ~rel ~other = String.concat "\x1f" [ dir; rel; other ]
+
+let build graphs =
+  let t =
+    {
+      unary = Hashtbl.create 1024;
+      pairwise = Hashtbl.create 4096;
+      global = Hashtbl.create 256;
+      sorted_global = [];
+    }
+  in
+  List.iter
+    (fun (g : Graph.t) ->
+      let gold = Graph.gold_assignment g in
+      Array.iter
+        (fun (n : Graph.node) ->
+          if n.Graph.kind = `Unknown then
+            Hashtbl.replace t.global n.Graph.gold
+              (1 + Option.value (Hashtbl.find_opt t.global n.Graph.gold) ~default:0))
+        g.Graph.nodes;
+      List.iter
+        (fun f ->
+          match f with
+          | Graph.Unary { n; rel; mult } ->
+              if g.Graph.nodes.(n).Graph.kind = `Unknown then
+                bump ~by:mult t.unary rel gold.(n)
+          | Graph.Pairwise { a; b; rel; mult } ->
+              if g.Graph.nodes.(a).Graph.kind = `Unknown then
+                bump ~by:mult t.pairwise (pw_key ~dir:"L" ~rel ~other:gold.(b)) gold.(a);
+              if g.Graph.nodes.(b).Graph.kind = `Unknown then
+                bump ~by:mult t.pairwise (pw_key ~dir:"R" ~rel ~other:gold.(a)) gold.(b))
+        g.Graph.factors)
+    graphs;
+  t
+
+let num_labels t = Hashtbl.length t.global
+
+let sorted_global t =
+  if t.sorted_global = [] && Hashtbl.length t.global > 0 then begin
+    let items = Hashtbl.fold (fun l c acc -> (l, c) :: acc) t.global [] in
+    t.sorted_global <-
+      List.map fst
+        (List.sort (fun (_, a) (_, b) -> Int.compare b a) items)
+  end;
+  t.sorted_global
+
+let global_top t k =
+  let rec take k = function
+    | [] -> []
+    | _ when k <= 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  take k (sorted_global t)
+
+let label_count t l = Option.value (Hashtbl.find_opt t.global l) ~default:0
+
+let for_node t (g : Graph.t) factors n ~max =
+  let scores : counts = Hashtbl.create 16 in
+  let merge inner =
+    Hashtbl.iter
+      (fun l c ->
+        Hashtbl.replace scores l
+          (c + Option.value (Hashtbl.find_opt scores l) ~default:0))
+      inner
+  in
+  List.iter
+    (fun f ->
+      match f with
+      | Graph.Unary { n = m; rel; _ } when m = n -> (
+          match Hashtbl.find_opt t.unary rel with
+          | Some inner -> merge inner
+          | None -> ())
+      | Graph.Pairwise { a; b; rel; _ } when a = n ->
+          if g.Graph.nodes.(b).Graph.kind = `Known then
+            Option.iter merge
+              (Hashtbl.find_opt t.pairwise
+                 (pw_key ~dir:"L" ~rel ~other:g.Graph.nodes.(b).Graph.gold))
+      | Graph.Pairwise { a; b; rel; _ } when b = n ->
+          if g.Graph.nodes.(a).Graph.kind = `Known then
+            Option.iter merge
+              (Hashtbl.find_opt t.pairwise
+                 (pw_key ~dir:"R" ~rel ~other:g.Graph.nodes.(a).Graph.gold))
+      | _ -> ())
+    factors;
+  let ranked =
+    Hashtbl.fold (fun l c acc -> (l, c) :: acc) scores []
+    |> List.sort (fun (la, a) (lb, b) ->
+           let c = Int.compare b a in
+           if c <> 0 then c else String.compare la lb)
+    |> List.map fst
+  in
+  (* Top up with global candidates to give inference room to move. *)
+  let seen = Hashtbl.create 16 in
+  let out = ref [] and count = ref 0 in
+  let push l =
+    if !count < max && not (Hashtbl.mem seen l) then begin
+      Hashtbl.add seen l ();
+      out := l :: !out;
+      incr count
+    end
+  in
+  List.iter push ranked;
+  (* Top up with globally frequent labels until the budget is full. *)
+  List.iter push (global_top t max);
+  List.rev !out
+
+type entry =
+  | E_global of string * int
+  | E_unary of string * string * int
+  | E_pairwise of string * string * int
+
+let entries t =
+  let acc = ref [] in
+  Hashtbl.iter (fun l c -> acc := E_global (l, c) :: !acc) t.global;
+  Hashtbl.iter
+    (fun rel inner ->
+      Hashtbl.iter (fun l c -> acc := E_unary (rel, l, c) :: !acc) inner)
+    t.unary;
+  Hashtbl.iter
+    (fun key inner ->
+      Hashtbl.iter (fun l c -> acc := E_pairwise (key, l, c) :: !acc) inner)
+    t.pairwise;
+  !acc
+
+let of_entries es =
+  let t =
+    {
+      unary = Hashtbl.create 1024;
+      pairwise = Hashtbl.create 4096;
+      global = Hashtbl.create 256;
+      sorted_global = [];
+    }
+  in
+  List.iter
+    (function
+      | E_global (l, c) ->
+          Hashtbl.replace t.global l
+            (c + Option.value (Hashtbl.find_opt t.global l) ~default:0)
+      | E_unary (rel, l, c) -> bump ~by:c t.unary rel l
+      | E_pairwise (key, l, c) -> bump ~by:c t.pairwise key l)
+    es;
+  t

@@ -1,0 +1,37 @@
+(** Candidate generation for MAP inference.
+
+    Nice2Predict-style pruning: instead of scoring the full label
+    vocabulary at every node, inference considers labels that
+    co-occurred in training with the node's unary relations, or with a
+    (relation, known-neighbor-label) pair, topped up with the globally
+    most frequent labels. *)
+
+type t
+
+val build : Graph.t list -> t
+(** Count co-occurrences over gold-labelled training graphs. *)
+
+val num_labels : t -> int
+
+val global_top : t -> int -> string list
+(** The [k] most frequent unknown-node labels in training. *)
+
+val for_node :
+  t -> Graph.t -> Graph.factor list -> int -> max:int -> string list
+(** [for_node t g touching n ~max] — candidate labels for node [n],
+    most promising first, deduplicated, at most [max]. Only [`Known]
+    neighbors contribute pairwise evidence (gold labels of unknown
+    neighbors are never consulted). Never empty if training data was
+    nonempty. *)
+
+val label_count : t -> string -> int
+
+(** {2 Serialization support} *)
+
+type entry =
+  | E_global of string * int  (** label, count *)
+  | E_unary of string * string * int  (** rel, label, count *)
+  | E_pairwise of string * string * int  (** packed key, label, count *)
+
+val entries : t -> entry list
+val of_entries : entry list -> t

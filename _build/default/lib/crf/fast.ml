@@ -1,0 +1,619 @@
+module Interner = struct
+  type t = {
+    tbl : (string, int) Hashtbl.t;
+    mutable rev : string array;
+    mutable n : int;
+  }
+
+  let create () = { tbl = Hashtbl.create 256; rev = Array.make 256 ""; n = 0 }
+
+  let intern t s =
+    match Hashtbl.find_opt t.tbl s with
+    | Some i -> i
+    | None ->
+        let i = t.n in
+        if i >= Array.length t.rev then begin
+          let rev = Array.make (2 * Array.length t.rev) "" in
+          Array.blit t.rev 0 rev 0 (Array.length t.rev);
+          t.rev <- rev
+        end;
+        t.rev.(i) <- s;
+        Hashtbl.add t.tbl s i;
+        t.n <- i + 1;
+        i
+
+  let to_string t i = t.rev.(i)
+  let size t = t.n
+end
+
+type egraph = {
+  graph : Graph.t;
+  unknown : int array;
+  is_unknown : bool array;
+  gold : int array;
+  pw_a : int array;
+  pw_b : int array;
+  pw_rel : int array;
+  pw_mult : float array;
+  un_n : int array;
+  un_rel : int array;
+  un_mult : float array;
+  touch_pw : int array array;
+  touch_un : int array array;
+}
+
+(* Weight keys are packed into single ints: labels get 18 bits each
+   and relations 24 (far above any realistic vocabulary here), so the
+   inner loop allocates nothing and hashes machine ints. *)
+let pw_key la rel lb = (la lsl 42) lor (rel lsl 18) lor lb
+let un_key l rel = (l lsl 24) lor rel
+
+type model = {
+  labels : Interner.t;
+  rels : Interner.t;
+  pw : (int, float) Hashtbl.t;
+  un : (int, float) Hashtbl.t;
+  bias : (int, float) Hashtbl.t;
+  (* averaging accumulators *)
+  pw_u : (int, float) Hashtbl.t;
+  un_u : (int, float) Hashtbl.t;
+  bias_u : (int, float) Hashtbl.t;
+  mutable steps : int;
+}
+
+let create () =
+  {
+    labels = Interner.create ();
+    rels = Interner.create ();
+    pw = Hashtbl.create 65536;
+    un = Hashtbl.create 16384;
+    bias = Hashtbl.create 512;
+    pw_u = Hashtbl.create 65536;
+    un_u = Hashtbl.create 16384;
+    bias_u = Hashtbl.create 512;
+    steps = 0;
+  }
+
+let labels m = m.labels
+
+let get tbl k = match Hashtbl.find_opt tbl k with Some v -> v | None -> 0.
+
+let add tbl k d =
+  if d <> 0. then
+    match Hashtbl.find_opt tbl k with
+    | Some v -> Hashtbl.replace tbl k (v +. d)
+    | None -> Hashtbl.add tbl k d
+
+let encode m (g : Graph.t) =
+  let n = Array.length g.Graph.nodes in
+  let gold =
+    Array.map (fun (nd : Graph.node) -> Interner.intern m.labels nd.Graph.gold)
+      g.Graph.nodes
+  in
+  let is_unknown =
+    Array.map (fun (nd : Graph.node) -> nd.Graph.kind = `Unknown) g.Graph.nodes
+  in
+  let unknown = Array.of_list (Graph.unknown_ids g) in
+  let pw = ref [] and un = ref [] in
+  List.iter
+    (fun f ->
+      match f with
+      | Graph.Pairwise { a; b; rel; mult } ->
+          pw := (a, b, Interner.intern m.rels rel, float_of_int mult) :: !pw
+      | Graph.Unary { n = i; rel; mult } ->
+          un := (i, Interner.intern m.rels rel, float_of_int mult) :: !un)
+    g.Graph.factors;
+  let pw = Array.of_list (List.rev !pw) and un = Array.of_list (List.rev !un) in
+  let pw_a = Array.map (fun (a, _, _, _) -> a) pw in
+  let pw_b = Array.map (fun (_, b, _, _) -> b) pw in
+  let pw_rel = Array.map (fun (_, _, r, _) -> r) pw in
+  let pw_mult = Array.map (fun (_, _, _, m) -> m) pw in
+  let un_n = Array.map (fun (i, _, _) -> i) un in
+  let un_rel = Array.map (fun (_, r, _) -> r) un in
+  let un_mult = Array.map (fun (_, _, m) -> m) un in
+  let touch_pw_l = Array.make n [] and touch_un_l = Array.make n [] in
+  Array.iteri
+    (fun fi a ->
+      touch_pw_l.(a) <- fi :: touch_pw_l.(a);
+      let b = pw_b.(fi) in
+      if b <> a then touch_pw_l.(b) <- fi :: touch_pw_l.(b))
+    pw_a;
+  Array.iteri (fun fi i -> touch_un_l.(i) <- fi :: touch_un_l.(i)) un_n;
+  {
+    graph = g;
+    unknown;
+    is_unknown;
+    gold;
+    pw_a;
+    pw_b;
+    pw_rel;
+    pw_mult;
+    un_n;
+    un_rel;
+    un_mult;
+    touch_pw = Array.map Array.of_list touch_pw_l;
+    touch_un = Array.map Array.of_list touch_un_l;
+  }
+
+let graph_of eg = eg.graph
+
+type init_style = No_init | Log_counts | Naive_bayes
+type trainer = Structured | Pseudolikelihood | Pl_gradient | Mixed
+
+type config = {
+  max_candidates : int;
+  max_passes : int;
+  seed : int;
+  iterations : int;
+  averaged : bool;
+  init : init_style;
+  init_scale : float;
+  init_min_count : int;
+  trainer : trainer;
+}
+
+let default_config =
+  {
+    max_candidates = 24;
+    max_passes = 8;
+    seed = 17;
+    iterations = 6;
+    averaged = true;
+    init = Log_counts;
+    init_scale = 0.5;
+    init_min_count = 2;
+    trainer = Pseudolikelihood;
+  }
+
+let node_score m eg n assignment l =
+  let s = ref (get m.bias l) in
+  Array.iter
+    (fun fi ->
+      let a = eg.pw_a.(fi) and b = eg.pw_b.(fi) in
+      let la = if a = n then l else assignment.(a) in
+      let lb = if b = n then l else assignment.(b) in
+      s := !s +. (eg.pw_mult.(fi) *. get m.pw (pw_key la eg.pw_rel.(fi) lb)))
+    eg.touch_pw.(n);
+  Array.iter
+    (fun fi -> s := !s +. (eg.un_mult.(fi) *. get m.un (un_key l eg.un_rel.(fi))))
+    eg.touch_un.(n);
+  !s
+
+let shuffle rng arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* Candidate label ids for every unknown node; gold appended when
+   [force_gold] (training), so the target is reachable but never wins
+   score ties. *)
+let candidate_ids cfg cands m eg ~force_gold =
+  let touching = Graph.touching eg.graph in
+  Array.map
+    (fun n ->
+      let cs =
+        Candidates.for_node cands eg.graph touching.(n) n
+          ~max:cfg.max_candidates
+      in
+      let ids = List.map (Interner.intern m.labels) cs in
+      let ids =
+        if force_gold && not (List.mem eg.gold.(n) ids) then
+          ids @ [ eg.gold.(n) ]
+        else ids
+      in
+      Array.of_list ids)
+    eg.unknown
+
+let map_assignment ?cand cfg cands m eg ~force_gold ~seed =
+  let rng = Random.State.make [| seed |] in
+  let cand =
+    match cand with
+    | Some c -> c
+    | None -> candidate_ids cfg cands m eg ~force_gold
+  in
+  let default =
+    match Candidates.global_top cands 1 with
+    | [ l ] -> Interner.intern m.labels l
+    | _ -> Interner.intern m.labels "?"
+  in
+  let assignment =
+    Array.mapi
+      (fun i g -> if eg.is_unknown.(i) then default else g)
+      eg.gold
+  in
+  (* Start every unknown at its top count-ranked candidate (an
+     evidence-based guess), not at the one global default: coordinate
+     ascent from an all-identical start can stick in poor fixpoints. *)
+  Array.iteri
+    (fun i n ->
+      if Array.length cand.(i) > 0 then assignment.(n) <- cand.(i).(0))
+    eg.unknown;
+  let best i n =
+    let cs = cand.(i) in
+    if Array.length cs = 0 then assignment.(n)
+    else begin
+      let best = ref assignment.(n) and best_score = ref neg_infinity in
+      Array.iter
+        (fun l ->
+          let s = node_score m eg n assignment l in
+          if s > !best_score then begin
+            best_score := s;
+            best := l
+          end)
+        cs;
+      !best
+    end
+  in
+  Array.iteri (fun i n -> assignment.(n) <- best i n) eg.unknown;
+  let order = Array.init (Array.length eg.unknown) Fun.id in
+  let changed = ref true and passes = ref 0 in
+  while !changed && !passes < cfg.max_passes do
+    changed := false;
+    incr passes;
+    shuffle rng order;
+    Array.iter
+      (fun i ->
+        let n = eg.unknown.(i) in
+        let l = best i n in
+        if l <> assignment.(n) then begin
+          assignment.(n) <- l;
+          changed := true
+        end)
+      order
+  done;
+  assignment
+
+(* Perceptron update: +1 on gold features, -1 on predicted features,
+   per factor occurrence, restricted to factors touching an unknown. *)
+let update m eg ~gold ~pred =
+  let t = float_of_int m.steps in
+  let upd_pw k d =
+    add m.pw k d;
+    add m.pw_u k (t *. d)
+  in
+  let upd_un k d =
+    add m.un k d;
+    add m.un_u k (t *. d)
+  in
+  let upd_bias k d =
+    add m.bias k d;
+    add m.bias_u k (t *. d)
+  in
+  Array.iteri
+    (fun fi a ->
+      let b = eg.pw_b.(fi) in
+      if eg.is_unknown.(a) || eg.is_unknown.(b) then begin
+        let r = eg.pw_rel.(fi) and mult = eg.pw_mult.(fi) in
+        let kg = pw_key gold.(a) r gold.(b) and kp = pw_key pred.(a) r pred.(b) in
+        if kg <> kp then begin
+          upd_pw kg mult;
+          upd_pw kp (-.mult)
+        end
+      end)
+    eg.pw_a;
+  Array.iteri
+    (fun fi i ->
+      if eg.is_unknown.(i) then begin
+        let r = eg.un_rel.(fi) and mult = eg.un_mult.(fi) in
+        if gold.(i) <> pred.(i) then begin
+          upd_un (un_key gold.(i) r) mult;
+          upd_un (un_key pred.(i) r) (-.mult)
+        end
+      end)
+    eg.un_n;
+  Array.iter
+    (fun n ->
+      if gold.(n) <> pred.(n) then begin
+        upd_bias gold.(n) 1.;
+        upd_bias pred.(n) (-1.)
+      end)
+    eg.unknown
+
+(* Pseudolikelihood-style perceptron: each unknown node is scored with
+   every *other* node clamped to gold; a wrong local argmax updates only
+   the factors touching that node. Pairwise weights are thus estimated
+   against correct neighborhoods — far more stable than learning from
+   the joint MAP's own mistakes — while test-time inference stays joint
+   (ICM). Cf. the pseudolikelihood training classically used for CRFs. *)
+(* Mistake-driven pseudolikelihood perceptron: each unknown node is
+   scored with every other node clamped to gold; a wrong local argmax
+   updates only the factors touching that node. *)
+let pseudo_perceptron_pass m eg ~cand =
+  let gold = eg.gold in
+  Array.iteri
+    (fun i n ->
+      let cs = cand.(i) in
+      if Array.length cs > 0 then begin
+        m.steps <- m.steps + 1;
+        let best = ref gold.(n) and best_score = ref neg_infinity in
+        Array.iter
+          (fun l ->
+            let sc = node_score m eg n gold l in
+            if sc > !best_score then begin
+              best_score := sc;
+              best := l
+            end)
+          cs;
+        let p = !best in
+        if p <> gold.(n) then begin
+          let t = float_of_int m.steps in
+          let upd tbl tbl_u k d =
+            add tbl k d;
+            add tbl_u k (t *. d)
+          in
+          Array.iter
+            (fun fi ->
+              let a = eg.pw_a.(fi) and b = eg.pw_b.(fi) in
+              let r = eg.pw_rel.(fi) and mult = eg.pw_mult.(fi) in
+              let kg = pw_key gold.(a) r gold.(b) in
+              let kp =
+                pw_key
+                  (if a = n then p else gold.(a))
+                  r
+                  (if b = n then p else gold.(b))
+              in
+              if kg <> kp then begin
+                upd m.pw m.pw_u kg mult;
+                upd m.pw m.pw_u kp (-.mult)
+              end)
+            eg.touch_pw.(n);
+          Array.iter
+            (fun fi ->
+              let r = eg.un_rel.(fi) and mult = eg.un_mult.(fi) in
+              upd m.un m.un_u (un_key gold.(n) r) mult;
+              upd m.un m.un_u (un_key p r) (-.mult))
+            eg.touch_un.(n);
+          upd m.bias m.bias_u gold.(n) 1.;
+          upd m.bias m.bias_u p (-1.)
+        end
+      end)
+    eg.unknown
+
+let pseudo_gradient_pass m eg ~cand ~lr =
+  let gold = eg.gold in
+  Array.iteri
+    (fun i n ->
+      let cs = cand.(i) in
+      let k = Array.length cs in
+      if k > 0 then begin
+        m.steps <- m.steps + 1;
+        (* Softmax over the candidate set with every other node clamped
+           to gold: a true pseudolikelihood gradient step. Unlike a
+           perceptron update, the gradient is frequency-consistent — on
+           inherently ambiguous examples (name synonyms) the weights
+           converge to log-odds rather than oscillating between the
+           synonyms. *)
+        let scores = Array.map (fun l -> node_score m eg n gold l) cs in
+        let gold_in = Array.exists (fun l -> l = gold.(n)) cs in
+        let scores, cs =
+          if gold_in then (scores, cs)
+          else
+            ( Array.append scores [| node_score m eg n gold gold.(n) |],
+              Array.append cs [| gold.(n) |] )
+        in
+        let mx = Array.fold_left Float.max neg_infinity scores in
+        let exps = Array.map (fun s -> exp (s -. mx)) scores in
+        let z = Array.fold_left ( +. ) 0. exps in
+        let apply_l l coeff =
+          (* coeff = lr * (1[l = gold] - P(l)) *)
+          if Float.abs coeff > 1e-6 then begin
+            Array.iter
+              (fun fi ->
+                let a = eg.pw_a.(fi) and b = eg.pw_b.(fi) in
+                let r = eg.pw_rel.(fi) and mult = eg.pw_mult.(fi) in
+                let key =
+                  pw_key (if a = n then l else gold.(a)) r
+                    (if b = n then l else gold.(b))
+                in
+                add m.pw key (coeff *. mult))
+              eg.touch_pw.(n);
+            Array.iter
+              (fun fi ->
+                add m.un (un_key l eg.un_rel.(fi)) (coeff *. eg.un_mult.(fi)))
+              eg.touch_un.(n);
+            add m.bias l coeff
+          end
+        in
+        Array.iteri
+          (fun j l ->
+            let p = exps.(j) /. z in
+            let target = if l = gold.(n) then 1. else 0. in
+            apply_l l (lr *. (target -. p)))
+          cs
+      end)
+    eg.unknown
+
+let finalize_average m =
+  if m.steps > 0 then begin
+    let t = float_of_int m.steps in
+    Hashtbl.iter (fun k u -> add m.pw k (-.u /. t)) m.pw_u;
+    Hashtbl.iter (fun k u -> add m.un k (-.u /. t)) m.un_u;
+    Hashtbl.iter (fun k u -> add m.bias k (-.u /. t)) m.bias_u
+  end
+
+(* Initialize weights from log(1 + co-occurrence count) of each gold
+   feature. The perceptron then refines discriminatively: features it
+   never has to correct keep their generative estimate, which
+   generalizes far better on sparse full-path relations than starting
+   from zero. *)
+let init_from_counts m egs ~style ~scale ~min_count =
+  let pw_c = Hashtbl.create 65536 in
+  let un_c = Hashtbl.create 16384 in
+  let bias_c = Hashtbl.create 512 in
+  let bump tbl k v =
+    Hashtbl.replace tbl k (v +. Option.value (Hashtbl.find_opt tbl k) ~default:0.)
+  in
+  Array.iter
+    (fun eg ->
+      Array.iteri
+        (fun fi a ->
+          let b = eg.pw_b.(fi) in
+          if eg.is_unknown.(a) || eg.is_unknown.(b) then
+            bump pw_c (pw_key eg.gold.(a) eg.pw_rel.(fi) eg.gold.(b))
+              eg.pw_mult.(fi))
+        eg.pw_a;
+      Array.iteri
+        (fun fi i ->
+          if eg.is_unknown.(i) then
+            bump un_c (un_key eg.gold.(i) eg.un_rel.(fi)) eg.un_mult.(fi))
+        eg.un_n;
+      Array.iter (fun n -> bump bias_c eg.gold.(n) 1.) eg.unknown)
+    egs;
+  (* Naive-Bayes-style conditional estimates: a relation feature's
+     weight is log P(feature | label) up to a label-independent
+     constant — log(1+c(label,feature)) − log(1+c(label)) — and the
+     bias is log(1+c(label)), the label prior. Without the −log c(l)
+     normalization, frequent labels would get inflated weights on
+     *every* feature, double-counting the prior once per factor.
+     Features below the count threshold never enter the model: at this
+     corpus scale, once-seen full paths (typically accidental
+     cross-template spans) are pure variance. *)
+  let label_total l =
+    match style with
+    | Naive_bayes -> 1. +. Option.value (Hashtbl.find_opt bias_c l) ~default:0.
+    | _ -> 1.
+  in
+  let mc = float_of_int min_count in
+  Hashtbl.iter
+    (fun k c ->
+      if c >= mc then begin
+        (* A pairwise feature conditions on either end depending on
+           which node is being scored; normalize by both labels'
+           priors, averaged. *)
+        let la = k lsr 42 and lb = k land 0x3FFFF in
+        let norm = 0.5 *. (log (label_total la) +. log (label_total lb)) in
+        add m.pw k (scale *. (log (1. +. c) -. norm))
+      end)
+    pw_c;
+  Hashtbl.iter
+    (fun k c ->
+      if c >= mc then
+        let l = k lsr 24 in
+        add m.un k (scale *. (log (1. +. c) -. log (label_total l))))
+    un_c;
+  Hashtbl.iter (fun k c -> add m.bias k (scale *. log (1. +. c))) bias_c
+
+let train cfg cands graphs =
+  let m = create () in
+  let egs = Array.of_list (List.map (encode m) graphs) in
+  (match cfg.init with
+  | No_init -> ()
+  | (Log_counts | Naive_bayes) as style ->
+      init_from_counts m egs ~style ~scale:cfg.init_scale
+        ~min_count:cfg.init_min_count);
+  let rng = Random.State.make [| cfg.seed |] in
+  (* Candidate sets depend only on the graph and the (static) counts,
+     so compute them once per graph, not once per iteration. *)
+  let cand_cache =
+    Array.map (fun eg -> candidate_ids cfg cands m eg ~force_gold:true) egs
+  in
+  for it = 0 to cfg.iterations - 1 do
+    let order = Array.init (Array.length egs) Fun.id in
+    shuffle rng order;
+    Array.iter
+      (fun gi ->
+        let eg = egs.(gi) in
+        let mode =
+          match cfg.trainer with
+          | Structured -> `Structured
+          | Pseudolikelihood -> `Pl
+          | Pl_gradient -> `Grad
+          | Mixed -> if it >= cfg.iterations - 2 then `Structured else `Pl
+        in
+        match mode with
+        | `Pl -> pseudo_perceptron_pass m eg ~cand:cand_cache.(gi)
+        | `Grad -> pseudo_gradient_pass m eg ~cand:cand_cache.(gi) ~lr:0.2
+        | `Structured ->
+            (* Time advances once per example — the textbook averaged
+               perceptron; counting only mistakes would under-weight
+               the stable consensus in the average. *)
+            m.steps <- m.steps + 1;
+            let pred =
+              map_assignment ~cand:cand_cache.(gi) cfg cands m eg
+                ~force_gold:true ~seed:(cfg.seed + it)
+            in
+            if pred <> eg.gold then update m eg ~gold:eg.gold ~pred)
+      order
+  done;
+  if cfg.averaged then finalize_average m;
+  m
+
+let predict cfg cands m g =
+  let eg = encode m g in
+  let assignment =
+    map_assignment cfg cands m eg ~force_gold:false ~seed:cfg.seed
+  in
+  Array.map (Interner.to_string m.labels) assignment
+
+let top_k cfg cands m g ~node ~k =
+  let eg = encode m g in
+  let assignment =
+    map_assignment cfg cands m eg ~force_gold:false ~seed:cfg.seed
+  in
+  let touching = Graph.touching g in
+  let cs =
+    Candidates.for_node cands g touching.(node) node
+      ~max:(max k cfg.max_candidates)
+  in
+  List.map
+    (fun l ->
+      let li = Interner.intern m.labels l in
+      (l, node_score m eg node assignment li))
+    cs
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  |> List.filteri (fun i _ -> i < k)
+
+let export_weights m =
+  let out = Model.create () in
+  let lab = Interner.to_string m.labels and rel = Interner.to_string m.rels in
+  Hashtbl.iter
+    (fun key w ->
+      if w <> 0. then
+        let la = key lsr 42 in
+        let r = (key lsr 18) land 0xFFFFFF in
+        let lb = key land 0x3FFFF in
+        Model.add out (Model.pairwise_feat ~la:(lab la) ~rel:(rel r) ~lb:(lab lb)) w)
+    m.pw;
+  Hashtbl.iter
+    (fun key w ->
+      if w <> 0. then
+        let l = key lsr 24 in
+        let r = key land 0xFFFFFF in
+        Model.add out (Model.unary_feat ~l:(lab l) ~rel:(rel r)) w)
+    m.un;
+  Hashtbl.iter
+    (fun l w -> if w <> 0. then Model.add out (Model.bias_feat ~l:(lab l)) w)
+    m.bias;
+  out
+
+type dump = {
+  d_labels : string list;
+  d_rels : string list;
+  d_pw : (int * float) list;
+  d_un : (int * float) list;
+  d_bias : (int * float) list;
+}
+
+let dump m =
+  let interner_list t = List.init (Interner.size t) (Interner.to_string t) in
+  let tbl_list tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  {
+    d_labels = interner_list m.labels;
+    d_rels = interner_list m.rels;
+    d_pw = tbl_list m.pw;
+    d_un = tbl_list m.un;
+    d_bias = tbl_list m.bias;
+  }
+
+let restore d =
+  let m = create () in
+  List.iter (fun s -> ignore (Interner.intern m.labels s)) d.d_labels;
+  List.iter (fun s -> ignore (Interner.intern m.rels s)) d.d_rels;
+  List.iter (fun (k, v) -> Hashtbl.replace m.pw k v) d.d_pw;
+  List.iter (fun (k, v) -> Hashtbl.replace m.un k v) d.d_un;
+  List.iter (fun (k, v) -> Hashtbl.replace m.bias k v) d.d_bias;
+  m

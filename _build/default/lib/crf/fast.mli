@@ -1,0 +1,99 @@
+(** Int-encoded training/inference engine — the hot path behind
+    {!Train}.
+
+    Labels and relations are interned to dense ids shared across all
+    graphs of one model; factors become parallel int arrays and weights
+    live in int-keyed tables, so the inner ICM loop never hashes a
+    string. {!Train} re-exports the final averaged weights as a
+    string-keyed {!Model.t} for inspection, and delegates prediction
+    here. *)
+
+module Interner : sig
+  type t
+
+  val create : unit -> t
+  val intern : t -> string -> int
+  val to_string : t -> int -> string
+  val size : t -> int
+end
+
+type egraph
+(** A {!Graph.t} compiled against a model's interners. *)
+
+type model
+
+val create : unit -> model
+val labels : model -> Interner.t
+
+val encode : model -> Graph.t -> egraph
+val graph_of : egraph -> Graph.t
+
+type init_style =
+  | No_init
+  | Log_counts  (** w = scale * log(1 + count) for gold features. *)
+  | Naive_bayes
+      (** Log-counts normalized by the label prior (log P(f|l)-style). *)
+
+type trainer =
+  | Structured
+      (** Classic structured perceptron: update against the joint MAP. *)
+  | Pseudolikelihood
+      (** Mistake-driven per-node updates with all other nodes clamped
+          to gold — pairwise weights are estimated against correct
+          neighborhoods (the pseudolikelihood view of CRF training);
+          inference stays joint. The default: fastest and most accurate
+          on the full-path representation. *)
+  | Pl_gradient
+      (** True pseudolikelihood gradient (softmax over candidates):
+          frequency-consistent on inherently ambiguous labels, slower
+          to converge. *)
+  | Mixed
+      (** Pseudolikelihood for all but the last two iterations, then
+          structured fine-tuning against the model's own inference. *)
+
+type config = {
+  max_candidates : int;
+  max_passes : int;
+  seed : int;
+  iterations : int;
+  averaged : bool;
+  init : init_style;
+      (** Generative weight initialization before perceptron refinement;
+          features rarer than [init_min_count] are pruned from it. *)
+  init_scale : float;
+  init_min_count : int;
+  trainer : trainer;
+}
+
+val default_config : config
+
+val train : config -> Candidates.t -> Graph.t list -> model
+(** Averaged structured perceptron; candidate sets come from
+    [Candidates] (string side) and are interned per node. *)
+
+val predict : config -> Candidates.t -> model -> Graph.t -> string array
+
+val top_k :
+  config ->
+  Candidates.t ->
+  model ->
+  Graph.t ->
+  node:int ->
+  k:int ->
+  (string * float) list
+
+val export_weights : model -> Model.t
+(** Decode the int-keyed tables into the public feature table. *)
+
+(** {2 Serialization support} *)
+
+type dump = {
+  d_labels : string list;  (** in id order *)
+  d_rels : string list;
+  d_pw : (int * float) list;  (** packed key, weight *)
+  d_un : (int * float) list;
+  d_bias : (int * float) list;
+}
+
+val dump : model -> dump
+val restore : dump -> model

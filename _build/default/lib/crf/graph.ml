@@ -1,0 +1,86 @@
+type node = { id : int; gold : string; kind : [ `Unknown | `Known ] }
+
+type factor =
+  | Pairwise of { a : int; b : int; rel : string; mult : int }
+  | Unary of { n : int; rel : string; mult : int }
+
+type t = { nodes : node array; factors : factor list }
+
+let pairwise ~a ~b ~rel = Pairwise { a; b; rel; mult = 1 }
+let unary ~n ~rel = Unary { n; rel; mult = 1 }
+
+let make ~nodes ~factors =
+  let nodes = Array.of_list nodes in
+  Array.iteri
+    (fun i n ->
+      if n.id <> i then invalid_arg "Graph.make: node ids must be 0..n-1 in order")
+    nodes;
+  let n = Array.length nodes in
+  let check i =
+    if i < 0 || i >= n then invalid_arg "Graph.make: factor endpoint out of range"
+  in
+  List.iter
+    (function
+      | Pairwise { a; b; _ } ->
+          check a;
+          check b;
+          if a = b then
+            invalid_arg "Graph.make: pairwise factor must link distinct nodes"
+      | Unary { n = i; _ } -> check i)
+    factors;
+  (* Merge structurally-equal factors, summing multiplicities. *)
+  let mults = Hashtbl.create (List.length factors) in
+  let order = ref [] in
+  List.iter
+    (fun f ->
+      let key, m =
+        match f with
+        | Pairwise { a; b; rel; mult } -> (`P (a, b, rel), mult)
+        | Unary { n; rel; mult } -> (`U (n, rel), mult)
+      in
+      match Hashtbl.find_opt mults key with
+      | Some count -> Hashtbl.replace mults key (count + m)
+      | None ->
+          Hashtbl.add mults key m;
+          order := key :: !order)
+    factors;
+  let merged =
+    List.rev_map
+      (fun key ->
+        let mult = Hashtbl.find mults key in
+        match key with
+        | `P (a, b, rel) -> Pairwise { a; b; rel; mult }
+        | `U (n, rel) -> Unary { n; rel; mult })
+      !order
+  in
+  { nodes; factors = merged }
+
+let num_unknown t =
+  Array.fold_left
+    (fun acc n -> if n.kind = `Unknown then acc + 1 else acc)
+    0 t.nodes
+
+let unknown_ids t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> if n.kind = `Unknown then Some n.id else None)
+
+let gold_assignment t = Array.map (fun n -> n.gold) t.nodes
+
+let initial_assignment t ~default =
+  Array.map (fun n -> if n.kind = `Known then n.gold else default) t.nodes
+
+let touching t =
+  let arr = Array.make (Array.length t.nodes) [] in
+  List.iter
+    (fun f ->
+      match f with
+      | Pairwise { a; b; _ } ->
+          arr.(a) <- f :: arr.(a);
+          arr.(b) <- f :: arr.(b)
+      | Unary { n; _ } -> arr.(n) <- f :: arr.(n))
+    t.factors;
+  arr
+
+let pp ppf t =
+  Fmt.pf ppf "graph: %d nodes (%d unknown), %d factors"
+    (Array.length t.nodes) (num_unknown t) (List.length t.factors)

@@ -1,0 +1,51 @@
+(** CRF factor graphs over program elements (paper Section 3.1,
+    following Raychev et al.'s Nice2Predict formulation).
+
+    Nodes are program elements: [`Unknown] nodes carry the property to
+    predict (their [gold] label is used for training and evaluation,
+    never for inference); [`Known] nodes are observed (their label is
+    fixed to [gold]). Factors are relations between elements — here,
+    abstracted AST paths:
+
+    - a {!Pairwise} factor links two distinct elements with the path
+      between their occurrences;
+    - a {!Unary} factor records a path between two occurrences of the
+      *same* element (the paper's Nice2Predict extension: "a path
+      between these nodes in the AST becomes a unary-factor in the
+      CRF"). *)
+
+type node = { id : int; gold : string; kind : [ `Unknown | `Known ] }
+
+type factor =
+  | Pairwise of { a : int; b : int; rel : string; mult : int }
+  | Unary of { n : int; rel : string; mult : int }
+
+type t = { nodes : node array; factors : factor list }
+
+val pairwise : a:int -> b:int -> rel:string -> factor
+(** Multiplicity 1. *)
+
+val unary : n:int -> rel:string -> factor
+
+val make : nodes:node list -> factors:factor list -> t
+(** Validates ids: nodes must be numbered [0..n-1] in order and factor
+    endpoints in range; raises [Invalid_argument] otherwise.
+    Structurally equal factors are merged, summing multiplicities —
+    each path-context *occurrence* still counts once in every score,
+    but is stored and scored once (a large inference speedup: repeated
+    occurrences of the same (element, path, element) relation are
+    common). *)
+
+val num_unknown : t -> int
+val unknown_ids : t -> int list
+
+val gold_assignment : t -> string array
+(** Labels of all nodes, including unknowns' gold labels. *)
+
+val initial_assignment : t -> default:string -> string array
+(** Known labels fixed; every unknown set to [default]. *)
+
+val touching : t -> factor list array
+(** [touching g.(n)] lists the factors that involve node [n]. *)
+
+val pp : Format.formatter -> t -> unit

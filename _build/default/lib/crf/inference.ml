@@ -1,0 +1,86 @@
+type config = { max_candidates : int; max_passes : int; seed : int }
+
+let default_config = { max_candidates = 24; max_passes = 8; seed = 17 }
+
+let shuffle rng arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let node_candidates ?(force = fun _ -> []) cfg cands g touching n =
+  match force n with
+  | [] -> Candidates.for_node cands g touching.(n) n ~max:cfg.max_candidates
+  | forced ->
+      (* Forced labels (the gold during training) are *appended*: they
+         must be reachable, but must not win score ties — with fresh
+         zero weights everything ties, and a prepended gold would make
+         every training prediction trivially correct, so the perceptron
+         would never update. *)
+      let base =
+        Candidates.for_node cands g touching.(n) n ~max:cfg.max_candidates
+      in
+      base @ List.filter (fun l -> not (List.mem l base)) forced
+
+let map_assignment ?(config = default_config) ?force_candidates model cands
+    (g : Graph.t) =
+  let rng = Random.State.make [| config.seed |] in
+  let touching = Graph.touching g in
+  let unknowns = Array.of_list (Graph.unknown_ids g) in
+  let default =
+    match Candidates.global_top cands 1 with [ l ] -> l | _ -> "unknown"
+  in
+  let assignment = Graph.initial_assignment g ~default in
+  let cand_cache =
+    Array.map
+      (fun n -> node_candidates ?force:force_candidates config cands g touching n)
+      unknowns
+  in
+  let best_for i n =
+    let cs = cand_cache.(i) in
+    let best = ref assignment.(n) and best_score = ref neg_infinity in
+    List.iter
+      (fun l ->
+        let s = Model.node_score model g touching.(n) n assignment ~label:l in
+        if s > !best_score then begin
+          best_score := s;
+          best := l
+        end)
+      cs;
+    !best
+  in
+  (* Initial greedy assignment, then sweeps to fixpoint. *)
+  Array.iteri (fun i n -> assignment.(n) <- best_for i n) unknowns;
+  let order = Array.init (Array.length unknowns) Fun.id in
+  let changed = ref true and passes = ref 0 in
+  while !changed && !passes < config.max_passes do
+    changed := false;
+    incr passes;
+    shuffle rng order;
+    Array.iter
+      (fun i ->
+        let n = unknowns.(i) in
+        let l = best_for i n in
+        if not (String.equal l assignment.(n)) then begin
+          assignment.(n) <- l;
+          changed := true
+        end)
+      order
+  done;
+  assignment
+
+let top_k ?(config = default_config) model cands (g : Graph.t) assignment ~node
+    ~k =
+  let touching = Graph.touching g in
+  let cs =
+    Candidates.for_node cands g touching.(node) node ~max:(max k config.max_candidates)
+  in
+  List.map
+    (fun l ->
+      (l, Model.node_score model g touching.(node) node assignment ~label:l))
+    cs
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+  |> List.filteri (fun i _ -> i < k)

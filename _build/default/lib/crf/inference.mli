@@ -1,0 +1,43 @@
+(** MAP inference and top-k suggestion.
+
+    MAP is greedy coordinate ascent (iterated conditional modes): start
+    from the per-node best candidate given known neighbors, then sweep
+    the unknown nodes in random order, re-assigning each to its best
+    candidate given the current assignment, until a fixpoint (the total
+    score is non-decreasing, which the property tests check). This is
+    the same family of scored greedy search Nice2Predict uses.
+
+    [top_k] is the paper's Nice2Predict extension (Section 5.1):
+    candidate labels for one node ranked by local score under the MAP
+    assignment of the rest of the graph. *)
+
+type config = {
+  max_candidates : int;  (** Candidate-set size per node. *)
+  max_passes : int;  (** Sweep limit; fixpoint usually comes earlier. *)
+  seed : int;
+}
+
+val default_config : config
+
+val map_assignment :
+  ?config:config ->
+  ?force_candidates:(int -> string list) ->
+  Model.t ->
+  Candidates.t ->
+  Graph.t ->
+  string array
+(** [force_candidates] overrides the candidate set of selected nodes
+    (used in training to make the gold label reachable); return [[]]
+    to keep the default. *)
+
+val top_k :
+  ?config:config ->
+  Model.t ->
+  Candidates.t ->
+  Graph.t ->
+  string array ->
+  node:int ->
+  k:int ->
+  (string * float) list
+(** Candidates for [node] with their local scores, best first, under
+    the given assignment for all other nodes. *)

@@ -1,0 +1,48 @@
+type feat =
+  | P of string * string * string
+  | U of string * string
+  | B of string
+
+type t = (feat, float) Hashtbl.t
+
+let create () : t = Hashtbl.create 4096
+let copy = Hashtbl.copy
+let size = Hashtbl.length
+let get t f = match Hashtbl.find_opt t f with Some w -> w | None -> 0.
+
+let add t f d =
+  if d <> 0. then
+    match Hashtbl.find_opt t f with
+    | Some w -> Hashtbl.replace t f (w +. d)
+    | None -> Hashtbl.add t f d
+
+let pairwise_feat ~la ~rel ~lb = P (la, rel, lb)
+let unary_feat ~l ~rel = U (l, rel)
+let bias_feat ~l = B l
+
+let factor_score t f assignment =
+  match f with
+  | Graph.Pairwise { a; b; rel; mult } ->
+      float_of_int mult *. get t (P (assignment.(a), rel, assignment.(b)))
+  | Graph.Unary { n; rel; mult } ->
+      float_of_int mult *. get t (U (assignment.(n), rel))
+
+let score t g assignment =
+  let acc = ref 0. in
+  List.iter (fun f -> acc := !acc +. factor_score t f assignment) g.Graph.factors;
+  Array.iter
+    (fun (n : Graph.node) ->
+      if n.Graph.kind = `Unknown then
+        acc := !acc +. get t (B assignment.(n.Graph.id)))
+    g.Graph.nodes;
+  !acc
+
+let node_score t _g factors node assignment ~label =
+  let prev = assignment.(node) in
+  assignment.(node) <- label;
+  let acc = ref (get t (B label)) in
+  List.iter (fun f -> acc := !acc +. factor_score t f assignment) factors;
+  assignment.(node) <- prev;
+  !acc
+
+let iter t f = Hashtbl.iter f t

@@ -1,0 +1,41 @@
+(** Feature-weight table for the CRF.
+
+    Features are structural keys — pairwise [⟨label_a, relation,
+    label_b⟩] triples, unary [⟨label, relation⟩] pairs, and a per-label
+    bias (a learned label prior). Keys are hashed structurally rather
+    than as concatenated strings: factor scoring is the hot loop of
+    both training and inference. *)
+
+type feat =
+  | P of string * string * string  (** label_a, relation, label_b *)
+  | U of string * string  (** label, relation *)
+  | B of string  (** label bias *)
+
+type t
+
+val create : unit -> t
+val copy : t -> t
+val size : t -> int
+(** Number of features with recorded weight entries. *)
+
+val get : t -> feat -> float
+val add : t -> feat -> float -> unit
+
+val pairwise_feat : la:string -> rel:string -> lb:string -> feat
+val unary_feat : l:string -> rel:string -> feat
+val bias_feat : l:string -> feat
+
+val factor_score : t -> Graph.factor -> string array -> float
+(** Weight of one factor under an assignment. *)
+
+val score : t -> Graph.t -> string array -> float
+(** Total score: all factor weights plus the bias of every unknown
+    node's label. *)
+
+val node_score :
+  t -> Graph.t -> Graph.factor list -> int -> string array -> label:string -> float
+(** Local score of assigning [label] to one node: its bias plus the
+    weights of the supplied (touching) factors, evaluated with the
+    node temporarily set to [label]. *)
+
+val iter : t -> (feat -> float -> unit) -> unit

@@ -1,0 +1,170 @@
+(* Line-oriented model format:
+     pigeon-crf-model 1
+     config <iterations> <max_candidates> <max_passes> <seed> <averaged> <trainer> <init> <init_scale> <init_min_count>
+     label <escaped>          (in interner id order)
+     rel <escaped>
+     pw <int-key> <weight>
+     un <int-key> <weight>
+     bias <int-key> <weight>
+     cand-global <label> <count>
+     cand-unary <rel> <label> <count>
+     cand-pw <key> <label> <count>
+   Strings are percent-escaped (tab, newline, CR, space, '%'). *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\t' | '\n' | '\r' | ' ' | '%' ->
+          Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '%' && !i + 2 < n then begin
+      Buffer.add_char buf
+        (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let trainer_name = function
+  | Fast.Structured -> "structured"
+  | Fast.Pseudolikelihood -> "pl"
+  | Fast.Pl_gradient -> "pl-gradient"
+  | Fast.Mixed -> "mixed"
+
+let trainer_of_name = function
+  | "structured" -> Fast.Structured
+  | "pl" -> Fast.Pseudolikelihood
+  | "pl-gradient" -> Fast.Pl_gradient
+  | "mixed" -> Fast.Mixed
+  | s -> failwith ("unknown trainer " ^ s)
+
+let init_name = function
+  | Fast.No_init -> "none"
+  | Fast.Log_counts -> "log-counts"
+  | Fast.Naive_bayes -> "naive-bayes"
+
+let init_of_name = function
+  | "none" -> Fast.No_init
+  | "log-counts" -> Fast.Log_counts
+  | "naive-bayes" -> Fast.Naive_bayes
+  | s -> failwith ("unknown init " ^ s)
+
+let to_channel (model : Train.model) oc =
+  let p fmt = Printf.fprintf oc fmt in
+  p "pigeon-crf-model 1\n";
+  let c = model.Train.config in
+  let inf = c.Train.inference in
+  (* the Fast engine carries the init knobs; Train.config mirrors them *)
+  p "config %d %d %d %d %b %s %s\n" c.Train.iterations
+    inf.Inference.max_candidates inf.Inference.max_passes c.Train.seed
+    c.Train.averaged
+    (trainer_name c.Train.trainer)
+    (init_name c.Train.init);
+  let d = Fast.dump model.Train.fast in
+  List.iter (fun l -> p "label %s\n" (escape l)) d.Fast.d_labels;
+  List.iter (fun r -> p "rel %s\n" (escape r)) d.Fast.d_rels;
+  List.iter (fun (k, w) -> p "pw %d %.17g\n" k w) d.Fast.d_pw;
+  List.iter (fun (k, w) -> p "un %d %.17g\n" k w) d.Fast.d_un;
+  List.iter (fun (k, w) -> p "bias %d %.17g\n" k w) d.Fast.d_bias;
+  List.iter
+    (function
+      | Candidates.E_global (l, n) -> p "cand-global %s %d\n" (escape l) n
+      | Candidates.E_unary (r, l, n) ->
+          p "cand-unary %s %s %d\n" (escape r) (escape l) n
+      | Candidates.E_pairwise (k, l, n) ->
+          p "cand-pw %s %s %d\n" (escape k) (escape l) n)
+    (Candidates.entries model.Train.candidates)
+
+let from_channel ic =
+  let line_no = ref 0 in
+  let fail msg = failwith (Printf.sprintf "line %d: %s" !line_no msg) in
+  let read () =
+    incr line_no;
+    try Some (input_line ic) with End_of_file -> None
+  in
+  (match read () with
+  | Some "pigeon-crf-model 1" -> ()
+  | _ -> fail "bad magic");
+  let config = ref Train.default_config in
+  let labels = ref [] and rels = ref [] in
+  let pw = ref [] and un = ref [] and bias = ref [] in
+  let cand = ref [] in
+  let rec go () =
+    match read () with
+    | None -> ()
+    | Some line ->
+        (match String.split_on_char ' ' line with
+        | [ "config"; it; mc; mp; seed; avg; tr; init ] ->
+            config :=
+              {
+                Train.iterations = int_of_string it;
+                inference =
+                  {
+                    Inference.max_candidates = int_of_string mc;
+                    max_passes = int_of_string mp;
+                    seed = Inference.default_config.Inference.seed;
+                  };
+                seed = int_of_string seed;
+                averaged = bool_of_string avg;
+                trainer = trainer_of_name tr;
+                init = init_of_name init;
+              }
+        | [ "label"; l ] -> labels := unescape l :: !labels
+        | [ "rel"; r ] -> rels := unescape r :: !rels
+        | [ "pw"; k; w ] -> pw := (int_of_string k, float_of_string w) :: !pw
+        | [ "un"; k; w ] -> un := (int_of_string k, float_of_string w) :: !un
+        | [ "bias"; k; w ] ->
+            bias := (int_of_string k, float_of_string w) :: !bias
+        | [ "cand-global"; l; n ] ->
+            cand := Candidates.E_global (unescape l, int_of_string n) :: !cand
+        | [ "cand-unary"; r; l; n ] ->
+            cand :=
+              Candidates.E_unary (unescape r, unescape l, int_of_string n)
+              :: !cand
+        | [ "cand-pw"; k; l; n ] ->
+            cand :=
+              Candidates.E_pairwise (unescape k, unescape l, int_of_string n)
+              :: !cand
+        | [] | [ "" ] -> ()
+        | tok :: _ -> fail ("unknown record " ^ tok));
+        go ()
+  in
+  go ();
+  let fast =
+    Fast.restore
+      {
+        Fast.d_labels = List.rev !labels;
+        d_rels = List.rev !rels;
+        d_pw = !pw;
+        d_un = !un;
+        d_bias = !bias;
+      }
+  in
+  {
+    Train.weights = Fast.export_weights fast;
+    candidates = Candidates.of_entries !cand;
+    config = !config;
+    fast;
+  }
+
+let save model path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel model oc)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> from_channel ic)

@@ -1,0 +1,17 @@
+(** Saving and loading trained CRF models.
+
+    A portable, line-oriented text format (one record per line,
+    tab-separated, values percent-escaped), so models can be trained
+    once and shipped — the way Nice2Predict serves a pre-trained
+    model. Round-trips exactly: a loaded model produces byte-identical
+    predictions (tested). *)
+
+val save : Train.model -> string -> unit
+(** [save model path] writes the model to [path]. Raises [Sys_error]
+    on I/O failure. *)
+
+val load : string -> Train.model
+(** Raises [Failure] with a line number on malformed input. *)
+
+val to_channel : Train.model -> out_channel -> unit
+val from_channel : in_channel -> Train.model

@@ -1,0 +1,75 @@
+type config = {
+  iterations : int;
+  inference : Inference.config;
+  seed : int;
+  averaged : bool;
+  init : Fast.init_style;
+  trainer : Fast.trainer;
+}
+
+let default_config =
+  {
+    iterations = 6;
+    inference = Inference.default_config;
+    seed = 42;
+    averaged = true;
+    init = Fast.Log_counts;
+    trainer = Fast.Pseudolikelihood;
+  }
+
+type model = {
+  weights : Model.t;
+  candidates : Candidates.t;
+  config : config;
+  fast : Fast.model;
+}
+
+let fast_config config =
+  {
+    Fast.default_config with
+    Fast.max_candidates = config.inference.Inference.max_candidates;
+    max_passes = config.inference.Inference.max_passes;
+    seed = config.inference.Inference.seed;
+    iterations = config.iterations;
+    averaged = config.averaged;
+    init = config.init;
+    trainer = config.trainer;
+  }
+
+let train ?(config = default_config) graphs =
+  let candidates = Candidates.build graphs in
+  let fast = Fast.train (fast_config config) candidates graphs in
+  { weights = Fast.export_weights fast; candidates; config; fast }
+
+let predict model g =
+  Fast.predict (fast_config model.config) model.candidates model.fast g
+
+let top_k model g ~node ~k =
+  Fast.top_k (fast_config model.config) model.candidates model.fast g ~node ~k
+
+let accuracy model graphs =
+  let correct = ref 0 and total = ref 0 in
+  List.iter
+    (fun g ->
+      let pred = predict model g in
+      let gold = Graph.gold_assignment g in
+      List.iter
+        (fun n ->
+          incr total;
+          if String.equal pred.(n) gold.(n) then incr correct)
+        (Graph.unknown_ids g))
+    graphs;
+  if !total = 0 then 0. else float_of_int !correct /. float_of_int !total
+
+let oov_rate model graphs =
+  let oov = ref 0 and total = ref 0 in
+  List.iter
+    (fun g ->
+      let gold = Graph.gold_assignment g in
+      List.iter
+        (fun n ->
+          incr total;
+          if Candidates.label_count model.candidates gold.(n) = 0 then incr oov)
+        (Graph.unknown_ids g))
+    graphs;
+  if !total = 0 then 0. else float_of_int !oov /. float_of_int !total

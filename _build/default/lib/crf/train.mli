@@ -1,0 +1,53 @@
+(** Training: averaged structured perceptron over factor graphs.
+
+    Per training graph: run MAP inference with the current weights
+    (with the gold labels injected into candidate sets so the target is
+    reachable), then update each feature by the difference between its
+    count under the gold assignment and under the prediction. Averaging
+    uses the standard [w - u/C] trick, which makes the learned weights
+    far more stable than the final-iterate weights.
+
+    This replaces Nice2Predict's max-margin SGD; both are
+    discriminative trainers that maximize the factor-graph score of the
+    gold assignment against competing ones, which is all the paper's
+    representation comparison needs. *)
+
+type config = {
+  iterations : int;
+  inference : Inference.config;
+  seed : int;
+  averaged : bool;
+  init : Fast.init_style;  (** Generative weight initialization. *)
+  trainer : Fast.trainer;
+}
+
+val default_config : config
+
+type model = {
+  weights : Model.t;
+      (** Final (averaged) weights, decoded to the public feature
+          table for inspection; prediction runs on the int-encoded
+          {!Fast.model} below. *)
+  candidates : Candidates.t;
+  config : config;
+  fast : Fast.model;
+}
+
+val train : ?config:config -> Graph.t list -> model
+
+val predict : model -> Graph.t -> string array
+(** MAP assignment; known nodes keep their labels. *)
+
+val top_k : model -> Graph.t -> node:int -> k:int -> (string * float) list
+(** Top-k suggestions for one node under the MAP assignment of the
+    rest of the graph. *)
+
+val accuracy : model -> Graph.t list -> float
+(** Fraction of unknown nodes whose predicted label equals gold, by
+    exact string equality (task-level metrics apply the paper's
+    case/separator-insensitive normalization on top of this). *)
+
+val oov_rate : model -> Graph.t list -> float
+(** Fraction of unknown-node gold labels never seen in training (the
+    paper's out-of-vocabulary discussion, Section 5.3.1: 5–15% across
+    their datasets). OoV nodes can never be predicted exactly. *)

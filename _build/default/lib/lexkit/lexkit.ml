@@ -1,0 +1,109 @@
+type pos = { line : int; col : int; offset : int }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+let start_pos = { line = 1; col = 1; offset = 0 }
+
+exception Error of string * pos
+
+let error pos fmt = Format.kasprintf (fun msg -> raise (Error (msg, pos))) fmt
+
+module Cursor = struct
+  type t = { src : string; mutable pos : pos }
+
+  let make src = { src; pos = start_pos }
+  let pos t = t.pos
+  let eof t = t.pos.offset >= String.length t.src
+
+  let peek t =
+    if eof t then None else Some t.src.[t.pos.offset]
+
+  let peek2 t =
+    if t.pos.offset + 1 >= String.length t.src then None
+    else Some t.src.[t.pos.offset + 1]
+
+  let advance t =
+    match peek t with
+    | None -> ()
+    | Some '\n' ->
+        t.pos <- { line = t.pos.line + 1; col = 1; offset = t.pos.offset + 1 }
+    | Some _ ->
+        t.pos <- { t.pos with col = t.pos.col + 1; offset = t.pos.offset + 1 }
+
+  let next t =
+    match peek t with
+    | None -> error t.pos "unexpected end of input"
+    | Some c ->
+        advance t;
+        c
+
+  let eat t c =
+    match peek t with
+    | Some c' when c' = c ->
+        advance t;
+        true
+    | _ -> false
+
+  let take_while t p =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek t with
+      | Some c when p c ->
+          Buffer.add_char buf c;
+          advance t;
+          go ()
+      | _ -> ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let skip_while t p =
+    let rec go () =
+      match peek t with
+      | Some c when p c ->
+          advance t;
+          go ()
+      | _ -> ()
+    in
+    go ()
+end
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let lex_string_literal cur ~quote =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match Cursor.peek cur with
+    | None -> error (Cursor.pos cur) "unterminated string literal"
+    | Some c when c = quote -> Cursor.advance cur
+    | Some '\\' ->
+        Cursor.advance cur;
+        let c = Cursor.next cur in
+        Buffer.add_char buf
+          (match c with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '0' -> '\000'
+          | c -> c);
+        go ()
+    | Some c ->
+        Buffer.add_char buf c;
+        Cursor.advance cur;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let lex_number cur =
+  let int_part = Cursor.take_while cur is_digit in
+  match (Cursor.peek cur, Cursor.peek2 cur) with
+  | Some '.', Some d when is_digit d ->
+      Cursor.advance cur;
+      let frac = Cursor.take_while cur is_digit in
+      int_part ^ "." ^ frac
+  | _ -> int_part

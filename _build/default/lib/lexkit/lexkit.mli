@@ -1,0 +1,51 @@
+(** Shared lexing utilities for the hand-written language front-ends. *)
+
+type pos = { line : int; col : int; offset : int }
+
+val pp_pos : Format.formatter -> pos -> unit
+val start_pos : pos
+
+exception Error of string * pos
+(** Raised by front-end lexers and parsers on malformed input. *)
+
+val error : pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** [error pos fmt ...] raises {!Error} with a formatted message. *)
+
+(** A character cursor over an in-memory source string, tracking line
+    and column. *)
+module Cursor : sig
+  type t
+
+  val make : string -> t
+  val pos : t -> pos
+  val eof : t -> bool
+
+  val peek : t -> char option
+  val peek2 : t -> char option
+  (** Character after the next one, if any. *)
+
+  val advance : t -> unit
+  val next : t -> char
+  (** Consume and return; raises {!Error} at end of input. *)
+
+  val eat : t -> char -> bool
+  (** Consume the next char iff it equals the argument. *)
+
+  val take_while : t -> (char -> bool) -> string
+  val skip_while : t -> (char -> bool) -> unit
+end
+
+val is_digit : char -> bool
+val is_ident_start : char -> bool
+(** Letters, underscore and [$]. *)
+
+val is_ident_char : char -> bool
+
+val lex_string_literal : Cursor.t -> quote:char -> string
+(** Consumes a string literal whose opening [quote] has already been
+    consumed; handles the usual backslash escapes. Returns the decoded
+    contents. *)
+
+val lex_number : Cursor.t -> string
+(** Consumes an integer or decimal literal (first char not yet
+    consumed must be a digit); returns its lexeme. *)

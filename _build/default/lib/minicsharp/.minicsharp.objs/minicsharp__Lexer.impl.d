@@ -1,0 +1,1 @@
+lib/minicsharp/lexer.ml: Cursor Lexkit List String Token

@@ -1,0 +1,1 @@
+lib/minicsharp/lexer.mli: Token

@@ -1,0 +1,1 @@
+lib/minicsharp/lower.ml: Ast List Minijava String

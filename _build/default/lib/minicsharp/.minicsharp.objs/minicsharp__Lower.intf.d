@@ -1,0 +1,1 @@
+lib/minicsharp/lower.mli: Ast Minijava

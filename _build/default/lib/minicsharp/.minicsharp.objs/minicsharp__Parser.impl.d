@@ -1,0 +1,1 @@
+lib/minicsharp/parser.ml: Lexer Lexkit List Minijava String Token

@@ -1,0 +1,1 @@
+lib/minicsharp/parser.mli: Minijava

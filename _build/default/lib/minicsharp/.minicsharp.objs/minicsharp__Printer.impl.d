@@ -1,0 +1,1 @@
+lib/minicsharp/printer.ml: Buffer Format List Minijava Option String

@@ -1,0 +1,1 @@
+lib/minicsharp/printer.mli: Format Minijava

@@ -1,0 +1,1 @@
+lib/minicsharp/rename.mli: Minijava

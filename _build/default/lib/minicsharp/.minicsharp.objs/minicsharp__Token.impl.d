@@ -1,0 +1,1 @@
+lib/minicsharp/token.ml: Format Lexkit List Printf String

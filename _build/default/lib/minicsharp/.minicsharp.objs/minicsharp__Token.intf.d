@@ -1,0 +1,1 @@
+lib/minicsharp/token.mli: Format Lexkit

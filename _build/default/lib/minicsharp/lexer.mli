@@ -1,0 +1,4 @@
+(** MiniC# lexer; like the MiniJava lexer with the C# keyword set. *)
+
+val tokenize : string -> Token.spanned list
+val token_values : string -> string list

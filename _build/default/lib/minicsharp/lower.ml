@@ -1,0 +1,246 @@
+open Minijava.Syntax
+module Types = Minijava.Types
+module T = Ast.Tree
+
+let method_name_label = "MethodName"
+
+type ctx = { mutable next_binder : int }
+
+type scope = {
+  mutable bindings : (string * int) list;
+  parent : scope option;
+}
+
+let fresh ctx =
+  let id = ctx.next_binder in
+  ctx.next_binder <- id + 1;
+  id
+
+let rec lookup scope name =
+  match List.assoc_opt name scope.bindings with
+  | Some id -> Some id
+  | None -> (
+      match scope.parent with Some p -> lookup p name | None -> None)
+
+let bind ctx scope name =
+  let id = fresh ctx in
+  scope.bindings <- (name, id) :: scope.bindings;
+  id
+
+let child scope = { bindings = []; parent = Some scope }
+
+let rec lower_ty ty =
+  match ty with
+  | Types.Prim p -> T.term ~sort:T.Kw "PredefinedType" p
+  | Types.Named (q, []) ->
+      T.nt "IdentifierType" [ T.term ~sort:T.Name "TypeName" (String.concat "." q) ]
+  | Types.Named (q, args) ->
+      T.nt "GenericName"
+        (T.term ~sort:T.Name "TypeName" (String.concat "." q)
+        :: [ T.nt "TypeArgumentList" (List.map lower_ty args) ])
+  | Types.Arr e -> T.nt "ArrayType" [ lower_ty e ]
+
+let rec lower_expr ctx scope e =
+  let go = lower_expr ctx scope in
+  let args_node args =
+    T.nt "ArgumentList" (List.map (fun a -> T.nt "Argument" [ go a ]) args)
+  in
+  match e with
+  | Ident n -> (
+      match lookup scope n with
+      | Some id -> T.var id "IdentifierName" n
+      | None -> T.term ~sort:T.Name "IdentifierName" n)
+  | IntLit n -> T.term ~sort:T.Lit "NumericLiteral" n
+  | DoubleLit n -> T.term ~sort:T.Lit "NumericLiteral" n
+  | StrLit s -> T.term ~sort:T.Lit "StringLiteral" s
+  | CharLit c -> T.term ~sort:T.Lit "CharacterLiteral" c
+  | BoolLit b ->
+      T.term ~sort:T.Lit
+        (if b then "TrueLiteralExpression" else "FalseLiteralExpression")
+        (if b then "true" else "false")
+  | NullLit -> T.term ~sort:T.Lit "NullLiteralExpression" "null"
+  | This -> T.term ~sort:T.Kw "ThisExpression" "this"
+  | Binary (op, a, b) -> T.nt ("BinaryExpression" ^ op) [ go a; go b ]
+  | Unary (op, e1) -> T.nt ("PrefixUnaryExpression" ^ op) [ go e1 ]
+  | Update (op, true, e1) -> T.nt ("PrefixUnaryExpression" ^ op) [ go e1 ]
+  | Update (op, false, e1) -> T.nt ("PostfixUnaryExpression" ^ op) [ go e1 ]
+  | Assign (op, l, r) -> T.nt ("AssignmentExpression" ^ op) [ go l; go r ]
+  | Cond (c, t, f) -> T.nt "ConditionalExpression" [ go c; go t; go f ]
+  | Call (recv, name, args) ->
+      let callee =
+        match recv with
+        | Some r ->
+            T.nt "SimpleMemberAccessExpression"
+              [ go r; T.term ~sort:T.Name "IdentifierName" name ]
+        | None -> T.term ~sort:T.Name "IdentifierName" name
+      in
+      T.nt "InvocationExpression" [ callee; args_node args ]
+  | FieldAccess (recv, name) ->
+      T.nt "SimpleMemberAccessExpression"
+        [ go recv; T.term ~sort:T.Name "IdentifierName" name ]
+  | Index (arr, i) ->
+      T.nt "ElementAccessExpression"
+        [ go arr; T.nt "BracketedArgumentList" [ T.nt "Argument" [ go i ] ] ]
+  | New (t, args) ->
+      T.nt "ObjectCreationExpression" [ lower_ty t; args_node args ]
+  | NewArray (t, n) -> T.nt "ArrayCreationExpression" [ lower_ty t; go n ]
+  | Cast (t, e1) -> T.nt "CastExpression" [ lower_ty t; go e1 ]
+  | InstanceOf (e1, t) -> T.nt "IsExpression" [ go e1; lower_ty t ]
+
+and lower_stmts ctx scope stmts = List.concat_map (lower_stmt ctx scope) stmts
+
+and lower_stmt ctx scope s =
+  let ge = lower_expr ctx scope in
+  match s with
+  | LocalDecl (ty, ds) ->
+      [
+        T.nt "LocalDeclarationStatement"
+          [
+            T.nt "VariableDeclaration"
+              (lower_ty ty
+              :: List.map
+                   (fun (n, init) ->
+                     let init_nodes =
+                       match init with
+                       | Some e -> [ T.nt "EqualsValueClause" [ ge e ] ]
+                       | None -> []
+                     in
+                     let id = bind ctx scope n in
+                     T.nt "VariableDeclarator"
+                       (T.var id "VarName" n :: init_nodes))
+                   ds);
+          ];
+      ]
+  | ExprStmt e -> [ T.nt "ExpressionStatement" [ ge e ] ]
+  | If (c, t, e) ->
+      [
+        T.nt "IfStatement"
+          ((ge c :: lower_stmts ctx (child scope) t)
+          @
+          match e with
+          | Some e -> [ T.nt "ElseClause" (lower_stmts ctx (child scope) e) ]
+          | None -> []);
+      ]
+  | While (c, body) ->
+      [ T.nt "WhileStatement" (ge c :: lower_stmts ctx (child scope) body) ]
+  | DoWhile (body, c) ->
+      [ T.nt "DoStatement" (lower_stmts ctx (child scope) body @ [ ge c ]) ]
+  | For (init, cond, update, body) ->
+      let for_scope = child scope in
+      let ge' = lower_expr ctx for_scope in
+      let init_nodes =
+        match init with
+        | Some s -> [ T.nt "ForInitializer" (lower_stmt ctx for_scope s) ]
+        | None -> []
+      in
+      let cond_nodes =
+        match cond with
+        | Some c -> [ T.nt "ForCondition" [ ge' c ] ]
+        | None -> []
+      in
+      let update_nodes =
+        match update with
+        | [] -> []
+        | es -> [ T.nt "ForIncrementors" (List.map ge' es) ]
+      in
+      [
+        T.nt "ForStatement"
+          (init_nodes @ cond_nodes @ update_nodes
+          @ lower_stmts ctx for_scope body);
+      ]
+  | ForEach (ty, name, it, body) ->
+      let it_node = ge it in
+      let each_scope = child scope in
+      let id = bind ctx each_scope name in
+      [
+        T.nt "ForEachStatement"
+          (lower_ty ty :: T.var id "VarName" name :: it_node
+          :: lower_stmts ctx each_scope body);
+      ]
+  | Return None -> [ T.nt "ReturnStatement" [] ]
+  | Return (Some e) -> [ T.nt "ReturnStatement" [ ge e ] ]
+  | Break -> [ T.term ~sort:T.Kw "BreakStatement" "break" ]
+  | Continue -> [ T.term ~sort:T.Kw "ContinueStatement" "continue" ]
+  | Try (body, catch, finally) ->
+      let catch_nodes =
+        match catch with
+        | Some (ty, v, cbody) ->
+            let cscope = child scope in
+            let id = bind ctx cscope v in
+            [
+              T.nt "CatchClause"
+                (T.nt "CatchDeclaration" [ lower_ty ty; T.var id "CatchName" v ]
+                :: lower_stmts ctx cscope cbody);
+            ]
+        | None -> []
+      in
+      let finally_nodes =
+        match finally with
+        | Some f -> [ T.nt "FinallyClause" (lower_stmts ctx (child scope) f) ]
+        | None -> []
+      in
+      [
+        T.nt "TryStatement"
+          (lower_stmts ctx (child scope) body @ catch_nodes @ finally_nodes);
+      ]
+  | Throw e -> [ T.nt "ThrowStatement" [ ge e ] ]
+  | Block stmts -> lower_stmts ctx (child scope) stmts
+
+let lower_method ctx m =
+  let scope = { bindings = []; parent = None } in
+  let params =
+    List.map
+      (fun (ty, n) ->
+        let id = bind ctx scope n in
+        T.nt "Parameter" [ lower_ty ty; T.var id "ParamName" n ])
+      m.m_params
+  in
+  T.nt "MethodDeclaration"
+    (lower_ty m.m_ret
+    :: T.term ~sort:T.Name method_name_label m.m_name
+    :: T.nt "ParameterList" params
+    :: lower_stmts ctx scope m.m_body)
+
+let lower_field ctx f =
+  let scope = { bindings = []; parent = None } in
+  T.nt "FieldDeclaration"
+    [
+      T.nt "VariableDeclaration"
+        (lower_ty f.f_ty
+        :: [
+             T.nt "VariableDeclarator"
+               (T.term ~sort:T.Name "FieldName" f.f_name
+               :: (match f.f_init with
+                  | Some e ->
+                      [ T.nt "EqualsValueClause" [ lower_expr ctx scope e ] ]
+                  | None -> []));
+           ]);
+    ]
+
+let lower_class ctx c =
+  T.nt "ClassDeclaration"
+    (T.term ~sort:T.Name "ClassName" c.c_name
+    :: ((match c.c_extends with
+        | Some t -> [ T.nt "BaseList" [ lower_ty t ] ]
+        | None -> [])
+       @ List.map (lower_field ctx) c.c_fields
+       @ List.map (lower_method ctx) c.c_methods))
+
+let program p =
+  let ctx = { next_binder = 0 } in
+  let usings =
+    List.map
+      (fun i -> T.nt "UsingDirective" [ T.term ~sort:T.Name "Name" i ])
+      p.imports
+  in
+  let classes = List.map (lower_class ctx) p.classes in
+  let body =
+    match p.package with
+    | Some ns ->
+        [
+          T.nt "NamespaceDeclaration"
+            (T.term ~sort:T.Name "Name" ns :: classes);
+        ]
+    | None -> classes
+  in
+  T.nt "CompilationUnit" (usings @ body)

@@ -1,0 +1,12 @@
+(** Lowering MiniC# to the generic AST with Roslyn-style labels.
+
+    The C# AST is deliberately more elaborate than the Java one — as
+    the paper observes of Roslyn ("the C# AST is slightly more
+    elaborate than the one we used for Java"): invocation arguments are
+    wrapped in [ArgumentList]/[Argument], initializers in
+    [EqualsValueClause], expression statements in
+    [ExpressionStatement], and parameters in a [ParameterList]. This is
+    why the tuned [max_width] for C# (4) exceeds Java's (3). *)
+
+val program : Minijava.Syntax.program -> Ast.Tree.t
+val method_name_label : string

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for MiniC#.
+
+    Produces {!Minijava.Syntax} values: at this subset the two
+    languages' trees are isomorphic (as Roslyn's and JavaParser's are
+    close cousins), so the C# front-end maps [using] directives to
+    imports, the [namespace] block to the package, [foreach (T x in e)]
+    to [ForEach], and [e is T] to [InstanceOf]. What makes C# *look*
+    different to the learner is {!Lower}, which emits Roslyn-style
+    labels and extra wrapper nodes. *)
+
+val parse : string -> Minijava.Syntax.program
+val parse_expr : string -> Minijava.Syntax.expr
+val parse_stmts : string -> Minijava.Syntax.stmt list
+val parse_type : string -> Minijava.Types.t

@@ -1,0 +1,7 @@
+(** C# source rendering of the shared syntax tree ([using] directives,
+    [namespace] block, [foreach (T x in e)], [e is T]); output
+    re-parses to an equal program. *)
+
+val expr_to_string : Minijava.Syntax.expr -> string
+val program_to_string : Minijava.Syntax.program -> string
+val pp_program : Format.formatter -> Minijava.Syntax.program -> unit

@@ -1,0 +1,3 @@
+let apply = Minijava.Rename.apply
+let strip = Minijava.Rename.strip
+let local_names = Minijava.Rename.local_names

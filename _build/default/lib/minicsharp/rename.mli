@@ -1,0 +1,10 @@
+(** Renaming for MiniC#: the syntax tree is shared with MiniJava, so
+    this simply re-exports {!Minijava.Rename}. *)
+
+val apply :
+  (string -> string option) -> Minijava.Syntax.program -> Minijava.Syntax.program
+
+val strip :
+  Minijava.Syntax.program -> Minijava.Syntax.program * (string * string) list
+
+val local_names : Minijava.Syntax.program -> string list

@@ -1,0 +1,1 @@
+lib/minijava/lexer.ml: Cursor Lexkit List String Token

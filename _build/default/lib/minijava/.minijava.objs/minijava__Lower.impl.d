@@ -1,0 +1,1 @@
+lib/minijava/lower.ml: Ast List String Syntax Types Typing

@@ -1,0 +1,1 @@
+lib/minijava/lower.mli: Ast Syntax

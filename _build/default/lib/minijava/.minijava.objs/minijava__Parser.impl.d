@@ -1,0 +1,1 @@
+lib/minijava/parser.ml: Lexer Lexkit List String Syntax Token Types

@@ -1,0 +1,1 @@
+lib/minijava/parser.mli: Syntax Types

@@ -1,0 +1,1 @@
+lib/minijava/printer.ml: Buffer Format List Option String Syntax Types

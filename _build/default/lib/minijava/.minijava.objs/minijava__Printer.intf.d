@@ -1,0 +1,1 @@
+lib/minijava/printer.mli: Format Syntax

@@ -1,0 +1,1 @@
+lib/minijava/rename.ml: Char Hashtbl List Option Set String Syntax

@@ -1,0 +1,1 @@
+lib/minijava/syntax.ml: Stdlib Types

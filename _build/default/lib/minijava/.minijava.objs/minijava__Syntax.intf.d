@@ -1,0 +1,1 @@
+lib/minijava/syntax.mli: Types

@@ -1,0 +1,1 @@
+lib/minijava/token.ml: Format Lexkit List Printf String

@@ -1,0 +1,1 @@
+lib/minijava/token.mli: Format Lexkit

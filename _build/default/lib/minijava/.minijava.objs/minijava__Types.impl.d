@@ -1,0 +1,1 @@
+lib/minijava/types.ml: Format List Printf Stdlib String

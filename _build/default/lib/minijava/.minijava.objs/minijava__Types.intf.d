@@ -1,0 +1,1 @@
+lib/minijava/types.mli: Format

@@ -1,0 +1,1 @@
+lib/minijava/typing.ml: List String Syntax Types

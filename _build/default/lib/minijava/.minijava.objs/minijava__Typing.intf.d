@@ -1,0 +1,1 @@
+lib/minijava/typing.mli: Syntax Types

@@ -1,0 +1,96 @@
+open Lexkit
+
+let puncts =
+  [
+    "=="; "!="; "<="; ">="; "&&"; "||"; "++"; "--"; "+="; "-="; "*="; "/=";
+    "%="; "<"; ">"; "+"; "-"; "*"; "/"; "%"; "!"; "="; "("; ")"; "{"; "}";
+    "["; "]"; ","; ";"; "."; "?"; ":"; "@"; "&"; "|"; "^"; "~";
+  ]
+
+let skip_trivia cur =
+  let rec go () =
+    Cursor.skip_while cur (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r');
+    match (Cursor.peek cur, Cursor.peek2 cur) with
+    | Some '/', Some '/' ->
+        Cursor.skip_while cur (fun c -> c <> '\n');
+        go ()
+    | Some '/', Some '*' ->
+        Cursor.advance cur;
+        Cursor.advance cur;
+        let rec close () =
+          match (Cursor.peek cur, Cursor.peek2 cur) with
+          | Some '*', Some '/' ->
+              Cursor.advance cur;
+              Cursor.advance cur
+          | None, _ -> error (Cursor.pos cur) "unterminated block comment"
+          | _ ->
+              Cursor.advance cur;
+              close ()
+        in
+        close ();
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let tokenize src =
+  let cur = Cursor.make src in
+  let toks = ref [] in
+  let emit tok pos = toks := { Token.tok; pos } :: !toks in
+  let starts_with_at off p =
+    let n = String.length p in
+    off + n <= String.length src && String.sub src off n = p
+  in
+  let rec go () =
+    skip_trivia cur;
+    let pos = Cursor.pos cur in
+    match Cursor.peek cur with
+    | None -> emit Token.Eof pos
+    | Some c when is_ident_start c ->
+        let id = Cursor.take_while cur is_ident_char in
+        emit (if Token.is_keyword id then Token.Kw id else Token.Ident id) pos;
+        go ()
+    | Some c when is_digit c ->
+        let lexeme = lex_number cur in
+        (* optional float suffix *)
+        let suffixed =
+          match Cursor.peek cur with
+          | Some (('f' | 'F' | 'd' | 'D' | 'L' | 'l') as s) ->
+              Cursor.advance cur;
+              lexeme ^ String.make 1 s
+          | _ -> lexeme
+        in
+        emit
+          (if String.contains suffixed '.'
+             || String.contains suffixed 'f'
+             || String.contains suffixed 'F'
+             || String.contains suffixed 'd'
+             || String.contains suffixed 'D'
+           then Token.DoubleLit suffixed
+           else Token.IntLit suffixed)
+          pos;
+        go ()
+    | Some '"' ->
+        Cursor.advance cur;
+        emit (Token.StrLit (lex_string_literal cur ~quote:'"')) pos;
+        go ()
+    | Some '\'' ->
+        Cursor.advance cur;
+        emit (Token.CharLit (lex_string_literal cur ~quote:'\'')) pos;
+        go ()
+    | Some c -> (
+        match List.find_opt (starts_with_at pos.offset) puncts with
+        | Some p ->
+            String.iter (fun _ -> Cursor.advance cur) p;
+            emit (Token.Punct p) pos;
+            go ()
+        | None -> error pos "unexpected character %C" c)
+  in
+  go ();
+  List.rev !toks
+
+let token_values src =
+  List.filter_map
+    (fun { Token.tok; _ } ->
+      match tok with Token.Eof -> None | t -> Some (Token.to_string t))
+    (tokenize src)

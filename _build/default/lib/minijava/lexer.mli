@@ -1,0 +1,9 @@
+(** MiniJava lexer. Distinguishes integer from decimal literals (the
+    type engine assigns [int] vs [double]); handles [//] and [/* */]
+    comments, string and char literals. *)
+
+val tokenize : string -> Token.spanned list
+(** Ends with {!Token.Eof}; raises {!Lexkit.Error} on bad input. *)
+
+val token_values : string -> string list
+(** Lexemes only; used by the CRF+n-gram baseline. *)

@@ -1,0 +1,256 @@
+open Syntax
+module T = Ast.Tree
+
+let type_tag_prefix = "type:"
+let method_name_label = "MethodName"
+
+type ctx = {
+  mutable next_binder : int;
+  typed : bool;
+  resolve : Types.t -> Types.t;
+}
+
+(* Lexical scope: name -> (binder id, declared type). Java locals are
+   block-scoped and never hoisted, so scopes grow as statements are
+   lowered in order. *)
+type scope = {
+  mutable bindings : (string * (int * Types.t option)) list;
+  parent : scope option;
+}
+
+let fresh ctx =
+  let id = ctx.next_binder in
+  ctx.next_binder <- id + 1;
+  id
+
+let rec lookup scope name =
+  match List.assoc_opt name scope.bindings with
+  | Some v -> Some v
+  | None -> (
+      match scope.parent with Some p -> lookup p name | None -> None)
+
+let bind ctx scope name ty =
+  let id = fresh ctx in
+  scope.bindings <- (name, (id, ty)) :: scope.bindings;
+  id
+
+let child scope = { bindings = []; parent = Some scope }
+
+(* ---------- types ---------- *)
+
+let rec lower_ty ty =
+  match ty with
+  | Types.Prim p -> T.term ~sort:T.Kw "PrimitiveType" p
+  | Types.Named (q, []) ->
+      T.nt "ClassOrInterfaceType"
+        [ T.term ~sort:T.Name "TypeName" (String.concat "." q) ]
+  | Types.Named (q, args) ->
+      T.nt "ClassOrInterfaceType"
+        (T.term ~sort:T.Name "TypeName" (String.concat "." q)
+        :: List.map lower_ty args)
+  | Types.Arr e -> T.nt "ArrayType" [ lower_ty e ]
+
+(* ---------- expressions ---------- *)
+
+let rec lower_expr ctx scope env e =
+  let go = lower_expr ctx scope env in
+  let tagged label children =
+    if ctx.typed then
+      match Typing.type_expr env e with
+      | Some t ->
+          T.nt_tag ~tag:(type_tag_prefix ^ Types.to_string (ctx.resolve t))
+            label children
+      | None -> T.nt label children
+    else T.nt label children
+  in
+  match e with
+  | Ident n -> (
+      match lookup scope n with
+      | Some (id, _) -> T.var id "NameExpr" n
+      | None -> T.term ~sort:T.Name "NameExpr" n)
+  | IntLit n -> T.term ~sort:T.Lit "IntegerLiteral" n
+  | DoubleLit n -> T.term ~sort:T.Lit "DoubleLiteral" n
+  | StrLit s -> T.term ~sort:T.Lit "StringLiteral" s
+  | CharLit c -> T.term ~sort:T.Lit "CharLiteral" c
+  | BoolLit b -> T.term ~sort:T.Lit "BooleanLiteral" (if b then "true" else "false")
+  | NullLit -> T.term ~sort:T.Lit "NullLiteral" "null"
+  | This -> T.term ~sort:T.Kw "ThisExpr" "this"
+  | Binary (op, a, b) -> tagged ("BinaryExpr" ^ op) [ go a; go b ]
+  | Unary (op, e1) -> tagged ("UnaryExpr" ^ op) [ go e1 ]
+  | Update (op, true, e1) -> tagged ("UnaryExpr" ^ op) [ go e1 ]
+  | Update (op, false, e1) -> tagged ("PostfixExpr" ^ op) [ go e1 ]
+  | Assign (op, l, r) -> T.nt ("AssignExpr" ^ op) [ go l; go r ]
+  | Cond (c, t, f) -> tagged "ConditionalExpr" [ go c; go t; go f ]
+  | Call (recv, name, args) ->
+      tagged "MethodCallExpr"
+        ((match recv with Some r -> [ go r ] | None -> [])
+        @ (T.term ~sort:T.Name "SimpleName" name :: List.map go args))
+  | FieldAccess (recv, name) ->
+      tagged "FieldAccessExpr"
+        [ go recv; T.term ~sort:T.Name "SimpleName" name ]
+  | Index (arr, i) -> tagged "ArrayAccessExpr" [ go arr; go i ]
+  | New (t, args) ->
+      tagged "ObjectCreationExpr" (lower_ty t :: List.map go args)
+  | NewArray (t, n) -> tagged "ArrayCreationExpr" [ lower_ty t; go n ]
+  | Cast (t, e1) -> tagged "CastExpr" [ lower_ty t; go e1 ]
+  | InstanceOf (e1, t) -> tagged "InstanceOfExpr" [ go e1; lower_ty t ]
+
+(* ---------- statements ---------- *)
+
+and lower_stmts ctx scope env stmts =
+  List.concat_map (lower_stmt ctx scope env) stmts
+
+and lower_stmt ctx scope env s =
+  let ge = lower_expr ctx scope env in
+  match s with
+  | LocalDecl (ty, ds) ->
+      let rty = ctx.resolve ty in
+      [
+        T.nt "VariableDeclarationExpr"
+          (lower_ty ty
+          :: List.map
+               (fun (n, init) ->
+                 (* Initializer is lowered before the binder is added,
+                    matching Java (no self-reference in initializers of
+                    a fresh name). *)
+                 let init_nodes =
+                   match init with Some e -> [ ge e ] | None -> []
+                 in
+                 let id = bind ctx scope n (Some rty) in
+                 T.nt "VariableDeclarator" (T.var id "VarName" n :: init_nodes))
+               ds);
+      ]
+  | ExprStmt e -> [ ge e ]
+  | If (c, t, e) ->
+      let then_scope = child scope and else_scope = child scope in
+      [
+        T.nt "IfStmt"
+          ((ge c :: lower_stmts ctx then_scope env t)
+          @
+          match e with
+          | Some e -> [ T.nt "ElseStmt" (lower_stmts ctx else_scope env e) ]
+          | None -> []);
+      ]
+  | While (c, body) ->
+      [ T.nt "WhileStmt" (ge c :: lower_stmts ctx (child scope) env body) ]
+  | DoWhile (body, c) ->
+      [ T.nt "DoStmt" (lower_stmts ctx (child scope) env body @ [ ge c ]) ]
+  | For (init, cond, update, body) ->
+      let for_scope = child scope in
+      let ge' = lower_expr ctx for_scope env in
+      let init_nodes =
+        match init with
+        | Some s -> [ T.nt "ForInit" (lower_stmt ctx for_scope env s) ]
+        | None -> []
+      in
+      let cond_nodes =
+        match cond with Some c -> [ T.nt "ForCompare" [ ge' c ] ] | None -> []
+      in
+      let update_nodes =
+        match update with
+        | [] -> []
+        | es -> [ T.nt "ForUpdate" (List.map ge' es) ]
+      in
+      [
+        T.nt "ForStmt"
+          (init_nodes @ cond_nodes @ update_nodes
+          @ lower_stmts ctx for_scope env body);
+      ]
+  | ForEach (ty, name, it, body) ->
+      let rty = ctx.resolve ty in
+      let it_node = ge it in
+      let each_scope = child scope in
+      let id = bind ctx each_scope name (Some rty) in
+      [
+        T.nt "ForEachStmt"
+          (lower_ty ty :: T.var id "VarName" name :: it_node
+          :: lower_stmts ctx each_scope env body);
+      ]
+  | Return None -> [ T.nt "ReturnStmt" [] ]
+  | Return (Some e) -> [ T.nt "ReturnStmt" [ ge e ] ]
+  | Break -> [ T.term ~sort:T.Kw "BreakStmt" "break" ]
+  | Continue -> [ T.term ~sort:T.Kw "ContinueStmt" "continue" ]
+  | Try (body, catch, finally) ->
+      let catch_nodes =
+        match catch with
+        | Some (ty, v, cbody) ->
+            let cscope = child scope in
+            let id = bind ctx cscope v (Some (ctx.resolve ty)) in
+            [
+              T.nt "CatchClause"
+                (lower_ty ty :: T.var id "CatchName" v
+                :: lower_stmts ctx cscope env cbody);
+            ]
+        | None -> []
+      in
+      let finally_nodes =
+        match finally with
+        | Some f -> [ T.nt "FinallyBlock" (lower_stmts ctx (child scope) env f) ]
+        | None -> []
+      in
+      [
+        T.nt "TryStmt"
+          (lower_stmts ctx (child scope) env body @ catch_nodes @ finally_nodes);
+      ]
+  | Throw e -> [ T.nt "ThrowStmt" [ ge e ] ]
+  | Block stmts -> lower_stmts ctx (child scope) env stmts
+
+(* ---------- declarations ---------- *)
+
+let lower_method ctx ~cls m =
+  let scope = { bindings = []; parent = None } in
+  let param_nodes =
+    List.map
+      (fun (ty, n) ->
+        let id = bind ctx scope n (Some (ctx.resolve ty)) in
+        T.nt "Parameter" [ lower_ty ty; T.var id "ParamName" n ])
+      m.m_params
+  in
+  let env =
+    Typing.class_env ~resolve:ctx.resolve cls ~local:(fun n ->
+        match lookup scope n with Some (_, ty) -> ty | None -> None)
+  in
+  (* [env.local] closes over [scope], which grows as declarations are
+     lowered, so typing always sees the in-scope locals. *)
+  T.nt "MethodDeclaration"
+    (lower_ty m.m_ret
+    :: T.term ~sort:T.Name method_name_label m.m_name
+    :: (param_nodes @ lower_stmts ctx scope env m.m_body))
+
+let lower_field ctx ~cls f =
+  let scope = { bindings = []; parent = None } in
+  let env =
+    Typing.class_env ~resolve:ctx.resolve cls ~local:(fun _ -> None)
+  in
+  T.nt "FieldDeclaration"
+    (lower_ty f.f_ty
+    :: T.term ~sort:T.Name "FieldName" f.f_name
+    :: (match f.f_init with
+       | Some e -> [ lower_expr ctx scope env e ]
+       | None -> []))
+
+let lower_class ctx c =
+  T.nt "ClassOrInterfaceDeclaration"
+    (T.term ~sort:T.Name "ClassName" c.c_name
+    :: ((match c.c_extends with
+        | Some t -> [ T.nt "ExtendedType" [ lower_ty t ] ]
+        | None -> [])
+       @ List.map (fun t -> T.nt "ImplementedType" [ lower_ty t ]) c.c_implements
+       @ List.map (lower_field ctx ~cls:c) c.c_fields
+       @ List.map (lower_method ctx ~cls:c) c.c_methods))
+
+let program ?(typed = false) p =
+  let ctx = { next_binder = 0; typed; resolve = Typing.resolver p } in
+  let package_nodes =
+    match p.package with
+    | Some pkg ->
+        [ T.nt "PackageDeclaration" [ T.term ~sort:T.Name "Name" pkg ] ]
+    | None -> []
+  in
+  let import_nodes =
+    List.map
+      (fun i -> T.nt "ImportDeclaration" [ T.term ~sort:T.Name "Name" i ])
+      p.imports
+  in
+  T.nt "CompilationUnit"
+    (package_nodes @ import_nodes @ List.map (lower_class ctx) p.classes)

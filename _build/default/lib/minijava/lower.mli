@@ -1,0 +1,18 @@
+(** Lowering MiniJava to the generic AST, with JavaParser-style node
+    labels ([MethodDeclaration], [NameExpr], [BinaryExpr+], ...).
+
+    Scope resolution marks locals (parameters, local declarations,
+    for-each binders, catch variables) as {!Ast.Tree.Var} terminals;
+    fields, method names and class names are {!Ast.Tree.Name}.
+
+    With [~typed:true], every expression nonterminal whose type the
+    {!Typing} engine can solve gets a ground-truth tag
+    ["type:<fully-qualified>"] — the labels of the full-type task. *)
+
+val program : ?typed:bool -> Syntax.program -> Ast.Tree.t
+
+val type_tag_prefix : string
+(** ["type:"] — prefix of the tags attached by [~typed:true]. *)
+
+val method_name_label : string
+(** Label of method-definition name terminals (["MethodName"]). *)

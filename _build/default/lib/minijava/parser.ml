@@ -1,0 +1,616 @@
+open Syntax
+
+type state = { mutable toks : Token.spanned list }
+
+let peek st = match st.toks with [] -> Token.Eof | { tok; _ } :: _ -> tok
+
+let peek2 st =
+  match st.toks with _ :: { tok; _ } :: _ -> tok | _ -> Token.Eof
+
+let pos st =
+  match st.toks with [] -> Lexkit.start_pos | { pos; _ } :: _ -> pos
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+exception Backtrack
+
+let try_parse st f =
+  let snapshot = st.toks in
+  match f st with
+  | v -> Some v
+  | exception Backtrack ->
+      st.toks <- snapshot;
+      None
+  | exception Lexkit.Error _ ->
+      st.toks <- snapshot;
+      None
+
+let expect_punct st p =
+  match peek st with
+  | Token.Punct q when String.equal p q -> advance st
+  | t -> Lexkit.error (pos st) "expected %S but found %s" p (Token.to_string t)
+
+let expect_kw st k =
+  match peek st with
+  | Token.Kw q when String.equal k q -> advance st
+  | t -> Lexkit.error (pos st) "expected %S but found %s" k (Token.to_string t)
+
+let eat_punct st p =
+  match peek st with
+  | Token.Punct q when String.equal p q ->
+      advance st;
+      true
+  | _ -> false
+
+let eat_kw st k =
+  match peek st with
+  | Token.Kw q when String.equal k q ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_ident st =
+  match peek st with
+  | Token.Ident id ->
+      advance st;
+      id
+  | t -> Lexkit.error (pos st) "expected identifier, found %s" (Token.to_string t)
+
+let prim_types =
+  [ "int"; "boolean"; "double"; "long"; "char"; "byte"; "short"; "float"; "void" ]
+
+let modifiers = [ "public"; "private"; "protected"; "static"; "final" ]
+
+let parse_modifiers st =
+  let rec go acc =
+    match peek st with
+    | Token.Kw k when List.mem k modifiers ->
+        advance st;
+        go (k :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+(* ---------- types ---------- *)
+
+let rec parse_ty st =
+  let base =
+    match peek st with
+    | Token.Kw k when List.mem k prim_types ->
+        advance st;
+        Types.Prim k
+    | Token.Ident _ ->
+        let rec qual acc =
+          let id = expect_ident st in
+          if
+            Token.equal (peek st) (Token.Punct ".")
+            && match peek2 st with Token.Ident _ -> true | _ -> false
+          then begin
+            advance st;
+            qual (id :: acc)
+          end
+          else List.rev (id :: acc)
+        in
+        let q = qual [] in
+        let args =
+          if eat_punct st "<" then begin
+            let rec go acc =
+              let t = parse_ty st in
+              if eat_punct st "," then go (t :: acc)
+              else begin
+                expect_punct st ">";
+                List.rev (t :: acc)
+              end
+            in
+            go []
+          end
+          else []
+        in
+        Types.Named (q, args)
+    | _ -> raise Backtrack
+  in
+  let rec arr t =
+    if Token.equal (peek st) (Token.Punct "[") && Token.equal (peek2 st) (Token.Punct "]")
+    then begin
+      advance st;
+      advance st;
+      arr (Types.Arr t)
+    end
+    else t
+  in
+  arr base
+
+(* ---------- expressions ---------- *)
+
+let binop_levels =
+  [
+    [ "||" ];
+    [ "&&" ];
+    [ "|" ];
+    [ "^" ];
+    [ "&" ];
+    [ "=="; "!=" ];
+    [ "<"; ">"; "<="; ">=" ];
+    [ "+"; "-" ];
+    [ "*"; "/"; "%" ];
+  ]
+
+let assign_ops = [ "="; "+="; "-="; "*="; "/="; "%=" ]
+
+let expr_starts st =
+  match peek st with
+  | Token.Ident _ | Token.IntLit _ | Token.DoubleLit _ | Token.StrLit _
+  | Token.CharLit _ ->
+      true
+  | Token.Kw ("true" | "false" | "null" | "this" | "new") -> true
+  | Token.Punct ("(" | "!" | "-" | "~" | "++" | "--") -> true
+  | _ -> false
+
+let rec parse_expression st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  match peek st with
+  | Token.Punct op when List.mem op assign_ops ->
+      advance st;
+      Assign (op, lhs, parse_assign st)
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_binary st 0 in
+  if eat_punct st "?" then begin
+    let t = parse_assign st in
+    expect_punct st ":";
+    let e = parse_assign st in
+    Cond (c, t, e)
+  end
+  else c
+
+and parse_binary st level =
+  if level >= List.length binop_levels then parse_instanceof st
+  else begin
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Token.Punct op when List.mem op ops ->
+          advance st;
+          lhs := Binary (op, !lhs, parse_binary st (level + 1))
+      | _ -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_instanceof st =
+  let e = parse_unary st in
+  if eat_kw st "instanceof" then InstanceOf (e, parse_ty st) else e
+
+and parse_unary st =
+  match peek st with
+  | Token.Punct (("!" | "-" | "~") as op) ->
+      advance st;
+      Unary (op, parse_unary st)
+  | Token.Punct (("++" | "--") as op) ->
+      advance st;
+      Update (op, true, parse_unary st)
+  | Token.Punct "(" -> (
+      (* Possible cast: requires a type inside parens followed by the
+         start of a unary expression. *)
+      let cast =
+        try_parse st (fun st ->
+            advance st;
+            let t = parse_ty st in
+            if not (eat_punct st ")") then raise Backtrack;
+            (* Plausibility: (x) + 1 must not parse as a cast. *)
+            let plausible =
+              match t with
+              | Types.Prim _ | Types.Arr _ -> true
+              | Types.Named (q, args) ->
+                  args <> [] || List.length q > 1 || expr_starts st
+            in
+            if not (plausible && expr_starts st) then raise Backtrack;
+            Cast (t, parse_unary st))
+      in
+      match cast with Some c -> c | None -> parse_postfix st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_call_member st in
+  match peek st with
+  | Token.Punct (("++" | "--") as op) ->
+      advance st;
+      Update (op, false, e)
+  | _ -> e
+
+and parse_call_member st =
+  let e = parse_primary st in
+  let rec go e =
+    if eat_punct st "." then begin
+      let name = expect_ident st in
+      if eat_punct st "(" then go (Call (Some e, name, parse_args st))
+      else go (FieldAccess (e, name))
+    end
+    else if eat_punct st "[" then begin
+      let i = parse_expression st in
+      expect_punct st "]";
+      go (Index (e, i))
+    end
+    else e
+  in
+  go e
+
+and parse_args st =
+  if eat_punct st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_assign st in
+      if eat_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  match peek st with
+  | Token.IntLit n ->
+      advance st;
+      IntLit n
+  | Token.DoubleLit n ->
+      advance st;
+      DoubleLit n
+  | Token.StrLit s ->
+      advance st;
+      StrLit s
+  | Token.CharLit c ->
+      advance st;
+      CharLit c
+  | Token.Kw "true" ->
+      advance st;
+      BoolLit true
+  | Token.Kw "false" ->
+      advance st;
+      BoolLit false
+  | Token.Kw "null" ->
+      advance st;
+      NullLit
+  | Token.Kw "this" ->
+      advance st;
+      This
+  | Token.Kw "new" -> (
+      advance st;
+      let t = parse_ty st in
+      match peek st with
+      | Token.Punct "[" ->
+          advance st;
+          let n = parse_expression st in
+          expect_punct st "]";
+          NewArray (t, n)
+      | _ ->
+          expect_punct st "(";
+          New (t, parse_args st))
+  | Token.Ident id ->
+      advance st;
+      if eat_punct st "(" then Call (None, id, parse_args st) else Ident id
+  | Token.Punct "(" ->
+      advance st;
+      let e = parse_expression st in
+      expect_punct st ")";
+      e
+  | t -> Lexkit.error (pos st) "unexpected token %s" (Token.to_string t)
+
+(* ---------- statements ---------- *)
+
+let rec parse_block st =
+  expect_punct st "{";
+  let rec go acc =
+    if eat_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt_list_or_single st =
+  if Token.equal (peek st) (Token.Punct "{") then parse_block st
+  else [ parse_stmt st ]
+
+and parse_local_decl st =
+  (* type has been parsed by caller *)
+  fun ty ->
+    let rec go acc =
+      let name = expect_ident st in
+      let init = if eat_punct st "=" then Some (parse_assign st) else None in
+      if eat_punct st "," then go ((name, init) :: acc)
+      else List.rev ((name, init) :: acc)
+    in
+    LocalDecl (ty, go [])
+
+and try_local_decl st =
+  try_parse st (fun st ->
+      let ty = parse_ty st in
+      (match peek st with Token.Ident _ -> () | _ -> raise Backtrack);
+      let d = parse_local_decl st ty in
+      if not (eat_punct st ";") then raise Backtrack;
+      d)
+
+and parse_stmt st =
+  match peek st with
+  | Token.Punct "{" -> Block (parse_block st)
+  | Token.Punct ";" ->
+      advance st;
+      Block []
+  | Token.Kw "if" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expression st in
+      expect_punct st ")";
+      let t = parse_stmt_list_or_single st in
+      let e =
+        if eat_kw st "else" then Some (parse_stmt_list_or_single st) else None
+      in
+      If (c, t, e)
+  | Token.Kw "while" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expression st in
+      expect_punct st ")";
+      While (c, parse_stmt_list_or_single st)
+  | Token.Kw "do" ->
+      advance st;
+      let body = parse_stmt_list_or_single st in
+      expect_kw st "while";
+      expect_punct st "(";
+      let c = parse_expression st in
+      expect_punct st ")";
+      ignore (eat_punct st ";");
+      DoWhile (body, c)
+  | Token.Kw "for" -> (
+      advance st;
+      expect_punct st "(";
+      let foreach =
+        try_parse st (fun st ->
+            let ty = parse_ty st in
+            let name = expect_ident st in
+            if not (eat_punct st ":") then raise Backtrack;
+            let it = parse_expression st in
+            expect_punct st ")";
+            (ty, name, it))
+      in
+      match foreach with
+      | Some (ty, name, it) ->
+          ForEach (ty, name, it, parse_stmt_list_or_single st)
+      | None ->
+          let init =
+            if Token.equal (peek st) (Token.Punct ";") then begin
+              advance st;
+              None
+            end
+            else
+              match try_local_decl st with
+              | Some d -> Some d
+              | None ->
+                  let e = parse_expression st in
+                  expect_punct st ";";
+                  Some (ExprStmt e)
+          in
+          let cond =
+            if Token.equal (peek st) (Token.Punct ";") then None
+            else Some (parse_expression st)
+          in
+          expect_punct st ";";
+          let update =
+            if Token.equal (peek st) (Token.Punct ")") then []
+            else begin
+              let rec go acc =
+                let e = parse_expression st in
+                if eat_punct st "," then go (e :: acc) else List.rev (e :: acc)
+              in
+              go []
+            end
+          in
+          expect_punct st ")";
+          For (init, cond, update, parse_stmt_list_or_single st))
+  | Token.Kw "return" ->
+      advance st;
+      if eat_punct st ";" then Return None
+      else begin
+        let e = parse_expression st in
+        expect_punct st ";";
+        Return (Some e)
+      end
+  | Token.Kw "break" ->
+      advance st;
+      expect_punct st ";";
+      Break
+  | Token.Kw "continue" ->
+      advance st;
+      expect_punct st ";";
+      Continue
+  | Token.Kw "try" ->
+      advance st;
+      let body = parse_block st in
+      let catch =
+        if eat_kw st "catch" then begin
+          expect_punct st "(";
+          let ty = parse_ty st in
+          let v = expect_ident st in
+          expect_punct st ")";
+          Some (ty, v, parse_block st)
+        end
+        else None
+      in
+      let finally = if eat_kw st "finally" then Some (parse_block st) else None in
+      if catch = None && finally = None then
+        Lexkit.error (pos st) "try without catch or finally";
+      Try (body, catch, finally)
+  | Token.Kw "throw" ->
+      advance st;
+      let e = parse_expression st in
+      expect_punct st ";";
+      Throw e
+  | _ -> (
+      match try_local_decl st with
+      | Some d -> d
+      | None ->
+          let e = parse_expression st in
+          expect_punct st ";";
+          ExprStmt e)
+
+(* ---------- declarations ---------- *)
+
+let parse_method st ~mods ~ret ~name =
+  expect_punct st "(";
+  let params =
+    if eat_punct st ")" then []
+    else begin
+      let rec go acc =
+        let ty = parse_ty st in
+        let n = expect_ident st in
+        if eat_punct st "," then go ((ty, n) :: acc)
+        else begin
+          expect_punct st ")";
+          List.rev ((ty, n) :: acc)
+        end
+      in
+      go []
+    end
+  in
+  let throws =
+    if eat_kw st "throws" then begin
+      let rec go acc =
+        let t = parse_ty st in
+        if eat_punct st "," then go (t :: acc) else List.rev (t :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let body = parse_block st in
+  { m_modifiers = mods; m_ret = ret; m_name = name; m_params = params;
+    m_throws = throws; m_body = body }
+
+let parse_member st ~class_name =
+  let mods = parse_modifiers st in
+  (* Constructor: ClassName ( ... *)
+  match (peek st, peek2 st) with
+  | Token.Ident id, Token.Punct "(" when String.equal id class_name ->
+      advance st;
+      let m =
+        parse_method st ~mods:("constructor" :: mods) ~ret:(Types.Prim "void")
+          ~name:id
+      in
+      `Method m
+  | _ -> (
+      let ty = parse_ty st in
+      let name = expect_ident st in
+      match peek st with
+      | Token.Punct "(" -> `Method (parse_method st ~mods ~ret:ty ~name)
+      | _ ->
+          let init = if eat_punct st "=" then Some (parse_assign st) else None in
+          expect_punct st ";";
+          `Field { f_modifiers = mods; f_ty = ty; f_name = name; f_init = init })
+
+let parse_class st =
+  let mods = parse_modifiers st in
+  let is_interface = eat_kw st "interface" in
+  if not is_interface then expect_kw st "class";
+  let mods = if is_interface then "interface" :: mods else mods in
+  let name = expect_ident st in
+  let extends = if eat_kw st "extends" then Some (parse_ty st) else None in
+  let implements =
+    if eat_kw st "implements" then begin
+      let rec go acc =
+        let t = parse_ty st in
+        if eat_punct st "," then go (t :: acc) else List.rev (t :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  expect_punct st "{";
+  let fields = ref [] and methods = ref [] in
+  let rec go () =
+    if eat_punct st "}" then ()
+    else begin
+      (match parse_member st ~class_name:name with
+      | `Field f -> fields := f :: !fields
+      | `Method m -> methods := m :: !methods);
+      go ()
+    end
+  in
+  go ();
+  {
+    c_modifiers = mods;
+    c_name = name;
+    c_extends = extends;
+    c_implements = implements;
+    c_fields = List.rev !fields;
+    c_methods = List.rev !methods;
+  }
+
+let parse_program st =
+  let package =
+    if eat_kw st "package" then begin
+      let rec go acc =
+        let id = expect_ident st in
+        if eat_punct st "." then go (id :: acc)
+        else begin
+          expect_punct st ";";
+          String.concat "." (List.rev (id :: acc))
+        end
+      in
+      Some (go [])
+    end
+    else None
+  in
+  let rec imports acc =
+    if eat_kw st "import" then begin
+      let rec go parts =
+        match peek st with
+        | Token.Ident id ->
+            advance st;
+            if eat_punct st "." then go (id :: parts)
+            else begin
+              expect_punct st ";";
+              String.concat "." (List.rev (id :: parts))
+            end
+        | Token.Punct "*" ->
+            advance st;
+            expect_punct st ";";
+            String.concat "." (List.rev ("*" :: parts))
+        | t ->
+            Lexkit.error (pos st) "bad import: %s" (Token.to_string t)
+      in
+      imports (go [] :: acc)
+    end
+    else List.rev acc
+  in
+  let imports = imports [] in
+  let rec classes acc =
+    match peek st with
+    | Token.Eof -> List.rev acc
+    | _ -> classes (parse_class st :: acc)
+  in
+  { package; imports; classes = classes [] }
+
+let with_state src f =
+  let st = { toks = Lexer.tokenize src } in
+  let v = f st in
+  (match peek st with
+  | Token.Eof -> ()
+  | t -> Lexkit.error (pos st) "trailing input: %s" (Token.to_string t));
+  v
+
+let parse src = with_state src parse_program
+let parse_expr src = with_state src parse_expression
+let parse_type src = with_state src parse_ty
+
+let parse_stmts src =
+  with_state src (fun st ->
+      let rec go acc =
+        match peek st with
+        | Token.Eof -> List.rev acc
+        | _ -> go (parse_stmt st :: acc)
+      in
+      go [])

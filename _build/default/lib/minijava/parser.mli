@@ -1,0 +1,17 @@
+(** Recursive-descent parser for MiniJava.
+
+    Java's grammar is not LL(1) at the statement level — [Foo x = e;]
+    (local declaration) and [foo.bar();] (expression statement) both
+    begin with an identifier, and [(T) e] (cast) collides with a
+    parenthesized expression. The parser resolves these with bounded
+    backtracking over the token list (cheap: the list is immutable and
+    a snapshot is a pointer copy). Nested generics pose no [>>]
+    problem because the lexer never fuses [>] [>]. *)
+
+val parse : string -> Syntax.program
+(** Raises {!Lexkit.Error} on syntax errors. *)
+
+val parse_expr : string -> Syntax.expr
+val parse_type : string -> Types.t
+val parse_stmts : string -> Syntax.stmt list
+(** Parses a bare statement sequence (for tests and snippets). *)

@@ -1,0 +1,351 @@
+open Syntax
+
+let prec = function
+  | Assign _ -> 1
+  | Cond _ -> 2
+  | Binary ("||", _, _) -> 3
+  | Binary ("&&", _, _) -> 4
+  | Binary ("|", _, _) -> 5
+  | Binary ("^", _, _) -> 6
+  | Binary ("&", _, _) -> 7
+  | Binary (("==" | "!="), _, _) -> 8
+  | Binary (("<" | ">" | "<=" | ">="), _, _) | InstanceOf _ -> 9
+  | Binary (("+" | "-"), _, _) -> 10
+  | Binary _ -> 11
+  | Unary _ | Update (_, true, _) | Cast _ -> 12
+  | Update (_, false, _) -> 13
+  | Call _ | New _ | NewArray _ | FieldAccess _ | Index _ -> 14
+  | _ -> 15
+
+let escape_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr buf e =
+  let atom ?(p = prec e) sub =
+    if prec sub < p then begin
+      Buffer.add_char buf '(';
+      expr buf sub;
+      Buffer.add_char buf ')'
+    end
+    else expr buf sub
+  in
+  match e with
+  | Ident id -> Buffer.add_string buf id
+  | IntLit n | DoubleLit n -> Buffer.add_string buf n
+  | StrLit s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_str s);
+      Buffer.add_char buf '"'
+  | CharLit c ->
+      Buffer.add_char buf '\'';
+      Buffer.add_string buf (escape_str c);
+      Buffer.add_char buf '\''
+  | BoolLit b -> Buffer.add_string buf (if b then "true" else "false")
+  | NullLit -> Buffer.add_string buf "null"
+  | This -> Buffer.add_string buf "this"
+  | Unary (op, e1) ->
+      Buffer.add_string buf op;
+      atom e1
+  | Update (op, true, e1) ->
+      Buffer.add_string buf op;
+      atom e1
+  | Update (op, false, e1) ->
+      atom e1;
+      Buffer.add_string buf op
+  | Binary (op, a, b) ->
+      let p = prec e in
+      atom ~p a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf op;
+      Buffer.add_char buf ' ';
+      if prec b <= p then begin
+        Buffer.add_char buf '(';
+        expr buf b;
+        Buffer.add_char buf ')'
+      end
+      else expr buf b
+  | Assign (op, l, r) ->
+      atom ~p:2 l;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf op;
+      Buffer.add_char buf ' ';
+      expr buf r
+  | Cond (c, t, f) ->
+      atom ~p:3 c;
+      Buffer.add_string buf " ? ";
+      atom ~p:2 t;
+      Buffer.add_string buf " : ";
+      atom ~p:2 f
+  | Call (recv, name, args) ->
+      (match recv with
+      | Some r ->
+          atom ~p:14 r;
+          Buffer.add_char buf '.'
+      | None -> ());
+      Buffer.add_string buf name;
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf a)
+        args;
+      Buffer.add_char buf ')'
+  | FieldAccess (e1, f) ->
+      atom ~p:14 e1;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf f
+  | Index (e1, i) ->
+      atom ~p:14 e1;
+      Buffer.add_char buf '[';
+      expr buf i;
+      Buffer.add_char buf ']'
+  | New (t, args) ->
+      Buffer.add_string buf "new ";
+      Buffer.add_string buf (Types.to_string t);
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf a)
+        args;
+      Buffer.add_char buf ')'
+  | NewArray (t, n) ->
+      Buffer.add_string buf "new ";
+      Buffer.add_string buf (Types.to_string t);
+      Buffer.add_char buf '[';
+      expr buf n;
+      Buffer.add_char buf ']'
+  | Cast (t, e1) ->
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (Types.to_string t);
+      Buffer.add_string buf ") ";
+      atom ~p:12 e1
+  | InstanceOf (e1, t) ->
+      atom ~p:9 e1;
+      Buffer.add_string buf " instanceof ";
+      Buffer.add_string buf (Types.to_string t)
+
+and block buf ~indent stmts =
+  Buffer.add_string buf "{\n";
+  List.iter (fun s -> stmt buf ~indent:(indent + 2) s) stmts;
+  Buffer.add_string buf (String.make indent ' ');
+  Buffer.add_char buf '}'
+
+and stmt buf ~indent s =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf pad;
+  (match s with
+  | LocalDecl (ty, ds) ->
+      Buffer.add_string buf (Types.to_string ty);
+      Buffer.add_char buf ' ';
+      List.iteri
+        (fun i (n, init) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf n;
+          match init with
+          | Some e ->
+              Buffer.add_string buf " = ";
+              expr buf e
+          | None -> ())
+        ds;
+      Buffer.add_char buf ';'
+  | ExprStmt e ->
+      expr buf e;
+      Buffer.add_char buf ';'
+  | If (c, t, e) -> (
+      Buffer.add_string buf "if (";
+      expr buf c;
+      Buffer.add_string buf ") ";
+      block buf ~indent t;
+      match e with
+      | Some e ->
+          Buffer.add_string buf " else ";
+          block buf ~indent e
+      | None -> ())
+  | While (c, body) ->
+      Buffer.add_string buf "while (";
+      expr buf c;
+      Buffer.add_string buf ") ";
+      block buf ~indent body
+  | DoWhile (body, c) ->
+      Buffer.add_string buf "do ";
+      block buf ~indent body;
+      Buffer.add_string buf " while (";
+      expr buf c;
+      Buffer.add_string buf ");"
+  | For (init, cond, update, body) ->
+      Buffer.add_string buf "for (";
+      (match init with
+      | Some (LocalDecl _ as d) ->
+          let b2 = Buffer.create 32 in
+          stmt b2 ~indent:0 d;
+          let s2 = String.trim (Buffer.contents b2) in
+          (* already ends with ';' *)
+          Buffer.add_string buf s2
+      | Some (ExprStmt e) ->
+          expr buf e;
+          Buffer.add_char buf ';'
+      | Some _ | None -> Buffer.add_char buf ';');
+      Buffer.add_char buf ' ';
+      Option.iter (expr buf) cond;
+      Buffer.add_string buf "; ";
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf e)
+        update;
+      Buffer.add_string buf ") ";
+      block buf ~indent body
+  | ForEach (ty, name, it, body) ->
+      Buffer.add_string buf "for (";
+      Buffer.add_string buf (Types.to_string ty);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf name;
+      Buffer.add_string buf " : ";
+      expr buf it;
+      Buffer.add_string buf ") ";
+      block buf ~indent body
+  | Return None -> Buffer.add_string buf "return;"
+  | Return (Some e) ->
+      Buffer.add_string buf "return ";
+      expr buf e;
+      Buffer.add_char buf ';'
+  | Break -> Buffer.add_string buf "break;"
+  | Continue -> Buffer.add_string buf "continue;"
+  | Try (body, catch, finally) ->
+      Buffer.add_string buf "try ";
+      block buf ~indent body;
+      (match catch with
+      | Some (ty, v, cbody) ->
+          Buffer.add_string buf " catch (";
+          Buffer.add_string buf (Types.to_string ty);
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf v;
+          Buffer.add_string buf ") ";
+          block buf ~indent cbody
+      | None -> ());
+      (match finally with
+      | Some fbody ->
+          Buffer.add_string buf " finally ";
+          block buf ~indent fbody
+      | None -> ())
+  | Throw e ->
+      Buffer.add_string buf "throw ";
+      expr buf e;
+      Buffer.add_char buf ';'
+  | Block stmts -> block buf ~indent stmts);
+  Buffer.add_char buf '\n'
+
+let meth buf ~indent m =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf pad;
+  let mods = List.filter (fun m -> m <> "constructor") m.m_modifiers in
+  List.iter
+    (fun md ->
+      Buffer.add_string buf md;
+      Buffer.add_char buf ' ')
+    mods;
+  if not (List.mem "constructor" m.m_modifiers) then begin
+    Buffer.add_string buf (Types.to_string m.m_ret);
+    Buffer.add_char buf ' '
+  end;
+  Buffer.add_string buf m.m_name;
+  Buffer.add_char buf '(';
+  List.iteri
+    (fun i (ty, n) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Types.to_string ty);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf n)
+    m.m_params;
+  Buffer.add_string buf ") ";
+  if m.m_throws <> [] then begin
+    Buffer.add_string buf "throws ";
+    Buffer.add_string buf
+      (String.concat ", " (List.map Types.to_string m.m_throws));
+    Buffer.add_char buf ' '
+  end;
+  block buf ~indent m.m_body;
+  Buffer.add_char buf '\n'
+
+let field buf ~indent f =
+  Buffer.add_string buf (String.make indent ' ');
+  List.iter
+    (fun md ->
+      Buffer.add_string buf md;
+      Buffer.add_char buf ' ')
+    f.f_modifiers;
+  Buffer.add_string buf (Types.to_string f.f_ty);
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf f.f_name;
+  (match f.f_init with
+  | Some e ->
+      Buffer.add_string buf " = ";
+      expr buf e
+  | None -> ());
+  Buffer.add_string buf ";\n"
+
+let cls buf c =
+  List.iter
+    (fun md ->
+      if md <> "interface" then begin
+        Buffer.add_string buf md;
+        Buffer.add_char buf ' '
+      end)
+    c.c_modifiers;
+  Buffer.add_string buf
+    (if List.mem "interface" c.c_modifiers then "interface " else "class ");
+  Buffer.add_string buf c.c_name;
+  (match c.c_extends with
+  | Some t ->
+      Buffer.add_string buf " extends ";
+      Buffer.add_string buf (Types.to_string t)
+  | None -> ());
+  if c.c_implements <> [] then begin
+    Buffer.add_string buf " implements ";
+    Buffer.add_string buf
+      (String.concat ", " (List.map Types.to_string c.c_implements))
+  end;
+  Buffer.add_string buf " {\n";
+  List.iter (field buf ~indent:2) c.c_fields;
+  List.iter (meth buf ~indent:2) c.c_methods;
+  Buffer.add_string buf "}\n"
+
+let program_to_string p =
+  let buf = Buffer.create 512 in
+  (match p.package with
+  | Some pkg ->
+      Buffer.add_string buf "package ";
+      Buffer.add_string buf pkg;
+      Buffer.add_string buf ";\n"
+  | None -> ());
+  List.iter
+    (fun i ->
+      Buffer.add_string buf "import ";
+      Buffer.add_string buf i;
+      Buffer.add_string buf ";\n")
+    p.imports;
+  List.iter (cls buf) p.classes;
+  Buffer.contents buf
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  expr buf e;
+  Buffer.contents buf
+
+let stmt_to_string ?(indent = 0) s =
+  let buf = Buffer.create 128 in
+  stmt buf ~indent s;
+  Buffer.contents buf
+
+let pp_program ppf p = Format.pp_print_string ppf (program_to_string p)

@@ -1,0 +1,7 @@
+(** Source rendering of MiniJava ASTs; output re-parses to an equal
+    program (round-trip tested). *)
+
+val expr_to_string : Syntax.expr -> string
+val stmt_to_string : ?indent:int -> Syntax.stmt -> string
+val program_to_string : Syntax.program -> string
+val pp_program : Format.formatter -> Syntax.program -> unit

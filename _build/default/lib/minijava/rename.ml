@@ -1,0 +1,135 @@
+open Syntax
+module Sset = Set.Make (String)
+
+let rename_if env f n =
+  if Sset.mem n env then Option.value (f n) ~default:n else n
+
+let rec rn_expr env f e =
+  let go = rn_expr env f in
+  match e with
+  | Ident n -> Ident (rename_if env f n)
+  | IntLit _ | DoubleLit _ | StrLit _ | CharLit _ | BoolLit _ | NullLit | This
+    ->
+      e
+  | Binary (op, a, b) -> Binary (op, go a, go b)
+  | Unary (op, e1) -> Unary (op, go e1)
+  | Update (op, pre, e1) -> Update (op, pre, go e1)
+  | Assign (op, l, r) -> Assign (op, go l, go r)
+  | Cond (a, b, c) -> Cond (go a, go b, go c)
+  | Call (recv, name, args) -> Call (Option.map go recv, name, List.map go args)
+  | FieldAccess (e1, n) -> FieldAccess (go e1, n)
+  | Index (a, i) -> Index (go a, go i)
+  | New (t, args) -> New (t, List.map go args)
+  | NewArray (t, n) -> NewArray (t, go n)
+  | Cast (t, e1) -> Cast (t, go e1)
+  | InstanceOf (e1, t) -> InstanceOf (go e1, t)
+
+and rn_stmts env f stmts =
+  (* Sequential scoping: a declaration renames itself and is visible to
+     subsequent statements. *)
+  let env = ref env in
+  List.map
+    (fun s ->
+      let s', env' = rn_stmt !env f s in
+      env := env';
+      s')
+    stmts
+
+and rn_stmt env f s : stmt * Sset.t =
+  let ge = rn_expr env f in
+  match s with
+  | LocalDecl (ty, ds) ->
+      let env' =
+        List.fold_left (fun acc (n, _) -> Sset.add n acc) env ds
+      in
+      ( LocalDecl
+          ( ty,
+            List.map
+              (fun (n, init) ->
+                (rename_if env' f n, Option.map (rn_expr env f) init))
+              ds ),
+        env' )
+  | ExprStmt e -> (ExprStmt (ge e), env)
+  | If (c, t, e) ->
+      (If (ge c, rn_stmts env f t, Option.map (rn_stmts env f) e), env)
+  | While (c, b) -> (While (ge c, rn_stmts env f b), env)
+  | DoWhile (b, c) -> (DoWhile (rn_stmts env f b, ge c), env)
+  | For (init, c, up, b) ->
+      let init', env' =
+        match init with
+        | Some s ->
+            let s', e' = rn_stmt env f s in
+            (Some s', e')
+        | None -> (None, env)
+      in
+      ( For
+          ( init',
+            Option.map (rn_expr env' f) c,
+            List.map (rn_expr env' f) up,
+            rn_stmts env' f b ),
+        env )
+  | ForEach (ty, n, it, b) ->
+      let env' = Sset.add n env in
+      (ForEach (ty, rename_if env' f n, ge it, rn_stmts env' f b), env)
+  | Return e -> (Return (Option.map ge e), env)
+  | Break -> (Break, env)
+  | Continue -> (Continue, env)
+  | Try (b, c, fin) ->
+      ( Try
+          ( rn_stmts env f b,
+            Option.map
+              (fun (ty, v, cb) ->
+                let env' = Sset.add v env in
+                (ty, rename_if env' f v, rn_stmts env' f cb))
+              c,
+            Option.map (rn_stmts env f) fin ),
+        env )
+  | Throw e -> (Throw (ge e), env)
+  | Block b -> (Block (rn_stmts env f b), env)
+
+let rn_method f m =
+  let env = Sset.of_list (List.map snd m.m_params) in
+  {
+    m with
+    m_params = List.map (fun (ty, n) -> (ty, rename_if env f n)) m.m_params;
+    m_body = rn_stmts env f m.m_body;
+  }
+
+let apply f p =
+  {
+    p with
+    classes =
+      List.map
+        (fun c -> { c with c_methods = List.map (rn_method f) c.c_methods })
+        p.classes;
+  }
+
+let short_name i =
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (Char.code 'a' + (i mod 26))) ^ acc in
+    if i < 26 then acc else go ((i / 26) - 1) acc
+  in
+  go i ""
+
+let local_names p =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let record n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      order := n :: !order
+    end
+  in
+  let (_ : program) =
+    apply
+      (fun n ->
+        record n;
+        None)
+      p
+  in
+  List.rev !order
+
+let strip p =
+  let names = local_names p in
+  let mapping = List.mapi (fun i n -> (n, short_name i)) names in
+  (apply (fun n -> List.assoc_opt n mapping) p, mapping)

@@ -1,0 +1,10 @@
+(** Binding-aware renaming for MiniJava: strips local-variable and
+    parameter names (the paper's "obfuscation in Java"), leaving
+    fields, methods, classes and types untouched. *)
+
+val apply : (string -> string option) -> Syntax.program -> Syntax.program
+
+val strip : Syntax.program -> Syntax.program * (string * string) list
+(** Locals become ["a"], ["b"], ...; returns the original→short map. *)
+
+val local_names : Syntax.program -> string list

@@ -1,0 +1,75 @@
+(** Abstract syntax of MiniJava: single-file programs with classes,
+    fields and methods — the subset the paper's Java experiments need
+    (Figs. 6, 9 parse verbatim). *)
+
+type expr =
+  | Ident of string
+  | IntLit of string
+  | DoubleLit of string
+  | StrLit of string
+  | CharLit of string
+  | BoolLit of bool
+  | NullLit
+  | This
+  | Binary of string * expr * expr
+  | Unary of string * expr
+  | Update of string * bool * expr  (** [++]/[--]; bool = prefix. *)
+  | Assign of string * expr * expr
+  | Cond of expr * expr * expr
+  | Call of expr option * string * expr list
+      (** [recv.m(args)] or unqualified [m(args)]. *)
+  | FieldAccess of expr * string
+  | Index of expr * expr
+  | New of Types.t * expr list
+  | NewArray of Types.t * expr  (** [new T[n]] *)
+  | Cast of Types.t * expr
+  | InstanceOf of expr * Types.t
+
+and stmt =
+  | LocalDecl of Types.t * (string * expr option) list
+  | ExprStmt of expr
+  | If of expr * stmt list * stmt list option
+  | While of expr * stmt list
+  | DoWhile of stmt list * expr
+  | For of stmt option * expr option * expr list * stmt list
+  | ForEach of Types.t * string * expr * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Try of stmt list * (Types.t * string * stmt list) option * stmt list option
+  | Throw of expr
+  | Block of stmt list
+
+type meth = {
+  m_modifiers : string list;
+  m_ret : Types.t;
+  m_name : string;
+  m_params : (Types.t * string) list;
+  m_throws : Types.t list;
+  m_body : stmt list;
+}
+
+type field = {
+  f_modifiers : string list;
+  f_ty : Types.t;
+  f_name : string;
+  f_init : expr option;
+}
+
+type cls = {
+  c_modifiers : string list;
+  c_name : string;
+  c_extends : Types.t option;
+  c_implements : Types.t list;
+  c_fields : field list;
+  c_methods : meth list;
+}
+
+type program = {
+  package : string option;
+  imports : string list;  (** Dotted import paths. *)
+  classes : cls list;
+}
+
+val equal_program : program -> program -> bool
+val equal_expr : expr -> expr -> bool

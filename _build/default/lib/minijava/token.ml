@@ -1,0 +1,44 @@
+type t =
+  | Ident of string
+  | IntLit of string
+  | DoubleLit of string
+  | StrLit of string
+  | CharLit of string
+  | Punct of string
+  | Kw of string
+  | Eof
+
+type spanned = { tok : t; pos : Lexkit.pos }
+
+let keywords =
+  [
+    "package"; "import"; "public"; "private"; "protected"; "static"; "final";
+    "class"; "interface"; "extends"; "implements"; "void"; "int"; "boolean";
+    "double"; "long"; "char"; "byte"; "short"; "float"; "if"; "else";
+    "while"; "do"; "for"; "return"; "break"; "continue"; "new"; "null";
+    "true"; "false"; "this"; "try"; "catch"; "finally"; "throw"; "throws";
+    "instanceof"; "super";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let equal a b =
+  match (a, b) with
+  | Ident x, Ident y
+  | IntLit x, IntLit y
+  | DoubleLit x, DoubleLit y
+  | StrLit x, StrLit y
+  | CharLit x, CharLit y
+  | Punct x, Punct y
+  | Kw x, Kw y ->
+      String.equal x y
+  | Eof, Eof -> true
+  | _ -> false
+
+let to_string = function
+  | Ident s | IntLit s | DoubleLit s | Punct s | Kw s -> s
+  | StrLit s -> Printf.sprintf "%S" s
+  | CharLit s -> Printf.sprintf "'%s'" s
+  | Eof -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

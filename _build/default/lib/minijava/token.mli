@@ -1,0 +1,19 @@
+(** Tokens of the MiniJava front-end. *)
+
+type t =
+  | Ident of string
+  | IntLit of string
+  | DoubleLit of string
+  | StrLit of string
+  | CharLit of string
+  | Punct of string
+  | Kw of string
+  | Eof
+
+type spanned = { tok : t; pos : Lexkit.pos }
+
+val keywords : string list
+val is_keyword : string -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,17 @@
+type t = Prim of string | Named of string list * t list | Arr of t
+
+let prim p = Prim p
+let named ?(args = []) n = Named ([ n ], args)
+let qualified ?(args = []) q = Named (q, args)
+
+let rec to_string = function
+  | Prim p -> p
+  | Named (q, []) -> String.concat "." q
+  | Named (q, args) ->
+      Printf.sprintf "%s<%s>" (String.concat "." q)
+        (String.concat ", " (List.map to_string args))
+  | Arr t -> to_string t ^ "[]"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let compare a b = Stdlib.compare a b
+let equal a b = compare a b = 0

@@ -1,0 +1,22 @@
+(** Syntactic Java types, shared by the parser, printer, lowering and
+    the {!Typeinf} engine. *)
+
+type t =
+  | Prim of string  (** [int], [boolean], [double], [void], ... *)
+  | Named of string list * t list
+      (** Possibly-qualified class name with type arguments, e.g.
+          [Named (["java"; "util"; "List"], [Named (["String"], [])])]. *)
+  | Arr of t
+
+val prim : string -> t
+val named : ?args:t list -> string -> t
+(** [named "List"] — a simple (unqualified) class type. *)
+
+val qualified : ?args:t list -> string list -> t
+
+val to_string : t -> string
+(** Java source syntax: ["java.util.List<String>"], ["int[]"]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

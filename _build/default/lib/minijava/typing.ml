@@ -1,0 +1,324 @@
+type env = {
+  resolve : Types.t -> Types.t;
+  local : string -> Types.t option;
+  field : string -> Types.t option;
+  own_method : string -> Types.t option;
+  this_ty : Types.t option;
+}
+
+let well_known =
+  [
+    ("String", "java.lang.String");
+    ("Object", "java.lang.Object");
+    ("Integer", "java.lang.Integer");
+    ("Boolean", "java.lang.Boolean");
+    ("Double", "java.lang.Double");
+    ("Long", "java.lang.Long");
+    ("Character", "java.lang.Character");
+    ("Exception", "java.lang.Exception");
+    ("RuntimeException", "java.lang.RuntimeException");
+    ("IllegalArgumentException", "java.lang.IllegalArgumentException");
+    ("IOException", "java.io.IOException");
+    ("StringBuilder", "java.lang.StringBuilder");
+    ("System", "java.lang.System");
+    ("Math", "java.lang.Math");
+    ("List", "java.util.List");
+    ("ArrayList", "java.util.ArrayList");
+    ("Map", "java.util.Map");
+    ("HashMap", "java.util.HashMap");
+    ("Set", "java.util.Set");
+    ("HashSet", "java.util.HashSet");
+    ("Iterator", "java.util.Iterator");
+    ("Collection", "java.util.Collection");
+    ("Arrays", "java.util.Arrays");
+    ("Collections", "java.util.Collections");
+    ("Scanner", "java.util.Scanner");
+    ("File", "java.io.File");
+    ("BufferedReader", "java.io.BufferedReader");
+    ("FileReader", "java.io.FileReader");
+    ("PrintStream", "java.io.PrintStream");
+    ("HttpClient", "org.apache.http.client.HttpClient");
+    ("HttpRequest", "org.apache.http.HttpRequest");
+    ("HttpResponse", "org.apache.http.HttpResponse");
+    ("Connection", "java.sql.Connection");
+    ("Logger", "java.util.logging.Logger");
+    ("Pattern", "java.util.regex.Pattern");
+    ("Matcher", "java.util.regex.Matcher");
+  ]
+
+let split_dots s = String.split_on_char '.' s
+
+let resolver (p : Syntax.program) =
+  (* import path -> maps last segment to full path *)
+  let import_map =
+    List.filter_map
+      (fun imp ->
+        match List.rev (split_dots imp) with
+        | "*" :: _ -> None
+        | last :: _ -> Some (last, imp)
+        | [] -> None)
+      p.Syntax.imports
+  in
+  let own_map =
+    List.map
+      (fun (c : Syntax.cls) ->
+        let fq =
+          match p.Syntax.package with
+          | Some pkg -> pkg ^ "." ^ c.Syntax.c_name
+          | None -> c.Syntax.c_name
+        in
+        (c.Syntax.c_name, fq))
+      p.Syntax.classes
+  in
+  let rec resolve t =
+    match t with
+    | Types.Prim _ -> t
+    | Types.Arr e -> Types.Arr (resolve e)
+    | Types.Named ([ simple ], args) ->
+        let args = List.map resolve args in
+        let fq =
+          match List.assoc_opt simple import_map with
+          | Some fq -> fq
+          | None -> (
+              match List.assoc_opt simple own_map with
+              | Some fq -> fq
+              | None -> (
+                  match List.assoc_opt simple well_known with
+                  | Some fq -> fq
+                  | None -> simple))
+        in
+        Types.Named (split_dots fq, args)
+    | Types.Named (q, args) -> Types.Named (q, List.map resolve args)
+  in
+  resolve
+
+(* ---------- method signature table ---------- *)
+
+(* Return-type specifications relative to the (resolved) receiver type. *)
+type ret_spec =
+  | R of Types.t  (** concrete *)
+  | Arg0  (** first generic argument of the receiver *)
+  | Arg1
+  | Self  (** the receiver type itself *)
+  | ListOfArg0
+
+let jstring = Types.Named ([ "java"; "lang"; "String" ], [])
+let jobject = Types.Named ([ "java"; "lang"; "Object" ], [])
+let jint = Types.Prim "int"
+let jbool = Types.Prim "boolean"
+let jdouble = Types.Prim "double"
+let jchar = Types.Prim "char"
+let jvoid = Types.Prim "void"
+
+(* (class FQN, method name) -> return spec. Covers the library surface
+   the corpus generator and the paper's examples use. *)
+let signatures =
+  [
+    (("java.lang.String", "length"), R jint);
+    (("java.lang.String", "charAt"), R jchar);
+    (("java.lang.String", "substring"), R jstring);
+    (("java.lang.String", "toUpperCase"), R jstring);
+    (("java.lang.String", "toLowerCase"), R jstring);
+    (("java.lang.String", "trim"), R jstring);
+    (("java.lang.String", "concat"), R jstring);
+    (("java.lang.String", "replace"), R jstring);
+    (("java.lang.String", "indexOf"), R jint);
+    (("java.lang.String", "equals"), R jbool);
+    (("java.lang.String", "isEmpty"), R jbool);
+    (("java.lang.String", "contains"), R jbool);
+    (("java.lang.String", "startsWith"), R jbool);
+    (("java.lang.String", "endsWith"), R jbool);
+    (("java.lang.String", "split"), R (Types.Arr jstring));
+    (("java.lang.String", "hashCode"), R jint);
+    (("java.lang.StringBuilder", "append"), Self);
+    (("java.lang.StringBuilder", "toString"), R jstring);
+    (("java.lang.StringBuilder", "length"), R jint);
+    (("java.lang.Object", "toString"), R jstring);
+    (("java.lang.Object", "equals"), R jbool);
+    (("java.lang.Object", "hashCode"), R jint);
+    (("java.lang.Integer", "intValue"), R jint);
+    (("java.lang.Integer", "parseInt"), R jint);
+    (("java.lang.Double", "doubleValue"), R jdouble);
+    (("java.lang.Double", "parseDouble"), R jdouble);
+    (("java.lang.Boolean", "booleanValue"), R jbool);
+    (("java.util.List", "get"), Arg0);
+    (("java.util.List", "size"), R jint);
+    (("java.util.List", "add"), R jbool);
+    (("java.util.List", "remove"), Arg0);
+    (("java.util.List", "contains"), R jbool);
+    (("java.util.List", "isEmpty"), R jbool);
+    (("java.util.List", "indexOf"), R jint);
+    (("java.util.List", "iterator"), R jobject);
+    (("java.util.ArrayList", "get"), Arg0);
+    (("java.util.ArrayList", "size"), R jint);
+    (("java.util.ArrayList", "add"), R jbool);
+    (("java.util.ArrayList", "contains"), R jbool);
+    (("java.util.ArrayList", "isEmpty"), R jbool);
+    (("java.util.Map", "get"), Arg1);
+    (("java.util.Map", "put"), Arg1);
+    (("java.util.Map", "containsKey"), R jbool);
+    (("java.util.Map", "size"), R jint);
+    (("java.util.Map", "isEmpty"), R jbool);
+    (("java.util.Map", "keySet"), ListOfArg0);
+    (("java.util.HashMap", "get"), Arg1);
+    (("java.util.HashMap", "put"), Arg1);
+    (("java.util.HashMap", "containsKey"), R jbool);
+    (("java.util.HashMap", "size"), R jint);
+    (("java.util.Set", "add"), R jbool);
+    (("java.util.Set", "contains"), R jbool);
+    (("java.util.Set", "size"), R jint);
+    (("java.util.HashSet", "add"), R jbool);
+    (("java.util.HashSet", "contains"), R jbool);
+    (("java.util.HashSet", "size"), R jint);
+    (("java.util.Iterator", "hasNext"), R jbool);
+    (("java.util.Iterator", "next"), Arg0);
+    (("java.util.Scanner", "nextLine"), R jstring);
+    (("java.util.Scanner", "nextInt"), R jint);
+    (("java.util.Scanner", "hasNext"), R jbool);
+    (("java.io.BufferedReader", "readLine"), R jstring);
+    (("java.io.File", "getName"), R jstring);
+    (("java.io.File", "exists"), R jbool);
+    (("java.io.File", "length"), R (Types.Prim "long"));
+    (("java.lang.Math", "abs"), R jint);
+    (("java.lang.Math", "max"), R jint);
+    (("java.lang.Math", "min"), R jint);
+    (("java.lang.Math", "sqrt"), R jdouble);
+    (("org.apache.http.client.HttpClient", "execute"),
+     R (Types.Named ([ "org"; "apache"; "http"; "HttpResponse" ], [])));
+    (("org.apache.http.HttpResponse", "getStatusLine"), R jobject);
+    (("java.util.logging.Logger", "getLogger"),
+     R (Types.Named ([ "java"; "util"; "logging"; "Logger" ], [])));
+  ]
+
+let fqn_of = function
+  | Types.Named (q, _) -> Some (String.concat "." q)
+  | _ -> None
+
+let lookup_sig recv_ty name =
+  match fqn_of recv_ty with
+  | None -> None
+  | Some fqn -> (
+      match List.assoc_opt (fqn, name) signatures with
+      | None -> None
+      | Some spec -> (
+          let args = match recv_ty with Types.Named (_, a) -> a | _ -> [] in
+          match spec with
+          | R t -> Some t
+          | Self -> Some recv_ty
+          | Arg0 -> ( match args with a :: _ -> Some a | [] -> Some jobject)
+          | Arg1 -> (
+              match args with _ :: b :: _ -> Some b | _ -> Some jobject)
+          | ListOfArg0 ->
+              let elem = match args with a :: _ -> a | [] -> jobject in
+              Some (Types.Named ([ "java"; "util"; "Set" ], [ elem ]))))
+
+let is_numeric = function
+  | Types.Prim ("int" | "double" | "long" | "float" | "short" | "byte" | "char")
+    ->
+      true
+  | _ -> false
+
+let is_string t = Types.equal t jstring
+
+let wider a b =
+  match (a, b) with
+  | Types.Prim "double", _ | _, Types.Prim "double" -> jdouble
+  | Types.Prim "float", _ | _, Types.Prim "float" -> Types.Prim "float"
+  | Types.Prim "long", _ | _, Types.Prim "long" -> Types.Prim "long"
+  | _ -> jint
+
+let class_env ~resolve (c : Syntax.cls) ~local =
+  let fields =
+    List.map (fun (f : Syntax.field) -> (f.Syntax.f_name, resolve f.Syntax.f_ty)) c.Syntax.c_fields
+  in
+  let methods =
+    List.map
+      (fun (m : Syntax.meth) -> (m.Syntax.m_name, resolve m.Syntax.m_ret))
+      c.Syntax.c_methods
+  in
+  {
+    resolve;
+    local;
+    field = (fun n -> List.assoc_opt n fields);
+    own_method = (fun n -> List.assoc_opt n methods);
+    this_ty = Some (resolve (Types.named c.Syntax.c_name));
+  }
+
+let rec type_expr env (e : Syntax.expr) : Types.t option =
+  match e with
+  | Syntax.IntLit _ -> Some jint
+  | Syntax.DoubleLit _ -> Some jdouble
+  | Syntax.StrLit _ -> Some jstring
+  | Syntax.CharLit _ -> Some jchar
+  | Syntax.BoolLit _ -> Some jbool
+  | Syntax.NullLit -> None
+  | Syntax.This -> env.this_ty
+  | Syntax.Ident n -> (
+      match env.local n with Some t -> Some t | None -> env.field n)
+  | Syntax.Binary (op, a, b) -> (
+      match op with
+      | "&&" | "||" | "==" | "!=" | "<" | ">" | "<=" | ">=" -> Some jbool
+      | "+" -> (
+          match (type_expr env a, type_expr env b) with
+          | Some ta, _ when is_string ta -> Some jstring
+          | _, Some tb when is_string tb -> Some jstring
+          | Some ta, Some tb when is_numeric ta && is_numeric tb ->
+              Some (wider ta tb)
+          | _ -> None)
+      | "-" | "*" | "/" | "%" -> (
+          match (type_expr env a, type_expr env b) with
+          | Some ta, Some tb when is_numeric ta && is_numeric tb ->
+              Some (wider ta tb)
+          | _ -> None)
+      | "&" | "|" | "^" -> Some jint
+      | _ -> None)
+  | Syntax.Unary ("!", _) -> Some jbool
+  | Syntax.Unary ("-", e1) -> type_expr env e1
+  | Syntax.Unary ("~", _) -> Some jint
+  | Syntax.Unary (_, _) -> None
+  | Syntax.Update (_, _, e1) -> type_expr env e1
+  | Syntax.Assign (_, l, r) -> (
+      match type_expr env l with Some t -> Some t | None -> type_expr env r)
+  | Syntax.Cond (_, t, f) -> (
+      match type_expr env t with Some ty -> Some ty | None -> type_expr env f)
+  | Syntax.Call (None, name, _) -> (
+      match env.own_method name with
+      | Some (Types.Prim "void") -> Some jvoid
+      | other -> other)
+  | Syntax.Call (Some recv, name, _) -> (
+      match type_expr env recv with
+      | Some recv_ty -> (
+          match lookup_sig recv_ty name with
+          | Some t -> Some (env.resolve t)
+          | None -> None)
+      | None -> (
+          (* Static call on a class name, e.g. Math.abs or Integer.parseInt. *)
+          match recv with
+          | Syntax.Ident cls_name -> (
+              let recv_ty = env.resolve (Types.named cls_name) in
+              match lookup_sig recv_ty name with
+              | Some t -> Some (env.resolve t)
+              | None -> None)
+          | _ -> None))
+  | Syntax.FieldAccess (recv, name) -> (
+      match type_expr env recv with
+      | Some (Types.Arr _) when String.equal name "length" -> Some jint
+      | Some recv_ty
+        when fqn_of recv_ty = Some "java.lang.System"
+             && (String.equal name "out" || String.equal name "err") ->
+          Some (Types.Named ([ "java"; "io"; "PrintStream" ], []))
+      | _ -> (
+          (* System.out without a typed receiver *)
+          match recv with
+          | Syntax.Ident "System" when name = "out" || name = "err" ->
+              Some (Types.Named ([ "java"; "io"; "PrintStream" ], []))
+          | Syntax.This -> env.field name
+          | _ -> None))
+  | Syntax.Index (arr, _) -> (
+      match type_expr env arr with
+      | Some (Types.Arr t) -> Some t
+      | _ -> None)
+  | Syntax.New (t, _) -> Some (env.resolve t)
+  | Syntax.NewArray (t, _) -> Some (Types.Arr (env.resolve t))
+  | Syntax.Cast (t, _) -> Some (env.resolve t)
+  | Syntax.InstanceOf (_, _) -> Some jbool

@@ -1,0 +1,41 @@
+(** Local type inference for MiniJava.
+
+    Produces the ground-truth labels of the paper's full-type task
+    (Section 5.3.3): fully-qualified types for expressions, e.g.
+    [java.lang.String] rather than [String]. Resolution uses the
+    program's package, its imports, its own classes, and a table of
+    well-known JDK and Apache-HTTP classes; method-call results come
+    from a signature table with simple generics (so
+    [List<Integer>.get(i)] is [java.lang.Integer]).
+
+    The paper evaluates only expressions "that could be solved by a
+    global type inference engine"; here, an expression is evaluated iff
+    {!type_expr} returns [Some]. *)
+
+type env = {
+  resolve : Types.t -> Types.t;  (** Simple name → fully-qualified type. *)
+  local : string -> Types.t option;  (** Locals and parameters in scope. *)
+  field : string -> Types.t option;  (** Fields of the enclosing class. *)
+  own_method : string -> Types.t option;
+      (** Return types of the enclosing class's methods. *)
+  this_ty : Types.t option;
+}
+
+val resolver : Syntax.program -> Types.t -> Types.t
+(** Resolution function for a program: qualifies simple class names via
+    imports, the program's own classes (package-qualified), then the
+    well-known table; unknown names resolve to themselves. Recurses
+    into generic arguments and array elements. *)
+
+val class_env :
+  resolve:(Types.t -> Types.t) -> Syntax.cls -> local:(string -> Types.t option) -> env
+(** Environment for typing expressions inside a class, given a lookup
+    for the current local scope. *)
+
+val type_expr : env -> Syntax.expr -> Types.t option
+(** [None] when the type cannot be solved locally. Returned types are
+    fully resolved. *)
+
+val well_known : (string * string) list
+(** Simple name → fully-qualified name table (exposed for tests and for
+    the corpus generator). *)

@@ -1,0 +1,1 @@
+lib/minijs/lexer.ml: Cursor Lexkit List String Token

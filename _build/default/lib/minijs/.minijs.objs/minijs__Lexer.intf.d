@@ -1,0 +1,1 @@
+lib/minijs/lexer.mli: Token

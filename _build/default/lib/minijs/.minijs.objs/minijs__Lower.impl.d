@@ -1,0 +1,1 @@
+lib/minijs/lower.ml: Ast List Option Syntax

@@ -1,0 +1,1 @@
+lib/minijs/lower.mli: Ast Syntax

@@ -1,0 +1,1 @@
+lib/minijs/parser.ml: Lexer Lexkit List String Syntax Token

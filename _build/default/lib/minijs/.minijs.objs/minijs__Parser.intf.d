@@ -1,0 +1,1 @@
+lib/minijs/parser.mli: Syntax

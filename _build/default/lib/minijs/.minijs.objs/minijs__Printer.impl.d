@@ -1,0 +1,1 @@
+lib/minijs/printer.ml: Buffer Format List Option String Syntax

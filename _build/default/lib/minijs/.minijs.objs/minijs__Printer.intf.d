@@ -1,0 +1,1 @@
+lib/minijs/printer.mli: Format Syntax

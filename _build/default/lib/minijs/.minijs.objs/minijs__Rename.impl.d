@@ -1,0 +1,1 @@
+lib/minijs/rename.ml: Char Hashtbl List Option Set String Syntax

@@ -1,0 +1,1 @@
+lib/minijs/rename.mli: Syntax

@@ -1,0 +1,1 @@
+lib/minijs/syntax.ml: Stdlib

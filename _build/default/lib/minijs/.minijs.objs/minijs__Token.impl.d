@@ -1,0 +1,1 @@
+lib/minijs/token.ml: Format Lexkit List Printf String

@@ -1,0 +1,1 @@
+lib/minijs/token.mli: Format Lexkit

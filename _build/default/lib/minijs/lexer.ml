@@ -1,0 +1,77 @@
+open Lexkit
+
+let puncts =
+  (* Longest match first. *)
+  [
+    "==="; "!=="; "<<="; ">>="; "=="; "!="; "<="; ">="; "&&"; "||"; "++";
+    "--"; "+="; "-="; "*="; "/="; "%="; "=>"; "<"; ">"; "+"; "-"; "*"; "/";
+    "%"; "!"; "="; "("; ")"; "{"; "}"; "["; "]"; ","; ";"; "."; "?"; ":";
+    "&"; "|"; "^"; "~";
+  ]
+
+let skip_trivia cur =
+  let rec go () =
+    Cursor.skip_while cur (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r');
+    match (Cursor.peek cur, Cursor.peek2 cur) with
+    | Some '/', Some '/' ->
+        Cursor.skip_while cur (fun c -> c <> '\n');
+        go ()
+    | Some '/', Some '*' ->
+        Cursor.advance cur;
+        Cursor.advance cur;
+        let rec close () =
+          match (Cursor.peek cur, Cursor.peek2 cur) with
+          | Some '*', Some '/' ->
+              Cursor.advance cur;
+              Cursor.advance cur
+          | None, _ -> error (Cursor.pos cur) "unterminated block comment"
+          | _ ->
+              Cursor.advance cur;
+              close ()
+        in
+        close ();
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let tokenize src =
+  let cur = Cursor.make src in
+  let toks = ref [] in
+  let emit tok pos = toks := { Token.tok; pos } :: !toks in
+  let starts_with_at off p =
+    let n = String.length p in
+    off + n <= String.length src && String.sub src off n = p
+  in
+  let rec go () =
+    skip_trivia cur;
+    let pos = Cursor.pos cur in
+    match Cursor.peek cur with
+    | None -> emit Token.Eof pos
+    | Some c when is_ident_start c ->
+        let id = Cursor.take_while cur is_ident_char in
+        emit (if Token.is_keyword id then Token.Kw id else Token.Ident id) pos;
+        go ()
+    | Some c when is_digit c ->
+        emit (Token.Num (lex_number cur)) pos;
+        go ()
+    | Some (('"' | '\'') as q) ->
+        Cursor.advance cur;
+        emit (Token.Str (lex_string_literal cur ~quote:q)) pos;
+        go ()
+    | Some c -> (
+        match List.find_opt (starts_with_at pos.offset) puncts with
+        | Some p ->
+            String.iter (fun _ -> Cursor.advance cur) p;
+            emit (Token.Punct p) pos;
+            go ()
+        | None -> error pos "unexpected character %C" c)
+  in
+  go ();
+  List.rev !toks
+
+let token_values src =
+  List.filter_map
+    (fun { Token.tok; _ } ->
+      match tok with Token.Eof -> None | t -> Some (Token.to_string t))
+    (tokenize src)

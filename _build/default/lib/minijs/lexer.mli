@@ -1,0 +1,15 @@
+(** MiniJS lexer: whitespace- and comment-insensitive tokenization.
+
+    Handles [//] line and [/* */] block comments, single- and
+    double-quoted strings with escapes, integer and decimal numbers,
+    identifiers/keywords, and multi-character punctuators with
+    longest-match ([===] before [==] before [=]). *)
+
+val tokenize : string -> Token.spanned list
+(** The returned list always ends with an {!Token.Eof} token. Raises
+    {!Lexkit.Error} on malformed input (unterminated string or block
+    comment, unexpected character). *)
+
+val token_values : string -> string list
+(** Just the lexemes, no positions or [Eof]; used by the token-stream
+    baselines. *)

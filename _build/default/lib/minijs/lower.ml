@@ -1,0 +1,225 @@
+open Syntax
+module T = Ast.Tree
+
+type scope = {
+  mutable bindings : (string * int) list;  (** name -> binder id *)
+  parent : scope option;
+}
+
+type ctx = { mutable next_binder : int }
+
+let fresh ctx =
+  let id = ctx.next_binder in
+  ctx.next_binder <- id + 1;
+  id
+
+let rec lookup scope name =
+  match List.assoc_opt name scope.bindings with
+  | Some id -> Some id
+  | None -> (
+      match scope.parent with Some p -> lookup p name | None -> None)
+
+let bind ctx scope name =
+  match List.assoc_opt name scope.bindings with
+  | Some id -> id
+  | None ->
+      let id = fresh ctx in
+      scope.bindings <- (name, id) :: scope.bindings;
+      id
+
+(* Hoisting prescan: var declarations, function declarations, for-in
+   binders and undeclared-but-assigned identifiers all become locals of
+   the enclosing function scope. Does not descend into nested functions. *)
+let rec hoist_stmts ctx scope stmts = List.iter (hoist_stmt ctx scope) stmts
+
+and hoist_stmt ctx scope = function
+  | VarDecl ds -> List.iter (fun (n, _) -> ignore (bind ctx scope n)) ds
+  | FuncDecl (n, _, _) -> ignore (bind ctx scope n)
+  | If (_, t, e) ->
+      hoist_stmts ctx scope t;
+      Option.iter (hoist_stmts ctx scope) e
+  | While (_, b) | DoWhile (b, _) -> hoist_stmts ctx scope b
+  | For (init, _, _, b) ->
+      Option.iter (hoist_stmt ctx scope) init;
+      hoist_stmts ctx scope b
+  | ForIn (_, n, _, b) ->
+      ignore (bind ctx scope n);
+      hoist_stmts ctx scope b
+  | Try (b, c, f) ->
+      hoist_stmts ctx scope b;
+      Option.iter (fun (_, cb) -> hoist_stmts ctx scope cb) c;
+      Option.iter (hoist_stmts ctx scope) f
+  | Block b -> hoist_stmts ctx scope b
+  | Expr e | Throw e | Return (Some e) -> hoist_expr ctx scope e
+  | Return None | Break | Continue -> ()
+
+and hoist_expr ctx scope = function
+  | Assign (_, Ident n, r) ->
+      ignore (bind ctx scope n);
+      hoist_expr ctx scope r
+  | Assign (_, l, r) | Binary (_, l, r) | Index (l, r) ->
+      hoist_expr ctx scope l;
+      hoist_expr ctx scope r
+  | Unary (_, e) | Update (_, _, e) | Member (e, _) -> hoist_expr ctx scope e
+  | Cond (a, b, c) ->
+      hoist_expr ctx scope a;
+      hoist_expr ctx scope b;
+      hoist_expr ctx scope c
+  | Call (f, args) | New (f, args) ->
+      hoist_expr ctx scope f;
+      List.iter (hoist_expr ctx scope) args
+  | Array es -> List.iter (hoist_expr ctx scope) es
+  | Object kvs -> List.iter (fun (_, v) -> hoist_expr ctx scope v) kvs
+  | Func _ (* separate scope *) | Ident _ | Num _ | Str _ | Bool _ | Null
+  | This ->
+      ()
+
+let sym ctx scope ~label name =
+  ignore ctx;
+  match lookup scope name with
+  | Some id -> T.var id label name
+  | None -> T.term ~sort:T.Name label name
+
+let rec lower_expr ctx scope e =
+  let go = lower_expr ctx scope in
+  match e with
+  | Ident n -> sym ctx scope ~label:"SymbolRef" n
+  | Num n -> T.term ~sort:T.Lit "Number" n
+  | Str s -> T.term ~sort:T.Lit "String" s
+  | Bool true -> T.term ~sort:T.Lit "True" "true"
+  | Bool false -> T.term ~sort:T.Lit "False" "false"
+  | Null -> T.term ~sort:T.Lit "Null" "null"
+  | This -> T.term ~sort:T.Kw "This" "this"
+  | Array es -> T.nt "Array" (List.map go es)
+  | Object kvs ->
+      T.nt "Object"
+        (List.map
+           (fun (k, v) ->
+             T.nt "ObjectKeyVal" [ T.term ~sort:T.Name "Key" k; go v ])
+           kvs)
+  | Unary (op, e1) -> T.nt ("UnaryPrefix" ^ op) [ go e1 ]
+  | Update (op, true, e1) -> T.nt ("UnaryPrefix" ^ op) [ go e1 ]
+  | Update (op, false, e1) -> T.nt ("UnaryPostfix" ^ op) [ go e1 ]
+  | Binary (op, a, b) -> T.nt ("Binary" ^ op) [ go a; go b ]
+  | Assign (op, l, r) -> T.nt ("Assign" ^ op) [ go l; go r ]
+  | Cond (c, t, f) -> T.nt "Conditional" [ go c; go t; go f ]
+  | Call (f, args) -> T.nt "Call" (go f :: List.map go args)
+  | New (f, args) -> T.nt "New" (go f :: List.map go args)
+  | Member (e1, f) ->
+      T.nt "Dot" [ go e1; T.term ~sort:T.Name "SymbolProperty" f ]
+  | Index (e1, i) -> T.nt "Sub" [ go e1; go i ]
+  | Func (name, params, body) ->
+      let inner = { bindings = []; parent = Some scope } in
+      let name_node =
+        Option.map
+          (fun n -> T.var (bind ctx inner n) "SymbolLambda" n)
+          name
+      in
+      let param_nodes =
+        List.map (fun p -> T.var (bind ctx inner p) "SymbolFunarg" p) params
+      in
+      hoist_stmts ctx inner body;
+      T.nt "Function"
+        ((match name_node with Some n -> [ n ] | None -> [])
+        @ param_nodes
+        @ lower_stmts ctx inner body)
+
+and lower_stmts ctx scope stmts =
+  List.concat_map (lower_stmt ctx scope) stmts
+
+and lower_stmt ctx scope s =
+  let ge = lower_expr ctx scope in
+  match s with
+  | Expr e -> [ ge e ]
+  | VarDecl ds ->
+      [
+        T.nt "Var"
+          (List.map
+             (fun (n, init) ->
+               let id = bind ctx scope n in
+               let name_node = T.var id "SymbolVar" n in
+               T.nt "VarDef"
+                 (name_node :: (match init with Some e -> [ ge e ] | None -> [])))
+             ds);
+      ]
+  | If (c, t, e) ->
+      [
+        T.nt "If"
+          ((ge c :: lower_stmts ctx scope t)
+          @
+          match e with
+          | Some e -> [ T.nt "Else" (lower_stmts ctx scope e) ]
+          | None -> []);
+      ]
+  | While (c, body) -> [ T.nt "While" (ge c :: lower_stmts ctx scope body) ]
+  | DoWhile (body, c) -> [ T.nt "Do" (lower_stmts ctx scope body @ [ ge c ]) ]
+  | For (init, cond, step, body) ->
+      let init_nodes =
+        match init with
+        | Some s -> [ T.nt "ForInit" (lower_stmt ctx scope s) ]
+        | None -> []
+      in
+      let cond_nodes =
+        match cond with Some c -> [ T.nt "ForCond" [ ge c ] ] | None -> []
+      in
+      let step_nodes =
+        match step with Some s -> [ T.nt "ForStep" [ ge s ] ] | None -> []
+      in
+      [
+        T.nt "For"
+          (init_nodes @ cond_nodes @ step_nodes @ lower_stmts ctx scope body);
+      ]
+  | ForIn (_, name, obj, body) ->
+      let id = bind ctx scope name in
+      [
+        T.nt "ForIn"
+          (T.var id "SymbolVar" name :: ge obj :: lower_stmts ctx scope body);
+      ]
+  | Return None -> [ T.nt "Return" [] ]
+  | Return (Some e) -> [ T.nt "Return" [ ge e ] ]
+  | Break -> [ T.term ~sort:T.Kw "Break" "break" ]
+  | Continue -> [ T.term ~sort:T.Kw "Continue" "continue" ]
+  | FuncDecl (name, params, body) ->
+      let id = bind ctx scope name in
+      let inner = { bindings = []; parent = Some scope } in
+      let param_nodes =
+        List.map (fun p -> T.var (bind ctx inner p) "SymbolFunarg" p) params
+      in
+      hoist_stmts ctx inner body;
+      [
+        T.nt "Defun"
+          (T.var id "SymbolDefun" name
+          :: param_nodes
+          @ lower_stmts ctx inner body);
+      ]
+  | Try (body, catch, finally) ->
+      let catch_nodes =
+        match catch with
+        | Some (v, cbody) ->
+            let inner = { bindings = []; parent = Some scope } in
+            let vid = bind ctx inner v in
+            [
+              T.nt "Catch"
+                (T.var vid "SymbolCatch" v :: lower_stmts ctx inner cbody);
+            ]
+        | None -> []
+      in
+      let finally_nodes =
+        match finally with
+        | Some f -> [ T.nt "Finally" (lower_stmts ctx scope f) ]
+        | None -> []
+      in
+      [ T.nt "Try" (lower_stmts ctx scope body @ catch_nodes @ finally_nodes) ]
+  | Throw e -> [ T.nt "Throw" [ ge e ] ]
+  | Block stmts -> lower_stmts ctx scope stmts
+
+let program p =
+  let ctx = { next_binder = 0 } in
+  let top = { bindings = []; parent = None } in
+  hoist_stmts ctx top p;
+  T.nt "Toplevel" (lower_stmts ctx top p)
+
+let expr e =
+  let ctx = { next_binder = 0 } in
+  let scope = { bindings = []; parent = None } in
+  lower_expr ctx scope e

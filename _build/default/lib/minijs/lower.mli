@@ -1,0 +1,20 @@
+(** Lowering MiniJS to the generic AST of {!Ast.Tree}.
+
+    Node labels follow UglifyJS conventions so that the paper's example
+    paths come out verbatim — e.g. Fig. 1's
+    [SymbolRef ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= ↓ SymbolRef] and
+    Example 4.5's [SymbolVar ↑ VarDef ↓ Sub ↓ SymbolRef].
+
+    Scope resolution happens here: [var]/[let]/[const] declarations,
+    function parameters, function names, for-in binders and catch
+    variables bind locals; names assigned but never declared are
+    treated as locals of the enclosing function too (the common shape
+    of minified snippets such as Fig. 1a). Statement blocks are
+    flattened into their parent node, matching the paper's Fig. 1b
+    drawing where [If] is a direct child of [While]. *)
+
+val program : Syntax.program -> Ast.Tree.t
+
+val expr : Syntax.expr -> Ast.Tree.t
+(** Lowers a single expression with an empty scope (every identifier is
+    an external {!Ast.Tree.Name}); for tests. *)

@@ -1,0 +1,417 @@
+open Syntax
+
+type state = { mutable toks : Token.spanned list }
+
+let peek st =
+  match st.toks with [] -> Token.Eof | { tok; _ } :: _ -> tok
+
+let pos st =
+  match st.toks with [] -> Lexkit.start_pos | { pos; _ } :: _ -> pos
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_punct st p =
+  match peek st with
+  | Token.Punct q when String.equal p q -> advance st
+  | t -> Lexkit.error (pos st) "expected %S but found %s" p (Token.to_string t)
+
+let expect_kw st k =
+  match peek st with
+  | Token.Kw q when String.equal k q -> advance st
+  | t -> Lexkit.error (pos st) "expected %S but found %s" k (Token.to_string t)
+
+let eat_punct st p =
+  match peek st with
+  | Token.Punct q when String.equal p q ->
+      advance st;
+      true
+  | _ -> false
+
+let eat_kw st k =
+  match peek st with
+  | Token.Kw q when String.equal k q ->
+      advance st;
+      true
+  | _ -> false
+
+let expect_ident st =
+  match peek st with
+  | Token.Ident id ->
+      advance st;
+      id
+  | t -> Lexkit.error (pos st) "expected identifier, found %s" (Token.to_string t)
+
+(* Binary operator precedence, loosest first; all left-associative. *)
+let binop_levels =
+  [
+    [ "||" ];
+    [ "&&" ];
+    [ "|" ];
+    [ "^" ];
+    [ "&" ];
+    [ "=="; "!="; "==="; "!==" ];
+    [ "<"; ">"; "<="; ">="; "instanceof"; "in" ];
+    [ "+"; "-" ];
+    [ "*"; "/"; "%" ];
+  ]
+
+let assign_ops = [ "="; "+="; "-="; "*="; "/="; "%=" ]
+
+let rec parse_expression st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  match peek st with
+  | Token.Punct op when List.mem op assign_ops ->
+      advance st;
+      let rhs = parse_assign st in
+      Assign (op, lhs, rhs)
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_binary st 0 in
+  if eat_punct st "?" then begin
+    let t = parse_assign st in
+    expect_punct st ":";
+    let e = parse_assign st in
+    Cond (c, t, e)
+  end
+  else c
+
+and parse_binary st level =
+  if level >= List.length binop_levels then parse_unary st
+  else begin
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Token.Punct op when List.mem op ops ->
+          advance st;
+          let rhs = parse_binary st (level + 1) in
+          lhs := Binary (op, !lhs, rhs)
+      | Token.Kw op when List.mem op ops ->
+          advance st;
+          let rhs = parse_binary st (level + 1) in
+          lhs := Binary (op, !lhs, rhs)
+      | _ -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  match peek st with
+  | Token.Punct (("!" | "-" | "+" | "~") as op) ->
+      advance st;
+      Unary (op, parse_unary st)
+  | Token.Punct (("++" | "--") as op) ->
+      advance st;
+      Update (op, true, parse_unary st)
+  | Token.Kw (("typeof" | "delete") as op) ->
+      advance st;
+      Unary (op, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let e = parse_call_member st in
+  match peek st with
+  | Token.Punct (("++" | "--") as op) ->
+      advance st;
+      Update (op, false, e)
+  | _ -> e
+
+and parse_call_member st =
+  let e =
+    if eat_kw st "new" then begin
+      let callee = parse_member_chain st (parse_primary st) ~calls:false in
+      let args = if eat_punct st "(" then parse_args st else [] in
+      New (callee, args)
+    end
+    else parse_primary st
+  in
+  parse_member_chain st e ~calls:true
+
+and parse_member_chain st e ~calls =
+  let rec go e =
+    if eat_punct st "." then go (Member (e, expect_ident st))
+    else if eat_punct st "[" then begin
+      let i = parse_expression st in
+      expect_punct st "]";
+      go (Index (e, i))
+    end
+    else if calls && eat_punct st "(" then go (Call (e, parse_args st))
+    else e
+  in
+  go e
+
+and parse_args st =
+  if eat_punct st ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_assign st in
+      if eat_punct st "," then go (e :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  match peek st with
+  | Token.Num n ->
+      advance st;
+      Num n
+  | Token.Str s ->
+      advance st;
+      Str s
+  | Token.Ident id ->
+      advance st;
+      Ident id
+  | Token.Kw "true" ->
+      advance st;
+      Bool true
+  | Token.Kw "false" ->
+      advance st;
+      Bool false
+  | Token.Kw "null" ->
+      advance st;
+      Null
+  | Token.Kw "this" ->
+      advance st;
+      This
+  | Token.Kw "function" ->
+      advance st;
+      let name =
+        match peek st with
+        | Token.Ident id ->
+            advance st;
+            Some id
+        | _ -> None
+      in
+      let params = parse_params st in
+      let body = parse_block st in
+      Func (name, params, body)
+  | Token.Punct "(" ->
+      advance st;
+      let e = parse_expression st in
+      expect_punct st ")";
+      e
+  | Token.Punct "[" ->
+      advance st;
+      if eat_punct st "]" then Array []
+      else begin
+        let rec go acc =
+          let e = parse_assign st in
+          if eat_punct st "," then go (e :: acc)
+          else begin
+            expect_punct st "]";
+            List.rev (e :: acc)
+          end
+        in
+        Array (go [])
+      end
+  | Token.Punct "{" ->
+      advance st;
+      if eat_punct st "}" then Object []
+      else begin
+        let rec go acc =
+          let key =
+            match peek st with
+            | Token.Ident id | Token.Str id | Token.Num id | Token.Kw id ->
+                advance st;
+                id
+            | t ->
+                Lexkit.error (pos st) "expected property name, found %s"
+                  (Token.to_string t)
+          in
+          expect_punct st ":";
+          let v = parse_assign st in
+          if eat_punct st "," then go ((key, v) :: acc)
+          else begin
+            expect_punct st "}";
+            List.rev ((key, v) :: acc)
+          end
+        in
+        Object (go [])
+      end
+  | t -> Lexkit.error (pos st) "unexpected token %s" (Token.to_string t)
+
+and parse_params st =
+  expect_punct st "(";
+  if eat_punct st ")" then []
+  else begin
+    let rec go acc =
+      let p = expect_ident st in
+      if eat_punct st "," then go (p :: acc)
+      else begin
+        expect_punct st ")";
+        List.rev (p :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_block st =
+  expect_punct st "{";
+  let rec go acc =
+    if eat_punct st "}" then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_var_decl st =
+  (* The [var]/[let]/[const] keyword has been consumed. *)
+  let rec go acc =
+    let name = expect_ident st in
+    let init = if eat_punct st "=" then Some (parse_assign st) else None in
+    if eat_punct st "," then go ((name, init) :: acc)
+    else List.rev ((name, init) :: acc)
+  in
+  VarDecl (go [])
+
+and parse_stmt_list_or_single st =
+  if Token.equal (peek st) (Token.Punct "{") then parse_block st
+  else [ parse_stmt st ]
+
+and parse_stmt st =
+  match peek st with
+  | Token.Punct "{" -> Block (parse_block st)
+  | Token.Punct ";" ->
+      advance st;
+      Block []
+  | Token.Kw ("var" | "let" | "const") ->
+      advance st;
+      let d = parse_var_decl st in
+      ignore (eat_punct st ";");
+      d
+  | Token.Kw "if" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expression st in
+      expect_punct st ")";
+      let then_ = parse_stmt_list_or_single st in
+      let else_ =
+        if eat_kw st "else" then Some (parse_stmt_list_or_single st) else None
+      in
+      If (c, then_, else_)
+  | Token.Kw "while" ->
+      advance st;
+      expect_punct st "(";
+      let c = parse_expression st in
+      expect_punct st ")";
+      While (c, parse_stmt_list_or_single st)
+  | Token.Kw "do" ->
+      advance st;
+      let body = parse_stmt_list_or_single st in
+      expect_kw st "while";
+      expect_punct st "(";
+      let c = parse_expression st in
+      expect_punct st ")";
+      ignore (eat_punct st ";");
+      DoWhile (body, c)
+  | Token.Kw "for" ->
+      advance st;
+      expect_punct st "(";
+      parse_for st
+  | Token.Kw "return" ->
+      advance st;
+      if eat_punct st ";" then Return None
+      else begin
+        let e = parse_expression st in
+        ignore (eat_punct st ";");
+        Return (Some e)
+      end
+  | Token.Kw "break" ->
+      advance st;
+      ignore (eat_punct st ";");
+      Break
+  | Token.Kw "continue" ->
+      advance st;
+      ignore (eat_punct st ";");
+      Continue
+  | Token.Kw "function" ->
+      advance st;
+      let name = expect_ident st in
+      let params = parse_params st in
+      let body = parse_block st in
+      FuncDecl (name, params, body)
+  | Token.Kw "try" ->
+      advance st;
+      let body = parse_block st in
+      let catch =
+        if eat_kw st "catch" then begin
+          expect_punct st "(";
+          let v = expect_ident st in
+          expect_punct st ")";
+          Some (v, parse_block st)
+        end
+        else None
+      in
+      let finally = if eat_kw st "finally" then Some (parse_block st) else None in
+      if catch = None && finally = None then
+        Lexkit.error (pos st) "try without catch or finally";
+      Try (body, catch, finally)
+  | Token.Kw "throw" ->
+      advance st;
+      let e = parse_expression st in
+      ignore (eat_punct st ";");
+      Throw e
+  | _ ->
+      let e = parse_expression st in
+      ignore (eat_punct st ";");
+      Expr e
+
+and parse_for st =
+  (* "for (" has been consumed. *)
+  let var_kw =
+    match peek st with
+    | Token.Kw ("var" | "let" | "const") ->
+        advance st;
+        true
+    | _ -> false
+  in
+  (* Distinguish for-in / for-of from classic for. *)
+  match (peek st, st.toks) with
+  | Token.Ident name, _ :: { Token.tok = Token.Kw ("in" | "of"); _ } :: _ ->
+      advance st;
+      advance st;
+      let obj = parse_expression st in
+      expect_punct st ")";
+      ForIn (var_kw, name, obj, parse_stmt_list_or_single st)
+  | _ ->
+      let init =
+        if Token.equal (peek st) (Token.Punct ";") then None
+        else if var_kw then Some (parse_var_decl st)
+        else Some (Expr (parse_expression st))
+      in
+      expect_punct st ";";
+      let cond =
+        if Token.equal (peek st) (Token.Punct ";") then None
+        else Some (parse_expression st)
+      in
+      expect_punct st ";";
+      let step =
+        if Token.equal (peek st) (Token.Punct ")") then None
+        else Some (parse_expression st)
+      in
+      expect_punct st ")";
+      For (init, cond, step, parse_stmt_list_or_single st)
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    match peek st with
+    | Token.Eof -> List.rev acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expression st in
+  (match peek st with
+  | Token.Eof -> ()
+  | t -> Lexkit.error (pos st) "trailing input: %s" (Token.to_string t));
+  e

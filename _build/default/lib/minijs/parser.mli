@@ -1,0 +1,12 @@
+(** Recursive-descent parser for MiniJS.
+
+    Expression parsing is precedence climbing with the usual JavaScript
+    levels (assignment right-associative, then [?:], [||], [&&],
+    equality, relational, additive, multiplicative, unary, postfix,
+    call/member/index/new, primary). *)
+
+val parse : string -> Syntax.program
+(** Raises {!Lexkit.Error} on syntax errors. *)
+
+val parse_expr : string -> Syntax.expr
+(** Parses a single expression (for tests and the REPL-ish examples). *)

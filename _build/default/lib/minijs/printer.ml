@@ -1,0 +1,271 @@
+open Syntax
+
+(* Precedence of an expression for parenthesization; higher binds tighter. *)
+let prec = function
+  | Assign _ -> 1
+  | Cond _ -> 2
+  | Binary ("||", _, _) -> 3
+  | Binary ("&&", _, _) -> 4
+  | Binary ("|", _, _) -> 5
+  | Binary ("^", _, _) -> 6
+  | Binary ("&", _, _) -> 7
+  | Binary (("==" | "!=" | "===" | "!=="), _, _) -> 8
+  | Binary (("<" | ">" | "<=" | ">=" | "instanceof" | "in"), _, _) -> 9
+  | Binary (("+" | "-"), _, _) -> 10
+  | Binary _ -> 11
+  | Unary _ | Update (_, true, _) -> 12
+  | Update (_, false, _) -> 13
+  | Call _ | New _ | Member _ | Index _ -> 14
+  | Func _ -> 2
+  | _ -> 15
+
+let escape_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr buf e =
+  let atom ?(p = prec e) sub =
+    if prec sub < p then begin
+      Buffer.add_char buf '(';
+      expr buf sub;
+      Buffer.add_char buf ')'
+    end
+    else expr buf sub
+  in
+  match e with
+  | Ident id -> Buffer.add_string buf id
+  | Num n -> Buffer.add_string buf n
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_str s);
+      Buffer.add_char buf '"'
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Null -> Buffer.add_string buf "null"
+  | This -> Buffer.add_string buf "this"
+  | Array es ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf e)
+        es;
+      Buffer.add_char buf ']'
+  | Object kvs ->
+      Buffer.add_string buf "{ ";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf k;
+          Buffer.add_string buf ": ";
+          expr buf v)
+        kvs;
+      Buffer.add_string buf " }"
+  | Unary (op, e1) ->
+      Buffer.add_string buf op;
+      if String.length op > 1 then Buffer.add_char buf ' ';
+      atom e1
+  | Update (op, true, e1) ->
+      Buffer.add_string buf op;
+      atom e1
+  | Update (op, false, e1) ->
+      atom e1;
+      Buffer.add_string buf op
+  | Binary (op, a, b) ->
+      let p = prec e in
+      atom ~p a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf op;
+      Buffer.add_char buf ' ';
+      (* left-assoc: right operand needs strictly higher precedence *)
+      if prec b <= p then begin
+        Buffer.add_char buf '(';
+        expr buf b;
+        Buffer.add_char buf ')'
+      end
+      else expr buf b
+  | Assign (op, l, r) ->
+      atom ~p:2 l;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf op;
+      Buffer.add_char buf ' ';
+      expr buf r
+  | Cond (c, t, f) ->
+      atom ~p:3 c;
+      Buffer.add_string buf " ? ";
+      atom ~p:2 t;
+      Buffer.add_string buf " : ";
+      atom ~p:2 f
+  | Call (f, args) ->
+      atom ~p:14 f;
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf a)
+        args;
+      Buffer.add_char buf ')'
+  | New (f, args) ->
+      Buffer.add_string buf "new ";
+      atom ~p:14 f;
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i a ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf a)
+        args;
+      Buffer.add_char buf ')'
+  | Member (e1, f) ->
+      atom ~p:14 e1;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf f
+  | Index (e1, i) ->
+      atom ~p:14 e1;
+      Buffer.add_char buf '[';
+      expr buf i;
+      Buffer.add_char buf ']'
+  | Func (name, params, body) ->
+      Buffer.add_string buf "function";
+      (match name with
+      | Some n ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf n
+      | None -> ());
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (String.concat ", " params);
+      Buffer.add_string buf ") ";
+      block buf ~indent:0 body
+
+and block buf ~indent stmts =
+  Buffer.add_string buf "{\n";
+  List.iter (fun s -> stmt buf ~indent:(indent + 2) s) stmts;
+  Buffer.add_string buf (String.make indent ' ');
+  Buffer.add_char buf '}'
+
+and stmt buf ~indent s =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf pad;
+  (match s with
+  | Expr e ->
+      expr buf e;
+      Buffer.add_char buf ';'
+  | VarDecl ds ->
+      Buffer.add_string buf "var ";
+      List.iteri
+        (fun i (n, init) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf n;
+          match init with
+          | Some e ->
+              Buffer.add_string buf " = ";
+              expr buf e
+          | None -> ())
+        ds;
+      Buffer.add_char buf ';'
+  | If (c, t, e) -> (
+      Buffer.add_string buf "if (";
+      expr buf c;
+      Buffer.add_string buf ") ";
+      block buf ~indent t;
+      match e with
+      | Some e ->
+          Buffer.add_string buf " else ";
+          block buf ~indent e
+      | None -> ())
+  | While (c, body) ->
+      Buffer.add_string buf "while (";
+      expr buf c;
+      Buffer.add_string buf ") ";
+      block buf ~indent body
+  | DoWhile (body, c) ->
+      Buffer.add_string buf "do ";
+      block buf ~indent body;
+      Buffer.add_string buf " while (";
+      expr buf c;
+      Buffer.add_string buf ");"
+  | For (init, cond, step, body) ->
+      Buffer.add_string buf "for (";
+      (match init with
+      | Some (VarDecl _ as d) ->
+          let b2 = Buffer.create 32 in
+          stmt b2 ~indent:0 d;
+          (* strip trailing ";" and newline added by stmt *)
+          let s2 = Buffer.contents b2 in
+          let s2 = String.trim s2 in
+          Buffer.add_string buf (String.sub s2 0 (String.length s2 - 1))
+      | Some (Expr e) -> expr buf e
+      | Some _ | None -> ());
+      Buffer.add_string buf "; ";
+      Option.iter (expr buf) cond;
+      Buffer.add_string buf "; ";
+      Option.iter (expr buf) step;
+      Buffer.add_string buf ") ";
+      block buf ~indent body
+  | ForIn (v, name, obj, body) ->
+      Buffer.add_string buf "for (";
+      if v then Buffer.add_string buf "var ";
+      Buffer.add_string buf name;
+      Buffer.add_string buf " in ";
+      expr buf obj;
+      Buffer.add_string buf ") ";
+      block buf ~indent body
+  | Return None -> Buffer.add_string buf "return;"
+  | Return (Some e) ->
+      Buffer.add_string buf "return ";
+      expr buf e;
+      Buffer.add_char buf ';'
+  | Break -> Buffer.add_string buf "break;"
+  | Continue -> Buffer.add_string buf "continue;"
+  | FuncDecl (name, params, body) ->
+      Buffer.add_string buf "function ";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (String.concat ", " params);
+      Buffer.add_string buf ") ";
+      block buf ~indent body
+  | Try (body, catch, finally) ->
+      Buffer.add_string buf "try ";
+      block buf ~indent body;
+      (match catch with
+      | Some (v, cbody) ->
+          Buffer.add_string buf " catch (";
+          Buffer.add_string buf v;
+          Buffer.add_string buf ") ";
+          block buf ~indent cbody
+      | None -> ());
+      (match finally with
+      | Some fbody ->
+          Buffer.add_string buf " finally ";
+          block buf ~indent fbody
+      | None -> ())
+  | Throw e ->
+      Buffer.add_string buf "throw ";
+      expr buf e;
+      Buffer.add_char buf ';'
+  | Block stmts -> block buf ~indent stmts);
+  Buffer.add_char buf '\n'
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  expr buf e;
+  Buffer.contents buf
+
+let stmt_to_string ?(indent = 0) s =
+  let buf = Buffer.create 128 in
+  stmt buf ~indent s;
+  Buffer.contents buf
+
+let program_to_string p =
+  let buf = Buffer.create 256 in
+  List.iter (fun s -> stmt buf ~indent:0 s) p;
+  Buffer.contents buf
+
+let pp_program ppf p = Format.pp_print_string ppf (program_to_string p)

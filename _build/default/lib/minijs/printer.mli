@@ -1,0 +1,11 @@
+(** Source rendering of MiniJS ASTs.
+
+    The output re-parses to an equal AST (tested by round-trip property
+    tests); operator printing is fully parenthesized below statement
+    level only where needed, using the same precedence table as the
+    parser. *)
+
+val expr_to_string : Syntax.expr -> string
+val stmt_to_string : ?indent:int -> Syntax.stmt -> string
+val program_to_string : Syntax.program -> string
+val pp_program : Format.formatter -> Syntax.program -> unit

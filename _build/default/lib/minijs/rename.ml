@@ -1,0 +1,148 @@
+open Syntax
+
+module Sset = Set.Make (String)
+
+(* Names bound in a function body (same hoisting rules as Lower). *)
+let rec bound_in_stmts stmts = List.fold_left bound_in_stmt Sset.empty stmts
+
+and bound_in_stmt acc = function
+  | VarDecl ds -> List.fold_left (fun a (n, _) -> Sset.add n a) acc ds
+  (* Function names are not renamed: the variable-name task strips only
+     variables and parameters (cf. the paper's Fig. 8, where [f] is kept). *)
+  | FuncDecl (_, _, _) -> acc
+  | If (_, t, e) ->
+      let acc = Sset.union acc (bound_in_stmts t) in
+      Option.fold ~none:acc ~some:(fun e -> Sset.union acc (bound_in_stmts e)) e
+  | While (_, b) | DoWhile (b, _) -> Sset.union acc (bound_in_stmts b)
+  | For (init, _, _, b) ->
+      let acc =
+        Option.fold ~none:acc ~some:(fun s -> bound_in_stmt acc s) init
+      in
+      Sset.union acc (bound_in_stmts b)
+  | ForIn (_, n, _, b) -> Sset.add n (Sset.union acc (bound_in_stmts b))
+  | Try (b, c, f) ->
+      let acc = Sset.union acc (bound_in_stmts b) in
+      let acc =
+        Option.fold ~none:acc
+          ~some:(fun (_, cb) -> Sset.union acc (bound_in_stmts cb))
+          c
+      in
+      Option.fold ~none:acc ~some:(fun f -> Sset.union acc (bound_in_stmts f)) f
+  | Block b -> Sset.union acc (bound_in_stmts b)
+  | Expr e | Throw e | Return (Some e) -> bound_in_expr acc e
+  | Return None | Break | Continue -> acc
+
+and bound_in_expr acc = function
+  | Assign (_, Ident n, r) -> bound_in_expr (Sset.add n acc) r
+  | Assign (_, l, r) | Binary (_, l, r) | Index (l, r) ->
+      bound_in_expr (bound_in_expr acc l) r
+  | Unary (_, e) | Update (_, _, e) | Member (e, _) -> bound_in_expr acc e
+  | Cond (a, b, c) -> bound_in_expr (bound_in_expr (bound_in_expr acc a) b) c
+  | Call (f, args) | New (f, args) ->
+      List.fold_left bound_in_expr (bound_in_expr acc f) args
+  | Array es -> List.fold_left bound_in_expr acc es
+  | Object kvs -> List.fold_left (fun a (_, v) -> bound_in_expr a v) acc kvs
+  | Func _ | Ident _ | Num _ | Str _ | Bool _ | Null | This -> acc
+
+let rename_if env f n = if Sset.mem n env then Option.value (f n) ~default:n else n
+
+let rec rn_expr env f e =
+  let go = rn_expr env f in
+  match e with
+  | Ident n -> Ident (rename_if env f n)
+  | Num _ | Str _ | Bool _ | Null | This -> e
+  | Array es -> Array (List.map go es)
+  | Object kvs -> Object (List.map (fun (k, v) -> (k, go v)) kvs)
+  | Unary (op, e1) -> Unary (op, go e1)
+  | Update (op, pre, e1) -> Update (op, pre, go e1)
+  | Binary (op, a, b) -> Binary (op, go a, go b)
+  | Assign (op, l, r) -> Assign (op, go l, go r)
+  | Cond (a, b, c) -> Cond (go a, go b, go c)
+  | Call (fn, args) -> Call (go fn, List.map go args)
+  | New (fn, args) -> New (go fn, List.map go args)
+  | Member (e1, p) -> Member (go e1, p)  (* properties are never locals *)
+  | Index (e1, i) -> Index (go e1, go i)
+  | Func (name, params, body) ->
+      let env' = Sset.union env (Sset.union (Sset.of_list params) (bound_in_stmts body)) in
+      let env' = match name with Some n -> Sset.add n env' | None -> env' in
+      Func
+        ( Option.map (rename_if env' f) name,
+          List.map (rename_if env' f) params,
+          rn_stmts env' f body )
+
+and rn_stmts env f stmts = List.map (rn_stmt env f) stmts
+
+and rn_stmt env f s =
+  let ge = rn_expr env f in
+  match s with
+  | Expr e -> Expr (ge e)
+  | VarDecl ds ->
+      VarDecl (List.map (fun (n, i) -> (rename_if env f n, Option.map ge i)) ds)
+  | If (c, t, e) -> If (ge c, rn_stmts env f t, Option.map (rn_stmts env f) e)
+  | While (c, b) -> While (ge c, rn_stmts env f b)
+  | DoWhile (b, c) -> DoWhile (rn_stmts env f b, ge c)
+  | For (init, c, st, b) ->
+      For
+        ( Option.map (rn_stmt env f) init,
+          Option.map ge c,
+          Option.map ge st,
+          rn_stmts env f b )
+  | ForIn (v, n, o, b) -> ForIn (v, rename_if env f n, ge o, rn_stmts env f b)
+  | Return e -> Return (Option.map ge e)
+  | Break -> Break
+  | Continue -> Continue
+  | FuncDecl (name, params, body) ->
+      let env' =
+        Sset.union env (Sset.union (Sset.of_list params) (bound_in_stmts body))
+      in
+      FuncDecl
+        ( rename_if env f name,
+          List.map (rename_if env' f) params,
+          rn_stmts env' f body )
+  | Try (b, c, fin) ->
+      Try
+        ( rn_stmts env f b,
+          Option.map
+            (fun (v, cb) ->
+              let env' = Sset.add v env in
+              (rename_if env' f v, rn_stmts env' f cb))
+            c,
+          Option.map (rn_stmts env f) fin )
+  | Throw e -> Throw (ge e)
+  | Block b -> Block (rn_stmts env f b)
+
+let apply f p =
+  let env = bound_in_stmts p in
+  rn_stmts env f p
+
+let short_name i =
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (Char.code 'a' + (i mod 26))) ^ acc in
+    if i < 26 then acc else go ((i / 26) - 1) acc
+  in
+  go i ""
+
+let local_names p =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let record n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      order := n :: !order
+    end
+  in
+  (* Walk the program, recording local bindings in appearance order via
+     a rename pass that records and leaves names unchanged. *)
+  let (_ : program) =
+    apply
+      (fun n ->
+        record n;
+        None)
+      p
+  in
+  List.rev !order
+
+let strip p =
+  let names = local_names p in
+  let mapping = List.mapi (fun i n -> (n, short_name i)) names in
+  (apply (fun n -> List.assoc_opt n mapping) p, mapping)

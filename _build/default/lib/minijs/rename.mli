@@ -1,0 +1,21 @@
+(** Binding-aware renaming of MiniJS programs.
+
+    Used to *strip* names (minify, producing the paper's "programs with
+    stripped names") and to apply predicted names back onto a stripped
+    program for the qualitative experiments (Figs. 7–9). Only
+    locally-bound occurrences are renamed; free names (globals such as
+    [console], properties, call targets) are untouched. *)
+
+val apply : (string -> string option) -> Syntax.program -> Syntax.program
+(** [apply f p] renames every occurrence of a local binding [x] to
+    [f x] (when [Some]), respecting scope: an occurrence is renamed iff
+    the name is bound by an enclosing function's declarations,
+    parameters, for-in binders, catch variables, or
+    assigned-but-undeclared locals. *)
+
+val strip : Syntax.program -> Syntax.program * (string * string) list
+(** Renames all locals to ["a"], ["b"], ... in order of first binding;
+    returns the renamed program and the original→short mapping. *)
+
+val local_names : Syntax.program -> string list
+(** All distinct local binding names, in order of first appearance. *)

@@ -1,0 +1,41 @@
+type expr =
+  | Ident of string
+  | Num of string
+  | Str of string
+  | Bool of bool
+  | Null
+  | This
+  | Array of expr list
+  | Object of (string * expr) list
+  | Unary of string * expr
+  | Update of string * bool * expr
+  | Binary of string * expr * expr
+  | Assign of string * expr * expr
+  | Cond of expr * expr * expr
+  | Call of expr * expr list
+  | New of expr * expr list
+  | Member of expr * string
+  | Index of expr * expr
+  | Func of string option * string list * stmt list
+
+and stmt =
+  | Expr of expr
+  | VarDecl of (string * expr option) list
+  | If of expr * stmt list * stmt list option
+  | While of expr * stmt list
+  | DoWhile of stmt list * expr
+  | For of stmt option * expr option * expr option * stmt list
+  | ForIn of bool * string * expr * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | FuncDecl of string * string list * stmt list
+  | Try of stmt list * (string * stmt list) option * stmt list option
+  | Throw of expr
+  | Block of stmt list
+
+type program = stmt list
+
+let equal_expr a b = Stdlib.compare a b = 0
+let equal_stmt a b = Stdlib.compare a b = 0
+let equal_program a b = Stdlib.compare a b = 0

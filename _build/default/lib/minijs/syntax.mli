@@ -1,0 +1,48 @@
+(** Abstract syntax of MiniJS, a JavaScript subset large enough for the
+    paper's examples (Figs. 1, 3, 4, 6, 8) and the synthetic corpus. *)
+
+type expr =
+  | Ident of string
+  | Num of string
+  | Str of string
+  | Bool of bool
+  | Null
+  | This
+  | Array of expr list
+  | Object of (string * expr) list
+  | Unary of string * expr  (** Prefix: [!], [-], [+], [typeof], [delete]. *)
+  | Update of string * bool * expr
+      (** [++]/[--]; the bool is [true] for prefix position. *)
+  | Binary of string * expr * expr
+  | Assign of string * expr * expr  (** [=], [+=], [-=], [*=], [/=], [%=]. *)
+  | Cond of expr * expr * expr
+  | Call of expr * expr list
+  | New of expr * expr list
+  | Member of expr * string  (** [e.name] *)
+  | Index of expr * expr  (** [e[i]] *)
+  | Func of string option * string list * stmt list  (** Function expression. *)
+
+and stmt =
+  | Expr of expr
+  | VarDecl of (string * expr option) list
+  | If of expr * stmt list * stmt list option
+  | While of expr * stmt list
+  | DoWhile of stmt list * expr
+  | For of stmt option * expr option * expr option * stmt list
+      (** Classic [for]; the init is a var-decl or expression statement. *)
+  | ForIn of bool * string * expr * stmt list
+      (** [for (x in e)]; the bool marks a [var] binder; also covers
+          [for ... of] (recorded in the lowering as the same shape). *)
+  | Return of expr option
+  | Break
+  | Continue
+  | FuncDecl of string * string list * stmt list
+  | Try of stmt list * (string * stmt list) option * stmt list option
+  | Throw of expr
+  | Block of stmt list
+
+type program = stmt list
+
+val equal_expr : expr -> expr -> bool
+val equal_stmt : stmt -> stmt -> bool
+val equal_program : program -> program -> bool

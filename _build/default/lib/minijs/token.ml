@@ -1,0 +1,34 @@
+type t =
+  | Ident of string
+  | Num of string
+  | Str of string
+  | Punct of string
+  | Kw of string
+  | Eof
+
+type spanned = { tok : t; pos : Lexkit.pos }
+
+let keywords =
+  [
+    "var"; "let"; "const"; "function"; "if"; "else"; "while"; "do"; "for";
+    "in"; "of"; "return"; "break"; "continue"; "new"; "typeof"; "null";
+    "true"; "false"; "this"; "try"; "catch"; "finally"; "throw";
+    "instanceof"; "delete";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let equal a b =
+  match (a, b) with
+  | Ident x, Ident y | Num x, Num y | Str x, Str y | Punct x, Punct y
+  | Kw x, Kw y ->
+      String.equal x y
+  | Eof, Eof -> true
+  | _ -> false
+
+let to_string = function
+  | Ident s | Num s | Punct s | Kw s -> s
+  | Str s -> Printf.sprintf "%S" s
+  | Eof -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,18 @@
+(** Tokens of the MiniJS front-end. *)
+
+type t =
+  | Ident of string
+  | Num of string
+  | Str of string
+  | Punct of string  (** Operator or delimiter, e.g. ["==="], ["{"]. *)
+  | Kw of string  (** Reserved word, e.g. ["while"]. *)
+  | Eof
+
+type spanned = { tok : t; pos : Lexkit.pos }
+
+val keywords : string list
+val is_keyword : string -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** Source-level lexeme (string literals re-quoted). *)

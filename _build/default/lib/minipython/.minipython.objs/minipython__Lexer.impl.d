@@ -1,0 +1,1 @@
+lib/minipython/lexer.ml: Cursor Lexkit List String Token

@@ -1,0 +1,1 @@
+lib/minipython/lexer.mli: Token

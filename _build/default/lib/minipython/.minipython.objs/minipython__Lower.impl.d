@@ -1,0 +1,1 @@
+lib/minipython/lower.ml: Ast List Option Set String Syntax

@@ -1,0 +1,1 @@
+lib/minipython/lower.mli: Ast Syntax

@@ -1,0 +1,1 @@
+lib/minipython/parser.ml: Lexer Lexkit List Syntax Token

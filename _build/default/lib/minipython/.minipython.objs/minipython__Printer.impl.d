@@ -1,0 +1,1 @@
+lib/minipython/printer.ml: Buffer Format List String Syntax

@@ -1,0 +1,1 @@
+lib/minipython/printer.mli: Format Syntax

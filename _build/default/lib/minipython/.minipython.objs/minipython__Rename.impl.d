@@ -1,0 +1,1 @@
+lib/minipython/rename.ml: Char Hashtbl List Option Set String Syntax

@@ -1,0 +1,1 @@
+lib/minipython/rename.mli: Syntax

@@ -1,0 +1,1 @@
+lib/minipython/syntax.ml: Stdlib

@@ -1,0 +1,1 @@
+lib/minipython/token.ml: Format Lexkit List Printf String

@@ -1,0 +1,1 @@
+lib/minipython/token.mli: Format Lexkit

@@ -1,0 +1,116 @@
+open Lexkit
+
+let puncts =
+  [
+    "**"; "//"; "=="; "!="; "<="; ">="; "+="; "-="; "*="; "/="; "%="; "->";
+    "<"; ">"; "+"; "-"; "*"; "/"; "%"; "="; "("; ")"; "["; "]"; "{"; "}";
+    ","; ":"; "."; ";"; "@"; "&"; "|"; "^"; "~";
+  ]
+
+let tokenize src =
+  let cur = Cursor.make src in
+  let toks = ref [] in
+  let emit tok pos = toks := { Token.tok; pos } :: !toks in
+  let indents = ref [ 0 ] in
+  let bracket_depth = ref 0 in
+  let at_line_start = ref true in
+  let starts_with_at off p =
+    let n = String.length p in
+    off + n <= String.length src && String.sub src off n = p
+  in
+  let rec handle_line_start () =
+    (* Measure indentation; skip blank / comment-only lines. *)
+    let pos0 = Cursor.pos cur in
+    let spaces = Cursor.take_while cur (fun c -> c = ' ') in
+    match Cursor.peek cur with
+    | None -> ()
+    | Some '\n' | Some '\r' ->
+        Cursor.advance cur;
+        handle_line_start ()
+    | Some '#' ->
+        Cursor.skip_while cur (fun c -> c <> '\n');
+        handle_line_start ()
+    | Some '\t' -> error (Cursor.pos cur) "tabs are not supported; use spaces"
+    | Some _ ->
+        let width = String.length spaces in
+        let top () = List.hd !indents in
+        if width > top () then begin
+          indents := width :: !indents;
+          emit Token.Indent pos0
+        end
+        else
+          while width < top () do
+            indents := List.tl !indents;
+            if width > top () then
+              error pos0 "inconsistent dedent to column %d" width;
+            emit Token.Dedent pos0
+          done
+  in
+  let rec go () =
+    if !at_line_start && !bracket_depth = 0 then begin
+      at_line_start := false;
+      handle_line_start ()
+    end;
+    Cursor.skip_while cur (fun c -> c = ' ' || c = '\t');
+    let pos = Cursor.pos cur in
+    match Cursor.peek cur with
+    | None ->
+        (* final newline for an unterminated last line *)
+        (match !toks with
+        | { Token.tok = Token.Newline; _ } :: _ | [] -> ()
+        | _ -> emit Token.Newline pos);
+        List.iter
+          (fun _ -> emit Token.Dedent pos)
+          (List.tl !indents);
+        indents := [ 0 ];
+        emit Token.Eof pos
+    | Some '#' ->
+        Cursor.skip_while cur (fun c -> c <> '\n');
+        go ()
+    | Some ('\n' | '\r') ->
+        Cursor.advance cur;
+        if !bracket_depth = 0 then begin
+          (match !toks with
+          | { Token.tok = Token.Newline; _ } :: _ | [] -> ()
+          | { Token.tok = Token.Indent; _ } :: _ -> ()
+          | _ -> emit Token.Newline pos);
+          at_line_start := true
+        end;
+        go ()
+    | Some '\\' when Cursor.peek2 cur = Some '\n' ->
+        Cursor.advance cur;
+        Cursor.advance cur;
+        go ()
+    | Some c when is_ident_start c ->
+        let id = Cursor.take_while cur is_ident_char in
+        emit (if Token.is_keyword id then Token.Kw id else Token.Ident id) pos;
+        go ()
+    | Some c when is_digit c ->
+        emit (Token.Num (lex_number cur)) pos;
+        go ()
+    | Some (('"' | '\'') as q) ->
+        Cursor.advance cur;
+        emit (Token.Str (lex_string_literal cur ~quote:q)) pos;
+        go ()
+    | Some c -> (
+        match List.find_opt (starts_with_at pos.offset) puncts with
+        | Some p ->
+            String.iter (fun _ -> Cursor.advance cur) p;
+            (match p with
+            | "(" | "[" | "{" -> incr bracket_depth
+            | ")" | "]" | "}" -> decr bracket_depth
+            | _ -> ());
+            emit (Token.Punct p) pos;
+            go ()
+        | None -> error pos "unexpected character %C" c)
+  in
+  go ();
+  List.rev !toks
+
+let token_values src =
+  List.filter_map
+    (fun { Token.tok; _ } ->
+      match tok with
+      | Token.Eof | Token.Newline | Token.Indent | Token.Dedent -> None
+      | t -> Some (Token.to_string t))
+    (tokenize src)

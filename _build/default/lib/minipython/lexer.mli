@@ -1,0 +1,15 @@
+(** Indentation-sensitive MiniPython lexer.
+
+    Implements CPython's layout algorithm: an indentation stack turns
+    leading whitespace into {!Token.Indent}/{!Token.Dedent} tokens;
+    {!Token.Newline} ends each logical line. Blank and comment-only
+    lines produce no layout tokens, and newlines inside brackets are
+    suppressed (implicit line joining). At end of input, pending
+    dedents are emitted before {!Token.Eof}. *)
+
+val tokenize : string -> Token.spanned list
+(** Raises {!Lexkit.Error} on inconsistent dedents or malformed
+    input. *)
+
+val token_values : string -> string list
+(** Lexemes of non-layout tokens; for the token-stream baselines. *)

@@ -1,0 +1,201 @@
+open Syntax
+module T = Ast.Tree
+module Sset = Set.Make (String)
+
+let function_name_label = "FunctionName"
+
+type ctx = { mutable next_binder : int }
+
+type scope = {
+  mutable bindings : (string * int) list;
+  parent : scope option;
+}
+
+let fresh ctx =
+  let id = ctx.next_binder in
+  ctx.next_binder <- id + 1;
+  id
+
+let rec lookup scope name =
+  match List.assoc_opt name scope.bindings with
+  | Some id -> Some id
+  | None -> (
+      match scope.parent with Some p -> lookup p name | None -> None)
+
+let bind ctx scope name =
+  match List.assoc_opt name scope.bindings with
+  | Some id -> id
+  | None ->
+      let id = fresh ctx in
+      scope.bindings <- (name, id) :: scope.bindings;
+      id
+
+(* Names assigned in a statement list (not descending into nested
+   functions): Python's locals-of-a-scope rule. *)
+let rec assigned_in stmts = List.fold_left assigned_stmt Sset.empty stmts
+
+and target_names acc = function
+  | Ident n -> Sset.add n acc
+  | TupleLit es | ListLit es -> List.fold_left target_names acc es
+  | _ -> acc
+
+and assigned_stmt acc = function
+  | Assign (t, _) -> target_names acc t
+  | AugAssign (_, t, _) -> target_names acc t
+  | For (t, _, body) -> Sset.union (target_names acc t) (assigned_in body)
+  | FuncDef (n, _, _) -> Sset.add n acc
+  | If (chain, orelse) ->
+      let acc =
+        List.fold_left
+          (fun acc (_, body) -> Sset.union acc (assigned_in body))
+          acc chain
+      in
+      Option.fold ~none:acc ~some:(fun b -> Sset.union acc (assigned_in b)) orelse
+  | While (_, body) -> Sset.union acc (assigned_in body)
+  | Try (body, handlers, fin) ->
+      let acc = Sset.union acc (assigned_in body) in
+      let acc =
+        List.fold_left
+          (fun acc h ->
+            let acc = Sset.union acc (assigned_in h.h_body) in
+            match h.h_name with Some n -> Sset.add n acc | None -> acc)
+          acc handlers
+      in
+      Option.fold ~none:acc ~some:(fun b -> Sset.union acc (assigned_in b)) fin
+  | Import path -> (
+      match path with [] -> acc | p -> Sset.add (List.hd p) acc)
+  | ExprStmt _ | Return _ | Pass | Break | Continue | Raise _ -> acc
+
+let rec lower_expr ctx scope e =
+  let go = lower_expr ctx scope in
+  match e with
+  | Ident n -> (
+      match lookup scope n with
+      | Some id -> T.var id "Name" n
+      | None -> T.term ~sort:T.Name "Name" n)
+  | Num n -> T.term ~sort:T.Lit "Num" n
+  | Str s -> T.term ~sort:T.Lit "Str" s
+  | Bool b -> T.term ~sort:T.Lit "NameConstant" (if b then "True" else "False")
+  | NoneLit -> T.term ~sort:T.Lit "NameConstant" "None"
+  | BoolOp (op, a, b) ->
+      T.nt ("BoolOp" ^ String.capitalize_ascii op) [ go a; go b ]
+  | Not a -> T.nt "UnaryOpNot" [ go a ]
+  | Compare (op, a, b) -> T.nt ("Compare" ^ op) [ go a; go b ]
+  | BinOp (op, a, b) -> T.nt ("BinOp" ^ op) [ go a; go b ]
+  | Neg a -> T.nt "UnaryOpUSub" [ go a ]
+  | Call (f, args, kwargs) ->
+      T.nt "Call"
+        ((go f :: List.map go args)
+        @ List.map
+            (fun (k, v) ->
+              T.nt "keyword" [ T.term ~sort:T.Name "KeywordArg" k; go v ])
+            kwargs)
+  | Attribute (o, a) ->
+      T.nt "Attribute" [ go o; T.term ~sort:T.Name "AttrName" a ]
+  | Subscript (o, i) -> T.nt "Subscript" [ go o; go i ]
+  | ListLit es -> T.nt "List" (List.map go es)
+  | TupleLit es -> T.nt "Tuple" (List.map go es)
+  | DictLit kvs ->
+      T.nt "Dict" (List.concat_map (fun (k, v) -> [ go k; go v ]) kvs)
+
+(* Lower an assignment target, creating bindings. *)
+let rec lower_target ctx scope e =
+  match e with
+  | Ident n ->
+      let id = bind ctx scope n in
+      T.var id "Name" n
+  | TupleLit es -> T.nt "Tuple" (List.map (lower_target ctx scope) es)
+  | ListLit es -> T.nt "List" (List.map (lower_target ctx scope) es)
+  | other -> lower_expr ctx scope other
+
+let rec lower_stmts ctx scope stmts = List.concat_map (lower_stmt ctx scope) stmts
+
+and lower_stmt ctx scope s =
+  let ge = lower_expr ctx scope in
+  match s with
+  | ExprStmt e -> [ ge e ]
+  | Assign (t, v) ->
+      (* Value first: Python evaluates the RHS before binding. *)
+      let v_node = ge v in
+      [ T.nt "Assign" [ lower_target ctx scope t; v_node ] ]
+  | AugAssign (op, t, v) ->
+      let v_node = ge v in
+      [ T.nt ("AugAssign" ^ op) [ lower_target ctx scope t; v_node ] ]
+  | If (chain, orelse) ->
+      (* An if/elif chain lowers to nested If nodes in orelse position,
+         matching CPython's AST. *)
+      let rec build = function
+        | [] -> (
+            match orelse with
+            | Some body -> lower_stmts ctx scope body
+            | None -> [])
+        | (c, body) :: rest ->
+            let rest_nodes = build rest in
+            [
+              T.nt "If"
+                ((ge c :: lower_stmts ctx scope body)
+                @
+                if rest_nodes = [] then []
+                else [ T.nt "orelse" rest_nodes ]);
+            ]
+      in
+      build chain
+  | While (c, body) -> [ T.nt "While" (ge c :: lower_stmts ctx scope body) ]
+  | For (t, it, body) ->
+      let it_node = ge it in
+      [
+        T.nt "For"
+          (lower_target ctx scope t :: it_node :: lower_stmts ctx scope body);
+      ]
+  | Return None -> [ T.nt "Return" [] ]
+  | Return (Some e) -> [ T.nt "Return" [ ge e ] ]
+  | Pass -> [ T.term ~sort:T.Kw "Pass" "pass" ]
+  | Break -> [ T.term ~sort:T.Kw "Break" "break" ]
+  | Continue -> [ T.term ~sort:T.Kw "Continue" "continue" ]
+  | Raise None -> [ T.nt "Raise" [] ]
+  | Raise (Some e) -> [ T.nt "Raise" [ ge e ] ]
+  | Try (body, handlers, fin) ->
+      [
+        T.nt "Try"
+          (lower_stmts ctx scope body
+          @ List.map
+              (fun h ->
+                let h_nodes =
+                  (match h.h_type with Some t -> [ ge t ] | None -> [])
+                  @ (match h.h_name with
+                    | Some n -> [ T.var (bind ctx scope n) "ExceptName" n ]
+                    | None -> [])
+                  @ lower_stmts ctx scope h.h_body
+                in
+                T.nt "ExceptHandler" h_nodes)
+              handlers
+          @
+          match fin with
+          | Some body -> [ T.nt "finalbody" (lower_stmts ctx scope body) ]
+          | None -> []);
+      ]
+  | FuncDef (name, params, body) ->
+      let fid = bind ctx scope name in
+      let inner = { bindings = []; parent = Some scope } in
+      let param_nodes =
+        List.map (fun p -> T.var (bind ctx inner p) "arg" p) params
+      in
+      (* Pre-bind all names assigned in the body: Python decides
+         local-ness per scope, not per first assignment. *)
+      Sset.iter
+        (fun n -> ignore (bind ctx inner n))
+        (assigned_in body);
+      [
+        T.nt "FunctionDef"
+          (T.var fid function_name_label name
+          :: T.nt "arguments" param_nodes
+          :: lower_stmts ctx inner body);
+      ]
+  | Import path ->
+      [ T.nt "Import" [ T.term ~sort:T.Name "Name" (String.concat "." path) ] ]
+
+let program p =
+  let ctx = { next_binder = 0 } in
+  let top = { bindings = []; parent = None } in
+  Sset.iter (fun n -> ignore (bind ctx top n)) (assigned_in p);
+  T.nt "Module" (lower_stmts ctx top p)

@@ -1,0 +1,14 @@
+(** Lowering MiniPython to the generic AST with CPython-style labels
+    ([Module], [FunctionDef], [Name], [Attribute], [Compare==], ...).
+
+    Scope resolution follows Python's rule: a name is local to the
+    function (or module) in which it is assigned — assignment targets,
+    augmented-assignment targets, [for] targets, parameters, [def]
+    names and [except ... as] names all bind. Names that are only read
+    resolve to the enclosing scopes, else they are free
+    ({!Ast.Tree.Name}: builtins like [len], imported names). *)
+
+val program : Syntax.program -> Ast.Tree.t
+
+val function_name_label : string
+(** ["FunctionName"] — label of [def] name terminals. *)

@@ -1,0 +1,423 @@
+open Syntax
+
+type state = { mutable toks : Token.spanned list }
+
+let peek st = match st.toks with [] -> Token.Eof | { tok; _ } :: _ -> tok
+
+let peek2 st =
+  match st.toks with _ :: { tok; _ } :: _ -> tok | _ -> Token.Eof
+
+let pos st =
+  match st.toks with [] -> Lexkit.start_pos | { pos; _ } :: _ -> pos
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st t =
+  if Token.equal (peek st) t then advance st
+  else
+    Lexkit.error (pos st) "expected %s but found %s" (Token.to_string t)
+      (Token.to_string (peek st))
+
+let eat st t =
+  if Token.equal (peek st) t then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match peek st with
+  | Token.Ident id ->
+      advance st;
+      id
+  | t -> Lexkit.error (pos st) "expected identifier, found %s" (Token.to_string t)
+
+let aug_ops = [ "+="; "-="; "*="; "/="; "%=" ]
+
+(* ---------- expressions ---------- *)
+
+let rec parse_expression st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while eat st (Token.Kw "or") do
+    lhs := BoolOp ("or", !lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while eat st (Token.Kw "and") do
+    lhs := BoolOp ("and", !lhs, parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  if eat st (Token.Kw "not") then Not (parse_not st) else parse_comparison st
+
+and parse_comparison st =
+  let lhs = parse_arith st in
+  let op =
+    match peek st with
+    | Token.Punct (("==" | "!=" | "<" | ">" | "<=" | ">=") as op) ->
+        advance st;
+        Some op
+    | Token.Kw "in" ->
+        advance st;
+        Some "in"
+    | Token.Kw "not" when Token.equal (peek2 st) (Token.Kw "in") ->
+        advance st;
+        advance st;
+        Some "not in"
+    | Token.Kw "is" ->
+        advance st;
+        if eat st (Token.Kw "not") then Some "is not" else Some "is"
+    | _ -> None
+  in
+  match op with
+  | Some op -> Compare (op, lhs, parse_arith st)
+  | None -> lhs
+
+and parse_arith st =
+  let lhs = ref (parse_term st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Punct (("+" | "-") as op) ->
+        advance st;
+        lhs := BinOp (op, !lhs, parse_term st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_term st =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Token.Punct (("*" | "/" | "%" | "//" | "**") as op) ->
+        advance st;
+        lhs := BinOp (op, !lhs, parse_unary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  if eat st (Token.Punct "-") then Neg (parse_unary st) else parse_postfix st
+
+and parse_postfix st =
+  let e = ref (parse_atom st) in
+  let continue = ref true in
+  while !continue do
+    if eat st (Token.Punct ".") then e := Attribute (!e, expect_ident st)
+    else if eat st (Token.Punct "(") then begin
+      let args, kwargs = parse_call_args st in
+      e := Call (!e, args, kwargs)
+    end
+    else if eat st (Token.Punct "[") then begin
+      let i = parse_expression st in
+      expect st (Token.Punct "]");
+      e := Subscript (!e, i)
+    end
+    else continue := false
+  done;
+  !e
+
+and parse_call_args st =
+  if eat st (Token.Punct ")") then ([], [])
+  else begin
+    let args = ref [] and kwargs = ref [] in
+    let rec go () =
+      (match (peek st, peek2 st) with
+      | Token.Ident k, Token.Punct "=" ->
+          advance st;
+          advance st;
+          kwargs := (k, parse_expression st) :: !kwargs
+      | _ -> args := parse_expression st :: !args);
+      if eat st (Token.Punct ",") then go () else expect st (Token.Punct ")")
+    in
+    go ();
+    (List.rev !args, List.rev !kwargs)
+  end
+
+and parse_atom st =
+  match peek st with
+  | Token.Num n ->
+      advance st;
+      Num n
+  | Token.Str s ->
+      advance st;
+      Str s
+  | Token.Ident id ->
+      advance st;
+      Ident id
+  | Token.Kw "True" ->
+      advance st;
+      Bool true
+  | Token.Kw "False" ->
+      advance st;
+      Bool false
+  | Token.Kw "None" ->
+      advance st;
+      NoneLit
+  | Token.Punct "(" ->
+      advance st;
+      if eat st (Token.Punct ")") then TupleLit []
+      else begin
+        let e = parse_expression st in
+        if Token.equal (peek st) (Token.Punct ",") then begin
+          let es = ref [ e ] in
+          while eat st (Token.Punct ",") do
+            if not (Token.equal (peek st) (Token.Punct ")")) then
+              es := parse_expression st :: !es
+          done;
+          expect st (Token.Punct ")");
+          TupleLit (List.rev !es)
+        end
+        else begin
+          expect st (Token.Punct ")");
+          e
+        end
+      end
+  | Token.Punct "[" ->
+      advance st;
+      if eat st (Token.Punct "]") then ListLit []
+      else begin
+        let rec go acc =
+          let e = parse_expression st in
+          if eat st (Token.Punct ",") then go (e :: acc)
+          else begin
+            expect st (Token.Punct "]");
+            List.rev (e :: acc)
+          end
+        in
+        ListLit (go [])
+      end
+  | Token.Punct "{" ->
+      advance st;
+      if eat st (Token.Punct "}") then DictLit []
+      else begin
+        let rec go acc =
+          let k = parse_expression st in
+          expect st (Token.Punct ":");
+          let v = parse_expression st in
+          if eat st (Token.Punct ",") then go ((k, v) :: acc)
+          else begin
+            expect st (Token.Punct "}");
+            List.rev ((k, v) :: acc)
+          end
+        in
+        DictLit (go [])
+      end
+  | t -> Lexkit.error (pos st) "unexpected token %s" (Token.to_string t)
+
+(* Assignment/for targets: postfix-level expressions (no [in] operator),
+   possibly a bare comma tuple. *)
+and parse_target_list st =
+  let e = parse_postfix st in
+  if Token.equal (peek st) (Token.Punct ",") then begin
+    let es = ref [ e ] in
+    while eat st (Token.Punct ",") do
+      es := parse_postfix st :: !es
+    done;
+    TupleLit (List.rev !es)
+  end
+  else e
+
+(* Expression possibly followed by a bare tuple: [a, b, c]. *)
+and parse_expr_list st =
+  let e = parse_expression st in
+  if Token.equal (peek st) (Token.Punct ",") then begin
+    let es = ref [ e ] in
+    while eat st (Token.Punct ",") do
+      es := parse_expression st :: !es
+    done;
+    TupleLit (List.rev !es)
+  end
+  else e
+
+(* ---------- statements ---------- *)
+
+let rec parse_suite st =
+  expect st Token.Newline;
+  expect st Token.Indent;
+  let rec go acc =
+    if eat st Token.Dedent then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  match peek st with
+  | Token.Kw "def" ->
+      advance st;
+      let name = expect_ident st in
+      expect st (Token.Punct "(");
+      let params =
+        if eat st (Token.Punct ")") then []
+        else begin
+          let rec go acc =
+            let p = expect_ident st in
+            if eat st (Token.Punct ",") then go (p :: acc)
+            else begin
+              expect st (Token.Punct ")");
+              List.rev (p :: acc)
+            end
+          in
+          go []
+        end
+      in
+      expect st (Token.Punct ":");
+      FuncDef (name, params, parse_suite st)
+  | Token.Kw "if" ->
+      advance st;
+      let c = parse_expression st in
+      expect st (Token.Punct ":");
+      let body = parse_suite st in
+      let rec elifs acc =
+        if eat st (Token.Kw "elif") then begin
+          let c' = parse_expression st in
+          expect st (Token.Punct ":");
+          let b' = parse_suite st in
+          elifs ((c', b') :: acc)
+        end
+        else List.rev acc
+      in
+      let chain = (c, body) :: elifs [] in
+      let orelse =
+        if eat st (Token.Kw "else") then begin
+          expect st (Token.Punct ":");
+          Some (parse_suite st)
+        end
+        else None
+      in
+      If (chain, orelse)
+  | Token.Kw "while" ->
+      advance st;
+      let c = parse_expression st in
+      expect st (Token.Punct ":");
+      While (c, parse_suite st)
+  | Token.Kw "for" ->
+      advance st;
+      let target = parse_target_list st in
+      expect st (Token.Kw "in");
+      let it = parse_expr_list st in
+      expect st (Token.Punct ":");
+      For (target, it, parse_suite st)
+  | Token.Kw "try" ->
+      advance st;
+      expect st (Token.Punct ":");
+      let body = parse_suite st in
+      let rec handlers acc =
+        if eat st (Token.Kw "except") then begin
+          let ty =
+            if Token.equal (peek st) (Token.Punct ":") then None
+            else Some (parse_expression st)
+          in
+          let name =
+            if eat st (Token.Kw "as") then Some (expect_ident st) else None
+          in
+          expect st (Token.Punct ":");
+          handlers ({ h_type = ty; h_name = name; h_body = parse_suite st } :: acc)
+        end
+        else List.rev acc
+      in
+      let hs = handlers [] in
+      let fin =
+        if eat st (Token.Kw "finally") then begin
+          expect st (Token.Punct ":");
+          Some (parse_suite st)
+        end
+        else None
+      in
+      if hs = [] && fin = None then
+        Lexkit.error (pos st) "try without except or finally";
+      Try (body, hs, fin)
+  | Token.Kw "return" ->
+      advance st;
+      let e =
+        if Token.equal (peek st) Token.Newline then None
+        else Some (parse_expr_list st)
+      in
+      expect st Token.Newline;
+      Return e
+  | Token.Kw "raise" ->
+      advance st;
+      let e =
+        if Token.equal (peek st) Token.Newline then None
+        else Some (parse_expression st)
+      in
+      expect st Token.Newline;
+      Raise e
+  | Token.Kw "pass" ->
+      advance st;
+      expect st Token.Newline;
+      Pass
+  | Token.Kw "break" ->
+      advance st;
+      expect st Token.Newline;
+      Break
+  | Token.Kw "continue" ->
+      advance st;
+      expect st Token.Newline;
+      Continue
+  | Token.Kw "import" ->
+      advance st;
+      let rec dotted acc =
+        let id = expect_ident st in
+        if eat st (Token.Punct ".") then dotted (id :: acc)
+        else List.rev (id :: acc)
+      in
+      let path = dotted [] in
+      expect st Token.Newline;
+      Import path
+  | Token.Kw "from" ->
+      advance st;
+      let rec dotted acc =
+        let id = expect_ident st in
+        if eat st (Token.Punct ".") then dotted (id :: acc)
+        else List.rev (id :: acc)
+      in
+      let path = dotted [] in
+      expect st (Token.Kw "import");
+      let rec names acc =
+        let n = expect_ident st in
+        if eat st (Token.Punct ",") then names (n :: acc)
+        else List.rev (n :: acc)
+      in
+      let ns = names [] in
+      expect st Token.Newline;
+      Import (path @ ns)
+  | _ ->
+      let target = parse_expr_list st in
+      let s =
+        match peek st with
+        | Token.Punct "=" ->
+            advance st;
+            Assign (target, parse_expr_list st)
+        | Token.Punct op when List.mem op aug_ops ->
+            advance st;
+            AugAssign (op, target, parse_expr_list st)
+        | _ -> ExprStmt target
+      in
+      expect st Token.Newline;
+      s
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    match peek st with
+    | Token.Eof -> List.rev acc
+    | Token.Newline ->
+        advance st;
+        go acc
+    | _ -> go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr_list st in
+  (match peek st with
+  | Token.Eof | Token.Newline -> ()
+  | t -> Lexkit.error (pos st) "trailing input: %s" (Token.to_string t));
+  e

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for MiniPython over the layout-token
+    stream of {!Lexer}: suites are [NEWLINE INDENT stmt+ DEDENT].
+
+    Tuple displays without parentheses are handled at statement level
+    ([o, e = p.communicate()], [return a, b]); keyword arguments are
+    recognized by [ident =] lookahead inside call argument lists. *)
+
+val parse : string -> Syntax.program
+(** Raises {!Lexkit.Error} on syntax errors. *)
+
+val parse_expr : string -> Syntax.expr

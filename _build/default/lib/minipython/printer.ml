@@ -1,0 +1,280 @@
+open Syntax
+
+let prec = function
+  | TupleLit _ -> 0
+  | BoolOp ("or", _, _) -> 1
+  | BoolOp ("and", _, _) -> 2
+  | BoolOp _ -> 2
+  | Not _ -> 3
+  | Compare _ -> 4
+  | BinOp (("+" | "-"), _, _) -> 5
+  | BinOp _ -> 6
+  | Neg _ -> 7
+  | Call _ | Attribute _ | Subscript _ -> 8
+  | _ -> 9
+
+let escape_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec expr buf e =
+  let atom ?(p = prec e) sub =
+    if prec sub < p then begin
+      Buffer.add_char buf '(';
+      expr buf sub;
+      Buffer.add_char buf ')'
+    end
+    else expr buf sub
+  in
+  match e with
+  | Ident id -> Buffer.add_string buf id
+  | Num n -> Buffer.add_string buf n
+  | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape_str s);
+      Buffer.add_char buf '"'
+  | Bool b -> Buffer.add_string buf (if b then "True" else "False")
+  | NoneLit -> Buffer.add_string buf "None"
+  | BoolOp (op, a, b) ->
+      let p = prec e in
+      atom ~p a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf op;
+      Buffer.add_char buf ' ';
+      if prec b <= p then begin
+        Buffer.add_char buf '(';
+        expr buf b;
+        Buffer.add_char buf ')'
+      end
+      else expr buf b
+  | Not a ->
+      Buffer.add_string buf "not ";
+      atom a
+  | Compare (op, a, b) ->
+      atom ~p:5 a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf op;
+      Buffer.add_char buf ' ';
+      atom ~p:5 b
+  | BinOp (op, a, b) ->
+      let p = prec e in
+      atom ~p a;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf op;
+      Buffer.add_char buf ' ';
+      if prec b <= p then begin
+        Buffer.add_char buf '(';
+        expr buf b;
+        Buffer.add_char buf ')'
+      end
+      else expr buf b
+  | Neg a ->
+      Buffer.add_char buf '-';
+      atom a
+  | Call (f, args, kwargs) ->
+      atom ~p:8 f;
+      Buffer.add_char buf '(';
+      let first = ref true in
+      let sep () =
+        if !first then first := false else Buffer.add_string buf ", "
+      in
+      List.iter
+        (fun a ->
+          sep ();
+          expr buf a)
+        args;
+      List.iter
+        (fun (k, v) ->
+          sep ();
+          Buffer.add_string buf k;
+          Buffer.add_char buf '=';
+          expr buf v)
+        kwargs;
+      Buffer.add_char buf ')'
+  | Attribute (o, a) ->
+      atom ~p:8 o;
+      Buffer.add_char buf '.';
+      Buffer.add_string buf a
+  | Subscript (o, i) ->
+      atom ~p:8 o;
+      Buffer.add_char buf '[';
+      expr buf i;
+      Buffer.add_char buf ']'
+  | ListLit es ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf e)
+        es;
+      Buffer.add_char buf ']'
+  | TupleLit es ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i e ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf e)
+        es;
+      if List.length es = 1 then Buffer.add_char buf ',';
+      Buffer.add_char buf ')'
+  | DictLit kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          expr buf k;
+          Buffer.add_string buf ": ";
+          expr buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let rec stmt buf ~indent s =
+  let pad = String.make indent ' ' in
+  let line txt = Buffer.add_string buf (pad ^ txt ^ "\n") in
+  let suite body = List.iter (stmt buf ~indent:(indent + 4)) body in
+  match s with
+  | ExprStmt e ->
+      Buffer.add_string buf pad;
+      expr buf e;
+      Buffer.add_char buf '\n'
+  | Assign (t, v) ->
+      Buffer.add_string buf pad;
+      (* bare tuple targets print without parens *)
+      (match t with
+      | TupleLit es when es <> [] ->
+          List.iteri
+            (fun i e ->
+              if i > 0 then Buffer.add_string buf ", ";
+              expr buf e)
+            es
+      | t -> expr buf t);
+      Buffer.add_string buf " = ";
+      (match v with
+      | TupleLit es when List.length es > 1 ->
+          List.iteri
+            (fun i e ->
+              if i > 0 then Buffer.add_string buf ", ";
+              expr buf e)
+            es
+      | v -> expr buf v);
+      Buffer.add_char buf '\n'
+  | AugAssign (op, t, v) ->
+      Buffer.add_string buf pad;
+      expr buf t;
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf op;
+      Buffer.add_char buf ' ';
+      expr buf v;
+      Buffer.add_char buf '\n'
+  | If (chain, orelse) ->
+      List.iteri
+        (fun i (c, body) ->
+          Buffer.add_string buf pad;
+          Buffer.add_string buf (if i = 0 then "if " else "elif ");
+          expr buf c;
+          Buffer.add_string buf ":\n";
+          suite body)
+        chain;
+      (match orelse with
+      | Some body ->
+          line "else:";
+          suite body
+      | None -> ())
+  | While (c, body) ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf "while ";
+      expr buf c;
+      Buffer.add_string buf ":\n";
+      suite body
+  | For (t, it, body) ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf "for ";
+      (match t with
+      | TupleLit es when es <> [] ->
+          List.iteri
+            (fun i e ->
+              if i > 0 then Buffer.add_string buf ", ";
+              expr buf e)
+            es
+      | t -> expr buf t);
+      Buffer.add_string buf " in ";
+      expr buf it;
+      Buffer.add_string buf ":\n";
+      suite body
+  | Return None -> line "return"
+  | Return (Some e) ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf "return ";
+      (match e with
+      | TupleLit es when List.length es > 1 ->
+          List.iteri
+            (fun i e ->
+              if i > 0 then Buffer.add_string buf ", ";
+              expr buf e)
+            es
+      | e -> expr buf e);
+      Buffer.add_char buf '\n'
+  | Pass -> line "pass"
+  | Break -> line "break"
+  | Continue -> line "continue"
+  | Raise None -> line "raise"
+  | Raise (Some e) ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf "raise ";
+      expr buf e;
+      Buffer.add_char buf '\n'
+  | Try (body, handlers, fin) ->
+      line "try:";
+      suite body;
+      List.iter
+        (fun h ->
+          Buffer.add_string buf pad;
+          Buffer.add_string buf "except";
+          (match h.h_type with
+          | Some t ->
+              Buffer.add_char buf ' ';
+              expr buf t
+          | None -> ());
+          (match h.h_name with
+          | Some n ->
+              Buffer.add_string buf " as ";
+              Buffer.add_string buf n
+          | None -> ());
+          Buffer.add_string buf ":\n";
+          suite h.h_body)
+        handlers;
+      (match fin with
+      | Some body ->
+          line "finally:";
+          suite body
+      | None -> ())
+  | FuncDef (name, params, body) ->
+      Buffer.add_string buf pad;
+      Buffer.add_string buf "def ";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '(';
+      Buffer.add_string buf (String.concat ", " params);
+      Buffer.add_string buf "):\n";
+      suite body
+  | Import path -> line ("import " ^ String.concat "." path)
+
+let program_to_string p =
+  let buf = Buffer.create 256 in
+  List.iter (stmt buf ~indent:0) p;
+  Buffer.contents buf
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  expr buf e;
+  Buffer.contents buf
+
+let pp_program ppf p = Format.pp_print_string ppf (program_to_string p)

@@ -1,0 +1,6 @@
+(** Source rendering of MiniPython ASTs (4-space indentation); output
+    re-parses to an equal program. *)
+
+val expr_to_string : Syntax.expr -> string
+val program_to_string : Syntax.program -> string
+val pp_program : Format.formatter -> Syntax.program -> unit

@@ -1,0 +1,134 @@
+open Syntax
+module Sset = Set.Make (String)
+
+(* Reuse the same local-ness rule as Lower.assigned_in. *)
+let rec assigned_in stmts = List.fold_left assigned_stmt Sset.empty stmts
+
+and target_names acc = function
+  | Ident n -> Sset.add n acc
+  | TupleLit es | ListLit es -> List.fold_left target_names acc es
+  | _ -> acc
+
+and assigned_stmt acc = function
+  | Assign (t, _) -> target_names acc t
+  | AugAssign (_, t, _) -> target_names acc t
+  | For (t, _, body) -> Sset.union (target_names acc t) (assigned_in body)
+  (* Function names are *not* renamed: the variable-name task treats
+     them as given (only variables and parameters are stripped). *)
+  | FuncDef (_, _, _) -> acc
+  | If (chain, orelse) ->
+      let acc =
+        List.fold_left
+          (fun acc (_, body) -> Sset.union acc (assigned_in body))
+          acc chain
+      in
+      Option.fold ~none:acc ~some:(fun b -> Sset.union acc (assigned_in b)) orelse
+  | While (_, body) -> Sset.union acc (assigned_in body)
+  | Try (body, handlers, fin) ->
+      let acc = Sset.union acc (assigned_in body) in
+      let acc =
+        List.fold_left
+          (fun acc h ->
+            let acc = Sset.union acc (assigned_in h.h_body) in
+            match h.h_name with Some n -> Sset.add n acc | None -> acc)
+          acc handlers
+      in
+      Option.fold ~none:acc ~some:(fun b -> Sset.union acc (assigned_in b)) fin
+  | Import _ | ExprStmt _ | Return _ | Pass | Break | Continue | Raise _ -> acc
+
+let rename_if env f n =
+  if Sset.mem n env then Option.value (f n) ~default:n else n
+
+let rec rn_expr env f e =
+  let go = rn_expr env f in
+  match e with
+  | Ident n -> Ident (rename_if env f n)
+  | Num _ | Str _ | Bool _ | NoneLit -> e
+  | BoolOp (op, a, b) -> BoolOp (op, go a, go b)
+  | Not a -> Not (go a)
+  | Compare (op, a, b) -> Compare (op, go a, go b)
+  | BinOp (op, a, b) -> BinOp (op, go a, go b)
+  | Neg a -> Neg (go a)
+  | Call (fn, args, kwargs) ->
+      Call (go fn, List.map go args, List.map (fun (k, v) -> (k, go v)) kwargs)
+  | Attribute (o, a) -> Attribute (go o, a)
+  | Subscript (o, i) -> Subscript (go o, go i)
+  | ListLit es -> ListLit (List.map go es)
+  | TupleLit es -> TupleLit (List.map go es)
+  | DictLit kvs -> DictLit (List.map (fun (k, v) -> (go k, go v)) kvs)
+
+and rn_stmts env f stmts = List.map (rn_stmt env f) stmts
+
+and rn_stmt env f s =
+  let ge = rn_expr env f in
+  match s with
+  | ExprStmt e -> ExprStmt (ge e)
+  | Assign (t, v) -> Assign (ge t, ge v)
+  | AugAssign (op, t, v) -> AugAssign (op, ge t, ge v)
+  | If (chain, orelse) ->
+      If
+        ( List.map (fun (c, b) -> (ge c, rn_stmts env f b)) chain,
+          Option.map (rn_stmts env f) orelse )
+  | While (c, b) -> While (ge c, rn_stmts env f b)
+  | For (t, it, b) -> For (ge t, ge it, rn_stmts env f b)
+  | Return e -> Return (Option.map ge e)
+  | Pass -> Pass
+  | Break -> Break
+  | Continue -> Continue
+  | Raise e -> Raise (Option.map ge e)
+  | Try (b, hs, fin) ->
+      Try
+        ( rn_stmts env f b,
+          List.map
+            (fun h ->
+              {
+                h_type = Option.map ge h.h_type;
+                h_name = Option.map (rename_if env f) h.h_name;
+                h_body = rn_stmts env f h.h_body;
+              })
+            hs,
+          Option.map (rn_stmts env f) fin )
+  | FuncDef (name, params, body) ->
+      let inner =
+        Sset.union env
+          (Sset.union (Sset.of_list params) (assigned_in body))
+      in
+      FuncDef
+        ( rename_if env f name,
+          List.map (rename_if inner f) params,
+          rn_stmts inner f body )
+  | Import path -> Import path
+
+let apply f p =
+  let env = assigned_in p in
+  rn_stmts env f p
+
+let short_name i =
+  let rec go i acc =
+    let acc = String.make 1 (Char.chr (Char.code 'a' + (i mod 26))) ^ acc in
+    if i < 26 then acc else go ((i / 26) - 1) acc
+  in
+  go i ""
+
+let local_names p =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let record n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      order := n :: !order
+    end
+  in
+  let (_ : program) =
+    apply
+      (fun n ->
+        record n;
+        None)
+      p
+  in
+  List.rev !order
+
+let strip p =
+  let names = local_names p in
+  let mapping = List.mapi (fun i n -> (n, short_name i)) names in
+  (apply (fun n -> List.assoc_opt n mapping) p, mapping)

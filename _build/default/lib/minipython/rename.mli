@@ -1,0 +1,6 @@
+(** Binding-aware renaming for MiniPython (strip locals / re-apply
+    predictions, as in the paper's Fig. 7). *)
+
+val apply : (string -> string option) -> Syntax.program -> Syntax.program
+val strip : Syntax.program -> Syntax.program * (string * string) list
+val local_names : Syntax.program -> string list

@@ -1,0 +1,44 @@
+type expr =
+  | Ident of string
+  | Num of string
+  | Str of string
+  | Bool of bool
+  | NoneLit
+  | BoolOp of string * expr * expr
+  | Not of expr
+  | Compare of string * expr * expr
+  | BinOp of string * expr * expr
+  | Neg of expr
+  | Call of expr * expr list * (string * expr) list
+  | Attribute of expr * string
+  | Subscript of expr * expr
+  | ListLit of expr list
+  | TupleLit of expr list
+  | DictLit of (expr * expr) list
+
+and stmt =
+  | ExprStmt of expr
+  | Assign of expr * expr
+  | AugAssign of string * expr * expr
+  | If of (expr * stmt list) list * stmt list option
+  | While of expr * stmt list
+  | For of expr * expr * stmt list
+  | Return of expr option
+  | Pass
+  | Break
+  | Continue
+  | Raise of expr option
+  | Try of stmt list * handler list * stmt list option
+  | FuncDef of string * string list * stmt list
+  | Import of string list
+
+and handler = {
+  h_type : expr option;
+  h_name : string option;
+  h_body : stmt list;
+}
+
+type program = stmt list
+
+let equal_program a b = Stdlib.compare a b = 0
+let equal_expr a b = Stdlib.compare a b = 0

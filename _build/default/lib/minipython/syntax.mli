@@ -1,0 +1,51 @@
+(** Abstract syntax of MiniPython — enough for the paper's Fig. 7
+    (keyword arguments, tuple targets, tuple returns) and the synthetic
+    corpus. *)
+
+type expr =
+  | Ident of string
+  | Num of string
+  | Str of string
+  | Bool of bool
+  | NoneLit
+  | BoolOp of string * expr * expr  (** [and] / [or] *)
+  | Not of expr
+  | Compare of string * expr * expr
+      (** [==], [!=], [<], [>], [<=], [>=], [in], [not in], [is]. *)
+  | BinOp of string * expr * expr  (** [+ - * / % // **] *)
+  | Neg of expr
+  | Call of expr * expr list * (string * expr) list
+      (** Positional and keyword arguments. *)
+  | Attribute of expr * string
+  | Subscript of expr * expr
+  | ListLit of expr list
+  | TupleLit of expr list
+  | DictLit of (expr * expr) list
+
+and stmt =
+  | ExprStmt of expr
+  | Assign of expr * expr  (** Target may be a {!TupleLit}. *)
+  | AugAssign of string * expr * expr
+  | If of (expr * stmt list) list * stmt list option
+      (** [if]/[elif] chain with optional [else]. *)
+  | While of expr * stmt list
+  | For of expr * expr * stmt list
+  | Return of expr option
+  | Pass
+  | Break
+  | Continue
+  | Raise of expr option
+  | Try of stmt list * handler list * stmt list option
+  | FuncDef of string * string list * stmt list
+  | Import of string list  (** [import a.b] / [from a import b] flattened. *)
+
+and handler = {
+  h_type : expr option;
+  h_name : string option;  (** [except E as e]. *)
+  h_body : stmt list;
+}
+
+type program = stmt list
+
+val equal_program : program -> program -> bool
+val equal_expr : expr -> expr -> bool

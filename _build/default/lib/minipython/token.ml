@@ -1,0 +1,40 @@
+type t =
+  | Ident of string
+  | Num of string
+  | Str of string
+  | Punct of string
+  | Kw of string
+  | Newline
+  | Indent
+  | Dedent
+  | Eof
+
+type spanned = { tok : t; pos : Lexkit.pos }
+
+let keywords =
+  [
+    "def"; "return"; "if"; "elif"; "else"; "while"; "for"; "in"; "not";
+    "and"; "or"; "pass"; "break"; "continue"; "True"; "False"; "None";
+    "raise"; "try"; "except"; "finally"; "as"; "is"; "import"; "from";
+    "del"; "global"; "with"; "lambda";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let equal a b =
+  match (a, b) with
+  | Ident x, Ident y | Num x, Num y | Str x, Str y | Punct x, Punct y
+  | Kw x, Kw y ->
+      String.equal x y
+  | Newline, Newline | Indent, Indent | Dedent, Dedent | Eof, Eof -> true
+  | _ -> false
+
+let to_string = function
+  | Ident s | Num s | Punct s | Kw s -> s
+  | Str s -> Printf.sprintf "%S" s
+  | Newline -> "<newline>"
+  | Indent -> "<indent>"
+  | Dedent -> "<dedent>"
+  | Eof -> "<eof>"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,21 @@
+(** Tokens of the MiniPython front-end, including the layout tokens
+    produced by the indentation-sensitive lexer. *)
+
+type t =
+  | Ident of string
+  | Num of string
+  | Str of string
+  | Punct of string
+  | Kw of string
+  | Newline
+  | Indent
+  | Dedent
+  | Eof
+
+type spanned = { tok : t; pos : Lexkit.pos }
+
+val keywords : string list
+val is_keyword : string -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

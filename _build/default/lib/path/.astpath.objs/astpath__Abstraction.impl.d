@@ -1,0 +1,1 @@
+lib/path/abstraction.ml: Array Format List Path String

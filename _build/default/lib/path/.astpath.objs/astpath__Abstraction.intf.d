@@ -1,0 +1,1 @@
+lib/path/abstraction.mli: Format Path

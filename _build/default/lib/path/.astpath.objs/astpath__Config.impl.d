@@ -1,0 +1,1 @@
+lib/path/config.ml: Format

@@ -1,0 +1,1 @@
+lib/path/context.ml: Ast Format List Path String

@@ -1,0 +1,1 @@
+lib/path/context.mli: Ast Format Path

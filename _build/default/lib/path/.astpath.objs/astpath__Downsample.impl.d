@@ -1,0 +1,1 @@
+lib/path/downsample.ml: List Random

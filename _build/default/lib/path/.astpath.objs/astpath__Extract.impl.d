@@ -1,0 +1,1 @@
+lib/path/extract.ml: Array Ast Config Context List

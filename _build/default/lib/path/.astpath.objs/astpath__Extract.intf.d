@@ -1,0 +1,1 @@
+lib/path/extract.mli: Ast Config Context

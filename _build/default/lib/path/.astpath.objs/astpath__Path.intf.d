@@ -1,0 +1,1 @@
+lib/path/path.mli: Format

@@ -1,0 +1,37 @@
+type t =
+  | Full
+  | No_arrows
+  | Forget_order
+  | First_top_last
+  | First_last
+  | Top
+  | No_paths
+
+let apply t path =
+  match t with
+  | Full -> Path.to_string path
+  | No_arrows -> String.concat "," (Array.to_list (Path.nodes path))
+  | Forget_order ->
+      let ns = Array.to_list (Path.nodes path) in
+      String.concat "," (List.sort String.compare ns)
+  | First_top_last ->
+      String.concat ","
+        [ Path.first path; Path.top path; Path.last path ]
+  | First_last -> String.concat "," [ Path.first path; Path.last path ]
+  | Top -> Path.top path
+  | No_paths -> "*"
+
+let name = function
+  | Full -> "full"
+  | No_arrows -> "no-arrows"
+  | Forget_order -> "forget-order"
+  | First_top_last -> "first-top-last"
+  | First_last -> "first-last"
+  | Top -> "top"
+  | No_paths -> "no-paths"
+
+let all =
+  [ Full; No_arrows; Forget_order; First_top_last; First_last; Top; No_paths ]
+
+let of_name s = List.find_opt (fun t -> String.equal (name t) s) all
+let pp ppf t = Format.pp_print_string ppf (name t)

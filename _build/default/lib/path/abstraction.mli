@@ -1,0 +1,30 @@
+(** Path abstraction functions α (paper Definition 4.4 and Section 5.6).
+
+    An abstraction maps a concrete path to a coarser key; coarser keys
+    merge distinct paths, shrinking the model and speeding up training
+    at some cost in accuracy (Fig. 12). *)
+
+type t =
+  | Full  (** α_id: the complete node-by-node path with arrows. *)
+  | No_arrows  (** Node sequence without the ↑/↓ movement symbols. *)
+  | Forget_order  (** Bag of node labels: sorted, without arrows. *)
+  | First_top_last
+      (** Only the first, hierarchically-highest, and last nodes —
+          the paper's accuracy/training-time "sweet spot". *)
+  | First_last  (** Only the two end nodes. *)
+  | Top  (** Only the top node. *)
+  | No_paths
+      (** Every path maps to the same key: the bag-of-near-identifiers
+          baseline, hiding all syntactic relations. *)
+
+val apply : t -> Path.t -> string
+(** The abstracted key; distinct keys never merge under a finer
+    abstraction than under a coarser one (tested by property tests). *)
+
+val name : t -> string
+val of_name : string -> t option
+val all : t list
+(** In decreasing expressiveness: [Full; No_arrows; Forget_order;
+    First_top_last; First_last; Top; No_paths]. *)
+
+val pp : Format.formatter -> t -> unit

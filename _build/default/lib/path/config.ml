@@ -1,0 +1,12 @@
+type t = { max_length : int; max_width : int; include_semi_paths : bool }
+
+let make ?(include_semi_paths = false) ~max_length ~max_width () =
+  if max_length < 1 then invalid_arg "Config.make: max_length must be >= 1";
+  if max_width < 0 then invalid_arg "Config.make: max_width must be >= 0";
+  { max_length; max_width; include_semi_paths }
+
+let default = { max_length = 7; max_width = 3; include_semi_paths = false }
+
+let pp ppf t =
+  Format.fprintf ppf "{length<=%d; width<=%d; semi=%b}" t.max_length
+    t.max_width t.include_semi_paths

@@ -1,0 +1,21 @@
+(** Extraction hyper-parameters (paper Section 4.2). *)
+
+type t = {
+  max_length : int;
+      (** Maximal number of edges [k] in an extracted path. *)
+  max_width : int;
+      (** Maximal difference between the child ranks, at the path's top
+          node, of the two subtrees the path passes through (Fig. 5). *)
+  include_semi_paths : bool;
+      (** Also extract semi-paths (leaf → ancestor nonterminal), which
+          trade expressiveness for generalization (Section 5). *)
+}
+
+val make : ?include_semi_paths:bool -> max_length:int -> max_width:int -> unit -> t
+(** Raises [Invalid_argument] on non-positive limits. *)
+
+val default : t
+(** The paper's tuned setting for JavaScript variable names:
+    [max_length = 7], [max_width = 3], no semi-paths. *)
+
+val pp : Format.formatter -> t -> unit

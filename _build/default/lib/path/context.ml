@@ -1,0 +1,56 @@
+type t = {
+  start_node : int;
+  end_node : int;
+  start_value : string;
+  end_value : string;
+  path : Path.t;
+}
+
+let node_value idx n =
+  match Ast.Index.value idx n with
+  | Some v -> v
+  | None -> Ast.Index.label idx n
+
+let make ~idx ~start_node ~end_node =
+  let l = Ast.Index.lca idx start_node end_node in
+  let up_chain = Ast.Index.path_up idx start_node ~stop:l in
+  let down_chain = Ast.Index.path_up idx end_node ~stop:l in
+  (* [up_chain] = start..l inclusive; [down_chain] = end..l inclusive. *)
+  let up =
+    List.filter (fun n -> n <> l) up_chain
+    |> List.map (Ast.Index.label idx)
+  in
+  let down =
+    List.filter (fun n -> n <> l) down_chain
+    |> List.rev
+    |> List.map (Ast.Index.label idx)
+  in
+  let path = Path.of_chain ~up ~top:(Ast.Index.label idx l) ~down in
+  {
+    start_node;
+    end_node;
+    start_value = node_value idx start_node;
+    end_value = node_value idx end_node;
+    path;
+  }
+
+let reverse t =
+  {
+    start_node = t.end_node;
+    end_node = t.start_node;
+    start_value = t.end_value;
+    end_value = t.start_value;
+    path = Path.reverse t.path;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "\xe2\x9f\xa8%s, %a, %s\xe2\x9f\xa9" t.start_value
+    Path.pp t.path t.end_value
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b =
+  a.start_node = b.start_node && a.end_node = b.end_node
+  && String.equal a.start_value b.start_value
+  && String.equal a.end_value b.end_value
+  && Path.equal a.path b.path

@@ -1,0 +1,26 @@
+(** Path-contexts (paper Definition 4.3): an AST path together with the
+    values at its two ends, plus the node ids so prediction tasks can
+    map ends back to program elements. *)
+
+type t = {
+  start_node : int;  (** Node id in the originating {!Ast.Index.t}. *)
+  end_node : int;
+  start_value : string;
+  end_value : string;
+  path : Path.t;
+}
+
+val make : idx:Ast.Index.t -> start_node:int -> end_node:int -> t
+(** Builds the path-context between two nodes of [idx] by walking both
+    parent chains to their LCA. The value of a nonterminal end is its
+    label (used by the full-type task, where one end is an expression
+    nonterminal). *)
+
+val reverse : t -> t
+(** Swaps ends and reverses the path. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper notation: [⟨start, path, end⟩]. *)
+
+val to_string : t -> string
+val equal : t -> t -> bool

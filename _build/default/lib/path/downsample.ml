@@ -1,0 +1,4 @@
+let keep rng ~p xs =
+  if p >= 1. then xs
+  else if p <= 0. then []
+  else List.filter (fun _ -> Random.State.float rng 1.0 < p) xs

@@ -1,0 +1,9 @@
+(** Occurrence downsampling (paper Section 5.5, Fig. 11).
+
+    After extraction, each path-context occurrence is kept independently
+    with probability [p]; training on the survivors trades a little
+    accuracy for a large cut in training time. *)
+
+val keep : Random.State.t -> p:float -> 'a list -> 'a list
+(** [keep rng ~p xs] keeps each element with probability [p] (clamped to
+    [[0, 1]]), preserving order. [p >= 1.] returns [xs] unchanged. *)

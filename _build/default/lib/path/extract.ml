@@ -1,0 +1,68 @@
+let within_limits idx (cfg : Config.t) a b =
+  let l = Ast.Index.lca idx a b in
+  let len =
+    Ast.Index.depth idx a + Ast.Index.depth idx b - (2 * Ast.Index.depth idx l)
+  in
+  len >= 1 && len <= cfg.max_length
+  && Ast.Index.width_between idx ~lca:l a b <= cfg.max_width
+
+let leaf_pairs idx (cfg : Config.t) =
+  let leaves = Ast.Index.leaves idx in
+  let n = Array.length leaves in
+  let acc = ref [] in
+  for j = n - 1 downto 1 do
+    for i = j - 1 downto 0 do
+      let a = leaves.(i) and b = leaves.(j) in
+      if within_limits idx cfg a b then
+        acc := Context.make ~idx ~start_node:a ~end_node:b :: !acc
+    done
+  done;
+  !acc
+
+let semi_paths idx (cfg : Config.t) =
+  let leaves = Ast.Index.leaves idx in
+  let acc = ref [] in
+  Array.iter
+    (fun leaf ->
+      let rec go node steps =
+        if steps <= cfg.max_length && node <> -1 then begin
+          acc := Context.make ~idx ~start_node:leaf ~end_node:node :: !acc;
+          go (Ast.Index.parent idx node) (steps + 1)
+        end
+      in
+      go (Ast.Index.parent idx leaf) 1)
+    leaves;
+  List.rev !acc
+
+let leaf_to_node idx (cfg : Config.t) ~target =
+  let leaves = Ast.Index.leaves idx in
+  let acc = ref [] in
+  Array.iter
+    (fun leaf ->
+      if leaf <> target && within_limits idx cfg leaf target then
+        acc := Context.make ~idx ~start_node:leaf ~end_node:target :: !acc)
+    leaves;
+  List.rev !acc
+
+let all idx (cfg : Config.t) =
+  let pairs = leaf_pairs idx cfg in
+  if cfg.include_semi_paths then pairs @ semi_paths idx cfg else pairs
+
+let star contexts ~anchor =
+  List.filter_map
+    (fun (c : Context.t) ->
+      if c.Context.start_node = anchor then Some c
+      else if c.Context.end_node = anchor then Some (Context.reverse c)
+      else None)
+    contexts
+
+let count_within idx (cfg : Config.t) =
+  let leaves = Ast.Index.leaves idx in
+  let n = Array.length leaves in
+  let count = ref 0 in
+  for j = 1 to n - 1 do
+    for i = 0 to j - 1 do
+      if within_limits idx cfg leaves.(i) leaves.(j) then incr count
+    done
+  done;
+  !count

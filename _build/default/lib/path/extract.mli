@@ -1,0 +1,34 @@
+(** Path extraction over an indexed AST (paper Sections 4.1–4.2).
+
+    All extractors respect the {!Config.t} limits: a pairwise path is
+    kept iff its length (edge count) is at most [max_length] and its
+    width at the top node (Fig. 5) is at most [max_width]. *)
+
+val leaf_pairs : Ast.Index.t -> Config.t -> Context.t list
+(** All leafwise path-contexts, each pair reported once with the start
+    leaf preceding the end leaf in source order. *)
+
+val semi_paths : Ast.Index.t -> Config.t -> Context.t list
+(** Semi-paths: from each terminal up to each of its strict ancestors,
+    up to [max_length] edges. Semi-paths are less expressive than
+    leafwise paths but generalize across programs (Section 5). *)
+
+val leaf_to_node : Ast.Index.t -> Config.t -> target:int -> Context.t list
+(** Paths from every terminal to the given node (used by the full-type
+    task, where [target] is an expression nonterminal). The target is
+    always the [end] of the context. Terminals inside the target's own
+    subtree connect to it by pure-up semi-paths; others by regular
+    up-then-down paths. *)
+
+val all : Ast.Index.t -> Config.t -> Context.t list
+(** {!leaf_pairs}, plus {!semi_paths} when the config enables them. *)
+
+val star : Context.t list -> anchor:int -> Context.t list
+(** The n-wise view of the family (Section 4.1): all extracted contexts
+    one of whose ends is the node [anchor], re-oriented so [anchor] is
+    the start. An n-wise path with anchor [a] and ends [b1..bn] is
+    represented by its n pairwise projections. *)
+
+val count_within : Ast.Index.t -> Config.t -> int
+(** Number of leafwise contexts that would be extracted; cheaper than
+    building them (used by tests and by corpus statistics). *)

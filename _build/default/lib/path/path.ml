@@ -1,0 +1,84 @@
+type direction = Up | Down
+type t = { nodes : string array; dirs : direction array }
+
+let validate { nodes; dirs } =
+  if Array.length nodes <> Array.length dirs + 1 then
+    invalid_arg "Path.make: |nodes| must be |dirs| + 1";
+  if Array.length nodes = 0 then invalid_arg "Path.make: empty path";
+  let seen_down = ref false in
+  Array.iter
+    (function
+      | Down -> seen_down := true
+      | Up -> if !seen_down then invalid_arg "Path.make: Up after Down")
+    dirs
+
+let make ~nodes ~dirs =
+  let p = { nodes; dirs } in
+  validate p;
+  p
+
+let length t = Array.length t.dirs
+let nodes t = t.nodes
+let dirs t = t.dirs
+
+let top_index t =
+  (* Count of leading [Up] moves = index of the highest node. *)
+  let rec go i =
+    if i < Array.length t.dirs && t.dirs.(i) = Up then go (i + 1) else i
+  in
+  go 0
+
+let top t = t.nodes.(top_index t)
+let first t = t.nodes.(0)
+let last t = t.nodes.(Array.length t.nodes - 1)
+
+let flip = function Up -> Down | Down -> Up
+
+let reverse t =
+  let k = Array.length t.dirs in
+  let nodes =
+    Array.init (Array.length t.nodes) (fun i ->
+        t.nodes.(Array.length t.nodes - 1 - i))
+  in
+  let dirs = Array.init k (fun i -> flip t.dirs.(k - 1 - i)) in
+  { nodes; dirs }
+
+let of_chain ~up ~top ~down =
+  let nodes = Array.of_list (up @ (top :: down)) in
+  let n_up = List.length up and n_down = List.length down in
+  let dirs =
+    Array.init (n_up + n_down) (fun i -> if i < n_up then Up else Down)
+  in
+  make ~nodes ~dirs
+
+let dir_to_string = function Up -> "\xe2\x86\x91" | Down -> "\xe2\x86\x93"
+
+let to_string t =
+  let buf = Buffer.create 64 in
+  Array.iteri
+    (fun i n ->
+      if i > 0 then Buffer.add_string buf (dir_to_string t.dirs.(i - 1));
+      Buffer.add_string buf n)
+    t.nodes;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let compare a b =
+  let c = Stdlib.compare a.dirs b.dirs in
+  if c <> 0 then c
+  else
+    let la = Array.length a.nodes and lb = Array.length b.nodes in
+    let c = Int.compare la lb in
+    if c <> 0 then c
+    else
+      let rec go i =
+        if i = la then 0
+        else
+          let c = String.compare a.nodes.(i) b.nodes.(i) in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (to_string t)

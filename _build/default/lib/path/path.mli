@@ -1,0 +1,49 @@
+(** AST paths (paper Definition 4.2).
+
+    An AST path of length [k] is a sequence [n1 d1 n2 d2 ... nk dk n(k+1)]
+    of node labels [ni] and movement directions [di ∈ {↑, ↓}]. A valid
+    path first moves up toward an ancestor and then down — directions
+    are monotone: no [Up] may follow a [Down]. *)
+
+type direction = Up | Down
+
+type t = private {
+  nodes : string array;  (** [k+1] node labels, start to end. *)
+  dirs : direction array;  (** [k] directions between consecutive nodes. *)
+}
+
+val make : nodes:string array -> dirs:direction array -> t
+(** Raises [Invalid_argument] if lengths are inconsistent ([|nodes|] must
+    be [|dirs| + 1] and [|nodes| >= 1]) or an [Up] follows a [Down]. *)
+
+val length : t -> int
+(** Number of edges [k]. A single-node path has length [0]. *)
+
+val nodes : t -> string array
+val dirs : t -> direction array
+
+val top_index : t -> int
+(** Index into {!nodes} of the hierarchically highest node: the node at
+    which the direction changes from up to down (the first node not
+    followed by [Up]). *)
+
+val top : t -> string
+val first : t -> string
+val last : t -> string
+
+val reverse : t -> t
+(** The same path traversed end-to-start. *)
+
+val of_chain : up:string list -> top:string -> down:string list -> t
+(** [of_chain ~up ~top ~down] builds the path [up1 ↑ ... ↑ top ↓ ...
+    ↓ downN]; [up] is ordered from the start leaf upward (excluding
+    [top]), [down] from just below [top] to the end node. *)
+
+val to_string : t -> string
+(** Paper notation, e.g.
+    ["SymbolRef↑UnaryPrefix!↑While↓If↓Assign=↓SymbolRef"]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int

@@ -1,0 +1,1 @@
+lib/word2vec/serialize.ml: Array Buffer Char Fun List Printf Sgns String Vocab

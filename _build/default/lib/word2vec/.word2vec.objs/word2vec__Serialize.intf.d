@@ -1,0 +1,1 @@
+lib/word2vec/serialize.mli: Sgns

@@ -1,0 +1,1 @@
+lib/word2vec/sgns.ml: Array Float List Option Random String Vocab

@@ -1,0 +1,1 @@
+lib/word2vec/vocab.ml: Array Hashtbl Int List Option String

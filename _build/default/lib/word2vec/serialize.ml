@@ -1,0 +1,120 @@
+(* Format:
+     pigeon-w2v-model 1
+     config <dim> <epochs> <negatives> <lr> <min_count> <seed>
+     words <n>
+     w <escaped-token> <count> <v0> ... <v_dim-1>
+     contexts <n>
+     c <escaped-token> <count> <v0> ...
+   Tokens are percent-escaped (space, tab, newline, CR, '%'). *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' | '%' ->
+          Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if s.[!i] = '%' && !i + 2 < n then begin
+      Buffer.add_char buf
+        (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let write_matrix oc tag vocab vecs =
+  Array.iteri
+    (fun i v ->
+      Printf.fprintf oc "%s %s %d" tag
+        (escape (Vocab.word vocab i))
+        (Vocab.count vocab i);
+      Array.iter (fun x -> Printf.fprintf oc " %.9g" x) v;
+      output_char oc '\n')
+    vecs
+
+let to_channel (m : Sgns.t) oc =
+  Printf.fprintf oc "pigeon-w2v-model 1\n";
+  let c = m.Sgns.config in
+  Printf.fprintf oc "config %d %d %d %.17g %d %d\n" c.Sgns.dim c.Sgns.epochs
+    c.Sgns.negatives c.Sgns.learning_rate c.Sgns.min_count c.Sgns.seed;
+  Printf.fprintf oc "words %d\n" (Vocab.size m.Sgns.words);
+  write_matrix oc "w" m.Sgns.words m.Sgns.word_vecs;
+  Printf.fprintf oc "contexts %d\n" (Vocab.size m.Sgns.contexts);
+  write_matrix oc "c" m.Sgns.contexts m.Sgns.context_vecs
+
+let from_channel ic =
+  let line_no = ref 0 in
+  let fail msg = failwith (Printf.sprintf "line %d: %s" !line_no msg) in
+  let read () =
+    incr line_no;
+    try input_line ic with End_of_file -> fail "unexpected end of file"
+  in
+  (match read () with
+  | "pigeon-w2v-model 1" -> ()
+  | _ -> fail "bad magic");
+  let config =
+    match String.split_on_char ' ' (read ()) with
+    | [ "config"; dim; ep; neg; lr; mc; seed ] ->
+        {
+          Sgns.dim = int_of_string dim;
+          epochs = int_of_string ep;
+          negatives = int_of_string neg;
+          learning_rate = float_of_string lr;
+          min_count = int_of_string mc;
+          seed = int_of_string seed;
+        }
+    | _ -> fail "bad config"
+  in
+  let read_matrix tag header =
+    let n =
+      match String.split_on_char ' ' (read ()) with
+      | [ h; n ] when String.equal h header -> int_of_string n
+      | _ -> fail ("expected " ^ header)
+    in
+    let entries =
+      List.init n (fun _ ->
+          match String.split_on_char ' ' (read ()) with
+          | t :: tok :: count :: rest when String.equal t tag ->
+              let vec = Array.of_list (List.map float_of_string rest) in
+              if Array.length vec <> config.Sgns.dim then fail "bad vector size";
+              (unescape tok, int_of_string count, vec)
+          | _ -> fail ("bad " ^ tag ^ " record"))
+    in
+    (* rebuild a vocab with identical ordering and counts *)
+    let tokens =
+      List.concat_map (fun (tok, count, _) -> List.init count (fun _ -> tok)) entries
+    in
+    let vocab = Vocab.build tokens in
+    (* Vocab.build sorts by count desc then token, which must match the
+       saved id order; verify and fail loudly otherwise. *)
+    List.iteri
+      (fun i (tok, _, _) ->
+        if not (String.equal (Vocab.word vocab i) tok) then
+          fail "vocabulary order mismatch")
+      entries;
+    (vocab, Array.of_list (List.map (fun (_, _, v) -> v) entries))
+  in
+  let words, word_vecs = read_matrix "w" "words" in
+  let contexts, context_vecs = read_matrix "c" "contexts" in
+  { Sgns.config; words; contexts; word_vecs; context_vecs }
+
+let save m path =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel m oc)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> from_channel ic)

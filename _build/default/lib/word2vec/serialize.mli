@@ -1,0 +1,12 @@
+(** Saving and loading trained SGNS models, in the word2vec text
+    conventions: a header with dimensions, then one vector per line.
+    Both word and context matrices are stored (prediction by the
+    paper's equation (4) needs the context vectors too). Round-trips to
+    identical predictions (tested). *)
+
+val save : Sgns.t -> string -> unit
+val load : string -> Sgns.t
+
+val to_channel : Sgns.t -> out_channel -> unit
+val from_channel : in_channel -> Sgns.t
+(** Raises [Failure] with a line number on malformed input. *)

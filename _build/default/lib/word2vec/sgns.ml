@@ -1,0 +1,155 @@
+type config = {
+  dim : int;
+  epochs : int;
+  negatives : int;
+  learning_rate : float;
+  min_count : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    dim = 64;
+    epochs = 8;
+    negatives = 5;
+    learning_rate = 0.05;
+    min_count = 1;
+    seed = 9;
+  }
+
+type t = {
+  config : config;
+  words : Vocab.t;
+  contexts : Vocab.t;
+  word_vecs : float array array;
+  context_vecs : float array array;
+}
+
+let sigmoid x =
+  if x > 30. then 1. else if x < -30. then 0. else 1. /. (1. +. exp (-.x))
+
+let dot a b =
+  let acc = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+(* Negative-sampling table over contexts, unigram^0.75. *)
+let build_neg_table contexts size =
+  let n = Vocab.size contexts in
+  if n = 0 then [||]
+  else begin
+    let pow = Array.init n (fun i -> Float.pow (float_of_int (Vocab.count contexts i)) 0.75) in
+    let total = Array.fold_left ( +. ) 0. pow in
+    let table = Array.make size 0 in
+    let i = ref 0 in
+    let cum = ref (pow.(0) /. total) in
+    for k = 0 to size - 1 do
+      table.(k) <- !i;
+      if float_of_int k /. float_of_int size > !cum && !i < n - 1 then begin
+        incr i;
+        cum := !cum +. (pow.(!i) /. total)
+      end
+    done;
+    table
+  end
+
+let train ?(config = default_config) pairs =
+  let words = Vocab.build ~min_count:config.min_count (List.map fst pairs) in
+  let contexts = Vocab.build ~min_count:config.min_count (List.map snd pairs) in
+  let rng = Random.State.make [| config.seed |] in
+  let init_vec () =
+    Array.init config.dim (fun _ ->
+        (Random.State.float rng 1.0 -. 0.5) /. float_of_int config.dim)
+  in
+  let word_vecs = Array.init (Vocab.size words) (fun _ -> init_vec ()) in
+  let context_vecs = Array.init (Vocab.size contexts) (fun _ -> init_vec ()) in
+  let neg_table = build_neg_table contexts 100_000 in
+  let pairs =
+    List.filter_map
+      (fun (w, c) ->
+        match (Vocab.id words w, Vocab.id contexts c) with
+        | Some wi, Some ci -> Some (wi, ci)
+        | _ -> None)
+      pairs
+    |> Array.of_list
+  in
+  let n_pairs = Array.length pairs in
+  if n_pairs > 0 && Array.length neg_table > 0 then begin
+    let total_steps = config.epochs * n_pairs in
+    let step = ref 0 in
+    let grad_w = Array.make config.dim 0. in
+    for _epoch = 0 to config.epochs - 1 do
+      (* Shuffle pair order each epoch. *)
+      for i = n_pairs - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let tmp = pairs.(i) in
+        pairs.(i) <- pairs.(j);
+        pairs.(j) <- tmp
+      done;
+      Array.iter
+        (fun (wi, ci) ->
+          incr step;
+          let progress = float_of_int !step /. float_of_int total_steps in
+          let lr =
+            Float.max (config.learning_rate *. (1. -. progress))
+              (config.learning_rate *. 1e-4)
+          in
+          let wv = word_vecs.(wi) in
+          Array.fill grad_w 0 config.dim 0.;
+          let update_pair cv label =
+            let g = (sigmoid (dot wv cv) -. label) *. lr in
+            for d = 0 to config.dim - 1 do
+              grad_w.(d) <- grad_w.(d) +. (g *. cv.(d));
+              cv.(d) <- cv.(d) -. (g *. wv.(d))
+            done
+          in
+          update_pair context_vecs.(ci) 1.;
+          for _k = 1 to config.negatives do
+            let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
+            if neg <> ci then update_pair context_vecs.(neg) 0.
+          done;
+          for d = 0 to config.dim - 1 do
+            wv.(d) <- wv.(d) -. grad_w.(d)
+          done)
+        pairs
+    done
+  end;
+  { config; words; contexts; word_vecs; context_vecs }
+
+let word_vec t w = Option.map (fun i -> t.word_vecs.(i)) (Vocab.id t.words w)
+
+let context_vec t c =
+  Option.map (fun i -> t.context_vecs.(i)) (Vocab.id t.contexts c)
+
+let predict t context_strings =
+  let cvs = List.filter_map (context_vec t) context_strings in
+  let scores =
+    Array.mapi
+      (fun wi wv ->
+        let s = List.fold_left (fun acc cv -> acc +. dot wv cv) 0. cvs in
+        (Vocab.word t.words wi, s))
+      t.word_vecs
+  in
+  Array.to_list scores
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let norm v = sqrt (dot v v)
+
+let most_similar t w ~k =
+  match Vocab.id t.words w with
+  | None -> []
+  | Some wi ->
+      let wv = t.word_vecs.(wi) in
+      let nw = norm wv in
+      Array.to_list
+        (Array.mapi
+           (fun i v ->
+             let d = norm v *. nw in
+             ( Vocab.word t.words i,
+               if d = 0. then 0. else dot wv v /. d ))
+           t.word_vecs)
+      |> List.filter (fun (x, _) -> not (String.equal x w))
+      |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+      |> List.filteri (fun i _ -> i < k)

@@ -1,0 +1,43 @@
+(** Skip-gram with negative sampling (Mikolov et al.), generalized to
+    arbitrary contexts (Levy & Goldberg) — paper Section 3.2.
+
+    Training pairs are (word, context) where a context is any string —
+    here a path-context [(abstracted path, other-end value)], a
+    neighboring token for the linear baseline, or a bare neighbor value
+    for the path-neighbors baseline. Negatives are drawn from the
+    context unigram distribution raised to the 3/4 power. *)
+
+type config = {
+  dim : int;
+  epochs : int;
+  negatives : int;
+  learning_rate : float;  (** Initial; decays linearly to 1e-4 of it. *)
+  min_count : int;
+  seed : int;
+}
+
+val default_config : config
+
+type t = {
+  config : config;
+  words : Vocab.t;
+  contexts : Vocab.t;
+  word_vecs : float array array;
+  context_vecs : float array array;
+}
+
+val train : ?config:config -> (string * string) list -> t
+
+val word_vec : t -> string -> float array option
+val context_vec : t -> string -> float array option
+
+val predict : t -> string list -> (string * float) list
+(** Paper equation (4): rank every vocabulary word [w] by
+    [Σ_{c ∈ contexts} w·c], best first. Unknown contexts are ignored. *)
+
+val most_similar : t -> string -> k:int -> (string * float) list
+(** Cosine-nearest words to the given word (for the Table 4b
+    semantic-similarity probe). *)
+
+val sigmoid : float -> float
+val dot : float array -> float array -> float

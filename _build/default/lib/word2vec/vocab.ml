@@ -1,0 +1,36 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  words : string array;
+  counts : int array;
+  total : int;
+}
+
+let build ?(min_count = 1) tokens =
+  let freq = Hashtbl.create 1024 in
+  List.iter
+    (fun tok ->
+      Hashtbl.replace freq tok
+        (1 + Option.value (Hashtbl.find_opt freq tok) ~default:0))
+    tokens;
+  let kept =
+    Hashtbl.fold
+      (fun w c acc -> if c >= min_count then (w, c) :: acc else acc)
+      freq []
+    |> List.sort (fun (wa, a) (wb, b) ->
+           let c = Int.compare b a in
+           if c <> 0 then c else String.compare wa wb)
+  in
+  let words = Array.of_list (List.map fst kept) in
+  let counts = Array.of_list (List.map snd kept) in
+  let ids = Hashtbl.create (Array.length words) in
+  Array.iteri (fun i w -> Hashtbl.add ids w i) words;
+  { ids; words; counts; total = Array.fold_left ( + ) 0 counts }
+
+let size t = Array.length t.words
+let id t w = Hashtbl.find_opt t.ids w
+let word t i = t.words.(i)
+let count t i = t.counts.(i)
+let total t = t.total
+
+let items t =
+  Array.to_list (Array.mapi (fun i w -> (w, t.counts.(i))) t.words)

@@ -1,0 +1,17 @@
+(** Word/context vocabularies with frequency counts. *)
+
+type t
+
+val build : ?min_count:int -> string list -> t
+(** Index the given tokens; tokens rarer than [min_count] (default 1)
+    are dropped. *)
+
+val size : t -> int
+val id : t -> string -> int option
+val word : t -> int -> string
+val count : t -> int -> int
+val total : t -> int
+(** Total token occurrences (of kept words). *)
+
+val items : t -> (string * int) list
+(** (word, count), most frequent first. *)

@@ -1,0 +1,1 @@
+test/test_ast.ml: Alcotest Array Ast Dot Index List QCheck2 QCheck_alcotest String Tree

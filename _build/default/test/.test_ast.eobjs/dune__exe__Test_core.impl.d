@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Astpath Baselines Corpus Crf List Minijava Option Pigeon Printf QCheck2 QCheck_alcotest String Word2vec

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Hashtbl Lexkit List Minicsharp Minijava Minijs Minipython Random

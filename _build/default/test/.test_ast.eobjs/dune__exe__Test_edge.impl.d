@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Ast Astpath Buffer Crf Lexkit List Minijs Minipython Pigeon Printf String

@@ -1,0 +1,1 @@
+test/test_minicsharp.ml: Alcotest Ast Lexer Lexkit List Lower Minicsharp Minijava Parser Printer Printf QCheck2 QCheck_alcotest Rename

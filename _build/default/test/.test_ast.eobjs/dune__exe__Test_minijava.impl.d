@@ -1,0 +1,1 @@
+test/test_minijava.ml: Alcotest Ast Astpath Hashtbl Lexer Lexkit List Lower Minijava Option Parser Printer Printf QCheck2 QCheck_alcotest Rename String Syntax Token Types Typing

@@ -1,0 +1,1 @@
+test/test_minijs.ml: Alcotest Ast Astpath Hashtbl Lexer Lexkit List Lower Minijs Parser Printer Printf QCheck2 QCheck_alcotest Rename String Syntax Token

@@ -1,0 +1,1 @@
+test/test_minipython.ml: Alcotest Ast Hashtbl Lexer Lexkit List Lower Minipython Parser Printer Printf QCheck2 QCheck_alcotest Rename String Syntax Token

@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Crf Float List Printf QCheck2 QCheck_alcotest Random String Word2vec

@@ -1,0 +1,1 @@
+test/test_path.ml: Abstraction Alcotest Array Ast Astpath Config Context Downsample Extract Fun List Option Path QCheck2 QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Crf Filename Fun List Random String Sys Word2vec

@@ -1,0 +1,224 @@
+(* Unit + property tests for the generic AST and indexed view. *)
+
+open Ast
+
+(* The paper's Fig. 5: [var a, b, c, d;] — a Var node with four VarDef
+   children, each wrapping a SymbolVar terminal. *)
+let fig5 =
+  Tree.nt "Var"
+    (List.map
+       (fun (i, n) -> Tree.nt "VarDef" [ Tree.var i "SymbolVar" n ])
+       [ (0, "a"); (1, "b"); (2, "c"); (3, "d") ])
+
+(* The paper's Fig. 1: [while (!d) { if (someCondition()) { d = true; } }] *)
+let fig1 =
+  Tree.nt "While"
+    [
+      Tree.nt "UnaryPrefix!" [ Tree.var 0 "SymbolRef" "d" ];
+      Tree.nt "If"
+        [
+          Tree.nt "Call" [ Tree.term ~sort:Tree.Name "SymbolRef" "someCondition" ];
+          Tree.nt "Assign="
+            [ Tree.var 0 "SymbolRef" "d"; Tree.term ~sort:Tree.Lit "True" "true" ];
+        ];
+    ]
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let test_size () =
+  check_int "fig5 size" 9 (Tree.size fig5);
+  check_int "fig5 leaves" 4 (Tree.num_leaves fig5);
+  check_int "fig1 size" 9 (Tree.size fig1);
+  check_int "fig1 leaves" 4 (Tree.num_leaves fig1)
+
+let test_leaves_order () =
+  let vs = List.filter_map Tree.value (Tree.leaves fig5) in
+  Alcotest.(check (list string)) "left-to-right" [ "a"; "b"; "c"; "d" ] vs
+
+let test_label_value () =
+  check_string "root label" "Var" (Tree.label fig5);
+  check_bool "root not terminal" false (Tree.is_terminal fig5);
+  let leaf = List.hd (Tree.leaves fig5) in
+  check_bool "leaf terminal" true (Tree.is_terminal leaf);
+  Alcotest.(check (option string)) "leaf value" (Some "a") (Tree.value leaf)
+
+let test_map_terminals () =
+  let upper =
+    Tree.map_terminals
+      (fun ~label ~value ~sort ->
+        ignore sort;
+        Tree.term label (String.uppercase_ascii value))
+      fig5
+  in
+  let vs = List.filter_map Tree.value (Tree.leaves upper) in
+  Alcotest.(check (list string)) "renamed" [ "A"; "B"; "C"; "D" ] vs;
+  check_int "size preserved" (Tree.size fig5) (Tree.size upper)
+
+let test_equal () =
+  check_bool "reflexive" true (Tree.equal fig1 fig1);
+  check_bool "distinct" false (Tree.equal fig1 fig5)
+
+let test_index_basic () =
+  let idx = Index.build fig5 in
+  check_int "size" 9 (Index.size idx);
+  check_int "root" 0 (Index.root idx);
+  check_string "root label" "Var" (Index.label idx 0);
+  check_int "root parent" (-1) (Index.parent idx 0);
+  check_int "root depth" 0 (Index.depth idx 0);
+  check_int "num leaves" 4 (Array.length (Index.leaves idx))
+
+let test_index_parent_child () =
+  let idx = Index.build fig5 in
+  (* Every non-root node is among its parent's children at its rank. *)
+  for i = 1 to Index.size idx - 1 do
+    let p = Index.parent idx i in
+    let cs = Index.children idx p in
+    check_int "child slot" i cs.(Index.child_rank idx i);
+    check_int "depth" (Index.depth idx p + 1) (Index.depth idx i)
+  done
+
+let test_lca () =
+  let idx = Index.build fig5 in
+  let leaves = Index.leaves idx in
+  let a = leaves.(0) and d = leaves.(3) in
+  check_int "lca a d = root" 0 (Index.lca idx a d);
+  check_int "lca a a = a" a (Index.lca idx a a);
+  check_int "lca a parent" (Index.parent idx a) (Index.lca idx a (Index.parent idx a))
+
+let test_width_fig5 () =
+  (* Paper: the a..d path has length 4 and width 3. *)
+  let idx = Index.build fig5 in
+  let leaves = Index.leaves idx in
+  let a = leaves.(0) and d = leaves.(3) in
+  let l = Index.lca idx a d in
+  let len = Index.depth idx a + Index.depth idx d - (2 * Index.depth idx l) in
+  check_int "fig5 length" 4 len;
+  check_int "fig5 width" 3 (Index.width_between idx ~lca:l a d);
+  let b = leaves.(1) in
+  check_int "a-b width" 1 (Index.width_between idx ~lca:l a b)
+
+let test_width_semi () =
+  let idx = Index.build fig5 in
+  let a = (Index.leaves idx).(0) in
+  check_int "semi width is 0" 0 (Index.width_between idx ~lca:0 a 0)
+
+let test_path_up () =
+  let idx = Index.build fig5 in
+  let a = (Index.leaves idx).(0) in
+  let chain = Index.path_up idx a ~stop:0 in
+  check_int "chain length" 3 (List.length chain);
+  check_int "chain head" a (List.hd chain);
+  check_int "ancestors" 2 (List.length (Index.ancestors idx a))
+
+let test_lookup () =
+  let idx = Index.build fig5 in
+  check_int "VarDef count" 4 (List.length (Index.nodes_with_label idx "VarDef"));
+  check_int "value d" 1 (List.length (Index.terminals_with_value idx "d"));
+  let idx1 = Index.build fig1 in
+  check_int "two ds" 2 (List.length (Index.terminals_with_value idx1 "d"))
+
+let test_dot () =
+  let idx = Index.build fig1 in
+  let dot = Dot.to_dot idx in
+  check_bool "digraph" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  (* one node line per AST node *)
+  let count_sub s sub =
+    let n = ref 0 in
+    let len = String.length sub in
+    for i = 0 to String.length s - len do
+      if String.sub s i len = sub then incr n
+    done;
+    !n
+  in
+  check_int "edges" (Index.size idx - 1) (count_sub dot " -> ")
+
+(* Random tree generator for property tests. *)
+let gen_tree =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 40) @@ fix (fun self n ->
+      if n <= 1 then
+        map2
+          (fun l v -> Tree.term ("T" ^ string_of_int l) ("v" ^ string_of_int v))
+          (int_range 0 5) (int_range 0 9)
+      else
+        let* k = int_range 1 (min 4 n) in
+        let* lbl = int_range 0 5 in
+        let+ cs = list_repeat k (self (n / k)) in
+        Tree.nt ("N" ^ string_of_int lbl) cs)
+
+let prop_index_consistent =
+  QCheck2.Test.make ~name:"index: preorder parents and depths" ~count:200
+    gen_tree (fun t ->
+      let idx = Index.build t in
+      let ok = ref (Index.size idx = Tree.size t) in
+      for i = 1 to Index.size idx - 1 do
+        let p = Index.parent idx i in
+        ok := !ok && p >= 0 && p < i;
+        ok := !ok && Index.depth idx i = Index.depth idx p + 1
+      done;
+      !ok)
+
+let prop_leaves_match =
+  QCheck2.Test.make ~name:"index: leaves match tree leaves" ~count:200 gen_tree
+    (fun t ->
+      let idx = Index.build t in
+      let tree_vals = List.filter_map Tree.value (Tree.leaves t) in
+      let idx_vals =
+        Array.to_list (Index.leaves idx)
+        |> List.filter_map (Index.value idx)
+      in
+      tree_vals = idx_vals)
+
+let prop_lca_is_ancestor =
+  QCheck2.Test.make ~name:"index: lca is a common ancestor" ~count:200 gen_tree
+    (fun t ->
+      let idx = Index.build t in
+      let leaves = Index.leaves idx in
+      let n = Array.length leaves in
+      if n < 2 then true
+      else begin
+        let ok = ref true in
+        for i = 0 to min 5 (n - 1) do
+          for j = i to min 5 (n - 1) do
+            let a = leaves.(i) and b = leaves.(j) in
+            let l = Index.lca idx a b in
+            let is_anc x =
+              x = l || List.mem l (Index.ancestors idx x)
+            in
+            ok := !ok && is_anc a && is_anc b
+          done
+        done;
+        !ok
+      end)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "tree",
+      [
+        Alcotest.test_case "size and leaf counts" `Quick test_size;
+        Alcotest.test_case "leaves left-to-right" `Quick test_leaves_order;
+        Alcotest.test_case "label/value accessors" `Quick test_label_value;
+        Alcotest.test_case "map_terminals" `Quick test_map_terminals;
+        Alcotest.test_case "equality" `Quick test_equal;
+      ] );
+    ( "index",
+      [
+        Alcotest.test_case "basic accessors" `Quick test_index_basic;
+        Alcotest.test_case "parent/child consistency" `Quick test_index_parent_child;
+        Alcotest.test_case "lca" `Quick test_lca;
+        Alcotest.test_case "fig5 length and width" `Quick test_width_fig5;
+        Alcotest.test_case "semi-path width" `Quick test_width_semi;
+        Alcotest.test_case "path_up and ancestors" `Quick test_path_up;
+        Alcotest.test_case "label/value lookup" `Quick test_lookup;
+        Alcotest.test_case "dot export" `Quick test_dot;
+      ]
+      @ qcheck [ prop_index_consistent; prop_leaves_match; prop_lca_is_ancestor ]
+    );
+  ]
+
+let () = Alcotest.run "ast" suite

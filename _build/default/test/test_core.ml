@@ -1,0 +1,466 @@
+(* Integration tests for the core PIGEON library: metrics, graph
+   construction, and small end-to-end runs of each task (the full
+   pipeline: generate -> render -> parse -> lower -> extract -> train
+   -> predict). Corpora are small so the suite stays fast; the bench
+   harness runs the full-size experiments. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---------- metrics ---------- *)
+
+let test_normalize () =
+  check_string "camel vs snake" (Pigeon.Metrics.normalize "totalCount")
+    (Pigeon.Metrics.normalize "total_count");
+  check_bool "exact match" true
+    (Pigeon.Metrics.exact_match ~gold:"totalCount" ~pred:"total_count");
+  check_bool "mismatch" false (Pigeon.Metrics.exact_match ~gold:"done" ~pred:"count")
+
+let test_subtokens () =
+  Alcotest.(check (list string)) "camel" [ "total"; "http"; "count" ]
+    (Pigeon.Metrics.subtokens "totalHttpCount");
+  Alcotest.(check (list string)) "snake" [ "get"; "value" ]
+    (Pigeon.Metrics.subtokens "get_value");
+  Alcotest.(check (list string)) "single" [ "done" ] (Pigeon.Metrics.subtokens "done")
+
+let test_f1 () =
+  let c = Pigeon.Metrics.f1_counts ~gold:"getTotalCount" ~pred:"getCount" in
+  check_int "tp" 2 c.Pigeon.Metrics.tp;
+  check_int "pred" 2 c.Pigeon.Metrics.n_pred;
+  check_int "gold" 3 c.Pigeon.Metrics.n_gold;
+  Alcotest.(check (float 1e-9)) "precision" 1.0 (Pigeon.Metrics.precision_of_counts c);
+  Alcotest.(check (float 1e-6)) "f1" 0.8 (Pigeon.Metrics.f1_of_counts c)
+
+let test_summary () =
+  let s =
+    Pigeon.Metrics.summarize
+      [ ("done", "done"); ("count", "total_count"); ("msg", "msg") ]
+  in
+  check_int "n" 3 s.Pigeon.Metrics.n;
+  Alcotest.(check (float 1e-6)) "accuracy" (2. /. 3.) s.Pigeon.Metrics.accuracy
+
+(* metric properties *)
+
+let gen_name =
+  QCheck2.Gen.(
+    string_size ~gen:(oneof [ char_range 'a' 'z'; char_range 'A' 'Z'; return '_' ])
+      (int_range 0 12))
+
+let prop_normalize_idempotent =
+  QCheck2.Test.make ~name:"metrics: normalize idempotent" ~count:500 gen_name
+    (fun s ->
+      Pigeon.Metrics.normalize (Pigeon.Metrics.normalize s)
+      = Pigeon.Metrics.normalize s)
+
+let prop_exact_match_reflexive =
+  QCheck2.Test.make ~name:"metrics: exact match reflexive and symmetric"
+    ~count:500
+    QCheck2.Gen.(pair gen_name gen_name)
+    (fun (a, b) ->
+      Pigeon.Metrics.exact_match ~gold:a ~pred:a
+      && Pigeon.Metrics.exact_match ~gold:a ~pred:b
+         = Pigeon.Metrics.exact_match ~gold:b ~pred:a)
+
+let prop_f1_bounds =
+  QCheck2.Test.make ~name:"metrics: f1 in [0,1], 1 iff same subtokens"
+    ~count:500
+    QCheck2.Gen.(pair gen_name gen_name)
+    (fun (a, b) ->
+      let c = Pigeon.Metrics.f1_counts ~gold:a ~pred:b in
+      let f1 = Pigeon.Metrics.f1_of_counts c in
+      f1 >= 0. && f1 <= 1.
+      && ((not (f1 = 1.))
+         || List.sort compare (Pigeon.Metrics.subtokens a)
+            = List.sort compare (Pigeon.Metrics.subtokens b)))
+
+let prop_subtokens_rejoin =
+  QCheck2.Test.make ~name:"metrics: subtokens normalize-consistent" ~count:500
+    gen_name (fun s ->
+      String.concat "" (Pigeon.Metrics.subtokens s) = Pigeon.Metrics.normalize s)
+
+(* ---------- graphs ---------- *)
+
+let fig3a_js =
+  "var d = false;\n\
+   while (!d) {\n\
+  \  doSomething();\n\
+  \  if (someCondition()) {\n\
+  \    d = true;\n\
+  \  }\n\
+   }\n"
+
+let fig3b_js =
+  "someCondition();\ndoSomething();\nvar d = false;\nd = true;\n"
+
+let repr_full = Pigeon.Graphs.default_repr ()
+
+let test_var_graph_structure () =
+  let tree = Pigeon.Lang.javascript.Pigeon.Lang.parse_tree fig3a_js in
+  let g =
+    Pigeon.Graphs.build repr_full
+      ~def_labels:Pigeon.Lang.javascript.Pigeon.Lang.def_labels
+      ~policy:Pigeon.Graphs.Locals tree
+  in
+  check_int "one unknown (d)" 1 (Crf.Graph.num_unknown g);
+  let gold = Crf.Graph.gold_assignment g in
+  check_string "gold is d" "d" gold.(List.hd (Crf.Graph.unknown_ids g));
+  check_bool "has unary factors" true
+    (List.exists
+       (function Crf.Graph.Unary _ -> true | _ -> false)
+       g.Crf.Graph.factors);
+  check_bool "has pairwise factors" true
+    (List.exists
+       (function Crf.Graph.Pairwise _ -> true | _ -> false)
+       g.Crf.Graph.factors)
+
+let rel_set repr src =
+  let tree = Pigeon.Lang.javascript.Pigeon.Lang.parse_tree src in
+  let g =
+    Pigeon.Graphs.build repr
+      ~def_labels:Pigeon.Lang.javascript.Pigeon.Lang.def_labels
+      ~policy:Pigeon.Graphs.Locals tree
+  in
+  List.filter_map
+    (function
+      | Crf.Graph.Unary { rel; _ } -> Some ("U" ^ rel)
+      | Crf.Graph.Pairwise { rel; _ } -> Some ("P" ^ rel))
+    g.Crf.Graph.factors
+  |> List.sort_uniq String.compare
+
+let test_fig3_distinguishable () =
+  (* The paper's Fig. 3: indistinguishable under statement-local
+     relations, distinguishable under AST paths. *)
+  let full_a = rel_set repr_full fig3a_js in
+  let full_b = rel_set repr_full fig3b_js in
+  check_bool "full paths distinguish" true (full_a <> full_b);
+  let u = Baselines.Unuglify.repr in
+  let loc_a = rel_set u fig3a_js and loc_b = rel_set u fig3b_js in
+  (* Under the statement-local view the d-related relations coincide;
+     the full-path view separates them strictly more. *)
+  let diff l1 l2 = List.filter (fun x -> not (List.mem x l2)) l1 in
+  check_bool "statement-local view is coarser" true
+    (List.length (diff loc_a loc_b) < List.length (diff full_a full_b))
+
+let test_no_unary_when_disabled () =
+  let repr = { repr_full with Pigeon.Graphs.use_unary = false } in
+  let rels = rel_set repr fig3a_js in
+  check_bool "no unary rels" true
+    (List.for_all (fun r -> r.[0] <> 'U') rels)
+
+let test_downsample_reduces_factors () =
+  let tree = Pigeon.Lang.javascript.Pigeon.Lang.parse_tree fig3a_js in
+  let count p =
+    let repr = { repr_full with Pigeon.Graphs.downsample_p = p } in
+    let g =
+      Pigeon.Graphs.build repr
+        ~def_labels:Pigeon.Lang.javascript.Pigeon.Lang.def_labels
+        ~policy:Pigeon.Graphs.Locals tree
+    in
+    List.length g.Crf.Graph.factors
+  in
+  check_bool "fewer at p=0.3" true (count 0.3 < count 1.0);
+  check_int "none at p=0" 0 (count 0.)
+
+let test_method_graph () =
+  let src = "function countItems(xs) { var n = 0; return n; }\ncountItems([1]);\n" in
+  let tree = Pigeon.Lang.javascript.Pigeon.Lang.parse_tree src in
+  let g =
+    Pigeon.Graphs.build repr_full
+      ~def_labels:Pigeon.Lang.javascript.Pigeon.Lang.def_labels
+      ~policy:(Pigeon.Graphs.Methods { internal_only = false })
+      tree
+  in
+  check_int "one unknown method" 1 (Crf.Graph.num_unknown g);
+  let gold = Crf.Graph.gold_assignment g in
+  check_string "name" "countItems" gold.(List.hd (Crf.Graph.unknown_ids g))
+
+let test_type_graph () =
+  let src =
+    "class T { int f(java.util.List<String> xs) { String s = xs.get(0); return s.length() + 1; } }"
+  in
+  let parse = Option.get Pigeon.Lang.java.Pigeon.Lang.parse_typed_tree in
+  let g =
+    Pigeon.Graphs.full_type_graph
+      (Pigeon.Graphs.default_repr
+         ~config:(Astpath.Config.make ~max_length:4 ~max_width:1 ())
+         ())
+      (parse src)
+  in
+  check_bool "several typed expressions" true (Crf.Graph.num_unknown g >= 2);
+  let gold = Crf.Graph.gold_assignment g in
+  check_bool "java.lang.String among golds" true
+    (List.exists
+       (fun n -> String.equal gold.(n) "java.lang.String")
+       (Crf.Graph.unknown_ids g))
+
+(* ---------- end-to-end tasks on a small corpus ---------- *)
+
+let corpus lang ~n ~seed =
+  let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed } in
+  Corpus.Gen.generate_sources config lang
+
+let split_of sources =
+  let entries =
+    List.map (fun (path, source) -> { Corpus.Dataset.path; source }) sources
+  in
+  let deduped = Corpus.Dataset.dedup entries in
+  let s = Corpus.Dataset.split_corpus ~seed:11 deduped in
+  let pairs xs =
+    List.map (fun e -> (e.Corpus.Dataset.path, e.Corpus.Dataset.source)) xs
+  in
+  (pairs s.Corpus.Dataset.train, pairs s.Corpus.Dataset.test)
+
+let quick_crf = { Crf.Train.default_config with Crf.Train.iterations = 4 }
+
+let test_var_names_end_to_end () =
+  let lang = Pigeon.Lang.javascript in
+  let train, test = split_of (corpus Corpus.Render.Js ~n:80 ~seed:21) in
+  let r =
+    Pigeon.Task.run_crf ~crf_config:quick_crf ~lang ~policy:Pigeon.Graphs.Locals
+      ~train ~test ()
+  in
+  let acc = r.Pigeon.Task.summary.Pigeon.Metrics.accuracy in
+  check_bool (Printf.sprintf "JS var names acc %.2f > 0.35" acc) true (acc > 0.35);
+  check_bool "evaluated something" true (r.Pigeon.Task.summary.Pigeon.Metrics.n > 50)
+
+let test_var_names_beat_nopath () =
+  let lang = Pigeon.Lang.javascript in
+  let train, test = split_of (corpus Corpus.Render.Js ~n:80 ~seed:22) in
+  let run repr =
+    (Pigeon.Task.run_crf ~repr ~crf_config:quick_crf ~lang
+       ~policy:Pigeon.Graphs.Locals ~train ~test ())
+      .Pigeon.Task.summary.Pigeon.Metrics.accuracy
+  in
+  let full = run (Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned ()) in
+  let nopath =
+    run
+      {
+        (Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned ()) with
+        Pigeon.Graphs.abstraction = Astpath.Abstraction.No_paths;
+      }
+  in
+  check_bool
+    (Printf.sprintf "full %.2f > no-path %.2f" full nopath)
+    true (full > nopath)
+
+let test_method_names_end_to_end () =
+  let lang = Pigeon.Lang.python in
+  let train, test = split_of (corpus Corpus.Render.Python ~n:80 ~seed:23) in
+  let r =
+    Pigeon.Task.run_crf ~crf_config:quick_crf ~lang
+      ~policy:(Pigeon.Graphs.Methods { internal_only = false })
+      ~train ~test ()
+  in
+  let acc = r.Pigeon.Task.summary.Pigeon.Metrics.accuracy in
+  check_bool (Printf.sprintf "method names acc %.2f > 0.2" acc) true (acc > 0.2)
+
+let test_full_types_end_to_end () =
+  let train, test = split_of (corpus Corpus.Render.Java ~n:60 ~seed:24) in
+  let r = Pigeon.Task.run_full_types ~crf_config:quick_crf ~train ~test () in
+  let acc = r.Pigeon.Task.summary.Pigeon.Metrics.accuracy in
+  let baseline = Pigeon.Task.string_of_type_baseline test in
+  check_bool
+    (Printf.sprintf "types acc %.2f > String baseline %.2f" acc
+       baseline.Pigeon.Metrics.accuracy)
+    true
+    (acc > baseline.Pigeon.Metrics.accuracy);
+  check_bool "baseline nontrivial" true (baseline.Pigeon.Metrics.accuracy > 0.02)
+
+let test_w2v_task () =
+  let lang = Pigeon.Lang.javascript in
+  let train, test = split_of (corpus Corpus.Render.Js ~n:80 ~seed:25) in
+  let sgns_config = { Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 20 } in
+  let run mode =
+    (Pigeon.W2v_task.run ~sgns_config ~lang ~mode ~train ~test ())
+      .Pigeon.W2v_task.summary.Pigeon.Metrics.accuracy
+  in
+  let paths =
+    run (Pigeon.W2v_task.Paths (Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned ()))
+  in
+  let tokens = run (Pigeon.W2v_task.Linear_tokens 2) in
+  let neighbors = run (Pigeon.W2v_task.Path_neighbors lang.Pigeon.Lang.tuned) in
+  check_bool (Printf.sprintf "paths %.2f > 0.3" paths) true (paths > 0.3);
+  check_bool
+    (Printf.sprintf "paths %.2f > linear tokens %.2f" paths tokens)
+    true (paths > tokens);
+  check_bool
+    (Printf.sprintf "paths %.2f > path-neighbors %.2f" paths neighbors)
+    true (paths > neighbors)
+
+let test_similarity_top_k () =
+  let lang = Pigeon.Lang.javascript in
+  let train, _ = split_of (corpus Corpus.Render.Js ~n:80 ~seed:26) in
+  let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+  let graphs =
+    Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals train
+  in
+  let model = Crf.Train.train ~config:quick_crf graphs in
+  (* Fig. 1a with the flag stripped to "d". *)
+  let stripped = "var d = false;\nwhile (!d) { if (someCondition()) { d = true; } }\n" in
+  let top =
+    Pigeon.Similarity.crf_top_k ~model ~repr ~lang ~source:stripped ~var:"d" ~k:8
+  in
+  check_bool "suggestions returned" true (top <> []);
+  let names = List.map fst top in
+  check_bool
+    ("a flag-like name among top-k: " ^ String.concat "," names)
+    true
+    (List.exists
+       (fun n -> List.mem n (Corpus.Role.all_names Corpus.Role.Flag))
+       names)
+
+let test_grid () =
+  let points =
+    Pigeon.Grid.sweep ~lengths:[ 2; 4 ] ~widths:[ 1; 2 ]
+      ~eval:(fun c -> float_of_int (c.Astpath.Config.max_length * c.Astpath.Config.max_width))
+  in
+  check_int "four points" 4 (List.length points);
+  let b = Pigeon.Grid.best points in
+  check_int "best length" 4 b.Pigeon.Grid.length;
+  check_int "best width" 2 b.Pigeon.Grid.width
+
+(* ---------- word2vec task unit level ---------- *)
+
+let test_w2v_pairs_of_source () =
+  let lang = Pigeon.Lang.javascript in
+  let src = "var done = false;\nwhile (!done) { if (someCondition()) { done = true; } }\n" in
+  let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+  let pairs = Pigeon.W2v_task.pairs_of_source ~lang ~mode:(Pigeon.W2v_task.Paths repr) src in
+  (* exactly one local element: done *)
+  check_int "one element" 1 (List.length pairs);
+  let name, ctxs = List.hd pairs in
+  check_string "element name" "done" name;
+  check_bool "has contexts" true (ctxs <> []);
+  (* its own occurrences are masked, other values are visible *)
+  check_bool "self masked" true
+    (List.exists (fun c ->
+         String.length c >= 6
+         && String.sub c (String.length c - 6) 6 = "<SELF>") ctxs);
+  check_bool "true visible" true
+    (List.exists (fun c ->
+         String.length c >= 4 && String.sub c (String.length c - 4) 4 = "true") ctxs)
+
+let test_w2v_neighbor_mode_hides_path () =
+  let lang = Pigeon.Lang.javascript in
+  let src = "var count = 0; count++; use(count);" in
+  let paths_mode =
+    Pigeon.W2v_task.pairs_of_source ~lang
+      ~mode:(Pigeon.W2v_task.Paths (Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned ()))
+      src
+  in
+  let nbr_mode =
+    Pigeon.W2v_task.pairs_of_source ~lang
+      ~mode:(Pigeon.W2v_task.Path_neighbors lang.Pigeon.Lang.tuned) src
+  in
+  let ctxs mode = snd (List.hd mode) in
+  (* neighbor contexts are strictly shorter: the path prefix is gone *)
+  let avg xs =
+    float_of_int (List.fold_left (fun a c -> a + String.length c) 0 xs)
+    /. float_of_int (List.length xs)
+  in
+  check_bool "paths contexts are longer" true (avg (ctxs paths_mode) > avg (ctxs nbr_mode))
+
+let test_w2v_token_mode () =
+  let lang = Pigeon.Lang.javascript in
+  let src = "var count = 0; use(count);" in
+  let pairs =
+    Pigeon.W2v_task.pairs_of_source ~lang ~mode:(Pigeon.W2v_task.Linear_tokens 2) src
+  in
+  let _, ctxs = List.find (fun (n, _) -> String.equal n "count") pairs in
+  check_bool "sees '='" true (List.mem "=" ctxs);
+  check_bool "sees 'var'" true (List.mem "var" ctxs);
+  check_bool "does not see itself unmasked" true (not (List.mem "count" ctxs))
+
+(* ---------- baselines ---------- *)
+
+let test_rule_based () =
+  let src =
+    "class A {\n\
+    \  int total;\n\
+    \  void setTotal(int x) { this.total = x; }\n\
+    \  void scan(List<Integer> values) {\n\
+    \    for (int q = 0; q < 10; q++) { use(q); }\n\
+    \    try { risky(); } catch (Exception ex) { log(ex); }\n\
+    \    HttpClient h = make();\n\
+    \  }\n\
+     }"
+  in
+  let pairs = Baselines.Rule_based.predict_program (Minijava.Parser.parse src) in
+  let pred_of name = List.assoc name pairs in
+  check_string "setter param" "total" (pred_of "x");
+  check_string "loop var" "i" (pred_of "q");
+  check_string "catch var" "e" (pred_of "ex");
+  check_string "type-based" "httpClient" (pred_of "h")
+
+let test_ngram_baseline_runs () =
+  let lang = Pigeon.Lang.java in
+  let train, test = split_of (corpus Corpus.Render.Java ~n:40 ~seed:27) in
+  let s = Baselines.Ngram.run ~crf_config:quick_crf ~lang ~train ~test () in
+  check_bool "produces predictions" true (s.Pigeon.Metrics.n > 0)
+
+let test_conv_attention () =
+  let lang = Pigeon.Lang.java in
+  let train, test = split_of (corpus Corpus.Render.Java ~n:60 ~seed:28) in
+  let s = Baselines.Conv_attention.run ~lang ~train ~test () in
+  check_bool "predicts methods" true (s.Pigeon.Metrics.n > 0);
+  (* body tokens carry real signal: F1 should beat random *)
+  check_bool
+    (Printf.sprintf "F1 %.2f > 0.2" s.Pigeon.Metrics.f1)
+    true
+    (s.Pigeon.Metrics.f1 > 0.2)
+
+let test_methods_of_source () =
+  let lang = Pigeon.Lang.java in
+  let src = "class A { int getCount() { return count; } void run() { step(); } }" in
+  let ms = Baselines.Conv_attention.methods_of_source ~lang src in
+  Alcotest.(check (list string)) "names" [ "getCount"; "run" ] (List.map fst ms)
+
+let suite =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "normalize / exact match" `Quick test_normalize;
+        Alcotest.test_case "subtokens" `Quick test_subtokens;
+        Alcotest.test_case "f1 counts" `Quick test_f1;
+        Alcotest.test_case "summary" `Quick test_summary;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [
+            prop_normalize_idempotent;
+            prop_exact_match_reflexive;
+            prop_f1_bounds;
+            prop_subtokens_rejoin;
+          ] );
+    ( "graphs",
+      [
+        Alcotest.test_case "var graph structure" `Quick test_var_graph_structure;
+        Alcotest.test_case "fig 3 separability" `Quick test_fig3_distinguishable;
+        Alcotest.test_case "unary off" `Quick test_no_unary_when_disabled;
+        Alcotest.test_case "downsampling" `Quick test_downsample_reduces_factors;
+        Alcotest.test_case "method graph" `Quick test_method_graph;
+        Alcotest.test_case "type graph" `Quick test_type_graph;
+      ] );
+    ( "tasks",
+      [
+        Alcotest.test_case "JS variable names" `Slow test_var_names_end_to_end;
+        Alcotest.test_case "paths beat no-path" `Slow test_var_names_beat_nopath;
+        Alcotest.test_case "Python method names" `Slow test_method_names_end_to_end;
+        Alcotest.test_case "Java full types" `Slow test_full_types_end_to_end;
+        Alcotest.test_case "word2vec variable names" `Slow test_w2v_task;
+        Alcotest.test_case "top-k for fig 1a" `Slow test_similarity_top_k;
+        Alcotest.test_case "grid search" `Quick test_grid;
+        Alcotest.test_case "w2v pairs of source" `Quick test_w2v_pairs_of_source;
+        Alcotest.test_case "w2v neighbor mode" `Quick test_w2v_neighbor_mode_hides_path;
+        Alcotest.test_case "w2v token mode" `Quick test_w2v_token_mode;
+      ] );
+    ( "baselines",
+      [
+        Alcotest.test_case "rule-based Java" `Quick test_rule_based;
+        Alcotest.test_case "CRF + n-grams" `Slow test_ngram_baseline_runs;
+        Alcotest.test_case "conv-attention substitute" `Slow test_conv_attention;
+        Alcotest.test_case "methods_of_source" `Quick test_methods_of_source;
+      ] );
+  ]
+
+let () = Alcotest.run "core" suite

@@ -1,0 +1,225 @@
+(* Tests for the synthetic corpus: roles, templates, generation,
+   rendering (every rendered file must parse with its language's
+   front-end), dedup and splits. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let small_config =
+  { Corpus.Gen.default with Corpus.Gen.n_files = 30; seed = 7; dup_fraction = 0.1 }
+
+(* ---------- roles ---------- *)
+
+let test_role_distributions () =
+  List.iter
+    (fun r ->
+      let names = Corpus.Role.names r in
+      check_bool
+        (Corpus.Role.to_string r ^ " has names")
+        true (names <> []);
+      List.iter (fun (_, w) -> check_bool "positive weight" true (w > 0)) names)
+    Corpus.Role.all
+
+let test_role_pick_determinism () =
+  let r1 =
+    let rng = Random.State.make [| 5 |] in
+    List.init 20 (fun _ -> Corpus.Role.pick_name rng Corpus.Role.Flag)
+  in
+  let r2 =
+    let rng = Random.State.make [| 5 |] in
+    List.init 20 (fun _ -> Corpus.Role.pick_name rng Corpus.Role.Flag)
+  in
+  Alcotest.(check (list string)) "deterministic" r1 r2
+
+let test_role_pick_in_distribution () =
+  let rng = Random.State.make [| 6 |] in
+  for _ = 1 to 100 do
+    let n = Corpus.Role.pick_name rng Corpus.Role.Counter in
+    check_bool "sampled name in catalogue" true
+      (List.mem n (Corpus.Role.all_names Corpus.Role.Counter))
+  done
+
+(* ---------- templates ---------- *)
+
+let test_templates_instantiate () =
+  let rng = Random.State.make [| 8 |] in
+  List.iter
+    (fun (t : Corpus.Templates.t) ->
+      let used = Hashtbl.create 8 in
+      let alloc role =
+        let name =
+          let base = Corpus.Role.pick_name rng role in
+          if Hashtbl.mem used base then base ^ "2" else base
+        in
+        Hashtbl.add used name ();
+        { Corpus.Ir.v_name = name; v_role = role; v_ty = Corpus.Role.ty role }
+      in
+      let inst = t.Corpus.Templates.instantiate alloc rng in
+      check_bool
+        (t.Corpus.Templates.template_name ^ " has statements")
+        true
+        (inst.Corpus.Templates.stmts <> []))
+    Corpus.Templates.all
+
+let test_template_lookup () =
+  check_bool "flag-loop exists" true (Corpus.Templates.by_name "flag-loop" <> None);
+  check_bool "unknown" true (Corpus.Templates.by_name "nope" = None);
+  check_int "16 templates" 16 (List.length Corpus.Templates.all)
+
+(* ---------- generation ---------- *)
+
+let test_generate_deterministic () =
+  let f1 = Corpus.Gen.generate small_config in
+  let f2 = Corpus.Gen.generate small_config in
+  check_bool "same files" true (f1 = f2)
+
+let test_generate_counts () =
+  let files = Corpus.Gen.generate small_config in
+  (* 30 plus 10% duplicates *)
+  check_int "file count" 33 (List.length files);
+  List.iter
+    (fun (f : Corpus.Ir.file) ->
+      check_bool "has functions" true (f.Corpus.Ir.funcs <> []))
+    files
+
+let test_unique_var_names_per_func () =
+  let files = Corpus.Gen.generate small_config in
+  List.iter
+    (fun (f : Corpus.Ir.file) ->
+      List.iter
+        (fun fn ->
+          let vars = Corpus.Ir.free_vars_of_func fn in
+          let names = List.map (fun v -> v.Corpus.Ir.v_name) vars in
+          check_bool "unique names" true
+            (List.length names = List.length (List.sort_uniq compare names)))
+        f.Corpus.Ir.funcs)
+    files
+
+(* ---------- rendering parses in every language ---------- *)
+
+let test_render_js_parses () =
+  List.iter
+    (fun (name, src) ->
+      match Minijs.Parser.parse src with
+      | _ -> ()
+      | exception Lexkit.Error (m, pos) ->
+          Alcotest.failf "%s: %a: %s\n%s" name Lexkit.pp_pos pos m src)
+    (Corpus.Gen.generate_sources small_config Corpus.Render.Js)
+
+let test_render_java_parses () =
+  List.iter
+    (fun (name, src) ->
+      match Minijava.Parser.parse src with
+      | _ -> ()
+      | exception Lexkit.Error (m, pos) ->
+          Alcotest.failf "%s: %a: %s\n%s" name Lexkit.pp_pos pos m src)
+    (Corpus.Gen.generate_sources small_config Corpus.Render.Java)
+
+let test_render_python_parses () =
+  List.iter
+    (fun (name, src) ->
+      match Minipython.Parser.parse src with
+      | _ -> ()
+      | exception Lexkit.Error (m, pos) ->
+          Alcotest.failf "%s: %a: %s\n%s" name Lexkit.pp_pos pos m src)
+    (Corpus.Gen.generate_sources small_config Corpus.Render.Python)
+
+let test_render_csharp_parses () =
+  List.iter
+    (fun (name, src) ->
+      match Minicsharp.Parser.parse src with
+      | _ -> ()
+      | exception Lexkit.Error (m, pos) ->
+          Alcotest.failf "%s: %a: %s\n%s" name Lexkit.pp_pos pos m src)
+    (Corpus.Gen.generate_sources small_config Corpus.Render.Csharp)
+
+let test_method_name_casing () =
+  Alcotest.(check string) "js camel" "countItems"
+    (Corpus.Render.method_name Corpus.Render.Js "count_items");
+  Alcotest.(check string) "python snake" "count_items"
+    (Corpus.Render.method_name Corpus.Render.Python "count_items");
+  Alcotest.(check string) "cs pascal" "CountItems"
+    (Corpus.Render.method_name Corpus.Render.Csharp "count_items")
+
+(* ---------- dataset pipeline ---------- *)
+
+let entries_of lang =
+  List.map
+    (fun (path, source) -> { Corpus.Dataset.path; source })
+    (Corpus.Gen.generate_sources small_config lang)
+
+let test_dedup () =
+  let entries = entries_of Corpus.Render.Js in
+  let deduped = Corpus.Dataset.dedup entries in
+  (* the generator added 3 verbatim duplicates *)
+  check_int "duplicates removed" (List.length entries - 3) (List.length deduped);
+  check_bool "idempotent" true
+    (List.length (Corpus.Dataset.dedup deduped) = List.length deduped)
+
+let test_split () =
+  let entries = Corpus.Dataset.dedup (entries_of Corpus.Render.Java) in
+  let split = Corpus.Dataset.split_corpus ~seed:3 entries in
+  let open Corpus.Dataset in
+  check_int "total preserved"
+    (List.length entries)
+    (List.length split.train + List.length split.valid + List.length split.test);
+  (* disjoint *)
+  let paths xs = List.map (fun e -> e.path) xs in
+  let inter a b = List.filter (fun x -> List.mem x b) a in
+  check_int "train/test disjoint" 0
+    (List.length (inter (paths split.train) (paths split.test)));
+  check_int "train/valid disjoint" 0
+    (List.length (inter (paths split.train) (paths split.valid)));
+  (* deterministic *)
+  let split2 = Corpus.Dataset.split_corpus ~seed:3 entries in
+  check_bool "same split" true (paths split.train = paths split2.train)
+
+let test_stats () =
+  let entries = entries_of Corpus.Render.Python in
+  let s = Corpus.Dataset.stats entries in
+  check_int "files" (List.length entries) s.Corpus.Dataset.files;
+  check_bool "bytes positive" true (s.Corpus.Dataset.bytes > 0)
+
+let test_md5 () =
+  Alcotest.(check string) "stable digest"
+    (Corpus.Dataset.md5 "hello") (Corpus.Dataset.md5 "hello");
+  check_bool "distinct" true
+    (Corpus.Dataset.md5 "a" <> Corpus.Dataset.md5 "b")
+
+let suite =
+  [
+    ( "roles",
+      [
+        Alcotest.test_case "distributions well-formed" `Quick test_role_distributions;
+        Alcotest.test_case "pick deterministic" `Quick test_role_pick_determinism;
+        Alcotest.test_case "pick in catalogue" `Quick test_role_pick_in_distribution;
+      ] );
+    ( "templates",
+      [
+        Alcotest.test_case "all instantiate" `Quick test_templates_instantiate;
+        Alcotest.test_case "lookup" `Quick test_template_lookup;
+      ] );
+    ( "generation",
+      [
+        Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+        Alcotest.test_case "counts" `Quick test_generate_counts;
+        Alcotest.test_case "unique var names" `Quick test_unique_var_names_per_func;
+      ] );
+    ( "rendering",
+      [
+        Alcotest.test_case "JS parses" `Quick test_render_js_parses;
+        Alcotest.test_case "Java parses" `Quick test_render_java_parses;
+        Alcotest.test_case "Python parses" `Quick test_render_python_parses;
+        Alcotest.test_case "C# parses" `Quick test_render_csharp_parses;
+        Alcotest.test_case "method-name casing" `Quick test_method_name_casing;
+      ] );
+    ( "dataset",
+      [
+        Alcotest.test_case "dedup" `Quick test_dedup;
+        Alcotest.test_case "split" `Quick test_split;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "md5" `Quick test_md5;
+      ] );
+  ]
+
+let () = Alcotest.run "corpus" suite

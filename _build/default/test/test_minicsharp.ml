@@ -1,0 +1,270 @@
+(* Tests for the MiniC# front-end. *)
+
+module Syntax = Minijava.Syntax
+module Types = Minijava.Types
+open Minicsharp
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sample =
+  "using System;\n\
+   using System.Collections.Generic;\n\
+   namespace Example.App {\n\
+  \  class Counter {\n\
+  \    int total;\n\
+  \    public int Count(List<int> values, int value) {\n\
+  \      int count = 0;\n\
+  \      foreach (int v in values) {\n\
+  \        if (v == value) {\n\
+  \          count++;\n\
+  \        }\n\
+  \      }\n\
+  \      return count;\n\
+  \    }\n\
+  \  }\n\
+   }\n"
+
+let test_parse_sample () =
+  let p = Parser.parse sample in
+  Alcotest.(check (option string)) "namespace" (Some "Example.App") p.Syntax.package;
+  check_int "two usings" 2 (List.length p.Syntax.imports);
+  let c = List.hd p.Syntax.classes in
+  let m = List.hd c.Syntax.c_methods in
+  match m.Syntax.m_body with
+  | [ Syntax.LocalDecl _; Syntax.ForEach (Types.Prim "int", "v", _, _); Syntax.Return _ ] ->
+      ()
+  | _ -> Alcotest.fail "body shape"
+
+let test_parse_var_and_is () =
+  (match Parser.parse_stmts "var x = MakeThing();" with
+  | [ Syntax.LocalDecl (Types.Prim "var", [ ("x", Some _) ]) ] -> ()
+  | _ -> Alcotest.fail "var decl");
+  match Parser.parse_expr "o is string" with
+  | Syntax.InstanceOf (_, Types.Prim "string") -> ()
+  | _ -> Alcotest.fail "is expression"
+
+let test_parse_base_list () =
+  let p = Parser.parse "class A : Base, IRunnable { void Run() { } }" in
+  let c = List.hd p.Syntax.classes in
+  check_bool "extends" true (c.Syntax.c_extends <> None);
+  check_int "one interface" 1 (List.length c.Syntax.c_implements)
+
+let roundtrip src =
+  let p = Parser.parse src in
+  let printed = Printer.program_to_string p in
+  match Parser.parse printed with
+  | p2 -> check_bool ("round-trip: " ^ src) true (Syntax.equal_program p p2)
+  | exception Lexkit.Error (m, pos) ->
+      Alcotest.failf "re-parse failed at %a: %s\n%s" Lexkit.pp_pos pos m printed
+
+let test_roundtrip () =
+  List.iter roundtrip
+    [
+      sample;
+      "class A { void M() { Console.WriteLine(\"hi\"); } }";
+      "class B { string S(object o) { return (string) o; } }";
+      "class C { void M() { foreach (string s in names) { Use(s); } } }";
+      "class D { bool P(object o) { return o is string; } }";
+      "namespace N { class E { int[] xs; void M() { xs[0] = 1; } } }";
+      "class F { void M() { var d = new Dictionary<string, int>(); } }";
+      "class G { void M() { for (int i = 0; i < n; i++) { Use(i); } } }";
+      "class H { void M() { try { R(); } catch (Exception e) { L(e); } } }";
+      "class I { private static readonly int Max = 10; }";
+    ]
+
+let test_lower_wrappers () =
+  (* The C# lowering is more elaborate: ArgumentList, Argument,
+     ExpressionStatement, EqualsValueClause wrappers all present. *)
+  let tree = Lower.program (Parser.parse sample) in
+  let idx = Ast.Index.build tree in
+  List.iter
+    (fun lbl ->
+      check_bool (lbl ^ " present") true
+        (Ast.Index.nodes_with_label idx lbl <> []))
+    [
+      "CompilationUnit"; "UsingDirective"; "NamespaceDeclaration";
+      "ClassDeclaration"; "MethodDeclaration"; "ParameterList"; "Parameter";
+      "LocalDeclarationStatement"; "VariableDeclaration"; "VariableDeclarator";
+      "EqualsValueClause"; "ForEachStatement"; "IfStatement";
+      "ExpressionStatement"; "ReturnStatement";
+    ]
+
+let test_lower_more_elaborate_than_java () =
+  (* Same logical program, bigger C# tree (the paper's Roslyn remark). *)
+  let cs = Lower.program (Parser.parse sample) in
+  let java_src =
+    "import java.util.List;\n\
+     class Counter {\n\
+    \  int total;\n\
+    \  public int count(List<Integer> values, int value) {\n\
+    \    int count = 0;\n\
+    \    for (int v : values) { if (v == value) { count++; } }\n\
+    \    return count;\n\
+    \  }\n\
+     }\n"
+  in
+  let java = Minijava.Lower.program (Minijava.Parser.parse java_src) in
+  check_bool "C# tree larger" true (Ast.Tree.size cs > Ast.Tree.size java)
+
+let test_lower_binders () =
+  let tree = Lower.program (Parser.parse sample) in
+  let idx = Ast.Index.build tree in
+  let vs = Ast.Index.terminals_with_value idx "v" in
+  let ids =
+    List.filter_map
+      (fun n ->
+        match Ast.Index.sort idx n with
+        | Some (Ast.Tree.Var i) -> Some i
+        | _ -> None)
+      vs
+  in
+  check_int "v occurrences" 2 (List.length ids);
+  check_bool "same binder" true (List.for_all (fun i -> i = List.hd ids) ids);
+  (* field total is Name, not Var *)
+  let tot = List.hd (Ast.Index.terminals_with_value idx "total") in
+  check_bool "field is Name" true (Ast.Index.sort idx tot = Some Ast.Tree.Name)
+
+let test_strip () =
+  let p = Parser.parse sample in
+  let stripped, mapping = Rename.strip p in
+  check_bool "values stripped" true (List.mem_assoc "values" mapping);
+  let toks = Lexer.token_values (Printer.program_to_string stripped) in
+  check_bool "method kept" true (List.mem "Count" toks);
+  check_bool "param gone" false (List.mem "values" toks)
+
+(* ---------- property tests ---------- *)
+
+(* MiniC# shares the MiniJava syntax tree, so random programs over the
+   shared subset must round-trip through the C# printer and parser. *)
+let gen_program : Syntax.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let ident = map (fun i -> Printf.sprintf "v%d" i) (int_range 0 6) in
+  let ty =
+    oneof
+      [
+        return (Types.Prim "int");
+        return (Types.Prim "bool");
+        return (Types.Prim "string");
+        return (Types.named ~args:[ Types.Prim "int" ] "List");
+      ]
+  in
+  let lit =
+    oneof
+      [
+        map (fun n -> Syntax.IntLit (string_of_int n)) (int_range 0 99);
+        map (fun b -> Syntax.BoolLit b) bool;
+        map (fun s -> Syntax.StrLit s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
+      ]
+  in
+  let expr =
+    fix
+      (fun self n ->
+        if n <= 0 then oneof [ map (fun i -> Syntax.Ident i) ident; lit ]
+        else
+          oneof
+            [
+              map (fun i -> Syntax.Ident i) ident;
+              lit;
+              map2 (fun a b -> Syntax.Binary ("+", a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Syntax.Binary ("<", a, b)) (self (n / 2)) (self (n / 2));
+              map (fun a -> Syntax.Unary ("!", a)) (self (n - 1));
+              map3
+                (fun r f a -> Syntax.Call (Some (Syntax.Ident r), "M" ^ f, [ a ]))
+                ident ident (self (n - 1));
+              map2 (fun o i -> Syntax.Index (Syntax.Ident o, i)) ident (self (n - 1));
+              map2 (fun t a -> Syntax.New (t, [ a ])) ty (self (n - 1));
+            ])
+      3
+  in
+  let stmt =
+    fix
+      (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map (fun e -> Syntax.ExprStmt e) expr;
+              map3
+                (fun t v e -> Syntax.LocalDecl (t, [ (v, Some e) ]))
+                ty ident expr;
+              map (fun e -> Syntax.Return (Some e)) expr;
+            ]
+        else
+          oneof
+            [
+              map2 (fun c b -> Syntax.If (c, [ b ], None)) expr (self (n - 1));
+              map2 (fun c b -> Syntax.While (c, [ b ])) expr (self (n - 1));
+              map3
+                (fun v it b -> Syntax.ForEach (Types.Prim "int", v, it, [ b ]))
+                ident expr (self (n - 1));
+            ])
+      2
+  in
+  let meth =
+    map2
+      (fun name body ->
+        {
+          Syntax.m_modifiers = [ "public" ];
+          m_ret = Types.Prim "void";
+          m_name = "Method" ^ name;
+          m_params = [ (Types.Prim "int", "arg0") ];
+          m_throws = [];
+          m_body = body;
+        })
+      ident
+      (list_size (int_range 1 4) stmt)
+  in
+  map
+    (fun methods ->
+      {
+        Syntax.package = Some "Example.App";
+        imports = [ "System" ];
+        classes =
+          [
+            {
+              Syntax.c_modifiers = [];
+              c_name = "Gen";
+              c_extends = None;
+              c_implements = [];
+              c_fields = [];
+              c_methods = methods;
+            };
+          ];
+      })
+    (list_size (int_range 1 3) meth)
+
+let prop_csharp_roundtrip =
+  QCheck2.Test.make ~name:"printer/parser round-trip" ~count:300 gen_program
+    (fun p ->
+      let printed = Printer.program_to_string p in
+      match Parser.parse printed with
+      | p2 -> Syntax.equal_program p p2
+      | exception Lexkit.Error _ -> false)
+
+let prop_csharp_lower_total =
+  QCheck2.Test.make ~name:"lowering total" ~count:300 gen_program (fun p ->
+      Ast.Tree.size (Lower.program p) > 0)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ("properties", qcheck [ prop_csharp_roundtrip; prop_csharp_lower_total ]);
+    ( "parser",
+      [
+        Alcotest.test_case "namespace/using/foreach" `Quick test_parse_sample;
+        Alcotest.test_case "var and is" `Quick test_parse_var_and_is;
+        Alcotest.test_case "base list" `Quick test_parse_base_list;
+      ] );
+    ("printer", [ Alcotest.test_case "round-trips" `Quick test_roundtrip ]);
+    ( "lower",
+      [
+        Alcotest.test_case "Roslyn wrappers" `Quick test_lower_wrappers;
+        Alcotest.test_case "more elaborate than Java" `Quick
+          test_lower_more_elaborate_than_java;
+        Alcotest.test_case "binders" `Quick test_lower_binders;
+      ] );
+    ("rename", [ Alcotest.test_case "strip" `Quick test_strip ]);
+  ]
+
+let () = Alcotest.run "minicsharp" suite

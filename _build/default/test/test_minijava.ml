@@ -1,0 +1,553 @@
+(* Tests for the MiniJava front-end: lexer, parser (incl. backtracking
+   disambiguation), printer round-trips, typing and lowering. *)
+
+open Minijava
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+(* The paper's Fig. 9 count example, wrapped in a class. *)
+let fig9 =
+  "import java.util.List;\n\
+   class Util {\n\
+  \  int count(List<Integer> values, int value) {\n\
+  \    int count = 0;\n\
+  \    for (int v : values) {\n\
+  \      if (v == value) {\n\
+  \        count++;\n\
+  \      }\n\
+  \    }\n\
+  \    return count;\n\
+  \  }\n\
+   }\n"
+
+let fig9_flag =
+  "class Flags {\n\
+  \  void run() {\n\
+  \    boolean done = false;\n\
+  \    while (!done) {\n\
+  \      if (someCondition()) {\n\
+  \        done = true;\n\
+  \      }\n\
+  \    }\n\
+  \  }\n\
+   }\n"
+
+(* ---------- lexer ---------- *)
+
+let lex_toks src = List.map (fun { Token.tok; _ } -> tok) (Lexer.tokenize src)
+
+let test_lex_literals () =
+  let toks = lex_toks "1 2.5 1.0f 'c' \"s\" 42L" in
+  let kinds =
+    List.filter_map
+      (function
+        | Token.IntLit x -> Some ("i" ^ x)
+        | Token.DoubleLit x -> Some ("d" ^ x)
+        | Token.CharLit x -> Some ("c" ^ x)
+        | Token.StrLit x -> Some ("s" ^ x)
+        | _ -> None)
+      toks
+  in
+  Alcotest.(check (list string))
+    "kinds" [ "i1"; "d2.5"; "d1.0f"; "cc"; "ss"; "i42L" ] kinds
+
+let test_lex_no_shift_fusion () =
+  (* [>] [>] must stay separate so List<Map<K,V>> lexes. *)
+  let toks = lex_toks "List<Map<String,Integer>>" in
+  let gt = List.filter (fun t -> Token.equal t (Token.Punct ">")) toks in
+  check_int "two separate >" 2 (List.length gt)
+
+(* ---------- types ---------- *)
+
+let test_parse_type () =
+  check_string "generic nested"
+    "java.util.Map<String, java.util.List<Integer>>"
+    (Types.to_string (Parser.parse_type "java.util.Map<String, java.util.List<Integer>>"));
+  check_string "array" "int[][]" (Types.to_string (Parser.parse_type "int[][]"));
+  check_string "simple" "String" (Types.to_string (Parser.parse_type "String"))
+
+(* ---------- parser ---------- *)
+
+let test_parse_fig9 () =
+  let p = Parser.parse fig9 in
+  check_int "one import" 1 (List.length p.Syntax.imports);
+  let c = List.hd p.Syntax.classes in
+  check_string "class name" "Util" c.Syntax.c_name;
+  let m = List.hd c.Syntax.c_methods in
+  check_string "method name" "count" m.Syntax.m_name;
+  check_int "two params" 2 (List.length m.Syntax.m_params);
+  match m.Syntax.m_body with
+  | [ Syntax.LocalDecl (Types.Prim "int", [ ("count", Some _) ]);
+      Syntax.ForEach (Types.Prim "int", "v", Syntax.Ident "values", _);
+      Syntax.Return (Some (Syntax.Ident "count")) ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected fig9 body"
+
+let test_decl_vs_expr () =
+  (* Foo x = e; is a declaration; foo.bar(); is an expression. *)
+  (match Parser.parse_stmts "Foo x = make();" with
+  | [ Syntax.LocalDecl (Types.Named ([ "Foo" ], []), [ ("x", Some _) ]) ] -> ()
+  | _ -> Alcotest.fail "decl");
+  (match Parser.parse_stmts "foo.bar();" with
+  | [ Syntax.ExprStmt (Syntax.Call (Some (Syntax.Ident "foo"), "bar", [])) ] -> ()
+  | _ -> Alcotest.fail "expr stmt");
+  match Parser.parse_stmts "List<Integer> xs = new ArrayList<Integer>();" with
+  | [ Syntax.LocalDecl (Types.Named ([ "List" ], [ _ ]), [ ("xs", Some (Syntax.New _)) ]) ] ->
+      ()
+  | _ -> Alcotest.fail "generic decl"
+
+let test_generics_vs_comparison () =
+  (* a < b is a comparison, not a type. *)
+  match Parser.parse_stmts "boolean r = a < b;" with
+  | [ Syntax.LocalDecl (_, [ ("r", Some (Syntax.Binary ("<", _, _))) ]) ] -> ()
+  | _ -> Alcotest.fail "comparison mis-parsed"
+
+let test_cast_vs_paren () =
+  (match Parser.parse_expr "(String) x" with
+  | Syntax.Cast (Types.Named ([ "String" ], []), Syntax.Ident "x") -> ()
+  | _ -> Alcotest.fail "cast");
+  match Parser.parse_expr "(x) + 1" with
+  | Syntax.Binary ("+", Syntax.Ident "x", Syntax.IntLit "1") -> ()
+  | _ -> Alcotest.fail "paren expr mis-parsed as cast"
+
+let test_parse_constructor () =
+  let src = "class A { int x; A(int x) { this.x = x; } }" in
+  let p = Parser.parse src in
+  let c = List.hd p.Syntax.classes in
+  check_int "one field" 1 (List.length c.Syntax.c_fields);
+  let m = List.hd c.Syntax.c_methods in
+  check_bool "ctor flag" true (List.mem "constructor" m.Syntax.m_modifiers)
+
+let test_parse_for_classic () =
+  match Parser.parse_stmts "for (int i = 0; i < n; i++) { use(i); }" with
+  | [ Syntax.For (Some (Syntax.LocalDecl _), Some _, [ Syntax.Update ("++", false, _) ], [ _ ]) ] ->
+      ()
+  | _ -> Alcotest.fail "classic for"
+
+let test_parse_try () =
+  match
+    Parser.parse_stmts
+      "try { risky(); } catch (IOException e) { log(e); } finally { close(); }"
+  with
+  | [ Syntax.Try ([ _ ], Some (Types.Named ([ "IOException" ], []), "e", [ _ ]), Some [ _ ]) ] ->
+      ()
+  | _ -> Alcotest.fail "try/catch/finally"
+
+let test_parse_instanceof_ternary () =
+  match Parser.parse_expr "x instanceof String ? 1 : 2" with
+  | Syntax.Cond (Syntax.InstanceOf _, _, _) -> ()
+  | _ -> Alcotest.fail "instanceof/ternary"
+
+let test_parse_field_and_static () =
+  let src =
+    "class C { private static final int MAX = 10; public static void main(String[] args) { } }"
+  in
+  let p = Parser.parse src in
+  let c = List.hd p.Syntax.classes in
+  let f = List.hd c.Syntax.c_fields in
+  Alcotest.(check (list string))
+    "field mods" [ "private"; "static"; "final" ] f.Syntax.f_modifiers;
+  let m = List.hd c.Syntax.c_methods in
+  check_bool "main is static" true (List.mem "static" m.Syntax.m_modifiers);
+  match m.Syntax.m_params with
+  | [ (Types.Arr (Types.Named ([ "String" ], [])), "args") ] -> ()
+  | _ -> Alcotest.fail "string[] args"
+
+let test_parse_error () =
+  match Parser.parse "class {" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Lexkit.Error _ -> ()
+
+(* ---------- printer round-trips ---------- *)
+
+let roundtrip src =
+  let p = Parser.parse src in
+  let printed = Printer.program_to_string p in
+  match Parser.parse printed with
+  | p2 -> check_bool ("round-trip: " ^ src) true (Syntax.equal_program p p2)
+  | exception Lexkit.Error (m, pos) ->
+      Alcotest.failf "re-parse failed at %a: %s\n%s" Lexkit.pp_pos pos m printed
+
+let test_roundtrip () =
+  List.iter roundtrip
+    [
+      fig9;
+      fig9_flag;
+      "package com.example;\nimport java.util.*;\nclass A { }";
+      "class B { int f(int a, int b) { return a % b; } }";
+      "class C { void g() { int[] xs = new int[10]; xs[0] = 1; } }";
+      "class D { String h(Object o) { return (String) o; } }";
+      "class E { void i() { for (String s : names) { use(s); } } }";
+      "class F { double j() { return 1.5 * 2.0; } }";
+      "class G { void k() { do { t--; } while (t > 0); } }";
+      "class H { boolean l(Object o) { return o instanceof String; } }";
+      "class I { void m() { this.x = x; } int x; }";
+      "class J { void n() { Map<String, List<Integer>> m = new HashMap<String, List<Integer>>(); } }";
+      "class K extends Base implements Runnable { void run() { } }";
+      "class L { int o(int x) { return x > 0 ? x : -x; } }";
+    ]
+
+(* ---------- typing ---------- *)
+
+let env_of src =
+  let p = Parser.parse src in
+  let resolve = Typing.resolver p in
+  let c = List.hd p.Syntax.classes in
+  (p, resolve, c)
+
+let type_in_method src locals e_src =
+  let _, resolve, c = env_of src in
+  let env =
+    Typing.class_env ~resolve c ~local:(fun n ->
+        Option.map resolve (List.assoc_opt n locals))
+  in
+  Option.map Types.to_string (Typing.type_expr env (Parser.parse_expr e_src))
+
+let cls_src = "import com.example.Widget;\nclass T { int size; String name(){ return \"x\"; } }"
+
+let test_typing_literals () =
+  let t e = type_in_method cls_src [] e in
+  Alcotest.(check (option string)) "int" (Some "int") (t "42");
+  Alcotest.(check (option string)) "double" (Some "double") (t "1.5");
+  Alcotest.(check (option string)) "string" (Some "java.lang.String") (t "\"s\"");
+  Alcotest.(check (option string)) "bool" (Some "boolean") (t "true");
+  Alcotest.(check (option string)) "null" None (t "null")
+
+let test_typing_arith_and_concat () =
+  let t e = type_in_method cls_src [ ("x", Types.prim "int"); ("s", Types.named "String") ] e in
+  Alcotest.(check (option string)) "int+int" (Some "int") (t "x + 1");
+  Alcotest.(check (option string)) "widen" (Some "double") (t "x + 1.5");
+  Alcotest.(check (option string)) "concat" (Some "java.lang.String") (t "s + x");
+  Alcotest.(check (option string)) "compare" (Some "boolean") (t "x < 2");
+  Alcotest.(check (option string)) "not" (Some "boolean") (t "!true")
+
+let test_typing_calls () =
+  let locals =
+    [
+      ("s", Types.named "String");
+      ("xs", Types.named ~args:[ Types.named "Integer" ] "List");
+      ("m", Types.named ~args:[ Types.named "String"; Types.named "Double" ] "Map");
+    ]
+  in
+  let t e = type_in_method cls_src locals e in
+  Alcotest.(check (option string)) "String.length" (Some "int") (t "s.length()");
+  Alcotest.(check (option string)) "List.get" (Some "java.lang.Integer") (t "xs.get(0)");
+  Alcotest.(check (option string)) "Map.get" (Some "java.lang.Double") (t "m.get(s)");
+  Alcotest.(check (option string)) "static" (Some "int") (t "Integer.parseInt(s)");
+  Alcotest.(check (option string)) "own method" (Some "java.lang.String") (t "name()");
+  Alcotest.(check (option string)) "chained"
+    (Some "java.lang.String") (t "s.substring(1).toUpperCase()")
+
+let test_typing_misc () =
+  let locals = [ ("arr", Types.Arr (Types.prim "int")) ] in
+  let t e = type_in_method cls_src locals e in
+  Alcotest.(check (option string)) "index" (Some "int") (t "arr[0]");
+  Alcotest.(check (option string)) "arr.length" (Some "int") (t "arr.length");
+  Alcotest.(check (option string)) "new resolved"
+    (Some "java.util.ArrayList<java.lang.String>") (t "new ArrayList<String>()");
+  Alcotest.(check (option string)) "imported"
+    (Some "com.example.Widget") (t "new Widget()");
+  Alcotest.(check (option string)) "field" (Some "int") (t "size");
+  Alcotest.(check (option string)) "this.field" (Some "int") (t "this.size");
+  Alcotest.(check (option string)) "System.out"
+    (Some "java.io.PrintStream") (t "System.out")
+
+(* ---------- lowering ---------- *)
+
+let test_lower_binders () =
+  let tree = Lower.program (Parser.parse fig9) in
+  let idx = Ast.Index.build tree in
+  (* "count" appears as local decl + update + return = 3 Var occurrences
+     sharing a binder; the method name "count" is a separate Name leaf. *)
+  let counts = Ast.Index.terminals_with_value idx "count" in
+  check_int "four count leaves" 4 (List.length counts);
+  let var_ids =
+    List.filter_map
+      (fun n ->
+        match Ast.Index.sort idx n with
+        | Some (Ast.Tree.Var i) -> Some i
+        | _ -> None)
+      counts
+  in
+  check_int "three are locals" 3 (List.length var_ids);
+  check_bool "same binder" true
+    (List.for_all (fun i -> i = List.hd var_ids) var_ids);
+  let methods = Ast.Index.nodes_with_label idx Lower.method_name_label in
+  check_int "one method name" 1 (List.length methods)
+
+let test_lower_flag_path () =
+  (* The Java version of the paper's Fig. 1 path. *)
+  let tree = Lower.program (Parser.parse fig9_flag) in
+  let idx = Ast.Index.build tree in
+  let ds = Ast.Index.terminals_with_value idx "done" in
+  check_int "three dones" 3 (List.length ds);
+  let a = List.nth ds 1 and b = List.nth ds 2 in
+  let c = Astpath.Context.make ~idx ~start_node:a ~end_node:b in
+  check_string "while-if-assign path"
+    "NameExpr\xe2\x86\x91UnaryExpr!\xe2\x86\x91WhileStmt\xe2\x86\x93IfStmt\xe2\x86\x93AssignExpr=\xe2\x86\x93NameExpr"
+    (Astpath.Path.to_string c.Astpath.Context.path)
+
+let test_lower_type_tags () =
+  let src =
+    "class T { int f(java.util.List<String> xs) { String s = xs.get(0); return s.length() + 1; } }"
+  in
+  let tree = Lower.program ~typed:true (Parser.parse src) in
+  let idx = Ast.Index.build tree in
+  let tags = ref [] in
+  for i = 0 to Ast.Index.size idx - 1 do
+    match Ast.Index.tag idx i with
+    | Some t -> tags := (Ast.Index.label idx i, t) :: !tags
+    | None -> ()
+  done;
+  check_bool "xs.get(0) tagged String" true
+    (List.mem ("MethodCallExpr", "type:java.lang.String") !tags);
+  check_bool "s.length() + 1 tagged int" true
+    (List.mem ("BinaryExpr+", "type:int") !tags)
+
+let test_lower_untyped_has_no_tags () =
+  let tree = Lower.program (Parser.parse fig9) in
+  let idx = Ast.Index.build tree in
+  let any = ref false in
+  for i = 0 to Ast.Index.size idx - 1 do
+    if Ast.Index.tag idx i <> None then any := true
+  done;
+  check_bool "no tags" false !any
+
+let test_lower_block_scoping () =
+  let src =
+    "class S { void f() { if (a) { int x = 1; use(x); } if (b) { int x = 2; use(x); } } }"
+  in
+  let tree = Lower.program (Parser.parse src) in
+  let idx = Ast.Index.build tree in
+  let xs = Ast.Index.terminals_with_value idx "x" in
+  let ids =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun n ->
+           match Ast.Index.sort idx n with
+           | Some (Ast.Tree.Var i) -> Some i
+           | _ -> None)
+         xs)
+  in
+  check_int "two distinct binders" 2 (List.length ids)
+
+(* ---------- rename ---------- *)
+
+let test_strip () =
+  let p = Parser.parse fig9 in
+  let stripped, mapping = Rename.strip p in
+  check_bool "values stripped" true (List.mem_assoc "values" mapping);
+  check_bool "count stripped" true (List.mem_assoc "count" mapping);
+  let printed = Printer.program_to_string stripped in
+  let toks = Lexer.token_values printed in
+  check_bool "method name survives" true (List.mem "count" toks);
+  (* local "values" gone *)
+  check_bool "no values" false (List.mem "values" toks)
+
+let test_strip_keeps_fields () =
+  let src = "class A { int total; void f(int x) { total = x; } }" in
+  let stripped, _ = Rename.strip (Parser.parse src) in
+  let toks = Lexer.token_values (Printer.program_to_string stripped) in
+  check_bool "field kept" true (List.mem "total" toks);
+  check_bool "param renamed" false (List.mem "x" toks)
+
+let test_strip_roundtrip () =
+  let p = Parser.parse fig9 in
+  let stripped, mapping = Rename.strip p in
+  let inverse = List.map (fun (a, b) -> (b, a)) mapping in
+  let restored = Rename.apply (fun n -> List.assoc_opt n inverse) stripped in
+  check_bool "restored" true (Syntax.equal_program p restored)
+
+(* ---------- property tests ---------- *)
+
+(* Random MiniJava programs over the supported subset. *)
+let gen_program : Syntax.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let ident = map (fun i -> Printf.sprintf "v%d" i) (int_range 0 6) in
+  let ty =
+    oneof
+      [
+        return (Types.Prim "int");
+        return (Types.Prim "boolean");
+        return (Types.named "String");
+        return (Types.named ~args:[ Types.named "Integer" ] "List");
+        return (Types.Arr (Types.Prim "int"));
+      ]
+  in
+  let lit =
+    oneof
+      [
+        map (fun n -> Syntax.IntLit (string_of_int n)) (int_range 0 99);
+        map (fun b -> Syntax.BoolLit b) bool;
+        return Syntax.NullLit;
+        map
+          (fun s -> Syntax.StrLit s)
+          (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
+      ]
+  in
+  let expr =
+    fix
+      (fun self n ->
+        if n <= 0 then oneof [ map (fun i -> Syntax.Ident i) ident; lit ]
+        else
+          oneof
+            [
+              map (fun i -> Syntax.Ident i) ident;
+              lit;
+              map2 (fun a b -> Syntax.Binary ("+", a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Syntax.Binary ("==", a, b)) (self (n / 2)) (self (n / 2));
+              map (fun a -> Syntax.Unary ("!", a)) (self (n - 1));
+              map2 (fun f a -> Syntax.Call (None, "m" ^ f, [ a ])) ident (self (n - 1));
+              map3
+                (fun r f a -> Syntax.Call (Some (Syntax.Ident r), "m" ^ f, [ a ]))
+                ident ident (self (n - 1));
+              map2 (fun o i -> Syntax.Index (Syntax.Ident o, i)) ident (self (n - 1));
+              map2 (fun o f -> Syntax.FieldAccess (o, "f" ^ f)) (self (n - 1)) ident;
+              map2 (fun t a -> Syntax.New (t, [ a ])) ty (self (n - 1));
+            ])
+      3
+  in
+  let stmt =
+    fix
+      (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map (fun e -> Syntax.ExprStmt e) expr;
+              map3
+                (fun t v e -> Syntax.LocalDecl (t, [ (v, Some e) ]))
+                ty ident expr;
+              map (fun e -> Syntax.Return (Some e)) expr;
+            ]
+        else
+          oneof
+            [
+              map (fun e -> Syntax.ExprStmt e) expr;
+              map3
+                (fun t v e -> Syntax.LocalDecl (t, [ (v, Some e) ]))
+                ty ident expr;
+              map2 (fun c b -> Syntax.If (c, [ b ], None)) expr (self (n - 1));
+              map2 (fun c b -> Syntax.While (c, [ b ])) expr (self (n - 1));
+              map3
+                (fun v it b -> Syntax.ForEach (Types.Prim "int", v, it, [ b ]))
+                ident expr (self (n - 1));
+            ])
+      2
+  in
+  let meth =
+    QCheck2.Gen.map2
+      (fun name body ->
+        {
+          Syntax.m_modifiers = [ "public" ];
+          m_ret = Types.Prim "void";
+          m_name = "method" ^ name;
+          m_params = [ (Types.Prim "int", "arg0") ];
+          m_throws = [];
+          m_body = body;
+        })
+      ident
+      (list_size (int_range 1 5) stmt)
+  in
+  QCheck2.Gen.map
+    (fun methods ->
+      {
+        Syntax.package = None;
+        imports = [ "java.util.List" ];
+        classes =
+          [
+            {
+              Syntax.c_modifiers = [];
+              c_name = "Gen";
+              c_extends = None;
+              c_implements = [];
+              c_fields = [];
+              c_methods = methods;
+            };
+          ];
+      })
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 3) meth)
+
+let prop_java_roundtrip =
+  QCheck2.Test.make ~name:"printer/parser round-trip" ~count:300 gen_program
+    (fun p ->
+      let printed = Printer.program_to_string p in
+      match Parser.parse printed with
+      | p2 -> Syntax.equal_program p p2
+      | exception Lexkit.Error _ -> false)
+
+let prop_java_lower_total =
+  QCheck2.Test.make ~name:"lowering total, binders consistent" ~count:300
+    gen_program (fun p ->
+      let tree = Lower.program p in
+      let idx = Ast.Index.build tree in
+      let tbl = Hashtbl.create 16 in
+      let ok = ref true in
+      for i = 0 to Ast.Index.size idx - 1 do
+        match (Ast.Index.sort idx i, Ast.Index.value idx i) with
+        | Some (Ast.Tree.Var id), Some v -> (
+            match Hashtbl.find_opt tbl id with
+            | Some v' -> if not (String.equal v v') then ok := false
+            | None -> Hashtbl.add tbl id v)
+        | _ -> ()
+      done;
+      !ok)
+
+let prop_java_typed_lower_total =
+  QCheck2.Test.make ~name:"typed lowering never fails" ~count:300 gen_program
+    (fun p ->
+      let tree = Lower.program ~typed:true p in
+      Ast.Tree.size tree > 0)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "properties",
+      qcheck [ prop_java_roundtrip; prop_java_lower_total; prop_java_typed_lower_total ]
+    );
+    ( "lexer",
+      [
+        Alcotest.test_case "literal kinds" `Quick test_lex_literals;
+        Alcotest.test_case "no >> fusion" `Quick test_lex_no_shift_fusion;
+      ] );
+    ("types", [ Alcotest.test_case "type parsing" `Quick test_parse_type ]);
+    ( "parser",
+      [
+        Alcotest.test_case "fig 9 count method" `Quick test_parse_fig9;
+        Alcotest.test_case "decl vs expr stmt" `Quick test_decl_vs_expr;
+        Alcotest.test_case "generics vs comparison" `Quick test_generics_vs_comparison;
+        Alcotest.test_case "cast vs paren" `Quick test_cast_vs_paren;
+        Alcotest.test_case "constructor" `Quick test_parse_constructor;
+        Alcotest.test_case "classic for" `Quick test_parse_for_classic;
+        Alcotest.test_case "try/catch/finally" `Quick test_parse_try;
+        Alcotest.test_case "instanceof + ternary" `Quick test_parse_instanceof_ternary;
+        Alcotest.test_case "modifiers and arrays" `Quick test_parse_field_and_static;
+        Alcotest.test_case "syntax error" `Quick test_parse_error;
+      ] );
+    ("printer", [ Alcotest.test_case "round-trips" `Quick test_roundtrip ]);
+    ( "typing",
+      [
+        Alcotest.test_case "literals" `Quick test_typing_literals;
+        Alcotest.test_case "arithmetic and concat" `Quick test_typing_arith_and_concat;
+        Alcotest.test_case "method calls" `Quick test_typing_calls;
+        Alcotest.test_case "arrays, new, fields" `Quick test_typing_misc;
+      ] );
+    ( "lower",
+      [
+        Alcotest.test_case "binder merging" `Quick test_lower_binders;
+        Alcotest.test_case "while-if-assign path" `Quick test_lower_flag_path;
+        Alcotest.test_case "type tags" `Quick test_lower_type_tags;
+        Alcotest.test_case "untyped has no tags" `Quick test_lower_untyped_has_no_tags;
+        Alcotest.test_case "block scoping" `Quick test_lower_block_scoping;
+      ] );
+    ( "rename",
+      [
+        Alcotest.test_case "strip locals" `Quick test_strip;
+        Alcotest.test_case "fields survive" `Quick test_strip_keeps_fields;
+        Alcotest.test_case "strip round-trip" `Quick test_strip_roundtrip;
+      ] );
+  ]
+
+let () = Alcotest.run "minijava" suite

@@ -1,0 +1,450 @@
+(* Tests for the MiniJS front-end: lexer, parser, printer round-trips,
+   lowering and name stripping. *)
+
+open Minijs
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let fig1a = "while (!d) {\n  if (someCondition()) {\n    d = true;\n  }\n}\n"
+
+let fig3a =
+  "var d = false;\n\
+   while(!d) {\n\
+  \  doSomething();\n\
+  \  if (someCondition()) {\n\
+  \    d = true;\n\
+  \  }\n\
+   }\n"
+
+let fig8 =
+  "function f(a, b, c) {\n\
+  \  b.open('GET', a, false);\n\
+  \  b.send(c);\n\
+   }\n"
+
+(* ---------- lexer ---------- *)
+
+let lex_toks src =
+  List.map (fun { Token.tok; _ } -> tok) (Lexer.tokenize src)
+
+let test_lex_basic () =
+  let toks = lex_toks "var x = 1;" in
+  Alcotest.(check int) "count with eof" 6 (List.length toks);
+  check_bool "kw var" true (Token.equal (List.nth toks 0) (Token.Kw "var"));
+  check_bool "ident" true (Token.equal (List.nth toks 1) (Token.Ident "x"));
+  check_bool "punct =" true (Token.equal (List.nth toks 2) (Token.Punct "="));
+  check_bool "num" true (Token.equal (List.nth toks 3) (Token.Num "1"))
+
+let test_lex_longest_match () =
+  let toks = lex_toks "a === b == c = d" in
+  let puncts =
+    List.filter_map (function Token.Punct p -> Some p | _ -> None) toks
+  in
+  Alcotest.(check (list string)) "ordered" [ "==="; "=="; "=" ] puncts
+
+let test_lex_strings () =
+  let toks = lex_toks {|x = "he\"llo" + 'wo\nrld'|} in
+  let strs = List.filter_map (function Token.Str s -> Some s | _ -> None) toks in
+  Alcotest.(check (list string)) "escapes" [ "he\"llo"; "wo\nrld" ] strs
+
+let test_lex_comments () =
+  let toks = lex_toks "a // line comment\n + /* block\ncomment */ b" in
+  check_int "only a + b and eof" 4 (List.length toks)
+
+let test_lex_numbers () =
+  let toks = lex_toks "1 2.5 0.125 42" in
+  let nums = List.filter_map (function Token.Num n -> Some n | _ -> None) toks in
+  Alcotest.(check (list string)) "lexemes" [ "1"; "2.5"; "0.125"; "42" ] nums
+
+let test_lex_positions () =
+  let spanned = Lexer.tokenize "a\n  b" in
+  let b = List.nth spanned 1 in
+  check_int "line" 2 b.Token.pos.Lexkit.line;
+  check_int "col" 3 b.Token.pos.Lexkit.col
+
+let test_lex_error () =
+  (match Lexer.tokenize "a # b" with
+  | _ -> Alcotest.fail "expected lex error"
+  | exception Lexkit.Error _ -> ());
+  match Lexer.tokenize "\"unterminated" with
+  | _ -> Alcotest.fail "expected lex error"
+  | exception Lexkit.Error _ -> ()
+
+(* ---------- parser ---------- *)
+
+let test_parse_fig1a () =
+  match Parser.parse fig1a with
+  | [ Syntax.While (Syntax.Unary ("!", Syntax.Ident "d"), [ Syntax.If (_, [ Syntax.Expr (Syntax.Assign ("=", Syntax.Ident "d", Syntax.Bool true)) ], None) ]) ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected parse of fig 1a"
+
+let test_parse_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3 == 7 && !x" in
+  match e with
+  | Syntax.Binary ("&&", Syntax.Binary ("==", Syntax.Binary ("+", _, Syntax.Binary ("*", _, _)), _), Syntax.Unary ("!", _)) ->
+      ()
+  | _ -> Alcotest.fail "precedence mis-parse"
+
+let test_parse_assoc () =
+  (match Parser.parse_expr "a - b - c" with
+  | Syntax.Binary ("-", Syntax.Binary ("-", _, _), _) -> ()
+  | _ -> Alcotest.fail "left assoc");
+  match Parser.parse_expr "a = b = c" with
+  | Syntax.Assign ("=", _, Syntax.Assign ("=", _, _)) -> ()
+  | _ -> Alcotest.fail "right assoc assignment"
+
+let test_parse_member_chain () =
+  match Parser.parse_expr "a.b[0].c(1, 2).d" with
+  | Syntax.Member (Syntax.Call (Syntax.Member (Syntax.Index (Syntax.Member (Syntax.Ident "a", "b"), _), "c"), [ _; _ ]), "d") ->
+      ()
+  | _ -> Alcotest.fail "member chain"
+
+let test_parse_new () =
+  match Parser.parse_expr "new Foo(1)" with
+  | Syntax.New (Syntax.Ident "Foo", [ Syntax.Num "1" ]) -> ()
+  | _ -> Alcotest.fail "new"
+
+let test_parse_for () =
+  match Parser.parse "for (var i = 0; i < n; i++) { f(i); }" with
+  | [ Syntax.For (Some (Syntax.VarDecl [ ("i", Some _) ]), Some _, Some (Syntax.Update ("++", false, _)), [ _ ]) ] ->
+      ()
+  | _ -> Alcotest.fail "classic for"
+
+let test_parse_forin () =
+  match Parser.parse "for (var k in obj) { use(k); }" with
+  | [ Syntax.ForIn (true, "k", Syntax.Ident "obj", [ _ ]) ] -> ()
+  | _ -> Alcotest.fail "for-in"
+
+let test_parse_try () =
+  match Parser.parse "try { f(); } catch (e) { g(e); } finally { h(); }" with
+  | [ Syntax.Try ([ _ ], Some ("e", [ _ ]), Some [ _ ]) ] -> ()
+  | _ -> Alcotest.fail "try/catch/finally"
+
+let test_parse_func_expr () =
+  match Parser.parse "var f = function(x) { return x; };" with
+  | [ Syntax.VarDecl [ ("f", Some (Syntax.Func (None, [ "x" ], [ Syntax.Return (Some _) ]))) ] ] ->
+      ()
+  | _ -> Alcotest.fail "function expression"
+
+let test_parse_object_array () =
+  match Parser.parse_expr "{ a: 1, b: [2, 3] }" with
+  | Syntax.Object [ ("a", _); ("b", Syntax.Array [ _; _ ]) ] -> ()
+  | _ -> Alcotest.fail "object/array"
+
+let test_parse_cond () =
+  match Parser.parse_expr "a ? b : c" with
+  | Syntax.Cond (_, _, _) -> ()
+  | _ -> Alcotest.fail "conditional"
+
+let test_parse_error () =
+  match Parser.parse "if (" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Lexkit.Error _ -> ()
+
+(* ---------- printer round-trips ---------- *)
+
+let roundtrip src =
+  let p = Parser.parse src in
+  let printed = Printer.program_to_string p in
+  let p2 = Parser.parse printed in
+  check_bool ("round-trip: " ^ src) true (Syntax.equal_program p p2)
+
+let test_roundtrip_corpus () =
+  List.iter roundtrip
+    [
+      fig1a;
+      fig3a;
+      fig8;
+      "var a, b, c, d;";
+      "x = a + b * (c - d) / e % f;";
+      "if (a) { b(); } else { c(); }";
+      "do { x--; } while (x > 0);";
+      "for (; ;) { break; }";
+      "var o = { k: 1, m: \"s\" };";
+      "f(function(a) { return a; });";
+      "throw new Error(\"bad\");";
+      "x.y.z[0] = -1;";
+      "var s = typeof x;";
+      "a && b || !c;";
+      "i++; --j;";
+      "for (k in obj) { f(k); }";
+      "x = a ? b : c;";
+    ]
+
+(* ---------- lowering ---------- *)
+
+let test_lower_fig1_path () =
+  let tree = Lower.program (Parser.parse fig1a) in
+  let idx = Ast.Index.build tree in
+  let ds = Ast.Index.terminals_with_value idx "d" in
+  check_int "two occurrences of d" 2 (List.length ds);
+  let a = List.nth ds 0 and b = List.nth ds 1 in
+  let c = Astpath.Context.make ~idx ~start_node:a ~end_node:b in
+  check_string "paper path I"
+    "SymbolRef\xe2\x86\x91UnaryPrefix!\xe2\x86\x91While\xe2\x86\x93If\xe2\x86\x93Assign=\xe2\x86\x93SymbolRef"
+    (Astpath.Path.to_string c.Astpath.Context.path)
+
+let test_lower_example45 () =
+  let tree = Lower.program (Parser.parse "var item = array[i];") in
+  let idx = Ast.Index.build tree in
+  let item = List.hd (Ast.Index.terminals_with_value idx "item") in
+  let array = List.hd (Ast.Index.terminals_with_value idx "array") in
+  let c = Astpath.Context.make ~idx ~start_node:item ~end_node:array in
+  check_string "paper example 4.5"
+    "SymbolVar\xe2\x86\x91VarDef\xe2\x86\x93Sub\xe2\x86\x93SymbolRef"
+    (Astpath.Path.to_string c.Astpath.Context.path)
+
+let binder_of idx v =
+  match Ast.Index.sort idx (List.hd (Ast.Index.terminals_with_value idx v)) with
+  | Some (Ast.Tree.Var i) -> Some i
+  | _ -> None
+
+let test_lower_scoping () =
+  let tree = Lower.program (Parser.parse fig3a) in
+  let idx = Ast.Index.build tree in
+  (* All three occurrences of d share a binder id. *)
+  let ds = Ast.Index.terminals_with_value idx "d" in
+  check_int "three occurrences" 3 (List.length ds);
+  let ids =
+    List.filter_map
+      (fun n ->
+        match Ast.Index.sort idx n with
+        | Some (Ast.Tree.Var i) -> Some i
+        | _ -> None)
+      ds
+  in
+  check_int "all Var sort" 3 (List.length ids);
+  check_bool "same binder" true
+    (List.for_all (fun i -> i = List.hd ids) ids);
+  (* Undeclared call targets are Name sort. *)
+  let sc = List.hd (Ast.Index.terminals_with_value idx "someCondition") in
+  check_bool "call target is Name" true (Ast.Index.sort idx sc = Some Ast.Tree.Name)
+
+let test_lower_undeclared_assigned () =
+  (* Fig 1a: d never declared, still a local (Var sort). *)
+  let tree = Lower.program (Parser.parse fig1a) in
+  let idx = Ast.Index.build tree in
+  check_bool "d is Var" true (binder_of idx "d" <> None)
+
+let test_lower_params () =
+  let tree = Lower.program (Parser.parse fig8) in
+  let idx = Ast.Index.build tree in
+  List.iter
+    (fun v -> check_bool (v ^ " is Var") true (binder_of idx v <> None))
+    [ "a"; "b"; "c" ];
+  check_bool "f is Var (function decl binds)" true (binder_of idx "f" <> None);
+  (* properties open/send are Name *)
+  let op = List.hd (Ast.Index.terminals_with_value idx "open") in
+  check_bool "property is Name" true (Ast.Index.sort idx op = Some Ast.Tree.Name)
+
+let test_lower_distinct_scopes () =
+  let src = "function f(x) { return x; }\nfunction g(x) { return x; }" in
+  let tree = Lower.program (Parser.parse src) in
+  let idx = Ast.Index.build tree in
+  let xs = Ast.Index.terminals_with_value idx "x" in
+  check_int "four occurrences" 4 (List.length xs);
+  let ids =
+    List.filter_map
+      (fun n ->
+        match Ast.Index.sort idx n with
+        | Some (Ast.Tree.Var i) -> Some i
+        | _ -> None)
+      xs
+  in
+  let distinct = List.sort_uniq compare ids in
+  check_int "two binders" 2 (List.length distinct)
+
+(* ---------- rename / strip ---------- *)
+
+let test_strip_fig3a () =
+  let p = Parser.parse fig3a in
+  let stripped, mapping = Rename.strip p in
+  check_bool "d renamed" true (List.mem_assoc "d" mapping);
+  let printed = Printer.program_to_string stripped in
+  check_bool "no d left" true
+    (not
+       (List.exists
+          (fun t -> String.equal t "d")
+          (Lexer.token_values printed)));
+  check_bool "globals kept" true
+    (List.exists
+       (fun t -> String.equal t "someCondition")
+       (Lexer.token_values printed))
+
+let test_rename_respects_scope () =
+  let src = "var x = 1; use(x, y);" in
+  let p = Parser.parse src in
+  let renamed =
+    Rename.apply (fun n -> if n = "x" then Some "z" else None) p
+  in
+  let printed = Printer.program_to_string renamed in
+  let toks = Lexer.token_values printed in
+  check_bool "x renamed" true (not (List.mem "x" toks));
+  check_bool "free y untouched" true (List.mem "y" toks)
+
+let test_rename_roundtrip () =
+  (* strip then un-strip restores the program *)
+  let p = Parser.parse fig3a in
+  let stripped, mapping = Rename.strip p in
+  let inverse = List.map (fun (a, b) -> (b, a)) mapping in
+  let restored = Rename.apply (fun n -> List.assoc_opt n inverse) stripped in
+  check_bool "restored" true (Syntax.equal_program p restored)
+
+let test_local_names_order () =
+  let p = Parser.parse "var b = 1; var a = 2; f(a, b);" in
+  Alcotest.(check (list string)) "first-appearance order" [ "b"; "a" ]
+    (Rename.local_names p)
+
+(* ---------- properties ---------- *)
+
+(* Generator of random MiniJS programs (also reused mentally as a spec
+   of the supported subset). *)
+let gen_program : Syntax.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let ident = map (fun i -> Printf.sprintf "v%d" i) (int_range 0 6) in
+  let lit =
+    oneof
+      [
+        map (fun n -> Syntax.Num (string_of_int n)) (int_range 0 99);
+        map (fun b -> Syntax.Bool b) bool;
+        return Syntax.Null;
+        map (fun s -> Syntax.Str s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
+      ]
+  in
+  let expr =
+    fix
+      (fun self n ->
+        if n <= 0 then oneof [ map (fun i -> Syntax.Ident i) ident; lit ]
+        else
+          oneof
+            [
+              map (fun i -> Syntax.Ident i) ident;
+              lit;
+              map2 (fun a b -> Syntax.Binary ("+", a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Syntax.Binary ("==", a, b)) (self (n / 2)) (self (n / 2));
+              map (fun a -> Syntax.Unary ("!", a)) (self (n - 1));
+              map2 (fun f a -> Syntax.Call (Syntax.Ident f, [ a ])) ident (self (n - 1));
+              map2 (fun o i -> Syntax.Index (Syntax.Ident o, i)) ident (self (n - 1));
+              map2 (fun o p -> Syntax.Member (o, p)) (self (n - 1)) ident;
+            ])
+      3
+  in
+  let stmt =
+    fix
+      (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map (fun e -> Syntax.Expr e) expr;
+              map2 (fun v e -> Syntax.VarDecl [ (v, Some e) ]) ident expr;
+              map (fun e -> Syntax.Return (Some e)) expr;
+            ]
+        else
+          oneof
+            [
+              map (fun e -> Syntax.Expr e) expr;
+              map2 (fun v e -> Syntax.VarDecl [ (v, Some e) ]) ident expr;
+              map2 (fun c b -> Syntax.If (c, [ b ], None)) expr (self (n - 1));
+              map2 (fun c b -> Syntax.While (c, [ b ])) expr (self (n - 1));
+              map3
+                (fun v o b -> Syntax.ForIn (true, v, o, [ b ]))
+                ident expr (self (n - 1));
+            ])
+      2
+  in
+  list_size (int_range 1 6) stmt
+
+let prop_print_parse_roundtrip =
+  QCheck2.Test.make ~name:"printer/parser round-trip" ~count:300 gen_program
+    (fun p ->
+      let printed = Printer.program_to_string p in
+      match Parser.parse printed with
+      | p2 -> Syntax.equal_program p p2
+      | exception Lexkit.Error _ -> false)
+
+let prop_lower_total =
+  QCheck2.Test.make ~name:"lowering never fails, binders consistent" ~count:300
+    gen_program (fun p ->
+      let tree = Lower.program p in
+      let idx = Ast.Index.build tree in
+      (* each binder id maps to a single name *)
+      let tbl = Hashtbl.create 16 in
+      let ok = ref true in
+      for i = 0 to Ast.Index.size idx - 1 do
+        match (Ast.Index.sort idx i, Ast.Index.value idx i) with
+        | Some (Ast.Tree.Var id), Some v -> (
+            match Hashtbl.find_opt tbl id with
+            | Some v' -> if not (String.equal v v') then ok := false
+            | None -> Hashtbl.add tbl id v)
+        | _ -> ()
+      done;
+      !ok)
+
+let prop_strip_idempotent_shape =
+  QCheck2.Test.make ~name:"strip preserves program shape" ~count:300
+    gen_program (fun p ->
+      let stripped, _ = Rename.strip p in
+      let t1 = Lower.program p and t2 = Lower.program stripped in
+      (* same tree skeleton: equal label structure *)
+      let rec skel t =
+        Ast.Tree.label t :: List.concat_map skel (Ast.Tree.children t)
+      in
+      skel t1 = skel t2)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "lexer",
+      [
+        Alcotest.test_case "basic tokens" `Quick test_lex_basic;
+        Alcotest.test_case "longest-match puncts" `Quick test_lex_longest_match;
+        Alcotest.test_case "string escapes" `Quick test_lex_strings;
+        Alcotest.test_case "comments" `Quick test_lex_comments;
+        Alcotest.test_case "numbers" `Quick test_lex_numbers;
+        Alcotest.test_case "positions" `Quick test_lex_positions;
+        Alcotest.test_case "lex errors" `Quick test_lex_error;
+      ] );
+    ( "parser",
+      [
+        Alcotest.test_case "fig 1a" `Quick test_parse_fig1a;
+        Alcotest.test_case "precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "associativity" `Quick test_parse_assoc;
+        Alcotest.test_case "member chains" `Quick test_parse_member_chain;
+        Alcotest.test_case "new" `Quick test_parse_new;
+        Alcotest.test_case "classic for" `Quick test_parse_for;
+        Alcotest.test_case "for-in" `Quick test_parse_forin;
+        Alcotest.test_case "try/catch/finally" `Quick test_parse_try;
+        Alcotest.test_case "function expression" `Quick test_parse_func_expr;
+        Alcotest.test_case "object/array literals" `Quick test_parse_object_array;
+        Alcotest.test_case "conditional" `Quick test_parse_cond;
+        Alcotest.test_case "syntax error" `Quick test_parse_error;
+      ] );
+    ("printer", [ Alcotest.test_case "round-trip corpus" `Quick test_roundtrip_corpus ]);
+    ( "lower",
+      [
+        Alcotest.test_case "paper path I from source" `Quick test_lower_fig1_path;
+        Alcotest.test_case "paper example 4.5 from source" `Quick test_lower_example45;
+        Alcotest.test_case "scope resolution" `Quick test_lower_scoping;
+        Alcotest.test_case "undeclared-but-assigned is local" `Quick
+          test_lower_undeclared_assigned;
+        Alcotest.test_case "params and properties" `Quick test_lower_params;
+        Alcotest.test_case "distinct scopes, distinct binders" `Quick
+          test_lower_distinct_scopes;
+      ] );
+    ( "rename",
+      [
+        Alcotest.test_case "strip fig 3a" `Quick test_strip_fig3a;
+        Alcotest.test_case "free names untouched" `Quick test_rename_respects_scope;
+        Alcotest.test_case "strip round-trip" `Quick test_rename_roundtrip;
+        Alcotest.test_case "local_names order" `Quick test_local_names_order;
+      ] );
+    ( "properties",
+      qcheck
+        [ prop_print_parse_roundtrip; prop_lower_total; prop_strip_idempotent_shape ]
+    );
+  ]
+
+let () = Alcotest.run "minijs" suite

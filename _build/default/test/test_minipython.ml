@@ -1,0 +1,363 @@
+(* Tests for the MiniPython front-end: layout lexer, parser, printer
+   round-trips, lowering and stripping. The paper's Fig. 7 program must
+   parse verbatim. *)
+
+open Minipython
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fig7 =
+  "def sh3(cmd):\n\
+  \    process = Popen(cmd, stdout=PIPE, stderr=PIPE, shell=True)\n\
+  \    out, err = process.communicate()\n\
+  \    retcode = process.returncode\n\
+  \    if retcode:\n\
+  \        raise CalledProcessError(retcode, cmd)\n\
+  \    else:\n\
+  \        return out.rstrip(), err.rstrip()\n"
+
+(* ---------- lexer ---------- *)
+
+let toks src = List.map (fun { Token.tok; _ } -> tok) (Lexer.tokenize src)
+
+let count t ts = List.length (List.filter (Token.equal t) ts)
+
+let test_layout_basic () =
+  let ts = toks "if x:\n    y = 1\nz = 2\n" in
+  check_int "one indent" 1 (count Token.Indent ts);
+  check_int "one dedent" 1 (count Token.Dedent ts);
+  check_int "three newlines" 3 (count Token.Newline ts)
+
+let test_layout_nested () =
+  let ts = toks "def f():\n    if x:\n        y = 1\n" in
+  check_int "two indents" 2 (count Token.Indent ts);
+  check_int "two dedents at eof" 2 (count Token.Dedent ts)
+
+let test_layout_blank_and_comments () =
+  let ts = toks "x = 1\n\n# comment\n   \ny = 2\n" in
+  check_int "no indents from blanks" 0 (count Token.Indent ts);
+  check_int "two logical lines" 2 (count Token.Newline ts)
+
+let test_layout_brackets () =
+  (* newlines inside brackets are joined *)
+  let ts = toks "x = f(1,\n      2)\n" in
+  check_int "single logical line" 1 (count Token.Newline ts);
+  check_int "no indent" 0 (count Token.Indent ts)
+
+let test_layout_bad_dedent () =
+  match Lexer.tokenize "if x:\n    y = 1\n  z = 2\n" with
+  | _ -> Alcotest.fail "expected dedent error"
+  | exception Lexkit.Error _ -> ()
+
+(* ---------- parser ---------- *)
+
+let test_parse_fig7 () =
+  match Parser.parse fig7 with
+  | [ Syntax.FuncDef ("sh3", [ "cmd" ], body) ] -> (
+      match body with
+      | [ Syntax.Assign (Syntax.Ident "process", Syntax.Call (_, [ Syntax.Ident "cmd" ], kwargs));
+          Syntax.Assign (Syntax.TupleLit [ _; _ ], _);
+          Syntax.Assign (Syntax.Ident "retcode", Syntax.Attribute (_, "returncode"));
+          Syntax.If ([ (Syntax.Ident "retcode", [ Syntax.Raise (Some _) ]) ],
+                     Some [ Syntax.Return (Some (Syntax.TupleLit [ _; _ ])) ]) ] ->
+          check_int "three kwargs" 3 (List.length kwargs)
+      | _ -> Alcotest.fail "fig7 body shape")
+  | _ -> Alcotest.fail "fig7 top shape"
+
+let test_parse_elif () =
+  match Parser.parse "if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n" with
+  | [ Syntax.If ([ (_, _); (_, _) ], Some _) ] -> ()
+  | _ -> Alcotest.fail "elif chain"
+
+let test_parse_compare_chain () =
+  (match Parser.parse_expr "x not in xs" with
+  | Syntax.Compare ("not in", _, _) -> ()
+  | _ -> Alcotest.fail "not in");
+  (match Parser.parse_expr "x is not None" with
+  | Syntax.Compare ("is not", _, Syntax.NoneLit) -> ()
+  | _ -> Alcotest.fail "is not");
+  match Parser.parse_expr "not a == b" with
+  | Syntax.Not (Syntax.Compare ("==", _, _)) -> ()
+  | _ -> Alcotest.fail "not binds looser than =="
+
+let test_parse_precedence () =
+  match Parser.parse_expr "a + b * c == d and e" with
+  | Syntax.BoolOp ("and", Syntax.Compare ("==", Syntax.BinOp ("+", _, Syntax.BinOp ("*", _, _)), _), _) ->
+      ()
+  | _ -> Alcotest.fail "precedence"
+
+let test_parse_for_tuple_target () =
+  match Parser.parse "for k, v in items:\n    use(k, v)\n" with
+  | [ Syntax.For (Syntax.TupleLit [ Syntax.Ident "k"; Syntax.Ident "v" ], Syntax.Ident "items", [ _ ]) ] ->
+      ()
+  | _ -> Alcotest.fail "tuple target"
+
+let test_parse_try_except () =
+  match
+    Parser.parse
+      "try:\n    risky()\nexcept IOError as e:\n    log(e)\nfinally:\n    close()\n"
+  with
+  | [ Syntax.Try ([ _ ], [ { Syntax.h_type = Some (Syntax.Ident "IOError"); h_name = Some "e"; _ } ], Some [ _ ]) ] ->
+      ()
+  | _ -> Alcotest.fail "try/except/finally"
+
+let test_parse_error () =
+  match Parser.parse "def f(:\n" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Lexkit.Error _ -> ()
+
+(* ---------- printer round-trips ---------- *)
+
+let roundtrip src =
+  let p = Parser.parse src in
+  let printed = Printer.program_to_string p in
+  match Parser.parse printed with
+  | p2 -> check_bool ("round-trip: " ^ src) true (Syntax.equal_program p p2)
+  | exception Lexkit.Error (m, pos) ->
+      Alcotest.failf "re-parse failed at %a: %s\n%s" Lexkit.pp_pos pos m printed
+
+let test_roundtrip () =
+  List.iter roundtrip
+    [
+      fig7;
+      "x = 1\n";
+      "x, y = y, x\n";
+      "total = 0\nfor v in values:\n    total += v\n";
+      "if done:\n    pass\nelse:\n    run()\n";
+      "xs = [1, 2, 3]\nd = {\"k\": 1}\nt = (1, 2)\n";
+      "while not done:\n    step()\n    if check():\n        done = True\n";
+      "def f(a, b):\n    return a % b\n";
+      "raise ValueError(\"bad\")\n";
+      "import os.path\n";
+      "x = a.b.c[0](1, k=2)\n";
+      "y = -x ** 2\n";
+      "flag = a and not b or c\n";
+    ]
+
+(* ---------- lowering ---------- *)
+
+let test_lower_scoping () =
+  let tree = Lower.program (Parser.parse fig7) in
+  let idx = Ast.Index.build tree in
+  (* process: assigned + used twice -> one binder, 3 occurrences *)
+  let ps = Ast.Index.terminals_with_value idx "process" in
+  check_int "three occurrences" 3 (List.length ps);
+  let ids =
+    List.filter_map
+      (fun n ->
+        match Ast.Index.sort idx n with
+        | Some (Ast.Tree.Var i) -> Some i
+        | _ -> None)
+      ps
+  in
+  check_bool "all same binder" true
+    (List.length ids = 3 && List.for_all (fun i -> i = List.hd ids) ids);
+  (* Popen / PIPE are free names *)
+  let popen = List.hd (Ast.Index.terminals_with_value idx "Popen") in
+  check_bool "Popen free" true (Ast.Index.sort idx popen = Some Ast.Tree.Name)
+
+let test_lower_assign_before_use () =
+  (* Python local-ness is per scope, not per first assignment:
+     a name used before its assignment is still local. *)
+  let tree = Lower.program (Parser.parse "def f():\n    use(x)\n    x = 1\n") in
+  let idx = Ast.Index.build tree in
+  let xs = Ast.Index.terminals_with_value idx "x" in
+  let sorts = List.filter_map (Ast.Index.sort idx) xs in
+  check_bool "both Var" true
+    (List.for_all (function Ast.Tree.Var _ -> true | _ -> false) sorts)
+
+let test_lower_function_label () =
+  let tree = Lower.program (Parser.parse fig7) in
+  let idx = Ast.Index.build tree in
+  check_int "one FunctionName" 1
+    (List.length (Ast.Index.nodes_with_label idx Lower.function_name_label))
+
+let test_lower_elif_nesting () =
+  let tree =
+    Lower.program
+      (Parser.parse "if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n")
+  in
+  let idx = Ast.Index.build tree in
+  check_int "two If nodes" 2 (List.length (Ast.Index.nodes_with_label idx "If"));
+  check_int "two orelse nodes" 2
+    (List.length (Ast.Index.nodes_with_label idx "orelse"))
+
+(* ---------- strip ---------- *)
+
+let test_strip_fig7 () =
+  let p = Parser.parse fig7 in
+  let stripped, mapping = Rename.strip p in
+  List.iter
+    (fun n -> check_bool (n ^ " stripped") true (List.mem_assoc n mapping))
+    [ "cmd"; "process"; "out"; "err"; "retcode" ];
+  check_bool "sh3 not stripped" false (List.mem_assoc "sh3" mapping);
+  let printed = Printer.program_to_string stripped in
+  let toks = Lexer.token_values printed in
+  check_bool "Popen kept" true (List.mem "Popen" toks);
+  check_bool "sh3 kept" true (List.mem "sh3" toks);
+  check_bool "process gone" false (List.mem "process" toks)
+
+let test_strip_roundtrip () =
+  let p = Parser.parse fig7 in
+  let stripped, mapping = Rename.strip p in
+  let inverse = List.map (fun (a, b) -> (b, a)) mapping in
+  let restored = Rename.apply (fun n -> List.assoc_opt n inverse) stripped in
+  check_bool "restored" true (Syntax.equal_program p restored)
+
+let test_strip_shape () =
+  let p = Parser.parse fig7 in
+  let stripped, _ = Rename.strip p in
+  let rec skel t = Ast.Tree.label t :: List.concat_map skel (Ast.Tree.children t) in
+  check_bool "same skeleton" true
+    (skel (Lower.program p) = skel (Lower.program stripped))
+
+(* ---------- property tests ---------- *)
+
+let gen_program : Syntax.program QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let ident = map (fun i -> Printf.sprintf "v%d" i) (int_range 0 6) in
+  let lit =
+    oneof
+      [
+        map (fun n -> Syntax.Num (string_of_int n)) (int_range 0 99);
+        map (fun b -> Syntax.Bool b) bool;
+        return Syntax.NoneLit;
+        map (fun s -> Syntax.Str s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 5));
+      ]
+  in
+  let expr =
+    fix
+      (fun self n ->
+        if n <= 0 then oneof [ map (fun i -> Syntax.Ident i) ident; lit ]
+        else
+          oneof
+            [
+              map (fun i -> Syntax.Ident i) ident;
+              lit;
+              map2 (fun a b -> Syntax.BinOp ("+", a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Syntax.Compare ("==", a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Syntax.BoolOp ("and", a, b)) (self (n / 2)) (self (n / 2));
+              map (fun a -> Syntax.Not a) (self (n - 1));
+              map2 (fun f a -> Syntax.Call (Syntax.Ident f, [ a ], [])) ident (self (n - 1));
+              map3
+                (fun f k v -> Syntax.Call (Syntax.Ident f, [], [ ("k" ^ k, v) ]))
+                ident ident (self (n - 1));
+              map2 (fun o a -> Syntax.Attribute (o, "a" ^ a)) (self (n - 1)) ident;
+              map2 (fun o i -> Syntax.Subscript (Syntax.Ident o, i)) ident (self (n - 1));
+              map (fun es -> Syntax.ListLit es) (list_size (int_range 0 3) (self 0));
+            ])
+      3
+  in
+  let stmt =
+    fix
+      (fun self n ->
+        if n <= 0 then
+          oneof
+            [
+              map (fun e -> Syntax.ExprStmt e) expr;
+              map2 (fun v e -> Syntax.Assign (Syntax.Ident v, e)) ident expr;
+              map2 (fun v e -> Syntax.AugAssign ("+=", Syntax.Ident v, e)) ident expr;
+              map (fun e -> Syntax.Return (Some e)) expr;
+              return Syntax.Pass;
+            ]
+        else
+          oneof
+            [
+              map2 (fun v e -> Syntax.Assign (Syntax.Ident v, e)) ident expr;
+              map2 (fun c b -> Syntax.If ([ (c, [ b ]) ], None)) expr (self (n - 1));
+              map3
+                (fun c b1 b2 -> Syntax.If ([ (c, [ b1 ]) ], Some [ b2 ]))
+                expr (self (n - 1)) (self (n - 1));
+              map2 (fun c b -> Syntax.While (c, [ b ])) expr (self (n - 1));
+              map3
+                (fun v it b -> Syntax.For (Syntax.Ident v, it, [ b ]))
+                ident expr (self (n - 1));
+            ])
+      2
+  in
+  let func =
+    map2
+      (fun name body -> Syntax.FuncDef ("fn" ^ name, [ "arg0" ], body))
+      ident
+      (list_size (int_range 1 5) stmt)
+  in
+  list_size (int_range 1 3) func
+
+let prop_python_roundtrip =
+  QCheck2.Test.make ~name:"printer/parser round-trip" ~count:300 gen_program
+    (fun p ->
+      let printed = Printer.program_to_string p in
+      match Parser.parse printed with
+      | p2 -> Syntax.equal_program p p2
+      | exception Lexkit.Error _ -> false)
+
+let prop_python_lower_total =
+  QCheck2.Test.make ~name:"lowering total, binders consistent" ~count:300
+    gen_program (fun p ->
+      let tree = Lower.program p in
+      let idx = Ast.Index.build tree in
+      let tbl = Hashtbl.create 16 in
+      let ok = ref true in
+      for i = 0 to Ast.Index.size idx - 1 do
+        match (Ast.Index.sort idx i, Ast.Index.value idx i) with
+        | Some (Ast.Tree.Var id), Some v -> (
+            match Hashtbl.find_opt tbl id with
+            | Some v2 -> if not (String.equal v v2) then ok := false
+            | None -> Hashtbl.add tbl id v)
+        | _ -> ()
+      done;
+      !ok)
+
+let prop_python_strip_shape =
+  QCheck2.Test.make ~name:"strip preserves skeleton" ~count:300 gen_program
+    (fun p ->
+      let stripped, _ = Rename.strip p in
+      let rec skel t =
+        Ast.Tree.label t :: List.concat_map skel (Ast.Tree.children t)
+      in
+      skel (Lower.program p) = skel (Lower.program stripped))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "properties",
+      qcheck
+        [ prop_python_roundtrip; prop_python_lower_total; prop_python_strip_shape ]
+    );
+    ( "lexer",
+      [
+        Alcotest.test_case "indent/dedent" `Quick test_layout_basic;
+        Alcotest.test_case "nested blocks" `Quick test_layout_nested;
+        Alcotest.test_case "blank lines and comments" `Quick test_layout_blank_and_comments;
+        Alcotest.test_case "implicit joining in brackets" `Quick test_layout_brackets;
+        Alcotest.test_case "inconsistent dedent" `Quick test_layout_bad_dedent;
+      ] );
+    ( "parser",
+      [
+        Alcotest.test_case "paper fig 7 verbatim" `Quick test_parse_fig7;
+        Alcotest.test_case "elif chain" `Quick test_parse_elif;
+        Alcotest.test_case "comparison operators" `Quick test_parse_compare_chain;
+        Alcotest.test_case "precedence" `Quick test_parse_precedence;
+        Alcotest.test_case "tuple for-target" `Quick test_parse_for_tuple_target;
+        Alcotest.test_case "try/except/finally" `Quick test_parse_try_except;
+        Alcotest.test_case "syntax error" `Quick test_parse_error;
+      ] );
+    ("printer", [ Alcotest.test_case "round-trips" `Quick test_roundtrip ]);
+    ( "lower",
+      [
+        Alcotest.test_case "scope resolution" `Quick test_lower_scoping;
+        Alcotest.test_case "use-before-assign is local" `Quick test_lower_assign_before_use;
+        Alcotest.test_case "function name label" `Quick test_lower_function_label;
+        Alcotest.test_case "elif nesting" `Quick test_lower_elif_nesting;
+      ] );
+    ( "strip",
+      [
+        Alcotest.test_case "fig 7 strip" `Quick test_strip_fig7;
+        Alcotest.test_case "round-trip" `Quick test_strip_roundtrip;
+        Alcotest.test_case "skeleton preserved" `Quick test_strip_shape;
+      ] );
+  ]
+
+let () = Alcotest.run "minipython" suite

@@ -1,0 +1,388 @@
+(* Tests for AST paths, path-contexts, extraction, abstraction and
+   downsampling. *)
+
+open Astpath
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+
+let fig1 =
+  Ast.Tree.(
+    nt "While"
+      [
+        nt "UnaryPrefix!" [ var 0 "SymbolRef" "d" ];
+        nt "If"
+          [
+            nt "Call" [ term ~sort:Name "SymbolRef" "someCondition" ];
+            nt "Assign="
+              [ var 0 "SymbolRef" "d"; term ~sort:Lit "True" "true" ];
+          ];
+      ])
+
+let fig4 =
+  (* var item = array[i]; — paper Fig. 4 partial AST. *)
+  Ast.Tree.(
+    nt "VarDef"
+      [
+        var 0 "SymbolVar" "item";
+        nt "Sub" [ var 1 "SymbolRef" "array"; var 2 "SymbolRef" "i" ];
+      ])
+
+let mkpath up top down = Path.of_chain ~up ~top ~down
+
+let test_make_valid () =
+  let p = mkpath [ "A"; "B" ] "C" [ "D" ] in
+  check_int "length" 3 (Path.length p);
+  check_string "first" "A" (Path.first p);
+  check_string "top" "C" (Path.top p);
+  check_string "last" "D" (Path.last p);
+  check_int "top index" 2 (Path.top_index p)
+
+let test_make_invalid () =
+  Alcotest.check_raises "up after down"
+    (Invalid_argument "Path.make: Up after Down") (fun () ->
+      ignore
+        (Path.make ~nodes:[| "A"; "B"; "C" |] ~dirs:[| Path.Down; Path.Up |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Path.make: |nodes| must be |dirs| + 1") (fun () ->
+      ignore (Path.make ~nodes:[| "A" |] ~dirs:[| Path.Up |]))
+
+let test_singleton () =
+  let p = Path.make ~nodes:[| "X" |] ~dirs:[||] in
+  check_int "zero length" 0 (Path.length p);
+  check_string "top" "X" (Path.top p)
+
+let test_to_string () =
+  let p = mkpath [ "SymbolRef"; "UnaryPrefix!" ] "While" [ "If"; "Assign="; "SymbolRef" ] in
+  check_string "paper notation"
+    "SymbolRef\xe2\x86\x91UnaryPrefix!\xe2\x86\x91While\xe2\x86\x93If\xe2\x86\x93Assign=\xe2\x86\x93SymbolRef"
+    (Path.to_string p)
+
+let test_reverse () =
+  let p = mkpath [ "A" ] "B" [ "C"; "D" ] in
+  let r = Path.reverse p in
+  check_string "reversed first" "D" (Path.first r);
+  check_string "reversed last" "A" (Path.last r);
+  check_string "same top" (Path.top p) (Path.top r);
+  check_bool "involution" true (Path.equal p (Path.reverse r))
+
+let test_context_fig1 () =
+  (* The headline path of the paper:
+     SymbolRef ↑ UnaryPrefix! ↑ While ↓ If ↓ Assign= ↓ SymbolRef *)
+  let idx = Ast.Index.build fig1 in
+  let ds = Ast.Index.terminals_with_value idx "d" in
+  check_int "two occurrences" 2 (List.length ds);
+  let a = List.nth ds 0 and b = List.nth ds 1 in
+  let c = Context.make ~idx ~start_node:a ~end_node:b in
+  check_string "paper path I"
+    "SymbolRef\xe2\x86\x91UnaryPrefix!\xe2\x86\x91While\xe2\x86\x93If\xe2\x86\x93Assign=\xe2\x86\x93SymbolRef"
+    (Path.to_string c.Context.path);
+  check_string "start value" "d" c.Context.start_value;
+  check_string "end value" "d" c.Context.end_value
+
+let test_context_fig4 () =
+  (* ⟨item, SymbolVar ↑ VarDef ↓ Sub ↓ SymbolRef, array⟩ *)
+  let idx = Ast.Index.build fig4 in
+  let item = List.hd (Ast.Index.terminals_with_value idx "item") in
+  let array = List.hd (Ast.Index.terminals_with_value idx "array") in
+  let c = Context.make ~idx ~start_node:item ~end_node:array in
+  check_string "paper Example 4.5"
+    "SymbolVar\xe2\x86\x91VarDef\xe2\x86\x93Sub\xe2\x86\x93SymbolRef"
+    (Path.to_string c.Context.path)
+
+let test_context_reverse () =
+  let idx = Ast.Index.build fig4 in
+  let item = List.hd (Ast.Index.terminals_with_value idx "item") in
+  let i = List.hd (Ast.Index.terminals_with_value idx "i") in
+  let c = Context.make ~idx ~start_node:item ~end_node:i in
+  let r = Context.reverse c in
+  check_string "swap start" "i" r.Context.start_value;
+  check_string "swap end" "item" r.Context.end_value;
+  check_bool "path reversed" true
+    (Path.equal (Path.reverse c.Context.path) r.Context.path)
+
+let cfg ?semi l w = Config.make ?include_semi_paths:semi ~max_length:l ~max_width:w ()
+
+let test_extract_fig1 () =
+  let idx = Ast.Index.build fig1 in
+  (* 4 leaves (d, someCondition, d, true) -> 6 pairs within generous limits *)
+  check_int "all pairs" 6 (List.length (Extract.leaf_pairs idx (cfg 10 10)));
+  (* max_length 4 cuts the three length-5 paths rooted at While *)
+  let short = Extract.leaf_pairs idx (cfg 4 10) in
+  check_int "length limit" 3 (List.length short)
+
+let test_extract_width_limit () =
+  let fig5 =
+    Ast.Tree.(
+      nt "Var"
+        (List.map
+           (fun (i, n) -> nt "VarDef" [ var i "SymbolVar" n ])
+           [ (0, "a"); (1, "b"); (2, "c"); (3, "d") ]))
+  in
+  let idx = Ast.Index.build fig5 in
+  check_int "width 3: all 6 pairs" 6
+    (List.length (Extract.leaf_pairs idx (cfg 10 3)));
+  check_int "width 1: only adjacent" 3
+    (List.length (Extract.leaf_pairs idx (cfg 10 1)));
+  check_int "width 2" 5 (List.length (Extract.leaf_pairs idx (cfg 10 2)))
+
+let test_extract_ordering () =
+  let idx = Ast.Index.build fig4 in
+  List.iter
+    (fun (c : Context.t) ->
+      check_bool "start before end in source order" true
+        (Ast.Index.leaf_rank idx c.Context.start_node
+        < Ast.Index.leaf_rank idx c.Context.end_node))
+    (Extract.leaf_pairs idx (cfg 10 10))
+
+let test_semi_paths () =
+  let idx = Ast.Index.build fig4 in
+  (* item: 1 ancestor; array: 2; i: 2 — at unlimited length. *)
+  let semis = Extract.semi_paths idx (cfg 10 10) in
+  check_int "count" 5 (List.length semis);
+  List.iter
+    (fun (c : Context.t) ->
+      check_bool "pure up" true
+        (Array.for_all (fun d -> d = Path.Up) (Path.dirs c.Context.path)))
+    semis;
+  let short = Extract.semi_paths idx (cfg 1 10) in
+  check_int "length-limited" 3 (List.length short)
+
+let test_all_includes_semi () =
+  let idx = Ast.Index.build fig4 in
+  let base = Extract.all idx (cfg 10 10) in
+  let with_semi = Extract.all idx (cfg ~semi:true 10 10) in
+  check_bool "semi adds contexts" true
+    (List.length with_semi > List.length base)
+
+let test_leaf_to_node () =
+  let idx = Ast.Index.build fig4 in
+  let sub = List.hd (Ast.Index.nodes_with_label idx "Sub") in
+  let cs = Extract.leaf_to_node idx (cfg 10 10) ~target:sub in
+  check_int "three leaves reach Sub" 3 (List.length cs);
+  List.iter
+    (fun (c : Context.t) ->
+      check_int "target is end" sub c.Context.end_node;
+      check_string "end value is label" "Sub" c.Context.end_value)
+    cs
+
+let test_star () =
+  let idx = Ast.Index.build fig4 in
+  let item = List.hd (Ast.Index.terminals_with_value idx "item") in
+  let all = Extract.leaf_pairs idx (cfg 10 10) in
+  let star = Extract.star all ~anchor:item in
+  check_int "item touches 2 contexts" 2 (List.length star);
+  List.iter
+    (fun (c : Context.t) -> check_int "anchored" item c.Context.start_node)
+    star
+
+let test_count_within () =
+  let idx = Ast.Index.build fig1 in
+  check_int "count matches extraction"
+    (List.length (Extract.leaf_pairs idx (cfg 5 2)))
+    (Extract.count_within idx (cfg 5 2))
+
+let test_abstractions () =
+  let p = mkpath [ "SymbolRef"; "UnaryPrefix!" ] "While" [ "If"; "Assign="; "SymbolRef" ] in
+  check_string "full" (Path.to_string p) (Abstraction.apply Abstraction.Full p);
+  check_string "no-arrows" "SymbolRef,UnaryPrefix!,While,If,Assign=,SymbolRef"
+    (Abstraction.apply Abstraction.No_arrows p);
+  check_string "forget-order" "Assign=,If,SymbolRef,SymbolRef,UnaryPrefix!,While"
+    (Abstraction.apply Abstraction.Forget_order p);
+  check_string "first-top-last" "SymbolRef,While,SymbolRef"
+    (Abstraction.apply Abstraction.First_top_last p);
+  check_string "first-last" "SymbolRef,SymbolRef"
+    (Abstraction.apply Abstraction.First_last p);
+  check_string "top" "While" (Abstraction.apply Abstraction.Top p);
+  check_string "no-paths" "*" (Abstraction.apply Abstraction.No_paths p)
+
+let test_abstraction_names () =
+  List.iter
+    (fun a ->
+      Alcotest.(check (option string))
+        "roundtrip" (Some (Abstraction.name a))
+        (Option.map Abstraction.name (Abstraction.of_name (Abstraction.name a))))
+    Abstraction.all;
+  Alcotest.(check bool) "unknown" true (Abstraction.of_name "zzz" = None)
+
+let test_downsample () =
+  let rng = Random.State.make [| 42 |] in
+  let xs = List.init 1000 Fun.id in
+  Alcotest.(check (list int)) "p=1 identity" xs (Downsample.keep rng ~p:1.0 xs);
+  Alcotest.(check (list int)) "p=0 empty" [] (Downsample.keep rng ~p:0.0 xs);
+  let kept = Downsample.keep rng ~p:0.5 xs in
+  let n = List.length kept in
+  check_bool "roughly half" true (n > 400 && n < 600);
+  (* order preserved *)
+  check_bool "sorted" true (List.sort compare kept = kept)
+
+(* ---------- property tests ---------- *)
+
+let gen_tree =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 30) @@ fix (fun self n ->
+      if n <= 1 then
+        map2
+          (fun l v -> Ast.Tree.term ("T" ^ string_of_int l) ("v" ^ string_of_int v))
+          (int_range 0 4) (int_range 0 9)
+      else
+        let* k = int_range 1 (min 4 n) in
+        let* lbl = int_range 0 4 in
+        let+ cs = list_repeat k (self (n / k)) in
+        Ast.Tree.nt ("N" ^ string_of_int lbl) cs)
+
+let gen_cfg =
+  QCheck2.Gen.(
+    map2
+      (fun l w -> Config.make ~max_length:l ~max_width:w ())
+      (int_range 1 10) (int_range 0 5))
+
+let prop_limits_respected =
+  QCheck2.Test.make ~name:"extract: length/width limits respected" ~count:200
+    QCheck2.Gen.(pair gen_tree gen_cfg)
+    (fun (t, c) ->
+      let idx = Ast.Index.build t in
+      List.for_all
+        (fun (ctx : Context.t) ->
+          let l = Ast.Index.lca idx ctx.Context.start_node ctx.Context.end_node in
+          let w =
+            Ast.Index.width_between idx ~lca:l ctx.Context.start_node
+              ctx.Context.end_node
+          in
+          Path.length ctx.Context.path <= c.Config.max_length
+          && w <= c.Config.max_width)
+        (Extract.leaf_pairs idx c))
+
+let prop_path_length_matches_depth =
+  QCheck2.Test.make ~name:"extract: path length = depth formula" ~count:200
+    gen_tree (fun t ->
+      let idx = Ast.Index.build t in
+      let c = Config.make ~max_length:20 ~max_width:20 () in
+      List.for_all
+        (fun (ctx : Context.t) ->
+          let l = Ast.Index.lca idx ctx.Context.start_node ctx.Context.end_node in
+          let expected =
+            Ast.Index.depth idx ctx.Context.start_node
+            + Ast.Index.depth idx ctx.Context.end_node
+            - (2 * Ast.Index.depth idx l)
+          in
+          Path.length ctx.Context.path = expected)
+        (Extract.leaf_pairs idx c))
+
+let prop_monotone_in_length =
+  QCheck2.Test.make ~name:"extract: monotone in max_length" ~count:100 gen_tree
+    (fun t ->
+      let idx = Ast.Index.build t in
+      let count l =
+        List.length (Extract.leaf_pairs idx (Config.make ~max_length:l ~max_width:8 ()))
+      in
+      let rec mono l = l > 10 || (count l <= count (l + 1) && mono (l + 1)) in
+      mono 1)
+
+let prop_abstraction_refines =
+  (* Along each genuine refinement chain of the abstraction lattice, the
+     number of distinct keys can only shrink. (The lattice is partial:
+     e.g. forget-order and first-top-last are incomparable.) *)
+  QCheck2.Test.make ~name:"abstraction: distinct-key counts shrink along chains"
+    ~count:100 gen_tree (fun t ->
+      let idx = Ast.Index.build t in
+      let paths =
+        List.map
+          (fun (c : Context.t) -> c.Context.path)
+          (Extract.leaf_pairs idx (Config.make ~max_length:12 ~max_width:8 ()))
+      in
+      let distinct a =
+        List.sort_uniq String.compare (List.map (Abstraction.apply a) paths)
+        |> List.length
+      in
+      let chains =
+        Abstraction.
+          [
+            [ Full; No_arrows; Forget_order; No_paths ];
+            [ Full; First_top_last; First_last; No_paths ];
+            [ Full; First_top_last; Top; No_paths ];
+          ]
+      in
+      List.for_all
+        (fun chain ->
+          let counts = List.map distinct chain in
+          let rec non_increasing = function
+            | a :: (b :: _ as rest) -> a >= b && non_increasing rest
+            | _ -> true
+          in
+          non_increasing counts)
+        chains)
+
+let prop_reverse_involution =
+  QCheck2.Test.make ~name:"path: reverse is an involution" ~count:200 gen_tree
+    (fun t ->
+      let idx = Ast.Index.build t in
+      List.for_all
+        (fun (c : Context.t) ->
+          Path.equal c.Context.path (Path.reverse (Path.reverse c.Context.path)))
+        (Extract.leaf_pairs idx (Config.make ~max_length:10 ~max_width:8 ())))
+
+let prop_downsample_subset =
+  QCheck2.Test.make ~name:"downsample: result is a sub-sequence" ~count:200
+    QCheck2.Gen.(pair (list int) (float_bound_inclusive 1.0))
+    (fun (xs, p) ->
+      let rng = Random.State.make [| 7 |] in
+      let kept = Downsample.keep rng ~p xs in
+      (* subsequence check *)
+      let rec sub = function
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xs', y :: ys' ->
+            if x = y then sub (xs', ys') else sub (x :: xs', ys')
+      in
+      sub (kept, xs))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "path",
+      [
+        Alcotest.test_case "of_chain basics" `Quick test_make_valid;
+        Alcotest.test_case "invalid paths rejected" `Quick test_make_invalid;
+        Alcotest.test_case "singleton path" `Quick test_singleton;
+        Alcotest.test_case "paper notation" `Quick test_to_string;
+        Alcotest.test_case "reverse" `Quick test_reverse;
+      ] );
+    ( "context",
+      [
+        Alcotest.test_case "paper path I (fig 1)" `Quick test_context_fig1;
+        Alcotest.test_case "paper example 4.5 (fig 4)" `Quick test_context_fig4;
+        Alcotest.test_case "reverse swaps ends" `Quick test_context_reverse;
+      ] );
+    ( "extract",
+      [
+        Alcotest.test_case "fig1 pair counts" `Quick test_extract_fig1;
+        Alcotest.test_case "fig5 width limits" `Quick test_extract_width_limit;
+        Alcotest.test_case "source-order endpoints" `Quick test_extract_ordering;
+        Alcotest.test_case "semi-paths" `Quick test_semi_paths;
+        Alcotest.test_case "all with semi" `Quick test_all_includes_semi;
+        Alcotest.test_case "leaf-to-nonterminal" `Quick test_leaf_to_node;
+        Alcotest.test_case "n-wise star view" `Quick test_star;
+        Alcotest.test_case "count_within" `Quick test_count_within;
+      ] );
+    ( "abstraction",
+      [
+        Alcotest.test_case "all seven levels" `Quick test_abstractions;
+        Alcotest.test_case "name round-trip" `Quick test_abstraction_names;
+      ] );
+    ("downsample", [ Alcotest.test_case "keep probabilities" `Quick test_downsample ]);
+    ( "properties",
+      qcheck
+        [
+          prop_limits_respected;
+          prop_path_length_matches_depth;
+          prop_monotone_in_length;
+          prop_abstraction_refines;
+          prop_reverse_involution;
+          prop_downsample_subset;
+        ] );
+  ]
+
+let () = Alcotest.run "path" suite

@@ -1,0 +1,219 @@
+(* Tests for CRF model serialization: byte-level escaping, structural
+   round-trips, and — the property that matters — identical predictions
+   from a saved-and-reloaded model. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk_node id gold kind = { Crf.Graph.id; gold; kind }
+
+(* A richer synthetic world, with awkward strings in labels and rels:
+   spaces, percent signs, unicode arrows (as in real path strings). *)
+let graphs ~n ~seed =
+  let rng = Random.State.make [| seed |] in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  List.init n (fun _ ->
+      if Random.State.bool rng then
+        Crf.Graph.make
+          ~nodes:
+            [
+              mk_node 0 (pick [ "done"; "stop" ]) `Unknown;
+              mk_node 1 "hello, world %20" `Known;
+            ]
+          ~factors:
+            [
+              Crf.Graph.pairwise ~a:0 ~b:1
+                ~rel:"SymbolRef\xe2\x86\x91While\xe2\x86\x93True";
+              Crf.Graph.unary ~n:0 ~rel:"loop guard";
+            ]
+      else
+        Crf.Graph.make
+          ~nodes:
+            [
+              mk_node 0 (pick [ "count"; "total" ]) `Unknown;
+              mk_node 1 "0" `Known;
+            ]
+          ~factors:
+            [
+              Crf.Graph.pairwise ~a:0 ~b:1 ~rel:"Assign=\xe2\x86\x93Number";
+              Crf.Graph.unary ~n:0 ~rel:"incr\ttab";
+            ])
+
+let train () = Crf.Train.train (graphs ~n:200 ~seed:5)
+
+let roundtrip model =
+  let path = Filename.temp_file "pigeon" ".crf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Crf.Serialize.save model path;
+      Crf.Serialize.load path)
+
+let test_roundtrip_predictions () =
+  let model = train () in
+  let model' = roundtrip model in
+  let test_graphs = graphs ~n:80 ~seed:6 in
+  List.iter
+    (fun g ->
+      check_bool "identical predictions" true
+        (Crf.Train.predict model g = Crf.Train.predict model' g))
+    test_graphs
+
+let test_roundtrip_top_k () =
+  let model = train () in
+  let model' = roundtrip model in
+  let g = List.hd (graphs ~n:1 ~seed:7) in
+  let k1 = Crf.Train.top_k model g ~node:0 ~k:5 in
+  let k2 = Crf.Train.top_k model' g ~node:0 ~k:5 in
+  check_bool "same ranking" true (List.map fst k1 = List.map fst k2)
+
+let test_roundtrip_config () =
+  let config =
+    {
+      Crf.Train.default_config with
+      Crf.Train.iterations = 3;
+      averaged = false;
+      trainer = Crf.Fast.Structured;
+      init = Crf.Fast.No_init;
+    }
+  in
+  let model = Crf.Train.train ~config (graphs ~n:50 ~seed:8) in
+  let model' = roundtrip model in
+  check_int "iterations" 3 model'.Crf.Train.config.Crf.Train.iterations;
+  check_bool "averaged" false model'.Crf.Train.config.Crf.Train.averaged;
+  check_bool "trainer" true
+    (model'.Crf.Train.config.Crf.Train.trainer = Crf.Fast.Structured);
+  check_bool "init" true (model'.Crf.Train.config.Crf.Train.init = Crf.Fast.No_init)
+
+let test_weights_survive () =
+  let model = train () in
+  let model' = roundtrip model in
+  check_int "same number of features"
+    (Crf.Model.size model.Crf.Train.weights)
+    (Crf.Model.size model'.Crf.Train.weights);
+  (* spot-check every feature's weight *)
+  Crf.Model.iter model.Crf.Train.weights (fun f w ->
+      Alcotest.(check (float 1e-12))
+        "weight preserved" w
+        (Crf.Model.get model'.Crf.Train.weights f))
+
+let test_double_roundtrip_stable () =
+  let model = train () in
+  let once = roundtrip model in
+  let twice = roundtrip once in
+  let g = List.hd (graphs ~n:1 ~seed:9) in
+  check_bool "fixed point" true
+    (Crf.Train.predict once g = Crf.Train.predict twice g)
+
+let test_malformed_input () =
+  let path = Filename.temp_file "pigeon" ".crf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "not a model\n";
+      close_out oc;
+      match Crf.Serialize.load path with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure _ -> ())
+
+let test_unknown_record () =
+  let path = Filename.temp_file "pigeon" ".crf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "pigeon-crf-model 1\nfrobnicate 42\n";
+      close_out oc;
+      match Crf.Serialize.load path with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure msg ->
+          check_bool "line number in error" true
+            (String.length msg > 0 && msg.[0] = 'l'))
+
+(* ---------- word2vec serialization ---------- *)
+
+let sgns_pairs ~n ~seed =
+  let rng = Random.State.make [| seed |] in
+  let pick xs = List.nth xs (Random.State.int rng (List.length xs)) in
+  List.init n (fun _ ->
+      if Random.State.bool rng then
+        (pick [ "done"; "finished" ], pick [ "loop ctx"; "assign%true" ])
+      else (pick [ "count"; "total" ], pick [ "init zero"; "incr" ]))
+
+let w2v_roundtrip model =
+  let path = Filename.temp_file "pigeon" ".w2v" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Word2vec.Serialize.save model path;
+      Word2vec.Serialize.load path)
+
+let test_w2v_roundtrip_predictions () =
+  let model =
+    Word2vec.Sgns.train
+      ~config:{ Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 10 }
+      (sgns_pairs ~n:800 ~seed:3)
+  in
+  let model' = w2v_roundtrip model in
+  List.iter
+    (fun ctxs ->
+      check_bool "same ranking" true
+        (List.map fst (Word2vec.Sgns.predict model ctxs)
+        = List.map fst (Word2vec.Sgns.predict model' ctxs)))
+    [ [ "loop ctx" ]; [ "incr"; "init zero" ]; [ "assign%true"; "loop ctx" ] ]
+
+let test_w2v_roundtrip_similarity () =
+  let model =
+    Word2vec.Sgns.train
+      ~config:{ Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 10 }
+      (sgns_pairs ~n:800 ~seed:4)
+  in
+  let model' = w2v_roundtrip model in
+  check_bool "same neighbors" true
+    (List.map fst (Word2vec.Sgns.most_similar model "done" ~k:3)
+    = List.map fst (Word2vec.Sgns.most_similar model' "done" ~k:3))
+
+let test_w2v_roundtrip_config () =
+  let config =
+    { Word2vec.Sgns.default_config with Word2vec.Sgns.dim = 16; epochs = 2 }
+  in
+  let model = Word2vec.Sgns.train ~config (sgns_pairs ~n:100 ~seed:5) in
+  let model' = w2v_roundtrip model in
+  check_int "dim" 16 model'.Word2vec.Sgns.config.Word2vec.Sgns.dim;
+  check_int "epochs" 2 model'.Word2vec.Sgns.config.Word2vec.Sgns.epochs
+
+let test_w2v_malformed () =
+  let path = Filename.temp_file "pigeon" ".w2v" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "garbage\n";
+      close_out oc;
+      match Word2vec.Serialize.load path with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure _ -> ())
+
+let suite =
+  [
+    ( "w2v-serialize",
+      [
+        Alcotest.test_case "prediction round-trip" `Quick test_w2v_roundtrip_predictions;
+        Alcotest.test_case "similarity round-trip" `Quick test_w2v_roundtrip_similarity;
+        Alcotest.test_case "config round-trip" `Quick test_w2v_roundtrip_config;
+        Alcotest.test_case "malformed input" `Quick test_w2v_malformed;
+      ] );
+    ( "serialize",
+      [
+        Alcotest.test_case "prediction round-trip" `Quick test_roundtrip_predictions;
+        Alcotest.test_case "top-k round-trip" `Quick test_roundtrip_top_k;
+        Alcotest.test_case "config round-trip" `Quick test_roundtrip_config;
+        Alcotest.test_case "weights survive" `Quick test_weights_survive;
+        Alcotest.test_case "double round-trip stable" `Quick test_double_roundtrip_stable;
+        Alcotest.test_case "malformed input" `Quick test_malformed_input;
+        Alcotest.test_case "unknown record" `Quick test_unknown_record;
+      ] );
+  ]
+
+let () = Alcotest.run "serialize" suite
