@@ -397,6 +397,198 @@ let fig12 () =
         r.Pigeon.Task.train_seconds)
     (List.rev Astpath.Abstraction.all)
 
+(* ---------- extraction throughput (BENCH_extract.json) ---------- *)
+
+(* The seed's extraction pipeline, kept verbatim as the measured
+   baseline: parent-chain lca, chain-walk width, and list-allocating
+   context construction, in the original quadratic double loop. *)
+module Naive_extract = struct
+  let lca idx a b =
+    let a = ref a and b = ref b in
+    while Ast.Index.depth idx !a > Ast.Index.depth idx !b do
+      a := Ast.Index.parent idx !a
+    done;
+    while Ast.Index.depth idx !b > Ast.Index.depth idx !a do
+      b := Ast.Index.parent idx !b
+    done;
+    while !a <> !b do
+      a := Ast.Index.parent idx !a;
+      b := Ast.Index.parent idx !b
+    done;
+    !a
+
+  let child_toward idx ~lca n =
+    let rec go n =
+      if Ast.Index.parent idx n = lca then n else go (Ast.Index.parent idx n)
+    in
+    go n
+
+  let width_between idx ~lca a b =
+    if a = lca || b = lca then 0
+    else
+      abs
+        (Ast.Index.child_rank idx (child_toward idx ~lca a)
+        - Ast.Index.child_rank idx (child_toward idx ~lca b))
+
+  let within idx (cfg : Astpath.Config.t) a b =
+    let l = lca idx a b in
+    let len =
+      Ast.Index.depth idx a + Ast.Index.depth idx b
+      - (2 * Ast.Index.depth idx l)
+    in
+    len >= 1
+    && len <= cfg.Astpath.Config.max_length
+    && width_between idx ~lca:l a b <= cfg.Astpath.Config.max_width
+
+  let context idx a b =
+    let l = lca idx a b in
+    let up =
+      List.filter (fun n -> n <> l) (Ast.Index.path_up idx a ~stop:l)
+      |> List.map (Ast.Index.label idx)
+    in
+    let down =
+      List.filter (fun n -> n <> l) (Ast.Index.path_up idx b ~stop:l)
+      |> List.rev
+      |> List.map (Ast.Index.label idx)
+    in
+    let value n =
+      match Ast.Index.value idx n with
+      | Some v -> v
+      | None -> Ast.Index.label idx n
+    in
+    ( value a,
+      Astpath.Path.of_chain ~up ~top:(Ast.Index.label idx l) ~down,
+      value b )
+
+  let leaf_pairs idx cfg =
+    let leaves = Ast.Index.leaves idx in
+    let n = Array.length leaves in
+    let acc = ref [] in
+    for j = n - 1 downto 1 do
+      for i = j - 1 downto 0 do
+        let a = leaves.(i) and b = leaves.(j) in
+        if within idx cfg a b then acc := context idx a b :: !acc
+      done
+    done;
+    !acc
+end
+
+let extract_bench () =
+  Printf.printf "\nextraction throughput (largest synthetic corpora)\n";
+  Printf.printf "%-12s %10s %12s %12s %8s %s\n" "Language" "contexts"
+    "naive c/s" "iter c/s" "speedup" "bytes/ctx naive->iter";
+  let timed f =
+    (* best of 3 runs; allocation from the first (it is deterministic) *)
+    let run () =
+      let a0 = Gc.allocated_bytes () in
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0, Gc.allocated_bytes () -. a0)
+    in
+    let r, t, a = run () in
+    let t =
+      List.fold_left
+        (fun best _ ->
+          let _, t', _ = run () in
+          min best t')
+        t [ 1; 2 ]
+    in
+    (r, t, a)
+  in
+  let rows =
+    List.map
+      (fun (lang : Pigeon.Lang.t) ->
+        let n_files = scaled 400 in
+        let config =
+          { Corpus.Gen.default with Corpus.Gen.n_files; seed = 2018 }
+        in
+        let idxs =
+          List.filter_map
+            (fun (_, src) ->
+              match lang.Pigeon.Lang.parse_tree src with
+              | t -> Some (Ast.Index.build t)
+              | exception Lexkit.Error _ -> None)
+            (Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang)
+        in
+        let cfg = lang.Pigeon.Lang.tuned in
+        let naive_n, naive_t, naive_a =
+          timed (fun () ->
+              List.fold_left
+                (fun n idx ->
+                  n + List.length (Naive_extract.leaf_pairs idx cfg))
+                0 idxs)
+        in
+        let iter_n, iter_t, iter_a =
+          timed (fun () ->
+              let n = ref 0 in
+              List.iter
+                (fun idx -> Astpath.Extract.iter idx cfg (fun _ -> incr n))
+                idxs;
+              !n)
+        in
+        assert (naive_n = iter_n);
+        let naive_cps = float naive_n /. naive_t
+        and iter_cps = float iter_n /. iter_t in
+        Printf.printf "%-12s %10d %12.0f %12.0f %7.1fx %.0f -> %.0f\n%!"
+          lang.Pigeon.Lang.name iter_n naive_cps iter_cps
+          (iter_cps /. naive_cps)
+          (naive_a /. float (max 1 naive_n))
+          (iter_a /. float (max 1 iter_n));
+        ( lang.Pigeon.Lang.name,
+          List.length idxs,
+          iter_n,
+          naive_t,
+          iter_t,
+          naive_a,
+          iter_a ))
+      Pigeon.Lang.all
+  in
+  let sum f = List.fold_left (fun acc r -> acc +. f r) 0. rows in
+  let total_n =
+    List.fold_left (fun acc (_, _, n, _, _, _, _) -> acc + n) 0 rows
+  in
+  let t_naive = sum (fun (_, _, _, t, _, _, _) -> t)
+  and t_iter = sum (fun (_, _, _, _, t, _, _) -> t) in
+  let speedup = float total_n /. t_iter /. (float total_n /. t_naive) in
+  Printf.printf "%-12s %10d %12.0f %12.0f %7.1fx\n%!" "TOTAL" total_n
+    (float total_n /. t_naive)
+    (float total_n /. t_iter)
+    speedup;
+  let oc = open_out "BENCH_extract.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"path-extraction\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n  \"languages\": [\n" !quick;
+  List.iteri
+    (fun i (name, files, n, tn, ti, an, ai) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"files\": %d, \"contexts\": %d,\n\
+        \     \"naive_seconds\": %.4f, \"iter_seconds\": %.4f,\n\
+        \     \"naive_contexts_per_sec\": %.0f, \"iter_contexts_per_sec\": \
+         %.0f,\n\
+        \     \"speedup\": %.2f,\n\
+        \     \"naive_bytes_per_context\": %.0f, \"iter_bytes_per_context\": \
+         %.0f}%s\n"
+        name files n tn ti
+        (float n /. tn)
+        (float n /. ti)
+        (float n /. ti /. (float n /. tn))
+        (an /. float (max 1 n))
+        (ai /. float (max 1 n))
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"total\": {\"contexts\": %d, \"naive_seconds\": %.4f, \
+     \"iter_seconds\": %.4f,\n\
+    \            \"naive_contexts_per_sec\": %.0f, \
+     \"iter_contexts_per_sec\": %.0f, \"speedup\": %.2f}\n"
+    total_n t_naive t_iter
+    (float total_n /. t_naive)
+    (float total_n /. t_iter)
+    speedup;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_extract.json\n%!"
+
 (* ---------- bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -428,6 +620,11 @@ let micro () =
         Test.make ~name:"path-extraction-7-3"
           (Staged.stage (fun () ->
                ignore (Astpath.Extract.leaf_pairs idx lang.Pigeon.Lang.tuned)));
+        Test.make ~name:"path-extract-iter-7-3"
+          (Staged.stage (fun () ->
+               let n = ref 0 in
+               Astpath.Extract.iter idx lang.Pigeon.Lang.tuned (fun _ ->
+                   incr n)));
         Test.make ~name:"graph-build"
           (Staged.stage (fun () ->
                ignore
@@ -456,7 +653,8 @@ let micro () =
       match Analyze.OLS.estimates ols with
       | Some [ est ] -> Printf.printf "%-32s %14.0f ns/run\n%!" name est
       | _ -> Printf.printf "%-32s (no estimate)\n%!" name)
-    results
+    results;
+  extract_bench ()
 
 (* ---------- driver ---------- *)
 

@@ -1,1 +1,1 @@
-lib/ast/index.ml: Array List String Tree
+lib/ast/index.ml: Array Fun Hashtbl List Option Tree

@@ -1,6 +1,9 @@
 type t = {
   n : int;
   labels : string array;
+      (* interned: nodes sharing a label share one string *)
+  label_ids : int array;
+  label_pool : string array;
   values : string option array;
   sorts : Tree.sort option array;
   tags : string option array;
@@ -10,11 +13,23 @@ type t = {
   depth : int array;
   leaves : int array;
   leaf_rank : int array;
+  (* Euler tour + sparse-table RMQ: O(1) lca (hence O(1) path length
+     and, with the lifting table, O(log depth) width) per node pair. *)
+  euler : int array;  (* 2n-1 node ids, tour order *)
+  first_occ : int array;  (* node -> first position in [euler] *)
+  log2 : int array;  (* floor(log2 i) for i in [1, 2n-1] *)
+  sparse : int array array;
+      (* sparse.(k).(i) = position of the min-depth node in
+         euler[i, i + 2^k) *)
+  up : int array array;  (* up.(k).(v) = 2^k-th ancestor of v, or -1 *)
+  by_label : (string, int list) Hashtbl.t;  (* ascending node ids *)
+  by_value : (string, int list) Hashtbl.t;  (* ascending node ids *)
 }
 
 let build tree =
   let n = Tree.size tree in
   let labels = Array.make n "" in
+  let label_ids = Array.make n 0 in
   let values = Array.make n None in
   let sorts = Array.make n None in
   let tags = Array.make n None in
@@ -23,11 +38,25 @@ let build tree =
   let child_rank = Array.make n 0 in
   let depth = Array.make n 0 in
   let leaves_rev = ref [] in
+  let intern = Hashtbl.create 64 in
+  let pool_rev = ref [] in
+  let n_pool = ref 0 in
   let next = ref 0 in
   let rec go node ~parent_id ~rank ~d =
     let id = !next in
     incr next;
-    labels.(id) <- Tree.label node;
+    let lbl = Tree.label node in
+    (match Hashtbl.find_opt intern lbl with
+    | Some (lid, canonical) ->
+        labels.(id) <- canonical;
+        label_ids.(id) <- lid
+    | None ->
+        let lid = !n_pool in
+        incr n_pool;
+        Hashtbl.add intern lbl (lid, lbl);
+        pool_rev := lbl :: !pool_rev;
+        labels.(id) <- lbl;
+        label_ids.(id) <- lid);
     values.(id) <- Tree.value node;
     sorts.(id) <- Tree.sort node;
     tags.(id) <- Tree.tag node;
@@ -44,12 +73,70 @@ let build tree =
     id
   in
   let (_ : int) = go tree ~parent_id:(-1) ~rank:0 ~d:0 in
+  let label_pool = Array.of_list (List.rev !pool_rev) in
   let leaves = Array.of_list (List.rev !leaves_rev) in
   let leaf_rank = Array.make n (-1) in
   Array.iteri (fun r id -> leaf_rank.(id) <- r) leaves;
+  (* Euler tour: visit a node, then re-visit it after each child. *)
+  let m = (2 * n) - 1 in
+  let euler = Array.make m 0 in
+  let first_occ = Array.make n (-1) in
+  let pos = ref 0 in
+  let rec tour v =
+    euler.(!pos) <- v;
+    if first_occ.(v) < 0 then first_occ.(v) <- !pos;
+    incr pos;
+    Array.iter
+      (fun c ->
+        tour c;
+        euler.(!pos) <- v;
+        incr pos)
+      children.(v)
+  in
+  tour 0;
+  let log2 = Array.make (m + 1) 0 in
+  for i = 2 to m do
+    log2.(i) <- log2.(i / 2) + 1
+  done;
+  let levels = log2.(m) + 1 in
+  let sparse = Array.make levels [||] in
+  sparse.(0) <- Array.init m Fun.id;
+  for k = 1 to levels - 1 do
+    let span = 1 lsl k in
+    let row = Array.make (m - span + 1) 0 in
+    let prev = sparse.(k - 1) in
+    for i = 0 to m - span do
+      let a = prev.(i) and b = prev.(i + (span / 2)) in
+      row.(i) <- (if depth.(euler.(a)) <= depth.(euler.(b)) then a else b)
+    done;
+    sparse.(k) <- row
+  done;
+  (* Binary lifting for level-ancestor queries (width computation). *)
+  let max_depth = Array.fold_left max 0 depth in
+  let lift_levels = max 1 (log2.(max 1 max_depth) + 1) in
+  let up = Array.make lift_levels parent in
+  for k = 1 to lift_levels - 1 do
+    let prev = up.(k - 1) in
+    up.(k) <-
+      Array.init n (fun v ->
+          let w = prev.(v) in
+          if w < 0 then -1 else prev.(w))
+  done;
+  let by_label = Hashtbl.create 64 in
+  let by_value = Hashtbl.create 64 in
+  let prepend tbl key id =
+    Hashtbl.replace tbl key
+      (id :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
+  in
+  for i = n - 1 downto 0 do
+    prepend by_label labels.(i) i;
+    match values.(i) with Some v -> prepend by_value v i | None -> ()
+  done;
   {
     n;
     labels;
+    label_ids;
+    label_pool;
     values;
     sorts;
     tags;
@@ -59,11 +146,21 @@ let build tree =
     depth;
     leaves;
     leaf_rank;
+    euler;
+    first_occ;
+    log2;
+    sparse;
+    up;
+    by_label;
+    by_value;
   }
 
 let size t = t.n
 let root _ = 0
 let label t i = t.labels.(i)
+let label_id t i = t.label_ids.(i)
+let num_label_ids t = Array.length t.label_pool
+let label_of_id t i = t.label_pool.(i)
 let value t i = t.values.(i)
 let sort t i = t.sorts.(i)
 let tag t i = t.tags.(i)
@@ -76,18 +173,30 @@ let leaves t = t.leaves
 let leaf_rank t i = t.leaf_rank.(i)
 
 let lca t a b =
-  let a = ref a and b = ref b in
-  while t.depth.(!a) > t.depth.(!b) do
-    a := t.parent.(!a)
+  if a = b then a
+  else begin
+    let fa = t.first_occ.(a) and fb = t.first_occ.(b) in
+    let lo = min fa fb and hi = max fa fb in
+    let k = t.log2.(hi - lo + 1) in
+    let pa = t.sparse.(k).(lo)
+    and pb = t.sparse.(k).(hi - (1 lsl k) + 1) in
+    let p =
+      if t.depth.(t.euler.(pa)) <= t.depth.(t.euler.(pb)) then pa else pb
+    in
+    t.euler.(p)
+  end
+
+let ancestor_at_depth t v d =
+  (* Ancestor of [v] at depth [d] <= depth v, via the lifting table. *)
+  let v = ref v in
+  let diff = ref (t.depth.(!v) - d) in
+  let k = ref 0 in
+  while !diff > 0 do
+    if !diff land 1 = 1 then v := t.up.(!k).(!v);
+    diff := !diff asr 1;
+    incr k
   done;
-  while t.depth.(!b) > t.depth.(!a) do
-    b := t.parent.(!b)
-  done;
-  while !a <> !b do
-    a := t.parent.(!a);
-    b := t.parent.(!b)
-  done;
-  !a
+  !v
 
 let path_up t n ~stop =
   let rec go acc n =
@@ -106,9 +215,7 @@ let ancestors t n =
 
 (* Child of [lca] on the parent chain from [n], assuming [n] is a strict
    descendant of [lca]. *)
-let child_toward t ~lca n =
-  let rec go n = if t.parent.(n) = lca then n else go t.parent.(n) in
-  go n
+let child_toward t ~lca n = ancestor_at_depth t n (t.depth.(lca) + 1)
 
 let width_between t ~lca a b =
   if a = lca || b = lca then 0
@@ -116,18 +223,12 @@ let width_between t ~lca a b =
     let ca = child_toward t ~lca a and cb = child_toward t ~lca b in
     abs (t.child_rank.(ca) - t.child_rank.(cb))
 
+let depth_array t = t.depth
+let parent_array t = t.parent
+let label_array t = t.labels
+
 let nodes_with_label t lbl =
-  let acc = ref [] in
-  for i = t.n - 1 downto 0 do
-    if String.equal t.labels.(i) lbl then acc := i :: !acc
-  done;
-  !acc
+  Option.value (Hashtbl.find_opt t.by_label lbl) ~default:[]
 
 let terminals_with_value t v =
-  let acc = ref [] in
-  for i = t.n - 1 downto 0 do
-    match t.values.(i) with
-    | Some x when String.equal x v -> acc := i :: !acc
-    | _ -> ()
-  done;
-  !acc
+  Option.value (Hashtbl.find_opt t.by_value v) ~default:[]

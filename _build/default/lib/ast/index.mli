@@ -2,7 +2,13 @@
 
     Path extraction needs parents, depths, lowest common ancestors, leaf
     order and sibling ranks for many node pairs; this module computes
-    them once per tree. Node ids are preorder positions in [0, size). *)
+    them once per tree. Node ids are preorder positions in [0, size).
+
+    [build] additionally precomputes an Euler tour with a sparse-table
+    RMQ (so {!lca} — and with it path length — is O(1) per query), a
+    binary-lifting ancestor table (so {!width_between} is O(log depth)),
+    interned labels, and hash-table label/value lookups. Everything is
+    O(n log n) space and build time. *)
 
 type t
 
@@ -11,6 +17,18 @@ val size : t -> int
 val root : t -> int
 
 val label : t -> int -> string
+(** Label strings are interned per tree: all nodes sharing a label
+    return the same physical string. *)
+
+val label_id : t -> int -> int
+(** Dense interned id of a node's label, in [0, num_label_ids). *)
+
+val num_label_ids : t -> int
+(** Number of distinct labels in the tree. *)
+
+val label_of_id : t -> int -> string
+(** Canonical string for an interned label id. *)
+
 val value : t -> int -> string option
 val sort : t -> int -> Tree.sort option
 
@@ -37,7 +55,11 @@ val leaf_rank : t -> int -> int
 (** Inverse of {!leaves}; [-1] for nonterminals. *)
 
 val lca : t -> int -> int -> int
-(** Lowest common ancestor (by walking parent chains; trees are small). *)
+(** Lowest common ancestor, O(1) (Euler tour + sparse-table RMQ). *)
+
+val ancestor_at_depth : t -> int -> int -> int
+(** [ancestor_at_depth t n d] is the ancestor of [n] at depth [d];
+    requires [d <= depth t n]. O(log depth) via binary lifting. *)
 
 val path_up : t -> int -> stop:int -> int list
 (** [path_up t n ~stop] is the chain [n; parent n; ...; stop], inclusive.
@@ -51,7 +73,21 @@ val width_between : t -> lca:int -> int -> int -> int
     the LCA, of the two children through which a path between the given
     nodes passes. [0] when either node equals the LCA. *)
 
+(** {2 Zero-copy internal views}
+
+    The extraction iterator visits every leaf pair of every tree; going
+    through the per-node accessors there costs a call plus bounds checks
+    per field read. These return the index's own arrays (indexed by node
+    id) — treat them as read-only. *)
+
+val depth_array : t -> int array
+val parent_array : t -> int array
+val label_array : t -> string array
+
 val nodes_with_label : t -> string -> int list
-(** All node ids carrying the given label, in preorder. *)
+(** All node ids carrying the given label, in preorder (ascending id).
+    O(1) lookup: the table is precomputed by {!build}. *)
 
 val terminals_with_value : t -> string -> int list
+(** All terminal ids carrying the given value, in preorder (ascending
+    id). O(1) lookup: the table is precomputed by {!build}. *)

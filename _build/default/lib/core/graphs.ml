@@ -111,12 +111,15 @@ let build repr ~def_labels ~policy tree =
             Hashtbl.replace leaf_node leaf (node_of_elem e gold)
           end)
     leaves;
-  (* Path-contexts -> factors. *)
-  let contexts = Astpath.Extract.all idx repr.config in
+  (* Path-contexts -> factors, streamed straight off the extraction
+     iterator: contexts are never materialized as a list, and leaf
+     occurrences are downsampled before pair enumeration (paper §5.5)
+     so dropped occurrences pay no extraction cost. *)
   let rng = Random.State.make [| repr.seed |] in
-  let contexts = Astpath.Downsample.keep rng ~p:repr.downsample_p contexts in
   let factors = ref [] in
-  List.iter
+  Astpath.Extract.iter_all
+    ~downsample:(rng, repr.downsample_p)
+    idx repr.config
     (fun (c : Astpath.Context.t) ->
       if keep_context repr c then
         let rel () =
@@ -141,8 +144,7 @@ let build repr ~def_labels ~policy tree =
                "semi-paths provide more generalization"). *)
             if repr.use_unary then
               factors := Crf.Graph.unary ~n:a ~rel:(rel ()) :: !factors
-        | _ -> ())
-    contexts;
+        | _ -> ());
   Crf.Graph.make ~nodes:(List.rev !nodes_rev) ~factors:(List.rev !factors)
 
 let full_type_graph repr tree =

@@ -45,17 +45,17 @@ let path_pairs ~hide_path ~(repr : Graphs.repr) lang src =
     | Some b when b = target -> self_placeholder
     | _ -> Option.value (Ast.Index.value idx leaf) ~default:"?"
   in
-  let contexts = Astpath.Extract.all idx repr.Graphs.config in
   let rng = Random.State.make [| repr.Graphs.seed |] in
-  let contexts =
-    Astpath.Downsample.keep rng ~p:repr.Graphs.downsample_p contexts
-  in
   let per_binder = Hashtbl.create 16 in
   let record binder ctx =
     let cur = Option.value (Hashtbl.find_opt per_binder binder) ~default:[] in
     Hashtbl.replace per_binder binder (ctx :: cur)
   in
-  List.iter
+  (* Streamed off the extraction iterator; leaf occurrences are
+     downsampled before pair enumeration (paper §5.5). *)
+  Astpath.Extract.iter_all
+    ~downsample:(rng, repr.Graphs.downsample_p)
+    idx repr.Graphs.config
     (fun (c : Astpath.Context.t) ->
       let ctx_string ~target (c : Astpath.Context.t) other =
         if hide_path then value_of ~target other
@@ -71,8 +71,7 @@ let path_pairs ~hide_path ~(repr : Graphs.repr) lang src =
       | Some b ->
           let r = Astpath.Context.reverse c in
           record b (ctx_string ~target:b r r.Astpath.Context.end_node)
-      | None -> ())
-    contexts;
+      | None -> ());
   Hashtbl.fold
     (fun binder ctxs acc -> (Hashtbl.find locals binder, List.rev ctxs) :: acc)
     per_binder []

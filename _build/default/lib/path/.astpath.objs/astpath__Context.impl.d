@@ -1,1 +1,1 @@
-lib/path/context.ml: Ast Format List Path String
+lib/path/context.ml: Array Ast Format Path String

@@ -1,1 +1,1 @@
-lib/path/extract.ml: Array Ast Config Context List
+lib/path/extract.ml: Array Ast Config Context Downsample List Seq

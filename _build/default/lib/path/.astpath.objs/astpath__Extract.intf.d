@@ -1,1 +1,1 @@
-lib/path/extract.mli: Ast Config Context
+lib/path/extract.mli: Ast Config Context Random

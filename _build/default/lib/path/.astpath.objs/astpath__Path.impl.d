@@ -1,1 +1,1 @@
-lib/path/path.ml: Array Buffer Format Hashtbl Int List Stdlib String
+lib/path/path.ml: Array Buffer Format Hashtbl Int List String

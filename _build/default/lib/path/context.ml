@@ -11,28 +11,37 @@ let node_value idx n =
   | Some v -> v
   | None -> Ast.Index.label idx n
 
-let make ~idx ~start_node ~end_node =
-  let l = Ast.Index.lca idx start_node end_node in
-  let up_chain = Ast.Index.path_up idx start_node ~stop:l in
-  let down_chain = Ast.Index.path_up idx end_node ~stop:l in
-  (* [up_chain] = start..l inclusive; [down_chain] = end..l inclusive. *)
-  let up =
-    List.filter (fun n -> n <> l) up_chain
-    |> List.map (Ast.Index.label idx)
-  in
-  let down =
-    List.filter (fun n -> n <> l) down_chain
-    |> List.rev
-    |> List.map (Ast.Index.label idx)
-  in
-  let path = Path.of_chain ~up ~top:(Ast.Index.label idx l) ~down in
+let make_with_lca ~idx ~lca ~start_node ~end_node =
+  let depth = Ast.Index.depth_array idx
+  and parent = Ast.Index.parent_array idx
+  and labels = Ast.Index.label_array idx in
+  let dl = Array.unsafe_get depth lca in
+  let da = Array.unsafe_get depth start_node - dl
+  and db = Array.unsafe_get depth end_node - dl in
+  let k = da + db in
+  let nodes = Array.make (k + 1) (Array.unsafe_get labels lca) in
+  let n = ref start_node in
+  for i = 0 to da - 1 do
+    Array.unsafe_set nodes i (Array.unsafe_get labels !n);
+    n := Array.unsafe_get parent !n
+  done;
+  let n = ref end_node in
+  for i = 0 to db - 1 do
+    Array.unsafe_set nodes (k - i) (Array.unsafe_get labels !n);
+    n := Array.unsafe_get parent !n
+  done;
   {
     start_node;
     end_node;
     start_value = node_value idx start_node;
     end_value = node_value idx end_node;
-    path;
+    path = Path.of_updown ~nodes ~n_up:da;
   }
+
+let make ~idx ~start_node ~end_node =
+  make_with_lca ~idx
+    ~lca:(Ast.Index.lca idx start_node end_node)
+    ~start_node ~end_node
 
 let reverse t =
   {

@@ -16,6 +16,12 @@ val make : idx:Ast.Index.t -> start_node:int -> end_node:int -> t
     label (used by the full-type task, where one end is an expression
     nonterminal). *)
 
+val make_with_lca :
+  idx:Ast.Index.t -> lca:int -> start_node:int -> end_node:int -> t
+(** Like {!make} with the LCA already known (the extraction iterator
+    computes it anyway to check limits). Fills the path's label arrays
+    directly from the parent chains — no intermediate lists. *)
+
 val reverse : t -> t
 (** Swaps ends and reverses the path. *)
 

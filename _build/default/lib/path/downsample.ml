@@ -1,3 +1,5 @@
+let decide rng ~p = p >= 1. || (p > 0. && Random.State.float rng 1.0 < p)
+
 let keep rng ~p xs =
   if p >= 1. then xs
   else if p <= 0. then []

@@ -1,52 +1,112 @@
-let within_limits idx (cfg : Config.t) a b =
-  let l = Ast.Index.lca idx a b in
-  let len =
-    Ast.Index.depth idx a + Ast.Index.depth idx b - (2 * Ast.Index.depth idx l)
+(* The one pairwise enumeration loop. Emits (start, end, lca) for every
+   leaf pair within the config limits, ordered by end leaf then start
+   leaf (the historical [leaf_pairs] order).
+
+   Windowed pruning: for a fixed end leaf [b] and start leaves scanned
+   leftward, the depth of [lca a b] is non-increasing (the subtree of a
+   shallower LCA spans a superset of the leaf range), so the minimum
+   possible path length [depth b - depth lca + 1] is non-decreasing.
+   Feasibility is therefore monotone in the start index and the left
+   edge of each window is found by binary search; pairs left of it are
+   never visited. *)
+let iter_within ?downsample idx (cfg : Config.t) f =
+  let leaves =
+    match downsample with
+    | None -> Ast.Index.leaves idx
+    | Some (rng, p) ->
+        if p >= 1. then Ast.Index.leaves idx
+        else
+          Array.of_seq
+            (Seq.filter
+               (fun _ -> Downsample.decide rng ~p)
+               (Array.to_seq (Ast.Index.leaves idx)))
   in
-  len >= 1 && len <= cfg.max_length
-  && Ast.Index.width_between idx ~lca:l a b <= cfg.max_width
-
-let leaf_pairs idx (cfg : Config.t) =
-  let leaves = Ast.Index.leaves idx in
   let n = Array.length leaves in
-  let acc = ref [] in
-  for j = n - 1 downto 1 do
-    for i = j - 1 downto 0 do
-      let a = leaves.(i) and b = leaves.(j) in
-      if within_limits idx cfg a b then
-        acc := Context.make ~idx ~start_node:a ~end_node:b :: !acc
-    done
-  done;
-  !acc
+  let depth = Ast.Index.depth_array idx in
+  let max_length = cfg.max_length and max_width = cfg.max_width in
+  for j = 1 to n - 1 do
+    let b = Array.unsafe_get leaves j in
+    let db = Array.unsafe_get depth b in
+    let feasible i =
+      db
+      - Array.unsafe_get depth (Ast.Index.lca idx (Array.unsafe_get leaves i) b)
+      + 1
+      <= max_length
+    in
+    if feasible (j - 1) then begin
+      let lo = ref 0 and hi = ref (j - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if feasible mid then hi := mid else lo := mid + 1
+      done;
+      for i = !lo to j - 1 do
+        let a = Array.unsafe_get leaves i in
+        let l = Ast.Index.lca idx a b in
+        let len =
+          Array.unsafe_get depth a + db - (2 * Array.unsafe_get depth l)
+        in
+        if
+          len >= 1 && len <= max_length
+          && Ast.Index.width_between idx ~lca:l a b <= max_width
+        then f a b l
+      done
+    end
+  done
 
-let semi_paths idx (cfg : Config.t) =
-  let leaves = Ast.Index.leaves idx in
-  let acc = ref [] in
+let iter ?downsample idx cfg f =
+  iter_within ?downsample idx cfg (fun a b l ->
+      f (Context.make_with_lca ~idx ~lca:l ~start_node:a ~end_node:b))
+
+let iter_semi_paths ?downsample idx (cfg : Config.t) f =
+  let emit =
+    match downsample with
+    | None -> f
+    | Some (rng, p) -> fun c -> if Downsample.decide rng ~p then f c
+  in
   Array.iter
     (fun leaf ->
       let rec go node steps =
         if steps <= cfg.max_length && node <> -1 then begin
-          acc := Context.make ~idx ~start_node:leaf ~end_node:node :: !acc;
+          emit
+            (Context.make_with_lca ~idx ~lca:node ~start_node:leaf
+               ~end_node:node);
           go (Ast.Index.parent idx node) (steps + 1)
         end
       in
       go (Ast.Index.parent idx leaf) 1)
-    leaves;
+    (Ast.Index.leaves idx)
+
+let iter_all ?downsample idx (cfg : Config.t) f =
+  iter ?downsample idx cfg f;
+  if cfg.include_semi_paths then iter_semi_paths ?downsample idx cfg f
+
+let collect run =
+  let acc = ref [] in
+  run (fun c -> acc := c :: !acc);
   List.rev !acc
 
+let leaf_pairs idx cfg = collect (iter idx cfg)
+let semi_paths idx cfg = collect (iter_semi_paths idx cfg)
+let all idx cfg = collect (iter_all idx cfg)
+
 let leaf_to_node idx (cfg : Config.t) ~target =
-  let leaves = Ast.Index.leaves idx in
+  let dt = Ast.Index.depth idx target in
   let acc = ref [] in
   Array.iter
     (fun leaf ->
-      if leaf <> target && within_limits idx cfg leaf target then
-        acc := Context.make ~idx ~start_node:leaf ~end_node:target :: !acc)
-    leaves;
+      if leaf <> target then begin
+        let l = Ast.Index.lca idx leaf target in
+        let len = Ast.Index.depth idx leaf + dt - (2 * Ast.Index.depth idx l) in
+        if
+          len >= 1 && len <= cfg.max_length
+          && Ast.Index.width_between idx ~lca:l leaf target <= cfg.max_width
+        then
+          acc :=
+            Context.make_with_lca ~idx ~lca:l ~start_node:leaf ~end_node:target
+            :: !acc
+      end)
+    (Ast.Index.leaves idx);
   List.rev !acc
-
-let all idx (cfg : Config.t) =
-  let pairs = leaf_pairs idx cfg in
-  if cfg.include_semi_paths then pairs @ semi_paths idx cfg else pairs
 
 let star contexts ~anchor =
   List.filter_map
@@ -57,12 +117,6 @@ let star contexts ~anchor =
     contexts
 
 let count_within idx (cfg : Config.t) =
-  let leaves = Ast.Index.leaves idx in
-  let n = Array.length leaves in
   let count = ref 0 in
-  for j = 1 to n - 1 do
-    for i = 0 to j - 1 do
-      if within_limits idx cfg leaves.(i) leaves.(j) then incr count
-    done
-  done;
+  iter_within idx cfg (fun _ _ _ -> incr count);
   !count

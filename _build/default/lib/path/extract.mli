@@ -2,16 +2,56 @@
 
     All extractors respect the {!Config.t} limits: a pairwise path is
     kept iff its length (edge count) is at most [max_length] and its
-    width at the top node (Fig. 5) is at most [max_width]. *)
+    width at the top node (Fig. 5) is at most [max_width].
+
+    The pairwise enumeration exists in exactly one place — the iterator
+    core behind {!iter} — and every other extractor is built on top of
+    it. Per pair it costs O(1) for the limit checks (Euler-tour RMQ LCA
+    in {!Ast.Index}) plus O(path length) only for emitted contexts, and
+    leaf-order windows that cannot satisfy [max_length] are skipped
+    wholesale (binary-searched window edge). The list-returning
+    functions below materialize the iterator's output; callers on the
+    hot path should consume the iterators directly. *)
+
+val iter :
+  ?downsample:Random.State.t * float ->
+  Ast.Index.t ->
+  Config.t ->
+  (Context.t -> unit) ->
+  unit
+(** All leafwise path-contexts, streamed without building a list; each
+    pair is reported once with the start leaf preceding the end leaf in
+    source order, ordered by end leaf then start leaf (the same order
+    {!leaf_pairs} returns). [downsample (rng, p)] keeps each leaf
+    occurrence with probability [p] {e before} pair enumeration (paper
+    Section 5.5), so dropped occurrences never pay extraction cost. *)
+
+val iter_semi_paths :
+  ?downsample:Random.State.t * float ->
+  Ast.Index.t ->
+  Config.t ->
+  (Context.t -> unit) ->
+  unit
+(** Semi-paths, streamed: from each terminal up to each of its strict
+    ancestors, up to [max_length] edges. [downsample] post-filters each
+    emitted context with probability [p] (occurrence downsampling does
+    not apply: a semi-path has only one leaf end). *)
+
+val iter_all :
+  ?downsample:Random.State.t * float ->
+  Ast.Index.t ->
+  Config.t ->
+  (Context.t -> unit) ->
+  unit
+(** {!iter}, then {!iter_semi_paths} when the config enables them. *)
 
 val leaf_pairs : Ast.Index.t -> Config.t -> Context.t list
-(** All leafwise path-contexts, each pair reported once with the start
-    leaf preceding the end leaf in source order. *)
+(** {!iter}'s output as a list. *)
 
 val semi_paths : Ast.Index.t -> Config.t -> Context.t list
-(** Semi-paths: from each terminal up to each of its strict ancestors,
-    up to [max_length] edges. Semi-paths are less expressive than
-    leafwise paths but generalize across programs (Section 5). *)
+(** {!iter_semi_paths}'s output as a list. Semi-paths are less
+    expressive than leafwise paths but generalize across programs
+    (Section 5). *)
 
 val leaf_to_node : Ast.Index.t -> Config.t -> target:int -> Context.t list
 (** Paths from every terminal to the given node (used by the full-type

@@ -43,6 +43,15 @@ let reverse t =
   let dirs = Array.init k (fun i -> flip t.dirs.(k - 1 - i)) in
   { nodes; dirs }
 
+let of_updown ~nodes ~n_up =
+  let k = Array.length nodes - 1 in
+  if k < 0 then invalid_arg "Path.of_updown: empty path";
+  if n_up < 0 || n_up > k then invalid_arg "Path.of_updown: n_up out of range";
+  let dirs = Array.make k Down in
+  Array.fill dirs 0 n_up Up;
+  (* Up^n_up Down^(k-n_up) is monotone by construction: no validate scan. *)
+  { nodes; dirs }
+
 let of_chain ~up ~top ~down =
   let nodes = Array.of_list (up @ (top :: down)) in
   let n_up = List.length up and n_down = List.length down in
@@ -64,21 +73,34 @@ let to_string t =
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
+let dir_code = function Up -> 0 | Down -> 1
+
 let compare a b =
-  let c = Stdlib.compare a.dirs b.dirs in
+  let ka = Array.length a.dirs and kb = Array.length b.dirs in
+  let c = Int.compare ka kb in
   if c <> 0 then c
   else
-    let la = Array.length a.nodes and lb = Array.length b.nodes in
-    let c = Int.compare la lb in
+    let rec cmp_dirs i =
+      if i = ka then 0
+      else
+        let c = Int.compare (dir_code a.dirs.(i)) (dir_code b.dirs.(i)) in
+        if c <> 0 then c else cmp_dirs (i + 1)
+    in
+    let c = cmp_dirs 0 in
     if c <> 0 then c
     else
-      let rec go i =
-        if i = la then 0
+      let rec cmp_nodes i =
+        if i = ka + 1 then 0
         else
           let c = String.compare a.nodes.(i) b.nodes.(i) in
-          if c <> 0 then c else go (i + 1)
+          if c <> 0 then c else cmp_nodes (i + 1)
       in
-      go 0
+      cmp_nodes 0
 
 let equal a b = compare a b = 0
-let hash t = Hashtbl.hash (to_string t)
+
+let hash t =
+  let h = ref (Array.length t.dirs) in
+  Array.iter (fun n -> h := (!h * 131) lxor Hashtbl.hash n) t.nodes;
+  Array.iter (fun d -> h := (!h * 31) + dir_code d) t.dirs;
+  !h land max_int

@@ -1,1 +1,1 @@
-test/test_ast.ml: Alcotest Array Ast Dot Index List QCheck2 QCheck_alcotest String Tree
+test/test_ast.ml: Alcotest Array Ast Dot Fun Index List QCheck2 QCheck_alcotest String Tree

@@ -1,0 +1,1 @@
+test/test_golden_extract.ml: Alcotest Array Ast Astpath Config Context Corpus Extract Fun Lexkit List Path Pigeon Printf QCheck2 QCheck_alcotest String

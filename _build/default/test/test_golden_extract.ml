@@ -1,0 +1,284 @@
+(* Golden equivalence for the fast extraction engine.
+
+   [Ref] below is the seed's extraction implementation, kept verbatim:
+   parent-chain LCA, chain-walk width, list-allocating context
+   construction, quadratic pair scan. The iterator engine must emit the
+   exact same multiset of ⟨start, path, end⟩ contexts — in fact the
+   same sequence — on source files from every language front-end
+   (minijs, minijava, minipython, minicsharp), on the paper's figure
+   trees, and on random trees. *)
+
+open Astpath
+
+module Ref = struct
+  let lca idx a b =
+    let a = ref a and b = ref b in
+    while Ast.Index.depth idx !a > Ast.Index.depth idx !b do
+      a := Ast.Index.parent idx !a
+    done;
+    while Ast.Index.depth idx !b > Ast.Index.depth idx !a do
+      b := Ast.Index.parent idx !b
+    done;
+    while !a <> !b do
+      a := Ast.Index.parent idx !a;
+      b := Ast.Index.parent idx !b
+    done;
+    !a
+
+  let child_toward idx ~lca n =
+    let rec go n =
+      if Ast.Index.parent idx n = lca then n else go (Ast.Index.parent idx n)
+    in
+    go n
+
+  let width_between idx ~lca a b =
+    if a = lca || b = lca then 0
+    else
+      abs
+        (Ast.Index.child_rank idx (child_toward idx ~lca a)
+        - Ast.Index.child_rank idx (child_toward idx ~lca b))
+
+  let within idx (cfg : Config.t) a b =
+    let l = lca idx a b in
+    let len =
+      Ast.Index.depth idx a + Ast.Index.depth idx b
+      - (2 * Ast.Index.depth idx l)
+    in
+    len >= 1 && len <= cfg.Config.max_length
+    && width_between idx ~lca:l a b <= cfg.Config.max_width
+
+  let node_value idx n =
+    match Ast.Index.value idx n with
+    | Some v -> v
+    | None -> Ast.Index.label idx n
+
+  (* The seed's [Context.make]: walk both chains to the LCA as lists. *)
+  let context idx a b =
+    let l = lca idx a b in
+    let up =
+      List.filter (fun n -> n <> l) (Ast.Index.path_up idx a ~stop:l)
+      |> List.map (Ast.Index.label idx)
+    in
+    let down =
+      List.filter (fun n -> n <> l) (Ast.Index.path_up idx b ~stop:l)
+      |> List.rev
+      |> List.map (Ast.Index.label idx)
+    in
+    ( a,
+      b,
+      node_value idx a,
+      node_value idx b,
+      Path.of_chain ~up ~top:(Ast.Index.label idx l) ~down )
+
+  let leaf_pairs idx (cfg : Config.t) =
+    let leaves = Ast.Index.leaves idx in
+    let n = Array.length leaves in
+    let acc = ref [] in
+    for j = n - 1 downto 1 do
+      for i = j - 1 downto 0 do
+        let a = leaves.(i) and b = leaves.(j) in
+        if within idx cfg a b then acc := context idx a b :: !acc
+      done
+    done;
+    !acc
+
+  let semi_paths idx (cfg : Config.t) =
+    let leaves = Ast.Index.leaves idx in
+    let acc = ref [] in
+    Array.iter
+      (fun leaf ->
+        let rec go node steps =
+          if steps <= cfg.Config.max_length && node <> -1 then begin
+            acc := context idx leaf node :: !acc;
+            go (Ast.Index.parent idx node) (steps + 1)
+          end
+        in
+        go (Ast.Index.parent idx leaf) 1)
+      leaves;
+    List.rev !acc
+
+  let leaf_to_node idx (cfg : Config.t) ~target =
+    let leaves = Ast.Index.leaves idx in
+    let acc = ref [] in
+    Array.iter
+      (fun leaf ->
+        if leaf <> target && within idx cfg leaf target then
+          acc := context idx leaf target :: !acc)
+      leaves;
+    List.rev !acc
+end
+
+let render (a, b, va, vb, p) =
+  Printf.sprintf "%d|%d|%s|%s|%s" a b va vb (Path.to_string p)
+
+let render_ctx (c : Context.t) =
+  Printf.sprintf "%d|%d|%s|%s|%s" c.Context.start_node c.Context.end_node
+    c.Context.start_value c.Context.end_value
+    (Path.to_string c.Context.path)
+
+let check_equiv name idx cfg =
+  let expected = List.map render (Ref.leaf_pairs idx cfg) in
+  let got = List.map render_ctx (Extract.leaf_pairs idx cfg) in
+  Alcotest.(check (list string))
+    (name ^ ": multiset of pairwise contexts")
+    (List.sort String.compare expected)
+    (List.sort String.compare got);
+  Alcotest.(check (list string)) (name ^ ": emission order") expected got;
+  let streamed = ref [] in
+  Extract.iter idx cfg (fun c -> streamed := render_ctx c :: !streamed);
+  Alcotest.(check (list string))
+    (name ^ ": iter = leaf_pairs")
+    got
+    (List.rev !streamed);
+  Alcotest.(check int)
+    (name ^ ": count_within")
+    (List.length expected) (Extract.count_within idx cfg);
+  Alcotest.(check (list string))
+    (name ^ ": semi-paths")
+    (List.map render (Ref.semi_paths idx cfg))
+    (List.map render_ctx (Extract.semi_paths idx cfg))
+
+let check_leaf_to_node name idx cfg =
+  (* Every nonterminal that carries at least two descendant leaves is a
+     plausible full-type target; spot-check the first few. *)
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  let targets =
+    take 5
+      (List.filter
+         (fun i -> not (Ast.Index.is_leaf idx i))
+         (List.init (Ast.Index.size idx) Fun.id))
+  in
+  List.iter
+    (fun target ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: leaf_to_node target %d" name target)
+        (List.map render (Ref.leaf_to_node idx cfg ~target))
+        (List.map render_ctx (Extract.leaf_to_node idx cfg ~target)))
+    targets
+
+let configs =
+  [
+    ("tight-4-2", Config.make ~max_length:4 ~max_width:2 ());
+    ("paper-7-3", Config.make ~max_length:7 ~max_width:3 ());
+    ("wide-12-8", Config.make ~max_length:12 ~max_width:8 ());
+  ]
+
+let lang_case (lang : Pigeon.Lang.t) () =
+  let config = { Corpus.Gen.default with Corpus.Gen.n_files = 8; seed = 41 } in
+  let sources =
+    Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang
+  in
+  let checked = ref 0 in
+  List.iteri
+    (fun i (_, src) ->
+      match lang.Pigeon.Lang.parse_tree src with
+      | exception Lexkit.Error _ -> ()
+      | tree ->
+          let idx = Ast.Index.build tree in
+          List.iter
+            (fun (cname, cfg) ->
+              let name =
+                Printf.sprintf "%s[%d] %s" lang.Pigeon.Lang.name i cname
+              in
+              check_equiv name idx cfg;
+              check_leaf_to_node name idx cfg)
+            configs;
+          incr checked)
+    sources;
+  Alcotest.(check bool)
+    (lang.Pigeon.Lang.name ^ ": fixtures parsed")
+    true (!checked >= 4)
+
+(* The paper's hand-built figure trees. *)
+let fig_trees =
+  [
+    ( "fig1",
+      Ast.Tree.(
+        nt "While"
+          [
+            nt "UnaryPrefix!" [ var 0 "SymbolRef" "d" ];
+            nt "If"
+              [
+                nt "Call" [ term ~sort:Name "SymbolRef" "someCondition" ];
+                nt "Assign="
+                  [ var 0 "SymbolRef" "d"; term ~sort:Lit "True" "true" ];
+              ];
+          ]) );
+    ( "fig4",
+      Ast.Tree.(
+        nt "VarDef"
+          [
+            var 0 "SymbolVar" "item";
+            nt "Sub" [ var 1 "SymbolRef" "array"; var 2 "SymbolRef" "i" ];
+          ]) );
+    ( "fig5",
+      Ast.Tree.(
+        nt "Var"
+          (List.map
+             (fun (i, n) -> nt "VarDef" [ var i "SymbolVar" n ])
+             [ (0, "a"); (1, "b"); (2, "c"); (3, "d") ])) );
+  ]
+
+let fig_case () =
+  List.iter
+    (fun (name, tree) ->
+      let idx = Ast.Index.build tree in
+      List.iter
+        (fun (cname, cfg) ->
+          check_equiv (name ^ " " ^ cname) idx cfg;
+          check_leaf_to_node (name ^ " " ^ cname) idx cfg)
+        configs)
+    fig_trees
+
+(* ---------- property: equivalence on random trees ---------- *)
+
+let gen_tree =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 40) @@ fix (fun self n ->
+      if n <= 1 then
+        map2
+          (fun l v ->
+            Ast.Tree.term ("T" ^ string_of_int l) ("v" ^ string_of_int v))
+          (int_range 0 4) (int_range 0 9)
+      else
+        let* k = int_range 1 (min 4 n) in
+        let* lbl = int_range 0 4 in
+        let+ cs = list_repeat k (self (n / k)) in
+        Ast.Tree.nt ("N" ^ string_of_int lbl) cs)
+
+let gen_cfg =
+  QCheck2.Gen.(
+    map2
+      (fun l w -> Config.make ~max_length:l ~max_width:w ())
+      (int_range 1 12) (int_range 0 6))
+
+let prop_equiv =
+  QCheck2.Test.make ~name:"iterator engine = seed reference" ~count:300
+    QCheck2.Gen.(pair gen_tree gen_cfg)
+    (fun (t, cfg) ->
+      let idx = Ast.Index.build t in
+      List.map render (Ref.leaf_pairs idx cfg)
+      = List.map render_ctx (Extract.leaf_pairs idx cfg)
+      && List.map render (Ref.semi_paths idx cfg)
+         = List.map render_ctx (Extract.semi_paths idx cfg)
+      && Extract.count_within idx cfg = List.length (Ref.leaf_pairs idx cfg))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "golden",
+      Alcotest.test_case "paper figure trees" `Quick fig_case
+      :: List.map
+           (fun (lang : Pigeon.Lang.t) ->
+             Alcotest.test_case
+               (lang.Pigeon.Lang.name ^ " corpus")
+               `Quick (lang_case lang))
+           Pigeon.Lang.all );
+    ("properties", qcheck [ prop_equiv ]);
+  ]
+
+let () = Alcotest.run "golden_extract" suite

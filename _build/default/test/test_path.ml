@@ -206,6 +206,107 @@ let test_abstraction_names () =
     Abstraction.all;
   Alcotest.(check bool) "unknown" true (Abstraction.of_name "zzz" = None)
 
+let test_hash_equal_consistency () =
+  let p1 = mkpath [ "A"; "B" ] "C" [ "D"; "E" ] in
+  (* Same path built through a different constructor route. *)
+  let p2 = Path.reverse (Path.reverse p1) in
+  check_bool "equal" true (Path.equal p1 p2);
+  check_int "compare 0" 0 (Path.compare p1 p2);
+  check_int "equal implies same hash" (Path.hash p1) (Path.hash p2);
+  let p3 = Path.of_updown ~nodes:[| "A"; "B"; "C"; "D"; "E" |] ~n_up:2 in
+  check_bool "of_updown equal" true (Path.equal p1 p3);
+  check_int "of_updown same hash" (Path.hash p1) (Path.hash p3);
+  (* Same labels, different shape: must differ, and compare must be
+     antisymmetric (the old polymorphic compare is gone). *)
+  let q = Path.of_updown ~nodes:[| "A"; "B"; "C"; "D"; "E" |] ~n_up:3 in
+  check_bool "different dirs not equal" false (Path.equal p1 q);
+  check_bool "antisymmetric" true
+    (Path.compare p1 q = -Path.compare q p1 && Path.compare p1 q <> 0);
+  let shorter = mkpath [ "A" ] "B" [] in
+  check_bool "shorter sorts first" true (Path.compare shorter p1 < 0)
+
+let test_single_node_tree () =
+  let idx = Ast.Index.build (Ast.Tree.term "T" "only") in
+  check_int "no pairwise paths" 0
+    (List.length (Extract.leaf_pairs idx (cfg 10 10)));
+  check_int "count_within 0" 0 (Extract.count_within idx (cfg 10 10));
+  check_int "no semi paths" 0
+    (List.length (Extract.semi_paths idx (cfg 10 10)))
+
+let test_star_orientation () =
+  (* Extract.star must return the anchor as [start_value] whether the
+     anchor was originally the start or the end of the context. *)
+  let idx = Ast.Index.build fig4 in
+  let item = List.hd (Ast.Index.terminals_with_value idx "item") in
+  let i = List.hd (Ast.Index.terminals_with_value idx "i") in
+  let all = Extract.leaf_pairs idx (cfg 10 10) in
+  List.iter
+    (fun (anchor, value) ->
+      let star = Extract.star all ~anchor in
+      check_bool (value ^ " star nonempty") true (star <> []);
+      List.iter
+        (fun (c : Context.t) ->
+          check_int "anchored node" anchor c.Context.start_node;
+          check_string "anchored value" value c.Context.start_value)
+        star)
+    [ (item, "item"); (i, "i") ]
+
+let test_limit_boundaries_inclusive () =
+  (* Paper Fig. 5: the a..d path has length exactly 4 and width exactly
+     3 — limits are inclusive, so 4/3 keeps it and 3/3 or 4/2 cut it. *)
+  let fig5 =
+    Ast.Tree.(
+      nt "Var"
+        (List.map
+           (fun (i, n) -> nt "VarDef" [ var i "SymbolVar" n ])
+           [ (0, "a"); (1, "b"); (2, "c"); (3, "d") ]))
+  in
+  let idx = Ast.Index.build fig5 in
+  let has_ad c =
+    List.exists
+      (fun (x : Context.t) ->
+        String.equal x.Context.start_value "a"
+        && String.equal x.Context.end_value "d")
+      (Extract.leaf_pairs idx c)
+  in
+  check_bool "len = max_length kept" true (has_ad (cfg 4 3));
+  check_bool "width = max_width kept" true (has_ad (cfg 10 3));
+  check_bool "len > max_length cut" false (has_ad (cfg 3 3));
+  check_bool "width > max_width cut" false (has_ad (cfg 4 2))
+
+let test_iter_matches_lists () =
+  let idx = Ast.Index.build fig1 in
+  let collect run =
+    let acc = ref [] in
+    run (fun c -> acc := c :: !acc);
+    List.rev !acc
+  in
+  let eq = Alcotest.testable Context.pp Context.equal in
+  Alcotest.(check (list eq))
+    "iter = leaf_pairs"
+    (Extract.leaf_pairs idx (cfg 5 3))
+    (collect (Extract.iter idx (cfg 5 3)));
+  Alcotest.(check (list eq))
+    "iter_all = all"
+    (Extract.all idx (cfg ~semi:true 5 3))
+    (collect (Extract.iter_all idx (cfg ~semi:true 5 3)))
+
+let test_iter_downsample () =
+  let idx = Ast.Index.build fig1 in
+  let run ?downsample () =
+    let acc = ref [] in
+    Extract.iter_all ?downsample idx (cfg ~semi:true 10 10) (fun c ->
+        acc := Context.to_string c :: !acc);
+    List.rev !acc
+  in
+  let with_seed s p = run ~downsample:(Random.State.make [| s |], p) () in
+  Alcotest.(check (list string))
+    "same seed, same result" (with_seed 9 0.5) (with_seed 9 0.5);
+  Alcotest.(check (list string)) "p=1 is undownsampled" (run ()) (with_seed 3 1.0);
+  Alcotest.(check (list string)) "p=0 drops everything" [] (with_seed 3 0.0);
+  check_bool "p=0.5 drops some" true
+    (List.length (with_seed 9 0.5) < List.length (run ()))
+
 let test_downsample () =
   let rng = Random.State.make [| 42 |] in
   let xs = List.init 1000 Fun.id in
@@ -349,6 +450,8 @@ let suite =
         Alcotest.test_case "singleton path" `Quick test_singleton;
         Alcotest.test_case "paper notation" `Quick test_to_string;
         Alcotest.test_case "reverse" `Quick test_reverse;
+        Alcotest.test_case "hash/equal consistency" `Quick
+          test_hash_equal_consistency;
       ] );
     ( "context",
       [
@@ -366,6 +469,15 @@ let suite =
         Alcotest.test_case "leaf-to-nonterminal" `Quick test_leaf_to_node;
         Alcotest.test_case "n-wise star view" `Quick test_star;
         Alcotest.test_case "count_within" `Quick test_count_within;
+        Alcotest.test_case "single-node tree" `Quick test_single_node_tree;
+        Alcotest.test_case "star anchors both orientations" `Quick
+          test_star_orientation;
+        Alcotest.test_case "limit boundaries inclusive" `Quick
+          test_limit_boundaries_inclusive;
+        Alcotest.test_case "iterator matches lists" `Quick
+          test_iter_matches_lists;
+        Alcotest.test_case "iterator downsampling seeded" `Quick
+          test_iter_downsample;
       ] );
     ( "abstraction",
       [

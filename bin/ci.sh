@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI smoke test: full build, the tier-1 test suite, and the micro
+# benchmark (which also regenerates BENCH_extract.json and checks the
+# iterator engine against the naive baseline corpus-wide).
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+dune exec bench/main.exe -- --quick micro

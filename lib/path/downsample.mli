@@ -1,8 +1,18 @@
 (** Occurrence downsampling (paper Section 5.5, Fig. 11).
 
-    After extraction, each path-context occurrence is kept independently
-    with probability [p]; training on the survivors trades a little
-    accuracy for a large cut in training time. *)
+    The paper downsamples the number of *occurrences* used for training;
+    dropping occurrences before pair enumeration (see
+    {!Extract.iter}'s [downsample] argument) also skips their extraction
+    cost, instead of paying to build every context and discarding most
+    of them afterwards. The list post-filter {!keep} remains as the
+    fallback for semi-paths and for already-materialized context
+    lists. *)
+
+val decide : Random.State.t -> p:float -> bool
+(** One keep/drop draw with probability [p] (clamped to [[0, 1]]).
+    [p >= 1.] returns [true] and [p <= 0.] returns [false] without
+    consuming randomness, so [p = 1.] runs are identical to
+    undownsampled runs. *)
 
 val keep : Random.State.t -> p:float -> 'a list -> 'a list
 (** [keep rng ~p xs] keeps each element with probability [p] (clamped to

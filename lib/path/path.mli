@@ -39,11 +39,23 @@ val of_chain : up:string list -> top:string -> down:string list -> t
     ↓ downN]; [up] is ordered from the start leaf upward (excluding
     [top]), [down] from just below [top] to the end node. *)
 
+val of_updown : nodes:string array -> n_up:int -> t
+(** [of_updown ~nodes ~n_up] is the path over [nodes] whose first
+    [n_up] moves are [Up] and the rest [Down] — every up-then-down
+    shape. The direction array is built here, so (unlike {!make}) no
+    monotonicity scan is needed; the extraction hot path uses this. *)
+
 val to_string : t -> string
 (** Paper notation, e.g.
     ["SymbolRef↑UnaryPrefix!↑While↓If↓Assign=↓SymbolRef"]. *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
+
 val compare : t -> t -> int
+(** Total order: by length, then directions, then node labels.
+    Allocation-free (no polymorphic compare, no rendering). *)
+
 val hash : t -> int
+(** Structural hash over nodes and directions, consistent with
+    {!equal}; does not render the path to a string. *)

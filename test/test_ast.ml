@@ -119,6 +119,39 @@ let test_lookup () =
   let idx1 = Index.build fig1 in
   check_int "two ds" 2 (List.length (Index.terminals_with_value idx1 "d"))
 
+let test_lookup_order () =
+  (* Precomputed lookup tables must keep the historical ordering:
+     ascending node id (= preorder). *)
+  let idx = Index.build fig5 in
+  let ids = Index.nodes_with_label idx "VarDef" in
+  check_bool "ascending ids" true (List.sort compare ids = ids);
+  check_int "four VarDefs" 4 (List.length ids);
+  let idx1 = Index.build fig1 in
+  let ds = Index.terminals_with_value idx1 "d" in
+  check_bool "terminal ids ascending" true (List.sort compare ds = ds);
+  Alcotest.(check (list int)) "missing label" []
+    (Index.nodes_with_label idx "NoSuchLabel");
+  Alcotest.(check (list int)) "missing value" []
+    (Index.terminals_with_value idx "nope")
+
+let test_label_interning () =
+  let idx = Index.build fig5 in
+  check_int "three distinct labels" 3 (Index.num_label_ids idx);
+  (* Nodes sharing a label share the id and the physical string. *)
+  let defs = Index.nodes_with_label idx "VarDef" in
+  let first = List.hd defs in
+  List.iter
+    (fun i ->
+      check_int "same label id" (Index.label_id idx first) (Index.label_id idx i);
+      check_bool "same physical string" true
+        (Index.label idx first == Index.label idx i))
+    defs;
+  List.iter
+    (fun i ->
+      check_string "label_of_id roundtrip" (Index.label idx i)
+        (Index.label_of_id idx (Index.label_id idx i)))
+    (List.init (Index.size idx) Fun.id)
+
 let test_dot () =
   let idx = Index.build fig1 in
   let dot = Dot.to_dot idx in
@@ -194,6 +227,73 @@ let prop_lca_is_ancestor =
         !ok
       end)
 
+(* Naive references for the O(1)/O(log) index structures. *)
+let naive_lca idx a b =
+  let a = ref a and b = ref b in
+  while Index.depth idx !a > Index.depth idx !b do
+    a := Index.parent idx !a
+  done;
+  while Index.depth idx !b > Index.depth idx !a do
+    b := Index.parent idx !b
+  done;
+  while !a <> !b do
+    a := Index.parent idx !a;
+    b := Index.parent idx !b
+  done;
+  !a
+
+let prop_lca_matches_naive =
+  QCheck2.Test.make ~name:"index: RMQ lca = parent-walk lca (all pairs)"
+    ~count:200 gen_tree (fun t ->
+      let idx = Index.build t in
+      let n = Index.size idx in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          ok := !ok && Index.lca idx a b = naive_lca idx a b
+        done
+      done;
+      !ok)
+
+let prop_ancestor_at_depth =
+  QCheck2.Test.make ~name:"index: ancestor_at_depth = chain walk" ~count:200
+    gen_tree (fun t ->
+      let idx = Index.build t in
+      let ok = ref true in
+      for v = 0 to Index.size idx - 1 do
+        let chain = v :: List.map Fun.id (Index.ancestors idx v) in
+        List.iter
+          (fun u ->
+            ok :=
+              !ok && Index.ancestor_at_depth idx v (Index.depth idx u) = u)
+          chain
+      done;
+      !ok)
+
+let prop_lookup_matches_scan =
+  QCheck2.Test.make ~name:"index: lookup tables = linear scan" ~count:200
+    gen_tree (fun t ->
+      let idx = Index.build t in
+      let n = Index.size idx in
+      let scan pred = List.filter pred (List.init n Fun.id) in
+      let labels =
+        List.sort_uniq String.compare
+          (List.init n (fun i -> Index.label idx i))
+      in
+      List.for_all
+        (fun lbl ->
+          Index.nodes_with_label idx lbl
+          = scan (fun i -> String.equal (Index.label idx i) lbl))
+        labels
+      && List.for_all
+           (fun i ->
+             match Index.value idx i with
+             | None -> true
+             | Some v ->
+                 Index.terminals_with_value idx v
+                 = scan (fun j -> Index.value idx j = Some v))
+           (List.init n Fun.id))
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let suite =
@@ -215,9 +315,19 @@ let suite =
         Alcotest.test_case "semi-path width" `Quick test_width_semi;
         Alcotest.test_case "path_up and ancestors" `Quick test_path_up;
         Alcotest.test_case "label/value lookup" `Quick test_lookup;
+        Alcotest.test_case "lookup table ordering" `Quick test_lookup_order;
+        Alcotest.test_case "label interning" `Quick test_label_interning;
         Alcotest.test_case "dot export" `Quick test_dot;
       ]
-      @ qcheck [ prop_index_consistent; prop_leaves_match; prop_lca_is_ancestor ]
+      @ qcheck
+          [
+            prop_index_consistent;
+            prop_leaves_match;
+            prop_lca_is_ancestor;
+            prop_lca_matches_naive;
+            prop_ancestor_at_depth;
+            prop_lookup_matches_scan;
+          ]
     );
   ]
 
