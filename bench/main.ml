@@ -6,7 +6,7 @@
      dune exec bench/main.exe --quick all     -- smaller corpora
 
    Experiments: table1 table2-var table2-method table2-type table3
-   table4 fig10 fig11 fig12 micro.
+   table4 fig10 fig11 fig12 fault micro.
 
    Absolute numbers are not expected to match the paper (our corpora
    are synthetic and laptop-sized); the *shape* — which representation
@@ -52,6 +52,17 @@ let header title =
 
 let pct x = 100. *. x
 
+(* Surface what a corpus run lost. Clean runs stay silent; any skip is
+   printed with its per-kind tally so a table row is never silently
+   computed on less data than the header claims. *)
+let print_skips name (r : Pigeon.Task.result) =
+  let one label (rep : Pigeon.Ingest.report) =
+    if rep.Pigeon.Ingest.skipped <> [] then
+      Printf.printf "  ! %s %s: %s\n%!" name label (Pigeon.Ingest.to_string rep)
+  in
+  one "train" r.Pigeon.Task.train_skips;
+  one "test" r.Pigeon.Task.test_skips
+
 (* ---------- Table 1: dataset sizes ---------- *)
 
 let table1 () =
@@ -96,6 +107,7 @@ let table2_var () =
         Pigeon.Task.run_crf ~crf_config:(crf_config iters) ~lang
           ~policy:Pigeon.Graphs.Locals ~train ~test ()
       in
+      print_skips lang.Pigeon.Lang.name r;
       let cfg = lang.Pigeon.Lang.tuned in
       let oov =
         let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
@@ -198,6 +210,7 @@ let table2_method () =
         Pigeon.Task.run_crf ~crf_config:(crf_config iters) ~lang ~policy ~train
           ~test ()
       in
+      print_skips lang.Pigeon.Lang.name r;
       let cfg = lang.Pigeon.Lang.tuned_method in
       Printf.printf "%-12s %-28s %9.1f %7.1f  %d/%d\n%!" lang.Pigeon.Lang.name
         "AST paths (this work)"
@@ -240,6 +253,7 @@ let table2_type () =
   header "Table 2 (bottom) - full-type prediction in Java";
   let train, test = corpus_for Pigeon.Lang.java ~n:(scaled 240) in
   let r = Pigeon.Task.run_full_types ~crf_config:(crf_config 6) ~train ~test () in
+  print_skips "Java-typed" r;
   let baseline = Pigeon.Task.string_of_type_baseline test in
   Printf.printf "%-32s %9s\n" "Model" "acc(%)";
   Printf.printf "%-32s %9.1f  (params 4/1, n=%d)\n" "AST paths (this work)"
@@ -396,6 +410,91 @@ let fig12 () =
         (pct r.Pigeon.Task.summary.Pigeon.Metrics.accuracy)
         r.Pigeon.Task.train_seconds)
     (List.rev Astpath.Abstraction.all)
+
+(* ---------- fault injection: corrupted corpora ---------- *)
+
+(* Robustness check, not a paper figure: corrupt ~10% of every
+   language's training corpus (binary garbage, a deep-nesting bomb, an
+   unterminated string) and demand that training still completes, that
+   the skip tally names exactly the injected files, and that accuracy
+   on the clean test set stays sane. A mismatch is a bug in the
+   ingestion layer, so it exits non-zero. *)
+let fault () =
+  header "Fault injection - training must survive a 10%-corrupt corpus";
+  Printf.printf "%-12s %9s %9s %9s  %s\n" "Language" "injected" "skipped"
+    "acc(%)" "skip kinds";
+  let failures = ref 0 in
+  List.iter
+    (fun (lang : Pigeon.Lang.t) ->
+      let train, test = corpus_for lang ~n:(scaled 160) in
+      let corrupted = ref [] in
+      let train' =
+        List.mapi
+          (fun i (path, src) ->
+            if i mod 10 <> 3 then (path, src)
+            else begin
+              corrupted := path :: !corrupted;
+              let src' =
+                match i / 10 mod 3 with
+                | 0 ->
+                    (* recursion bomb: far beyond the depth limit *)
+                    String.make 50_000 '('
+                | 1 -> "\"an unterminated string literal\n  spilling over"
+                | _ ->
+                    (* binary garbage splattered over a real prefix *)
+                    "\x00\x01\xfe\xff garbage "
+                    ^ String.sub src 0 (min 40 (String.length src))
+              in
+              (path, src')
+            end)
+          train
+      in
+      let injected = List.length !corrupted in
+      let r =
+        Pigeon.Task.run_crf ~crf_config:(crf_config 4) ~lang
+          ~policy:Pigeon.Graphs.Locals ~train:train' ~test ()
+      in
+      let skips = r.Pigeon.Task.train_skips in
+      let skipped_files =
+        List.map (fun s -> s.Pigeon.Ingest.file) skips.Pigeon.Ingest.skipped
+      in
+      let kinds =
+        Pigeon.Ingest.counts skips
+        |> List.map (fun (k, n) ->
+               Printf.sprintf "%s:%d" (Lexkit.Diag.kind_name k) n)
+        |> String.concat " "
+      in
+      Printf.printf "%-12s %9d %9d %9.1f  %s\n%!" lang.Pigeon.Lang.name
+        injected
+        (List.length skipped_files)
+        (pct r.Pigeon.Task.summary.Pigeon.Metrics.accuracy)
+        kinds;
+      let missed =
+        List.filter (fun p -> not (List.mem p skipped_files)) !corrupted
+      in
+      let spurious =
+        List.filter (fun p -> not (List.mem p !corrupted)) skipped_files
+      in
+      if missed <> [] || spurious <> [] then begin
+        incr failures;
+        List.iter
+          (Printf.printf "  FAIL: corrupt file not skipped: %s\n%!")
+          missed;
+        List.iter
+          (Printf.printf "  FAIL: clean file skipped: %s\n%!")
+          spurious
+      end;
+      if r.Pigeon.Task.test_skips.Pigeon.Ingest.skipped <> [] then begin
+        incr failures;
+        Printf.printf "  FAIL: clean test corpus reported skips\n%!"
+      end)
+    Pigeon.Lang.all;
+  if !failures = 0 then
+    Printf.printf "fault injection: skip tallies exact for all languages\n%!"
+  else begin
+    Printf.printf "fault injection: %d tally mismatches\n%!" !failures;
+    exit 1
+  end
 
 (* ---------- extraction throughput (BENCH_extract.json) ---------- *)
 
@@ -669,6 +768,7 @@ let experiments =
     ("fig10", fig10);
     ("fig11", fig11);
     ("fig12", fig12);
+    ("fault", fault);
     ("micro", micro);
   ]
 

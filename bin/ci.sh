@@ -1,10 +1,14 @@
 #!/bin/sh
-# CI smoke test: full build, the tier-1 test suite, and the micro
-# benchmark (which also regenerates BENCH_extract.json and checks the
-# iterator engine against the naive baseline corpus-wide).
+# CI smoke test: full build, the tier-1 test suite, a bounded fuzz
+# pass over the front-ends and model loaders, the fault-injection
+# bench (10%-corrupt corpora must train with exact skip tallies), and
+# the micro benchmark (which also regenerates BENCH_extract.json and
+# checks the iterator engine against the naive baseline corpus-wide).
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
+PIGEON_FUZZ_COUNT=400 dune exec test/test_fuzz.exe
+dune exec bench/main.exe -- --quick fault
 dune exec bench/main.exe -- --quick micro

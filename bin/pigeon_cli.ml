@@ -42,17 +42,23 @@ let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Source file.")
 
 let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error msg ->
+    Format.eprintf "error: cannot read %s: %s@." path msg;
+    exit 1
 
+(* Run a command body, turning every structured failure (parse error,
+   resource limit, I/O error, corrupt model) into a message on stderr
+   and a non-zero exit instead of a backtrace. *)
 let handle_parse_errors f =
-  match f () with
-  | v -> v
-  | exception Lexkit.Error (msg, pos) ->
-      Format.eprintf "parse error at %a: %s@." Lexkit.pp_pos pos msg;
+  match Lexkit.protect f with
+  | Ok v -> v
+  | Error d ->
+      Format.eprintf "error:%a@." Lexkit.Diag.pp d;
       exit 1
 
 (* ---------- paths ---------- *)
@@ -104,6 +110,7 @@ let gen_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
   in
   let run lang n seed dir =
+    handle_parse_errors @@ fun () ->
     let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed } in
     let sources =
       Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang
@@ -173,6 +180,7 @@ let train_cmd =
          ~doc:"Output model file.")
   in
   let run lang n out =
+    handle_parse_errors @@ fun () ->
     let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed = 42 } in
     let sources =
       Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang
@@ -202,7 +210,13 @@ let predict_cmd =
   in
   let run lang model_path file =
     handle_parse_errors @@ fun () ->
-    let model = Crf.Serialize.load model_path in
+    let model =
+      match Crf.Serialize.load model_path with
+      | Ok m -> m
+      | Error d ->
+          Format.eprintf "error: cannot load model:%a@." Lexkit.Diag.pp d;
+          exit 1
+    in
     let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
     let tree = lang.Pigeon.Lang.parse_tree (read_file file) in
     let g =
@@ -227,6 +241,7 @@ let stats_cmd =
     Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR")
   in
   let run dir =
+    handle_parse_errors @@ fun () ->
     let entries =
       Sys.readdir dir |> Array.to_list |> List.sort String.compare
       |> List.filter_map (fun name ->

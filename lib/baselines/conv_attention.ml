@@ -39,9 +39,13 @@ let methods_of_tree ~def_labels tree =
   List.rev !out
 
 let methods_of_source ~lang src =
-  match lang.Pigeon.Lang.parse_tree src with
-  | tree -> methods_of_tree ~def_labels:lang.Pigeon.Lang.def_labels tree
-  | exception Lexkit.Error _ -> []
+  match
+    Lexkit.protect (fun () ->
+        methods_of_tree ~def_labels:lang.Pigeon.Lang.def_labels
+          (lang.Pigeon.Lang.parse_tree src))
+  with
+  | Ok methods -> methods
+  | Error _ -> []
 
 let train ~lang sources =
   let model =

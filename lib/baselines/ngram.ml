@@ -66,17 +66,17 @@ let graph_of_tree_and_tokens ~n idx ~def_labels tokens =
   Crf.Graph.make ~nodes:(List.rev !nodes_rev) ~factors:(List.rev !factors)
 
 let graphs_of_sources ~n ~lang sources =
-  List.filter_map
-    (fun (_, src) ->
-      match
-        (lang.Pigeon.Lang.parse_tree src, lang.Pigeon.Lang.tokens src)
-      with
-      | tree, tokens ->
-          Some
-            (graph_of_tree_and_tokens ~n (Ast.Index.build tree)
-               ~def_labels:lang.Pigeon.Lang.def_labels tokens)
-      | exception Lexkit.Error _ -> None)
-    sources
+  let graphs, report =
+    Pigeon.Ingest.run
+      ~f:(fun _name src ->
+        let tree = lang.Pigeon.Lang.parse_tree src in
+        let tokens = lang.Pigeon.Lang.tokens src in
+        graph_of_tree_and_tokens ~n (Ast.Index.build tree)
+          ~def_labels:lang.Pigeon.Lang.def_labels tokens)
+      sources
+  in
+  Pigeon.Ingest.log ~label:("ngram " ^ lang.Pigeon.Lang.name) report;
+  graphs
 
 let run ?(n = 4) ?(crf_config = Crf.Train.default_config) ~lang ~train ~test ()
     =

@@ -98,12 +98,10 @@ let predict_program p =
     p.classes
 
 let evaluate sources =
-  let pairs =
-    List.concat_map
-      (fun (_, src) ->
-        match Minijava.Parser.parse src with
-        | p -> predict_program p
-        | exception Lexkit.Error _ -> [])
+  let per_file, report =
+    Pigeon.Ingest.run
+      ~f:(fun _name src -> predict_program (Minijava.Parser.parse src))
       sources
   in
-  Pigeon.Metrics.summarize pairs
+  Pigeon.Ingest.log ~label:"rule-based" report;
+  Pigeon.Metrics.summarize (List.concat per_file)

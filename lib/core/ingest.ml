@@ -1,0 +1,101 @@
+(* Fault-isolated corpus ingestion: run a per-file computation over a
+   corpus, convert every failure into a structured diagnostic, and
+   account for what was skipped. One hostile or broken file must never
+   abort a whole training run — it becomes a line in the skip report. *)
+
+type skip = { file : string; bytes : int; diag : Lexkit.Diag.t }
+
+type report = { attempted : int; succeeded : int; skipped : skip list }
+
+let empty = { attempted = 0; succeeded = 0; skipped = [] }
+
+let merge a b =
+  {
+    attempted = a.attempted + b.attempted;
+    succeeded = a.succeeded + b.succeeded;
+    skipped = a.skipped @ b.skipped;
+  }
+
+let log_src = Logs.Src.create "pigeon.ingest"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Out_of_memory and assertion failures indicate a broken process or a
+   broken program, not a broken input; those still propagate. *)
+let diag_of_unexpected exn =
+  match exn with
+  | Out_of_memory | Assert_failure _ -> raise exn
+  | _ ->
+      Lexkit.Diag.make Lexkit.Diag.Parse_error
+        (Printf.sprintf "unexpected exception: %s" (Printexc.to_string exn))
+
+let run ~f sources =
+  let skipped = ref [] in
+  let succeeded = ref 0 in
+  let results =
+    List.filter_map
+      (fun (name, src) ->
+        let outcome =
+          match Lexkit.protect ~file:name (fun () -> f name src) with
+          | r -> r
+          | exception exn -> Result.Error (diag_of_unexpected exn)
+        in
+        match outcome with
+        | Ok v ->
+            incr succeeded;
+            Some v
+        | Result.Error diag ->
+            let diag = Lexkit.Diag.with_file name diag in
+            skipped := { file = name; bytes = String.length src; diag } :: !skipped;
+            None)
+      sources
+  in
+  ( results,
+    {
+      attempted = List.length sources;
+      succeeded = !succeeded;
+      skipped = List.rev !skipped;
+    } )
+
+let counts report =
+  List.filter_map
+    (fun kind ->
+      match
+        List.length
+          (List.filter (fun s -> s.diag.Lexkit.Diag.kind = kind) report.skipped)
+      with
+      | 0 -> None
+      | n -> Some (kind, n))
+    Lexkit.Diag.all_kinds
+
+let worst ?(n = 3) report =
+  let by_size =
+    List.sort (fun a b -> Int.compare b.bytes a.bytes) report.skipped
+  in
+  List.filteri (fun i _ -> i < n) by_size
+
+let pp ppf report =
+  if report.skipped = [] then
+    Fmt.pf ppf "%d/%d files ingested, no skips" report.succeeded
+      report.attempted
+  else begin
+    Fmt.pf ppf "%d/%d files ingested, %d skipped (" report.succeeded
+      report.attempted
+      (List.length report.skipped);
+    Fmt.pf ppf "%a)"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (kind, n) ->
+           Fmt.pf ppf "%s: %d" (Lexkit.Diag.kind_name kind) n))
+      (counts report);
+    List.iter
+      (fun s ->
+        Fmt.pf ppf "@.  worst offender: %s (%d bytes): %a" s.file s.bytes
+          Lexkit.Diag.pp s.diag)
+      (worst ~n:1 report)
+  end
+
+let to_string report = Format.asprintf "%a" pp report
+
+let log ~label report =
+  if report.skipped = [] then
+    Log.debug (fun m -> m "%s: %a" label pp report)
+  else Log.warn (fun m -> m "%s: %a" label pp report)

@@ -1,0 +1,39 @@
+(** Fault-isolated corpus ingestion.
+
+    Runs a per-file computation over a [(name, source)] corpus. Every
+    failure a malformed or hostile file can provoke — parse errors,
+    resource-limit hits, I/O errors, even unexpected exceptions — is
+    caught, attached to the file, and tallied; the run itself never
+    aborts. [Out_of_memory] and assertion failures still propagate:
+    they indicate a broken process, not a broken input. *)
+
+type skip = {
+  file : string;
+  bytes : int;  (** size of the offending source *)
+  diag : Lexkit.Diag.t;
+}
+
+type report = { attempted : int; succeeded : int; skipped : skip list }
+
+val empty : report
+val merge : report -> report -> report
+
+val run :
+  f:(string -> string -> 'a) -> (string * string) list -> 'a list * report
+(** [run ~f sources] applies [f name source] to every file, in order,
+    keeping the successful results. *)
+
+val counts : report -> (Lexkit.Diag.kind * int) list
+(** Skips bucketed by error kind; only non-zero buckets, in the
+    declaration order of {!Lexkit.Diag.kind}. *)
+
+val worst : ?n:int -> report -> skip list
+(** The [n] (default 3) largest skipped files — the usual suspects
+    when a corpus run loses data. *)
+
+val pp : Format.formatter -> report -> unit
+val to_string : report -> string
+
+val log : label:string -> report -> unit
+(** Emit the report on the [pigeon.ingest] log source: a warning when
+    anything was skipped, debug chatter otherwise. *)

@@ -1,7 +1,7 @@
 let crf_top_k ~model ~repr ~lang ~source ~var ~k =
-  match lang.Lang.parse_tree source with
-  | exception Lexkit.Error _ -> []
-  | tree -> (
+  match Lexkit.protect (fun () -> lang.Lang.parse_tree source) with
+  | Error _ -> []
+  | Ok tree -> (
       let g =
         Graphs.build repr ~def_labels:lang.Lang.def_labels ~policy:Graphs.Locals
           tree

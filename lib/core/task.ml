@@ -2,23 +2,21 @@ type result = {
   summary : Metrics.summary;
   train_seconds : float;
   model : Crf.Train.model;
+  train_skips : Ingest.report;
+  test_skips : Ingest.report;
 }
 
-let log_src = Logs.Src.create "pigeon.task"
-
-module Log = (val Logs.src_log log_src : Logs.LOG)
+let graphs_of_sources_report ~repr ~lang ~policy sources =
+  Ingest.run
+    ~f:(fun _name src ->
+      Graphs.build repr ~def_labels:lang.Lang.def_labels ~policy
+        (lang.Lang.parse_tree src))
+    sources
 
 let graphs_of_sources ~repr ~lang ~policy sources =
-  List.filter_map
-    (fun (name, src) ->
-      match lang.Lang.parse_tree src with
-      | tree ->
-          Some (Graphs.build repr ~def_labels:lang.Lang.def_labels ~policy tree)
-      | exception Lexkit.Error (msg, pos) ->
-          Log.warn (fun m ->
-              m "skipping %s: parse error at %a: %s" name Lexkit.pp_pos pos msg);
-          None)
-    sources
+  let graphs, report = graphs_of_sources_report ~repr ~lang ~policy sources in
+  Ingest.log ~label:lang.Lang.name report;
+  graphs
 
 let eval_pairs model graphs =
   List.concat_map
@@ -56,25 +54,33 @@ let run_crf ?repr ?(crf_config = Crf.Train.default_config) ~lang ~policy ~train
         }
     | Graphs.Locals -> crf_config
   in
-  let train_graphs = graphs_of_sources ~repr ~lang ~policy train in
-  let test_graphs = graphs_of_sources ~repr ~lang ~policy test in
+  let train_graphs, train_skips =
+    graphs_of_sources_report ~repr ~lang ~policy train
+  in
+  let test_graphs, test_skips =
+    graphs_of_sources_report ~repr ~lang ~policy test
+  in
+  Ingest.log ~label:(lang.Lang.name ^ " train") train_skips;
+  Ingest.log ~label:(lang.Lang.name ^ " test") test_skips;
   let t0 = Unix.gettimeofday () in
   let model = Crf.Train.train ~config:crf_config train_graphs in
   let train_seconds = Unix.gettimeofday () -. t0 in
   let summary = Metrics.summarize (eval_pairs model test_graphs) in
-  { summary; train_seconds; model }
+  { summary; train_seconds; model; train_skips; test_skips }
+
+let typed_graphs_report ~repr sources =
+  match Lang.java.Lang.parse_typed_tree with
+  | None ->
+      invalid_arg "Task.typed_graphs: the Java front-end has no typed parser"
+  | Some parse ->
+      Ingest.run
+        ~f:(fun _name src -> Graphs.full_type_graph repr (parse src))
+        sources
 
 let typed_graphs ~repr sources =
-  List.filter_map
-    (fun (name, src) ->
-      let parse = Option.get Lang.java.Lang.parse_typed_tree in
-      match parse src with
-      | tree -> Some (Graphs.full_type_graph repr tree)
-      | exception Lexkit.Error (msg, pos) ->
-          Log.warn (fun m ->
-              m "skipping %s: parse error at %a: %s" name Lexkit.pp_pos pos msg);
-          None)
-    sources
+  let graphs, report = typed_graphs_report ~repr sources in
+  Ingest.log ~label:"java-typed" report;
+  graphs
 
 let run_full_types ?repr ?(crf_config = Crf.Train.default_config) ~train ~test
     () =
@@ -86,13 +92,15 @@ let run_full_types ?repr ?(crf_config = Crf.Train.default_config) ~train ~test
           ~config:(Astpath.Config.make ~max_length:4 ~max_width:1 ())
           ()
   in
-  let train_graphs = typed_graphs ~repr train in
-  let test_graphs = typed_graphs ~repr test in
+  let train_graphs, train_skips = typed_graphs_report ~repr train in
+  let test_graphs, test_skips = typed_graphs_report ~repr test in
+  Ingest.log ~label:"java-typed train" train_skips;
+  Ingest.log ~label:"java-typed test" test_skips;
   let t0 = Unix.gettimeofday () in
   let model = Crf.Train.train ~config:crf_config train_graphs in
   let train_seconds = Unix.gettimeofday () -. t0 in
   let summary = Metrics.summarize (eval_pairs model test_graphs) in
-  { summary; train_seconds; model }
+  { summary; train_seconds; model; train_skips; test_skips }
 
 let string_of_type_baseline test =
   let repr =

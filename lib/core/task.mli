@@ -5,7 +5,20 @@ type result = {
   summary : Metrics.summary;
   train_seconds : float;
   model : Crf.Train.model;
+  train_skips : Ingest.report;  (** what the training corpus lost *)
+  test_skips : Ingest.report;  (** what the test corpus lost *)
 }
+
+val graphs_of_sources_report :
+  repr:Graphs.repr ->
+  lang:Lang.t ->
+  policy:Graphs.policy ->
+  (string * string) list ->
+  Crf.Graph.t list * Ingest.report
+(** Parse every (filename, source), lower, and build one factor graph
+    per file. Every per-file failure — parse error, resource limit,
+    anything a hostile input can provoke — is isolated and tallied in
+    the report; the run never aborts. *)
 
 val graphs_of_sources :
   repr:Graphs.repr ->
@@ -13,9 +26,8 @@ val graphs_of_sources :
   policy:Graphs.policy ->
   (string * string) list ->
   Crf.Graph.t list
-(** Parse every (filename, source), lower, and build one factor graph
-    per file; files that fail to parse are skipped (with a [Logs]
-    warning), as a real corpus pipeline would. *)
+(** {!graphs_of_sources_report} with the report sent to the log, as a
+    real corpus pipeline would. *)
 
 val run_crf :
   ?repr:Graphs.repr ->

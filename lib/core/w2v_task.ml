@@ -111,30 +111,36 @@ let pairs_of_source ~lang ~mode src =
       path_pairs ~hide_path:true ~repr lang src
   | Linear_tokens window -> token_pairs ~window lang src
 
-type result = { summary : Metrics.summary; model : Word2vec.Sgns.t }
+type result = {
+  summary : Metrics.summary;
+  model : Word2vec.Sgns.t;
+  train_skips : Ingest.report;
+  test_skips : Ingest.report;
+}
 
 let run ?(sgns_config = Word2vec.Sgns.default_config) ~lang ~mode ~train ~test
     () =
-  let collect sources =
-    List.concat_map
-      (fun (_, src) ->
-        match pairs_of_source ~lang ~mode src with
-        | pairs -> pairs
-        | exception Lexkit.Error _ -> [])
-      sources
+  let collect label sources =
+    let per_file, report =
+      Ingest.run ~f:(fun _name src -> pairs_of_source ~lang ~mode src) sources
+    in
+    Ingest.log ~label:(lang.Lang.name ^ " w2v " ^ label) report;
+    (List.concat per_file, report)
   in
+  let train_elems, train_skips = collect "train" train in
   let train_pairs =
     List.concat_map
       (fun (name, ctxs) -> List.map (fun c -> (name, c)) ctxs)
-      (collect train)
+      train_elems
   in
   let model = Word2vec.Sgns.train ~config:sgns_config train_pairs in
+  let test_elems, test_skips = collect "test" test in
   let eval =
     List.filter_map
       (fun (gold, ctxs) ->
         match Word2vec.Sgns.predict model ctxs with
         | (pred, _) :: _ -> Some (gold, pred)
         | [] -> None)
-      (collect test)
+      test_elems
   in
-  { summary = Metrics.summarize eval; model }
+  { summary = Metrics.summarize eval; model; train_skips; test_skips }

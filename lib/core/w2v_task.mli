@@ -24,7 +24,12 @@ val pairs_of_source : lang:Lang.t -> mode:mode -> string -> (string * string lis
 (** [(variable name, contexts of all its occurrences)] for each local
     element of one source file. *)
 
-type result = { summary : Metrics.summary; model : Word2vec.Sgns.t }
+type result = {
+  summary : Metrics.summary;
+  model : Word2vec.Sgns.t;
+  train_skips : Ingest.report;  (** what the training corpus lost *)
+  test_skips : Ingest.report;  (** what the test corpus lost *)
+}
 
 val run :
   ?sgns_config:Word2vec.Sgns.config ->

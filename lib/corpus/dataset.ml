@@ -18,6 +18,10 @@ let dedup entries =
     entries
 
 let split_corpus ?(valid_frac = 0.1) ?(test_frac = 0.2) ~seed entries =
+  if
+    Float.is_nan valid_frac || Float.is_nan test_frac || valid_frac < 0.
+    || test_frac < 0.
+  then invalid_arg "Dataset.split_corpus: fractions must be non-negative";
   let rng = Random.State.make [| seed |] in
   let arr = Array.of_list entries in
   let n = Array.length arr in
@@ -27,8 +31,10 @@ let split_corpus ?(valid_frac = 0.1) ?(test_frac = 0.2) ~seed entries =
     arr.(i) <- arr.(j);
     arr.(j) <- tmp
   done;
-  let n_valid = int_of_float (valid_frac *. float_of_int n) in
-  let n_test = int_of_float (test_frac *. float_of_int n) in
+  (* Clamp so the three parts always partition the corpus exactly, even
+     for tiny corpora or fractions summing past 1. *)
+  let n_valid = min n (int_of_float (valid_frac *. float_of_int n)) in
+  let n_test = min (n - n_valid) (int_of_float (test_frac *. float_of_int n)) in
   let valid = Array.to_list (Array.sub arr 0 n_valid) in
   let test = Array.to_list (Array.sub arr n_valid n_test) in
   let train =

@@ -16,7 +16,10 @@ val dedup : t -> t
 
 val split_corpus : ?valid_frac:float -> ?test_frac:float -> seed:int -> t -> split
 (** Random, disjoint, seed-deterministic split. Default fractions:
-    10% validation, 20% test. *)
+    10% validation, 20% test. The parts always partition the input
+    exactly: requested counts are clamped (validation first) when the
+    fractions over-commit or the corpus is tiny. Negative or NaN
+    fractions raise [Invalid_argument]. *)
 
 type stats = { files : int; bytes : int }
 

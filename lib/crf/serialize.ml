@@ -1,6 +1,6 @@
 (* Line-oriented model format:
-     pigeon-crf-model 1
-     config <iterations> <max_candidates> <max_passes> <seed> <averaged> <trainer> <init> <init_scale> <init_min_count>
+     pigeon-crf-model 2
+     config <iterations> <max_candidates> <max_passes> <seed> <averaged> <trainer> <init>
      label <escaped>          (in interner id order)
      rel <escaped>
      pw <int-key> <weight>
@@ -9,7 +9,15 @@
      cand-global <label> <count>
      cand-unary <rel> <label> <count>
      cand-pw <key> <label> <count>
-   Strings are percent-escaped (tab, newline, CR, space, '%'). *)
+     end <record-count>
+   Strings are percent-escaped (tab, newline, CR, space, '%').
+
+   The trailing [end] record carries the number of records written
+   after the magic line, so a truncated or appended-to file is
+   detected. Version 1 files (no trailer) are still accepted. *)
+
+let format_version = 2
+let magic v = Printf.sprintf "pigeon-crf-model %d" v
 
 let escape s =
   let buf = Buffer.create (String.length s) in
@@ -27,15 +35,17 @@ let unescape s =
   let n = String.length s in
   let i = ref 0 in
   while !i < n do
-    if s.[!i] = '%' && !i + 2 < n then begin
-      Buffer.add_char buf
-        (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
-      i := !i + 3
-    end
-    else begin
-      Buffer.add_char buf s.[!i];
-      incr i
-    end
+    (match
+       if s.[!i] = '%' && !i + 2 < n then
+         int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2)
+       else None
+     with
+    | Some c ->
+        Buffer.add_char buf (Char.chr c);
+        i := !i + 3
+    | None ->
+        Buffer.add_char buf s.[!i];
+        incr i)
   done;
   Buffer.contents buf
 
@@ -46,11 +56,11 @@ let trainer_name = function
   | Fast.Mixed -> "mixed"
 
 let trainer_of_name = function
-  | "structured" -> Fast.Structured
-  | "pl" -> Fast.Pseudolikelihood
-  | "pl-gradient" -> Fast.Pl_gradient
-  | "mixed" -> Fast.Mixed
-  | s -> failwith ("unknown trainer " ^ s)
+  | "structured" -> Some Fast.Structured
+  | "pl" -> Some Fast.Pseudolikelihood
+  | "pl-gradient" -> Some Fast.Pl_gradient
+  | "mixed" -> Some Fast.Mixed
+  | _ -> None
 
 let init_name = function
   | Fast.No_init -> "none"
@@ -58,17 +68,20 @@ let init_name = function
   | Fast.Naive_bayes -> "naive-bayes"
 
 let init_of_name = function
-  | "none" -> Fast.No_init
-  | "log-counts" -> Fast.Log_counts
-  | "naive-bayes" -> Fast.Naive_bayes
-  | s -> failwith ("unknown init " ^ s)
+  | "none" -> Some Fast.No_init
+  | "log-counts" -> Some Fast.Log_counts
+  | "naive-bayes" -> Some Fast.Naive_bayes
+  | _ -> None
 
 let to_channel (model : Train.model) oc =
-  let p fmt = Printf.fprintf oc fmt in
-  p "pigeon-crf-model 1\n";
+  let records = ref 0 in
+  let p fmt =
+    incr records;
+    Printf.fprintf oc fmt
+  in
+  Printf.fprintf oc "%s\n" (magic format_version);
   let c = model.Train.config in
   let inf = c.Train.inference in
-  (* the Fast engine carries the init knobs; Train.config mirrors them *)
   p "config %d %d %d %d %b %s %s\n" c.Train.iterations
     inf.Inference.max_candidates inf.Inference.max_passes c.Train.seed
     c.Train.averaged
@@ -87,84 +100,187 @@ let to_channel (model : Train.model) oc =
           p "cand-unary %s %s %d\n" (escape r) (escape l) n
       | Candidates.E_pairwise (k, l, n) ->
           p "cand-pw %s %s %d\n" (escape k) (escape l) n)
-    (Candidates.entries model.Train.candidates)
+    (Candidates.entries model.Train.candidates);
+  Printf.fprintf oc "end %d\n" !records
 
-let from_channel ic =
+(* Parse from a [next_line] pull function so channels and in-memory
+   strings (the fuzz suite) share one code path. Every malformed input
+   raises [Lexkit.Diag.Error] with kind [Corrupt_model] and the
+   offending line number. *)
+let parse ?source next_line =
   let line_no = ref 0 in
-  let fail msg = failwith (Printf.sprintf "line %d: %s" !line_no msg) in
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        raise
+          (Lexkit.Diag.Error
+             (Lexkit.Diag.make ?file:source
+                ~pos:{ Lexkit.line = !line_no; col = 1; offset = 0 }
+                Lexkit.Diag.Corrupt_model msg)))
+      fmt
+  in
   let read () =
     incr line_no;
-    try Some (input_line ic) with End_of_file -> None
+    next_line ()
   in
-  (match read () with
-  | Some "pigeon-crf-model 1" -> ()
-  | _ -> fail "bad magic");
+  let int_ s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> fail "malformed integer %S" s
+  in
+  let float_ s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail "malformed float %S" s
+  in
+  let bool_ s =
+    match bool_of_string_opt s with
+    | Some b -> b
+    | None -> fail "malformed boolean %S" s
+  in
+  let version =
+    match read () with
+    | None -> fail "empty model file"
+    | Some l when String.equal l (magic 1) -> 1
+    | Some l when String.equal l (magic 2) -> 2
+    | Some _ -> fail "bad magic (not a pigeon-crf-model file)"
+  in
   let config = ref Train.default_config in
   let labels = ref [] and rels = ref [] in
   let pw = ref [] and un = ref [] and bias = ref [] in
   let cand = ref [] in
+  let records = ref 0 in
+  let finished = ref false in
+  let record () =
+    if !finished then fail "record after the \"end\" trailer";
+    incr records
+  in
   let rec go () =
     match read () with
-    | None -> ()
+    | None ->
+        if version >= 2 && not !finished then
+          fail "truncated model: missing \"end\" trailer"
     | Some line ->
         (match String.split_on_char ' ' line with
+        | [] | [ "" ] -> ()
+        | [ "end"; n ] when version >= 2 ->
+            if !finished then fail "duplicate \"end\" trailer";
+            let n = int_ n in
+            if n <> !records then
+              fail "record count mismatch: trailer says %d, file has %d" n
+                !records;
+            finished := true
         | [ "config"; it; mc; mp; seed; avg; tr; init ] ->
+            record ();
+            let trainer =
+              match trainer_of_name tr with
+              | Some t -> t
+              | None -> fail "unknown trainer %S" tr
+            in
+            let init =
+              match init_of_name init with
+              | Some i -> i
+              | None -> fail "unknown init %S" init
+            in
             config :=
               {
-                Train.iterations = int_of_string it;
+                Train.iterations = int_ it;
                 inference =
                   {
-                    Inference.max_candidates = int_of_string mc;
-                    max_passes = int_of_string mp;
+                    Inference.max_candidates = int_ mc;
+                    max_passes = int_ mp;
                     seed = Inference.default_config.Inference.seed;
                   };
-                seed = int_of_string seed;
-                averaged = bool_of_string avg;
-                trainer = trainer_of_name tr;
-                init = init_of_name init;
+                seed = int_ seed;
+                averaged = bool_ avg;
+                trainer;
+                init;
               }
-        | [ "label"; l ] -> labels := unescape l :: !labels
-        | [ "rel"; r ] -> rels := unescape r :: !rels
-        | [ "pw"; k; w ] -> pw := (int_of_string k, float_of_string w) :: !pw
-        | [ "un"; k; w ] -> un := (int_of_string k, float_of_string w) :: !un
+        | [ "label"; l ] ->
+            record ();
+            labels := unescape l :: !labels
+        | [ "rel"; r ] ->
+            record ();
+            rels := unescape r :: !rels
+        | [ "pw"; k; w ] ->
+            record ();
+            pw := (int_ k, float_ w) :: !pw
+        | [ "un"; k; w ] ->
+            record ();
+            un := (int_ k, float_ w) :: !un
         | [ "bias"; k; w ] ->
-            bias := (int_of_string k, float_of_string w) :: !bias
+            record ();
+            bias := (int_ k, float_ w) :: !bias
         | [ "cand-global"; l; n ] ->
-            cand := Candidates.E_global (unescape l, int_of_string n) :: !cand
+            record ();
+            cand := Candidates.E_global (unescape l, int_ n) :: !cand
         | [ "cand-unary"; r; l; n ] ->
+            record ();
             cand :=
-              Candidates.E_unary (unescape r, unescape l, int_of_string n)
-              :: !cand
+              Candidates.E_unary (unescape r, unescape l, int_ n) :: !cand
         | [ "cand-pw"; k; l; n ] ->
+            record ();
             cand :=
-              Candidates.E_pairwise (unescape k, unescape l, int_of_string n)
-              :: !cand
-        | [] | [ "" ] -> ()
-        | tok :: _ -> fail ("unknown record " ^ tok));
+              Candidates.E_pairwise (unescape k, unescape l, int_ n) :: !cand
+        | tok :: _ -> fail "unknown record %S" tok);
         go ()
   in
   go ();
-  let fast =
-    Fast.restore
-      {
-        Fast.d_labels = List.rev !labels;
-        d_rels = List.rev !rels;
-        d_pw = !pw;
-        d_un = !un;
-        d_bias = !bias;
-      }
+  (* Weight keys index into arrays sized by the label/rel tables, so a
+     mangled file can still die inside restore; surface that as a
+     corrupt-model diagnostic rather than an exception. *)
+  match
+    let fast =
+      Fast.restore
+        {
+          Fast.d_labels = List.rev !labels;
+          d_rels = List.rev !rels;
+          d_pw = !pw;
+          d_un = !un;
+          d_bias = !bias;
+        }
+    in
+    {
+      Train.weights = Fast.export_weights fast;
+      candidates = Candidates.of_entries !cand;
+      config = !config;
+      fast;
+    }
+  with
+  | model -> model
+  | exception (Invalid_argument msg | Failure msg) ->
+      fail "inconsistent model data: %s" msg
+
+let from_channel ?source ic =
+  parse ?source (fun () ->
+      match input_line ic with l -> Some l | exception End_of_file -> None)
+
+let of_string ?source s =
+  let rest = ref (String.split_on_char '\n' s) in
+  let next () =
+    match !rest with
+    | [] -> None
+    | l :: tl ->
+        rest := tl;
+        Some l
   in
-  {
-    Train.weights = Fast.export_weights fast;
-    candidates = Candidates.of_entries !cand;
-    config = !config;
-    fast;
-  }
+  Lexkit.protect ?file:source (fun () -> parse ?source next)
 
 let save model path =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel model oc)
 
 let load path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> from_channel ic)
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Result.Error (Lexkit.Diag.make ~file:path Lexkit.Diag.Io_error msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          Lexkit.protect ~file:path (fun () -> from_channel ~source:path ic))
+
+let load_exn path =
+  match load path with
+  | Ok model -> model
+  | Error d -> raise (Lexkit.Diag.Error d)

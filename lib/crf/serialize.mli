@@ -1,17 +1,32 @@
 (** Saving and loading trained CRF models.
 
-    A portable, line-oriented text format (one record per line,
-    tab-separated, values percent-escaped), so models can be trained
-    once and shipped — the way Nice2Predict serves a pre-trained
-    model. Round-trips exactly: a loaded model produces byte-identical
-    predictions (tested). *)
+    A portable, line-oriented text format (one record per line, values
+    percent-escaped), so models can be trained once and shipped — the
+    way Nice2Predict serves a pre-trained model. Round-trips exactly: a
+    loaded model produces byte-identical predictions (tested).
+
+    The format is versioned and self-checking: version 2 files end with
+    an [end <record-count>] trailer, so truncation and trailing garbage
+    are detected. Version 1 files (no trailer) still load. Loaders
+    never raise [Failure]; every malformed input is reported as a
+    {!Lexkit.Diag.t} with kind [Corrupt_model] and a line number. *)
 
 val save : Train.model -> string -> unit
 (** [save model path] writes the model to [path]. Raises [Sys_error]
     on I/O failure. *)
 
-val load : string -> Train.model
-(** Raises [Failure] with a line number on malformed input. *)
+val load : string -> (Train.model, Lexkit.Diag.t) result
+(** Read a model back; [Error] carries an [Io_error] (unreadable file)
+    or line-numbered [Corrupt_model] diagnostic. Never raises. *)
+
+val load_exn : string -> Train.model
+(** Like {!load} but raises {!Lexkit.Diag.Error} on failure. *)
 
 val to_channel : Train.model -> out_channel -> unit
-val from_channel : in_channel -> Train.model
+
+val from_channel : ?source:string -> in_channel -> Train.model
+(** Raises {!Lexkit.Diag.Error} (kind [Corrupt_model]) on malformed
+    input; [source] names the input in diagnostics. *)
+
+val of_string : ?source:string -> string -> (Train.model, Lexkit.Diag.t) result
+(** Parse a model held in memory — the fuzz suite's entry point. *)

@@ -7,6 +7,110 @@ exception Error of string * pos
 
 let error pos fmt = Format.kasprintf (fun msg -> raise (Error (msg, pos))) fmt
 
+module Diag = struct
+  type kind =
+    | Parse_error
+    | Depth_limit_exceeded
+    | Size_limit_exceeded
+    | Io_error
+    | Corrupt_model
+
+  type t = { kind : kind; msg : string; file : string option; pos : pos option }
+
+  exception Error of t
+
+  let kind_name = function
+    | Parse_error -> "parse-error"
+    | Depth_limit_exceeded -> "depth-limit"
+    | Size_limit_exceeded -> "size-limit"
+    | Io_error -> "io-error"
+    | Corrupt_model -> "corrupt-model"
+
+  let all_kinds =
+    [ Parse_error; Depth_limit_exceeded; Size_limit_exceeded; Io_error;
+      Corrupt_model ]
+
+  let make ?file ?pos kind msg = { kind; msg; file; pos }
+
+  let error ?file ?pos kind fmt =
+    Format.kasprintf (fun msg -> raise (Error (make ?file ?pos kind msg))) fmt
+
+  let with_file file d =
+    match d.file with Some _ -> d | None -> { d with file = Some file }
+
+  let pp ppf d =
+    (match d.file with Some f -> Fmt.pf ppf "%s:" f | None -> ());
+    (match d.pos with Some p -> Fmt.pf ppf "%a:" pp_pos p | None -> ());
+    Fmt.pf ppf " [%s] %s" (kind_name d.kind) d.msg
+
+  let to_string d = Format.asprintf "%a" pp d
+end
+
+(* ---------- resource guards ---------- *)
+
+type limits = { max_input_bytes : int; max_depth : int; max_parse_steps : int }
+
+let default_limits =
+  { max_input_bytes = 8 * 1024 * 1024; max_depth = 1000;
+    max_parse_steps = 20_000_000 }
+
+let limits = ref default_limits
+let current_limits () = !limits
+let set_limits l = limits := l
+
+let with_limits l f =
+  let saved = !limits in
+  limits := l;
+  Fun.protect ~finally:(fun () -> limits := saved) f
+
+let check_input_size src =
+  let n = String.length src and cap = !limits.max_input_bytes in
+  if n > cap then
+    Diag.error ~pos:start_pos Diag.Size_limit_exceeded
+      "input is %d bytes; the limit is %d" n cap
+
+module Guard = struct
+  type t = {
+    mutable depth : int;
+    mutable steps : int;
+    max_depth : int;
+    max_steps : int;
+  }
+
+  let create () =
+    let l = !limits in
+    { depth = 0; steps = 0; max_depth = l.max_depth;
+      max_steps = l.max_parse_steps }
+
+  let enter g p =
+    g.steps <- g.steps + 1;
+    if g.steps > g.max_steps then
+      Diag.error ~pos:p Diag.Size_limit_exceeded
+        "parse step budget exhausted after %d steps" g.max_steps;
+    g.depth <- g.depth + 1;
+    if g.depth > g.max_depth then
+      Diag.error ~pos:p Diag.Depth_limit_exceeded
+        "nesting depth exceeds the limit of %d" g.max_depth
+
+  let leave g = g.depth <- g.depth - 1
+end
+
+let diag_of_exn ?file = function
+  | Diag.Error d -> Some (match file with Some f -> Diag.with_file f d | None -> d)
+  | Error (msg, pos) -> Some (Diag.make ?file ~pos Diag.Parse_error msg)
+  | Stack_overflow ->
+      Some
+        (Diag.make ?file Diag.Depth_limit_exceeded
+           "stack overflow (input nested beyond any guard)")
+  | Sys_error msg -> Some (Diag.make ?file Diag.Io_error msg)
+  | _ -> None
+
+let protect ?file f =
+  match f () with
+  | v -> Ok v
+  | exception e -> (
+      match diag_of_exn ?file e with Some d -> Result.Error d | None -> raise e)
+
 module Cursor = struct
   type t = { src : string; mutable pos : pos }
 

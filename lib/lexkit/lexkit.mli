@@ -11,6 +11,85 @@ exception Error of string * pos
 val error : pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** [error pos fmt ...] raises {!Error} with a formatted message. *)
 
+(** Structured diagnostics for the whole ingest–train–predict path.
+    Every failure a hostile or malformed input can provoke is one of
+    these kinds; anything else escaping a front-end or loader is a
+    bug (and the fuzz suite hunts for it). *)
+module Diag : sig
+  type kind =
+    | Parse_error  (** malformed source: lexer or parser rejection *)
+    | Depth_limit_exceeded  (** nesting beyond {!limits}, or stack overflow *)
+    | Size_limit_exceeded  (** oversized input or exhausted step budget *)
+    | Io_error  (** file-system failure while reading or writing *)
+    | Corrupt_model  (** model file truncated, mangled, or wrong version *)
+
+  type t = { kind : kind; msg : string; file : string option; pos : pos option }
+
+  exception Error of t
+
+  val kind_name : kind -> string
+  val all_kinds : kind list
+  val make : ?file:string -> ?pos:pos -> kind -> string -> t
+
+  val error : ?file:string -> ?pos:pos -> kind -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+  (** Raise {!Error} with a formatted message. *)
+
+  val with_file : string -> t -> t
+  (** Attach a file name if the diagnostic does not carry one yet. *)
+
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+end
+
+(** {2 Resource guards}
+
+    Hard bounds that make front-ends total: no input may overflow the
+    stack, hang the parser, or exhaust memory through sheer size. *)
+
+type limits = {
+  max_input_bytes : int;  (** sources larger than this are rejected *)
+  max_depth : int;  (** maximal grammar nesting depth *)
+  max_parse_steps : int;  (** overall parser work budget per file *)
+}
+
+val default_limits : limits
+(** 8 MiB inputs, depth 1000, 20M parse steps. *)
+
+val current_limits : unit -> limits
+val set_limits : limits -> unit
+
+val with_limits : limits -> (unit -> 'a) -> 'a
+(** Run with temporary limits; restores the previous ones. *)
+
+val check_input_size : string -> unit
+(** Raises {!Diag.Error} with [Size_limit_exceeded] when the source
+    exceeds [max_input_bytes]. Called by every front-end lexer. *)
+
+(** Recursion-depth and step-budget guard threaded through the
+    recursive-descent parsers. *)
+module Guard : sig
+  type t
+
+  val create : unit -> t
+  (** Snapshot the current {!limits}. *)
+
+  val enter : t -> pos -> unit
+  (** Count one step and one nesting level; raises {!Diag.Error} when
+      a limit is crossed. Pair with {!leave}. *)
+
+  val leave : t -> unit
+end
+
+val diag_of_exn : ?file:string -> exn -> Diag.t option
+(** Classify an exception: {!Diag.Error} and {!Error} map to their
+    diagnostics, [Stack_overflow] to [Depth_limit_exceeded],
+    [Sys_error] to [Io_error]; anything else is [None] (a bug, not an
+    input problem). *)
+
+val protect : ?file:string -> (unit -> 'a) -> ('a, Diag.t) result
+(** Run a parse/load thunk, turning every classifiable exception into
+    [Error diag]. Unclassifiable exceptions are re-raised. *)
+
 (** A character cursor over an in-memory source string, tracking line
     and column. *)
 module Cursor : sig

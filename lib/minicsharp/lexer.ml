@@ -34,6 +34,7 @@ let skip_trivia cur =
   go ()
 
 let tokenize src =
+  check_input_size src;
   let cur = Cursor.make src in
   let toks = ref [] in
   let emit tok pos = toks := { Token.tok; pos } :: !toks in
@@ -41,9 +42,14 @@ let tokenize src =
     let n = String.length p in
     off + n <= String.length src && String.sub src off n = p
   in
+  (* Progress guarantee: every loop iteration must consume input. *)
+  let last_off = ref (-1) in
   let rec go () =
     skip_trivia cur;
     let pos = Cursor.pos cur in
+    if pos.offset = !last_off then
+      error pos "lexer made no progress (internal invariant)";
+    last_off := pos.offset;
     match Cursor.peek cur with
     | None -> emit Token.Eof pos
     | Some c when is_ident_start c ->

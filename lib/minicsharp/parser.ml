@@ -1,7 +1,7 @@
 open Minijava.Syntax
 module Types = Minijava.Types
 
-type state = { mutable toks : Token.spanned list }
+type state = { mutable toks : Token.spanned list; guard : Lexkit.Guard.t }
 
 let peek st = match st.toks with [] -> Token.Eof | { tok; _ } :: _ -> tok
 
@@ -12,6 +12,18 @@ let pos st =
   match st.toks with [] -> Lexkit.start_pos | { pos; _ } :: _ -> pos
 
 let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+(* Depth/step guard around the recursion points of the grammar.
+   Exception-safe so [Backtrack] unwinding doesn't leak depth. *)
+let guarded st f =
+  Lexkit.Guard.enter st.guard (pos st);
+  match f () with
+  | v ->
+      Lexkit.Guard.leave st.guard;
+      v
+  | exception e ->
+      Lexkit.Guard.leave st.guard;
+      raise e
 
 exception Backtrack
 
@@ -77,6 +89,7 @@ let parse_modifiers st =
   go []
 
 let rec parse_ty st =
+  guarded st @@ fun () ->
   let base =
     match peek st with
     | Token.Kw k when List.mem k prim_types ->
@@ -145,6 +158,7 @@ let expr_starts st =
 let rec parse_expression st = parse_assign st
 
 and parse_assign st =
+  guarded st @@ fun () ->
   let lhs = parse_cond st in
   match peek st with
   | Token.Punct op when List.mem op assign_ops ->
@@ -185,6 +199,7 @@ and parse_is st =
   else e
 
 and parse_unary st =
+  guarded st @@ fun () ->
   match peek st with
   | Token.Punct (("!" | "-" | "~") as op) ->
       advance st;
@@ -323,6 +338,7 @@ and try_local_decl st =
       LocalDecl (ty, ds))
 
 and parse_stmt st =
+  guarded st @@ fun () ->
   match peek st with
   | Token.Punct "{" -> Block (parse_block st)
   | Token.Punct ";" ->
@@ -565,12 +581,17 @@ let parse_program st =
   { package; imports; classes }
 
 let with_state src f =
-  let st = { toks = Lexer.tokenize src } in
-  let v = f st in
-  (match peek st with
-  | Token.Eof -> ()
-  | t -> Lexkit.error (pos st) "trailing input: %s" (Token.to_string t));
-  v
+  let st = { toks = Lexer.tokenize src; guard = Lexkit.Guard.create () } in
+  match f st with
+  | v ->
+      (match peek st with
+      | Token.Eof -> ()
+      | t -> Lexkit.error (pos st) "trailing input: %s" (Token.to_string t));
+      v
+  | exception Backtrack ->
+      (* A backtrack point escaped every [try_parse]: no alternative
+         matched, which is a plain syntax error, not a crash. *)
+      Lexkit.error (pos st) "syntax error at %s" (Token.to_string (peek st))
 
 let parse src = with_state src parse_program
 let parse_expr src = with_state src parse_expression

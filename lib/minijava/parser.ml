@@ -1,6 +1,6 @@
 open Syntax
 
-type state = { mutable toks : Token.spanned list }
+type state = { mutable toks : Token.spanned list; guard : Lexkit.Guard.t }
 
 let peek st = match st.toks with [] -> Token.Eof | { tok; _ } :: _ -> tok
 
@@ -11,6 +11,18 @@ let pos st =
   match st.toks with [] -> Lexkit.start_pos | { pos; _ } :: _ -> pos
 
 let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+(* Depth/step guard around the recursion points of the grammar.
+   Exception-safe so [Backtrack] unwinding doesn't leak depth. *)
+let guarded st f =
+  Lexkit.Guard.enter st.guard (pos st);
+  match f () with
+  | v ->
+      Lexkit.Guard.leave st.guard;
+      v
+  | exception e ->
+      Lexkit.Guard.leave st.guard;
+      raise e
 
 exception Backtrack
 
@@ -74,6 +86,7 @@ let parse_modifiers st =
 (* ---------- types ---------- *)
 
 let rec parse_ty st =
+  guarded st @@ fun () ->
   let base =
     match peek st with
     | Token.Kw k when List.mem k prim_types ->
@@ -149,6 +162,7 @@ let expr_starts st =
 let rec parse_expression st = parse_assign st
 
 and parse_assign st =
+  guarded st @@ fun () ->
   let lhs = parse_cond st in
   match peek st with
   | Token.Punct op when List.mem op assign_ops ->
@@ -187,6 +201,7 @@ and parse_instanceof st =
   if eat_kw st "instanceof" then InstanceOf (e, parse_ty st) else e
 
 and parse_unary st =
+  guarded st @@ fun () ->
   match peek st with
   | Token.Punct (("!" | "-" | "~") as op) ->
       advance st;
@@ -335,6 +350,7 @@ and try_local_decl st =
       d)
 
 and parse_stmt st =
+  guarded st @@ fun () ->
   match peek st with
   | Token.Punct "{" -> Block (parse_block st)
   | Token.Punct ";" ->
@@ -595,12 +611,17 @@ let parse_program st =
   { package; imports; classes = classes [] }
 
 let with_state src f =
-  let st = { toks = Lexer.tokenize src } in
-  let v = f st in
-  (match peek st with
-  | Token.Eof -> ()
-  | t -> Lexkit.error (pos st) "trailing input: %s" (Token.to_string t));
-  v
+  let st = { toks = Lexer.tokenize src; guard = Lexkit.Guard.create () } in
+  match f st with
+  | v ->
+      (match peek st with
+      | Token.Eof -> ()
+      | t -> Lexkit.error (pos st) "trailing input: %s" (Token.to_string t));
+      v
+  | exception Backtrack ->
+      (* A backtrack point escaped every [try_parse]: no alternative
+         matched, which is a plain syntax error, not a crash. *)
+      Lexkit.error (pos st) "syntax error at %s" (Token.to_string (peek st))
 
 let parse src = with_state src parse_program
 let parse_expr src = with_state src parse_expression

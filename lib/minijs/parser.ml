@@ -1,6 +1,6 @@
 open Syntax
 
-type state = { mutable toks : Token.spanned list }
+type state = { mutable toks : Token.spanned list; guard : Lexkit.Guard.t }
 
 let peek st =
   match st.toks with [] -> Token.Eof | { tok; _ } :: _ -> tok
@@ -10,6 +10,21 @@ let pos st =
 
 let advance st =
   match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+(* Depth/step guard around the recursion points of the grammar.
+   Exception-safe so a thrown parse doesn't leak depth. *)
+let guarded st f =
+  Lexkit.Guard.enter st.guard (pos st);
+  match f () with
+  | v ->
+      Lexkit.Guard.leave st.guard;
+      v
+  | exception e ->
+      Lexkit.Guard.leave st.guard;
+      raise e
+
+let make_state src =
+  { toks = Lexer.tokenize src; guard = Lexkit.Guard.create () }
 
 let expect_punct st p =
   match peek st with
@@ -61,6 +76,7 @@ let assign_ops = [ "="; "+="; "-="; "*="; "/="; "%=" ]
 let rec parse_expression st = parse_assign st
 
 and parse_assign st =
+  guarded st @@ fun () ->
   let lhs = parse_cond st in
   match peek st with
   | Token.Punct op when List.mem op assign_ops ->
@@ -101,6 +117,7 @@ and parse_binary st level =
   end
 
 and parse_unary st =
+  guarded st @@ fun () ->
   match peek st with
   | Token.Punct (("!" | "-" | "+" | "~") as op) ->
       advance st;
@@ -276,6 +293,7 @@ and parse_stmt_list_or_single st =
   else [ parse_stmt st ]
 
 and parse_stmt st =
+  guarded st @@ fun () ->
   match peek st with
   | Token.Punct "{" -> Block (parse_block st)
   | Token.Punct ";" ->
@@ -400,7 +418,7 @@ and parse_for st =
       For (init, cond, step, parse_stmt_list_or_single st)
 
 let parse src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = make_state src in
   let rec go acc =
     match peek st with
     | Token.Eof -> List.rev acc
@@ -409,7 +427,7 @@ let parse src =
   go []
 
 let parse_expr src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = make_state src in
   let e = parse_expression st in
   (match peek st with
   | Token.Eof -> ()

@@ -8,6 +8,7 @@ let puncts =
   ]
 
 let tokenize src =
+  check_input_size src;
   let cur = Cursor.make src in
   let toks = ref [] in
   let emit tok pos = toks := { Token.tok; pos } :: !toks in
@@ -46,6 +47,8 @@ let tokenize src =
             emit Token.Dedent pos0
           done
   in
+  (* Progress guarantee: every loop iteration must consume input. *)
+  let last_off = ref (-1) in
   let rec go () =
     if !at_line_start && !bracket_depth = 0 then begin
       at_line_start := false;
@@ -53,6 +56,9 @@ let tokenize src =
     end;
     Cursor.skip_while cur (fun c -> c = ' ' || c = '\t');
     let pos = Cursor.pos cur in
+    if pos.offset = !last_off then
+      error pos "lexer made no progress (internal invariant)";
+    last_off := pos.offset;
     match Cursor.peek cur with
     | None ->
         (* final newline for an unterminated last line *)

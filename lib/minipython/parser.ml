@@ -1,6 +1,6 @@
 open Syntax
 
-type state = { mutable toks : Token.spanned list }
+type state = { mutable toks : Token.spanned list; guard : Lexkit.Guard.t }
 
 let peek st = match st.toks with [] -> Token.Eof | { tok; _ } :: _ -> tok
 
@@ -34,11 +34,27 @@ let expect_ident st =
 
 let aug_ops = [ "+="; "-="; "*="; "/="; "%=" ]
 
+(* Depth/step guard around the recursion points of the grammar.
+   Exception-safe so a thrown parse doesn't leak depth. *)
+let guarded st f =
+  Lexkit.Guard.enter st.guard (pos st);
+  match f () with
+  | v ->
+      Lexkit.Guard.leave st.guard;
+      v
+  | exception e ->
+      Lexkit.Guard.leave st.guard;
+      raise e
+
+let make_state src =
+  { toks = Lexer.tokenize src; guard = Lexkit.Guard.create () }
+
 (* ---------- expressions ---------- *)
 
 let rec parse_expression st = parse_or st
 
 and parse_or st =
+  guarded st @@ fun () ->
   let lhs = ref (parse_and st) in
   while eat st (Token.Kw "or") do
     lhs := BoolOp ("or", !lhs, parse_and st)
@@ -53,6 +69,7 @@ and parse_and st =
   !lhs
 
 and parse_not st =
+  guarded st @@ fun () ->
   if eat st (Token.Kw "not") then Not (parse_not st) else parse_comparison st
 
 and parse_comparison st =
@@ -103,6 +120,7 @@ and parse_term st =
   !lhs
 
 and parse_unary st =
+  guarded st @@ fun () ->
   if eat st (Token.Punct "-") then Neg (parse_unary st) else parse_postfix st
 
 and parse_postfix st =
@@ -247,6 +265,7 @@ let rec parse_suite st =
   go []
 
 and parse_stmt st =
+  guarded st @@ fun () ->
   match peek st with
   | Token.Kw "def" ->
       advance st;
@@ -403,7 +422,7 @@ and parse_stmt st =
       s
 
 let parse src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = make_state src in
   let rec go acc =
     match peek st with
     | Token.Eof -> List.rev acc
@@ -415,7 +434,7 @@ let parse src =
   go []
 
 let parse_expr src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = make_state src in
   let e = parse_expr_list st in
   (match peek st with
   | Token.Eof | Token.Newline -> ()

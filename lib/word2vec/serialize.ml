@@ -1,11 +1,19 @@
 (* Format:
-     pigeon-w2v-model 1
+     pigeon-w2v-model 2
      config <dim> <epochs> <negatives> <lr> <min_count> <seed>
      words <n>
      w <escaped-token> <count> <v0> ... <v_dim-1>
      contexts <n>
      c <escaped-token> <count> <v0> ...
-   Tokens are percent-escaped (space, tab, newline, CR, '%'). *)
+     end <record-count>
+   Tokens are percent-escaped (space, tab, newline, CR, '%').
+
+   The trailing [end] record counts the lines written after the magic,
+   so truncated or appended-to files are rejected. Version 1 files
+   (no trailer) are still accepted. *)
+
+let format_version = 2
+let magic v = Printf.sprintf "pigeon-w2v-model %d" v
 
 let escape s =
   let buf = Buffer.create (String.length s) in
@@ -23,98 +31,181 @@ let unescape s =
   let n = String.length s in
   let i = ref 0 in
   while !i < n do
-    if s.[!i] = '%' && !i + 2 < n then begin
-      Buffer.add_char buf
-        (Char.chr (int_of_string ("0x" ^ String.sub s (!i + 1) 2)));
-      i := !i + 3
-    end
-    else begin
-      Buffer.add_char buf s.[!i];
-      incr i
-    end
+    (match
+       if s.[!i] = '%' && !i + 2 < n then
+         int_of_string_opt ("0x" ^ String.sub s (!i + 1) 2)
+       else None
+     with
+    | Some c ->
+        Buffer.add_char buf (Char.chr c);
+        i := !i + 3
+    | None ->
+        Buffer.add_char buf s.[!i];
+        incr i)
   done;
   Buffer.contents buf
 
-let write_matrix oc tag vocab vecs =
-  Array.iteri
-    (fun i v ->
-      Printf.fprintf oc "%s %s %d" tag
-        (escape (Vocab.word vocab i))
-        (Vocab.count vocab i);
-      Array.iter (fun x -> Printf.fprintf oc " %.9g" x) v;
-      output_char oc '\n')
-    vecs
-
 let to_channel (m : Sgns.t) oc =
-  Printf.fprintf oc "pigeon-w2v-model 1\n";
+  let records = ref 0 in
+  let p fmt =
+    incr records;
+    Printf.fprintf oc fmt
+  in
+  let write_matrix tag vocab vecs =
+    Array.iteri
+      (fun i v ->
+        incr records;
+        Printf.fprintf oc "%s %s %d" tag
+          (escape (Vocab.word vocab i))
+          (Vocab.count vocab i);
+        Array.iter (fun x -> Printf.fprintf oc " %.9g" x) v;
+        output_char oc '\n')
+      vecs
+  in
+  Printf.fprintf oc "%s\n" (magic format_version);
   let c = m.Sgns.config in
-  Printf.fprintf oc "config %d %d %d %.17g %d %d\n" c.Sgns.dim c.Sgns.epochs
-    c.Sgns.negatives c.Sgns.learning_rate c.Sgns.min_count c.Sgns.seed;
-  Printf.fprintf oc "words %d\n" (Vocab.size m.Sgns.words);
-  write_matrix oc "w" m.Sgns.words m.Sgns.word_vecs;
-  Printf.fprintf oc "contexts %d\n" (Vocab.size m.Sgns.contexts);
-  write_matrix oc "c" m.Sgns.contexts m.Sgns.context_vecs
+  p "config %d %d %d %.17g %d %d\n" c.Sgns.dim c.Sgns.epochs c.Sgns.negatives
+    c.Sgns.learning_rate c.Sgns.min_count c.Sgns.seed;
+  p "words %d\n" (Vocab.size m.Sgns.words);
+  write_matrix "w" m.Sgns.words m.Sgns.word_vecs;
+  p "contexts %d\n" (Vocab.size m.Sgns.contexts);
+  write_matrix "c" m.Sgns.contexts m.Sgns.context_vecs;
+  Printf.fprintf oc "end %d\n" !records
 
-let from_channel ic =
+(* Parse from a [next_line] pull function so channels and in-memory
+   strings (the fuzz suite) share one code path. Every malformed input
+   raises [Lexkit.Diag.Error] with kind [Corrupt_model] and the
+   offending line number. *)
+let parse ?source next_line =
   let line_no = ref 0 in
-  let fail msg = failwith (Printf.sprintf "line %d: %s" !line_no msg) in
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        raise
+          (Lexkit.Diag.Error
+             (Lexkit.Diag.make ?file:source
+                ~pos:{ Lexkit.line = !line_no; col = 1; offset = 0 }
+                Lexkit.Diag.Corrupt_model msg)))
+      fmt
+  in
+  let records = ref 0 in
   let read () =
     incr line_no;
-    try input_line ic with End_of_file -> fail "unexpected end of file"
+    match next_line () with
+    | Some l -> l
+    | None -> fail "unexpected end of file"
   in
-  (match read () with
-  | "pigeon-w2v-model 1" -> ()
-  | _ -> fail "bad magic");
+  let record () =
+    incr records;
+    read ()
+  in
+  let int_ s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> fail "malformed integer %S" s
+  in
+  let float_ s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail "malformed float %S" s
+  in
+  let version =
+    match read () with
+    | l when String.equal l (magic 1) -> 1
+    | l when String.equal l (magic 2) -> 2
+    | _ -> fail "bad magic (not a pigeon-w2v-model file)"
+  in
   let config =
-    match String.split_on_char ' ' (read ()) with
+    match String.split_on_char ' ' (record ()) with
     | [ "config"; dim; ep; neg; lr; mc; seed ] ->
         {
-          Sgns.dim = int_of_string dim;
-          epochs = int_of_string ep;
-          negatives = int_of_string neg;
-          learning_rate = float_of_string lr;
-          min_count = int_of_string mc;
-          seed = int_of_string seed;
+          Sgns.dim = int_ dim;
+          epochs = int_ ep;
+          negatives = int_ neg;
+          learning_rate = float_ lr;
+          min_count = int_ mc;
+          seed = int_ seed;
         }
-    | _ -> fail "bad config"
+    | _ -> fail "bad config record"
   in
+  if config.Sgns.dim < 0 then fail "negative vector dimension";
   let read_matrix tag header =
     let n =
-      match String.split_on_char ' ' (read ()) with
-      | [ h; n ] when String.equal h header -> int_of_string n
-      | _ -> fail ("expected " ^ header)
+      match String.split_on_char ' ' (record ()) with
+      | [ h; n ] when String.equal h header -> int_ n
+      | _ -> fail "expected %S record" header
     in
+    if n < 0 then fail "negative %s count" header;
     let entries =
       List.init n (fun _ ->
-          match String.split_on_char ' ' (read ()) with
+          match String.split_on_char ' ' (record ()) with
           | t :: tok :: count :: rest when String.equal t tag ->
-              let vec = Array.of_list (List.map float_of_string rest) in
-              if Array.length vec <> config.Sgns.dim then fail "bad vector size";
-              (unescape tok, int_of_string count, vec)
-          | _ -> fail ("bad " ^ tag ^ " record"))
+              let vec = Array.of_list (List.map float_ rest) in
+              if Array.length vec <> config.Sgns.dim then
+                fail "bad vector size (%d, expected %d)" (Array.length vec)
+                  config.Sgns.dim;
+              (unescape tok, int_ count, vec)
+          | _ -> fail "bad %S record" tag)
     in
-    (* rebuild a vocab with identical ordering and counts *)
-    let tokens =
-      List.concat_map (fun (tok, count, _) -> List.init count (fun _ -> tok)) entries
+    let vocab =
+      match Vocab.of_items (List.map (fun (tok, c, _) -> (tok, c)) entries) with
+      | v -> v
+      | exception Invalid_argument msg -> fail "%s" msg
     in
-    let vocab = Vocab.build tokens in
-    (* Vocab.build sorts by count desc then token, which must match the
-       saved id order; verify and fail loudly otherwise. *)
-    List.iteri
-      (fun i (tok, _, _) ->
-        if not (String.equal (Vocab.word vocab i) tok) then
-          fail "vocabulary order mismatch")
-      entries;
     (vocab, Array.of_list (List.map (fun (_, _, v) -> v) entries))
   in
   let words, word_vecs = read_matrix "w" "words" in
   let contexts, context_vecs = read_matrix "c" "contexts" in
+  (if version >= 2 then
+     match String.split_on_char ' ' (read ()) with
+     | [ "end"; n ] ->
+         let n = int_ n in
+         if n <> !records then
+           fail "record count mismatch: trailer says %d, file has %d" n !records
+     | _ -> fail "truncated model: missing \"end\" trailer");
+  (* Nothing but blank lines may follow. *)
+  let rec drain () =
+    match next_line () with
+    | None -> ()
+    | Some l ->
+        incr line_no;
+        if not (String.equal (String.trim l) "") then
+          fail "trailing data after the model";
+        drain ()
+  in
+  drain ();
   { Sgns.config; words; contexts; word_vecs; context_vecs }
+
+let from_channel ?source ic =
+  parse ?source (fun () ->
+      match input_line ic with l -> Some l | exception End_of_file -> None)
+
+let of_string ?source s =
+  let rest = ref (String.split_on_char '\n' s) in
+  let next () =
+    match !rest with
+    | [] -> None
+    | l :: tl ->
+        rest := tl;
+        Some l
+  in
+  Lexkit.protect ?file:source (fun () -> parse ?source next)
 
 let save m path =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel m oc)
 
 let load path =
-  let ic = open_in_bin path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> from_channel ic)
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Result.Error (Lexkit.Diag.make ~file:path Lexkit.Diag.Io_error msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          Lexkit.protect ~file:path (fun () -> from_channel ~source:path ic))
+
+let load_exn path =
+  match load path with
+  | Ok m -> m
+  | Error d -> raise (Lexkit.Diag.Error d)

@@ -2,11 +2,29 @@
     conventions: a header with dimensions, then one vector per line.
     Both word and context matrices are stored (prediction by the
     paper's equation (4) needs the context vectors too). Round-trips to
-    identical predictions (tested). *)
+    identical predictions (tested).
+
+    The format is versioned and self-checking: version 2 files end with
+    an [end <record-count>] trailer, so truncation and trailing garbage
+    are detected. Version 1 files (no trailer) still load. Loaders
+    never raise [Failure]; every malformed input is reported as a
+    {!Lexkit.Diag.t} with kind [Corrupt_model] and a line number. *)
 
 val save : Sgns.t -> string -> unit
-val load : string -> Sgns.t
+(** Raises [Sys_error] on I/O failure. *)
+
+val load : string -> (Sgns.t, Lexkit.Diag.t) result
+(** Read a model back; [Error] carries an [Io_error] (unreadable file)
+    or line-numbered [Corrupt_model] diagnostic. Never raises. *)
+
+val load_exn : string -> Sgns.t
+(** Like {!load} but raises {!Lexkit.Diag.Error} on failure. *)
 
 val to_channel : Sgns.t -> out_channel -> unit
-val from_channel : in_channel -> Sgns.t
-(** Raises [Failure] with a line number on malformed input. *)
+
+val from_channel : ?source:string -> in_channel -> Sgns.t
+(** Raises {!Lexkit.Diag.Error} (kind [Corrupt_model]) on malformed
+    input; [source] names the input in diagnostics. *)
+
+val of_string : ?source:string -> string -> (Sgns.t, Lexkit.Diag.t) result
+(** Parse a model held in memory — the fuzz suite's entry point. *)

@@ -26,6 +26,21 @@ let build ?(min_count = 1) tokens =
   Array.iteri (fun i w -> Hashtbl.add ids w i) words;
   { ids; words; counts; total = Array.fold_left ( + ) 0 counts }
 
+let of_items items =
+  let n = List.length items in
+  let words = Array.make n "" in
+  let counts = Array.make n 0 in
+  let ids = Hashtbl.create (max n 1) in
+  List.iteri
+    (fun i (w, c) ->
+      if c < 0 then invalid_arg "Vocab.of_items: negative count";
+      if Hashtbl.mem ids w then invalid_arg "Vocab.of_items: duplicate word";
+      Hashtbl.add ids w i;
+      words.(i) <- w;
+      counts.(i) <- c)
+    items;
+  { ids; words; counts; total = Array.fold_left ( + ) 0 counts }
+
 let size t = Array.length t.words
 let id t w = Hashtbl.find_opt t.ids w
 let word t i = t.words.(i)

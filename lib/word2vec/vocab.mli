@@ -6,6 +6,12 @@ val build : ?min_count:int -> string list -> t
 (** Index the given tokens; tokens rarer than [min_count] (default 1)
     are dropped. *)
 
+val of_items : (string * int) list -> t
+(** Rebuild a vocabulary with exactly the given (word, count) entries,
+    ids assigned in list order. Raises [Invalid_argument] on duplicate
+    words or negative counts. Used by the model loader, which must
+    reproduce the saved id order rather than re-sort. *)
+
 val size : t -> int
 val id : t -> string -> int option
 val word : t -> int -> string

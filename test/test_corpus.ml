@@ -174,6 +174,43 @@ let test_split () =
   let split2 = Corpus.Dataset.split_corpus ~seed:3 entries in
   check_bool "same split" true (paths split.train = paths split2.train)
 
+let test_split_edge_cases () =
+  let open Corpus.Dataset in
+  let mk n = List.init n (fun i -> { path = string_of_int i; source = "" }) in
+  let partitions ?valid_frac ?test_frac n =
+    let s = split_corpus ?valid_frac ?test_frac ~seed:1 (mk n) in
+    check_int
+      (Printf.sprintf "n=%d partitions exactly" n)
+      n
+      (List.length s.train + List.length s.valid + List.length s.test);
+    s
+  in
+  (* empty and tiny corpora: everything lands in train, nothing raises *)
+  List.iter
+    (fun n ->
+      let s = partitions n in
+      check_int "tiny corpus trains on everything" n (List.length s.train))
+    [ 0; 1; 2; 3 ];
+  (* fractions summing past 1 must clamp, not feed Array.sub a negative
+     length *)
+  let s = partitions ~valid_frac:0.9 ~test_frac:0.9 10 in
+  check_int "over-committed: valid clamps first" 9 (List.length s.valid);
+  check_int "over-committed: test gets the rest" 1 (List.length s.test);
+  check_int "over-committed: train empty" 0 (List.length s.train);
+  ignore (partitions ~valid_frac:1.0 ~test_frac:1.0 7);
+  ignore (partitions ~valid_frac:5.0 ~test_frac:5.0 7);
+  (* rounding truncates: 10% of 9 files is 0 validation files *)
+  let s = partitions 9 in
+  check_int "frac rounding truncates" 0 (List.length s.valid);
+  check_int "test still carved out" 1 (List.length s.test);
+  (* invalid fractions are rejected up front *)
+  List.iter
+    (fun (vf, tf) ->
+      match split_corpus ~valid_frac:vf ~test_frac:tf ~seed:1 (mk 5) with
+      | _ -> Alcotest.failf "accepted valid_frac=%f test_frac=%f" vf tf
+      | exception Invalid_argument _ -> ())
+    [ (-0.1, 0.2); (0.1, -0.2); (Float.nan, 0.2); (0.1, Float.nan) ]
+
 let test_stats () =
   let entries = entries_of Corpus.Render.Python in
   let s = Corpus.Dataset.stats entries in
@@ -217,6 +254,7 @@ let suite =
       [
         Alcotest.test_case "dedup" `Quick test_dedup;
         Alcotest.test_case "split" `Quick test_split;
+        Alcotest.test_case "split edge cases" `Quick test_split_edge_cases;
         Alcotest.test_case "stats" `Quick test_stats;
         Alcotest.test_case "md5" `Quick test_md5;
       ] );

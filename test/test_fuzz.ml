@@ -1,0 +1,304 @@
+(* Fuzz and fault-injection suite: the ingestion contract says every
+   front-end and model loader is *total* — arbitrary bytes in,
+   structured diagnostic or success out. Nothing may crash, hang,
+   overflow the stack, or leak an unclassified exception.
+
+   Property counts scale with PIGEON_FUZZ_COUNT (default 300 per
+   property) so CI can run a bounded smoke pass while a longer local
+   run digs deeper. *)
+
+let count =
+  match Option.bind (Sys.getenv_opt "PIGEON_FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 300
+
+let check_int = Alcotest.(check int)
+
+(* ---------- subjects ---------- *)
+
+let front_ends =
+  [
+    ("minijs", fun src -> ignore (Minijs.Parser.parse src));
+    ("minijava", fun src -> ignore (Minijava.Parser.parse src));
+    ("minipython", fun src -> ignore (Minipython.Parser.parse src));
+    ("minicsharp", fun src -> ignore (Minicsharp.Parser.parse src));
+  ]
+
+(* The property under test: Lexkit.protect classifies every failure;
+   an exception it re-raises is exactly the kind of bug we hunt. *)
+let total parse src =
+  match Lexkit.protect (fun () -> parse src) with Ok _ | Error _ -> true
+
+(* ---------- generators ---------- *)
+
+let print_input s =
+  let s = if String.length s > 160 then String.sub s 0 160 ^ "..." else s in
+  String.escaped s
+
+let bytes_arb =
+  QCheck.make ~print:print_input
+    QCheck.Gen.(string_size ~gen:char (int_bound 1024))
+
+(* Token soup: syntactically plausible fragments glued at random —
+   reaches far deeper into the parsers than raw bytes do. *)
+let fragments =
+  [
+    "if"; "else"; "while"; "for"; "function"; "class"; "def"; "return";
+    "var"; "new"; "try"; "catch"; "not"; "in"; "("; ")"; "{"; "}"; "[";
+    "]"; ";"; ":"; ","; "."; "="; "=="; "!"; "!="; "<="; "+"; "-"; "*";
+    "/"; "%"; "&&"; "||"; "x"; "foo"; "Bar"; "this"; "0"; "42"; "1.5";
+    "0x"; "\""; "'"; "\\"; "\\n"; "\n"; "\t"; "    "; "#"; "//"; "/*";
+    "*/"; "\x00"; "\xff"; "\xc3"; " ";
+  ]
+
+let soup_arb =
+  QCheck.make ~print:print_input
+    QCheck.Gen.(
+      map (String.concat "") (list_size (int_bound 120) (oneofl fragments)))
+
+(* Mutated valid programs: take a real generated source and damage it —
+   delete a byte, insert garbage, truncate, or duplicate a slice. *)
+let mutate src op a b c =
+  let n = String.length src in
+  if n = 0 then String.make 1 c
+  else
+    let p = a mod n in
+    match op with
+    | 0 -> String.sub src 0 p ^ String.sub src (p + 1) (n - p - 1)
+    | 1 -> String.sub src 0 p ^ String.make 1 c ^ String.sub src p (n - p)
+    | 2 -> String.sub src 0 p
+    | _ ->
+        let q = b mod n in
+        let lo = min p q and hi = max p q in
+        String.sub src 0 hi ^ String.sub src lo (hi - lo)
+        ^ String.sub src hi (n - hi)
+
+let mutated_arb seeds =
+  let seeds = Array.of_list seeds in
+  QCheck.make ~print:print_input
+    QCheck.Gen.(
+      int_bound (Array.length seeds - 1) >>= fun i ->
+      int_bound 3 >>= fun op ->
+      int_bound 100_000 >>= fun a ->
+      int_bound 100_000 >>= fun b ->
+      char >>= fun c -> return (mutate seeds.(i) op a b c))
+
+let corpus_sources render =
+  List.map snd
+    (Corpus.Gen.generate_sources
+       { Corpus.Gen.default with Corpus.Gen.n_files = 8; seed = 42 }
+       render)
+
+let renders =
+  [
+    ("minijs", Corpus.Render.Js);
+    ("minijava", Corpus.Render.Java);
+    ("minipython", Corpus.Render.Python);
+    ("minicsharp", Corpus.Render.Csharp);
+  ]
+
+(* ---------- front-end properties ---------- *)
+
+let front_end_tests =
+  List.concat_map
+    (fun (name, parse) ->
+      [
+        QCheck.Test.make ~count ~name:(name ^ " total on random bytes")
+          bytes_arb (total parse);
+        QCheck.Test.make ~count ~name:(name ^ " total on token soup")
+          soup_arb (total parse);
+        QCheck.Test.make ~count
+          ~name:(name ^ " total on mutated programs")
+          (mutated_arb (corpus_sources (List.assoc name renders)))
+          (total parse);
+      ])
+    front_ends
+
+(* ---------- model-loader properties ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let saved_text save model =
+  let path = Filename.temp_file "pigeon_fuzz" ".model" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      save model path;
+      read_file path)
+
+let crf_model_text =
+  lazy
+    (let mk_node id gold kind = { Crf.Graph.id; gold; kind } in
+     let g =
+       Crf.Graph.make
+         ~nodes:[ mk_node 0 "done" `Unknown; mk_node 1 "0" `Known ]
+         ~factors:
+           [
+             Crf.Graph.pairwise ~a:0 ~b:1 ~rel:"Assign=\xe2\x86\x93Number";
+             Crf.Graph.unary ~n:0 ~rel:"loop guard";
+           ]
+     in
+     let config =
+       { Crf.Train.default_config with Crf.Train.iterations = 2 }
+     in
+     saved_text Crf.Serialize.save (Crf.Train.train ~config [ g; g ]))
+
+let w2v_model_text =
+  lazy
+    (let pairs =
+       [ ("count", "i"); ("count", "n"); ("done", "flag"); ("i", "count") ]
+     in
+     let config =
+       { Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 2 }
+     in
+     saved_text Word2vec.Serialize.save (Word2vec.Sgns.train ~config pairs))
+
+let loader_total load s = match load s with Ok _ | Error _ -> true
+
+let loader_tests =
+  [
+    QCheck.Test.make ~count ~name:"crf loader total on random bytes" bytes_arb
+      (loader_total (Crf.Serialize.of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count ~name:"crf loader total on mutated models"
+      (mutated_arb [ Lazy.force crf_model_text ])
+      (loader_total (Crf.Serialize.of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count ~name:"w2v loader total on random bytes" bytes_arb
+      (loader_total (Word2vec.Serialize.of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count ~name:"w2v loader total on mutated models"
+      (mutated_arb [ Lazy.force w2v_model_text ])
+      (loader_total (Word2vec.Serialize.of_string ~source:"<fuzz>"));
+  ]
+
+(* ---------- deterministic pathological inputs ---------- *)
+
+let expect_kind name parse src kind =
+  match Lexkit.protect (fun () -> parse src) with
+  | Error d when d.Lexkit.Diag.kind = kind -> ()
+  | Error d ->
+      Alcotest.failf "%s: expected %s, got %s" name
+        (Lexkit.Diag.kind_name kind)
+        (Lexkit.Diag.to_string d)
+  | Ok _ -> Alcotest.failf "%s: pathological input accepted" name
+
+let expect_structured name parse src =
+  if not (total parse src) then Alcotest.failf "%s: escaped exception" name
+
+let test_paren_bomb () =
+  let bomb = String.make 20_000 '(' in
+  expect_kind "minijs"
+    (fun s -> ignore (Minijs.Parser.parse s))
+    bomb Lexkit.Diag.Depth_limit_exceeded;
+  expect_kind "minipython"
+    (fun s -> ignore (Minipython.Parser.parse s))
+    bomb Lexkit.Diag.Depth_limit_exceeded;
+  (* Java and C# reject a top-level "(" before it can nest; any
+     structured refusal is fine. *)
+  List.iter
+    (fun (name, parse) -> expect_structured name parse bomb)
+    front_ends
+
+let test_unary_chains () =
+  expect_kind "minijs bangs"
+    (fun s -> ignore (Minijs.Parser.parse s))
+    (String.make 50_000 '!' ^ "x;")
+    Lexkit.Diag.Depth_limit_exceeded;
+  expect_kind "minipython nots"
+    (fun s -> ignore (Minipython.Parser.parse s))
+    (String.concat "" (List.init 20_000 (fun _ -> "not ")) ^ "x")
+    Lexkit.Diag.Depth_limit_exceeded;
+  let ifs = String.concat "" (List.init 20_000 (fun _ -> "if(x)")) ^ ";" in
+  List.iter (fun (name, parse) -> expect_structured name parse ifs) front_ends
+
+let test_megabyte_identifier () =
+  let src = String.make 1_000_000 'a' in
+  List.iter (fun (name, parse) -> expect_structured name parse src) front_ends
+
+let test_size_limit () =
+  let src = String.make (9 * 1024 * 1024) 'a' in
+  List.iter
+    (fun (name, parse) ->
+      expect_kind name parse src Lexkit.Diag.Size_limit_exceeded)
+    front_ends
+
+let test_unterminated_string () =
+  expect_kind "minijs"
+    (fun s -> ignore (Minijs.Parser.parse s))
+    "var s = \"abc" Lexkit.Diag.Parse_error;
+  expect_kind "minipython"
+    (fun s -> ignore (Minipython.Parser.parse s))
+    "s = 'abc" Lexkit.Diag.Parse_error
+
+let test_loader_pathological () =
+  let giant_line = String.make 1_000_000 'a' in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        "crf loader total" true
+        (loader_total (Crf.Serialize.of_string ~source:"<t>") s);
+      Alcotest.(check bool)
+        "w2v loader total" true
+        (loader_total (Word2vec.Serialize.of_string ~source:"<t>") s))
+    [ ""; "\n\n\n"; giant_line; "pigeon-crf-model 99\n"; "\x00\x01\x02" ]
+
+(* ---------- end-to-end: corrupt corpus, exact skip tally ---------- *)
+
+let test_corrupt_corpus_training () =
+  let lang = Pigeon.Lang.javascript in
+  let sources =
+    Corpus.Gen.generate_sources
+      { Corpus.Gen.default with Corpus.Gen.n_files = 20; seed = 13 }
+      lang.Pigeon.Lang.render_lang
+  in
+  let train =
+    List.mapi
+      (fun i (p, s) -> if i mod 10 = 0 then (p, "\x00 broken " ^ s) else (p, s))
+      sources
+  in
+  let n_bad = List.length (List.filter (fun (_, s) -> s.[0] = '\x00') train) in
+  let test = List.filteri (fun i _ -> i mod 10 <> 0) sources in
+  let crf_config = { Crf.Train.default_config with Crf.Train.iterations = 2 } in
+  let r =
+    Pigeon.Task.run_crf ~crf_config ~lang ~policy:Pigeon.Graphs.Locals ~train
+      ~test ()
+  in
+  let skips = r.Pigeon.Task.train_skips in
+  check_int "attempted every file" (List.length train)
+    skips.Pigeon.Ingest.attempted;
+  check_int "exact skip tally" n_bad
+    (List.length skips.Pigeon.Ingest.skipped);
+  check_int "succeeded the rest"
+    (List.length train - n_bad)
+    skips.Pigeon.Ingest.succeeded;
+  check_int "clean test corpus" 0
+    (List.length r.Pigeon.Task.test_skips.Pigeon.Ingest.skipped)
+
+(* ---------- suite ---------- *)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest (front_end_tests @ loader_tests)
+      );
+      ( "pathological",
+        [
+          Alcotest.test_case "paren bomb" `Quick test_paren_bomb;
+          Alcotest.test_case "unary chains" `Quick test_unary_chains;
+          Alcotest.test_case "megabyte identifier" `Quick
+            test_megabyte_identifier;
+          Alcotest.test_case "size limit" `Quick test_size_limit;
+          Alcotest.test_case "unterminated string" `Quick
+            test_unterminated_string;
+          Alcotest.test_case "loader pathological" `Quick
+            test_loader_pathological;
+        ] );
+      ( "fault-injection",
+        [
+          Alcotest.test_case "corrupt corpus, exact tally" `Quick
+            test_corrupt_corpus_training;
+        ] );
+    ]

@@ -41,13 +41,29 @@ let graphs ~n ~seed =
 
 let train () = Crf.Train.train (graphs ~n:200 ~seed:5)
 
-let roundtrip model =
-  let path = Filename.temp_file "pigeon" ".crf" in
+let read_file path =
+  let ic = open_in_bin path in
   Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let with_temp_file ext f =
+  let path = Filename.temp_file "pigeon" ext in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let diag_kind = function
+  | Ok _ -> Alcotest.fail "expected a load failure"
+  | Error d -> d.Lexkit.Diag.kind
+
+let roundtrip model =
+  with_temp_file ".crf" (fun path ->
       Crf.Serialize.save model path;
-      Crf.Serialize.load path)
+      Crf.Serialize.load_exn path)
 
 let test_roundtrip_predictions () =
   let model = train () in
@@ -106,30 +122,78 @@ let test_double_roundtrip_stable () =
     (Crf.Train.predict once g = Crf.Train.predict twice g)
 
 let test_malformed_input () =
-  let path = Filename.temp_file "pigeon" ".crf" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
-      let oc = open_out path in
-      output_string oc "not a model\n";
-      close_out oc;
-      match Crf.Serialize.load path with
-      | _ -> Alcotest.fail "expected failure"
-      | exception Failure _ -> ())
+  with_temp_file ".crf" (fun path ->
+      write_file path "not a model\n";
+      check_bool "corrupt-model diagnostic" true
+        (diag_kind (Crf.Serialize.load path) = Lexkit.Diag.Corrupt_model))
 
 let test_unknown_record () =
-  let path = Filename.temp_file "pigeon" ".crf" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
-      let oc = open_out path in
-      output_string oc "pigeon-crf-model 1\nfrobnicate 42\n";
-      close_out oc;
+  with_temp_file ".crf" (fun path ->
+      write_file path "pigeon-crf-model 1\nfrobnicate 42\n";
       match Crf.Serialize.load path with
-      | _ -> Alcotest.fail "expected failure"
-      | exception Failure msg ->
-          check_bool "line number in error" true
-            (String.length msg > 0 && msg.[0] = 'l'))
+      | Ok _ -> Alcotest.fail "expected failure"
+      | Error d ->
+          check_bool "corrupt-model kind" true
+            (d.Lexkit.Diag.kind = Lexkit.Diag.Corrupt_model);
+          check_int "line number" 2
+            (match d.Lexkit.Diag.pos with
+            | Some p -> p.Lexkit.line
+            | None -> -1))
+
+let test_missing_file () =
+  check_bool "io-error diagnostic" true
+    (diag_kind (Crf.Serialize.load "/nonexistent/model.crf")
+    = Lexkit.Diag.Io_error)
+
+let test_truncation_detected () =
+  let model = train () in
+  with_temp_file ".crf" (fun path ->
+      Crf.Serialize.save model path;
+      let full = read_file path in
+      (* chop the trailer and some records off the end *)
+      let cut = String.length full - (String.length full / 4) in
+      write_file path (String.sub full 0 cut);
+      check_bool "truncation is a corrupt-model error" true
+        (diag_kind (Crf.Serialize.load path) = Lexkit.Diag.Corrupt_model))
+
+let test_trailing_garbage_detected () =
+  let model = train () in
+  with_temp_file ".crf" (fun path ->
+      Crf.Serialize.save model path;
+      write_file path (read_file path ^ "label extra\n");
+      check_bool "appended record is a corrupt-model error" true
+        (diag_kind (Crf.Serialize.load path) = Lexkit.Diag.Corrupt_model))
+
+let test_v1_compat () =
+  (* A version-1 file is a version-2 file minus the trailer. *)
+  let model = train () in
+  with_temp_file ".crf" (fun path ->
+      Crf.Serialize.save model path;
+      let lines = String.split_on_char '\n' (read_file path) in
+      let v1 =
+        List.filter
+          (fun l -> not (String.length l >= 4 && String.sub l 0 4 = "end "))
+          lines
+        |> List.map (fun l ->
+               if l = "pigeon-crf-model 2" then "pigeon-crf-model 1" else l)
+        |> String.concat "\n"
+      in
+      write_file path v1;
+      let model' = Crf.Serialize.load_exn path in
+      let g = List.hd (graphs ~n:1 ~seed:11) in
+      check_bool "v1 file predicts identically" true
+        (Crf.Train.predict model g = Crf.Train.predict model' g))
+
+let test_of_string_roundtrip () =
+  let model = train () in
+  with_temp_file ".crf" (fun path ->
+      Crf.Serialize.save model path;
+      match Crf.Serialize.of_string (read_file path) with
+      | Error d -> Alcotest.fail (Lexkit.Diag.to_string d)
+      | Ok model' ->
+          let g = List.hd (graphs ~n:1 ~seed:12) in
+          check_bool "of_string predicts identically" true
+            (Crf.Train.predict model g = Crf.Train.predict model' g))
 
 (* ---------- word2vec serialization ---------- *)
 
@@ -142,12 +206,9 @@ let sgns_pairs ~n ~seed =
       else (pick [ "count"; "total" ], pick [ "init zero"; "incr" ]))
 
 let w2v_roundtrip model =
-  let path = Filename.temp_file "pigeon" ".w2v" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
+  with_temp_file ".w2v" (fun path ->
       Word2vec.Serialize.save model path;
-      Word2vec.Serialize.load path)
+      Word2vec.Serialize.load_exn path)
 
 let test_w2v_roundtrip_predictions () =
   let model =
@@ -184,16 +245,36 @@ let test_w2v_roundtrip_config () =
   check_int "epochs" 2 model'.Word2vec.Sgns.config.Word2vec.Sgns.epochs
 
 let test_w2v_malformed () =
-  let path = Filename.temp_file "pigeon" ".w2v" in
-  Fun.protect
-    ~finally:(fun () -> Sys.remove path)
-    (fun () ->
-      let oc = open_out path in
-      output_string oc "garbage\n";
-      close_out oc;
-      match Word2vec.Serialize.load path with
-      | _ -> Alcotest.fail "expected failure"
-      | exception Failure _ -> ())
+  with_temp_file ".w2v" (fun path ->
+      write_file path "garbage\n";
+      check_bool "corrupt-model diagnostic" true
+        (diag_kind (Word2vec.Serialize.load path) = Lexkit.Diag.Corrupt_model))
+
+let test_w2v_truncation_detected () =
+  let model =
+    Word2vec.Sgns.train
+      ~config:{ Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 2 }
+      (sgns_pairs ~n:200 ~seed:6)
+  in
+  with_temp_file ".w2v" (fun path ->
+      Word2vec.Serialize.save model path;
+      let full = read_file path in
+      let cut = String.length full - (String.length full / 3) in
+      write_file path (String.sub full 0 cut);
+      check_bool "truncation is a corrupt-model error" true
+        (diag_kind (Word2vec.Serialize.load path) = Lexkit.Diag.Corrupt_model))
+
+let test_w2v_trailing_garbage_detected () =
+  let model =
+    Word2vec.Sgns.train
+      ~config:{ Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 2 }
+      (sgns_pairs ~n:200 ~seed:7)
+  in
+  with_temp_file ".w2v" (fun path ->
+      Word2vec.Serialize.save model path;
+      write_file path (read_file path ^ "w extra 1 0 0\n");
+      check_bool "appended record is a corrupt-model error" true
+        (diag_kind (Word2vec.Serialize.load path) = Lexkit.Diag.Corrupt_model))
 
 let suite =
   [
@@ -203,6 +284,8 @@ let suite =
         Alcotest.test_case "similarity round-trip" `Quick test_w2v_roundtrip_similarity;
         Alcotest.test_case "config round-trip" `Quick test_w2v_roundtrip_config;
         Alcotest.test_case "malformed input" `Quick test_w2v_malformed;
+        Alcotest.test_case "truncation detected" `Quick test_w2v_truncation_detected;
+        Alcotest.test_case "trailing garbage detected" `Quick test_w2v_trailing_garbage_detected;
       ] );
     ( "serialize",
       [
@@ -213,6 +296,11 @@ let suite =
         Alcotest.test_case "double round-trip stable" `Quick test_double_roundtrip_stable;
         Alcotest.test_case "malformed input" `Quick test_malformed_input;
         Alcotest.test_case "unknown record" `Quick test_unknown_record;
+        Alcotest.test_case "missing file" `Quick test_missing_file;
+        Alcotest.test_case "truncation detected" `Quick test_truncation_detected;
+        Alcotest.test_case "trailing garbage detected" `Quick test_trailing_garbage_detected;
+        Alcotest.test_case "v1 compatibility" `Quick test_v1_compat;
+        Alcotest.test_case "of_string round-trip" `Quick test_of_string_roundtrip;
       ] );
   ]
 
