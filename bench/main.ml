@@ -688,6 +688,231 @@ let extract_bench () =
   close_out oc;
   Printf.printf "wrote BENCH_extract.json\n%!"
 
+(* ---------- parallel scaling (BENCH_parallel.json) ---------- *)
+
+(* Sweep the job count over the four parallel stages. Determinism is
+   asserted unconditionally — extraction and evaluation must be
+   identical for every job count, training identical at jobs=1 — and
+   a speedup floor is enforced only when the host actually has the
+   cores to show one (a 1-core container can prove correctness, not
+   scaling; the JSON records which case ran). *)
+let parallel_bench () =
+  header "Parallel scaling - jobs sweep over extraction, CRF, SGNS, eval";
+  let cores = Domain.recommended_domain_count () in
+  let max_jobs = Parallel.default_jobs () in
+  let jobs_list =
+    List.sort_uniq Int.compare [ 1; 2; 4; max_jobs ]
+  in
+  Printf.printf "host: %d recommended domains; sweeping jobs = %s\n%!" cores
+    (String.concat ", " (List.map string_of_int jobs_list));
+  let pools = Hashtbl.create 4 in
+  let pool jobs =
+    match Hashtbl.find_opt pools jobs with
+    | Some p -> p
+    | None ->
+        let p = Parallel.create ~jobs () in
+        Hashtbl.add pools jobs p;
+        p
+  in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let failures = ref 0 in
+  let check name ok =
+    if not ok then begin
+      incr failures;
+      Printf.printf "  FAIL: %s\n%!" name
+    end
+  in
+  let lang = Pigeon.Lang.javascript in
+  let train, test = corpus_for lang ~n:(scaled 240) in
+  let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+  (* Warm-up parse so first-touch costs don't pollute the jobs=1 row. *)
+  ignore (lang.Pigeon.Lang.parse_tree (snd (List.hd train)));
+
+  (* extraction: sources -> factor graphs *)
+  let extract jobs =
+    timed (fun () ->
+        Pigeon.Task.graphs_of_sources_report ~pool:(pool jobs) ~repr ~lang
+          ~policy:Pigeon.Graphs.Locals train)
+  in
+  let (base_graphs, base_report), t_extract1 = extract 1 in
+  let extract_rows =
+    List.map
+      (fun jobs ->
+        if jobs = 1 then (jobs, t_extract1)
+        else begin
+          let (gs, rep), t = extract jobs in
+          check
+            (Printf.sprintf "extraction jobs=%d differs from jobs=1" jobs)
+            (gs = base_graphs && rep = base_report);
+          (jobs, t)
+        end)
+      jobs_list
+  in
+
+  (* CRF training over the extracted graphs *)
+  let test_graphs =
+    Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals test
+  in
+  let cfg = crf_config 6 in
+  let seq_model, t_crf_seq = timed (fun () -> Crf.Train.train ~config:cfg base_graphs) in
+  let seq_preds = List.map (Crf.Train.predict seq_model) test_graphs in
+  let crf_rows =
+    List.map
+      (fun jobs ->
+        let m, t =
+          timed (fun () ->
+              Crf.Train.train ~pool:(pool jobs) ~config:cfg base_graphs)
+        in
+        let acc = Crf.Train.accuracy m test_graphs in
+        if jobs = 1 then
+          check "CRF jobs=1 training differs from sequential"
+            (List.map (Crf.Train.predict m) test_graphs = seq_preds);
+        (jobs, t, acc))
+      jobs_list
+  in
+
+  (* SGNS training over path contexts *)
+  let w2v_pairs =
+    List.concat_map
+      (fun (_, src) ->
+        Pigeon.W2v_task.pairs_of_source ~lang
+          ~mode:(Pigeon.W2v_task.Paths repr) src
+        |> List.concat_map (fun (name, ctxs) ->
+               List.map (fun c -> (name, c)) ctxs))
+      train
+  in
+  let sgns_cfg =
+    { Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 5 }
+  in
+  let seq_sgns, t_sgns_seq =
+    timed (fun () -> Word2vec.Sgns.train ~config:sgns_cfg w2v_pairs)
+  in
+  let sgns_rows =
+    List.map
+      (fun jobs ->
+        let m, t =
+          timed (fun () ->
+              Word2vec.Sgns.train ~pool:(pool jobs)
+                ~mode:Word2vec.Sgns.Deterministic ~config:sgns_cfg w2v_pairs)
+        in
+        if jobs = 1 then
+          check "SGNS jobs=1 not bitwise-identical to sequential"
+            (m.Word2vec.Sgns.word_vecs = seq_sgns.Word2vec.Sgns.word_vecs
+            && m.Word2vec.Sgns.context_vecs
+               = seq_sgns.Word2vec.Sgns.context_vecs);
+        (jobs, t))
+      jobs_list
+  in
+  let _, t_hogwild =
+    timed (fun () ->
+        Word2vec.Sgns.train ~pool:(pool max_jobs) ~mode:Word2vec.Sgns.Hogwild
+          ~config:sgns_cfg w2v_pairs)
+  in
+
+  (* evaluation: batch MAP inference over the test graphs *)
+  let eval jobs =
+    timed (fun () ->
+        Crf.Train.predict_batch ~pool:(pool jobs) seq_model test_graphs)
+  in
+  let base_eval, t_eval1 = eval 1 in
+  check "eval jobs=1 differs from per-graph predict" (base_eval = seq_preds);
+  let eval_rows =
+    List.map
+      (fun jobs ->
+        if jobs = 1 then (jobs, t_eval1)
+        else begin
+          let preds, t = eval jobs in
+          check
+            (Printf.sprintf "eval jobs=%d differs from jobs=1" jobs)
+            (preds = base_eval);
+          (jobs, t)
+        end)
+      jobs_list
+  in
+
+  let speedup base t = base /. t in
+  Printf.printf "%-12s %6s %10s %8s\n" "stage" "jobs" "seconds" "speedup";
+  let print_stage name base rows =
+    List.iter
+      (fun (jobs, t) ->
+        Printf.printf "%-12s %6d %10.3f %7.2fx\n%!" name jobs t
+          (speedup base t))
+      rows
+  in
+  print_stage "extraction" t_extract1 extract_rows;
+  List.iter
+    (fun (jobs, t, acc) ->
+      Printf.printf "%-12s %6d %10.3f %7.2fx  (acc %.1f%%, seq %.3fs)\n%!"
+        "crf-train" jobs t (speedup t_crf_seq t) (pct acc) t_crf_seq)
+    crf_rows;
+  print_stage "sgns-train" t_sgns_seq sgns_rows;
+  Printf.printf "%-12s %6d %10.3f %7.2fx  (vs seq %.3fs)\n%!" "sgns-hogwild"
+    max_jobs t_hogwild (speedup t_sgns_seq t_hogwild) t_sgns_seq;
+  print_stage "eval" t_eval1 eval_rows;
+
+  (* Speedup floor: only meaningful with real cores under the pool. *)
+  let speedup_at rows jobs =
+    match List.assoc_opt jobs rows with
+    | Some t -> (match List.assoc_opt 1 rows with
+        | Some t1 -> t1 /. t
+        | None -> 1.)
+    | None -> 1.
+  in
+  let gate_enforced = cores >= 4 in
+  if gate_enforced then begin
+    check
+      (Printf.sprintf "extraction speedup at 4 jobs %.2fx < 2.5x"
+         (speedup_at extract_rows 4))
+      (speedup_at extract_rows 4 >= 2.5);
+    check
+      (Printf.sprintf "eval speedup at 4 jobs %.2fx < 2.5x"
+         (speedup_at eval_rows 4))
+      (speedup_at eval_rows 4 >= 2.5)
+  end
+  else
+    Printf.printf
+      "speedup floor not enforced: host has %d cores (< 4); determinism \
+       checks ran unconditionally\n%!"
+      cores;
+
+  let oc = open_out "BENCH_parallel.json" in
+  let row_json (jobs, t) base =
+    Printf.sprintf "{\"jobs\": %d, \"seconds\": %.4f, \"speedup\": %.3f}" jobs
+      t (base /. t)
+  in
+  let stage_json name base rows =
+    Printf.sprintf "    \"%s\": [%s]" name
+      (String.concat ", " (List.map (fun r -> row_json r base) rows))
+  in
+  Printf.fprintf oc "{\n  \"bench\": \"parallel-scaling\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n  \"cores\": %d,\n  \"jobs\": [%s],\n"
+    !quick cores
+    (String.concat ", " (List.map string_of_int jobs_list));
+  Printf.fprintf oc "  \"speedup_floor_enforced\": %b,\n" gate_enforced;
+  Printf.fprintf oc "  \"stages\": {\n%s,\n%s,\n%s,\n%s\n  },\n"
+    (stage_json "extraction" t_extract1 extract_rows)
+    (stage_json "crf_train" t_crf_seq
+       (List.map (fun (j, t, _) -> (j, t)) crf_rows))
+    (stage_json "sgns_train" t_sgns_seq sgns_rows)
+    (stage_json "eval" t_eval1 eval_rows);
+  Printf.fprintf oc
+    "  \"sgns_hogwild\": {\"jobs\": %d, \"seconds\": %.4f, \"speedup\": \
+     %.3f},\n"
+    max_jobs t_hogwild (t_sgns_seq /. t_hogwild);
+  Printf.fprintf oc "  \"determinism_failures\": %d\n}\n" !failures;
+  close_out oc;
+  Hashtbl.iter (fun _ p -> Parallel.shutdown p) pools;
+  Printf.printf "wrote BENCH_parallel.json\n%!";
+  if !failures > 0 then begin
+    Printf.printf "parallel scaling: %d check failures\n%!" !failures;
+    exit 1
+  end
+  else Printf.printf "parallel scaling: all determinism checks passed\n%!"
+
 (* ---------- bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -769,6 +994,7 @@ let experiments =
     ("fig11", fig11);
     ("fig12", fig12);
     ("fault", fault);
+    ("parallel", parallel_bench);
     ("micro", micro);
   ]
 

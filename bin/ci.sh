@@ -1,14 +1,21 @@
 #!/bin/sh
-# CI smoke test: full build, the tier-1 test suite, a bounded fuzz
+# CI smoke test: full build, the tier-1 test suite (run twice: once as
+# configured, once with a 2-job ambient pool so every job-invariance
+# contract is exercised under real worker domains), a bounded fuzz
 # pass over the front-ends and model loaders, the fault-injection
-# bench (10%-corrupt corpora must train with exact skip tallies), and
-# the micro benchmark (which also regenerates BENCH_extract.json and
-# checks the iterator engine against the naive baseline corpus-wide).
+# bench (10%-corrupt corpora must train with exact skip tallies), the
+# parallel-scaling bench (regenerates BENCH_parallel.json; determinism
+# checks always, speedup floor only on >= 4-core hosts), and the micro
+# benchmark (which also regenerates BENCH_extract.json and checks the
+# iterator engine against the naive baseline corpus-wide).
 set -eu
 cd "$(dirname "$0")/.."
 
 dune build
 dune runtest
+PIGEON_JOBS=2 dune exec test/test_parallel.exe
+PIGEON_JOBS=2 dune exec test/test_core.exe
 PIGEON_FUZZ_COUNT=400 dune exec test/test_fuzz.exe
 dune exec bench/main.exe -- --quick fault
+dune exec bench/main.exe -- --quick parallel
 dune exec bench/main.exe -- --quick micro

@@ -41,6 +41,24 @@ let lang_arg =
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Source file.")
 
+(* --jobs wins over PIGEON_JOBS; both default to the machine's core
+   count. Ingestion always uses the resulting shared pool (identical
+   results for any job count); training additionally opts into
+   parallel rounds when more than one job is available. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel stages. Defaults to \
+           $(b,PIGEON_JOBS) or the machine's core count.")
+
+let pool_of_jobs jobs =
+  (match jobs with Some n -> Parallel.set_default_jobs n | None -> ());
+  let p = Parallel.get_pool () in
+  if Parallel.jobs p > 1 then Some p else None
+
 let read_file path =
   try
     let ic = open_in_bin path in
@@ -136,8 +154,9 @@ let rename_cmd =
       value & opt int 300
       & info [ "train-files" ] ~doc:"Synthetic training corpus size.")
   in
-  let run lang n file =
+  let run lang n jobs file =
     handle_parse_errors @@ fun () ->
+    let pool = pool_of_jobs jobs in
     let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed = 42 } in
     let sources =
       Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang
@@ -148,7 +167,7 @@ let rename_cmd =
         sources
     in
     Format.eprintf "training on %d graphs...@." (List.length graphs);
-    let model = Crf.Train.train graphs in
+    let model = Crf.Train.train ?pool graphs in
     let src = read_file file in
     let tree = lang.Pigeon.Lang.parse_tree src in
     let g =
@@ -167,7 +186,7 @@ let rename_cmd =
        ~doc:
          "Predict names for the local variables of a file (train on a fresh \
           synthetic corpus).")
-    Term.(const run $ lang_arg $ train_files $ file_arg)
+    Term.(const run $ lang_arg $ train_files $ jobs_arg $ file_arg)
 
 (* ---------- train ---------- *)
 
@@ -179,8 +198,9 @@ let train_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL"
          ~doc:"Output model file.")
   in
-  let run lang n out =
+  let run lang n jobs out =
     handle_parse_errors @@ fun () ->
+    let pool = pool_of_jobs jobs in
     let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed = 42 } in
     let sources =
       Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang
@@ -191,7 +211,7 @@ let train_cmd =
         sources
     in
     Format.eprintf "training on %d graphs...@." (List.length graphs);
-    let model = Crf.Train.train graphs in
+    let model = Crf.Train.train ?pool graphs in
     Crf.Serialize.save model out;
     Format.printf "wrote %s (%d features)@." out
       (Crf.Model.size model.Crf.Train.weights)
@@ -199,7 +219,7 @@ let train_cmd =
   Cmd.v
     (Cmd.info "train"
        ~doc:"Train a variable-name model on a synthetic corpus and save it.")
-    Term.(const run $ lang_arg $ files_arg $ out_arg)
+    Term.(const run $ lang_arg $ files_arg $ jobs_arg $ out_arg)
 
 (* ---------- predict (from a saved model) ---------- *)
 

@@ -9,12 +9,18 @@ type report = { attempted : int; succeeded : int; skipped : skip list }
 
 let empty = { attempted = 0; succeeded = 0; skipped = [] }
 
-let merge a b =
+(* One List.concat over all skip lists, not a fold of [@]: folding
+   binary appends re-copies the accumulated prefix at every step,
+   which is quadratic exactly when it hurts — merging many per-domain
+   (or per-corpus) reports. *)
+let merge_all reports =
   {
-    attempted = a.attempted + b.attempted;
-    succeeded = a.succeeded + b.succeeded;
-    skipped = a.skipped @ b.skipped;
+    attempted = List.fold_left (fun n r -> n + r.attempted) 0 reports;
+    succeeded = List.fold_left (fun n r -> n + r.succeeded) 0 reports;
+    skipped = List.concat_map (fun r -> r.skipped) reports;
   }
+
+let merge a b = merge_all [ a; b ]
 
 let log_src = Logs.Src.create "pigeon.ingest"
 
@@ -29,30 +35,38 @@ let diag_of_unexpected exn =
       Lexkit.Diag.make Lexkit.Diag.Parse_error
         (Printf.sprintf "unexpected exception: %s" (Printexc.to_string exn))
 
-let run ~f sources =
-  let skipped = ref [] in
-  let succeeded = ref 0 in
-  let results =
-    List.filter_map
-      (fun (name, src) ->
-        let outcome =
-          match Lexkit.protect ~file:name (fun () -> f name src) with
-          | r -> r
-          | exception exn -> Result.Error (diag_of_unexpected exn)
-        in
-        match outcome with
-        | Ok v ->
-            incr succeeded;
-            Some v
-        | Result.Error diag ->
-            let diag = Lexkit.Diag.with_file name diag in
-            skipped := { file = name; bytes = String.length src; diag } :: !skipped;
-            None)
-      sources
+(* Per-file ingestion is pure (parsers, guards, and extraction rngs
+   are all per-call), so files fan out across the pool; the fold back
+   into results + report walks the per-file outcomes in source order,
+   which makes the skip report — and everything downstream — identical
+   for every job count. With a 1-job pool the outcomes are computed
+   inline in source order: byte-identical to the sequential runner. *)
+let run ?pool ~f sources =
+  let sources = Array.of_list sources in
+  let eval (name, src) =
+    let outcome =
+      match Lexkit.protect ~file:name (fun () -> f name src) with
+      | r -> r
+      | exception exn -> Result.Error (diag_of_unexpected exn)
+    in
+    match outcome with
+    | Ok v -> Ok v
+    | Result.Error diag ->
+        let diag = Lexkit.Diag.with_file name diag in
+        Result.Error { file = name; bytes = String.length src; diag }
   in
-  ( results,
+  let outcomes = Parallel.map ?pool eval sources in
+  let results = ref [] and skipped = ref [] and succeeded = ref 0 in
+  Array.iter
+    (function
+      | Ok v ->
+          incr succeeded;
+          results := v :: !results
+      | Result.Error skip -> skipped := skip :: !skipped)
+    outcomes;
+  ( List.rev !results,
     {
-      attempted = List.length sources;
+      attempted = Array.length sources;
       succeeded = !succeeded;
       skipped = List.rev !skipped;
     } )

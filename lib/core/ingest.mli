@@ -18,10 +18,22 @@ type report = { attempted : int; succeeded : int; skipped : skip list }
 val empty : report
 val merge : report -> report -> report
 
+val merge_all : report list -> report
+(** Merge many reports (e.g. per-domain or per-corpus) in list order
+    with a single concatenation — linear where a fold of {!merge}
+    would be quadratic in the total skip count. *)
+
 val run :
-  f:(string -> string -> 'a) -> (string * string) list -> 'a list * report
-(** [run ~f sources] applies [f name source] to every file, in order,
-    keeping the successful results. *)
+  ?pool:Parallel.pool ->
+  f:(string -> string -> 'a) ->
+  (string * string) list ->
+  'a list * report
+(** [run ~f sources] applies [f name source] to every file, keeping
+    the successful results in source order. Files are fanned out over
+    [pool] (default: the shared {!Parallel.get_pool}); results and the
+    skip report are merged back in source order, so the output is
+    identical for every job count, and byte-identical to a sequential
+    run when the pool has one job. [f] must be pure per file. *)
 
 val counts : report -> (Lexkit.Diag.kind * int) list
 (** Skips bucketed by error kind; only non-zero buckets, in the

@@ -6,8 +6,8 @@ type result = {
   test_skips : Ingest.report;
 }
 
-let graphs_of_sources_report ~repr ~lang ~policy sources =
-  Ingest.run
+let graphs_of_sources_report ?pool ~repr ~lang ~policy sources =
+  Ingest.run ?pool
     ~f:(fun _name src ->
       Graphs.build repr ~def_labels:lang.Lang.def_labels ~policy
         (lang.Lang.parse_tree src))
@@ -18,16 +18,17 @@ let graphs_of_sources ~repr ~lang ~policy sources =
   Ingest.log ~label:lang.Lang.name report;
   graphs
 
-let eval_pairs model graphs =
-  List.concat_map
-    (fun g ->
-      let pred = Crf.Train.predict model g in
-      let gold = Crf.Graph.gold_assignment g in
-      List.map (fun n -> (gold.(n), pred.(n))) (Crf.Graph.unknown_ids g))
-    graphs
+let eval_pairs ?pool model graphs =
+  let preds = Crf.Train.predict_batch ?pool model graphs in
+  List.concat
+    (List.map2
+       (fun g pred ->
+         let gold = Crf.Graph.gold_assignment g in
+         List.map (fun n -> (gold.(n), pred.(n))) (Crf.Graph.unknown_ids g))
+       graphs preds)
 
-let run_crf ?repr ?(crf_config = Crf.Train.default_config) ~lang ~policy ~train
-    ~test () =
+let run_crf ?pool ?repr ?(crf_config = Crf.Train.default_config) ~lang ~policy
+    ~train ~test () =
   let repr =
     match repr with
     | Some r -> r
@@ -63,7 +64,7 @@ let run_crf ?repr ?(crf_config = Crf.Train.default_config) ~lang ~policy ~train
   Ingest.log ~label:(lang.Lang.name ^ " train") train_skips;
   Ingest.log ~label:(lang.Lang.name ^ " test") test_skips;
   let t0 = Unix.gettimeofday () in
-  let model = Crf.Train.train ~config:crf_config train_graphs in
+  let model = Crf.Train.train ?pool ~config:crf_config train_graphs in
   let train_seconds = Unix.gettimeofday () -. t0 in
   let summary = Metrics.summarize (eval_pairs model test_graphs) in
   { summary; train_seconds; model; train_skips; test_skips }
@@ -82,8 +83,8 @@ let typed_graphs ~repr sources =
   Ingest.log ~label:"java-typed" report;
   graphs
 
-let run_full_types ?repr ?(crf_config = Crf.Train.default_config) ~train ~test
-    () =
+let run_full_types ?pool ?repr ?(crf_config = Crf.Train.default_config) ~train
+    ~test () =
   let repr =
     match repr with
     | Some r -> r
@@ -97,7 +98,7 @@ let run_full_types ?repr ?(crf_config = Crf.Train.default_config) ~train ~test
   Ingest.log ~label:"java-typed train" train_skips;
   Ingest.log ~label:"java-typed test" test_skips;
   let t0 = Unix.gettimeofday () in
-  let model = Crf.Train.train ~config:crf_config train_graphs in
+  let model = Crf.Train.train ?pool ~config:crf_config train_graphs in
   let train_seconds = Unix.gettimeofday () -. t0 in
   let summary = Metrics.summarize (eval_pairs model test_graphs) in
   { summary; train_seconds; model; train_skips; test_skips }

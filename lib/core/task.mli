@@ -10,6 +10,7 @@ type result = {
 }
 
 val graphs_of_sources_report :
+  ?pool:Parallel.pool ->
   repr:Graphs.repr ->
   lang:Lang.t ->
   policy:Graphs.policy ->
@@ -18,7 +19,9 @@ val graphs_of_sources_report :
 (** Parse every (filename, source), lower, and build one factor graph
     per file. Every per-file failure — parse error, resource limit,
     anything a hostile input can provoke — is isolated and tallied in
-    the report; the run never aborts. *)
+    the report; the run never aborts. Files fan out over [pool]
+    (default: the ambient shared pool); graphs and report are
+    identical for every job count. *)
 
 val graphs_of_sources :
   repr:Graphs.repr ->
@@ -30,6 +33,7 @@ val graphs_of_sources :
     real corpus pipeline would. *)
 
 val run_crf :
+  ?pool:Parallel.pool ->
   ?repr:Graphs.repr ->
   ?crf_config:Crf.Train.config ->
   lang:Lang.t ->
@@ -41,9 +45,14 @@ val run_crf :
 (** Variable-name or method-name prediction with CRFs. [repr] defaults
     to the language's tuned config for the chosen task. Accuracy is
     the paper's exact-match metric; [train_seconds] is measured
-    wall-clock training time (used by Figs. 11–12). *)
+    wall-clock training time (used by Figs. 11–12).
+
+    [pool] opts *training* into parallel rounds (see {!Crf.Train.train}
+    for the exact semantics); ingestion and evaluation always batch
+    over the ambient shared pool, which never changes their results. *)
 
 val run_full_types :
+  ?pool:Parallel.pool ->
   ?repr:Graphs.repr ->
   ?crf_config:Crf.Train.config ->
   train:(string * string) list ->

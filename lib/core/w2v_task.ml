@@ -118,8 +118,8 @@ type result = {
   test_skips : Ingest.report;
 }
 
-let run ?(sgns_config = Word2vec.Sgns.default_config) ~lang ~mode ~train ~test
-    () =
+let run ?pool ?parallel_mode ?(sgns_config = Word2vec.Sgns.default_config)
+    ~lang ~mode ~train ~test () =
   let collect label sources =
     let per_file, report =
       Ingest.run ~f:(fun _name src -> pairs_of_source ~lang ~mode src) sources
@@ -133,7 +133,10 @@ let run ?(sgns_config = Word2vec.Sgns.default_config) ~lang ~mode ~train ~test
       (fun (name, ctxs) -> List.map (fun c -> (name, c)) ctxs)
       train_elems
   in
-  let model = Word2vec.Sgns.train ~config:sgns_config train_pairs in
+  let model =
+    Word2vec.Sgns.train ?pool ?mode:parallel_mode ~config:sgns_config
+      train_pairs
+  in
   let test_elems, test_skips = collect "test" test in
   let eval =
     List.filter_map

@@ -32,6 +32,8 @@ type result = {
 }
 
 val run :
+  ?pool:Parallel.pool ->
+  ?parallel_mode:Word2vec.Sgns.parallel_mode ->
   ?sgns_config:Word2vec.Sgns.config ->
   lang:Lang.t ->
   mode:mode ->
@@ -39,3 +41,7 @@ val run :
   test:(string * string) list ->
   unit ->
   result
+(** [pool] opts SGNS *training* into sharded parallel epochs under
+    [parallel_mode] (see {!Word2vec.Sgns.train}); pair collection
+    always fans out over the ambient shared pool, which never changes
+    its results. *)

@@ -74,6 +74,22 @@ let create () =
     steps = 0;
   }
 
+(* A per-domain write target for one parallel training slice: shares
+   the (frozen) interners, starts with empty weight tables that hold
+   only this slice's updates. *)
+let delta_of m =
+  {
+    labels = m.labels;
+    rels = m.rels;
+    pw = Hashtbl.create 1024;
+    un = Hashtbl.create 256;
+    bias = Hashtbl.create 64;
+    pw_u = Hashtbl.create 1024;
+    un_u = Hashtbl.create 256;
+    bias_u = Hashtbl.create 64;
+    steps = 0;
+  }
+
 let labels m = m.labels
 
 let get tbl k = match Hashtbl.find_opt tbl k with Some v -> v | None -> 0.
@@ -83,6 +99,17 @@ let add tbl k d =
     match Hashtbl.find_opt tbl k with
     | Some v -> Hashtbl.replace tbl k (v +. d)
     | None -> Hashtbl.add tbl k d
+
+(* Fold one slice's deltas back into the model. Callers merge slices
+   in pass order, so the result depends only on the slice boundaries
+   (i.e. the job count), never on domain scheduling. *)
+let merge_delta m d =
+  Hashtbl.iter (add m.pw) d.pw;
+  Hashtbl.iter (add m.un) d.un;
+  Hashtbl.iter (add m.bias) d.bias;
+  Hashtbl.iter (add m.pw_u) d.pw_u;
+  Hashtbl.iter (add m.un_u) d.un_u;
+  Hashtbl.iter (add m.bias_u) d.bias_u
 
 let encode m (g : Graph.t) =
   let n = Array.length g.Graph.nodes in
@@ -268,20 +295,22 @@ let map_assignment ?cand cfg cands m eg ~force_gold ~seed =
   assignment
 
 (* Perceptron update: +1 on gold features, -1 on predicted features,
-   per factor occurrence, restricted to factors touching an unknown. *)
-let update m eg ~gold ~pred =
-  let t = float_of_int m.steps in
+   per factor occurrence, restricted to factors touching an unknown.
+   Writes go to [wr]: the model itself when training sequentially, a
+   per-domain delta when a parallel pass accumulates updates. *)
+let update wr eg ~gold ~pred =
+  let t = float_of_int wr.steps in
   let upd_pw k d =
-    add m.pw k d;
-    add m.pw_u k (t *. d)
+    add wr.pw k d;
+    add wr.pw_u k (t *. d)
   in
   let upd_un k d =
-    add m.un k d;
-    add m.un_u k (t *. d)
+    add wr.un k d;
+    add wr.un_u k (t *. d)
   in
   let upd_bias k d =
-    add m.bias k d;
-    add m.bias_u k (t *. d)
+    add wr.bias k d;
+    add wr.bias_u k (t *. d)
   in
   Array.iteri
     (fun fi a ->
@@ -321,18 +350,21 @@ let update m eg ~gold ~pred =
    (ICM). Cf. the pseudolikelihood training classically used for CRFs. *)
 (* Mistake-driven pseudolikelihood perceptron: each unknown node is
    scored with every other node clamped to gold; a wrong local argmax
-   updates only the factors touching that node. *)
-let pseudo_perceptron_pass m eg ~cand =
+   updates only the factors touching that node. Scores read [rd],
+   updates land in [wr]; sequential training passes the same model for
+   both (updates are visible immediately, the historical behavior),
+   parallel passes read the round-start model and write a delta. *)
+let pseudo_perceptron_pass ~rd ~wr eg ~cand =
   let gold = eg.gold in
   Array.iteri
     (fun i n ->
       let cs = cand.(i) in
       if Array.length cs > 0 then begin
-        m.steps <- m.steps + 1;
+        wr.steps <- wr.steps + 1;
         let best = ref gold.(n) and best_score = ref neg_infinity in
         Array.iter
           (fun l ->
-            let sc = node_score m eg n gold l in
+            let sc = node_score rd eg n gold l in
             if sc > !best_score then begin
               best_score := sc;
               best := l
@@ -340,7 +372,7 @@ let pseudo_perceptron_pass m eg ~cand =
           cs;
         let p = !best in
         if p <> gold.(n) then begin
-          let t = float_of_int m.steps in
+          let t = float_of_int wr.steps in
           let upd tbl tbl_u k d =
             add tbl k d;
             add tbl_u k (t *. d)
@@ -357,42 +389,42 @@ let pseudo_perceptron_pass m eg ~cand =
                   (if b = n then p else gold.(b))
               in
               if kg <> kp then begin
-                upd m.pw m.pw_u kg mult;
-                upd m.pw m.pw_u kp (-.mult)
+                upd wr.pw wr.pw_u kg mult;
+                upd wr.pw wr.pw_u kp (-.mult)
               end)
             eg.touch_pw.(n);
           Array.iter
             (fun fi ->
               let r = eg.un_rel.(fi) and mult = eg.un_mult.(fi) in
-              upd m.un m.un_u (un_key gold.(n) r) mult;
-              upd m.un m.un_u (un_key p r) (-.mult))
+              upd wr.un wr.un_u (un_key gold.(n) r) mult;
+              upd wr.un wr.un_u (un_key p r) (-.mult))
             eg.touch_un.(n);
-          upd m.bias m.bias_u gold.(n) 1.;
-          upd m.bias m.bias_u p (-1.)
+          upd wr.bias wr.bias_u gold.(n) 1.;
+          upd wr.bias wr.bias_u p (-1.)
         end
       end)
     eg.unknown
 
-let pseudo_gradient_pass m eg ~cand ~lr =
+let pseudo_gradient_pass ~rd ~wr eg ~cand ~lr =
   let gold = eg.gold in
   Array.iteri
     (fun i n ->
       let cs = cand.(i) in
       let k = Array.length cs in
       if k > 0 then begin
-        m.steps <- m.steps + 1;
+        wr.steps <- wr.steps + 1;
         (* Softmax over the candidate set with every other node clamped
            to gold: a true pseudolikelihood gradient step. Unlike a
            perceptron update, the gradient is frequency-consistent — on
            inherently ambiguous examples (name synonyms) the weights
            converge to log-odds rather than oscillating between the
            synonyms. *)
-        let scores = Array.map (fun l -> node_score m eg n gold l) cs in
+        let scores = Array.map (fun l -> node_score rd eg n gold l) cs in
         let gold_in = Array.exists (fun l -> l = gold.(n)) cs in
         let scores, cs =
           if gold_in then (scores, cs)
           else
-            ( Array.append scores [| node_score m eg n gold gold.(n) |],
+            ( Array.append scores [| node_score rd eg n gold gold.(n) |],
               Array.append cs [| gold.(n) |] )
         in
         let mx = Array.fold_left Float.max neg_infinity scores in
@@ -409,13 +441,13 @@ let pseudo_gradient_pass m eg ~cand ~lr =
                   pw_key (if a = n then l else gold.(a)) r
                     (if b = n then l else gold.(b))
                 in
-                add m.pw key (coeff *. mult))
+                add wr.pw key (coeff *. mult))
               eg.touch_pw.(n);
             Array.iter
               (fun fi ->
-                add m.un (un_key l eg.un_rel.(fi)) (coeff *. eg.un_mult.(fi)))
+                add wr.un (un_key l eg.un_rel.(fi)) (coeff *. eg.un_mult.(fi)))
               eg.touch_un.(n);
-            add m.bias l coeff
+            add wr.bias l coeff
           end
         in
         Array.iteri
@@ -440,29 +472,57 @@ let finalize_average m =
    never has to correct keep their generative estimate, which
    generalizes far better on sparse full-path relations than starting
    from zero. *)
-let init_from_counts m egs ~style ~scale ~min_count =
+let bump_count tbl k v =
+  Hashtbl.replace tbl k (v +. Option.value (Hashtbl.find_opt tbl k) ~default:0.)
+
+(* Gold-feature co-occurrence counts over egs.(lo..hi) — pure per
+   range, so ranges fan out across domains and merge in range order. *)
+let count_range egs lo hi =
   let pw_c = Hashtbl.create 65536 in
   let un_c = Hashtbl.create 16384 in
   let bias_c = Hashtbl.create 512 in
-  let bump tbl k v =
-    Hashtbl.replace tbl k (v +. Option.value (Hashtbl.find_opt tbl k) ~default:0.)
+  for g = lo to hi do
+    let eg = egs.(g) in
+    Array.iteri
+      (fun fi a ->
+        let b = eg.pw_b.(fi) in
+        if eg.is_unknown.(a) || eg.is_unknown.(b) then
+          bump_count pw_c
+            (pw_key eg.gold.(a) eg.pw_rel.(fi) eg.gold.(b))
+            eg.pw_mult.(fi))
+      eg.pw_a;
+    Array.iteri
+      (fun fi i ->
+        if eg.is_unknown.(i) then
+          bump_count un_c (un_key eg.gold.(i) eg.un_rel.(fi)) eg.un_mult.(fi))
+      eg.un_n;
+    Array.iter (fun n -> bump_count bias_c eg.gold.(n) 1.) eg.unknown
+  done;
+  (pw_c, un_c, bias_c)
+
+let init_from_counts ?pool m egs ~style ~scale ~min_count =
+  let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
+  let n = Array.length egs in
+  let pw_c, un_c, bias_c =
+    if jobs <= 1 || n <= 1 then count_range egs 0 (n - 1)
+    else begin
+      let parts =
+        Parallel.map ?pool
+          (fun (lo, hi) -> count_range egs lo hi)
+          (Parallel.chunk_ranges ~chunks:jobs n)
+      in
+      let pw_c = Hashtbl.create 65536 in
+      let un_c = Hashtbl.create 16384 in
+      let bias_c = Hashtbl.create 512 in
+      Array.iter
+        (fun (pw, un, bias) ->
+          Hashtbl.iter (bump_count pw_c) pw;
+          Hashtbl.iter (bump_count un_c) un;
+          Hashtbl.iter (bump_count bias_c) bias)
+        parts;
+      (pw_c, un_c, bias_c)
+    end
   in
-  Array.iter
-    (fun eg ->
-      Array.iteri
-        (fun fi a ->
-          let b = eg.pw_b.(fi) in
-          if eg.is_unknown.(a) || eg.is_unknown.(b) then
-            bump pw_c (pw_key eg.gold.(a) eg.pw_rel.(fi) eg.gold.(b))
-              eg.pw_mult.(fi))
-        eg.pw_a;
-      Array.iteri
-        (fun fi i ->
-          if eg.is_unknown.(i) then
-            bump un_c (un_key eg.gold.(i) eg.un_rel.(fi)) eg.un_mult.(fi))
-        eg.un_n;
-      Array.iter (fun n -> bump bias_c eg.gold.(n) 1.) eg.unknown)
-    egs;
   (* Naive-Bayes-style conditional estimates: a relation feature's
      weight is log P(feature | label) up to a label-independent
      constant — log(1+c(label,feature)) − log(1+c(label)) — and the
@@ -497,47 +557,116 @@ let init_from_counts m egs ~style ~scale ~min_count =
     un_c;
   Hashtbl.iter (fun k c -> add m.bias k (scale *. log (1. +. c))) bias_c
 
-let train cfg cands graphs =
+let mode_of cfg it =
+  match cfg.trainer with
+  | Structured -> `Structured
+  | Pseudolikelihood -> `Pl
+  | Pl_gradient -> `Grad
+  | Mixed -> if it >= cfg.iterations - 2 then `Structured else `Pl
+
+(* One graph's contribution to one pass. Reads weights from [rd],
+   writes updates (and step advances) into [wr]. *)
+let run_graph_pass cfg cands ~rd ~wr ~mode ~it ~cand eg =
+  match mode with
+  | `Pl -> pseudo_perceptron_pass ~rd ~wr eg ~cand
+  | `Grad -> pseudo_gradient_pass ~rd ~wr eg ~cand ~lr:0.2
+  | `Structured ->
+      (* Time advances once per example — the textbook averaged
+         perceptron; counting only mistakes would under-weight
+         the stable consensus in the average. *)
+      wr.steps <- wr.steps + 1;
+      let pred =
+        map_assignment ~cand cfg cands rd eg ~force_gold:true
+          ~seed:(cfg.seed + it)
+      in
+      if pred <> eg.gold then update wr eg ~gold:eg.gold ~pred
+
+(* How many time steps a graph consumes in one pass — known up front
+   (it depends only on the candidate cache), which is what lets a
+   parallel pass hand every graph the exact step number the sequential
+   pass order would have given it. *)
+let steps_of_graph mode ~cand =
+  match mode with
+  | `Structured -> 1
+  | `Pl | `Grad ->
+      Array.fold_left
+        (fun acc cs -> if Array.length cs > 0 then acc + 1 else acc)
+        0 cand
+
+(* Graphs processed per domain between two merge barriers of a
+   parallel pass. Small keeps the weights nearly as fresh as online
+   training (staleness is bounded by jobs * this); large amortizes the
+   barrier. 4 measured well on synthetic corpora. *)
+let round_graphs_per_domain = 4
+
+let train ?pool cfg cands graphs =
   let m = create () in
   let egs = Array.of_list (List.map (encode m) graphs) in
+  let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
   (match cfg.init with
   | No_init -> ()
   | (Log_counts | Naive_bayes) as style ->
-      init_from_counts m egs ~style ~scale:cfg.init_scale
+      init_from_counts ?pool m egs ~style ~scale:cfg.init_scale
         ~min_count:cfg.init_min_count);
   let rng = Random.State.make [| cfg.seed |] in
   (* Candidate sets depend only on the graph and the (static) counts,
-     so compute them once per graph, not once per iteration. *)
+     so compute them once per graph, not once per iteration. This also
+     front-loads every intern the passes will need, leaving the
+     interners read-only during parallel rounds. *)
   let cand_cache =
     Array.map (fun eg -> candidate_ids cfg cands m eg ~force_gold:true) egs
   in
+  (* Force the lazy global-top cache before any fan-out. *)
+  ignore (Candidates.global_top cands 1);
+  let n = Array.length egs in
   for it = 0 to cfg.iterations - 1 do
-    let order = Array.init (Array.length egs) Fun.id in
+    let order = Array.init n Fun.id in
     shuffle rng order;
-    Array.iter
-      (fun gi ->
-        let eg = egs.(gi) in
-        let mode =
-          match cfg.trainer with
-          | Structured -> `Structured
-          | Pseudolikelihood -> `Pl
-          | Pl_gradient -> `Grad
-          | Mixed -> if it >= cfg.iterations - 2 then `Structured else `Pl
+    let mode = mode_of cfg it in
+    if jobs <= 1 || n <= 1 then
+      Array.iter
+        (fun gi ->
+          run_graph_pass cfg cands ~rd:m ~wr:m ~mode ~it ~cand:cand_cache.(gi)
+            egs.(gi))
+        order
+    else begin
+      (* Parallel pass: synchronized rounds over the shuffled order.
+         Each domain trains a contiguous slice of the round against
+         the weights as of the round barrier (a synchronous-minibatch
+         view of the same objective), writing into a private delta;
+         deltas merge in slice order, and each graph is assigned the
+         step number the sequential pass order would have given it —
+         so the run is reproducible for a fixed job count, and the
+         averaged-perceptron clock is unchanged. *)
+      let prefix = Array.make (n + 1) m.steps in
+      for k = 0 to n - 1 do
+        prefix.(k + 1) <-
+          prefix.(k) + steps_of_graph mode ~cand:cand_cache.(order.(k))
+      done;
+      let per_round = jobs * round_graphs_per_domain in
+      let start = ref 0 in
+      while !start < n do
+        let base = !start in
+        let stop = min n (base + per_round) in
+        let slices = Parallel.chunk_ranges ~chunks:jobs (stop - base) in
+        let deltas =
+          Parallel.map ?pool
+            (fun (lo, hi) ->
+              let wr = delta_of m in
+              for k = base + lo to base + hi do
+                let gi = order.(k) in
+                wr.steps <- prefix.(k);
+                run_graph_pass cfg cands ~rd:m ~wr ~mode ~it
+                  ~cand:cand_cache.(gi) egs.(gi)
+              done;
+              wr)
+            slices
         in
-        match mode with
-        | `Pl -> pseudo_perceptron_pass m eg ~cand:cand_cache.(gi)
-        | `Grad -> pseudo_gradient_pass m eg ~cand:cand_cache.(gi) ~lr:0.2
-        | `Structured ->
-            (* Time advances once per example — the textbook averaged
-               perceptron; counting only mistakes would under-weight
-               the stable consensus in the average. *)
-            m.steps <- m.steps + 1;
-            let pred =
-              map_assignment ~cand:cand_cache.(gi) cfg cands m eg
-                ~force_gold:true ~seed:(cfg.seed + it)
-            in
-            if pred <> eg.gold then update m eg ~gold:eg.gold ~pred)
-      order
+        Array.iter (merge_delta m) deltas;
+        m.steps <- prefix.(stop);
+        start := stop
+      done
+    end
   done;
   if cfg.averaged then finalize_average m;
   m
@@ -548,6 +677,35 @@ let predict cfg cands m g =
     map_assignment cfg cands m eg ~force_gold:false ~seed:cfg.seed
   in
   Array.map (Interner.to_string m.labels) assignment
+
+(* Batch prediction: encoding and candidate lookup intern strings into
+   the model's (shared, unsynchronized) tables, so they run up front on
+   the calling domain; once every string the passes touch is interned,
+   inference per graph is pure reads and fans out over the pool. Each
+   graph is seeded exactly as [predict] seeds it, and results come back
+   in input order — identical output for every job count. *)
+let predict_batch ?pool cfg cands m graphs =
+  let prepped =
+    Array.of_list
+      (List.map
+         (fun g ->
+           let eg = encode m g in
+           (eg, candidate_ids cfg cands m eg ~force_gold:false))
+         graphs)
+  in
+  (match Candidates.global_top cands 1 with
+  | [ l ] -> ignore (Interner.intern m.labels l)
+  | _ -> ignore (Interner.intern m.labels "?"));
+  let out =
+    Parallel.map ?pool
+      (fun (eg, cand) ->
+        let assignment =
+          map_assignment ~cand cfg cands m eg ~force_gold:false ~seed:cfg.seed
+        in
+        Array.map (Interner.to_string m.labels) assignment)
+      prepped
+  in
+  Array.to_list out
 
 let top_k cfg cands m g ~node ~k =
   let eg = encode m g in

@@ -67,11 +67,32 @@ type config = {
 
 val default_config : config
 
-val train : config -> Candidates.t -> Graph.t list -> model
+val train : ?pool:Parallel.pool -> config -> Candidates.t -> Graph.t list -> model
 (** Averaged structured perceptron; candidate sets come from
-    [Candidates] (string side) and are interned per node. *)
+    [Candidates] (string side) and are interned per node.
+
+    Without [pool] (or with a 1-job pool) this is the sequential
+    trainer, byte-for-byte. With a larger pool, each pass runs in
+    synchronized rounds: every domain trains a contiguous slice of the
+    round against the weights frozen at the round barrier, writing into
+    a private delta; deltas merge in slice order and graphs keep the
+    step numbers of the sequential pass, so a run is reproducible for a
+    fixed job count (a synchronous-minibatch view of the same
+    objective — not bitwise-equal to the sequential run). *)
 
 val predict : config -> Candidates.t -> model -> Graph.t -> string array
+
+val predict_batch :
+  ?pool:Parallel.pool ->
+  config ->
+  Candidates.t ->
+  model ->
+  Graph.t list ->
+  string array list
+(** [predict_batch cfg cands m graphs] = [List.map (predict cfg cands m)
+    graphs], with per-graph inference fanned out over [pool] (default:
+    the shared {!Parallel.get_pool}). Output is identical for every job
+    count. *)
 
 val top_k :
   config ->

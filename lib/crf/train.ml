@@ -36,29 +36,33 @@ let fast_config config =
     trainer = config.trainer;
   }
 
-let train ?(config = default_config) graphs =
+let train ?pool ?(config = default_config) graphs =
   let candidates = Candidates.build graphs in
-  let fast = Fast.train (fast_config config) candidates graphs in
+  let fast = Fast.train ?pool (fast_config config) candidates graphs in
   { weights = Fast.export_weights fast; candidates; config; fast }
 
 let predict model g =
   Fast.predict (fast_config model.config) model.candidates model.fast g
 
+let predict_batch ?pool model graphs =
+  Fast.predict_batch ?pool (fast_config model.config) model.candidates
+    model.fast graphs
+
 let top_k model g ~node ~k =
   Fast.top_k (fast_config model.config) model.candidates model.fast g ~node ~k
 
-let accuracy model graphs =
+let accuracy ?pool model graphs =
+  let preds = predict_batch ?pool model graphs in
   let correct = ref 0 and total = ref 0 in
-  List.iter
-    (fun g ->
-      let pred = predict model g in
+  List.iter2
+    (fun g pred ->
       let gold = Graph.gold_assignment g in
       List.iter
         (fun n ->
           incr total;
           if String.equal pred.(n) gold.(n) then incr correct)
         (Graph.unknown_ids g))
-    graphs;
+    graphs preds;
   if !total = 0 then 0. else float_of_int !correct /. float_of_int !total
 
 let oov_rate model graphs =

@@ -33,19 +33,29 @@ type model = {
   fast : Fast.model;
 }
 
-val train : ?config:config -> Graph.t list -> model
+val train : ?pool:Parallel.pool -> ?config:config -> Graph.t list -> model
+(** Without [pool], the sequential trainer (byte-identical to previous
+    releases). With one, training passes run in synchronized parallel
+    rounds — see {!Fast.train} for the exact semantics. *)
 
 val predict : model -> Graph.t -> string array
 (** MAP assignment; known nodes keep their labels. *)
+
+val predict_batch :
+  ?pool:Parallel.pool -> model -> Graph.t list -> string array list
+(** [List.map (predict model)], fanned out over [pool] (default: the
+    shared pool). Identical output for every job count. *)
 
 val top_k : model -> Graph.t -> node:int -> k:int -> (string * float) list
 (** Top-k suggestions for one node under the MAP assignment of the
     rest of the graph. *)
 
-val accuracy : model -> Graph.t list -> float
+val accuracy : ?pool:Parallel.pool -> model -> Graph.t list -> float
 (** Fraction of unknown nodes whose predicted label equals gold, by
     exact string equality (task-level metrics apply the paper's
-    case/separator-insensitive normalization on top of this). *)
+    case/separator-insensitive normalization on top of this).
+    Prediction is batched over [pool]; the result does not depend on
+    the job count. *)
 
 val oov_rate : model -> Graph.t list -> float
 (** Fraction of unknown-node gold labels never seen in training (the

@@ -55,10 +55,235 @@ let build_neg_table contexts size =
     table
   end
 
-let train ?(config = default_config) pairs =
-  let words = Vocab.build ~min_count:config.min_count (List.map fst pairs) in
-  let contexts = Vocab.build ~min_count:config.min_count (List.map snd pairs) in
+type parallel_mode = Deterministic | Hogwild
+
+let learning_rate_at config ~step ~total =
+  let progress = float_of_int step /. float_of_int total in
+  Float.max
+    (config.learning_rate *. (1. -. progress))
+    (config.learning_rate *. 1e-4)
+
+let fisher_yates rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+(* One in-place SGD step — the exact update (same operation order, so
+   same rounding) the trainer has always applied; the sequential and
+   hogwild paths both run it directly on the shared matrices. *)
+let sgd_step config ~neg_table ~word_vecs ~context_vecs ~grad_w ~rng ~lr
+    (wi, ci) =
+  let wv = word_vecs.(wi) in
+  Array.fill grad_w 0 config.dim 0.;
+  let update_pair cv label =
+    let g = (sigmoid (dot wv cv) -. label) *. lr in
+    for d = 0 to config.dim - 1 do
+      grad_w.(d) <- grad_w.(d) +. (g *. cv.(d));
+      cv.(d) <- cv.(d) -. (g *. wv.(d))
+    done
+  in
+  update_pair context_vecs.(ci) 1.;
+  for _k = 1 to config.negatives do
+    let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
+    if neg <> ci then update_pair context_vecs.(neg) 0.
+  done;
+  for d = 0 to config.dim - 1 do
+    wv.(d) <- wv.(d) -. grad_w.(d)
+  done
+
+(* Delta-accumulating variant for deterministic sharding: gradients
+   are computed against the matrices as they stood at the last barrier
+   (nobody writes between barriers, so the live arrays *are* the
+   frozen snapshot — no copy) and land in per-shard sparse tables. *)
+let delta_vec tbl dim i =
+  match Hashtbl.find_opt tbl i with
+  | Some d -> d
+  | None ->
+      let d = Array.make dim 0. in
+      Hashtbl.add tbl i d;
+      d
+
+let sgd_step_delta config ~neg_table ~word_vecs ~context_vecs ~grad_w ~rng ~lr
+    ~dw ~dc (wi, ci) =
+  let wv = word_vecs.(wi) in
+  Array.fill grad_w 0 config.dim 0.;
+  let update_pair cidx label =
+    let cv = context_vecs.(cidx) in
+    let g = (sigmoid (dot wv cv) -. label) *. lr in
+    let d = delta_vec dc config.dim cidx in
+    for k = 0 to config.dim - 1 do
+      grad_w.(k) <- grad_w.(k) +. (g *. cv.(k));
+      d.(k) <- d.(k) -. (g *. wv.(k))
+    done
+  in
+  update_pair ci 1.;
+  for _k = 1 to config.negatives do
+    let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
+    if neg <> ci then update_pair neg 0.
+  done;
+  let d = delta_vec dw config.dim wi in
+  for k = 0 to config.dim - 1 do
+    d.(k) <- d.(k) -. grad_w.(k)
+  done
+
+let apply_delta vecs tbl =
+  Hashtbl.iter
+    (fun i d ->
+      let v = vecs.(i) in
+      for k = 0 to Array.length d - 1 do
+        v.(k) <- v.(k) +. d.(k)
+      done)
+    tbl
+
+let train_sequential config ~neg_table ~word_vecs ~context_vecs ~rng pairs =
+  let n_pairs = Array.length pairs in
+  let total_steps = config.epochs * n_pairs in
+  let step = ref 0 in
+  let grad_w = Array.make config.dim 0. in
+  for _epoch = 0 to config.epochs - 1 do
+    (* Shuffle pair order each epoch. *)
+    fisher_yates rng pairs;
+    Array.iter
+      (fun pair ->
+        incr step;
+        let lr = learning_rate_at config ~step:!step ~total:total_steps in
+        sgd_step config ~neg_table ~word_vecs ~context_vecs ~grad_w ~rng ~lr
+          pair)
+      pairs
+  done
+
+(* Pairs a shard trains on between two barriers of a deterministic
+   round. Small bounds gradient staleness (a delta is at most this
+   many pairs behind per shard); large amortizes the barrier. *)
+let round_pairs_per_shard = 256
+
+(* Sharded training. Pairs split into [jobs] contiguous shards; shard
+   [s] draws from its own [Random.State.make [| seed; s |]] (epoch
+   shuffles and negative samples alike) and follows its own linear lr
+   schedule, so a run is reproducible for a fixed job count.
+
+   [Deterministic]: shards advance through each epoch in synchronized
+   rounds — gradients computed against the matrices as of the round
+   barrier, deltas applied in shard order at the barrier. Bitwise
+   reproducible for a fixed job count.
+
+   [Hogwild]: every shard trains all its epochs in place on the shared
+   matrices, no synchronization. Racy reads/writes of disjoint float
+   cells are memory-safe in OCaml (word-sized, no tearing); the result
+   varies run to run, as in the original Hogwild! scheme. *)
+let train_sharded ~pool ~mode config ~neg_table ~word_vecs ~context_vecs pairs
+    =
+  let shards =
+    Parallel.chunk_ranges ~chunks:(Parallel.jobs pool) (Array.length pairs)
+  in
+  let k = Array.length shards in
+  let slices =
+    Array.map (fun (lo, hi) -> Array.sub pairs lo (hi - lo + 1)) shards
+  in
+  let rngs = Array.init k (fun s -> Random.State.make [| config.seed; s |]) in
+  let shard_ids = Array.init k Fun.id in
+  match mode with
+  | Hogwild ->
+      ignore
+        (Parallel.map ~pool
+           (fun s ->
+             let slice = slices.(s) and rng = rngs.(s) in
+             let total = config.epochs * Array.length slice in
+             let step = ref 0 in
+             let grad_w = Array.make config.dim 0. in
+             for _epoch = 0 to config.epochs - 1 do
+               fisher_yates rng slice;
+               Array.iter
+                 (fun pair ->
+                   incr step;
+                   let lr = learning_rate_at config ~step:!step ~total in
+                   sgd_step config ~neg_table ~word_vecs ~context_vecs ~grad_w
+                     ~rng ~lr pair)
+                 slice
+             done)
+           shard_ids)
+  | Deterministic ->
+      let max_len =
+        Array.fold_left (fun acc sl -> max acc (Array.length sl)) 0 slices
+      in
+      for epoch = 0 to config.epochs - 1 do
+        (* Epoch shuffles run on the calling domain, one shard rng
+           each, keeping every shard's draw sequence well-defined. *)
+        Array.iteri (fun s slice -> fisher_yates rngs.(s) slice) slices;
+        let off = ref 0 in
+        while !off < max_len do
+          let lo = !off in
+          let deltas =
+            Parallel.map ~pool
+              (fun s ->
+                let slice = slices.(s) and rng = rngs.(s) in
+                let len = Array.length slice in
+                let hi = min len (lo + round_pairs_per_shard) in
+                if lo >= hi then None
+                else begin
+                  let dw = Hashtbl.create 64 and dc = Hashtbl.create 256 in
+                  let grad_w = Array.make config.dim 0. in
+                  let total = config.epochs * len in
+                  for i = lo to hi - 1 do
+                    let step = (epoch * len) + i + 1 in
+                    let lr = learning_rate_at config ~step ~total in
+                    sgd_step_delta config ~neg_table ~word_vecs ~context_vecs
+                      ~grad_w ~rng ~lr ~dw ~dc slice.(i)
+                  done;
+                  Some (dw, dc)
+                end)
+              shard_ids
+          in
+          Array.iter
+            (function
+              | None -> ()
+              | Some (dw, dc) ->
+                  apply_delta word_vecs dw;
+                  apply_delta context_vecs dc)
+            deltas;
+          off := lo + round_pairs_per_shard
+        done
+      done
+
+let train ?pool ?(mode = Deterministic) ?(config = default_config) pairs =
+  (* One pass over the input counts both sides at once; the vocab sort
+     is a total order, so the ids match what the old two-pass
+     [Vocab.build] calls produced. *)
+  let wfreq = Hashtbl.create 1024 and cfreq = Hashtbl.create 1024 in
+  let n_input = ref 0 in
+  let bump tbl tok =
+    Hashtbl.replace tbl tok
+      (1 + Option.value (Hashtbl.find_opt tbl tok) ~default:0)
+  in
+  List.iter
+    (fun (w, c) ->
+      incr n_input;
+      bump wfreq w;
+      bump cfreq c)
+    pairs;
+  let items tbl = Hashtbl.fold (fun w c acc -> (w, c) :: acc) tbl [] in
+  let words = Vocab.of_counts ~min_count:config.min_count (items wfreq) in
+  let contexts = Vocab.of_counts ~min_count:config.min_count (items cfreq) in
+  (* Id pairs land straight in a preallocated array — no intermediate
+     list of the whole corpus. *)
+  let id_pairs = Array.make (max !n_input 1) (0, 0) in
+  let n_pairs = ref 0 in
+  List.iter
+    (fun (w, c) ->
+      match (Vocab.id words w, Vocab.id contexts c) with
+      | Some wi, Some ci ->
+          id_pairs.(!n_pairs) <- (wi, ci);
+          incr n_pairs
+      | _ -> ())
+    pairs;
+  let pairs = Array.sub id_pairs 0 !n_pairs in
+  let n_pairs = !n_pairs in
   let rng = Random.State.make [| config.seed |] in
+  (* Single hoisted initializer; consumes the seed rng in the same
+     order as ever, and every training path starts from it. *)
   let init_vec () =
     Array.init config.dim (fun _ ->
         (Random.State.float rng 1.0 -. 0.5) /. float_of_int config.dim)
@@ -66,55 +291,14 @@ let train ?(config = default_config) pairs =
   let word_vecs = Array.init (Vocab.size words) (fun _ -> init_vec ()) in
   let context_vecs = Array.init (Vocab.size contexts) (fun _ -> init_vec ()) in
   let neg_table = build_neg_table contexts 100_000 in
-  let pairs =
-    List.filter_map
-      (fun (w, c) ->
-        match (Vocab.id words w, Vocab.id contexts c) with
-        | Some wi, Some ci -> Some (wi, ci)
-        | _ -> None)
-      pairs
-    |> Array.of_list
-  in
-  let n_pairs = Array.length pairs in
+  let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
   if n_pairs > 0 && Array.length neg_table > 0 then begin
-    let total_steps = config.epochs * n_pairs in
-    let step = ref 0 in
-    let grad_w = Array.make config.dim 0. in
-    for _epoch = 0 to config.epochs - 1 do
-      (* Shuffle pair order each epoch. *)
-      for i = n_pairs - 1 downto 1 do
-        let j = Random.State.int rng (i + 1) in
-        let tmp = pairs.(i) in
-        pairs.(i) <- pairs.(j);
-        pairs.(j) <- tmp
-      done;
-      Array.iter
-        (fun (wi, ci) ->
-          incr step;
-          let progress = float_of_int !step /. float_of_int total_steps in
-          let lr =
-            Float.max (config.learning_rate *. (1. -. progress))
-              (config.learning_rate *. 1e-4)
-          in
-          let wv = word_vecs.(wi) in
-          Array.fill grad_w 0 config.dim 0.;
-          let update_pair cv label =
-            let g = (sigmoid (dot wv cv) -. label) *. lr in
-            for d = 0 to config.dim - 1 do
-              grad_w.(d) <- grad_w.(d) +. (g *. cv.(d));
-              cv.(d) <- cv.(d) -. (g *. wv.(d))
-            done
-          in
-          update_pair context_vecs.(ci) 1.;
-          for _k = 1 to config.negatives do
-            let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
-            if neg <> ci then update_pair context_vecs.(neg) 0.
-          done;
-          for d = 0 to config.dim - 1 do
-            wv.(d) <- wv.(d) -. grad_w.(d)
-          done)
-        pairs
-    done
+    match pool with
+    | Some pool when jobs > 1 && n_pairs >= jobs ->
+        train_sharded ~pool ~mode config ~neg_table ~word_vecs ~context_vecs
+          pairs
+    | _ ->
+        train_sequential config ~neg_table ~word_vecs ~context_vecs ~rng pairs
   end;
   { config; words; contexts; word_vecs; context_vecs }
 

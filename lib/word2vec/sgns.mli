@@ -26,7 +26,29 @@ type t = {
   context_vecs : float array array;
 }
 
-val train : ?config:config -> (string * string) list -> t
+type parallel_mode =
+  | Deterministic
+      (** Shards advance in synchronized rounds: gradients are computed
+          against the matrices as of the last barrier and applied in
+          shard order — bitwise reproducible for a fixed job count. *)
+  | Hogwild
+      (** Shards update the shared matrices in place with no
+          synchronization (Recht et al.) — fastest, memory-safe (no
+          float tearing on 64-bit OCaml), not reproducible. *)
+
+val train :
+  ?pool:Parallel.pool ->
+  ?mode:parallel_mode ->
+  ?config:config ->
+  (string * string) list ->
+  t
+(** Without [pool] (or with a 1-job pool) this is the sequential
+    trainer, byte-for-byte identical to previous releases. With a
+    larger pool, pairs split into one contiguous shard per job; shard
+    [s] draws epoch shuffles and negatives from its own
+    [Random.State.make [| seed; s |]] and follows its own linear lr
+    schedule. [mode] (default [Deterministic]) picks the update
+    discipline. *)
 
 val word_vec : t -> string -> float array option
 val context_vec : t -> string -> float array option

@@ -5,17 +5,13 @@ type t = {
   total : int;
 }
 
-let build ?(min_count = 1) tokens =
-  let freq = Hashtbl.create 1024 in
-  List.iter
-    (fun tok ->
-      Hashtbl.replace freq tok
-        (1 + Option.value (Hashtbl.find_opt freq tok) ~default:0))
-    tokens;
+(* The (count desc, name asc) sort is a total order, so the resulting
+   ids depend only on the (word, count) multiset — never on the order
+   the counts were gathered in. [build] and single-pass callers that
+   count words themselves therefore produce identical vocabularies. *)
+let of_counts ?(min_count = 1) counts =
   let kept =
-    Hashtbl.fold
-      (fun w c acc -> if c >= min_count then (w, c) :: acc else acc)
-      freq []
+    List.filter (fun (_, c) -> c >= min_count) counts
     |> List.sort (fun (wa, a) (wb, b) ->
            let c = Int.compare b a in
            if c <> 0 then c else String.compare wa wb)
@@ -25,6 +21,15 @@ let build ?(min_count = 1) tokens =
   let ids = Hashtbl.create (Array.length words) in
   Array.iteri (fun i w -> Hashtbl.add ids w i) words;
   { ids; words; counts; total = Array.fold_left ( + ) 0 counts }
+
+let build ?(min_count = 1) tokens =
+  let freq = Hashtbl.create 1024 in
+  List.iter
+    (fun tok ->
+      Hashtbl.replace freq tok
+        (1 + Option.value (Hashtbl.find_opt freq tok) ~default:0))
+    tokens;
+  of_counts ~min_count (Hashtbl.fold (fun w c acc -> (w, c) :: acc) freq [])
 
 let of_items items =
   let n = List.length items in

@@ -6,6 +6,12 @@ val build : ?min_count:int -> string list -> t
 (** Index the given tokens; tokens rarer than [min_count] (default 1)
     are dropped. *)
 
+val of_counts : ?min_count:int -> (string * int) list -> t
+(** [build] for callers that already hold the frequency table. Ids are
+    assigned by (count desc, name asc) — a total order, so the result
+    is independent of the list order and identical to what [build]
+    would produce from the underlying tokens. *)
+
 val of_items : (string * int) list -> t
 (** Rebuild a vocabulary with exactly the given (word, count) entries,
     ids assigned in list order. Raises [Invalid_argument] on duplicate

@@ -1,0 +1,359 @@
+(* The domain pool and every determinism contract built on it:
+   Parallel.map agrees with Array.map, pools survive reuse and worker
+   exceptions, and the three parallel stages (ingestion, CRF, SGNS)
+   keep their promises — jobs=1 identical to sequential, fixed job
+   counts reproducible, result-preserving stages identical for every
+   job count. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* One pool per job count, reused by every test below — which is
+   itself a regression test: a pool must stay healthy across many
+   batches (and across the exception test). *)
+let pools = Hashtbl.create 4
+
+let pool ~jobs =
+  match Hashtbl.find_opt pools jobs with
+  | Some p -> p
+  | None ->
+      let p = Parallel.create ~jobs () in
+      Hashtbl.add pools jobs p;
+      p
+
+let () = at_exit (fun () -> Hashtbl.iter (fun _ p -> Parallel.shutdown p) pools)
+
+(* ---------- the pool itself ---------- *)
+
+let test_chunk_ranges () =
+  List.iter
+    (fun (chunks, n) ->
+      let ranges = Parallel.chunk_ranges ~chunks n in
+      check_bool "at most chunks pieces" true (Array.length ranges <= max 1 chunks);
+      let covered =
+        Array.to_list ranges
+        |> List.concat_map (fun (lo, hi) -> List.init (hi - lo + 1) (fun i -> lo + i))
+      in
+      Alcotest.(check (list int)) (Printf.sprintf "chunks=%d n=%d covers 0..n-1" chunks n)
+        (List.init n Fun.id) covered)
+    [ (1, 10); (3, 10); (4, 4); (7, 3); (16, 100); (5, 0) ]
+
+let test_map_matches_array_map () =
+  let f x = (x * x) + 3 in
+  List.iter
+    (fun jobs ->
+      let arr = Array.init 257 (fun i -> i - 128) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "map jobs=%d" jobs)
+        (Array.map f arr)
+        (Parallel.map ~pool:(pool ~jobs) f arr))
+    [ 1; 2; 3; 4 ]
+
+let prop_map_matches_array_map =
+  QCheck2.Test.make ~name:"parallel: map f = Array.map f" ~count:200
+    QCheck2.Gen.(pair (int_range 1 6) (list int))
+    (fun (jobs, xs) ->
+      let arr = Array.of_list xs in
+      let f x = (2 * x) - 7 in
+      Parallel.map ~pool:(pool ~jobs) f arr = Array.map f arr)
+
+let test_pool_reuse_and_nesting () =
+  let p = pool ~jobs:3 in
+  (* Many batches on one pool. *)
+  for round = 1 to 5 do
+    let arr = Array.init (17 * round) Fun.id in
+    Alcotest.(check (array int))
+      (Printf.sprintf "round %d" round)
+      (Array.map succ arr)
+      (Parallel.map ~pool:p succ arr)
+  done;
+  (* A map inside a map must not deadlock: waiters help drain the
+     queue before blocking. *)
+  let outer =
+    Parallel.map ~pool:p
+      (fun k ->
+        Array.fold_left ( + ) 0
+          (Parallel.map ~pool:p (fun i -> (k * 10) + i) (Array.init 8 Fun.id)))
+      (Array.init 6 Fun.id)
+  in
+  Alcotest.(check (array int)) "nested"
+    (Array.init 6 (fun k -> (k * 80) + 28))
+    outer
+
+let test_exception_propagates () =
+  let p = pool ~jobs:4 in
+  let boom i = if i = 17 then failwith "boom" else i in
+  (match Parallel.map ~pool:p boom (Array.init 64 Fun.id) with
+  | _ -> Alcotest.fail "expected Failure"
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m);
+  (* The pool survives a failed batch. *)
+  Alcotest.(check (array int)) "pool usable after failure"
+    (Array.init 32 succ)
+    (Parallel.map ~pool:p succ (Array.init 32 Fun.id))
+
+let test_map_reduce () =
+  let arr = Array.init 1000 Fun.id in
+  let seq = Array.fold_left (fun acc x -> acc + (x * x)) 0 arr in
+  List.iter
+    (fun jobs ->
+      check_int
+        (Printf.sprintf "sum of squares jobs=%d" jobs)
+        seq
+        (Parallel.map_reduce ~pool:(pool ~jobs)
+           ~map:(fun x -> x * x)
+           ~reduce:( + ) 0 arr))
+    [ 1; 4 ]
+
+(* ---------- ingestion: identical for every job count ---------- *)
+
+let ingest_sources =
+  List.init 40 (fun i ->
+      (Printf.sprintf "f%02d.src" i, String.make ((i * 13 mod 29) + 1) 'x'))
+
+let ingest_f _name src =
+  if String.length src mod 5 = 0 then failwith "length divisible by five";
+  String.length src
+
+let test_ingest_job_invariance () =
+  let seq_results, seq_report =
+    Pigeon.Ingest.run ~pool:(pool ~jobs:1) ~f:ingest_f ingest_sources
+  in
+  (* Expected values straight from the definition. *)
+  let expect =
+    List.filter_map
+      (fun (_, src) ->
+        if String.length src mod 5 = 0 then None else Some (String.length src))
+      ingest_sources
+  in
+  Alcotest.(check (list int)) "jobs=1 results" expect seq_results;
+  check_int "attempted" 40 seq_report.Pigeon.Ingest.attempted;
+  List.iter
+    (fun jobs ->
+      let results, report =
+        Pigeon.Ingest.run ~pool:(pool ~jobs) ~f:ingest_f ingest_sources
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "results jobs=%d" jobs)
+        seq_results results;
+      check_bool
+        (Printf.sprintf "report jobs=%d" jobs)
+        true (report = seq_report))
+    [ 2; 4 ]
+
+let test_merge_all_order () =
+  let skip name =
+    {
+      Pigeon.Ingest.file = name;
+      bytes = 1;
+      diag = Lexkit.Diag.make Lexkit.Diag.Parse_error "x";
+    }
+  in
+  let r name =
+    { Pigeon.Ingest.attempted = 2; succeeded = 1; skipped = [ skip name ] }
+  in
+  let merged = Pigeon.Ingest.merge_all [ r "a"; r "b"; r "c" ] in
+  check_int "attempted" 6 merged.Pigeon.Ingest.attempted;
+  check_int "succeeded" 3 merged.Pigeon.Ingest.succeeded;
+  Alcotest.(check (list string)) "skip order preserved" [ "a"; "b"; "c" ]
+    (List.map (fun s -> s.Pigeon.Ingest.file) merged.Pigeon.Ingest.skipped)
+
+(* ---------- end-to-end corpora ---------- *)
+
+let corpus lang ~n ~seed =
+  let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed } in
+  Corpus.Gen.generate_sources config lang
+
+let split_of sources =
+  let entries =
+    List.map (fun (path, source) -> { Corpus.Dataset.path; source }) sources
+  in
+  let deduped = Corpus.Dataset.dedup entries in
+  let s = Corpus.Dataset.split_corpus ~seed:11 deduped in
+  let pairs xs =
+    List.map (fun e -> (e.Corpus.Dataset.path, e.Corpus.Dataset.source)) xs
+  in
+  (pairs s.Corpus.Dataset.train, pairs s.Corpus.Dataset.test)
+
+let test_extraction_job_invariance () =
+  let lang = Pigeon.Lang.javascript in
+  let train, _ = split_of (corpus Corpus.Render.Js ~n:30 ~seed:91) in
+  let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+  let run () =
+    Pigeon.Task.graphs_of_sources_report ~repr ~lang
+      ~policy:Pigeon.Graphs.Locals train
+    |> fun (gs, rep) -> (gs, rep.Pigeon.Ingest.succeeded)
+  in
+  (* graphs_of_sources_report uses the ambient pool; steer it. *)
+  Parallel.set_default_jobs 1;
+  let g1, n1 = run () in
+  Parallel.set_default_jobs 4;
+  let g4, n4 = run () in
+  Parallel.set_default_jobs 1;
+  check_int "same file count" n1 n4;
+  check_bool "graphs identical across job counts" true (g1 = g4)
+
+(* ---------- CRF: batch prediction and jobs=1 training golden ---------- *)
+
+let quick_crf = { Crf.Train.default_config with Crf.Train.iterations = 3 }
+
+let crf_fixture =
+  lazy
+    (let lang = Pigeon.Lang.javascript in
+     let train, test = split_of (corpus Corpus.Render.Js ~n:40 ~seed:92) in
+     let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+     let graphs_of srcs =
+       Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals
+         srcs
+     in
+     (graphs_of train, graphs_of test))
+
+let test_predict_batch_job_invariance () =
+  let train_graphs, test_graphs = Lazy.force crf_fixture in
+  let model = Crf.Train.train ~config:quick_crf train_graphs in
+  let seq = List.map (Crf.Train.predict model) test_graphs in
+  List.iter
+    (fun jobs ->
+      let batch =
+        Crf.Train.predict_batch ~pool:(pool ~jobs) model test_graphs
+      in
+      check_bool
+        (Printf.sprintf "predict_batch jobs=%d = predict" jobs)
+        true (batch = seq))
+    [ 1; 4 ];
+  (* accuracy goes through the same batch path *)
+  let acc_seq = Crf.Train.accuracy ~pool:(pool ~jobs:1) model test_graphs in
+  let acc_par = Crf.Train.accuracy ~pool:(pool ~jobs:4) model test_graphs in
+  Alcotest.(check (float 0.)) "accuracy job-invariant" acc_seq acc_par
+
+let test_crf_train_jobs1_golden () =
+  let train_graphs, test_graphs = Lazy.force crf_fixture in
+  let m_seq = Crf.Train.train ~config:quick_crf train_graphs in
+  let m_one =
+    Crf.Train.train ~pool:(pool ~jobs:1) ~config:quick_crf train_graphs
+  in
+  check_bool "jobs=1 model predicts identically to sequential" true
+    (List.map (Crf.Train.predict m_one) test_graphs
+    = List.map (Crf.Train.predict m_seq) test_graphs);
+  Alcotest.(check (float 0.))
+    "jobs=1 accuracy identical"
+    (Crf.Train.accuracy m_seq test_graphs)
+    (Crf.Train.accuracy m_one test_graphs)
+
+let test_crf_train_parallel_reproducible () =
+  let train_graphs, test_graphs = Lazy.force crf_fixture in
+  let run () =
+    let m =
+      Crf.Train.train ~pool:(pool ~jobs:4) ~config:quick_crf train_graphs
+    in
+    List.map (Crf.Train.predict m) test_graphs
+  in
+  check_bool "two jobs=4 runs agree" true (run () = run ());
+  (* And the parallel trainer still learns: sanity-check accuracy. *)
+  let m = Crf.Train.train ~pool:(pool ~jobs:4) ~config:quick_crf train_graphs in
+  let acc = Crf.Train.accuracy m test_graphs in
+  check_bool (Printf.sprintf "jobs=4 accuracy %.2f > 0.2" acc) true (acc > 0.2)
+
+(* ---------- SGNS ---------- *)
+
+let sgns_pairs =
+  List.init 3000 (fun i ->
+      ( Printf.sprintf "w%d" (i * 11 mod 37),
+        Printf.sprintf "c%d" (i * 7 mod 53) ))
+
+let sgns_config =
+  { Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 3; dim = 16 }
+
+let vectors m = (m.Word2vec.Sgns.word_vecs, m.Word2vec.Sgns.context_vecs)
+
+let test_sgns_jobs1_golden () =
+  let seq = Word2vec.Sgns.train ~config:sgns_config sgns_pairs in
+  let one =
+    Word2vec.Sgns.train ~pool:(pool ~jobs:1) ~mode:Word2vec.Sgns.Deterministic
+      ~config:sgns_config sgns_pairs
+  in
+  check_bool "jobs=1 bitwise-identical to sequential" true
+    (vectors one = vectors seq)
+
+let test_sgns_deterministic_reproducible () =
+  let run () =
+    vectors
+      (Word2vec.Sgns.train ~pool:(pool ~jobs:4)
+         ~mode:Word2vec.Sgns.Deterministic ~config:sgns_config sgns_pairs)
+  in
+  check_bool "two deterministic jobs=4 runs bitwise-equal" true (run () = run ())
+
+let finite_vecs (ws, cs) =
+  Array.for_all (Array.for_all Float.is_finite) ws
+  && Array.for_all (Array.for_all Float.is_finite) cs
+
+let test_sgns_hogwild_trains () =
+  let m =
+    Word2vec.Sgns.train ~pool:(pool ~jobs:4) ~mode:Word2vec.Sgns.Hogwild
+      ~config:sgns_config sgns_pairs
+  in
+  check_bool "hogwild vectors finite" true (finite_vecs (vectors m));
+  check_int "vocab intact" 37 (Word2vec.Vocab.size m.Word2vec.Sgns.words)
+
+let test_vocab_of_counts_matches_build () =
+  let tokens = List.init 500 (fun i -> Printf.sprintf "t%d" (i * 3 mod 41)) in
+  let freq = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      Hashtbl.replace freq t
+        (1 + Option.value (Hashtbl.find_opt freq t) ~default:0))
+    tokens;
+  let built = Word2vec.Vocab.build ~min_count:2 tokens in
+  let counted =
+    Word2vec.Vocab.of_counts ~min_count:2
+      (Hashtbl.fold (fun w c acc -> (w, c) :: acc) freq [])
+  in
+  Alcotest.(check (list (pair string int)))
+    "same items in same id order"
+    (Word2vec.Vocab.items built)
+    (Word2vec.Vocab.items counted)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "chunk ranges cover exactly" `Quick
+            test_chunk_ranges;
+          Alcotest.test_case "map matches Array.map" `Quick
+            test_map_matches_array_map;
+          Alcotest.test_case "pool reuse and nested maps" `Quick
+            test_pool_reuse_and_nesting;
+          Alcotest.test_case "worker exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          QCheck_alcotest.to_alcotest prop_map_matches_array_map;
+        ] );
+      ( "ingest",
+        [
+          Alcotest.test_case "job-invariant results and report" `Quick
+            test_ingest_job_invariance;
+          Alcotest.test_case "merge_all keeps order" `Quick
+            test_merge_all_order;
+          Alcotest.test_case "extraction job-invariant" `Quick
+            test_extraction_job_invariance;
+        ] );
+      ( "crf",
+        [
+          Alcotest.test_case "predict_batch job-invariant" `Quick
+            test_predict_batch_job_invariance;
+          Alcotest.test_case "jobs=1 training golden" `Quick
+            test_crf_train_jobs1_golden;
+          Alcotest.test_case "jobs=4 training reproducible" `Quick
+            test_crf_train_parallel_reproducible;
+        ] );
+      ( "sgns",
+        [
+          Alcotest.test_case "jobs=1 bitwise golden" `Quick
+            test_sgns_jobs1_golden;
+          Alcotest.test_case "deterministic mode reproducible" `Quick
+            test_sgns_deterministic_reproducible;
+          Alcotest.test_case "hogwild trains" `Quick test_sgns_hogwild_trains;
+          Alcotest.test_case "vocab of_counts = build" `Quick
+            test_vocab_of_counts_matches_build;
+        ] );
+    ]
