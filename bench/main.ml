@@ -6,7 +6,7 @@
      dune exec bench/main.exe --quick all     -- smaller corpora
 
    Experiments: table1 table2-var table2-method table2-type table3
-   table4 fig10 fig11 fig12 fault micro.
+   table4 fig10 fig11 fig12 fault parallel train micro.
 
    Absolute numbers are not expected to match the paper (our corpora
    are synthetic and laptop-sized); the *shape* — which representation
@@ -913,6 +913,533 @@ let parallel_bench () =
   end
   else Printf.printf "parallel scaling: all determinism checks passed\n%!"
 
+(* ---------- training kernels (BENCH_train.json) ---------- *)
+
+(* The seed's CRF trainer, kept verbatim (sequential structured slice)
+   as the measured baseline: Stdlib.Hashtbl weight tables and
+   full-rescore ICM, exactly as they stood before the dense-kernel
+   work. Graph/Candidates/Interner are unchanged by that work and are
+   reused. The current trainer must reproduce this one's weights and
+   predictions byte for byte — asserted below. *)
+module Prev_crf = struct
+  module Interner = Crf.Fast.Interner
+  module Graph = Crf.Graph
+  module Candidates = Crf.Candidates
+
+  type egraph = {
+    graph : Graph.t;
+    unknown : int array;
+    is_unknown : bool array;
+    gold : int array;
+    pw_a : int array;
+    pw_b : int array;
+    pw_rel : int array;
+    pw_mult : float array;
+    un_n : int array;
+    un_rel : int array;
+    un_mult : float array;
+    touch_pw : int array array;
+    touch_un : int array array;
+  }
+
+  let pw_key la rel lb = (la lsl 42) lor (rel lsl 18) lor lb
+  let un_key l rel = (l lsl 24) lor rel
+
+  type model = {
+    labels : Interner.t;
+    rels : Interner.t;
+    pw : (int, float) Hashtbl.t;
+    un : (int, float) Hashtbl.t;
+    bias : (int, float) Hashtbl.t;
+    pw_u : (int, float) Hashtbl.t;
+    un_u : (int, float) Hashtbl.t;
+    bias_u : (int, float) Hashtbl.t;
+    mutable steps : int;
+  }
+
+  let create () =
+    {
+      labels = Interner.create ();
+      rels = Interner.create ();
+      pw = Hashtbl.create 65536;
+      un = Hashtbl.create 16384;
+      bias = Hashtbl.create 512;
+      pw_u = Hashtbl.create 65536;
+      un_u = Hashtbl.create 16384;
+      bias_u = Hashtbl.create 512;
+      steps = 0;
+    }
+
+  let get tbl k = match Hashtbl.find_opt tbl k with Some v -> v | None -> 0.
+
+  let add tbl k d =
+    if d <> 0. then
+      match Hashtbl.find_opt tbl k with
+      | Some v -> Hashtbl.replace tbl k (v +. d)
+      | None -> Hashtbl.add tbl k d
+
+  let encode m (g : Graph.t) =
+    let n = Array.length g.Graph.nodes in
+    let gold =
+      Array.map
+        (fun (nd : Graph.node) -> Interner.intern m.labels nd.Graph.gold)
+        g.Graph.nodes
+    in
+    let is_unknown =
+      Array.map
+        (fun (nd : Graph.node) -> nd.Graph.kind = `Unknown)
+        g.Graph.nodes
+    in
+    let unknown = Array.of_list (Graph.unknown_ids g) in
+    let pw = ref [] and un = ref [] in
+    List.iter
+      (fun f ->
+        match f with
+        | Graph.Pairwise { a; b; rel; mult } ->
+            pw := (a, b, Interner.intern m.rels rel, float_of_int mult) :: !pw
+        | Graph.Unary { n = i; rel; mult } ->
+            un := (i, Interner.intern m.rels rel, float_of_int mult) :: !un)
+      g.Graph.factors;
+    let pw = Array.of_list (List.rev !pw)
+    and un = Array.of_list (List.rev !un) in
+    let pw_a = Array.map (fun (a, _, _, _) -> a) pw in
+    let pw_b = Array.map (fun (_, b, _, _) -> b) pw in
+    let pw_rel = Array.map (fun (_, _, r, _) -> r) pw in
+    let pw_mult = Array.map (fun (_, _, _, m) -> m) pw in
+    let un_n = Array.map (fun (i, _, _) -> i) un in
+    let un_rel = Array.map (fun (_, r, _) -> r) un in
+    let un_mult = Array.map (fun (_, _, m) -> m) un in
+    let touch_pw_l = Array.make n [] and touch_un_l = Array.make n [] in
+    Array.iteri
+      (fun fi a ->
+        touch_pw_l.(a) <- fi :: touch_pw_l.(a);
+        let b = pw_b.(fi) in
+        if b <> a then touch_pw_l.(b) <- fi :: touch_pw_l.(b))
+      pw_a;
+    Array.iteri (fun fi i -> touch_un_l.(i) <- fi :: touch_un_l.(i)) un_n;
+    {
+      graph = g;
+      unknown;
+      is_unknown;
+      gold;
+      pw_a;
+      pw_b;
+      pw_rel;
+      pw_mult;
+      un_n;
+      un_rel;
+      un_mult;
+      touch_pw = Array.map Array.of_list touch_pw_l;
+      touch_un = Array.map Array.of_list touch_un_l;
+    }
+
+  type config = {
+    max_candidates : int;
+    max_passes : int;
+    seed : int;
+    iterations : int;
+    averaged : bool;
+    init_scale : float;
+    init_min_count : int;
+  }
+
+  let node_score m eg n assignment l =
+    let s = ref (get m.bias l) in
+    Array.iter
+      (fun fi ->
+        let a = eg.pw_a.(fi) and b = eg.pw_b.(fi) in
+        let la = if a = n then l else assignment.(a) in
+        let lb = if b = n then l else assignment.(b) in
+        s := !s +. (eg.pw_mult.(fi) *. get m.pw (pw_key la eg.pw_rel.(fi) lb)))
+      eg.touch_pw.(n);
+    Array.iter
+      (fun fi ->
+        s := !s +. (eg.un_mult.(fi) *. get m.un (un_key l eg.un_rel.(fi))))
+      eg.touch_un.(n);
+    !s
+
+  let shuffle rng arr =
+    let n = Array.length arr in
+    for i = n - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- tmp
+    done
+
+  let candidate_ids cfg cands m eg ~force_gold =
+    let touching = Graph.touching eg.graph in
+    Array.map
+      (fun n ->
+        let cs =
+          Candidates.for_node cands eg.graph touching.(n) n
+            ~max:cfg.max_candidates
+        in
+        let ids = List.map (Interner.intern m.labels) cs in
+        let ids =
+          if force_gold && not (List.mem eg.gold.(n) ids) then
+            ids @ [ eg.gold.(n) ]
+          else ids
+        in
+        Array.of_list ids)
+      eg.unknown
+
+  let map_assignment ~cand cfg cands m eg ~seed =
+    let rng = Random.State.make [| seed |] in
+    let default =
+      match Candidates.global_top cands 1 with
+      | [ l ] -> Interner.intern m.labels l
+      | _ -> Interner.intern m.labels "?"
+    in
+    let assignment =
+      Array.mapi (fun i g -> if eg.is_unknown.(i) then default else g) eg.gold
+    in
+    Array.iteri
+      (fun i n ->
+        if Array.length cand.(i) > 0 then assignment.(n) <- cand.(i).(0))
+      eg.unknown;
+    let best i n =
+      let cs = cand.(i) in
+      if Array.length cs = 0 then assignment.(n)
+      else begin
+        let best = ref assignment.(n) and best_score = ref neg_infinity in
+        Array.iter
+          (fun l ->
+            let s = node_score m eg n assignment l in
+            if s > !best_score then begin
+              best_score := s;
+              best := l
+            end)
+          cs;
+        !best
+      end
+    in
+    Array.iteri (fun i n -> assignment.(n) <- best i n) eg.unknown;
+    let order = Array.init (Array.length eg.unknown) Fun.id in
+    let changed = ref true and passes = ref 0 in
+    while !changed && !passes < cfg.max_passes do
+      changed := false;
+      incr passes;
+      shuffle rng order;
+      Array.iter
+        (fun i ->
+          let n = eg.unknown.(i) in
+          let l = best i n in
+          if l <> assignment.(n) then begin
+            assignment.(n) <- l;
+            changed := true
+          end)
+        order
+    done;
+    assignment
+
+  let update wr eg ~gold ~pred =
+    let t = float_of_int wr.steps in
+    let upd_pw k d =
+      add wr.pw k d;
+      add wr.pw_u k (t *. d)
+    in
+    let upd_un k d =
+      add wr.un k d;
+      add wr.un_u k (t *. d)
+    in
+    let upd_bias k d =
+      add wr.bias k d;
+      add wr.bias_u k (t *. d)
+    in
+    Array.iteri
+      (fun fi a ->
+        let b = eg.pw_b.(fi) in
+        if eg.is_unknown.(a) || eg.is_unknown.(b) then begin
+          let r = eg.pw_rel.(fi) and mult = eg.pw_mult.(fi) in
+          let kg = pw_key gold.(a) r gold.(b)
+          and kp = pw_key pred.(a) r pred.(b) in
+          if kg <> kp then begin
+            upd_pw kg mult;
+            upd_pw kp (-.mult)
+          end
+        end)
+      eg.pw_a;
+    Array.iteri
+      (fun fi i ->
+        if eg.is_unknown.(i) then begin
+          let r = eg.un_rel.(fi) and mult = eg.un_mult.(fi) in
+          if gold.(i) <> pred.(i) then begin
+            upd_un (un_key gold.(i) r) mult;
+            upd_un (un_key pred.(i) r) (-.mult)
+          end
+        end)
+      eg.un_n;
+    Array.iter
+      (fun n ->
+        if gold.(n) <> pred.(n) then begin
+          upd_bias gold.(n) 1.;
+          upd_bias pred.(n) (-1.)
+        end)
+      eg.unknown
+
+  let finalize_average m =
+    if m.steps > 0 then begin
+      let t = float_of_int m.steps in
+      Hashtbl.iter (fun k u -> add m.pw k (-.u /. t)) m.pw_u;
+      Hashtbl.iter (fun k u -> add m.un k (-.u /. t)) m.un_u;
+      Hashtbl.iter (fun k u -> add m.bias k (-.u /. t)) m.bias_u
+    end
+
+  let bump_count tbl k v =
+    Hashtbl.replace tbl k
+      (v +. Option.value (Hashtbl.find_opt tbl k) ~default:0.)
+
+  (* Log_counts init (the Train default; the Naive_bayes branch of the
+     original is dead here, so label_total = 1). *)
+  let init_from_counts m egs ~scale ~min_count =
+    let pw_c = Hashtbl.create 65536 in
+    let un_c = Hashtbl.create 16384 in
+    let bias_c = Hashtbl.create 512 in
+    Array.iter
+      (fun eg ->
+        Array.iteri
+          (fun fi a ->
+            let b = eg.pw_b.(fi) in
+            if eg.is_unknown.(a) || eg.is_unknown.(b) then
+              bump_count pw_c
+                (pw_key eg.gold.(a) eg.pw_rel.(fi) eg.gold.(b))
+                eg.pw_mult.(fi))
+          eg.pw_a;
+        Array.iteri
+          (fun fi i ->
+            if eg.is_unknown.(i) then
+              bump_count un_c
+                (un_key eg.gold.(i) eg.un_rel.(fi))
+                eg.un_mult.(fi))
+          eg.un_n;
+        Array.iter (fun n -> bump_count bias_c eg.gold.(n) 1.) eg.unknown)
+      egs;
+    let mc = float_of_int min_count in
+    Hashtbl.iter (fun k c -> if c >= mc then add m.pw k (scale *. log (1. +. c))) pw_c;
+    Hashtbl.iter (fun k c -> if c >= mc then add m.un k (scale *. log (1. +. c))) un_c;
+    Hashtbl.iter (fun k c -> add m.bias k (scale *. log (1. +. c))) bias_c
+
+  (* Sequential structured-perceptron training, the seed's main loop. *)
+  let train cfg cands graphs =
+    let m = create () in
+    let egs = Array.of_list (List.map (encode m) graphs) in
+    init_from_counts m egs ~scale:cfg.init_scale ~min_count:cfg.init_min_count;
+    let rng = Random.State.make [| cfg.seed |] in
+    let cand_cache =
+      Array.map (fun eg -> candidate_ids cfg cands m eg ~force_gold:true) egs
+    in
+    ignore (Candidates.global_top cands 1);
+    let n = Array.length egs in
+    for it = 0 to cfg.iterations - 1 do
+      let order = Array.init n Fun.id in
+      shuffle rng order;
+      Array.iter
+        (fun gi ->
+          let eg = egs.(gi) in
+          m.steps <- m.steps + 1;
+          let pred =
+            map_assignment ~cand:cand_cache.(gi) cfg cands m eg
+              ~seed:(cfg.seed + it)
+          in
+          if pred <> eg.gold then update m eg ~gold:eg.gold ~pred)
+        order
+    done;
+    if cfg.averaged then finalize_average m;
+    m
+
+  let predict cfg cands m g =
+    let eg = encode m g in
+    let cand = candidate_ids cfg cands m eg ~force_gold:false in
+    let assignment = map_assignment ~cand cfg cands m eg ~seed:cfg.seed in
+    Array.map (Interner.to_string m.labels) assignment
+
+  (* Interner contents + weight tables in sorted-key order, the same
+     shape the new trainer's sorted dump is compared in. *)
+  let sorted_tables m =
+    let s tbl =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+    in
+    ( List.init (Interner.size m.labels) (Interner.to_string m.labels),
+      List.init (Interner.size m.rels) (Interner.to_string m.rels),
+      s m.pw,
+      s m.un,
+      s m.bias )
+end
+
+(* PR 4's two dense kernels, old vs new on the same workload:
+
+   - CRF: structured-perceptron training (the ICM-heavy trainer) under
+     [Fast.Full_rescore] — the pre-PR inference loop, kept selectable —
+     against [Fast.Incremental], the score-cache + dirty-worklist
+     engine. The engines must be byte-identical (weights and
+     predictions are checked here and golden-tested in
+     test_kernels.ml), so the ratio is pure kernel speed.
+
+   - SGNS: the kept nested-array [Sgns.Reference] trainer against the
+     flat-matrix kernel with the sigmoid LUT.
+
+   Full runs enforce a >=2x floor on both; --quick only checks
+   equivalence. Timings are min-of-2. Results go to BENCH_train.json. *)
+let train_bench () =
+  header "Training kernels - incremental ICM and flat-matrix SGNS vs pre-PR";
+  let timed f =
+    let run () =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let r, t = run () in
+    let _, t' = run () in
+    (r, min t t')
+  in
+  let failures = ref 0 in
+  let check name ok =
+    if not ok then begin
+      incr failures;
+      Printf.printf "  FAIL: %s\n%!" name
+    end
+  in
+
+  (* CRF kernel *)
+  let lang = Pigeon.Lang.javascript in
+  let train, test = corpus_for lang ~n:(scaled 240) in
+  let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+  let graphs =
+    Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals train
+  in
+  let test_graphs =
+    Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals test
+  in
+  let tcfg =
+    { (crf_config 6) with Crf.Train.trainer = Crf.Fast.Structured }
+  in
+  let inf = tcfg.Crf.Train.inference in
+  let prev_cfg =
+    {
+      Prev_crf.max_candidates = inf.Crf.Inference.max_candidates;
+      max_passes = inf.Crf.Inference.max_passes;
+      seed = inf.Crf.Inference.seed;
+      iterations = tcfg.Crf.Train.iterations;
+      averaged = tcfg.Crf.Train.averaged;
+      init_scale = Crf.Fast.default_config.Crf.Fast.init_scale;
+      init_min_count = Crf.Fast.default_config.Crf.Fast.init_min_count;
+    }
+  in
+  (* Both sides time the full trainer entry point, candidate-table
+     build included. *)
+  let (prev_cands, m_prev), t_crf_old =
+    timed (fun () ->
+        let cands = Crf.Candidates.build graphs in
+        (cands, Prev_crf.train prev_cfg cands graphs))
+  in
+  let m_new, t_crf_new =
+    timed (fun () -> Crf.Train.train ~config:tcfg graphs)
+  in
+  let m_full, t_crf_full =
+    timed (fun () ->
+        Crf.Train.train
+          ~config:{ tcfg with Crf.Train.engine = Crf.Fast.Full_rescore }
+          graphs)
+  in
+  let sorted_dump fast =
+    let d = Crf.Fast.dump fast in
+    let s l = List.sort compare l in
+    ( d.Crf.Fast.d_labels,
+      d.Crf.Fast.d_rels,
+      s d.Crf.Fast.d_pw,
+      s d.Crf.Fast.d_un,
+      s d.Crf.Fast.d_bias )
+  in
+  let new_dump = sorted_dump m_new.Crf.Train.fast in
+  let weights_ok =
+    Prev_crf.sorted_tables m_prev = new_dump
+    && sorted_dump m_full.Crf.Train.fast = new_dump
+  in
+  let preds_ok =
+    let new_preds = List.map (Crf.Train.predict m_new) test_graphs in
+    List.map (Prev_crf.predict prev_cfg prev_cands m_prev) test_graphs
+    = new_preds
+    && List.map (Crf.Train.predict m_full) test_graphs = new_preds
+  in
+  check "CRF kernels trained different weights" weights_ok;
+  check "CRF kernels predict differently" preds_ok;
+  let crf_speedup = t_crf_old /. t_crf_new in
+  Printf.printf "%-24s %12s %12s %8s  %s\n" "kernel" "old(s)" "new(s)"
+    "speedup" "identical";
+  Printf.printf "%-24s %12.3f %12.3f %7.2fx  %b\n%!" "crf-train" t_crf_old
+    t_crf_new crf_speedup (weights_ok && preds_ok);
+  Printf.printf "%-24s %12s %12.3f %7.2fx  (dense tables, full-rescore ICM)\n%!"
+    "  crf-train interim" "-" t_crf_full (t_crf_old /. t_crf_full);
+
+  (* SGNS kernel *)
+  let w2v_pairs =
+    List.concat_map
+      (fun (_, src) ->
+        Pigeon.W2v_task.pairs_of_source ~lang
+          ~mode:(Pigeon.W2v_task.Paths repr) src
+        |> List.concat_map (fun (name, ctxs) ->
+               List.map (fun c -> (name, c)) ctxs))
+      train
+  in
+  let sgns_cfg = Word2vec.Sgns.default_config in
+  let m_sgns_new, t_sgns_new =
+    timed (fun () -> Word2vec.Sgns.train ~config:sgns_cfg w2v_pairs)
+  in
+  let m_sgns_old, t_sgns_old =
+    timed (fun () -> Word2vec.Sgns.Reference.train ~config:sgns_cfg w2v_pairs)
+  in
+  check "SGNS vocabularies differ"
+    (Array.length m_sgns_new.Word2vec.Sgns.word_vecs
+     = Array.length m_sgns_old.Word2vec.Sgns.word_vecs
+    && Array.length m_sgns_new.Word2vec.Sgns.context_vecs
+       = Array.length m_sgns_old.Word2vec.Sgns.context_vecs);
+  let sgns_speedup = t_sgns_old /. t_sgns_new in
+  Printf.printf "%-24s %12.3f %12.3f %7.2fx  (pairs %d, dim %d, epochs %d)\n%!"
+    "sgns-train" t_sgns_old t_sgns_new sgns_speedup (List.length w2v_pairs)
+    sgns_cfg.Word2vec.Sgns.dim sgns_cfg.Word2vec.Sgns.epochs;
+
+  (* Floor: full runs only — quick workloads are too small to time. *)
+  let floor = 2.0 in
+  let floor_enforced = not !quick in
+  if floor_enforced then begin
+    check
+      (Printf.sprintf "crf-train speedup %.2fx < %.1fx" crf_speedup floor)
+      (crf_speedup >= floor);
+    check
+      (Printf.sprintf "sgns-train speedup %.2fx < %.1fx" sgns_speedup floor)
+      (sgns_speedup >= floor)
+  end
+  else Printf.printf "speedup floor not enforced (--quick)\n%!";
+
+  let oc = open_out "BENCH_train.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"training-kernels\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc
+    "  \"crf_train\": {\"trainer\": \"structured\", \"graphs\": %d, \
+     \"iterations\": %d,\n\
+    \                \"old_seconds\": %.4f, \"new_seconds\": %.4f, \
+     \"speedup\": %.2f,\n\
+    \                \"weights_identical\": %b, \"predictions_identical\": \
+     %b},\n"
+    (List.length graphs) 6 t_crf_old t_crf_new crf_speedup weights_ok preds_ok;
+  Printf.fprintf oc
+    "  \"sgns_train\": {\"pairs\": %d, \"dim\": %d, \"epochs\": %d,\n\
+    \                 \"old_seconds\": %.4f, \"new_seconds\": %.4f, \
+     \"speedup\": %.2f},\n"
+    (List.length w2v_pairs) sgns_cfg.Word2vec.Sgns.dim
+    sgns_cfg.Word2vec.Sgns.epochs t_sgns_old t_sgns_new sgns_speedup;
+  Printf.fprintf oc "  \"speedup_floor\": %.1f,\n" floor;
+  Printf.fprintf oc "  \"speedup_floor_enforced\": %b,\n" floor_enforced;
+  Printf.fprintf oc "  \"failures\": %d\n}\n" !failures;
+  close_out oc;
+  Printf.printf "wrote BENCH_train.json\n%!";
+  if !failures > 0 then begin
+    Printf.printf "training kernels: %d check failures\n%!" !failures;
+    exit 1
+  end
+  else Printf.printf "training kernels: all checks passed\n%!"
+
 (* ---------- bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -995,6 +1522,7 @@ let experiments =
     ("fig12", fig12);
     ("fault", fault);
     ("parallel", parallel_bench);
+    ("train", train_bench);
     ("micro", micro);
   ]
 

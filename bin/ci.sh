@@ -5,9 +5,12 @@
 # pass over the front-ends and model loaders, the fault-injection
 # bench (10%-corrupt corpora must train with exact skip tallies), the
 # parallel-scaling bench (regenerates BENCH_parallel.json; determinism
-# checks always, speedup floor only on >= 4-core hosts), and the micro
-# benchmark (which also regenerates BENCH_extract.json and checks the
-# iterator engine against the naive baseline corpus-wide).
+# checks always, speedup floor only on >= 4-core hosts), the
+# training-kernels bench (old-vs-new CRF/SGNS kernels; quick mode
+# checks equivalence only, full runs also enforce the 2x floor and
+# refresh BENCH_train.json), and the micro benchmark (which also
+# regenerates BENCH_extract.json and checks the iterator engine
+# against the naive baseline corpus-wide).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,4 +21,5 @@ PIGEON_JOBS=2 dune exec test/test_core.exe
 PIGEON_FUZZ_COUNT=400 dune exec test/test_fuzz.exe
 dune exec bench/main.exe -- --quick fault
 dune exec bench/main.exe -- --quick parallel
+dune exec bench/main.exe -- --quick train
 dune exec bench/main.exe -- --quick micro

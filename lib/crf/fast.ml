@@ -40,7 +40,13 @@ type egraph = {
   un_mult : float array;
   touch_pw : int array array;
   touch_un : int array array;
+  nbr : int array array;
+      (* per unknown *slot*: the sorted slot indices of the unknown
+         nodes sharing a pairwise factor with it — the exact set whose
+         cached scores go stale when this slot's label flips. *)
 }
+
+let unknown_nodes eg = eg.unknown
 
 (* Weight keys are packed into single ints: labels get 18 bits each
    and relations 24 (far above any realistic vocabulary here), so the
@@ -51,13 +57,13 @@ let un_key l rel = (l lsl 24) lor rel
 type model = {
   labels : Interner.t;
   rels : Interner.t;
-  pw : (int, float) Hashtbl.t;
-  un : (int, float) Hashtbl.t;
-  bias : (int, float) Hashtbl.t;
+  pw : Itbl.t;
+  un : Itbl.t;
+  bias : Itbl.t;
   (* averaging accumulators *)
-  pw_u : (int, float) Hashtbl.t;
-  un_u : (int, float) Hashtbl.t;
-  bias_u : (int, float) Hashtbl.t;
+  pw_u : Itbl.t;
+  un_u : Itbl.t;
+  bias_u : Itbl.t;
   mutable steps : int;
 }
 
@@ -65,12 +71,12 @@ let create () =
   {
     labels = Interner.create ();
     rels = Interner.create ();
-    pw = Hashtbl.create 65536;
-    un = Hashtbl.create 16384;
-    bias = Hashtbl.create 512;
-    pw_u = Hashtbl.create 65536;
-    un_u = Hashtbl.create 16384;
-    bias_u = Hashtbl.create 512;
+    pw = Itbl.create 65536;
+    un = Itbl.create 16384;
+    bias = Itbl.create 512;
+    pw_u = Itbl.create 65536;
+    un_u = Itbl.create 16384;
+    bias_u = Itbl.create 512;
     steps = 0;
   }
 
@@ -81,35 +87,30 @@ let delta_of m =
   {
     labels = m.labels;
     rels = m.rels;
-    pw = Hashtbl.create 1024;
-    un = Hashtbl.create 256;
-    bias = Hashtbl.create 64;
-    pw_u = Hashtbl.create 1024;
-    un_u = Hashtbl.create 256;
-    bias_u = Hashtbl.create 64;
+    pw = Itbl.create 1024;
+    un = Itbl.create 256;
+    bias = Itbl.create 64;
+    pw_u = Itbl.create 1024;
+    un_u = Itbl.create 256;
+    bias_u = Itbl.create 64;
     steps = 0;
   }
 
 let labels m = m.labels
-
-let get tbl k = match Hashtbl.find_opt tbl k with Some v -> v | None -> 0.
-
-let add tbl k d =
-  if d <> 0. then
-    match Hashtbl.find_opt tbl k with
-    | Some v -> Hashtbl.replace tbl k (v +. d)
-    | None -> Hashtbl.add tbl k d
+let get = Itbl.get
+let add = Itbl.add
 
 (* Fold one slice's deltas back into the model. Callers merge slices
-   in pass order, so the result depends only on the slice boundaries
-   (i.e. the job count), never on domain scheduling. *)
+   in pass order and per-key accumulation is independent across keys,
+   so the result depends only on the slice boundaries (i.e. the job
+   count), never on domain scheduling or table iteration order. *)
 let merge_delta m d =
-  Hashtbl.iter (add m.pw) d.pw;
-  Hashtbl.iter (add m.un) d.un;
-  Hashtbl.iter (add m.bias) d.bias;
-  Hashtbl.iter (add m.pw_u) d.pw_u;
-  Hashtbl.iter (add m.un_u) d.un_u;
-  Hashtbl.iter (add m.bias_u) d.bias_u
+  Itbl.iter (add m.pw) d.pw;
+  Itbl.iter (add m.un) d.un;
+  Itbl.iter (add m.bias) d.bias;
+  Itbl.iter (add m.pw_u) d.pw_u;
+  Itbl.iter (add m.un_u) d.un_u;
+  Itbl.iter (add m.bias_u) d.bias_u
 
 let encode m (g : Graph.t) =
   let n = Array.length g.Graph.nodes in
@@ -146,6 +147,22 @@ let encode m (g : Graph.t) =
       if b <> a then touch_pw_l.(b) <- fi :: touch_pw_l.(b))
     pw_a;
   Array.iteri (fun fi i -> touch_un_l.(i) <- fi :: touch_un_l.(i)) un_n;
+  let touch_pw = Array.map Array.of_list touch_pw_l in
+  let slot_of = Array.make n (-1) in
+  Array.iteri (fun s u -> slot_of.(u) <- s) unknown;
+  let nbr =
+    Array.map
+      (fun u ->
+        let acc = ref [] in
+        Array.iter
+          (fun fi ->
+            let o = if pw_a.(fi) = u then pw_b.(fi) else pw_a.(fi) in
+            let s = slot_of.(o) in
+            if s >= 0 then acc := s :: !acc)
+          touch_pw.(u);
+        Array.of_list (List.sort_uniq Int.compare !acc))
+      unknown
+  in
   {
     graph = g;
     unknown;
@@ -158,14 +175,16 @@ let encode m (g : Graph.t) =
     un_n;
     un_rel;
     un_mult;
-    touch_pw = Array.map Array.of_list touch_pw_l;
+    touch_pw;
     touch_un = Array.map Array.of_list touch_un_l;
+    nbr;
   }
 
 let graph_of eg = eg.graph
 
 type init_style = No_init | Log_counts | Naive_bayes
 type trainer = Structured | Pseudolikelihood | Pl_gradient | Mixed
+type engine = Incremental | Full_rescore
 
 type config = {
   max_candidates : int;
@@ -177,6 +196,7 @@ type config = {
   init_scale : float;
   init_min_count : int;
   trainer : trainer;
+  engine : engine;
 }
 
 let default_config =
@@ -190,6 +210,7 @@ let default_config =
     init_scale = 0.5;
     init_min_count = 2;
     trainer = Pseudolikelihood;
+    engine = Incremental;
   }
 
 let node_score m eg n assignment l =
@@ -205,6 +226,168 @@ let node_score m eg n assignment l =
     (fun fi -> s := !s +. (eg.un_mult.(fi) *. get m.un (un_key l eg.un_rel.(fi))))
     eg.touch_un.(n);
   !s
+
+(* Incremental ICM scorer: caches every candidate's per-factor score
+   contributions so a sweep only pays for what actually changed.
+
+   Invariant: for a slot [i] with [dirty.(i) = false], [sc.(i).(c)] is
+   bit-identical to [node_score m eg n assignment cand.(i).(c)] run
+   fresh against the current assignment. This is exact, not
+   approximate: each pairwise column caches the neighbor label it was
+   computed against ([seen]); a refresh recomputes exactly the columns
+   whose neighbor changed, with the same float expression
+   [node_score] uses, then resums all columns in [node_score]'s exact
+   operation order (bias, pairwise in touch order, unary in touch
+   order). Unary columns and the bias depend only on the candidate
+   label and are filled once — weights are frozen during inference.
+
+   A slot's own label never enters its own candidate scores
+   ([Graph.make] rejects self-loop pairwise factors), so flipping slot
+   [k] stales exactly the slots in [eg.nbr.(k)] — everything else may
+   be skipped by a sweep with no effect on the result. *)
+module Scorer = struct
+  type t = {
+    m : model;
+    eg : egraph;
+    cand : int array array;
+    assignment : int array;
+    npw : int array;  (* per slot: pairwise column count *)
+    ncols : int array;  (* per slot: pairwise + unary columns *)
+    nb_of : int array array;  (* per slot, per pw column: neighbor node *)
+    contrib : float array array;  (* per slot: ncand * ncols, cand-major *)
+    bias_c : float array array;  (* per slot, per candidate: bias weight *)
+    seen : int array array;  (* per slot, per pw column: label cached
+                                against; -1 = never computed *)
+    sc : float array array;  (* per slot, per candidate: cached score *)
+    dirty : bool array;
+  }
+
+  let create m eg cand assignment =
+    let k = Array.length eg.unknown in
+    let npw = Array.make k 0
+    and ncols = Array.make k 0
+    and nb_of = Array.make k [||]
+    and contrib = Array.make k [||]
+    and bias_c = Array.make k [||]
+    and seen = Array.make k [||]
+    and sc = Array.make k [||] in
+    for i = 0 to k - 1 do
+      let n = eg.unknown.(i) in
+      let tp = eg.touch_pw.(n) and tu = eg.touch_un.(n) in
+      let np = Array.length tp and nu = Array.length tu in
+      let nc = Array.length cand.(i) in
+      npw.(i) <- np;
+      ncols.(i) <- np + nu;
+      nb_of.(i) <-
+        Array.map
+          (fun fi -> if eg.pw_a.(fi) = n then eg.pw_b.(fi) else eg.pw_a.(fi))
+          tp;
+      contrib.(i) <- Array.make (nc * (np + nu)) 0.;
+      bias_c.(i) <- Array.map (fun l -> get m.bias l) cand.(i);
+      seen.(i) <- Array.make np (-1);
+      sc.(i) <- Array.make nc 0.;
+      let row = contrib.(i) in
+      for c = 0 to nc - 1 do
+        let l = cand.(i).(c) in
+        let base = (c * (np + nu)) + np in
+        for j = 0 to nu - 1 do
+          let fi = tu.(j) in
+          row.(base + j) <- eg.un_mult.(fi) *. get m.un (un_key l eg.un_rel.(fi))
+        done
+      done
+    done;
+    {
+      m;
+      eg;
+      cand;
+      assignment;
+      npw;
+      ncols;
+      nb_of;
+      contrib;
+      bias_c;
+      seen;
+      sc;
+      dirty = Array.make k true;
+    }
+
+  let refresh t i =
+    let eg = t.eg in
+    let n = eg.unknown.(i) in
+    let tp = eg.touch_pw.(n) in
+    let cs = t.cand.(i) in
+    let np = t.npw.(i) and nc = Array.length t.cand.(i) in
+    let cols = t.ncols.(i) in
+    let row = t.contrib.(i) and seen = t.seen.(i) and nbs = t.nb_of.(i) in
+    for j = 0 to np - 1 do
+      let cur = t.assignment.(Array.unsafe_get nbs j) in
+      if Array.unsafe_get seen j <> cur then begin
+        Array.unsafe_set seen j cur;
+        let fi = Array.unsafe_get tp j in
+        let rel = eg.pw_rel.(fi) and mult = eg.pw_mult.(fi) in
+        if eg.pw_a.(fi) = n then
+          for c = 0 to nc - 1 do
+            Array.unsafe_set row ((c * cols) + j)
+              (mult *. get t.m.pw (pw_key (Array.unsafe_get cs c) rel cur))
+          done
+        else
+          for c = 0 to nc - 1 do
+            Array.unsafe_set row ((c * cols) + j)
+              (mult *. get t.m.pw (pw_key cur rel (Array.unsafe_get cs c)))
+          done
+      end
+    done;
+    let scores = t.sc.(i) and bias = t.bias_c.(i) in
+    for c = 0 to nc - 1 do
+      let s = ref (Array.unsafe_get bias c) in
+      let base = c * cols in
+      for j = 0 to cols - 1 do
+        s := !s +. Array.unsafe_get row (base + j)
+      done;
+      Array.unsafe_set scores c !s
+    done;
+    t.dirty.(i) <- false
+
+  let is_dirty t i = t.dirty.(i)
+
+  let scores t i =
+    if t.dirty.(i) then refresh t i;
+    t.sc.(i)
+
+  (* Same argmax as the full-rescore path: first strictly-greater
+     candidate wins, ties keep the earlier candidate, an empty set
+     keeps the current label. *)
+  let best t i =
+    let n = t.eg.unknown.(i) in
+    let cs = t.cand.(i) in
+    if Array.length cs = 0 then begin
+      t.dirty.(i) <- false;
+      t.assignment.(n)
+    end
+    else begin
+      if t.dirty.(i) then refresh t i;
+      let scores = t.sc.(i) in
+      let best = ref t.assignment.(n) and best_score = ref neg_infinity in
+      Array.iteri
+        (fun c l ->
+          let s = Array.unsafe_get scores c in
+          if s > !best_score then begin
+            best_score := s;
+            best := l
+          end)
+        cs;
+      !best
+    end
+
+  let set_label t i l =
+    let n = t.eg.unknown.(i) in
+    if t.assignment.(n) <> l then begin
+      t.assignment.(n) <- l;
+      Array.iter
+        (fun j -> Array.unsafe_set t.dirty j true)
+        t.eg.nbr.(i)
+    end
+end
 
 let shuffle rng arr =
   let n = Array.length arr in
@@ -259,39 +442,72 @@ let map_assignment ?cand cfg cands m eg ~force_gold ~seed =
     (fun i n ->
       if Array.length cand.(i) > 0 then assignment.(n) <- cand.(i).(0))
     eg.unknown;
-  let best i n =
-    let cs = cand.(i) in
-    if Array.length cs = 0 then assignment.(n)
-    else begin
-      let best = ref assignment.(n) and best_score = ref neg_infinity in
-      Array.iter
-        (fun l ->
-          let s = node_score m eg n assignment l in
-          if s > !best_score then begin
-            best_score := s;
-            best := l
-          end)
-        cs;
-      !best
-    end
-  in
-  Array.iteri (fun i n -> assignment.(n) <- best i n) eg.unknown;
   let order = Array.init (Array.length eg.unknown) Fun.id in
   let changed = ref true and passes = ref 0 in
-  while !changed && !passes < cfg.max_passes do
-    changed := false;
-    incr passes;
-    shuffle rng order;
-    Array.iter
-      (fun i ->
-        let n = eg.unknown.(i) in
-        let l = best i n in
-        if l <> assignment.(n) then begin
-          assignment.(n) <- l;
-          changed := true
-        end)
-      order
-  done;
+  (match cfg.engine with
+  | Full_rescore ->
+      (* Reference engine: rescore every candidate of every node from
+         scratch, every sweep. Kept verbatim as the golden baseline the
+         incremental engine is tested byte-identical against. *)
+      let best i n =
+        let cs = cand.(i) in
+        if Array.length cs = 0 then assignment.(n)
+        else begin
+          let best = ref assignment.(n) and best_score = ref neg_infinity in
+          Array.iter
+            (fun l ->
+              let s = node_score m eg n assignment l in
+              if s > !best_score then begin
+                best_score := s;
+                best := l
+              end)
+            cs;
+          !best
+        end
+      in
+      Array.iteri (fun i n -> assignment.(n) <- best i n) eg.unknown;
+      while !changed && !passes < cfg.max_passes do
+        changed := false;
+        incr passes;
+        shuffle rng order;
+        Array.iter
+          (fun i ->
+            let n = eg.unknown.(i) in
+            let l = best i n in
+            if l <> assignment.(n) then begin
+              assignment.(n) <- l;
+              changed := true
+            end)
+          order
+      done
+  | Incremental ->
+      (* Delta engine, exact by construction (see {!Scorer}): a clean
+         slot's cached argmax is its current label, so sweeps evaluate
+         only slots whose neighborhood changed — the flip sequence,
+         pass count and rng consumption match Full_rescore move for
+         move, making the result byte-identical. *)
+      let sc = Scorer.create m eg cand assignment in
+      Array.iteri
+        (fun i n ->
+          let l = Scorer.best sc i in
+          if l <> assignment.(n) then Scorer.set_label sc i l)
+        eg.unknown;
+      while !changed && !passes < cfg.max_passes do
+        changed := false;
+        incr passes;
+        shuffle rng order;
+        Array.iter
+          (fun i ->
+            if Scorer.is_dirty sc i then begin
+              let n = eg.unknown.(i) in
+              let l = Scorer.best sc i in
+              if l <> assignment.(n) then begin
+                Scorer.set_label sc i l;
+                changed := true
+              end
+            end)
+          order
+      done);
   assignment
 
 (* Perceptron update: +1 on gold features, -1 on predicted features,
@@ -462,9 +678,9 @@ let pseudo_gradient_pass ~rd ~wr eg ~cand ~lr =
 let finalize_average m =
   if m.steps > 0 then begin
     let t = float_of_int m.steps in
-    Hashtbl.iter (fun k u -> add m.pw k (-.u /. t)) m.pw_u;
-    Hashtbl.iter (fun k u -> add m.un k (-.u /. t)) m.un_u;
-    Hashtbl.iter (fun k u -> add m.bias k (-.u /. t)) m.bias_u
+    Itbl.iter (fun k u -> add m.pw k (-.u /. t)) m.pw_u;
+    Itbl.iter (fun k u -> add m.un k (-.u /. t)) m.un_u;
+    Itbl.iter (fun k u -> add m.bias k (-.u /. t)) m.bias_u
   end
 
 (* Initialize weights from log(1 + co-occurrence count) of each gold
@@ -728,7 +944,7 @@ let top_k cfg cands m g ~node ~k =
 let export_weights m =
   let out = Model.create () in
   let lab = Interner.to_string m.labels and rel = Interner.to_string m.rels in
-  Hashtbl.iter
+  Itbl.iter
     (fun key w ->
       if w <> 0. then
         let la = key lsr 42 in
@@ -736,14 +952,14 @@ let export_weights m =
         let lb = key land 0x3FFFF in
         Model.add out (Model.pairwise_feat ~la:(lab la) ~rel:(rel r) ~lb:(lab lb)) w)
     m.pw;
-  Hashtbl.iter
+  Itbl.iter
     (fun key w ->
       if w <> 0. then
         let l = key lsr 24 in
         let r = key land 0xFFFFFF in
         Model.add out (Model.unary_feat ~l:(lab l) ~rel:(rel r)) w)
     m.un;
-  Hashtbl.iter
+  Itbl.iter
     (fun l w -> if w <> 0. then Model.add out (Model.bias_feat ~l:(lab l)) w)
     m.bias;
   out
@@ -758,7 +974,7 @@ type dump = {
 
 let dump m =
   let interner_list t = List.init (Interner.size t) (Interner.to_string t) in
-  let tbl_list tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let tbl_list tbl = Itbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
   {
     d_labels = interner_list m.labels;
     d_rels = interner_list m.rels;
@@ -771,7 +987,7 @@ let restore d =
   let m = create () in
   List.iter (fun s -> ignore (Interner.intern m.labels s)) d.d_labels;
   List.iter (fun s -> ignore (Interner.intern m.rels s)) d.d_rels;
-  List.iter (fun (k, v) -> Hashtbl.replace m.pw k v) d.d_pw;
-  List.iter (fun (k, v) -> Hashtbl.replace m.un k v) d.d_un;
-  List.iter (fun (k, v) -> Hashtbl.replace m.bias k v) d.d_bias;
+  List.iter (fun (k, v) -> Itbl.set m.pw k v) d.d_pw;
+  List.iter (fun (k, v) -> Itbl.set m.un k v) d.d_un;
+  List.iter (fun (k, v) -> Itbl.set m.bias k v) d.d_bias;
   m

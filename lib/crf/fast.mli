@@ -28,6 +28,10 @@ val labels : model -> Interner.t
 val encode : model -> Graph.t -> egraph
 val graph_of : egraph -> Graph.t
 
+val unknown_nodes : egraph -> int array
+(** Node ids of the unknown nodes, in slot order (the order candidate
+    arrays and {!Scorer} slots are indexed by). *)
+
 type init_style =
   | No_init
   | Log_counts  (** w = scale * log(1 + count) for gold features. *)
@@ -51,6 +55,16 @@ type trainer =
       (** Pseudolikelihood for all but the last two iterations, then
           structured fine-tuning against the model's own inference. *)
 
+type engine =
+  | Incremental
+      (** Cached per-candidate factor contributions + dirty-worklist
+          sweeps: only slots whose neighborhood changed are rescored.
+          Exact — byte-identical to [Full_rescore] (golden-tested). The
+          default. *)
+  | Full_rescore
+      (** The reference engine: every candidate of every node rescored
+          from scratch each sweep. *)
+
 type config = {
   max_candidates : int;
   max_passes : int;
@@ -63,9 +77,66 @@ type config = {
   init_scale : float;
   init_min_count : int;
   trainer : trainer;
+  engine : engine;  (** ICM implementation used by MAP inference. *)
 }
 
 val default_config : config
+
+(** {2 Inference internals}
+
+    Exposed for the kernel-equivalence tests and benchmarks; {!Train}
+    callers never need these. *)
+
+val node_score : model -> egraph -> int -> int array -> int -> float
+(** [node_score m eg n assignment l]: score of labeling node [n] with
+    [l] given every other node's label in [assignment] — bias, then
+    pairwise factors in touch order, then unary factors. *)
+
+val candidate_ids :
+  config -> Candidates.t -> model -> egraph -> force_gold:bool ->
+  int array array
+(** Interned candidate label ids per unknown slot; the gold label is
+    appended when [force_gold] and absent. *)
+
+val map_assignment :
+  ?cand:int array array ->
+  config ->
+  Candidates.t ->
+  model ->
+  egraph ->
+  force_gold:bool ->
+  seed:int ->
+  int array
+(** ICM MAP inference over the full node set (known nodes stay gold);
+    dispatches on [config.engine]. *)
+
+(** Incremental scoring cache behind {!engine} [Incremental]. After
+    [create], for any slot [i], [scores t i] is bit-identical to
+    mapping {!node_score} over that slot's candidates against the
+    current assignment — [set_label] keeps that invariant by marking
+    exactly the slots sharing a factor with the flipped one stale. *)
+module Scorer : sig
+  type t
+
+  val create : model -> egraph -> int array array -> int array -> t
+  (** [create m eg cand assignment]: [cand] in slot order (as from
+      {!candidate_ids}); [assignment] is live — [set_label] writes it. *)
+
+  val scores : t -> int -> float array
+  (** Cached candidate scores for a slot, refreshed if stale. The
+      returned array is the internal buffer: read, don't keep. *)
+
+  val best : t -> int -> int
+  (** Argmax label for a slot (first-wins on ties, current label when
+      the candidate set is empty) — same tie-breaking as the
+      full-rescore reference. *)
+
+  val set_label : t -> int -> int -> unit
+  (** [set_label t i l] assigns label [l] to slot [i] and marks its
+      factor neighbors stale. No-op when [l] is already assigned. *)
+
+  val is_dirty : t -> int -> bool
+end
 
 val train : ?pool:Parallel.pool -> config -> Candidates.t -> Graph.t list -> model
 (** Averaged structured perceptron; candidate sets come from

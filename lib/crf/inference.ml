@@ -19,14 +19,28 @@ let node_candidates ?(force = fun _ -> []) cfg cands g touching n =
          must be reachable, but must not win score ties — with fresh
          zero weights everything ties, and a prepended gold would make
          every training prediction trivially correct, so the perceptron
-         would never update. *)
+         would never update. Dedup is against [base] only (a hashed
+         set, not the old O(|base|) scan per forced label); duplicates
+         within [forced] itself are kept, as before. *)
       let base =
         Candidates.for_node cands g touching.(n) n ~max:cfg.max_candidates
       in
-      base @ List.filter (fun l -> not (List.mem l base)) forced
+      let in_base = Hashtbl.create 64 in
+      List.iter (fun l -> Hashtbl.replace in_base l ()) base;
+      base @ List.filter (fun l -> not (Hashtbl.mem in_base l)) forced
 
-let map_assignment ?(config = default_config) ?force_candidates model cands
-    (g : Graph.t) =
+(* The sweep loop shared by both engines lives inline below; the
+   incremental engine mirrors {!Fast.Scorer} on the string side. Each
+   unknown slot caches one score contribution per (candidate, factor)
+   pair plus the label each pairwise column was computed against; a
+   refresh recomputes only columns whose neighbor label changed and
+   resums in [Model.node_score]'s exact operation order (bias, then
+   factors in touching-list order), so cached scores are bit-identical
+   to a fresh rescore. Staleness is checked by physical equality —
+   content-safe, since a physically different but equal label recomputes
+   to the same float. *)
+let map_assignment ?(config = default_config) ?(engine = Fast.Incremental)
+    ?force_candidates model cands (g : Graph.t) =
   let rng = Random.State.make [| config.seed |] in
   let touching = Graph.touching g in
   let unknowns = Array.of_list (Graph.unknown_ids g) in
@@ -39,37 +53,191 @@ let map_assignment ?(config = default_config) ?force_candidates model cands
       (fun n -> node_candidates ?force:force_candidates config cands g touching n)
       unknowns
   in
-  let best_for i n =
-    let cs = cand_cache.(i) in
-    let best = ref assignment.(n) and best_score = ref neg_infinity in
-    List.iter
-      (fun l ->
-        let s = Model.node_score model g touching.(n) n assignment ~label:l in
-        if s > !best_score then begin
-          best_score := s;
-          best := l
-        end)
-      cs;
-    !best
-  in
-  (* Initial greedy assignment, then sweeps to fixpoint. *)
-  Array.iteri (fun i n -> assignment.(n) <- best_for i n) unknowns;
   let order = Array.init (Array.length unknowns) Fun.id in
   let changed = ref true and passes = ref 0 in
-  while !changed && !passes < config.max_passes do
-    changed := false;
-    incr passes;
-    shuffle rng order;
-    Array.iter
-      (fun i ->
+  (match engine with
+  | Fast.Full_rescore ->
+      let best_for i n =
+        let cs = cand_cache.(i) in
+        let best = ref assignment.(n) and best_score = ref neg_infinity in
+        List.iter
+          (fun l ->
+            let s = Model.node_score model g touching.(n) n assignment ~label:l in
+            if s > !best_score then begin
+              best_score := s;
+              best := l
+            end)
+          cs;
+        !best
+      in
+      (* Initial greedy assignment, then sweeps to fixpoint. *)
+      Array.iteri (fun i n -> assignment.(n) <- best_for i n) unknowns;
+      while !changed && !passes < config.max_passes do
+        changed := false;
+        incr passes;
+        shuffle rng order;
+        Array.iter
+          (fun i ->
+            let n = unknowns.(i) in
+            let l = best_for i n in
+            if not (String.equal l assignment.(n)) then begin
+              assignment.(n) <- l;
+              changed := true
+            end)
+          order
+      done
+  | Fast.Incremental ->
+      let k = Array.length unknowns in
+      let slot_of = Array.make (Array.length g.Graph.nodes) (-1) in
+      Array.iteri (fun s n -> slot_of.(n) <- s) unknowns;
+      let cand = Array.map Array.of_list cand_cache in
+      (* Never physically equal to any assignment label. *)
+      let sentinel = Bytes.unsafe_to_string (Bytes.make 1 '\000') in
+      let fac = Array.make k [||]
+      and other = Array.make k [||]
+      and nbr = Array.make k [||]
+      and contrib = Array.make k [||]
+      and seen = Array.make k [||]
+      and bias_c = Array.make k [||]
+      and sc = Array.make k [||]
+      and ncols = Array.make k 0 in
+      let dirty = Array.make k true in
+      for i = 0 to k - 1 do
         let n = unknowns.(i) in
-        let l = best_for i n in
-        if not (String.equal l assignment.(n)) then begin
-          assignment.(n) <- l;
-          changed := true
-        end)
-      order
-  done;
+        let fs = Array.of_list touching.(n) in
+        let nc = Array.length cand.(i) in
+        let cols = Array.length fs in
+        fac.(i) <- fs;
+        ncols.(i) <- cols;
+        other.(i) <-
+          Array.map
+            (function
+              | Graph.Pairwise { a; b; _ } -> if a = n then b else a
+              | Graph.Unary _ -> -1)
+            fs;
+        contrib.(i) <- Array.make (nc * cols) 0.;
+        seen.(i) <- Array.make cols sentinel;
+        bias_c.(i) <-
+          Array.map (fun l -> Model.get model (Model.bias_feat ~l)) cand.(i);
+        sc.(i) <- Array.make nc 0.;
+        (* Unary columns depend only on the candidate label (the factor
+           node *is* this node): fill once. *)
+        let row = contrib.(i) in
+        Array.iteri
+          (fun j f ->
+            match f with
+            | Graph.Unary { rel; mult; _ } ->
+                let multf = float_of_int mult in
+                for c = 0 to nc - 1 do
+                  row.((c * cols) + j) <-
+                    multf
+                    *. Model.get model (Model.unary_feat ~l:cand.(i).(c) ~rel)
+                done
+            | Graph.Pairwise _ -> ())
+          fs;
+        let acc = ref [] in
+        Array.iter
+          (fun o ->
+            if o >= 0 then begin
+              let s = slot_of.(o) in
+              if s >= 0 then acc := s :: !acc
+            end)
+          other.(i);
+        nbr.(i) <- Array.of_list (List.sort_uniq Int.compare !acc)
+      done;
+      let refresh i =
+        let n = unknowns.(i) in
+        let cs = cand.(i) in
+        let nc = Array.length cs in
+        let cols = ncols.(i) in
+        let row = contrib.(i)
+        and sn = seen.(i)
+        and ot = other.(i)
+        and fs = fac.(i) in
+        for j = 0 to cols - 1 do
+          let o = ot.(j) in
+          if o >= 0 then begin
+            let cur = assignment.(o) in
+            if cur != sn.(j) then begin
+              sn.(j) <- cur;
+              match fs.(j) with
+              | Graph.Pairwise { a; rel; mult; _ } ->
+                  let multf = float_of_int mult in
+                  if a = n then
+                    for c = 0 to nc - 1 do
+                      row.((c * cols) + j) <-
+                        multf
+                        *. Model.get model
+                             (Model.pairwise_feat ~la:cs.(c) ~rel ~lb:cur)
+                    done
+                  else
+                    for c = 0 to nc - 1 do
+                      row.((c * cols) + j) <-
+                        multf
+                        *. Model.get model
+                             (Model.pairwise_feat ~la:cur ~rel ~lb:cs.(c))
+                    done
+              | Graph.Unary _ -> ()
+            end
+          end
+        done;
+        let bias = bias_c.(i) and scores = sc.(i) in
+        for c = 0 to nc - 1 do
+          let s = ref bias.(c) in
+          let base = c * cols in
+          for j = 0 to cols - 1 do
+            s := !s +. row.(base + j)
+          done;
+          scores.(c) <- !s
+        done;
+        dirty.(i) <- false
+      in
+      let best_for i n =
+        let cs = cand.(i) in
+        if Array.length cs = 0 then begin
+          dirty.(i) <- false;
+          assignment.(n)
+        end
+        else begin
+          if dirty.(i) then refresh i;
+          let scores = sc.(i) in
+          let best = ref assignment.(n) and best_score = ref neg_infinity in
+          Array.iteri
+            (fun c l ->
+              let s = scores.(c) in
+              if s > !best_score then begin
+                best_score := s;
+                best := l
+              end)
+            cs;
+          !best
+        end
+      in
+      let set_label i n l =
+        assignment.(n) <- l;
+        Array.iter (fun s -> dirty.(s) <- true) nbr.(i)
+      in
+      Array.iteri
+        (fun i n ->
+          let l = best_for i n in
+          if not (String.equal l assignment.(n)) then set_label i n l)
+        unknowns;
+      while !changed && !passes < config.max_passes do
+        changed := false;
+        incr passes;
+        shuffle rng order;
+        Array.iter
+          (fun i ->
+            if dirty.(i) then begin
+              let n = unknowns.(i) in
+              let l = best_for i n in
+              if not (String.equal l assignment.(n)) then begin
+                set_label i n l;
+                changed := true
+              end
+            end)
+          order
+      done);
   assignment
 
 let top_k ?(config = default_config) model cands (g : Graph.t) assignment ~node

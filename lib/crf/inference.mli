@@ -19,8 +19,21 @@ type config = {
 
 val default_config : config
 
+val node_candidates :
+  ?force:(int -> string list) ->
+  config ->
+  Candidates.t ->
+  Graph.t ->
+  Graph.factor list array ->
+  int ->
+  string list
+(** Candidate labels for node [n] given [touching g]; labels forced by
+    [force] are appended, deduplicated against the base set (duplicates
+    within the forced list are kept). Exposed for tests. *)
+
 val map_assignment :
   ?config:config ->
+  ?engine:Fast.engine ->
   ?force_candidates:(int -> string list) ->
   Model.t ->
   Candidates.t ->
@@ -28,7 +41,10 @@ val map_assignment :
   string array
 (** [force_candidates] overrides the candidate set of selected nodes
     (used in training to make the gold label reachable); return [[]]
-    to keep the default. *)
+    to keep the default. [engine] (default [Incremental]) picks the ICM
+    implementation; both produce byte-identical assignments
+    (golden-tested), [Incremental] only rescores nodes whose
+    neighborhood changed. *)
 
 val top_k :
   ?config:config ->

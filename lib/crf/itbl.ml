@@ -1,0 +1,97 @@
+(* Open-addressed int -> float table for the weight hot path.
+
+   [Hashtbl]'s [find_opt] allocates a [Some] box and a boxed float on
+   every probe, which is most of what [Fast.node_score] does. Here
+   keys live in a flat [int array] (linear probing, [-1] = empty — all
+   packed weight keys are non-negative) and values in an unboxed
+   [float array], so a lookup is a multiply, a few compares and an
+   unsafe load.
+
+   Per-key arithmetic is identical to the [Hashtbl] code it replaces
+   ([add] accumulates with a single [+.] in program order), so models
+   trained on either table are byte-identical. Only iteration order
+   differs, which nothing semantic depends on. *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : float array;
+  mutable mask : int;
+  mutable count : int;
+}
+
+let rec ceil_pow2 n c = if c >= n then c else ceil_pow2 n (c * 2)
+
+let create hint =
+  let cap = ceil_pow2 (max 16 hint) 16 in
+  {
+    keys = Array.make cap (-1);
+    vals = Array.make cap 0.;
+    mask = cap - 1;
+    count = 0;
+  }
+
+(* Fibonacci-style multiplicative hash; [lsr] keeps the high (well
+   mixed) bits and guarantees a non-negative index. *)
+let[@inline] start t k = (k * 0x2545F4914F6CDD1D) lsr 16 land t.mask
+
+let length t = t.count
+
+let rec probe keys mask k i =
+  let kk = Array.unsafe_get keys i in
+  if kk = k || kk = -1 then i else probe keys mask k ((i + 1) land mask)
+
+let[@inline] get t k =
+  let i = probe t.keys t.mask k (start t k) in
+  if Array.unsafe_get t.keys i = k then Array.unsafe_get t.vals i else 0.
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = 2 * Array.length old_keys in
+  t.keys <- Array.make cap (-1);
+  t.vals <- Array.make cap 0.;
+  t.mask <- cap - 1;
+  Array.iteri
+    (fun i k ->
+      if k >= 0 then begin
+        let j = probe t.keys t.mask k (start t k) in
+        Array.unsafe_set t.keys j k;
+        Array.unsafe_set t.vals j (Array.unsafe_get old_vals i)
+      end)
+    old_keys
+
+let[@inline] insert t i k v =
+  Array.unsafe_set t.keys i k;
+  Array.unsafe_set t.vals i v;
+  t.count <- t.count + 1;
+  (* Load factor 1/2: probes stay short and the growth check is one
+     compare per insert. *)
+  if 2 * t.count >= Array.length t.keys then grow t
+
+let add t k d =
+  if d <> 0. then begin
+    let i = probe t.keys t.mask k (start t k) in
+    if Array.unsafe_get t.keys i = k then
+      Array.unsafe_set t.vals i (Array.unsafe_get t.vals i +. d)
+    else insert t i k d
+  end
+
+let set t k v =
+  let i = probe t.keys t.mask k (start t k) in
+  if Array.unsafe_get t.keys i = k then Array.unsafe_set t.vals i v
+  else insert t i k v
+
+let iter f t =
+  let keys = t.keys and vals = t.vals in
+  for i = 0 to Array.length keys - 1 do
+    let k = Array.unsafe_get keys i in
+    if k >= 0 then f k (Array.unsafe_get vals i)
+  done
+
+let fold f t acc =
+  let keys = t.keys and vals = t.vals in
+  let acc = ref acc in
+  for i = 0 to Array.length keys - 1 do
+    let k = Array.unsafe_get keys i in
+    if k >= 0 then acc := f k (Array.unsafe_get vals i) !acc
+  done;
+  !acc

@@ -1,0 +1,29 @@
+(** Open-addressed int -> float table (linear probing, unboxed float
+    values) for weight storage on the training/inference hot path.
+
+    Keys must be non-negative ([-1] is the empty-slot sentinel), which
+    every packed weight key in {!Fast} satisfies. Accumulation order
+    per key matches the [Hashtbl] code this replaces, so weights are
+    byte-identical; only iteration order differs. *)
+
+type t
+
+val create : int -> t
+(** [create hint] sizes the table for at least [hint] slots (rounded
+    up to a power of two, minimum 16). *)
+
+val get : t -> int -> float
+(** [get t k] is the value bound to [k], or [0.] when unbound. *)
+
+val add : t -> int -> float -> unit
+(** [add t k d] accumulates [d] onto the binding for [k], creating it
+    at [d] when absent. [d = 0.] on an absent key is a no-op, matching
+    the guarded [Hashtbl] accumulator it replaces. *)
+
+val set : t -> int -> float -> unit
+(** [set t k v] binds [k] to [v], replacing any existing binding
+    (inserts even [v = 0.], like [Hashtbl.replace]). *)
+
+val iter : (int -> float -> unit) -> t -> unit
+val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+val length : t -> int

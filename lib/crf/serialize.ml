@@ -195,6 +195,9 @@ let parse ?source next_line =
                 averaged = bool_ avg;
                 trainer;
                 init;
+                (* Execution detail, not a model property: always the
+                   default engine on restore. *)
+                engine = Train.default_config.Train.engine;
               }
         | [ "label"; l ] ->
             record ();

@@ -5,6 +5,7 @@ type config = {
   averaged : bool;
   init : Fast.init_style;
   trainer : Fast.trainer;
+  engine : Fast.engine;
 }
 
 let default_config =
@@ -15,6 +16,7 @@ let default_config =
     averaged = true;
     init = Fast.Log_counts;
     trainer = Fast.Pseudolikelihood;
+    engine = Fast.Incremental;
   }
 
 type model = {
@@ -34,6 +36,7 @@ let fast_config config =
     averaged = config.averaged;
     init = config.init;
     trainer = config.trainer;
+    engine = config.engine;
   }
 
 let train ?pool ?(config = default_config) graphs =

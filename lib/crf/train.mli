@@ -19,6 +19,10 @@ type config = {
   averaged : bool;
   init : Fast.init_style;  (** Generative weight initialization. *)
   trainer : Fast.trainer;
+  engine : Fast.engine;
+      (** ICM implementation ([Incremental] by default); both engines
+          produce byte-identical models and predictions. Not
+          serialized — restored models use the default. *)
 }
 
 val default_config : config

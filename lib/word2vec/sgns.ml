@@ -28,12 +28,36 @@ type t = {
 let sigmoid x =
   if x > 30. then 1. else if x < -30. then 0. else 1. /. (1. +. exp (-.x))
 
+let sigmoid_exact = sigmoid
+
 let dot a b =
   let acc = ref 0. in
   for i = 0 to Array.length a - 1 do
     acc := !acc +. (a.(i) *. b.(i))
   done;
   !acc
+
+(* Precomputed sigmoid, word2vec.c EXP_TABLE style: 4096 bins over
+   [-8, 8), value at the bin center, inputs outside clamped to 0/1.
+   Max error = half a bin width times max |sigmoid'| = (1/256)/2 * 1/4
+   ~ 4.9e-4 inside the range, 1 - sigmoid(8) ~ 3.4e-4 at the clamp:
+   absolute error < 1e-3 everywhere (bounded by test_kernels, budget
+   documented in DESIGN.md §10). *)
+let lut_size = 4096
+let lut_range = 8.
+let lut_scale = float_of_int lut_size /. (2. *. lut_range)
+
+let sigmoid_table =
+  Float.Array.init lut_size (fun i ->
+      let x = ((float_of_int i +. 0.5) /. lut_scale) -. lut_range in
+      1. /. (1. +. exp (-.x)))
+
+let sigmoid_lut x =
+  if x >= lut_range then 1.
+  else if x < -.lut_range then 0.
+  else
+    Float.Array.unsafe_get sigmoid_table
+      (int_of_float ((x +. lut_range) *. lut_scale))
 
 (* Negative-sampling table over contexts, unigram^0.75. *)
 let build_neg_table contexts size =
@@ -71,187 +95,19 @@ let fisher_yates rng arr =
     arr.(j) <- tmp
   done
 
-(* One in-place SGD step — the exact update (same operation order, so
-   same rounding) the trainer has always applied; the sequential and
-   hogwild paths both run it directly on the shared matrices. *)
-let sgd_step config ~neg_table ~word_vecs ~context_vecs ~grad_w ~rng ~lr
-    (wi, ci) =
-  let wv = word_vecs.(wi) in
-  Array.fill grad_w 0 config.dim 0.;
-  let update_pair cv label =
-    let g = (sigmoid (dot wv cv) -. label) *. lr in
-    for d = 0 to config.dim - 1 do
-      grad_w.(d) <- grad_w.(d) +. (g *. cv.(d));
-      cv.(d) <- cv.(d) -. (g *. wv.(d))
-    done
-  in
-  update_pair context_vecs.(ci) 1.;
-  for _k = 1 to config.negatives do
-    let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
-    if neg <> ci then update_pair context_vecs.(neg) 0.
-  done;
-  for d = 0 to config.dim - 1 do
-    wv.(d) <- wv.(d) -. grad_w.(d)
-  done
-
-(* Delta-accumulating variant for deterministic sharding: gradients
-   are computed against the matrices as they stood at the last barrier
-   (nobody writes between barriers, so the live arrays *are* the
-   frozen snapshot — no copy) and land in per-shard sparse tables. *)
-let delta_vec tbl dim i =
-  match Hashtbl.find_opt tbl i with
-  | Some d -> d
-  | None ->
-      let d = Array.make dim 0. in
-      Hashtbl.add tbl i d;
-      d
-
-let sgd_step_delta config ~neg_table ~word_vecs ~context_vecs ~grad_w ~rng ~lr
-    ~dw ~dc (wi, ci) =
-  let wv = word_vecs.(wi) in
-  Array.fill grad_w 0 config.dim 0.;
-  let update_pair cidx label =
-    let cv = context_vecs.(cidx) in
-    let g = (sigmoid (dot wv cv) -. label) *. lr in
-    let d = delta_vec dc config.dim cidx in
-    for k = 0 to config.dim - 1 do
-      grad_w.(k) <- grad_w.(k) +. (g *. cv.(k));
-      d.(k) <- d.(k) -. (g *. wv.(k))
-    done
-  in
-  update_pair ci 1.;
-  for _k = 1 to config.negatives do
-    let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
-    if neg <> ci then update_pair neg 0.
-  done;
-  let d = delta_vec dw config.dim wi in
-  for k = 0 to config.dim - 1 do
-    d.(k) <- d.(k) -. grad_w.(k)
-  done
-
-let apply_delta vecs tbl =
-  Hashtbl.iter
-    (fun i d ->
-      let v = vecs.(i) in
-      for k = 0 to Array.length d - 1 do
-        v.(k) <- v.(k) +. d.(k)
-      done)
-    tbl
-
-let train_sequential config ~neg_table ~word_vecs ~context_vecs ~rng pairs =
-  let n_pairs = Array.length pairs in
-  let total_steps = config.epochs * n_pairs in
-  let step = ref 0 in
-  let grad_w = Array.make config.dim 0. in
-  for _epoch = 0 to config.epochs - 1 do
-    (* Shuffle pair order each epoch. *)
-    fisher_yates rng pairs;
-    Array.iter
-      (fun pair ->
-        incr step;
-        let lr = learning_rate_at config ~step:!step ~total:total_steps in
-        sgd_step config ~neg_table ~word_vecs ~context_vecs ~grad_w ~rng ~lr
-          pair)
-      pairs
-  done
-
 (* Pairs a shard trains on between two barriers of a deterministic
    round. Small bounds gradient staleness (a delta is at most this
    many pairs behind per shard); large amortizes the barrier. *)
 let round_pairs_per_shard = 256
 
-(* Sharded training. Pairs split into [jobs] contiguous shards; shard
-   [s] draws from its own [Random.State.make [| seed; s |]] (epoch
-   shuffles and negative samples alike) and follows its own linear lr
-   schedule, so a run is reproducible for a fixed job count.
-
-   [Deterministic]: shards advance through each epoch in synchronized
-   rounds — gradients computed against the matrices as of the round
-   barrier, deltas applied in shard order at the barrier. Bitwise
-   reproducible for a fixed job count.
-
-   [Hogwild]: every shard trains all its epochs in place on the shared
-   matrices, no synchronization. Racy reads/writes of disjoint float
-   cells are memory-safe in OCaml (word-sized, no tearing); the result
-   varies run to run, as in the original Hogwild! scheme. *)
-let train_sharded ~pool ~mode config ~neg_table ~word_vecs ~context_vecs pairs
-    =
-  let shards =
-    Parallel.chunk_ranges ~chunks:(Parallel.jobs pool) (Array.length pairs)
-  in
-  let k = Array.length shards in
-  let slices =
-    Array.map (fun (lo, hi) -> Array.sub pairs lo (hi - lo + 1)) shards
-  in
-  let rngs = Array.init k (fun s -> Random.State.make [| config.seed; s |]) in
-  let shard_ids = Array.init k Fun.id in
-  match mode with
-  | Hogwild ->
-      ignore
-        (Parallel.map ~pool
-           (fun s ->
-             let slice = slices.(s) and rng = rngs.(s) in
-             let total = config.epochs * Array.length slice in
-             let step = ref 0 in
-             let grad_w = Array.make config.dim 0. in
-             for _epoch = 0 to config.epochs - 1 do
-               fisher_yates rng slice;
-               Array.iter
-                 (fun pair ->
-                   incr step;
-                   let lr = learning_rate_at config ~step:!step ~total in
-                   sgd_step config ~neg_table ~word_vecs ~context_vecs ~grad_w
-                     ~rng ~lr pair)
-                 slice
-             done)
-           shard_ids)
-  | Deterministic ->
-      let max_len =
-        Array.fold_left (fun acc sl -> max acc (Array.length sl)) 0 slices
-      in
-      for epoch = 0 to config.epochs - 1 do
-        (* Epoch shuffles run on the calling domain, one shard rng
-           each, keeping every shard's draw sequence well-defined. *)
-        Array.iteri (fun s slice -> fisher_yates rngs.(s) slice) slices;
-        let off = ref 0 in
-        while !off < max_len do
-          let lo = !off in
-          let deltas =
-            Parallel.map ~pool
-              (fun s ->
-                let slice = slices.(s) and rng = rngs.(s) in
-                let len = Array.length slice in
-                let hi = min len (lo + round_pairs_per_shard) in
-                if lo >= hi then None
-                else begin
-                  let dw = Hashtbl.create 64 and dc = Hashtbl.create 256 in
-                  let grad_w = Array.make config.dim 0. in
-                  let total = config.epochs * len in
-                  for i = lo to hi - 1 do
-                    let step = (epoch * len) + i + 1 in
-                    let lr = learning_rate_at config ~step ~total in
-                    sgd_step_delta config ~neg_table ~word_vecs ~context_vecs
-                      ~grad_w ~rng ~lr ~dw ~dc slice.(i)
-                  done;
-                  Some (dw, dc)
-                end)
-              shard_ids
-          in
-          Array.iter
-            (function
-              | None -> ()
-              | Some (dw, dc) ->
-                  apply_delta word_vecs dw;
-                  apply_delta context_vecs dc)
-            deltas;
-          off := lo + round_pairs_per_shard
-        done
-      done
-
-let train ?pool ?(mode = Deterministic) ?(config = default_config) pairs =
-  (* One pass over the input counts both sides at once; the vocab sort
-     is a total order, so the ids match what the old two-pass
-     [Vocab.build] calls produced. *)
+(* Vocabulary + id-pair construction, shared by the flat trainer and
+   {!Reference}. One pass over the input counts both sides at once;
+   the vocab sort is a total order, so the ids match what the old
+   two-pass [Vocab.build] calls produced. Returns the seeded rng
+   *before* any matrix draw so each trainer consumes it in the
+   historical order: all matrix init values first, then the sequential
+   path's shuffles and negatives. *)
+let prepare config pairs =
   let wfreq = Hashtbl.create 1024 and cfreq = Hashtbl.create 1024 in
   let n_input = ref 0 in
   let bump tbl tok =
@@ -280,27 +136,566 @@ let train ?pool ?(mode = Deterministic) ?(config = default_config) pairs =
       | _ -> ())
     pairs;
   let pairs = Array.sub id_pairs 0 !n_pairs in
-  let n_pairs = !n_pairs in
   let rng = Random.State.make [| config.seed |] in
-  (* Single hoisted initializer; consumes the seed rng in the same
-     order as ever, and every training path starts from it. *)
-  let init_vec () =
-    Array.init config.dim (fun _ ->
-        (Random.State.float rng 1.0 -. 0.5) /. float_of_int config.dim)
+  (words, contexts, pairs, !n_pairs, rng)
+
+(* ---------------------------------------------------------------- *)
+(* Flat kernel: both embedding matrices are single unboxed
+   [floatarray]s, row [i] at offset [i * dim] — one allocation, no
+   per-row indirection, every hot access an [unsafe_get]. With
+   [lut = false] ([`Exact]) the float operations (and their order) are
+   identical to {!Reference}'s nested-array kernel, so the results are
+   bitwise equal — the golden test's lever. The default [`Lut] path
+   trades the documented <1e-3 sigmoid error for speed and takes the
+   further loop liberties noted at {!update_pair_fast}. *)
+
+(* Row-major init, explicit loop: draws the seed rng in exactly the
+   order the nested [Array.init] matrices always consumed it. *)
+let init_flat rng ~rows ~dim =
+  let fa = Float.Array.make (rows * dim) 0. in
+  for i = 0 to (rows * dim) - 1 do
+    Float.Array.unsafe_set fa i
+      ((Random.State.float rng 1.0 -. 0.5) /. float_of_int dim)
+  done;
+  fa
+
+let ug = Float.Array.unsafe_get
+let us = Float.Array.unsafe_set
+
+(* Strictly-ordered pair update: one accumulator, ascending [d] — the
+   float operations (and their order) are exactly {!Reference}'s, which
+   is what makes [`Exact] runs bitwise-comparable to the old kernel. *)
+let update_pair_exact ~w ~c ~grad_w ~wo ~co ~dim ~lr label =
+  let acc = ref 0. in
+  for d = 0 to dim - 1 do
+    acc := !acc +. (ug w (wo + d) *. ug c (co + d))
+  done;
+  let g = (sigmoid_exact !acc -. label) *. lr in
+  for d = 0 to dim - 1 do
+    let cvd = ug c (co + d) in
+    us grad_w d (ug grad_w d +. (g *. cvd));
+    us c (co + d) (cvd -. (g *. ug w (wo + d)))
+  done
+
+(* Production [`Lut] pair update. Two liberties the exact path may not
+   take, both inside the documented LUT error budget (ranking-level
+   tolerance, not bitwise): the dot product runs on four accumulators
+   so the sum no longer serializes on one add's latency, and a pair
+   whose clamped sigmoid makes the gradient exactly zero (saturated —
+   the common case late in training) skips its update loop outright. *)
+let update_pair_fast ~w ~c ~grad_w ~wo ~co ~dim ~lr label =
+  let s0 = ref 0. and s1 = ref 0. and s2 = ref 0. and s3 = ref 0. in
+  let d = ref 0 in
+  while !d + 4 <= dim do
+    let i = !d in
+    s0 := !s0 +. (ug w (wo + i) *. ug c (co + i));
+    s1 := !s1 +. (ug w (wo + i + 1) *. ug c (co + i + 1));
+    s2 := !s2 +. (ug w (wo + i + 2) *. ug c (co + i + 2));
+    s3 := !s3 +. (ug w (wo + i + 3) *. ug c (co + i + 3));
+    d := i + 4
+  done;
+  let acc = ref (!s0 +. !s1 +. (!s2 +. !s3)) in
+  while !d < dim do
+    acc := !acc +. (ug w (wo + !d) *. ug c (co + !d));
+    incr d
+  done;
+  let g = (sigmoid_lut !acc -. label) *. lr in
+  if g <> 0. then
+    for d = 0 to dim - 1 do
+      let cvd = ug c (co + d) in
+      us grad_w d (ug grad_w d +. (g *. cvd));
+      us c (co + d) (cvd -. (g *. ug w (wo + d)))
+    done
+
+let sgd_step_flat config ~neg_table ~w ~c ~grad_w ~rng ~lr ~lut (wi, ci) =
+  let dim = config.dim in
+  let wo = wi * dim in
+  Float.Array.fill grad_w 0 dim 0.;
+  let update_pair co label =
+    if lut then update_pair_fast ~w ~c ~grad_w ~wo ~co ~dim ~lr label
+    else update_pair_exact ~w ~c ~grad_w ~wo ~co ~dim ~lr label
   in
-  let word_vecs = Array.init (Vocab.size words) (fun _ -> init_vec ()) in
-  let context_vecs = Array.init (Vocab.size contexts) (fun _ -> init_vec ()) in
+  update_pair (ci * dim) 1.;
+  for _k = 1 to config.negatives do
+    let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
+    if neg <> ci then update_pair (neg * dim) 0.
+  done;
+  for d = 0 to dim - 1 do
+    us w (wo + d) (ug w (wo + d) -. ug grad_w d)
+  done
+
+(* C epoch-slice kernel for the sequential [`Lut] path (sgns_stubs.c).
+   The stub touches no OCaml heap state beyond its arguments and never
+   allocates; slices are bounded below so a long epoch can't hold up
+   other domains' stop-the-world collections. *)
+external train_slice_c :
+  Float.Array.t ->
+  Float.Array.t ->
+  Float.Array.t ->
+  (int * int) array ->
+  int array ->
+  int array ->
+  Float.Array.t ->
+  unit = "caml_sgns_train_slice_bytes" "caml_sgns_train_slice"
+[@@noalloc]
+
+(* Pairs per C call: big enough that the call cost vanishes, small
+   enough (~a few ms of work) that other domains' STW pauses are never
+   held up behind the non-cooperating stub. *)
+let slice_pairs = 8192
+
+(* Sequential [`Lut] trainer: per-epoch shuffle in OCaml (consuming
+   [rng] like every trainer before it), arithmetic in the C kernel.
+   Covered by the LUT ranking-tolerance contract, not the bitwise one:
+   the kernel draws its negative samples from word2vec.c's LCG, seeded
+   per epoch from [rng], instead of replaying [Random.State] draws —
+   see DESIGN.md §10. The [`Exact] OCaml path below remains the
+   bit-for-bit replica of {!Reference}. *)
+let train_sequential_fast config ~neg_table ~w ~c ~rng pairs =
+  let dim = config.dim in
+  let n_pairs = Array.length pairs in
+  let iparams = Array.make 8 0 in
+  iparams.(0) <- dim;
+  iparams.(1) <- config.negatives;
+  iparams.(5) <- config.epochs * n_pairs;
+  let fparams =
+    Float.Array.of_list [ config.learning_rate; lut_range; lut_scale ]
+  in
+  for epoch = 0 to config.epochs - 1 do
+    fisher_yates rng pairs;
+    iparams.(4) <- epoch * n_pairs;
+    let lo = ref 0 in
+    while !lo < n_pairs do
+      let hi = min n_pairs (!lo + slice_pairs) in
+      let seed = Random.State.bits64 rng in
+      iparams.(2) <- !lo;
+      iparams.(3) <- hi;
+      iparams.(6) <- Int64.to_int (Int64.logand seed 0xFFFFFFFFL);
+      iparams.(7) <- Int64.to_int (Int64.shift_right_logical seed 32);
+      train_slice_c w c sigmoid_table pairs neg_table iparams fparams;
+      lo := hi
+    done
+  done
+
+let train_sequential_flat config ~neg_table ~w ~c ~rng ~lut pairs =
+  if lut then train_sequential_fast config ~neg_table ~w ~c ~rng pairs
+  else begin
+    let n_pairs = Array.length pairs in
+    let total_steps = config.epochs * n_pairs in
+    let step = ref 0 in
+    let grad_w = Float.Array.make config.dim 0. in
+    for _epoch = 0 to config.epochs - 1 do
+      fisher_yates rng pairs;
+      Array.iter
+        (fun pair ->
+          incr step;
+          let lr = learning_rate_at config ~step:!step ~total:total_steps in
+          sgd_step_flat config ~neg_table ~w ~c ~grad_w ~rng ~lr ~lut pair)
+        pairs
+    done
+  end
+
+(* Per-shard delta slab for deterministic rounds: touched rows map to
+   consecutive [dim]-sized slices of one flat buffer — merging a slab
+   back is a contiguous axpy per row instead of a walk over boxed
+   per-row arrays. *)
+type slab = {
+  s_dim : int;
+  s_idx : (int, int) Hashtbl.t;  (* matrix row -> slab slot *)
+  mutable s_buf : Float.Array.t;
+  mutable s_n : int;
+}
+
+let slab_create dim hint =
+  {
+    s_dim = dim;
+    s_idx = Hashtbl.create hint;
+    s_buf = Float.Array.make (max 1 (hint * dim)) 0.;
+    s_n = 0;
+  }
+
+(* Offset of [row]'s slice, allocating (zeroed) on first touch. *)
+let slab_slot sl row =
+  match Hashtbl.find_opt sl.s_idx row with
+  | Some s -> s * sl.s_dim
+  | None ->
+      let s = sl.s_n in
+      sl.s_n <- s + 1;
+      if (s + 1) * sl.s_dim > Float.Array.length sl.s_buf then begin
+        let nb = Float.Array.make (2 * Float.Array.length sl.s_buf) 0. in
+        Float.Array.blit sl.s_buf 0 nb 0 (Float.Array.length sl.s_buf);
+        sl.s_buf <- nb
+      end;
+      Hashtbl.add sl.s_idx row s;
+      s * sl.s_dim
+
+let apply_slab vecs sl =
+  Hashtbl.iter
+    (fun row s ->
+      let off = row * sl.s_dim and so = s * sl.s_dim in
+      for d = 0 to sl.s_dim - 1 do
+        Float.Array.unsafe_set vecs (off + d)
+          (Float.Array.unsafe_get vecs (off + d)
+          +. Float.Array.unsafe_get sl.s_buf (so + d))
+      done)
+    sl.s_idx
+
+(* Delta-accumulating step for deterministic sharding: gradients are
+   computed against the matrices as they stood at the last barrier
+   (nobody writes between barriers, so the live arrays *are* the
+   frozen snapshot — no copy) and land in per-shard slabs. *)
+let sgd_step_delta_flat config ~neg_table ~w ~c ~grad_w ~rng ~lr ~lut ~dw ~dc
+    (wi, ci) =
+  let dim = config.dim in
+  let wo = wi * dim in
+  Float.Array.fill grad_w 0 dim 0.;
+  let apply row g =
+    let co = row * dim in
+    let so = slab_slot dc row in
+    let buf = dc.s_buf in
+    for d = 0 to dim - 1 do
+      us grad_w d (ug grad_w d +. (g *. ug c (co + d)));
+      us buf (so + d) (ug buf (so + d) -. (g *. ug w (wo + d)))
+    done
+  in
+  let update_pair row label =
+    let co = row * dim in
+    if lut then begin
+      (* Same liberties as {!update_pair_fast}: reassociated dot,
+         saturated pairs never touch the slab. *)
+      let s0 = ref 0. and s1 = ref 0. and s2 = ref 0. and s3 = ref 0. in
+      let d = ref 0 in
+      while !d + 4 <= dim do
+        let i = !d in
+        s0 := !s0 +. (ug w (wo + i) *. ug c (co + i));
+        s1 := !s1 +. (ug w (wo + i + 1) *. ug c (co + i + 1));
+        s2 := !s2 +. (ug w (wo + i + 2) *. ug c (co + i + 2));
+        s3 := !s3 +. (ug w (wo + i + 3) *. ug c (co + i + 3));
+        d := i + 4
+      done;
+      let acc = ref (!s0 +. !s1 +. (!s2 +. !s3)) in
+      while !d < dim do
+        acc := !acc +. (ug w (wo + !d) *. ug c (co + !d));
+        incr d
+      done;
+      let g = (sigmoid_lut !acc -. label) *. lr in
+      if g <> 0. then apply row g
+    end
+    else begin
+      let acc = ref 0. in
+      for d = 0 to dim - 1 do
+        acc := !acc +. (ug w (wo + d) *. ug c (co + d))
+      done;
+      apply row ((sigmoid_exact !acc -. label) *. lr)
+    end
+  in
+  update_pair ci 1.;
+  for _k = 1 to config.negatives do
+    let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
+    if neg <> ci then update_pair neg 0.
+  done;
+  let so = slab_slot dw wi in
+  let buf = dw.s_buf in
+  for d = 0 to dim - 1 do
+    us buf (so + d) (ug buf (so + d) -. ug grad_w d)
+  done
+
+(* Sharded training. Pairs split into [jobs] contiguous shards; shard
+   [s] draws from its own [Random.State.make [| seed; s |]] (epoch
+   shuffles and negative samples alike) and follows its own linear lr
+   schedule, so a run is reproducible for a fixed job count.
+
+   [Deterministic]: shards advance through each epoch in synchronized
+   rounds — gradients computed against the matrices as of the round
+   barrier, delta slabs applied in shard order at the barrier. Bitwise
+   reproducible for a fixed job count.
+
+   [Hogwild]: every shard trains all its epochs in place on the shared
+   flat matrices, no synchronization. Racy reads/writes of disjoint
+   word-sized cells are memory-safe in OCaml (no tearing); the result
+   varies run to run, as in the original Hogwild! scheme. *)
+let train_sharded_flat ~pool ~mode config ~neg_table ~w ~c ~lut pairs =
+  let shards =
+    Parallel.chunk_ranges ~chunks:(Parallel.jobs pool) (Array.length pairs)
+  in
+  let k = Array.length shards in
+  let slices =
+    Array.map (fun (lo, hi) -> Array.sub pairs lo (hi - lo + 1)) shards
+  in
+  let rngs = Array.init k (fun s -> Random.State.make [| config.seed; s |]) in
+  let shard_ids = Array.init k Fun.id in
+  match mode with
+  | Hogwild ->
+      ignore
+        (Parallel.map ~pool
+           (fun s ->
+             let slice = slices.(s) and rng = rngs.(s) in
+             let total = config.epochs * Array.length slice in
+             let step = ref 0 in
+             let grad_w = Float.Array.make config.dim 0. in
+             for _epoch = 0 to config.epochs - 1 do
+               fisher_yates rng slice;
+               Array.iter
+                 (fun pair ->
+                   incr step;
+                   let lr = learning_rate_at config ~step:!step ~total in
+                   sgd_step_flat config ~neg_table ~w ~c ~grad_w ~rng ~lr ~lut
+                     pair)
+                 slice
+             done)
+           shard_ids)
+  | Deterministic ->
+      let max_len =
+        Array.fold_left (fun acc sl -> max acc (Array.length sl)) 0 slices
+      in
+      for epoch = 0 to config.epochs - 1 do
+        (* Epoch shuffles run on the calling domain, one shard rng
+           each, keeping every shard's draw sequence well-defined. *)
+        Array.iteri (fun s slice -> fisher_yates rngs.(s) slice) slices;
+        let off = ref 0 in
+        while !off < max_len do
+          let lo = !off in
+          let deltas =
+            Parallel.map ~pool
+              (fun s ->
+                let slice = slices.(s) and rng = rngs.(s) in
+                let len = Array.length slice in
+                let hi = min len (lo + round_pairs_per_shard) in
+                if lo >= hi then None
+                else begin
+                  let dw = slab_create config.dim 64
+                  and dc = slab_create config.dim 256 in
+                  let grad_w = Float.Array.make config.dim 0. in
+                  let total = config.epochs * len in
+                  for i = lo to hi - 1 do
+                    let step = (epoch * len) + i + 1 in
+                    let lr = learning_rate_at config ~step ~total in
+                    sgd_step_delta_flat config ~neg_table ~w ~c ~grad_w ~rng
+                      ~lr ~lut ~dw ~dc slice.(i)
+                  done;
+                  Some (dw, dc)
+                end)
+              shard_ids
+          in
+          Array.iter
+            (function
+              | None -> ()
+              | Some (dw, dc) ->
+                  apply_slab w dw;
+                  apply_slab c dc)
+            deltas;
+          off := lo + round_pairs_per_shard
+        done
+      done
+
+(* The public row-matrix view: one boxed row per id, extracted once
+   after training so [Serialize], [predict] and [most_similar] keep
+   their shapes. *)
+let rows_of fa ~rows ~dim =
+  Array.init rows (fun i ->
+      Array.init dim (fun d -> Float.Array.get fa ((i * dim) + d)))
+
+let train ?pool ?(mode = Deterministic) ?(config = default_config)
+    ?(sigmoid = `Lut) pairs =
+  let words, contexts, pairs, n_pairs, rng = prepare config pairs in
+  let dim = config.dim in
+  let nw = Vocab.size words and nc = Vocab.size contexts in
+  let w = init_flat rng ~rows:nw ~dim in
+  let c = init_flat rng ~rows:nc ~dim in
   let neg_table = build_neg_table contexts 100_000 in
+  let lut = match sigmoid with `Lut -> true | `Exact -> false in
   let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
   if n_pairs > 0 && Array.length neg_table > 0 then begin
     match pool with
     | Some pool when jobs > 1 && n_pairs >= jobs ->
-        train_sharded ~pool ~mode config ~neg_table ~word_vecs ~context_vecs
-          pairs
-    | _ ->
-        train_sequential config ~neg_table ~word_vecs ~context_vecs ~rng pairs
+        train_sharded_flat ~pool ~mode config ~neg_table ~w ~c ~lut pairs
+    | _ -> train_sequential_flat config ~neg_table ~w ~c ~rng ~lut pairs
   end;
-  { config; words; contexts; word_vecs; context_vecs }
+  {
+    config;
+    words;
+    contexts;
+    word_vecs = rows_of w ~rows:nw ~dim;
+    context_vecs = rows_of c ~rows:nc ~dim;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* The pre-flat-kernel trainer, kept verbatim (nested [float array
+   array] matrices, exact sigmoid, boxed per-row deltas) as the golden
+   baseline: [train ~sigmoid:`Exact] must reproduce it bitwise, and
+   [bench train] measures the flat kernel's speedup against it. *)
+module Reference = struct
+  let sgd_step config ~neg_table ~word_vecs ~context_vecs ~grad_w ~rng ~lr
+      (wi, ci) =
+    let wv = word_vecs.(wi) in
+    Array.fill grad_w 0 config.dim 0.;
+    let update_pair cv label =
+      let g = (sigmoid (dot wv cv) -. label) *. lr in
+      for d = 0 to config.dim - 1 do
+        grad_w.(d) <- grad_w.(d) +. (g *. cv.(d));
+        cv.(d) <- cv.(d) -. (g *. wv.(d))
+      done
+    in
+    update_pair context_vecs.(ci) 1.;
+    for _k = 1 to config.negatives do
+      let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
+      if neg <> ci then update_pair context_vecs.(neg) 0.
+    done;
+    for d = 0 to config.dim - 1 do
+      wv.(d) <- wv.(d) -. grad_w.(d)
+    done
+
+  let delta_vec tbl dim i =
+    match Hashtbl.find_opt tbl i with
+    | Some d -> d
+    | None ->
+        let d = Array.make dim 0. in
+        Hashtbl.add tbl i d;
+        d
+
+  let sgd_step_delta config ~neg_table ~word_vecs ~context_vecs ~grad_w ~rng
+      ~lr ~dw ~dc (wi, ci) =
+    let wv = word_vecs.(wi) in
+    Array.fill grad_w 0 config.dim 0.;
+    let update_pair cidx label =
+      let cv = context_vecs.(cidx) in
+      let g = (sigmoid (dot wv cv) -. label) *. lr in
+      let d = delta_vec dc config.dim cidx in
+      for k = 0 to config.dim - 1 do
+        grad_w.(k) <- grad_w.(k) +. (g *. cv.(k));
+        d.(k) <- d.(k) -. (g *. wv.(k))
+      done
+    in
+    update_pair ci 1.;
+    for _k = 1 to config.negatives do
+      let neg = neg_table.(Random.State.int rng (Array.length neg_table)) in
+      if neg <> ci then update_pair neg 0.
+    done;
+    let d = delta_vec dw config.dim wi in
+    for k = 0 to config.dim - 1 do
+      d.(k) <- d.(k) -. grad_w.(k)
+    done
+
+  let apply_delta vecs tbl =
+    Hashtbl.iter
+      (fun i d ->
+        let v = vecs.(i) in
+        for k = 0 to Array.length d - 1 do
+          v.(k) <- v.(k) +. d.(k)
+        done)
+      tbl
+
+  let train_sequential config ~neg_table ~word_vecs ~context_vecs ~rng pairs =
+    let n_pairs = Array.length pairs in
+    let total_steps = config.epochs * n_pairs in
+    let step = ref 0 in
+    let grad_w = Array.make config.dim 0. in
+    for _epoch = 0 to config.epochs - 1 do
+      fisher_yates rng pairs;
+      Array.iter
+        (fun pair ->
+          incr step;
+          let lr = learning_rate_at config ~step:!step ~total:total_steps in
+          sgd_step config ~neg_table ~word_vecs ~context_vecs ~grad_w ~rng ~lr
+            pair)
+        pairs
+    done
+
+  let train_sharded ~pool ~mode config ~neg_table ~word_vecs ~context_vecs
+      pairs =
+    let shards =
+      Parallel.chunk_ranges ~chunks:(Parallel.jobs pool) (Array.length pairs)
+    in
+    let k = Array.length shards in
+    let slices =
+      Array.map (fun (lo, hi) -> Array.sub pairs lo (hi - lo + 1)) shards
+    in
+    let rngs = Array.init k (fun s -> Random.State.make [| config.seed; s |]) in
+    let shard_ids = Array.init k Fun.id in
+    match mode with
+    | Hogwild ->
+        ignore
+          (Parallel.map ~pool
+             (fun s ->
+               let slice = slices.(s) and rng = rngs.(s) in
+               let total = config.epochs * Array.length slice in
+               let step = ref 0 in
+               let grad_w = Array.make config.dim 0. in
+               for _epoch = 0 to config.epochs - 1 do
+                 fisher_yates rng slice;
+                 Array.iter
+                   (fun pair ->
+                     incr step;
+                     let lr = learning_rate_at config ~step:!step ~total in
+                     sgd_step config ~neg_table ~word_vecs ~context_vecs
+                       ~grad_w ~rng ~lr pair)
+                   slice
+               done)
+             shard_ids)
+    | Deterministic ->
+        let max_len =
+          Array.fold_left (fun acc sl -> max acc (Array.length sl)) 0 slices
+        in
+        for epoch = 0 to config.epochs - 1 do
+          Array.iteri (fun s slice -> fisher_yates rngs.(s) slice) slices;
+          let off = ref 0 in
+          while !off < max_len do
+            let lo = !off in
+            let deltas =
+              Parallel.map ~pool
+                (fun s ->
+                  let slice = slices.(s) and rng = rngs.(s) in
+                  let len = Array.length slice in
+                  let hi = min len (lo + round_pairs_per_shard) in
+                  if lo >= hi then None
+                  else begin
+                    let dw = Hashtbl.create 64 and dc = Hashtbl.create 256 in
+                    let grad_w = Array.make config.dim 0. in
+                    let total = config.epochs * len in
+                    for i = lo to hi - 1 do
+                      let step = (epoch * len) + i + 1 in
+                      let lr = learning_rate_at config ~step ~total in
+                      sgd_step_delta config ~neg_table ~word_vecs
+                        ~context_vecs ~grad_w ~rng ~lr ~dw ~dc slice.(i)
+                    done;
+                    Some (dw, dc)
+                  end)
+                shard_ids
+            in
+            Array.iter
+              (function
+                | None -> ()
+                | Some (dw, dc) ->
+                    apply_delta word_vecs dw;
+                    apply_delta context_vecs dc)
+              deltas;
+            off := lo + round_pairs_per_shard
+          done
+        done
+
+  let train ?pool ?(mode = Deterministic) ?(config = default_config) pairs =
+    let words, contexts, pairs, n_pairs, rng = prepare config pairs in
+    let init_vec () =
+      Array.init config.dim (fun _ ->
+          (Random.State.float rng 1.0 -. 0.5) /. float_of_int config.dim)
+    in
+    let word_vecs = Array.init (Vocab.size words) (fun _ -> init_vec ()) in
+    let context_vecs =
+      Array.init (Vocab.size contexts) (fun _ -> init_vec ())
+    in
+    let neg_table = build_neg_table contexts 100_000 in
+    let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
+    if n_pairs > 0 && Array.length neg_table > 0 then begin
+      match pool with
+      | Some pool when jobs > 1 && n_pairs >= jobs ->
+          train_sharded ~pool ~mode config ~neg_table ~word_vecs ~context_vecs
+            pairs
+      | _ ->
+          train_sequential config ~neg_table ~word_vecs ~context_vecs ~rng
+            pairs
+    end;
+    { config; words; contexts; word_vecs; context_vecs }
+end
 
 let word_vec t w = Option.map (fun i -> t.word_vecs.(i)) (Vocab.id t.words w)
 
@@ -327,10 +722,13 @@ let most_similar t w ~k =
   | Some wi ->
       let wv = t.word_vecs.(wi) in
       let nw = norm wv in
+      (* All row norms once per call, not once per candidate
+         comparison; same floats as computing them inline. *)
+      let norms = Array.map norm t.word_vecs in
       Array.to_list
         (Array.mapi
            (fun i v ->
-             let d = norm v *. nw in
+             let d = norms.(i) *. nw in
              ( Vocab.word t.words i,
                if d = 0. then 0. else dot wv v /. d ))
            t.word_vecs)

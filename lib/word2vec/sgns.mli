@@ -40,15 +40,36 @@ val train :
   ?pool:Parallel.pool ->
   ?mode:parallel_mode ->
   ?config:config ->
+  ?sigmoid:[ `Lut | `Exact ] ->
   (string * string) list ->
   t
-(** Without [pool] (or with a 1-job pool) this is the sequential
-    trainer, byte-for-byte identical to previous releases. With a
-    larger pool, pairs split into one contiguous shard per job; shard
-    [s] draws epoch shuffles and negatives from its own
+(** Flat-matrix trainer: both embedding matrices live in single
+    unboxed [floatarray]s (row [i] at offset [i * dim]) with fused
+    unsafe-access update loops; the public [float array array] views
+    are extracted once at the end.
+
+    [sigmoid] (default [`Lut]) picks the precomputed sigmoid table
+    (4096 bins over [-8, 8), absolute error < 1e-3 — see DESIGN.md
+    §10); [`Exact] uses the exact sigmoid and is then bitwise
+    identical to {!Reference.train} (golden-tested).
+
+    Without [pool] (or with a 1-job pool) this is the sequential
+    trainer. With a larger pool, pairs split into one contiguous shard
+    per job; shard [s] draws epoch shuffles and negatives from its own
     [Random.State.make [| seed; s |]] and follows its own linear lr
     schedule. [mode] (default [Deterministic]) picks the update
     discipline. *)
+
+(** The pre-flat-kernel trainer (nested [float array array] matrices,
+    exact sigmoid), kept verbatim as the golden/benchmark baseline. *)
+module Reference : sig
+  val train :
+    ?pool:Parallel.pool ->
+    ?mode:parallel_mode ->
+    ?config:config ->
+    (string * string) list ->
+    t
+end
 
 val word_vec : t -> string -> float array option
 val context_vec : t -> string -> float array option
@@ -62,4 +83,10 @@ val most_similar : t -> string -> k:int -> (string * float) list
     semantic-similarity probe). *)
 
 val sigmoid : float -> float
+
+val sigmoid_lut : float -> float
+(** Table-lookup sigmoid used by the default training kernel:
+    [|sigmoid_lut x - sigmoid x| < 1e-3] for all [x] (bounded by the
+    kernel test suite). *)
+
 val dot : float array -> float array -> float
