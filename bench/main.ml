@@ -6,7 +6,7 @@
      dune exec bench/main.exe --quick all     -- smaller corpora
 
    Experiments: table1 table2-var table2-method table2-type table3
-   table4 fig10 fig11 fig12 fault parallel train micro.
+   table4 fig10 fig11 fig12 fault parallel train intern micro.
 
    Absolute numbers are not expected to match the paper (our corpora
    are synthetic and laptop-sized); the *shape* — which representation
@@ -922,7 +922,36 @@ let parallel_bench () =
    reused. The current trainer must reproduce this one's weights and
    predictions byte for byte — asserted below. *)
 module Prev_crf = struct
-  module Interner = Crf.Fast.Interner
+  (* The seed's per-model string interner, pinned here now that the
+     engine shares a guarded [Crf.Symbols] table instead. *)
+  module Interner = struct
+    type t = {
+      tbl : (string, int) Hashtbl.t;
+      mutable rev : string array;
+      mutable n : int;
+    }
+
+    let create () = { tbl = Hashtbl.create 256; rev = Array.make 256 ""; n = 0 }
+
+    let intern t s =
+      match Hashtbl.find_opt t.tbl s with
+      | Some i -> i
+      | None ->
+          let i = t.n in
+          if i >= Array.length t.rev then begin
+            let rev = Array.make (2 * Array.length t.rev) "" in
+            Array.blit t.rev 0 rev 0 (Array.length t.rev);
+            t.rev <- rev
+          end;
+          t.rev.(i) <- s;
+          Hashtbl.add t.tbl s i;
+          t.n <- i + 1;
+          i
+
+    let to_string t i = t.rev.(i)
+    let size t = t.n
+  end
+
   module Graph = Crf.Graph
   module Candidates = Crf.Candidates
 
@@ -1440,6 +1469,476 @@ let train_bench () =
   end
   else Printf.printf "training kernels: all checks passed\n%!"
 
+(* ---------- interned pipeline (BENCH_intern.json) ---------- *)
+
+(* The seed's string-keyed candidate table, pinned as the measured
+   baseline for the interning work: "\x1f"-concatenated pairwise keys,
+   find-then-replace double lookups, string-keyed inner tables. One
+   normalization: [sorted_global] gets the (count desc, label asc)
+   total order the interned table uses — the seed's ranking was
+   hash-order dependent on count ties, and the identity asserts below
+   need a well-defined answer. *)
+module Prev_cands = struct
+  type counts = (string, int) Hashtbl.t
+
+  type t = {
+    unary : (string, counts) Hashtbl.t;
+    pairwise : (string, counts) Hashtbl.t;
+    global : counts;
+    mutable sorted_global : string list;
+  }
+
+  let bump ?(by = 1) tbl key label =
+    let inner =
+      match Hashtbl.find_opt tbl key with
+      | Some h -> h
+      | None ->
+          let h = Hashtbl.create 4 in
+          Hashtbl.add tbl key h;
+          h
+    in
+    Hashtbl.replace inner label
+      (by + Option.value (Hashtbl.find_opt inner label) ~default:0)
+
+  let pw_key ~dir ~rel ~other = String.concat "\x1f" [ dir; rel; other ]
+
+  let build graphs =
+    let t =
+      {
+        unary = Hashtbl.create 1024;
+        pairwise = Hashtbl.create 4096;
+        global = Hashtbl.create 256;
+        sorted_global = [];
+      }
+    in
+    List.iter
+      (fun (g : Crf.Graph.t) ->
+        let gold = Crf.Graph.gold_assignment g in
+        Array.iter
+          (fun (n : Crf.Graph.node) ->
+            if n.Crf.Graph.kind = `Unknown then
+              Hashtbl.replace t.global n.Crf.Graph.gold
+                (1
+                + Option.value
+                    (Hashtbl.find_opt t.global n.Crf.Graph.gold)
+                    ~default:0))
+          g.Crf.Graph.nodes;
+        List.iter
+          (fun f ->
+            match f with
+            | Crf.Graph.Unary { n; rel; mult } ->
+                if g.Crf.Graph.nodes.(n).Crf.Graph.kind = `Unknown then
+                  bump ~by:mult t.unary rel gold.(n)
+            | Crf.Graph.Pairwise { a; b; rel; mult } ->
+                if g.Crf.Graph.nodes.(a).Crf.Graph.kind = `Unknown then
+                  bump ~by:mult t.pairwise
+                    (pw_key ~dir:"L" ~rel ~other:gold.(b))
+                    gold.(a);
+                if g.Crf.Graph.nodes.(b).Crf.Graph.kind = `Unknown then
+                  bump ~by:mult t.pairwise
+                    (pw_key ~dir:"R" ~rel ~other:gold.(a))
+                    gold.(b))
+          g.Crf.Graph.factors)
+      graphs;
+    t
+
+  let sorted_global t =
+    if t.sorted_global = [] && Hashtbl.length t.global > 0 then begin
+      let items = Hashtbl.fold (fun l c acc -> (l, c) :: acc) t.global [] in
+      t.sorted_global <-
+        List.map fst
+          (List.sort
+             (fun (la, a) (lb, b) ->
+               let c = Int.compare b a in
+               if c <> 0 then c else String.compare la lb)
+             items)
+    end;
+    t.sorted_global
+
+  let global_top t k =
+    let rec take k = function
+      | [] -> []
+      | _ when k <= 0 -> []
+      | x :: rest -> x :: take (k - 1) rest
+    in
+    take k (sorted_global t)
+
+  let for_node t (g : Crf.Graph.t) factors n ~max =
+    let scores : counts = Hashtbl.create 16 in
+    let merge inner =
+      Hashtbl.iter
+        (fun l c ->
+          Hashtbl.replace scores l
+            (c + Option.value (Hashtbl.find_opt scores l) ~default:0))
+        inner
+    in
+    List.iter
+      (fun f ->
+        match f with
+        | Crf.Graph.Unary { n = m; rel; _ } when m = n -> (
+            match Hashtbl.find_opt t.unary rel with
+            | Some inner -> merge inner
+            | None -> ())
+        | Crf.Graph.Pairwise { a; b; rel; _ } when a = n ->
+            if g.Crf.Graph.nodes.(b).Crf.Graph.kind = `Known then
+              Option.iter merge
+                (Hashtbl.find_opt t.pairwise
+                   (pw_key ~dir:"L" ~rel ~other:g.Crf.Graph.nodes.(b).Crf.Graph.gold))
+        | Crf.Graph.Pairwise { a; b; rel; _ } when b = n ->
+            if g.Crf.Graph.nodes.(a).Crf.Graph.kind = `Known then
+              Option.iter merge
+                (Hashtbl.find_opt t.pairwise
+                   (pw_key ~dir:"R" ~rel ~other:g.Crf.Graph.nodes.(a).Crf.Graph.gold))
+        | _ -> ())
+      factors;
+    let ranked =
+      Hashtbl.fold (fun l c acc -> (l, c) :: acc) scores []
+      |> List.sort (fun (la, a) (lb, b) ->
+             let c = Int.compare b a in
+             if c <> 0 then c else String.compare la lb)
+      |> List.map fst
+    in
+    let seen = Hashtbl.create 16 in
+    let out = ref [] and count = ref 0 in
+    let push l =
+      if !count < max && not (Hashtbl.mem seen l) then begin
+        Hashtbl.add seen l ();
+        out := l :: !out;
+        incr count
+      end
+    in
+    List.iter push ranked;
+    List.iter push (global_top t max);
+    List.rev !out
+end
+
+(* The seed's per-node candidate interning over the string table. *)
+let prev_candidate_ids (cfg : Prev_crf.config) cands (m : Prev_crf.model)
+    (eg : Prev_crf.egraph) ~force_gold =
+  let touching = Crf.Graph.touching eg.Prev_crf.graph in
+  Array.map
+    (fun n ->
+      let cs =
+        Prev_cands.for_node cands eg.Prev_crf.graph touching.(n) n
+          ~max:cfg.Prev_crf.max_candidates
+      in
+      let ids = List.map (Prev_crf.Interner.intern m.Prev_crf.labels) cs in
+      let ids =
+        if force_gold && not (List.mem eg.Prev_crf.gold.(n) ids) then
+          ids @ [ eg.Prev_crf.gold.(n) ]
+        else ids
+      in
+      Array.of_list ids)
+    eg.Prev_crf.unknown
+
+(* The interning PR, old vs new on the same workload:
+
+   - encode: graphs -> train-ready state (candidate table, encoded
+     factor arrays, per-slot candidate id arrays). Old is the pinned
+     string pipeline: string-keyed candidate counts, per-model Hashtbl
+     interner hashing every gold label and relation occurrence, and
+     candidate lists interned string-by-string per node. New is the
+     shared guarded symbol table + int-keyed counts. The decoded
+     candidate sets must be identical.
+
+   - model save+load: the v2 text format (kept writer + loader)
+     against the v3 binary sections, for both the CRF and the SGNS
+     model. v3 must round-trip byte-identically and both loads must
+     predict byte-identically to the in-memory model.
+
+   - heap: live words held by the train-ready state, old vs new, plus
+     the process peak (top_heap_words).
+
+   Full runs enforce >=1.5x on encode and >=2x on both model loads;
+   --quick only checks the identities. Results go to BENCH_intern.json. *)
+let intern_bench () =
+  header "Interned pipeline - shared symbol table and binary v3 models vs pre-PR";
+  let timed f =
+    let run () =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let r, t = run () in
+    let _, t' = run () in
+    (r, min t t')
+  in
+  let failures = ref 0 in
+  let check name ok =
+    if not ok then begin
+      incr failures;
+      Printf.printf "  FAIL: %s\n%!" name
+    end
+  in
+
+  let lang = Pigeon.Lang.javascript in
+  let train, test = corpus_for lang ~n:(scaled 240) in
+  let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+  let graphs =
+    Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals train
+  in
+  let test_graphs =
+    Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals test
+  in
+
+  (* Interning is corpus-order deterministic: a second pass over the
+     same sources must reproduce graphs, symbol tables and counts. *)
+  let graphs2 =
+    Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals train
+  in
+  check "graph construction not deterministic" (graphs = graphs2);
+  let c1 = Crf.Candidates.build graphs in
+  let c2 = Crf.Candidates.build graphs2 in
+  check "candidate interning not corpus-order deterministic"
+    (Crf.Candidates.dump_ids c1 = Crf.Candidates.dump_ids c2
+    && Crf.Symbols.snapshot (Crf.Candidates.symbols c1)
+       = Crf.Symbols.snapshot (Crf.Candidates.symbols c2));
+
+  (* Encode to train-ready state. *)
+  let tcfg = crf_config 6 in
+  let inf = tcfg.Crf.Train.inference in
+  let prev_cfg =
+    {
+      Prev_crf.max_candidates = inf.Crf.Inference.max_candidates;
+      max_passes = inf.Crf.Inference.max_passes;
+      seed = inf.Crf.Inference.seed;
+      iterations = tcfg.Crf.Train.iterations;
+      averaged = tcfg.Crf.Train.averaged;
+      init_scale = Crf.Fast.default_config.Crf.Fast.init_scale;
+      init_min_count = Crf.Fast.default_config.Crf.Fast.init_min_count;
+    }
+  in
+  let fcfg =
+    {
+      Crf.Fast.default_config with
+      Crf.Fast.max_candidates = inf.Crf.Inference.max_candidates;
+      max_passes = inf.Crf.Inference.max_passes;
+      seed = inf.Crf.Inference.seed;
+    }
+  in
+  let encode_old () =
+    let cands = Prev_cands.build graphs in
+    let m = Prev_crf.create () in
+    let egs = List.map (Prev_crf.encode m) graphs in
+    let cand =
+      List.map (fun eg -> prev_candidate_ids prev_cfg cands m eg ~force_gold:true) egs
+    in
+    (cands, m, egs, cand)
+  in
+  let encode_new () =
+    let cands = Crf.Candidates.build graphs in
+    let m = Crf.Fast.create ~symbols:(Crf.Candidates.symbols cands) () in
+    let egs = List.map (Crf.Fast.encode m) graphs in
+    let cand =
+      List.map
+        (fun eg -> Crf.Fast.candidate_ids fcfg cands m eg ~force_gold:true)
+        egs
+    in
+    (cands, m, egs, cand)
+  in
+  let (o_cands, o_m, o_egs, o_cand), t_enc_old = timed encode_old in
+  let (n_cands, n_m, n_egs, n_cand), t_enc_new = timed encode_new in
+  let syms = Crf.Fast.symbols n_m in
+  check "candidate sets differ from the string pipeline"
+    (List.map
+       (Array.map (Array.map (Prev_crf.Interner.to_string o_m.Prev_crf.labels)))
+       o_cand
+    = List.map (Array.map (Array.map (Crf.Symbols.label_string syms))) n_cand);
+  check "global label ranking differs from the string pipeline"
+    (Prev_cands.global_top o_cands 10 = Crf.Candidates.global_top n_cands 10);
+  check "unknown slots differ from the string pipeline"
+    (List.map (fun (eg : Prev_crf.egraph) -> eg.Prev_crf.unknown) o_egs
+    = List.map Crf.Fast.unknown_nodes n_egs);
+  let enc_speedup = t_enc_old /. t_enc_new in
+  Printf.printf "%-24s %12s %12s %8s  %s\n" "stage" "old(s)" "new(s)" "speedup"
+    "identical";
+  Printf.printf "%-24s %12.3f %12.3f %7.2fx  %b  (%d graphs)\n%!" "encode"
+    t_enc_old t_enc_new enc_speedup (!failures = 0) (List.length graphs);
+
+  (* Model save+load: v2 text vs v3 binary. *)
+  let model = Crf.Train.train ~config:tcfg graphs in
+
+  (* jobs=1 training is byte-identical run to run (the symbol tables it
+     interns are corpus-order deterministic). Dumps are compared before
+     any prediction: predicting interns unseen test-set strings into
+     the model's table, as the seed's interner did. *)
+  let model2 = Crf.Train.train ~config:tcfg graphs2 in
+  let sorted_dump fast =
+    let d = Crf.Fast.dump fast in
+    let s l = List.sort compare l in
+    ( d.Crf.Fast.d_labels,
+      d.Crf.Fast.d_rels,
+      s d.Crf.Fast.d_pw,
+      s d.Crf.Fast.d_un,
+      s d.Crf.Fast.d_bias )
+  in
+  check "jobs=1 training weights not byte-identical across runs"
+    (sorted_dump model.Crf.Train.fast = sorted_dump model2.Crf.Train.fast);
+  let preds m = List.map (Crf.Train.predict m) test_graphs in
+  let p0 = preds model in
+  check "jobs=1 predictions not byte-identical across runs" (preds model2 = p0);
+
+  let v2_path = "bench_model_v2.tmp" and v3_path = "bench_model_v3.tmp" in
+  let (), t_save_v2 =
+    timed (fun () ->
+        let oc = open_out_bin v2_path in
+        Crf.Serialize.to_channel_v2 model oc;
+        close_out oc)
+  in
+  let (), t_save_v3 = timed (fun () -> Crf.Serialize.save model v3_path) in
+  let m_v2, t_load_v2 = timed (fun () -> Crf.Serialize.load_exn v2_path) in
+  let m_v3, t_load_v3 = timed (fun () -> Crf.Serialize.load_exn v3_path) in
+  let bytes_v3 = Crf.Serialize.to_string model in
+  check "crf v3 round-trip not byte-identical"
+    (String.equal bytes_v3 (Crf.Serialize.to_string m_v3));
+  check "crf v2-loaded model predicts differently" (preds m_v2 = p0);
+  check "crf v3-loaded model predicts differently" (preds m_v3 = p0);
+  let file_size path = (Unix.stat path).Unix.st_size in
+  let crf_size_v2 = file_size v2_path and crf_size_v3 = file_size v3_path in
+  let crf_load_speedup = t_load_v2 /. t_load_v3 in
+  Printf.printf "%-24s %12.3f %12.3f %7.2fx  (v2 %d B, v3 %d B)\n%!" "crf-save"
+    t_save_v2 t_save_v3 (t_save_v2 /. t_save_v3) crf_size_v2 crf_size_v3;
+  Printf.printf "%-24s %12.3f %12.3f %7.2fx\n%!" "crf-load" t_load_v2 t_load_v3
+    crf_load_speedup;
+
+  let w2v_pairs =
+    List.concat_map
+      (fun (_, src) ->
+        Pigeon.W2v_task.pairs_of_source ~lang
+          ~mode:(Pigeon.W2v_task.Paths repr) src
+        |> List.concat_map (fun (name, ctxs) ->
+               List.map (fun c -> (name, c)) ctxs))
+      train
+  in
+  let sgns_cfg = Word2vec.Sgns.default_config in
+  let w2v = Word2vec.Sgns.train ~config:sgns_cfg w2v_pairs in
+  let w2_path = "bench_w2v_v2.tmp" and w3_path = "bench_w2v_v3.tmp" in
+  let (), t_wsave_v2 =
+    timed (fun () ->
+        let oc = open_out_bin w2_path in
+        Word2vec.Serialize.to_channel_v2 w2v oc;
+        close_out oc)
+  in
+  let (), t_wsave_v3 = timed (fun () -> Word2vec.Serialize.save w2v w3_path) in
+  let w_v2, t_wload_v2 = timed (fun () -> Word2vec.Serialize.load_exn w2_path) in
+  let w_v3, t_wload_v3 = timed (fun () -> Word2vec.Serialize.load_exn w3_path) in
+  check "w2v v3 round-trip not byte-identical"
+    (String.equal (Word2vec.Serialize.to_string w2v)
+       (Word2vec.Serialize.to_string w_v3));
+  (* v2 text rounds vectors to 9 significant digits; only v3 carries
+     the exact bits. *)
+  let near a b =
+    Array.length a = Array.length b
+    && Array.for_all2
+         (fun va vb ->
+           Array.length va = Array.length vb
+           && Array.for_all2 (fun x y -> Float.abs (x -. y) <= 1e-6) va vb)
+         a b
+  in
+  check "w2v v2-loaded vectors differ beyond text precision"
+    (near w_v2.Word2vec.Sgns.word_vecs w2v.Word2vec.Sgns.word_vecs
+    && near w_v2.Word2vec.Sgns.context_vecs w2v.Word2vec.Sgns.context_vecs);
+  check "w2v v3-loaded vectors differ"
+    (w_v3.Word2vec.Sgns.word_vecs = w2v.Word2vec.Sgns.word_vecs
+    && w_v3.Word2vec.Sgns.context_vecs = w2v.Word2vec.Sgns.context_vecs);
+  let w2v_size_v2 = file_size w2_path and w2v_size_v3 = file_size w3_path in
+  let w2v_load_speedup = t_wload_v2 /. t_wload_v3 in
+  Printf.printf "%-24s %12.3f %12.3f %7.2fx  (v2 %d B, v3 %d B)\n%!" "w2v-save"
+    t_wsave_v2 t_wsave_v3 (t_wsave_v2 /. t_wsave_v3) w2v_size_v2 w2v_size_v3;
+  Printf.printf "%-24s %12.3f %12.3f %7.2fx\n%!" "w2v-load" t_wload_v2
+    t_wload_v3 w2v_load_speedup;
+  List.iter Sys.remove [ v2_path; v3_path; w2_path; w3_path ];
+
+  (* Heap: live words held by the train-ready state — the counts, the
+     vocabulary (interner / symbol table), the encoded factor arrays
+     and the candidate id arrays. The models' weight tables are empty
+     at this point and presized differently (Itbl arrays vs Hashtbl
+     buckets), so both are dropped to keep the comparison about the
+     representation. The state must be local to the measuring call so
+     the old pipeline's tables are dead before the new one is built. *)
+  let live_words () =
+    Gc.compact ();
+    (Gc.stat ()).Gc.live_words
+  in
+  let measure build =
+    let base = live_words () in
+    let state = Sys.opaque_identity (build ()) in
+    let live = live_words () - base in
+    ignore (Sys.opaque_identity state);
+    live
+  in
+  let live_old =
+    measure (fun () ->
+        let cands, m, egs, cand = encode_old () in
+        (cands, m.Prev_crf.labels, m.Prev_crf.rels, egs, cand))
+  in
+  let live_new =
+    measure (fun () ->
+        let cands, _m, egs, cand = encode_new () in
+        (cands, egs, cand))
+  in
+  let peak = (Gc.stat ()).Gc.top_heap_words in
+  Printf.printf "%-24s %12d %12d %7.2fx  (live heap words)\n%!" "encoded-state"
+    live_old live_new
+    (float_of_int live_old /. float_of_int (max 1 live_new));
+  Printf.printf "peak heap: %d words (%.1f MB)\n%!" peak
+    (float_of_int (peak * Sys.word_size / 8) /. 1048576.);
+
+  (* Floors: full runs only — quick workloads are too small to time. *)
+  let encode_floor = 1.5 and load_floor = 2.0 in
+  let floor_enforced = not !quick in
+  if floor_enforced then begin
+    check
+      (Printf.sprintf "encode speedup %.2fx < %.1fx" enc_speedup encode_floor)
+      (enc_speedup >= encode_floor);
+    check
+      (Printf.sprintf "crf model-load speedup %.2fx < %.1fx" crf_load_speedup
+         load_floor)
+      (crf_load_speedup >= load_floor);
+    check
+      (Printf.sprintf "w2v model-load speedup %.2fx < %.1fx" w2v_load_speedup
+         load_floor)
+      (w2v_load_speedup >= load_floor)
+  end
+  else Printf.printf "speedup floors not enforced (--quick)\n%!";
+
+  let oc = open_out "BENCH_intern.json" in
+  Printf.fprintf oc "{\n  \"bench\": \"interned-pipeline\",\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc
+    "  \"encode\": {\"graphs\": %d, \"old_seconds\": %.4f, \"new_seconds\": \
+     %.4f, \"speedup\": %.2f},\n"
+    (List.length graphs) t_enc_old t_enc_new enc_speedup;
+  Printf.fprintf oc
+    "  \"crf_model\": {\"v2_bytes\": %d, \"v3_bytes\": %d,\n\
+    \                \"save_v2_seconds\": %.4f, \"save_v3_seconds\": %.4f,\n\
+    \                \"load_v2_seconds\": %.4f, \"load_v3_seconds\": %.4f, \
+     \"load_speedup\": %.2f},\n"
+    crf_size_v2 crf_size_v3 t_save_v2 t_save_v3 t_load_v2 t_load_v3
+    crf_load_speedup;
+  Printf.fprintf oc
+    "  \"w2v_model\": {\"v2_bytes\": %d, \"v3_bytes\": %d,\n\
+    \                \"save_v2_seconds\": %.4f, \"save_v3_seconds\": %.4f,\n\
+    \                \"load_v2_seconds\": %.4f, \"load_v3_seconds\": %.4f, \
+     \"load_speedup\": %.2f},\n"
+    w2v_size_v2 w2v_size_v3 t_wsave_v2 t_wsave_v3 t_wload_v2 t_wload_v3
+    w2v_load_speedup;
+  Printf.fprintf oc
+    "  \"heap\": {\"old_live_words\": %d, \"new_live_words\": %d, \
+     \"peak_heap_words\": %d},\n"
+    live_old live_new peak;
+  Printf.fprintf oc "  \"encode_floor\": %.1f,\n" encode_floor;
+  Printf.fprintf oc "  \"load_floor\": %.1f,\n" load_floor;
+  Printf.fprintf oc "  \"floors_enforced\": %b,\n" floor_enforced;
+  Printf.fprintf oc "  \"failures\": %d\n}\n" !failures;
+  close_out oc;
+  Printf.printf "wrote BENCH_intern.json\n%!";
+  if !failures > 0 then begin
+    Printf.printf "interned pipeline: %d check failures\n%!" !failures;
+    exit 1
+  end
+  else Printf.printf "interned pipeline: all checks passed\n%!"
+
 (* ---------- bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -1523,6 +2022,7 @@ let experiments =
     ("fault", fault);
     ("parallel", parallel_bench);
     ("train", train_bench);
+    ("intern", intern_bench);
     ("micro", micro);
   ]
 

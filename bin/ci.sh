@@ -8,9 +8,14 @@
 # checks always, speedup floor only on >= 4-core hosts), the
 # training-kernels bench (old-vs-new CRF/SGNS kernels; quick mode
 # checks equivalence only, full runs also enforce the 2x floor and
-# refresh BENCH_train.json), and the micro benchmark (which also
-# regenerates BENCH_extract.json and checks the iterator engine
-# against the naive baseline corpus-wide).
+# refresh BENCH_train.json), the interned-pipeline bench (string
+# pipeline vs shared symbol table, v2 text vs v3 binary models: v3
+# round-trips byte-identically and both loads predict identically;
+# full runs also enforce the encode/load floors and refresh
+# BENCH_intern.json), the v3 round-trip/corruption tests (part of
+# test_serialize, run under dune runtest), and the micro benchmark
+# (which also regenerates BENCH_extract.json and checks the iterator
+# engine against the naive baseline corpus-wide).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,4 +27,7 @@ PIGEON_FUZZ_COUNT=400 dune exec test/test_fuzz.exe
 dune exec bench/main.exe -- --quick fault
 dune exec bench/main.exe -- --quick parallel
 dune exec bench/main.exe -- --quick train
+dune exec test/test_serialize.exe
+dune exec test/test_intern.exe
+dune exec bench/main.exe -- --quick intern
 dune exec bench/main.exe -- --quick micro

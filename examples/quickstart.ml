@@ -33,8 +33,8 @@ let () =
 
   (* 3. The paper's two highlighted paths. *)
   let is_between c a b =
-    String.equal c.Astpath.Context.start_value a
-    && String.equal c.Astpath.Context.end_value b
+    String.equal (Astpath.Context.start_value c) a
+    && String.equal (Astpath.Context.end_value c) b
   in
   let path1 = List.find (fun c -> is_between c "d" "d") contexts in
   (* The paper's path II is the short one, from the second occurrence. *)
@@ -42,14 +42,14 @@ let () =
     List.filter (fun c -> is_between c "d" "true") contexts
     |> List.sort (fun a b ->
            Int.compare
-             (Astpath.Path.length a.Astpath.Context.path)
-             (Astpath.Path.length b.Astpath.Context.path))
+             (Astpath.Path.length (Astpath.Context.path a))
+             (Astpath.Path.length (Astpath.Context.path b)))
     |> List.hd
   in
   Format.printf "Path I  (d ... d):    %a@." Astpath.Path.pp
-    path1.Astpath.Context.path;
+    (Astpath.Context.path path1);
   Format.printf "Path II (d ... true): %a@.@." Astpath.Path.pp
-    path2.Astpath.Context.path;
+    (Astpath.Context.path path2);
 
   (* 4. Abstractions shrink the path vocabulary (Section 5.6). *)
   print_endline "=== Abstractions of path I ===";
@@ -57,7 +57,7 @@ let () =
     (fun a ->
       Format.printf "%-16s %s@."
         (Astpath.Abstraction.name a)
-        (Astpath.Abstraction.apply a path1.Astpath.Context.path))
+        (Astpath.Abstraction.apply a (Astpath.Context.path path1)))
     Astpath.Abstraction.all;
   print_newline ();
 

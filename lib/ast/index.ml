@@ -226,6 +226,7 @@ let width_between t ~lca a b =
 let depth_array t = t.depth
 let parent_array t = t.parent
 let label_array t = t.labels
+let label_id_array t = t.label_ids
 
 let nodes_with_label t lbl =
   Option.value (Hashtbl.find_opt t.by_label lbl) ~default:[]

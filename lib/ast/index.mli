@@ -84,6 +84,10 @@ val depth_array : t -> int array
 val parent_array : t -> int array
 val label_array : t -> string array
 
+val label_id_array : t -> int array
+(** Interned label id per node (see {!label_id}); the path hash-cons
+    hashes these instead of label strings. *)
+
 val nodes_with_label : t -> string -> int list
 (** All node ids carrying the given label, in preorder (ascending id).
     O(1) lookup: the table is precomputed by {!build}. *)

@@ -39,7 +39,7 @@ let control_label lbl =
 
 let keep_context repr (c : Astpath.Context.t) =
   (not repr.statement_local)
-  || not (control_label (Astpath.Path.top c.Astpath.Context.path))
+  || not (control_label (Astpath.Path.top (Astpath.Context.path c)))
 
 (* Element identity of a leaf: locals by binder, other names and
    literals by value; keyword terminals are not program elements. *)
@@ -117,14 +117,13 @@ let build repr ~def_labels ~policy tree =
      so dropped occurrences pay no extraction cost. *)
   let rng = Random.State.make [| repr.seed |] in
   let factors = ref [] in
+  let rel_memo = Astpath.Abstraction.memo repr.abstraction in
   Astpath.Extract.iter_all
     ~downsample:(rng, repr.downsample_p)
     idx repr.config
     (fun (c : Astpath.Context.t) ->
       if keep_context repr c then
-        let rel () =
-          Astpath.Abstraction.apply repr.abstraction c.Astpath.Context.path
-        in
+        let rel () = Astpath.Abstraction.apply_memo rel_memo c in
         let unknown i = Hashtbl.mem unknown_ids i in
         match
           ( Hashtbl.find_opt leaf_node c.Astpath.Context.start_node,
@@ -195,19 +194,18 @@ let full_type_graph repr tree =
     leaves;
   let rng = Random.State.make [| repr.seed |] in
   let factors = ref [] in
+  let tab = Astpath.Context.Tab.create idx in
+  let rel_memo = Astpath.Abstraction.memo repr.abstraction in
   List.iter
     (fun (target, tnode) ->
-      let contexts = Astpath.Extract.leaf_to_node idx repr.config ~target in
+      let contexts = Astpath.Extract.leaf_to_node ~tab idx repr.config ~target in
       let contexts = Astpath.Downsample.keep rng ~p:repr.downsample_p contexts in
       List.iter
         (fun (c : Astpath.Context.t) ->
           if keep_context repr c then
             match Hashtbl.find_opt leaf_node c.Astpath.Context.start_node with
             | Some lnode ->
-                let rel =
-                  Astpath.Abstraction.apply repr.abstraction
-                    c.Astpath.Context.path
-                in
+                let rel = Astpath.Abstraction.apply_memo rel_memo c in
                 factors := Crf.Graph.pairwise ~a:lnode ~b:tnode ~rel :: !factors
             | None -> ())
         contexts)

@@ -53,6 +53,7 @@ let path_pairs ~hide_path ~(repr : Graphs.repr) lang src =
   in
   (* Streamed off the extraction iterator; leaf occurrences are
      downsampled before pair enumeration (paper §5.5). *)
+  let rel_memo = Astpath.Abstraction.memo repr.Graphs.abstraction in
   Astpath.Extract.iter_all
     ~downsample:(rng, repr.Graphs.downsample_p)
     idx repr.Graphs.config
@@ -60,8 +61,7 @@ let path_pairs ~hide_path ~(repr : Graphs.repr) lang src =
       let ctx_string ~target (c : Astpath.Context.t) other =
         if hide_path then value_of ~target other
         else
-          Astpath.Abstraction.apply repr.Graphs.abstraction
-            c.Astpath.Context.path
+          Astpath.Abstraction.apply_memo rel_memo c
           ^ "\x1f" ^ value_of ~target other
       in
       (match binder_of c.Astpath.Context.start_node with

@@ -1,31 +1,3 @@
-module Interner = struct
-  type t = {
-    tbl : (string, int) Hashtbl.t;
-    mutable rev : string array;
-    mutable n : int;
-  }
-
-  let create () = { tbl = Hashtbl.create 256; rev = Array.make 256 ""; n = 0 }
-
-  let intern t s =
-    match Hashtbl.find_opt t.tbl s with
-    | Some i -> i
-    | None ->
-        let i = t.n in
-        if i >= Array.length t.rev then begin
-          let rev = Array.make (2 * Array.length t.rev) "" in
-          Array.blit t.rev 0 rev 0 (Array.length t.rev);
-          t.rev <- rev
-        end;
-        t.rev.(i) <- s;
-        Hashtbl.add t.tbl s i;
-        t.n <- i + 1;
-        i
-
-  let to_string t i = t.rev.(i)
-  let size t = t.n
-end
-
 type egraph = {
   graph : Graph.t;
   unknown : int array;
@@ -49,14 +21,16 @@ type egraph = {
 let unknown_nodes eg = eg.unknown
 
 (* Weight keys are packed into single ints: labels get 18 bits each
-   and relations 24 (far above any realistic vocabulary here), so the
-   inner loop allocates nothing and hashes machine ints. *)
+   and relations 24, so the inner loop allocates nothing and hashes
+   machine ints. The packing is only sound if ids fit those widths —
+   [Symbols] enforces exactly these limits at interning time, so by
+   the time an id reaches here it is in range by construction and the
+   hot path carries no checks. *)
 let pw_key la rel lb = (la lsl 42) lor (rel lsl 18) lor lb
 let un_key l rel = (l lsl 24) lor rel
 
 type model = {
-  labels : Interner.t;
-  rels : Interner.t;
+  syms : Symbols.t;
   pw : Itbl.t;
   un : Itbl.t;
   bias : Itbl.t;
@@ -67,10 +41,9 @@ type model = {
   mutable steps : int;
 }
 
-let create () =
+let create ?symbols () =
   {
-    labels = Interner.create ();
-    rels = Interner.create ();
+    syms = (match symbols with Some s -> s | None -> Symbols.create ());
     pw = Itbl.create 65536;
     un = Itbl.create 16384;
     bias = Itbl.create 512;
@@ -81,12 +54,11 @@ let create () =
   }
 
 (* A per-domain write target for one parallel training slice: shares
-   the (frozen) interners, starts with empty weight tables that hold
-   only this slice's updates. *)
+   the (frozen) symbol table, starts with empty weight tables that
+   hold only this slice's updates. *)
 let delta_of m =
   {
-    labels = m.labels;
-    rels = m.rels;
+    syms = m.syms;
     pw = Itbl.create 1024;
     un = Itbl.create 256;
     bias = Itbl.create 64;
@@ -96,7 +68,7 @@ let delta_of m =
     steps = 0;
   }
 
-let labels m = m.labels
+let symbols m = m.syms
 let get = Itbl.get
 let add = Itbl.add
 
@@ -115,7 +87,7 @@ let merge_delta m d =
 let encode m (g : Graph.t) =
   let n = Array.length g.Graph.nodes in
   let gold =
-    Array.map (fun (nd : Graph.node) -> Interner.intern m.labels nd.Graph.gold)
+    Array.map (fun (nd : Graph.node) -> Symbols.label m.syms nd.Graph.gold)
       g.Graph.nodes
   in
   let is_unknown =
@@ -127,9 +99,9 @@ let encode m (g : Graph.t) =
     (fun f ->
       match f with
       | Graph.Pairwise { a; b; rel; mult } ->
-          pw := (a, b, Interner.intern m.rels rel, float_of_int mult) :: !pw
+          pw := (a, b, Symbols.rel m.syms rel, float_of_int mult) :: !pw
       | Graph.Unary { n = i; rel; mult } ->
-          un := (i, Interner.intern m.rels rel, float_of_int mult) :: !un)
+          un := (i, Symbols.rel m.syms rel, float_of_int mult) :: !un)
     g.Graph.factors;
   let pw = Array.of_list (List.rev !pw) and un = Array.of_list (List.rev !un) in
   let pw_a = Array.map (fun (a, _, _, _) -> a) pw in
@@ -400,16 +372,34 @@ let shuffle rng arr =
 
 (* Candidate label ids for every unknown node; gold appended when
    [force_gold] (training), so the target is reachable but never wins
-   score ties. *)
-let candidate_ids cfg cands m eg ~force_gold =
-  let touching = Graph.touching eg.graph in
+   score ties. [cands] shares the model's symbol table, so its ids are
+   the engine's ids directly — no per-candidate re-interning. *)
+let candidate_ids cfg cands _m eg ~force_gold =
+  (* The encoded graph already carries resolved rel and gold-label
+     ids, so evidence merging is pure int work — no string hashing,
+     no [Graph.touching] materialization. *)
+  let sl = Candidates.slate () in
   Array.map
     (fun n ->
-      let cs =
-        Candidates.for_node cands eg.graph touching.(n) n
-          ~max:cfg.max_candidates
+      Candidates.slate_begin sl cands;
+      Array.iter
+        (fun fi -> Candidates.merge_unary_id sl cands eg.un_rel.(fi))
+        eg.touch_un.(n);
+      Array.iter
+        (fun fi ->
+          let a = eg.pw_a.(fi) and b = eg.pw_b.(fi) in
+          if a = n then begin
+            if not eg.is_unknown.(b) then
+              Candidates.merge_pairwise_id sl cands ~dir:0 ~rel:eg.pw_rel.(fi)
+                ~other:eg.gold.(b)
+          end
+          else if not eg.is_unknown.(a) then
+            Candidates.merge_pairwise_id sl cands ~dir:1 ~rel:eg.pw_rel.(fi)
+              ~other:eg.gold.(a))
+        eg.touch_pw.(n);
+      let ids =
+        Candidates.slate_ranked sl cands ~max:cfg.max_candidates
       in
-      let ids = List.map (Interner.intern m.labels) cs in
       let ids =
         if force_gold && not (List.mem eg.gold.(n) ids) then
           ids @ [ eg.gold.(n) ]
@@ -426,9 +416,9 @@ let map_assignment ?cand cfg cands m eg ~force_gold ~seed =
     | None -> candidate_ids cfg cands m eg ~force_gold
   in
   let default =
-    match Candidates.global_top cands 1 with
-    | [ l ] -> Interner.intern m.labels l
-    | _ -> Interner.intern m.labels "?"
+    match Candidates.global_top_ids cands 1 with
+    | [ l ] -> l
+    | _ -> Symbols.label m.syms "?"
   in
   let assignment =
     Array.mapi
@@ -816,7 +806,7 @@ let steps_of_graph mode ~cand =
 let round_graphs_per_domain = 4
 
 let train ?pool cfg cands graphs =
-  let m = create () in
+  let m = create ~symbols:(Candidates.symbols cands) () in
   let egs = Array.of_list (List.map (encode m) graphs) in
   let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
   (match cfg.init with
@@ -892,14 +882,15 @@ let predict cfg cands m g =
   let assignment =
     map_assignment cfg cands m eg ~force_gold:false ~seed:cfg.seed
   in
-  Array.map (Interner.to_string m.labels) assignment
+  Array.map (Symbols.label_string m.syms) assignment
 
 (* Batch prediction: encoding and candidate lookup intern strings into
-   the model's (shared, unsynchronized) tables, so they run up front on
-   the calling domain; once every string the passes touch is interned,
-   inference per graph is pure reads and fans out over the pool. Each
-   graph is seeded exactly as [predict] seeds it, and results come back
-   in input order — identical output for every job count. *)
+   the model's (shared, unsynchronized) symbol table, so they run up
+   front on the calling domain; once every string the passes touch is
+   interned, inference per graph is pure reads and fans out over the
+   pool. Each graph is seeded exactly as [predict] seeds it, and
+   results come back in input order — identical output for every job
+   count. *)
 let predict_batch ?pool cfg cands m graphs =
   let prepped =
     Array.of_list
@@ -909,16 +900,16 @@ let predict_batch ?pool cfg cands m graphs =
            (eg, candidate_ids cfg cands m eg ~force_gold:false))
          graphs)
   in
-  (match Candidates.global_top cands 1 with
-  | [ l ] -> ignore (Interner.intern m.labels l)
-  | _ -> ignore (Interner.intern m.labels "?"));
+  (match Candidates.global_top_ids cands 1 with
+  | [ _ ] -> ()
+  | _ -> ignore (Symbols.label m.syms "?"));
   let out =
     Parallel.map ?pool
       (fun (eg, cand) ->
         let assignment =
           map_assignment ~cand cfg cands m eg ~force_gold:false ~seed:cfg.seed
         in
-        Array.map (Interner.to_string m.labels) assignment)
+        Array.map (Symbols.label_string m.syms) assignment)
       prepped
   in
   Array.to_list out
@@ -930,20 +921,19 @@ let top_k cfg cands m g ~node ~k =
   in
   let touching = Graph.touching g in
   let cs =
-    Candidates.for_node cands g touching.(node) node
+    Candidates.ids_for_node cands g touching.(node) node
       ~max:(max k cfg.max_candidates)
   in
   List.map
-    (fun l ->
-      let li = Interner.intern m.labels l in
-      (l, node_score m eg node assignment li))
+    (fun li ->
+      (Symbols.label_string m.syms li, node_score m eg node assignment li))
     cs
   |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
   |> List.filteri (fun i _ -> i < k)
 
 let export_weights m =
   let out = Model.create () in
-  let lab = Interner.to_string m.labels and rel = Interner.to_string m.rels in
+  let lab = Symbols.label_string m.syms and rel = Symbols.rel_string m.syms in
   Itbl.iter
     (fun key w ->
       if w <> 0. then
@@ -973,11 +963,26 @@ type dump = {
 }
 
 let dump m =
-  let interner_list t = List.init (Interner.size t) (Interner.to_string t) in
-  let tbl_list tbl = Itbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  let snap = Symbols.snapshot m.syms in
+  (* Key-sorted: the keys sort as an unboxed int array (no generic
+     compare on boxed pairs), and the v3 writer emits the list as-is,
+     so the canonical on-disk order costs one int sort here. *)
+  let tbl_list tbl =
+    let n = Itbl.length tbl in
+    let keys = Array.make (max 1 n) 0 in
+    let i = ref 0 in
+    Itbl.iter
+      (fun k _ ->
+        keys.(!i) <- k;
+        incr i)
+      tbl;
+    let keys = if n = Array.length keys then keys else Array.sub keys 0 n in
+    Array.sort Int.compare keys;
+    Array.fold_right (fun k acc -> (k, Itbl.get tbl k) :: acc) keys []
+  in
   {
-    d_labels = interner_list m.labels;
-    d_rels = interner_list m.rels;
+    d_labels = Array.to_list snap.Symbols.s_labels;
+    d_rels = Array.to_list snap.Symbols.s_rels;
     d_pw = tbl_list m.pw;
     d_un = tbl_list m.un;
     d_bias = tbl_list m.bias;
@@ -985,9 +990,32 @@ let dump m =
 
 let restore d =
   let m = create () in
-  List.iter (fun s -> ignore (Interner.intern m.labels s)) d.d_labels;
-  List.iter (fun s -> ignore (Interner.intern m.rels s)) d.d_rels;
-  List.iter (fun (k, v) -> Itbl.set m.pw k v) d.d_pw;
-  List.iter (fun (k, v) -> Itbl.set m.un k v) d.d_un;
-  List.iter (fun (k, v) -> Itbl.set m.bias k v) d.d_bias;
+  List.iter (fun s -> ignore (Symbols.label m.syms s)) d.d_labels;
+  List.iter (fun s -> ignore (Symbols.rel m.syms s)) d.d_rels;
+  (* Weight keys index the tables above; a key whose unpacked ids fall
+     outside them means a mangled file, and would otherwise surface
+     much later as a wrong prediction or an array bound. *)
+  let nl = Symbols.num_labels m.syms and nr = Symbols.num_rels m.syms in
+  let chk what ok k =
+    if not ok then Printf.ksprintf failwith "%s weight key %d out of range" what k
+  in
+  List.iter
+    (fun (k, v) ->
+      chk "pairwise"
+        (k >= 0 && k lsr 42 < nl
+        && (k lsr 18) land 0xFFFFFF < nr
+        && k land 0x3FFFF < nl)
+        k;
+      Itbl.set m.pw k v)
+    d.d_pw;
+  List.iter
+    (fun (k, v) ->
+      chk "unary" (k >= 0 && k lsr 24 < nl && k land 0xFFFFFF < nr) k;
+      Itbl.set m.un k v)
+    d.d_un;
+  List.iter
+    (fun (k, v) ->
+      chk "bias" (k >= 0 && k < nl) k;
+      Itbl.set m.bias k v)
+    d.d_bias;
   m

@@ -1,29 +1,24 @@
 (** Int-encoded training/inference engine — the hot path behind
     {!Train}.
 
-    Labels and relations are interned to dense ids shared across all
-    graphs of one model; factors become parallel int arrays and weights
-    live in int-keyed tables, so the inner ICM loop never hashes a
-    string. {!Train} re-exports the final averaged weights as a
-    string-keyed {!Model.t} for inspection, and delegates prediction
-    here. *)
-
-module Interner : sig
-  type t
-
-  val create : unit -> t
-  val intern : t -> string -> int
-  val to_string : t -> int -> string
-  val size : t -> int
-end
+    Labels and relations are interned to dense ids (a {!Symbols.t}
+    shared with {!Candidates}, whose guarded interning keeps every id
+    inside the packed-key bit budget); factors become parallel int
+    arrays and weights live in int-keyed tables, so the inner ICM loop
+    never hashes a string. {!Train} re-exports the final averaged
+    weights as a string-keyed {!Model.t} for inspection, and delegates
+    prediction here. *)
 
 type egraph
-(** A {!Graph.t} compiled against a model's interners. *)
+(** A {!Graph.t} compiled against a model's symbol table. *)
 
 type model
 
-val create : unit -> model
-val labels : model -> Interner.t
+val create : ?symbols:Symbols.t -> unit -> model
+(** The [Candidates.t] used with a model must share its symbol table
+    ({!train} and the serializers maintain this). *)
+
+val symbols : model -> Symbols.t
 
 val encode : model -> Graph.t -> egraph
 val graph_of : egraph -> Graph.t
@@ -182,7 +177,7 @@ val export_weights : model -> Model.t
 type dump = {
   d_labels : string list;  (** in id order *)
   d_rels : string list;
-  d_pw : (int * float) list;  (** packed key, weight *)
+  d_pw : (int * float) list;  (** packed key, weight; key-sorted *)
   d_un : (int * float) list;
   d_bias : (int * float) list;
 }

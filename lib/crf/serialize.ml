@@ -1,22 +1,28 @@
-(* Line-oriented model format:
-     pigeon-crf-model 2
-     config <iterations> <max_candidates> <max_passes> <seed> <averaged> <trainer> <init>
-     label <escaped>          (in interner id order)
-     rel <escaped>
-     pw <int-key> <weight>
-     un <int-key> <weight>
-     bias <int-key> <weight>
-     cand-global <label> <count>
-     cand-unary <rel> <label> <count>
-     cand-pw <key> <label> <count>
-     end <record-count>
-   Strings are percent-escaped (tab, newline, CR, space, '%').
+(* Version 3 (what [save] writes) is binary: the text magic line
+   "pigeon-crf-model 3\n", then length-prefixed sections (tag byte,
+   payload length, payload — see {!Lexkit.Binio}):
 
-   The trailing [end] record carries the number of records written
-   after the magic line, so a truncated or appended-to file is
-   detected. Version 1 files (no trailer) are still accepted. *)
+     1 config      iterations, max_candidates, max_passes, seed,
+                   averaged, trainer, init
+     2 labels      count, strings in interned-id order (written once;
+                   every other section refers to them by id)
+     3 rels        count, strings in interned-id order
+     4 pw          count, (packed key, raw LE float weight), key-sorted
+     5 un          count, (key, weight)
+     6 bias        count, (key, weight)
+     7 cand-global count, (label id, count)
+     8 cand-unary  count, (rel id, label id, count)
+     9 cand-pw     count, (packed key, label id, count)
+   255 end         section count, FNV checksum of all section bytes
 
-let format_version = 2
+   All lists are sorted, so the writer is a canonical form:
+   save → load → save round-trips byte-identically.
+
+   Versions 1 and 2 are line-oriented text ("label <escaped>",
+   "pw <int-key> <weight>", ... strings percent-escaped; version 2
+   adds an "end <record-count>" trailer) and still load. *)
+
+let format_version = 3
 let magic v = Printf.sprintf "pigeon-crf-model %d" v
 
 let escape s =
@@ -73,13 +79,15 @@ let init_of_name = function
   | "naive-bayes" -> Some Fast.Naive_bayes
   | _ -> None
 
-let to_channel (model : Train.model) oc =
+(* Version-2 text writer, kept for compatibility fixtures (tests, and
+   anyone pinning the text format). *)
+let to_channel_v2 (model : Train.model) oc =
   let records = ref 0 in
   let p fmt =
     incr records;
     Printf.fprintf oc fmt
   in
-  Printf.fprintf oc "%s\n" (magic format_version);
+  Printf.fprintf oc "%s\n" (magic 2);
   let c = model.Train.config in
   let inf = c.Train.inference in
   p "config %d %d %d %d %b %s %s\n" c.Train.iterations
@@ -102,6 +110,212 @@ let to_channel (model : Train.model) oc =
           p "cand-pw %s %s %d\n" (escape k) (escape l) n)
     (Candidates.entries model.Train.candidates);
   Printf.fprintf oc "end %d\n" !records
+
+let n_sections = 9
+
+let to_string (model : Train.model) =
+  let open Lexkit.Binio in
+  let buf = Buffer.create (1 lsl 16) in
+  let section tag fill =
+    let payload = Buffer.create 1024 in
+    fill payload;
+    w_section buf ~tag payload
+  in
+  let c = model.Train.config in
+  let inf = c.Train.inference in
+  section 1 (fun b ->
+      w_int b c.Train.iterations;
+      w_int b inf.Inference.max_candidates;
+      w_int b inf.Inference.max_passes;
+      w_int b c.Train.seed;
+      w_u8 b (if c.Train.averaged then 1 else 0);
+      w_string b (trainer_name c.Train.trainer);
+      w_string b (init_name c.Train.init));
+  let d = Fast.dump model.Train.fast in
+  let strings tag ss =
+    section tag (fun b ->
+        w_int b (List.length ss);
+        List.iter (w_string b) ss)
+  in
+  strings 2 d.Fast.d_labels;
+  strings 3 d.Fast.d_rels;
+  let weights tag ws =
+    (* [Fast.dump] emits each table in key order, so the section is
+       canonical as-is. *)
+    section tag (fun b ->
+        w_int b (List.length ws);
+        List.iter
+          (fun (k, w) ->
+            w_int b k;
+            w_float b w)
+          ws)
+  in
+  weights 4 d.Fast.d_pw;
+  weights 5 d.Fast.d_un;
+  weights 6 d.Fast.d_bias;
+  let global, unary, pairwise = Candidates.dump_ids model.Train.candidates in
+  section 7 (fun b ->
+      w_int b (List.length global);
+      List.iter
+        (fun (l, n) ->
+          w_int b l;
+          w_int b n)
+        global);
+  section 8 (fun b ->
+      w_int b (List.length unary);
+      List.iter
+        (fun (r, l, n) ->
+          w_int b r;
+          w_int b l;
+          w_int b n)
+        unary);
+  section 9 (fun b ->
+      w_int b (List.length pairwise);
+      List.iter
+        (fun (k, l, n) ->
+          w_int b k;
+          w_int b l;
+          w_int b n)
+        pairwise);
+  let body = Buffer.contents buf in
+  let out = Buffer.create (String.length body + 64) in
+  Buffer.add_string out (magic format_version);
+  Buffer.add_char out '\n';
+  Buffer.add_string out body;
+  let trailer = Buffer.create 24 in
+  w_int trailer n_sections;
+  w_int trailer (checksum body);
+  w_section out ~tag:255 trailer;
+  Buffer.contents out
+
+let to_channel model oc = output_string oc (to_string model)
+
+(* [body] is everything after the magic line. Binio failures carry a
+   byte offset into it; restore failures name the inconsistency. Both
+   surface as [Corrupt_model] diagnostics — never exceptions. *)
+let parse_v3 ?source body =
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        raise
+          (Lexkit.Diag.Error
+             (Lexkit.Diag.make ?file:source Lexkit.Diag.Corrupt_model msg)))
+      fmt
+  in
+  match
+    let open Lexkit.Binio in
+    let r = reader body in
+    let sect tag what fill =
+      let stop = r_section r ~tag ~what in
+      let v = fill () in
+      end_section r ~stop ~what;
+      v
+    in
+    let count what n =
+      if n < 0 then Printf.ksprintf failwith "%s: negative count" what;
+      n
+    in
+    let config =
+      sect 1 "config" (fun () ->
+          let iterations = r_int r "iterations" in
+          let max_candidates = r_int r "max_candidates" in
+          let max_passes = r_int r "max_passes" in
+          let seed = r_int r "seed" in
+          let averaged = r_u8 r "averaged" <> 0 in
+          let trainer =
+            let s = r_string r "trainer" in
+            match trainer_of_name s with
+            | Some t -> t
+            | None -> Printf.ksprintf failwith "unknown trainer %S" s
+          in
+          let init =
+            let s = r_string r "init" in
+            match init_of_name s with
+            | Some i -> i
+            | None -> Printf.ksprintf failwith "unknown init %S" s
+          in
+          {
+            Train.iterations;
+            inference =
+              {
+                Inference.max_candidates;
+                max_passes;
+                seed = Inference.default_config.Inference.seed;
+              };
+            seed;
+            averaged;
+            trainer;
+            init;
+            engine = Train.default_config.Train.engine;
+          })
+    in
+    let strings tag what =
+      sect tag what (fun () ->
+          let n = count what (r_int r what) in
+          List.init n (fun _ -> r_string r what))
+    in
+    let labels = strings 2 "labels" in
+    let rels = strings 3 "rels" in
+    let weights tag what =
+      sect tag what (fun () ->
+          let n = count what (r_int r what) in
+          List.init n (fun _ ->
+              let k = r_int r what in
+              let w = r_float r what in
+              (k, w)))
+    in
+    let pw = weights 4 "pw" in
+    let un = weights 5 "un" in
+    let bias = weights 6 "bias" in
+    let global =
+      sect 7 "cand-global" (fun () ->
+          let n = count "cand-global" (r_int r "cand-global") in
+          List.init n (fun _ ->
+              let l = r_int r "cand-global" in
+              (l, r_int r "cand-global")))
+    in
+    let unary =
+      sect 8 "cand-unary" (fun () ->
+          let n = count "cand-unary" (r_int r "cand-unary") in
+          List.init n (fun _ ->
+              let rel = r_int r "cand-unary" in
+              let l = r_int r "cand-unary" in
+              (rel, l, r_int r "cand-unary")))
+    in
+    let pairwise =
+      sect 9 "cand-pw" (fun () ->
+          let n = count "cand-pw" (r_int r "cand-pw") in
+          List.init n (fun _ ->
+              let k = r_int r "cand-pw" in
+              let l = r_int r "cand-pw" in
+              (k, l, r_int r "cand-pw")))
+    in
+    let body_len = offset r in
+    sect 255 "end" (fun () ->
+        let n = r_int r "section count" in
+        if n <> n_sections then
+          Printf.ksprintf failwith
+            "section count mismatch: trailer says %d, format has %d" n
+            n_sections;
+        let sum = r_int r "checksum" in
+        if sum <> checksum (String.sub body 0 body_len) then
+          failwith "checksum mismatch: model data is corrupted");
+    if not (at_end r) then failwith "trailing data after the model";
+    let fast =
+      Fast.restore
+        { Fast.d_labels = labels; d_rels = rels; d_pw = pw; d_un = un; d_bias = bias }
+    in
+    {
+      Train.weights = Fast.export_weights fast;
+      candidates =
+        Candidates.of_ids ~symbols:(Fast.symbols fast) ~global ~unary ~pairwise;
+      config;
+      fast;
+    }
+  with
+  | model -> model
+  | exception (Failure msg | Invalid_argument msg) ->
+      fail "corrupt binary model: %s" msg
 
 (* Parse from a [next_line] pull function so channels and in-memory
    strings (the fuzz suite) share one code path. Every malformed input
@@ -245,7 +459,9 @@ let parse ?source next_line =
     in
     {
       Train.weights = Fast.export_weights fast;
-      candidates = Candidates.of_entries !cand;
+      (* Share the restored model's symbol table so candidate ids and
+         weight keys agree. *)
+      candidates = Candidates.of_entries ~symbols:(Fast.symbols fast) !cand;
       config = !config;
       fast;
     }
@@ -254,20 +470,31 @@ let parse ?source next_line =
   | exception (Invalid_argument msg | Failure msg) ->
       fail "inconsistent model data: %s" msg
 
-let from_channel ?source ic =
-  parse ?source (fun () ->
-      match input_line ic with l -> Some l | exception End_of_file -> None)
+(* The magic line picks the parser: version 3 is binary (it cannot be
+   split on newlines), versions 1 and 2 are line-oriented text. *)
+let parse_string ?source s =
+  let nl = match String.index_opt s '\n' with Some i -> i | None -> String.length s in
+  if String.equal (String.sub s 0 nl) (magic 3) then
+    let body =
+      if nl >= String.length s then ""
+      else String.sub s (nl + 1) (String.length s - nl - 1)
+    in
+    parse_v3 ?source body
+  else
+    let rest = ref (String.split_on_char '\n' s) in
+    let next () =
+      match !rest with
+      | [] -> None
+      | l :: tl ->
+          rest := tl;
+          Some l
+    in
+    parse ?source next
+
+let from_channel ?source ic = parse_string ?source (In_channel.input_all ic)
 
 let of_string ?source s =
-  let rest = ref (String.split_on_char '\n' s) in
-  let next () =
-    match !rest with
-    | [] -> None
-    | l :: tl ->
-        rest := tl;
-        Some l
-  in
-  Lexkit.protect ?file:source (fun () -> parse ?source next)
+  Lexkit.protect ?file:source (fun () -> parse_string ?source s)
 
 let save model path =
   let oc = open_out_bin path in

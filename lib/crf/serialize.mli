@@ -1,15 +1,21 @@
 (** Saving and loading trained CRF models.
 
-    A portable, line-oriented text format (one record per line, values
-    percent-escaped), so models can be trained once and shipped — the
-    way Nice2Predict serves a pre-trained model. Round-trips exactly: a
-    loaded model produces byte-identical predictions (tested).
+    [save] writes the version-3 binary format: a text magic line, then
+    length-prefixed sections — the label/rel string tables once, and
+    every weight and candidate record as interned ids and raw
+    little-endian floats. The writer sorts each section, so it is a
+    canonical form: save → load → save round-trips byte-identically.
 
-    The format is versioned and self-checking: version 2 files end with
-    an [end <record-count>] trailer, so truncation and trailing garbage
-    are detected. Version 1 files (no trailer) still load. Loaders
-    never raise [Failure]; every malformed input is reported as a
-    {!Lexkit.Diag.t} with kind [Corrupt_model] and a line number. *)
+    Versions 1 and 2 (the older line-oriented text format, values
+    percent-escaped) still load; {!to_channel_v2} keeps a text writer
+    around for compatibility fixtures.
+
+    Every format is self-checking (v2's [end <record-count>] trailer,
+    v3's section framing and trailer), so truncation, trailing garbage
+    and bit-flips are detected. Loaders never raise [Failure]; every
+    malformed input is reported as a {!Lexkit.Diag.t} with kind
+    [Corrupt_model] — a line number for text formats, a byte offset in
+    the message for binary. *)
 
 val save : Train.model -> string -> unit
 (** [save model path] writes the model to [path]. Raises [Sys_error]
@@ -23,6 +29,12 @@ val load_exn : string -> Train.model
 (** Like {!load} but raises {!Lexkit.Diag.Error} on failure. *)
 
 val to_channel : Train.model -> out_channel -> unit
+
+val to_string : Train.model -> string
+(** The version-3 binary image [save]/[to_channel] write. *)
+
+val to_channel_v2 : Train.model -> out_channel -> unit
+(** Version-2 text writer, for compatibility fixtures. *)
 
 val from_channel : ?source:string -> in_channel -> Train.model
 (** Raises {!Lexkit.Diag.Error} (kind [Corrupt_model]) on malformed

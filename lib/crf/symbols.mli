@@ -1,0 +1,47 @@
+(** The label and relation vocabularies of one CRF model, shared
+    between {!Candidates} and {!Fast} so both speak the same dense ids.
+
+    Interning is guarded against the bit-packed weight-key widths: a
+    label id must fit {!label_bits} bits and a relation id
+    {!rel_bits}. Overflow raises [Failure] with a diagnostic naming
+    the vocabulary, the offending string, and the budget — instead of
+    letting packed keys silently collide. *)
+
+type t
+
+val label_bits : int
+(** 18: labels occupy the low/high 18-bit fields of packed keys. *)
+
+val rel_bits : int
+(** 24: relations occupy the middle 24-bit field. *)
+
+val max_labels : int
+val max_rels : int
+val create : unit -> t
+
+val label : t -> string -> int
+(** Intern (guarded). Ids are dense, in first-intern order. *)
+
+val rel : t -> string -> int
+
+val find_label : t -> string -> int option
+(** Lookup without interning — what prediction-time code uses for
+    strings that may never have been seen in training. *)
+
+val find_rel : t -> string -> int option
+val label_string : t -> int -> string
+val rel_string : t -> int -> string
+val num_labels : t -> int
+val num_rels : t -> int
+
+(** {2 Serialization} *)
+
+type snapshot = { s_labels : string array; s_rels : string array }
+(** Strings in id order; [of_snapshot] re-interns them so ids equal
+    positions. *)
+
+val snapshot : t -> snapshot
+
+val of_snapshot : snapshot -> t
+(** Raises [Invalid_argument] on duplicate strings or vocabularies
+    exceeding the packed-key budgets. *)

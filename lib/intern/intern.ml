@@ -1,0 +1,228 @@
+(* Both tables use the same open-addressed scheme as [Crf.Itbl]:
+   power-of-two capacity, linear probing, load factor <= 1/2, slots
+   store id+1 so 0 means empty. Hashes are kept per id, so growth and
+   probing never touch the stored values. *)
+
+let mask62 = (1 lsl 62) - 1
+
+(* FNV-1a, folded to 62 bits so hashes are always non-negative. The
+   64-bit offset basis does not fit a literal [int]; fold it once. *)
+let fnv_offset = Int64.to_int 0xcbf29ce484222325L land mask62
+
+let hash_string s =
+  let h = ref fnv_offset in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * 0x100000001b3
+  done;
+  !h land mask62
+
+let next_pow2 n =
+  let c = ref 8 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+module Strtab = struct
+  type t = {
+    mutable slots : int array;  (* id+1; 0 = empty *)
+    mutable mask : int;
+    mutable rev : string array;
+    mutable hashes : int array;  (* per id *)
+    mutable n : int;
+  }
+
+  let create ?(hint = 64) () =
+    let cap = next_pow2 (max 8 (2 * hint)) in
+    {
+      slots = Array.make cap 0;
+      mask = cap - 1;
+      rev = Array.make (max 8 hint) "";
+      hashes = Array.make (max 8 hint) 0;
+      n = 0;
+    }
+
+  let size t = t.n
+
+  let grow_slots t =
+    let cap = 2 * Array.length t.slots in
+    let slots = Array.make cap 0 in
+    let mask = cap - 1 in
+    for id = 0 to t.n - 1 do
+      let i = ref (t.hashes.(id) land mask) in
+      while slots.(!i) <> 0 do
+        i := (!i + 1) land mask
+      done;
+      slots.(!i) <- id + 1
+    done;
+    t.slots <- slots;
+    t.mask <- mask
+
+  let grow_rev t =
+    let cap = 2 * Array.length t.rev in
+    let rev = Array.make cap "" and hashes = Array.make cap 0 in
+    Array.blit t.rev 0 rev 0 t.n;
+    Array.blit t.hashes 0 hashes 0 t.n;
+    t.rev <- rev;
+    t.hashes <- hashes
+
+  (* Returns the id, or -1 when absent (leaving [i] at the free slot). *)
+  let probe_pos t h s i =
+    let found = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      match t.slots.(!i) with
+      | 0 -> continue := false
+      | id1 ->
+          let id = id1 - 1 in
+          if t.hashes.(id) = h && String.equal t.rev.(id) s then begin
+            found := id;
+            continue := false
+          end
+          else i := (!i + 1) land t.mask
+    done;
+    !found
+
+  let intern t s =
+    let h = hash_string s in
+    let i = ref (h land t.mask) in
+    match probe_pos t h s i with
+    | -1 ->
+        let id = t.n in
+        if id >= Array.length t.rev then grow_rev t;
+        t.rev.(id) <- s;
+        t.hashes.(id) <- h;
+        t.n <- id + 1;
+        t.slots.(!i) <- id + 1;
+        if 2 * t.n > Array.length t.slots then grow_slots t;
+        id
+    | id -> id
+
+  let find t s =
+    let h = hash_string s in
+    let i = ref (h land t.mask) in
+    match probe_pos t h s i with -1 -> None | id -> Some id
+
+  (* Checked before allocating: a refused string must leave the table
+     untouched, or the overflowing id would survive the failure. *)
+  let intern_guarded t ~limit ~what s =
+    match find t s with
+    | Some id -> id
+    | None ->
+        if t.n >= limit then
+          failwith
+            (Printf.sprintf
+               "%s vocabulary overflows its packed-key budget (%d distinct \
+                entries): %S would get id %d. The fixed-width key packing \
+                cannot represent it without silent collisions."
+               what limit s t.n);
+        intern t s
+
+  let to_string t i =
+    if i < 0 || i >= t.n then
+      invalid_arg (Printf.sprintf "Strtab.to_string: id %d out of range" i);
+    t.rev.(i)
+
+  let iter f t =
+    for i = 0 to t.n - 1 do
+      f i t.rev.(i)
+    done
+
+  let snapshot t = Array.sub t.rev 0 t.n
+
+  let of_snapshot a =
+    let t = create ~hint:(Array.length a) () in
+    Array.iter
+      (fun s ->
+        let before = t.n in
+        if intern t s <> before then
+          invalid_arg "Strtab.of_snapshot: duplicate string")
+      a;
+    t
+end
+
+module Hashcons = struct
+  type 'a t = {
+    mutable slots : int array;  (* id+1; 0 = empty *)
+    mutable mask : int;
+    mutable rev : 'a array;
+    mutable hashes : int array;
+    mutable n : int;
+  }
+
+  let create ?(hint = 64) () =
+    let cap = next_pow2 (max 8 (2 * hint)) in
+    {
+      slots = Array.make cap 0;
+      mask = cap - 1;
+      rev = [||];
+      hashes = Array.make (max 8 hint) 0;
+      n = 0;
+    }
+
+  let size t = t.n
+
+  let get t i =
+    if i < 0 || i >= t.n then
+      invalid_arg (Printf.sprintf "Hashcons.get: id %d out of range" i);
+    t.rev.(i)
+
+  let grow_slots t =
+    let cap = 2 * Array.length t.slots in
+    let slots = Array.make cap 0 in
+    let mask = cap - 1 in
+    for id = 0 to t.n - 1 do
+      let i = ref (t.hashes.(id) land mask) in
+      while slots.(!i) <> 0 do
+        i := (!i + 1) land mask
+      done;
+      slots.(!i) <- id + 1
+    done;
+    t.slots <- slots;
+    t.mask <- mask
+
+  let probe t ~hash ~equal ~build =
+    let hash = hash land mask62 in
+    let i = ref (hash land t.mask) in
+    let found = ref (-1) in
+    let continue = ref true in
+    while !continue do
+      match t.slots.(!i) with
+      | 0 -> continue := false
+      | id1 ->
+          let id = id1 - 1 in
+          if t.hashes.(id) = hash && equal id then begin
+            found := id;
+            continue := false
+          end
+          else i := (!i + 1) land t.mask
+    done;
+    if !found >= 0 then !found
+    else begin
+      let v = build () in
+      let id = t.n in
+      if id >= Array.length t.hashes then begin
+        let cap = 2 * Array.length t.hashes in
+        let hashes = Array.make cap 0 in
+        Array.blit t.hashes 0 hashes 0 t.n;
+        t.hashes <- hashes
+      end;
+      (if id >= Array.length t.rev then begin
+         let cap = max 8 (2 * Array.length t.rev) in
+         let rev = Array.make cap v in
+         Array.blit t.rev 0 rev 0 t.n;
+         t.rev <- rev
+       end);
+      t.rev.(id) <- v;
+      t.hashes.(id) <- hash;
+      t.n <- id + 1;
+      t.slots.(!i) <- id + 1;
+      if 2 * t.n > Array.length t.slots then grow_slots t;
+      id
+    end
+
+  let iter f t =
+    for i = 0 to t.n - 1 do
+      f i t.rev.(i)
+    done
+end

@@ -1,0 +1,78 @@
+(** Shared interning layer: dense integer ids for strings and for
+    arbitrary hash-consed values.
+
+    The whole pipeline — extraction, factor-graph construction, CRF
+    encoding, word2vec vocabularies — keys its hot tables by the ids
+    these tables hand out, so the inner loops hash machine ints
+    instead of re-hashing the same strings millions of times.
+
+    Neither table is synchronized. The concurrency contract is the one
+    the rest of the tree already follows: worker domains intern into
+    their own per-file tables, and a single calling domain merges
+    results in corpus order — so id assignment is corpus-order
+    deterministic under any job count. *)
+
+(** Growable open-addressed string table: id⇄string both ways.
+
+    Ids are dense, assigned in first-intern order starting at 0.
+    Lookups store the string hash per id, so probing compares ints and
+    growth never re-hashes string contents. *)
+module Strtab : sig
+  type t
+
+  val create : ?hint:int -> unit -> t
+  (** [hint] is the expected number of distinct strings. *)
+
+  val intern : t -> string -> int
+  (** The id of [s], allocating the next dense id on first sight. *)
+
+  val intern_guarded : t -> limit:int -> what:string -> string -> int
+  (** {!intern}, but fails with [Failure] (a clear message naming
+      [what] and [limit]) instead of returning an id [>= limit]. Used
+      by the packed-key id spaces whose bit width is fixed. *)
+
+  val find : t -> string -> int option
+  (** The id of [s] if already interned; never allocates an id. *)
+
+  val to_string : t -> int -> string
+  (** The canonical string for an id. O(1). Raises [Invalid_argument]
+      on an out-of-range id. *)
+
+  val size : t -> int
+
+  val iter : (int -> string -> unit) -> t -> unit
+  (** In id order. *)
+
+  val snapshot : t -> string array
+  (** The strings in id order — the serialization view. *)
+
+  val of_snapshot : string array -> t
+  (** Restore a table whose id [i] is [a.(i)]. Raises
+      [Invalid_argument] on duplicate strings (a corrupt snapshot). *)
+end
+
+(** Hash-consing with dense int ids: each distinct value is stored
+    once, and {!probe} finds it without the caller having to build a
+    candidate value (equality and hashing run against the caller's
+    own representation of the key). *)
+module Hashcons : sig
+  type 'a t
+
+  val create : ?hint:int -> unit -> 'a t
+  val size : 'a t -> int
+
+  val get : 'a t -> int -> 'a
+  (** Canonical value for an id. O(1). Raises [Invalid_argument] on an
+      out-of-range id. *)
+
+  val probe : 'a t -> hash:int -> equal:(int -> bool) -> build:(unit -> 'a) -> int
+  (** [probe t ~hash ~equal ~build] returns the id of the value the
+      caller describes: [hash] is its precomputed hash, [equal id]
+      must answer whether the stored value [id] equals it, and [build]
+      materializes it — called only when no stored value matches, so
+      repeated values allocate nothing. The stored hash is compared
+      before [equal] is consulted. *)
+
+  val iter : (int -> 'a -> unit) -> 'a t -> unit
+  (** In id order. *)
+end

@@ -211,3 +211,95 @@ let lex_number cur =
       let frac = Cursor.take_while cur is_digit in
       int_part ^ "." ^ frac
   | _ -> int_part
+
+module Binio = struct
+  let w_int buf n = Buffer.add_int64_le buf (Int64.of_int n)
+  let w_u8 buf n = Buffer.add_uint8 buf n
+  let w_float buf f = Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+  let w_string buf s =
+    w_int buf (String.length s);
+    Buffer.add_string buf s
+
+  let w_floats buf a =
+    w_int buf (Array.length a);
+    Array.iter (w_float buf) a
+
+  let w_section buf ~tag payload =
+    w_u8 buf tag;
+    w_int buf (Buffer.length payload);
+    Buffer.add_buffer buf payload
+
+  (* FNV-1a folded to 62 bits, for the end-section whole-body
+     checksum: any bit flip anywhere in a section is detected, not
+     just flips that break the framing. *)
+  let mask62 = (1 lsl 62) - 1
+  let fnv_offset = Int64.to_int 0xcbf29ce484222325L land mask62
+
+  let checksum s =
+    let h = ref fnv_offset in
+    String.iter
+      (fun c -> h := (!h lxor Char.code c) * 0x100000001b3 land mask62)
+      s;
+    !h
+
+  type reader = { src : string; mutable pos : int }
+
+  let reader ?(pos = 0) src = { src; pos }
+  let at_end r = r.pos >= String.length r.src
+  let offset r = r.pos
+
+  let need r n what =
+    if n < 0 || r.pos + n > String.length r.src then
+      Printf.ksprintf failwith "truncated at byte %d (%s)" r.pos what
+
+  let r_u8 r what =
+    need r 1 what;
+    let v = Char.code r.src.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let r_i64 r what =
+    need r 8 what;
+    let v = String.get_int64_le r.src r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let r_int r what =
+    let v = r_i64 r what in
+    let n = Int64.to_int v in
+    if Int64.of_int n <> v then
+      Printf.ksprintf failwith "integer out of range at byte %d (%s)"
+        (r.pos - 8) what;
+    n
+
+  let r_float r what = Int64.float_of_bits (r_i64 r what)
+
+  let r_string r what =
+    let n = r_int r what in
+    need r n what;
+    let s = String.sub r.src r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let r_floats r what =
+    let n = r_int r what in
+    (* 8 bytes per element: bounds the whole array before allocating. *)
+    need r (8 * n) what;
+    Array.init n (fun _ -> r_float r what)
+
+  let r_section r ~tag ~what =
+    let t = r_u8 r what in
+    if t <> tag then
+      Printf.ksprintf failwith
+        "expected section %d (%s), found %d at byte %d" tag what t (r.pos - 1);
+    let len = r_int r what in
+    need r len what;
+    r.pos + len
+
+  let end_section r ~stop ~what =
+    if r.pos <> stop then
+      Printf.ksprintf failwith
+        "section %s length mismatch: payload ends at byte %d, header said %d"
+        what r.pos stop
+end

@@ -128,3 +128,57 @@ val lex_string_literal : Cursor.t -> quote:char -> string
 val lex_number : Cursor.t -> string
 (** Consumes an integer or decimal literal (first char not yet
     consumed must be a digit); returns its lexeme. *)
+
+(** Binary record IO for the version-3 model formats: fixed-width
+    little-endian integers and IEEE-754 floats, length-prefixed
+    strings and sections. Purely in-memory (writers append to a
+    [Buffer.t], readers walk a [string]); every malformed read raises
+    [Failure] with a byte offset, which the model loaders convert to a
+    [Corrupt_model] diagnostic. *)
+module Binio : sig
+  val w_int : Buffer.t -> int -> unit
+  (** Written as a little-endian 64-bit value. *)
+
+  val w_u8 : Buffer.t -> int -> unit
+  val w_float : Buffer.t -> float -> unit
+  (** Raw IEEE-754 bits, little-endian — exact round-trip. *)
+
+  val w_string : Buffer.t -> string -> unit
+  (** Length-prefixed, no escaping. *)
+
+  val w_floats : Buffer.t -> float array -> unit
+  (** Count-prefixed raw float array. *)
+
+  val w_section : Buffer.t -> tag:int -> Buffer.t -> unit
+  (** [w_section buf ~tag payload] appends tag byte, payload length,
+      payload. *)
+
+  val checksum : string -> int
+  (** FNV-1a folded to 62 bits, over the full section body — the end
+      section stores it so any bit flip is detected. *)
+
+  type reader
+
+  val reader : ?pos:int -> string -> reader
+  val at_end : reader -> bool
+
+  val offset : reader -> int
+  (** Current read position, in bytes. *)
+
+  val r_u8 : reader -> string -> int
+
+  val r_int : reader -> string -> int
+  (** The [string] argument names what is being read, for error
+      messages. Fails on values outside OCaml's int range. *)
+
+  val r_float : reader -> string -> float
+  val r_string : reader -> string -> string
+  val r_floats : reader -> string -> float array
+
+  val r_section : reader -> tag:int -> what:string -> int
+  (** Consume a section header; checks the tag, bounds the payload,
+      and returns the offset where the payload must end. *)
+
+  val end_section : reader -> stop:int -> what:string -> unit
+  (** Verify the reader consumed the section exactly. *)
+end

@@ -21,6 +21,30 @@ let apply t path =
   | Top -> Path.top path
   | No_paths -> "*"
 
+(* Per-extraction memo: path ids are dense per [Context.Tab.t], so the
+   cache is a plain array. One memo per (table, abstraction) pair — ids
+   from a different table would alias. *)
+type memo = { ab : t; mutable cache : string array }
+
+let unset = Bytes.unsafe_to_string (Bytes.create 1)
+let memo ab = { ab; cache = Array.make 64 unset }
+
+let apply_memo m (c : Context.t) =
+  let pid = c.Context.path_id in
+  if pid >= Array.length m.cache then begin
+    let cap = max (2 * Array.length m.cache) (pid + 1) in
+    let cache = Array.make cap unset in
+    Array.blit m.cache 0 cache 0 (Array.length m.cache);
+    m.cache <- cache
+  end;
+  let s = Array.unsafe_get m.cache pid in
+  if s != unset then s
+  else begin
+    let s = apply m.ab (Context.path c) in
+    m.cache.(pid) <- s;
+    s
+  end
+
 let name = function
   | Full -> "full"
   | No_arrows -> "no-arrows"

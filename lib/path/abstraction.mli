@@ -21,6 +21,16 @@ val apply : t -> Path.t -> string
 (** The abstracted key; distinct keys never merge under a finer
     abstraction than under a coarser one (tested by property tests). *)
 
+type memo
+(** Caches {!apply} per hash-consed path id. Valid for contexts from a
+    single {!Context.Tab.t} only — make one memo per extraction. *)
+
+val memo : t -> memo
+
+val apply_memo : memo -> Context.t -> string
+(** [apply (ab of m) (Context.path c)], computed once per distinct
+    path of the context's table. *)
+
 val name : t -> string
 val of_name : string -> t option
 val all : t list

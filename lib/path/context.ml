@@ -1,45 +1,196 @@
+(* Interned path-contexts. Values and paths are dense int ids into a
+   per-extraction [Tab.t]; the string views ([start_value], [path],
+   [pp]) resolve through the table and render exactly what the old
+   string-carrying record rendered (golden-tested against the seed).
+
+   A [Tab.t] belongs to one [Ast.Index.t] and one domain: extraction
+   over a file creates one, every context of that file shares it, and
+   ids are assigned in first-sight order — deterministic for a given
+   file, independent of what any other domain is doing. *)
+
+module Tab = struct
+  type t = {
+    idx : Ast.Index.t;
+    values : Intern.Strtab.t;
+    vids : int array;  (* node -> value id; -1 = not yet interned *)
+    paths : Path.t Intern.Hashcons.t;
+    mutable keys : int array array;
+        (* per path id: [|n_up; label ids in path order|] — the
+           allocation-free equality/hash key of the consed path *)
+  }
+
+  let create idx =
+    {
+      idx;
+      values = Intern.Strtab.create ~hint:64 ();
+      vids = Array.make (max 1 (Ast.Index.size idx)) (-1);
+      paths = Intern.Hashcons.create ~hint:64 ();
+      keys = Array.make 64 [||];
+    }
+
+  let index t = t.idx
+  let num_paths t = Intern.Hashcons.size t.paths
+  let num_values t = Intern.Strtab.size t.values
+  let value_string t vid = Intern.Strtab.to_string t.values vid
+  let path t pid = Intern.Hashcons.get t.paths pid
+
+  let node_value idx n =
+    match Ast.Index.value idx n with
+    | Some v -> v
+    | None -> Ast.Index.label idx n
+
+  let vid t n =
+    let v = t.vids.(n) in
+    if v >= 0 then v
+    else begin
+      let v = Intern.Strtab.intern t.values (node_value t.idx n) in
+      t.vids.(n) <- v;
+      v
+    end
+
+  let mask62 = (1 lsl 62) - 1
+  let mix h v = ((h * 0x9E3779B1) + v + 1) land mask62
+
+  (* Reference hash of a key array; [cons] computes the same value
+     incrementally while walking the parent chains (same mixing, same
+     order: start-side bottom-up, top, end-side bottom-up, n_up, n_down),
+     so chain-probed and key-probed paths land in the same slot. *)
+  let hash_of_key key =
+    let k = Array.length key - 2 in
+    let da = key.(0) in
+    let h = ref 17 in
+    for i = 1 to da do
+      h := mix !h key.(i)
+    done;
+    h := mix !h key.(da + 1);
+    for i = k + 1 downto da + 2 do
+      h := mix !h key.(i)
+    done;
+    mix (mix !h da) (k - da)
+
+  let store_key t id key =
+    if id >= Array.length t.keys then begin
+      let cap = max (2 * Array.length t.keys) (id + 1) in
+      let keys = Array.make cap [||] in
+      Array.blit t.keys 0 keys 0 (Array.length t.keys);
+      t.keys <- keys
+    end;
+    t.keys.(id) <- key
+
+  (* Hash-cons the up-then-down path between two nodes. On a hit
+     nothing is allocated: the hash and the equality check walk the
+     parent chains against the stored int key. *)
+  let cons t ~lca ~start_node ~end_node ~da ~db =
+    let label_ids = Ast.Index.label_id_array t.idx in
+    let parent = Ast.Index.parent_array t.idx in
+    let k = da + db in
+    let h = ref 17 in
+    let n = ref start_node in
+    for _ = 1 to da do
+      h := mix !h (Array.unsafe_get label_ids !n);
+      n := Array.unsafe_get parent !n
+    done;
+    h := mix !h (Array.unsafe_get label_ids lca);
+    let n = ref end_node in
+    for _ = 1 to db do
+      h := mix !h (Array.unsafe_get label_ids !n);
+      n := Array.unsafe_get parent !n
+    done;
+    let h = mix (mix !h da) db in
+    let equal id =
+      let key = t.keys.(id) in
+      Array.length key = k + 2
+      && key.(0) = da
+      && key.(da + 1) = label_ids.(lca)
+      && begin
+           let ok = ref true in
+           let n = ref start_node in
+           for i = 1 to da do
+             if key.(i) <> label_ids.(!n) then ok := false;
+             n := parent.(!n)
+           done;
+           let n = ref end_node in
+           for i = k + 1 downto da + 2 do
+             if key.(i) <> label_ids.(!n) then ok := false;
+             n := parent.(!n)
+           done;
+           !ok
+         end
+    in
+    let built_key = ref [||] in
+    let build () =
+      let labels = Ast.Index.label_array t.idx in
+      let nodes = Array.make (k + 1) (Array.unsafe_get labels lca) in
+      let key = Array.make (k + 2) da in
+      key.(da + 1) <- label_ids.(lca);
+      let n = ref start_node in
+      for i = 0 to da - 1 do
+        Array.unsafe_set nodes i (Array.unsafe_get labels !n);
+        key.(i + 1) <- Array.unsafe_get label_ids !n;
+        n := Array.unsafe_get parent !n
+      done;
+      let n = ref end_node in
+      for i = 0 to db - 1 do
+        Array.unsafe_set nodes (k - i) (Array.unsafe_get labels !n);
+        key.(k + 1 - i) <- Array.unsafe_get label_ids !n;
+        n := Array.unsafe_get parent !n
+      done;
+      built_key := key;
+      Path.of_updown ~nodes ~n_up:da
+    in
+    let before = Intern.Hashcons.size t.paths in
+    let id = Intern.Hashcons.probe t.paths ~hash:h ~equal ~build in
+    if id = before then store_key t id !built_key;
+    id
+
+  (* Id of the reverse of an already-consed path. *)
+  let cons_reverse t pid =
+    let key = t.keys.(pid) in
+    let k = Array.length key - 2 in
+    let da = key.(0) in
+    let rk = Array.make (k + 2) (k - da) in
+    for i = 1 to k + 1 do
+      rk.(i) <- key.(k + 2 - i)
+    done;
+    let equal id = t.keys.(id) = rk in
+    let before = Intern.Hashcons.size t.paths in
+    let id =
+      Intern.Hashcons.probe t.paths ~hash:(hash_of_key rk) ~equal
+        ~build:(fun () -> Path.reverse (Intern.Hashcons.get t.paths pid))
+    in
+    if id = before then store_key t id rk;
+    id
+end
+
 type t = {
   start_node : int;
   end_node : int;
-  start_value : string;
-  end_value : string;
-  path : Path.t;
+  start_vid : int;
+  end_vid : int;
+  path_id : int;
+  tab : Tab.t;
 }
 
-let node_value idx n =
-  match Ast.Index.value idx n with
-  | Some v -> v
-  | None -> Ast.Index.label idx n
+let start_value t = Tab.value_string t.tab t.start_vid
+let end_value t = Tab.value_string t.tab t.end_vid
+let path t = Tab.path t.tab t.path_id
 
-let make_with_lca ~idx ~lca ~start_node ~end_node =
-  let depth = Ast.Index.depth_array idx
-  and parent = Ast.Index.parent_array idx
-  and labels = Ast.Index.label_array idx in
+let make_with_lca ~tab ~lca ~start_node ~end_node =
+  let depth = Ast.Index.depth_array (Tab.index tab) in
   let dl = Array.unsafe_get depth lca in
   let da = Array.unsafe_get depth start_node - dl
   and db = Array.unsafe_get depth end_node - dl in
-  let k = da + db in
-  let nodes = Array.make (k + 1) (Array.unsafe_get labels lca) in
-  let n = ref start_node in
-  for i = 0 to da - 1 do
-    Array.unsafe_set nodes i (Array.unsafe_get labels !n);
-    n := Array.unsafe_get parent !n
-  done;
-  let n = ref end_node in
-  for i = 0 to db - 1 do
-    Array.unsafe_set nodes (k - i) (Array.unsafe_get labels !n);
-    n := Array.unsafe_get parent !n
-  done;
   {
     start_node;
     end_node;
-    start_value = node_value idx start_node;
-    end_value = node_value idx end_node;
-    path = Path.of_updown ~nodes ~n_up:da;
+    start_vid = Tab.vid tab start_node;
+    end_vid = Tab.vid tab end_node;
+    path_id = Tab.cons tab ~lca ~start_node ~end_node ~da ~db;
+    tab;
   }
 
 let make ~idx ~start_node ~end_node =
-  make_with_lca ~idx
+  make_with_lca ~tab:(Tab.create idx)
     ~lca:(Ast.Index.lca idx start_node end_node)
     ~start_node ~end_node
 
@@ -47,19 +198,22 @@ let reverse t =
   {
     start_node = t.end_node;
     end_node = t.start_node;
-    start_value = t.end_value;
-    end_value = t.start_value;
-    path = Path.reverse t.path;
+    start_vid = t.end_vid;
+    end_vid = t.start_vid;
+    path_id = Tab.cons_reverse t.tab t.path_id;
+    tab = t.tab;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "\xe2\x9f\xa8%s, %a, %s\xe2\x9f\xa9" t.start_value
-    Path.pp t.path t.end_value
+  Format.fprintf ppf "\xe2\x9f\xa8%s, %a, %s\xe2\x9f\xa9" (start_value t)
+    Path.pp (path t) (end_value t)
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* Structural, across tables: contexts from different extractions (and
+   so different id spaces) compare by what they denote. *)
 let equal a b =
   a.start_node = b.start_node && a.end_node = b.end_node
-  && String.equal a.start_value b.start_value
-  && String.equal a.end_value b.end_value
-  && Path.equal a.path b.path
+  && String.equal (start_value a) (start_value b)
+  && String.equal (end_value a) (end_value b)
+  && Path.equal (path a) (path b)

@@ -1,32 +1,68 @@
 (** Path-contexts (paper Definition 4.3): an AST path together with the
     values at its two ends, plus the node ids so prediction tasks can
-    map ends back to program elements. *)
+    map ends back to program elements.
+
+    The representation is interned: values and paths are dense int ids
+    into a per-extraction {!Tab.t} — each distinct path of a file
+    exists once (hash-consed, hash precomputed), each distinct end
+    value is stored once. The string views below resolve through the
+    table and render exactly what the old string-carrying record
+    rendered. *)
+
+(** Per-extraction intern tables: one per {!Ast.Index.t} per
+    extraction pass, owned by a single domain. Ids are assigned in
+    first-sight order, so they are deterministic per file and
+    independent of any other file or domain. *)
+module Tab : sig
+  type t
+
+  val create : Ast.Index.t -> t
+  val index : t -> Ast.Index.t
+
+  val num_paths : t -> int
+  (** Ids handed out so far are [0 .. num_paths - 1]; path ids are
+      dense, so per-path memo tables can be plain arrays. *)
+
+  val num_values : t -> int
+  val value_string : t -> int -> string
+  val path : t -> int -> Path.t
+end
 
 type t = {
   start_node : int;  (** Node id in the originating {!Ast.Index.t}. *)
   end_node : int;
-  start_value : string;
-  end_value : string;
-  path : Path.t;
+  start_vid : int;  (** Interned value id, resolve with {!start_value}. *)
+  end_vid : int;
+  path_id : int;  (** Hash-consed path id, resolve with {!path}. *)
+  tab : Tab.t;
 }
 
 val make : idx:Ast.Index.t -> start_node:int -> end_node:int -> t
 (** Builds the path-context between two nodes of [idx] by walking both
-    parent chains to their LCA. The value of a nonterminal end is its
-    label (used by the full-type task, where one end is an expression
-    nonterminal). *)
+    parent chains to their LCA, in a fresh single-use {!Tab.t}. The
+    value of a nonterminal end is its label (used by the full-type
+    task, where one end is an expression nonterminal). Extraction
+    callers use {!make_with_lca} with a shared table instead. *)
 
 val make_with_lca :
-  idx:Ast.Index.t -> lca:int -> start_node:int -> end_node:int -> t
+  tab:Tab.t -> lca:int -> start_node:int -> end_node:int -> t
 (** Like {!make} with the LCA already known (the extraction iterator
-    computes it anyway to check limits). Fills the path's label arrays
-    directly from the parent chains — no intermediate lists. *)
+    computes it anyway to check limits) and an explicit shared table.
+    On a path-cache hit nothing is allocated but the context itself. *)
+
+val start_value : t -> string
+(** The interned value string — the stored string itself, not a copy. *)
+
+val end_value : t -> string
+val path : t -> Path.t
 
 val reverse : t -> t
-(** Swaps ends and reverses the path. *)
+(** Swaps ends and reverses the path (consed into the same table). *)
 
 val pp : Format.formatter -> t -> unit
 (** Paper notation: [⟨start, path, end⟩]. *)
 
 val to_string : t -> string
+
 val equal : t -> t -> bool
+(** Structural — safe across contexts from different tables. *)

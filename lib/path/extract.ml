@@ -53,11 +53,16 @@ let iter_within ?downsample idx (cfg : Config.t) f =
     end
   done
 
-let iter ?downsample idx cfg f =
-  iter_within ?downsample idx cfg (fun a b l ->
-      f (Context.make_with_lca ~idx ~lca:l ~start_node:a ~end_node:b))
+let tab_for ?tab idx =
+  match tab with Some t -> t | None -> Context.Tab.create idx
 
-let iter_semi_paths ?downsample idx (cfg : Config.t) f =
+let iter ?downsample ?tab idx cfg f =
+  let tab = tab_for ?tab idx in
+  iter_within ?downsample idx cfg (fun a b l ->
+      f (Context.make_with_lca ~tab ~lca:l ~start_node:a ~end_node:b))
+
+let iter_semi_paths ?downsample ?tab idx (cfg : Config.t) f =
+  let tab = tab_for ?tab idx in
   let emit =
     match downsample with
     | None -> f
@@ -68,7 +73,7 @@ let iter_semi_paths ?downsample idx (cfg : Config.t) f =
       let rec go node steps =
         if steps <= cfg.max_length && node <> -1 then begin
           emit
-            (Context.make_with_lca ~idx ~lca:node ~start_node:leaf
+            (Context.make_with_lca ~tab ~lca:node ~start_node:leaf
                ~end_node:node);
           go (Ast.Index.parent idx node) (steps + 1)
         end
@@ -76,9 +81,10 @@ let iter_semi_paths ?downsample idx (cfg : Config.t) f =
       go (Ast.Index.parent idx leaf) 1)
     (Ast.Index.leaves idx)
 
-let iter_all ?downsample idx (cfg : Config.t) f =
-  iter ?downsample idx cfg f;
-  if cfg.include_semi_paths then iter_semi_paths ?downsample idx cfg f
+let iter_all ?downsample ?tab idx (cfg : Config.t) f =
+  let tab = tab_for ?tab idx in
+  iter ?downsample ~tab idx cfg f;
+  if cfg.include_semi_paths then iter_semi_paths ?downsample ~tab idx cfg f
 
 let collect run =
   let acc = ref [] in
@@ -89,7 +95,8 @@ let leaf_pairs idx cfg = collect (iter idx cfg)
 let semi_paths idx cfg = collect (iter_semi_paths idx cfg)
 let all idx cfg = collect (iter_all idx cfg)
 
-let leaf_to_node idx (cfg : Config.t) ~target =
+let leaf_to_node ?tab idx (cfg : Config.t) ~target =
+  let tab = tab_for ?tab idx in
   let dt = Ast.Index.depth idx target in
   let acc = ref [] in
   Array.iter
@@ -102,7 +109,7 @@ let leaf_to_node idx (cfg : Config.t) ~target =
           && Ast.Index.width_between idx ~lca:l leaf target <= cfg.max_width
         then
           acc :=
-            Context.make_with_lca ~idx ~lca:l ~start_node:leaf ~end_node:target
+            Context.make_with_lca ~tab ~lca:l ~start_node:leaf ~end_node:target
             :: !acc
       end)
     (Ast.Index.leaves idx);

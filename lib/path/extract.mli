@@ -15,6 +15,7 @@
 
 val iter :
   ?downsample:Random.State.t * float ->
+  ?tab:Context.Tab.t ->
   Ast.Index.t ->
   Config.t ->
   (Context.t -> unit) ->
@@ -24,10 +25,14 @@ val iter :
     source order, ordered by end leaf then start leaf (the same order
     {!leaf_pairs} returns). [downsample (rng, p)] keeps each leaf
     occurrence with probability [p] {e before} pair enumeration (paper
-    Section 5.5), so dropped occurrences never pay extraction cost. *)
+    Section 5.5), so dropped occurrences never pay extraction cost.
+    [tab] is the intern table the emitted contexts share (a fresh one
+    per call when omitted); pass one explicitly to share path/value
+    ids across several extraction calls over the same index. *)
 
 val iter_semi_paths :
   ?downsample:Random.State.t * float ->
+  ?tab:Context.Tab.t ->
   Ast.Index.t ->
   Config.t ->
   (Context.t -> unit) ->
@@ -39,11 +44,13 @@ val iter_semi_paths :
 
 val iter_all :
   ?downsample:Random.State.t * float ->
+  ?tab:Context.Tab.t ->
   Ast.Index.t ->
   Config.t ->
   (Context.t -> unit) ->
   unit
-(** {!iter}, then {!iter_semi_paths} when the config enables them. *)
+(** {!iter}, then {!iter_semi_paths} when the config enables them —
+    both over the same [tab]. *)
 
 val leaf_pairs : Ast.Index.t -> Config.t -> Context.t list
 (** {!iter}'s output as a list. *)
@@ -53,7 +60,8 @@ val semi_paths : Ast.Index.t -> Config.t -> Context.t list
     expressive than leafwise paths but generalize across programs
     (Section 5). *)
 
-val leaf_to_node : Ast.Index.t -> Config.t -> target:int -> Context.t list
+val leaf_to_node :
+  ?tab:Context.Tab.t -> Ast.Index.t -> Config.t -> target:int -> Context.t list
 (** Paths from every terminal to the given node (used by the full-type
     task, where [target] is an expression nonterminal). The target is
     always the [end] of the context. Terminals inside the target's own

@@ -1,18 +1,23 @@
-(* Format:
-     pigeon-w2v-model 2
-     config <dim> <epochs> <negatives> <lr> <min_count> <seed>
-     words <n>
-     w <escaped-token> <count> <v0> ... <v_dim-1>
-     contexts <n>
-     c <escaped-token> <count> <v0> ...
-     end <record-count>
-   Tokens are percent-escaped (space, tab, newline, CR, '%').
+(* Version 3 (what [save] writes) is binary: the text magic line
+   "pigeon-w2v-model 3\n", then length-prefixed sections (tag byte,
+   payload length, payload — see {!Lexkit.Binio}):
 
-   The trailing [end] record counts the lines written after the magic,
-   so truncated or appended-to files are rejected. Version 1 files
-   (no trailer) are still accepted. *)
+     1 config        dim, epochs, negatives, raw LE float lr,
+                     min_count, seed
+     2 words         count, (string, count) in vocab-id order
+     3 word-vecs     rows, dim, raw LE floats row-major
+     4 contexts      count, (string, count)
+     5 context-vecs  rows, dim, raw floats
+   255 end           section count, FNV checksum of all section bytes
 
-let format_version = 2
+   Everything is emitted in vocab-id order, so the writer is a
+   canonical form: save → load → save round-trips byte-identically.
+
+   Versions 1 and 2 are line-oriented text in the word2vec
+   conventions ("w <escaped-token> <count> <floats...>"; version 2
+   adds an "end <record-count>" trailer) and still load. *)
+
+let format_version = 3
 let magic v = Printf.sprintf "pigeon-w2v-model %d" v
 
 let escape s =
@@ -45,7 +50,8 @@ let unescape s =
   done;
   Buffer.contents buf
 
-let to_channel (m : Sgns.t) oc =
+(* Version-2 text writer, kept for compatibility fixtures. *)
+let to_channel_v2 (m : Sgns.t) oc =
   let records = ref 0 in
   let p fmt =
     incr records;
@@ -62,7 +68,7 @@ let to_channel (m : Sgns.t) oc =
         output_char oc '\n')
       vecs
   in
-  Printf.fprintf oc "%s\n" (magic format_version);
+  Printf.fprintf oc "%s\n" (magic 2);
   let c = m.Sgns.config in
   p "config %d %d %d %.17g %d %d\n" c.Sgns.dim c.Sgns.epochs c.Sgns.negatives
     c.Sgns.learning_rate c.Sgns.min_count c.Sgns.seed;
@@ -71,6 +77,136 @@ let to_channel (m : Sgns.t) oc =
   p "contexts %d\n" (Vocab.size m.Sgns.contexts);
   write_matrix "c" m.Sgns.contexts m.Sgns.context_vecs;
   Printf.fprintf oc "end %d\n" !records
+
+let n_sections = 5
+
+let to_string (m : Sgns.t) =
+  let open Lexkit.Binio in
+  let buf = Buffer.create (1 lsl 16) in
+  let section tag fill =
+    let payload = Buffer.create 1024 in
+    fill payload;
+    w_section buf ~tag payload
+  in
+  let c = m.Sgns.config in
+  section 1 (fun b ->
+      w_int b c.Sgns.dim;
+      w_int b c.Sgns.epochs;
+      w_int b c.Sgns.negatives;
+      w_float b c.Sgns.learning_rate;
+      w_int b c.Sgns.min_count;
+      w_int b c.Sgns.seed);
+  let vocab_section tag vocab =
+    section tag (fun b ->
+        let n = Vocab.size vocab in
+        w_int b n;
+        for i = 0 to n - 1 do
+          w_string b (Vocab.word vocab i);
+          w_int b (Vocab.count vocab i)
+        done)
+  in
+  let matrix_section tag vecs =
+    section tag (fun b ->
+        let rows = Array.length vecs in
+        w_int b rows;
+        w_int b (if rows = 0 then c.Sgns.dim else Array.length vecs.(0));
+        Array.iter (fun row -> Array.iter (w_float b) row) vecs)
+  in
+  vocab_section 2 m.Sgns.words;
+  matrix_section 3 m.Sgns.word_vecs;
+  vocab_section 4 m.Sgns.contexts;
+  matrix_section 5 m.Sgns.context_vecs;
+  let body = Buffer.contents buf in
+  let out = Buffer.create (String.length body + 64) in
+  Buffer.add_string out (magic format_version);
+  Buffer.add_char out '\n';
+  Buffer.add_string out body;
+  let trailer = Buffer.create 24 in
+  w_int trailer n_sections;
+  w_int trailer (checksum body);
+  w_section out ~tag:255 trailer;
+  Buffer.contents out
+
+let to_channel m oc = output_string oc (to_string m)
+
+(* [body] is everything after the magic line; failures carry a byte
+   offset and surface as [Corrupt_model] diagnostics. *)
+let parse_v3 ?source body =
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        raise
+          (Lexkit.Diag.Error
+             (Lexkit.Diag.make ?file:source Lexkit.Diag.Corrupt_model msg)))
+      fmt
+  in
+  match
+    let open Lexkit.Binio in
+    let r = reader body in
+    let sect tag what fill =
+      let stop = r_section r ~tag ~what in
+      let v = fill () in
+      end_section r ~stop ~what;
+      v
+    in
+    let count what n =
+      if n < 0 then Printf.ksprintf failwith "%s: negative count" what;
+      n
+    in
+    let config =
+      sect 1 "config" (fun () ->
+          let dim = r_int r "dim" in
+          let epochs = r_int r "epochs" in
+          let negatives = r_int r "negatives" in
+          let learning_rate = r_float r "learning_rate" in
+          let min_count = r_int r "min_count" in
+          let seed = r_int r "seed" in
+          { Sgns.dim; epochs; negatives; learning_rate; min_count; seed })
+    in
+    if config.Sgns.dim < 0 then failwith "negative vector dimension";
+    let vocab tag what =
+      sect tag what (fun () ->
+          let n = count what (r_int r what) in
+          let items =
+            List.init n (fun _ ->
+                let w = r_string r what in
+                (w, r_int r what))
+          in
+          Vocab.of_items items)
+    in
+    let matrix tag what vocab =
+      sect tag what (fun () ->
+          let rows = count what (r_int r what) in
+          let dim = r_int r what in
+          if rows <> Vocab.size vocab then
+            Printf.ksprintf failwith
+              "%s: %d rows for a vocabulary of %d" what rows (Vocab.size vocab);
+          if dim <> config.Sgns.dim then
+            Printf.ksprintf failwith "%s: bad vector size (%d, expected %d)"
+              what dim config.Sgns.dim;
+          Array.init rows (fun _ ->
+              Array.init dim (fun _ -> r_float r what)))
+    in
+    let words = vocab 2 "words" in
+    let word_vecs = matrix 3 "word-vecs" words in
+    let contexts = vocab 4 "contexts" in
+    let context_vecs = matrix 5 "context-vecs" contexts in
+    let body_len = offset r in
+    sect 255 "end" (fun () ->
+        let n = r_int r "section count" in
+        if n <> n_sections then
+          Printf.ksprintf failwith
+            "section count mismatch: trailer says %d, format has %d" n
+            n_sections;
+        let sum = r_int r "checksum" in
+        if sum <> checksum (String.sub body 0 body_len) then
+          failwith "checksum mismatch: model data is corrupted");
+    if not (at_end r) then failwith "trailing data after the model";
+    { Sgns.config; words; contexts; word_vecs; context_vecs }
+  with
+  | m -> m
+  | exception (Failure msg | Invalid_argument msg) ->
+      fail "corrupt binary model: %s" msg
 
 (* Parse from a [next_line] pull function so channels and in-memory
    strings (the fuzz suite) share one code path. Every malformed input
@@ -176,20 +312,31 @@ let parse ?source next_line =
   drain ();
   { Sgns.config; words; contexts; word_vecs; context_vecs }
 
-let from_channel ?source ic =
-  parse ?source (fun () ->
-      match input_line ic with l -> Some l | exception End_of_file -> None)
+(* The magic line picks the parser: version 3 is binary (it cannot be
+   split on newlines), versions 1 and 2 are line-oriented text. *)
+let parse_string ?source s =
+  let nl = match String.index_opt s '\n' with Some i -> i | None -> String.length s in
+  if String.equal (String.sub s 0 nl) (magic 3) then
+    let body =
+      if nl >= String.length s then ""
+      else String.sub s (nl + 1) (String.length s - nl - 1)
+    in
+    parse_v3 ?source body
+  else
+    let rest = ref (String.split_on_char '\n' s) in
+    let next () =
+      match !rest with
+      | [] -> None
+      | l :: tl ->
+          rest := tl;
+          Some l
+    in
+    parse ?source next
+
+let from_channel ?source ic = parse_string ?source (In_channel.input_all ic)
 
 let of_string ?source s =
-  let rest = ref (String.split_on_char '\n' s) in
-  let next () =
-    match !rest with
-    | [] -> None
-    | l :: tl ->
-        rest := tl;
-        Some l
-  in
-  Lexkit.protect ?file:source (fun () -> parse ?source next)
+  Lexkit.protect ?file:source (fun () -> parse_string ?source s)
 
 let save m path =
   let oc = open_out_bin path in

@@ -1,14 +1,22 @@
-(** Saving and loading trained SGNS models, in the word2vec text
-    conventions: a header with dimensions, then one vector per line.
-    Both word and context matrices are stored (prediction by the
-    paper's equation (4) needs the context vectors too). Round-trips to
-    identical predictions (tested).
+(** Saving and loading trained SGNS models. Both word and context
+    matrices are stored (prediction by the paper's equation (4) needs
+    the context vectors too). Round-trips to identical predictions
+    (tested).
 
-    The format is versioned and self-checking: version 2 files end with
-    an [end <record-count>] trailer, so truncation and trailing garbage
-    are detected. Version 1 files (no trailer) still load. Loaders
-    never raise [Failure]; every malformed input is reported as a
-    {!Lexkit.Diag.t} with kind [Corrupt_model] and a line number. *)
+    [save] writes the version-3 binary format: a text magic line, then
+    length-prefixed sections — each vocabulary once, and the embedding
+    matrices as raw little-endian floats (exact round-trip, no decimal
+    printing). Emission is in vocab-id order, so save → load → save is
+    byte-identical. Versions 1 and 2 (the older word2vec-style text
+    format) still load; {!to_channel_v2} keeps a text writer around
+    for compatibility fixtures.
+
+    Every format is self-checking (v2's [end <record-count>] trailer,
+    v3's section framing and trailer), so truncation, trailing garbage
+    and bit-flips are detected. Loaders never raise [Failure]; every
+    malformed input is reported as a {!Lexkit.Diag.t} with kind
+    [Corrupt_model] — a line number for text formats, a byte offset in
+    the message for binary. *)
 
 val save : Sgns.t -> string -> unit
 (** Raises [Sys_error] on I/O failure. *)
@@ -21,6 +29,12 @@ val load_exn : string -> Sgns.t
 (** Like {!load} but raises {!Lexkit.Diag.Error} on failure. *)
 
 val to_channel : Sgns.t -> out_channel -> unit
+
+val to_string : Sgns.t -> string
+(** The version-3 binary image [save]/[to_channel] write. *)
+
+val to_channel_v2 : Sgns.t -> out_channel -> unit
+(** Version-2 text writer, for compatibility fixtures. *)
 
 val from_channel : ?source:string -> in_channel -> Sgns.t
 (** Raises {!Lexkit.Diag.Error} (kind [Corrupt_model]) on malformed

@@ -108,33 +108,56 @@ let round_pairs_per_shard = 256
    historical order: all matrix init values first, then the sequential
    path's shuffles and negatives. *)
 let prepare config pairs =
-  let wfreq = Hashtbl.create 1024 and cfreq = Hashtbl.create 1024 in
-  let n_input = ref 0 in
-  let bump tbl tok =
-    Hashtbl.replace tbl tok
-      (1 + Option.value (Hashtbl.find_opt tbl tok) ~default:0)
+  let wtab = Intern.Strtab.create ~hint:1024 ()
+  and ctab = Intern.Strtab.create ~hint:1024 () in
+  let wcounts = ref (Array.make 1024 0) and ccounts = ref (Array.make 1024 0) in
+  let bump counts sid =
+    let a =
+      let a = !counts in
+      if sid < Array.length a then a
+      else begin
+        let b = Array.make (max (2 * Array.length a) (sid + 1)) 0 in
+        Array.blit a 0 b 0 (Array.length a);
+        counts := b;
+        b
+      end
+    in
+    a.(sid) <- a.(sid) + 1
   in
+  let n_input = List.length pairs in
+  (* Each token is hashed exactly once, here; everything downstream is
+     int-array reads. *)
+  let sid_pairs = Array.make (max n_input 1) (0, 0) in
+  let n = ref 0 in
   List.iter
     (fun (w, c) ->
-      incr n_input;
-      bump wfreq w;
-      bump cfreq c)
+      let wi = Intern.Strtab.intern wtab w in
+      let ci = Intern.Strtab.intern ctab c in
+      bump wcounts wi;
+      bump ccounts ci;
+      sid_pairs.(!n) <- (wi, ci);
+      incr n)
     pairs;
-  let items tbl = Hashtbl.fold (fun w c acc -> (w, c) :: acc) tbl [] in
-  let words = Vocab.of_counts ~min_count:config.min_count (items wfreq) in
-  let contexts = Vocab.of_counts ~min_count:config.min_count (items cfreq) in
+  let words =
+    Vocab.of_strtab ~min_count:config.min_count wtab
+      (Array.sub !wcounts 0 (Intern.Strtab.size wtab))
+  in
+  let contexts =
+    Vocab.of_strtab ~min_count:config.min_count ctab
+      (Array.sub !ccounts 0 (Intern.Strtab.size ctab))
+  in
   (* Id pairs land straight in a preallocated array — no intermediate
-     list of the whole corpus. *)
-  let id_pairs = Array.make (max !n_input 1) (0, 0) in
+     list of the whole corpus, and the remap is two array lookups. *)
+  let id_pairs = Array.make (max n_input 1) (0, 0) in
   let n_pairs = ref 0 in
-  List.iter
-    (fun (w, c) ->
-      match (Vocab.id words w, Vocab.id contexts c) with
-      | Some wi, Some ci ->
-          id_pairs.(!n_pairs) <- (wi, ci);
-          incr n_pairs
-      | _ -> ())
-    pairs;
+  for k = 0 to n_input - 1 do
+    let wi, ci = sid_pairs.(k) in
+    let wv = Vocab.of_interned words wi and cv = Vocab.of_interned contexts ci in
+    if wv >= 0 && cv >= 0 then begin
+      id_pairs.(!n_pairs) <- (wv, cv);
+      incr n_pairs
+    end
+  done;
   let pairs = Array.sub id_pairs 0 !n_pairs in
   let rng = Random.State.make [| config.seed |] in
   (words, contexts, pairs, !n_pairs, rng)

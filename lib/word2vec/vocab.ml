@@ -1,56 +1,114 @@
+(* Strtab-backed: words are interned once, vocab ids are a permutation
+   of the interned ids (count desc, name asc — a total order, so the
+   resulting ids depend only on the (word, count) multiset, never on
+   the order the counts were gathered in). Callers that already hold
+   interned ids ([Sgns.prepare]'s pair remap) translate through
+   [of_interned] without touching a string. *)
+
 type t = {
-  ids : (string, int) Hashtbl.t;
-  words : string array;
-  counts : int array;
+  tab : Intern.Strtab.t;
+  vid_of_sid : int array;  (* interned id -> vocab id; -1 = filtered *)
+  sid_of_vid : int array;
+  counts : int array;  (* per vocab id *)
   total : int;
 }
 
-(* The (count desc, name asc) sort is a total order, so the resulting
-   ids depend only on the (word, count) multiset — never on the order
-   the counts were gathered in. [build] and single-pass callers that
-   count words themselves therefore produce identical vocabularies. *)
-let of_counts ?(min_count = 1) counts =
-  let kept =
-    List.filter (fun (_, c) -> c >= min_count) counts
-    |> List.sort (fun (wa, a) (wb, b) ->
-           let c = Int.compare b a in
-           if c <> 0 then c else String.compare wa wb)
-  in
-  let words = Array.of_list (List.map fst kept) in
-  let counts = Array.of_list (List.map snd kept) in
-  let ids = Hashtbl.create (Array.length words) in
-  Array.iteri (fun i w -> Hashtbl.add ids w i) words;
-  { ids; words; counts; total = Array.fold_left ( + ) 0 counts }
+let of_strtab ?(min_count = 1) tab counts =
+  let n = Intern.Strtab.size tab in
+  let kept = ref [] in
+  for sid = n - 1 downto 0 do
+    if counts.(sid) >= min_count then kept := sid :: !kept
+  done;
+  let sid_of_vid = Array.of_list !kept in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare counts.(b) counts.(a) in
+      if c <> 0 then c
+      else
+        String.compare
+          (Intern.Strtab.to_string tab a)
+          (Intern.Strtab.to_string tab b))
+    sid_of_vid;
+  let vid_of_sid = Array.make (max n 1) (-1) in
+  Array.iteri (fun vid sid -> vid_of_sid.(sid) <- vid) sid_of_vid;
+  let vcounts = Array.map (fun sid -> counts.(sid)) sid_of_vid in
+  {
+    tab;
+    vid_of_sid;
+    sid_of_vid;
+    counts = vcounts;
+    total = Array.fold_left ( + ) 0 vcounts;
+  }
 
-let build ?(min_count = 1) tokens =
-  let freq = Hashtbl.create 1024 in
+let count_into tab counts word =
+  let sid = Intern.Strtab.intern tab word in
+  let a =
+    let a = !counts in
+    if sid < Array.length a then a
+    else begin
+      let b = Array.make (max (2 * Array.length a) (sid + 1)) 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      counts := b;
+      b
+    end
+  in
+  a.(sid) <- a.(sid) + 1;
+  sid
+
+let of_counts ?min_count items =
+  let tab = Intern.Strtab.create ~hint:(max 8 (List.length items)) () in
+  let counts = ref (Array.make (max 8 (List.length items)) 0) in
   List.iter
-    (fun tok ->
-      Hashtbl.replace freq tok
-        (1 + Option.value (Hashtbl.find_opt freq tok) ~default:0))
-    tokens;
-  of_counts ~min_count (Hashtbl.fold (fun w c acc -> (w, c) :: acc) freq [])
+    (fun (w, c) ->
+      let sid = count_into tab counts w in
+      (* [count_into] added 1; duplicates accumulate. *)
+      !counts.(sid) <- !counts.(sid) + c - 1)
+    items;
+  of_strtab ?min_count tab (Array.sub !counts 0 (Intern.Strtab.size tab))
+
+let build ?min_count tokens =
+  let tab = Intern.Strtab.create ~hint:1024 () in
+  let counts = ref (Array.make 1024 0) in
+  List.iter (fun tok -> ignore (count_into tab counts tok)) tokens;
+  of_strtab ?min_count tab (Array.sub !counts 0 (Intern.Strtab.size tab))
 
 let of_items items =
   let n = List.length items in
-  let words = Array.make n "" in
-  let counts = Array.make n 0 in
-  let ids = Hashtbl.create (max n 1) in
+  let tab = Intern.Strtab.create ~hint:(max 8 n) () in
+  let counts = Array.make (max 1 n) 0 in
   List.iteri
     (fun i (w, c) ->
       if c < 0 then invalid_arg "Vocab.of_items: negative count";
-      if Hashtbl.mem ids w then invalid_arg "Vocab.of_items: duplicate word";
-      Hashtbl.add ids w i;
-      words.(i) <- w;
+      if Intern.Strtab.intern tab w <> i then
+        invalid_arg "Vocab.of_items: duplicate word";
       counts.(i) <- c)
     items;
-  { ids; words; counts; total = Array.fold_left ( + ) 0 counts }
+  let ident = Array.init (max 1 n) Fun.id in
+  {
+    tab;
+    vid_of_sid = ident;
+    sid_of_vid = Array.sub ident 0 n;
+    counts;
+    total = Array.fold_left ( + ) 0 counts;
+  }
 
-let size t = Array.length t.words
-let id t w = Hashtbl.find_opt t.ids w
-let word t i = t.words.(i)
+let size t = Array.length t.sid_of_vid
+
+let id t w =
+  match Intern.Strtab.find t.tab w with
+  | None -> None
+  | Some sid ->
+      let v = t.vid_of_sid.(sid) in
+      if v >= 0 then Some v else None
+
+let of_interned t sid =
+  if sid >= 0 && sid < Array.length t.vid_of_sid then t.vid_of_sid.(sid)
+  else -1
+
+let word t i = Intern.Strtab.to_string t.tab t.sid_of_vid.(i)
 let count t i = t.counts.(i)
 let total t = t.total
 
 let items t =
-  Array.to_list (Array.mapi (fun i w -> (w, t.counts.(i))) t.words)
+  Array.to_list (Array.mapi (fun i sid ->
+      (Intern.Strtab.to_string t.tab sid, t.counts.(i))) t.sid_of_vid)

@@ -1,4 +1,9 @@
-(** Word/context vocabularies with frequency counts. *)
+(** Word/context vocabularies with frequency counts.
+
+    Backed by an interned string table: each distinct word is stored
+    once, and callers that counted through a shared {!Intern.Strtab.t}
+    can translate interned ids to vocab ids with {!of_interned} —
+    no string hashing on the remap path. *)
 
 type t
 
@@ -12,6 +17,12 @@ val of_counts : ?min_count:int -> (string * int) list -> t
     is independent of the list order and identical to what [build]
     would produce from the underlying tokens. *)
 
+val of_strtab : ?min_count:int -> Intern.Strtab.t -> int array -> t
+(** [of_strtab tab counts]: the caller interned the corpus into [tab]
+    and counted per interned id; the vocabulary takes ownership of
+    [tab] and assigns ids by the same (count desc, name asc) order as
+    {!of_counts}. *)
+
 val of_items : (string * int) list -> t
 (** Rebuild a vocabulary with exactly the given (word, count) entries,
     ids assigned in list order. Raises [Invalid_argument] on duplicate
@@ -20,6 +31,12 @@ val of_items : (string * int) list -> t
 
 val size : t -> int
 val id : t -> string -> int option
+
+val of_interned : t -> int -> int
+(** Vocab id for an id interned in the table this vocabulary was built
+    over ([of_strtab]'s [tab]); [-1] if filtered by [min_count] or out
+    of range. *)
+
 val word : t -> int -> string
 val count : t -> int -> int
 val total : t -> int

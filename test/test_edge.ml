@@ -86,7 +86,7 @@ let test_deep_nesting () =
   List.iter
     (fun c ->
       check_bool "length respected" true
-        (Astpath.Path.length c.Astpath.Context.path <= 4))
+        (Astpath.Path.length (Astpath.Context.path c) <= 4))
     contexts
 
 let test_long_flat_program () =

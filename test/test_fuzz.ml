@@ -130,7 +130,18 @@ let saved_text save model =
       save model path;
       read_file path)
 
-let crf_model_text =
+let saved_via to_channel model =
+  let path = Filename.temp_file "pigeon_fuzz" ".model" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> to_channel model oc);
+      read_file path)
+
+let crf_model =
   lazy
     (let mk_node id gold kind = { Crf.Graph.id; gold; kind } in
      let g =
@@ -145,9 +156,9 @@ let crf_model_text =
      let config =
        { Crf.Train.default_config with Crf.Train.iterations = 2 }
      in
-     saved_text Crf.Serialize.save (Crf.Train.train ~config [ g; g ]))
+     Crf.Train.train ~config [ g; g ])
 
-let w2v_model_text =
+let w2v_model =
   lazy
     (let pairs =
        [ ("count", "i"); ("count", "n"); ("done", "flag"); ("i", "count") ]
@@ -155,7 +166,21 @@ let w2v_model_text =
      let config =
        { Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 2 }
      in
-     saved_text Word2vec.Serialize.save (Word2vec.Sgns.train ~config pairs))
+     Word2vec.Sgns.train ~config pairs)
+
+(* [save] writes the v3 binary format; the v2 text writers are kept so
+   mutations of both formats stay under fuzz. *)
+let crf_model_text =
+  lazy (saved_text Crf.Serialize.save (Lazy.force crf_model))
+
+let crf_model_text_v2 =
+  lazy (saved_via Crf.Serialize.to_channel_v2 (Lazy.force crf_model))
+
+let w2v_model_text =
+  lazy (saved_text Word2vec.Serialize.save (Lazy.force w2v_model))
+
+let w2v_model_text_v2 =
+  lazy (saved_via Word2vec.Serialize.to_channel_v2 (Lazy.force w2v_model))
 
 let loader_total load s = match load s with Ok _ | Error _ -> true
 
@@ -163,13 +188,19 @@ let loader_tests =
   [
     QCheck.Test.make ~count ~name:"crf loader total on random bytes" bytes_arb
       (loader_total (Crf.Serialize.of_string ~source:"<fuzz>"));
-    QCheck.Test.make ~count ~name:"crf loader total on mutated models"
+    QCheck.Test.make ~count ~name:"crf loader total on mutated v3 models"
       (mutated_arb [ Lazy.force crf_model_text ])
+      (loader_total (Crf.Serialize.of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count ~name:"crf loader total on mutated v2 text models"
+      (mutated_arb [ Lazy.force crf_model_text_v2 ])
       (loader_total (Crf.Serialize.of_string ~source:"<fuzz>"));
     QCheck.Test.make ~count ~name:"w2v loader total on random bytes" bytes_arb
       (loader_total (Word2vec.Serialize.of_string ~source:"<fuzz>"));
-    QCheck.Test.make ~count ~name:"w2v loader total on mutated models"
+    QCheck.Test.make ~count ~name:"w2v loader total on mutated v3 models"
       (mutated_arb [ Lazy.force w2v_model_text ])
+      (loader_total (Word2vec.Serialize.of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count ~name:"w2v loader total on mutated v2 text models"
+      (mutated_arb [ Lazy.force w2v_model_text_v2 ])
       (loader_total (Word2vec.Serialize.of_string ~source:"<fuzz>"));
   ]
 
@@ -242,7 +273,44 @@ let test_loader_pathological () =
       Alcotest.(check bool)
         "w2v loader total" true
         (loader_total (Word2vec.Serialize.of_string ~source:"<t>") s))
-    [ ""; "\n\n\n"; giant_line; "pigeon-crf-model 99\n"; "\x00\x01\x02" ]
+    [
+      "";
+      "\n\n\n";
+      giant_line;
+      "pigeon-crf-model 99\n";
+      "\x00\x01\x02";
+      (* v3 magic with empty, truncated, or garbage binary bodies *)
+      "pigeon-crf-model 3\n";
+      "pigeon-w2v-model 3\n";
+      "pigeon-crf-model 3\n\x01\x08";
+      "pigeon-crf-model 3\n" ^ String.make 64 '\xff';
+      "pigeon-w2v-model 3\n" ^ String.make 64 '\x00';
+    ]
+
+(* Every single-byte corruption of a v3 file must be rejected with a
+   structured diagnostic: framing errors catch structural damage, the
+   end-section checksum catches flips inside float or count payloads
+   that framing alone cannot see. *)
+let test_v3_bit_flips () =
+  let flip_all name load text =
+    String.iteri
+      (fun i _ ->
+        let b = Bytes.of_string text in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x04));
+        match load (Bytes.to_string b) with
+        | Ok _ -> Alcotest.failf "%s: flipped byte %d accepted" name i
+        | Error d ->
+            if d.Lexkit.Diag.kind <> Lexkit.Diag.Corrupt_model then
+              Alcotest.failf "%s: flipped byte %d: unexpected %s" name i
+                (Lexkit.Diag.to_string d))
+      text
+  in
+  flip_all "crf"
+    (Crf.Serialize.of_string ~source:"<flip>")
+    (Lazy.force crf_model_text);
+  flip_all "w2v"
+    (Word2vec.Serialize.of_string ~source:"<flip>")
+    (Lazy.force w2v_model_text)
 
 (* ---------- end-to-end: corrupt corpus, exact skip tally ---------- *)
 
@@ -295,6 +363,8 @@ let () =
             test_unterminated_string;
           Alcotest.test_case "loader pathological" `Quick
             test_loader_pathological;
+          Alcotest.test_case "v3 single-byte corruption" `Quick
+            test_v3_bit_flips;
         ] );
       ( "fault-injection",
         [

@@ -113,8 +113,8 @@ let render (a, b, va, vb, p) =
 
 let render_ctx (c : Context.t) =
   Printf.sprintf "%d|%d|%s|%s|%s" c.Context.start_node c.Context.end_node
-    c.Context.start_value c.Context.end_value
-    (Path.to_string c.Context.path)
+    (Context.start_value c) (Context.end_value c)
+    (Path.to_string (Context.path c))
 
 let check_equiv name idx cfg =
   let expected = List.map render (Ref.leaf_pairs idx cfg) in
@@ -233,6 +233,34 @@ let fig_case () =
         configs)
     fig_trees
 
+(* The interned representation must render exactly what the seed's
+   string-holding contexts printed: ⟨start, path, end⟩ composed from
+   the string views, arrows and all. *)
+let to_string_case () =
+  List.iter
+    (fun (name, tree) ->
+      let idx = Ast.Index.build tree in
+      List.iter
+        (fun (cname, cfg) ->
+          List.iter
+            (fun (c : Context.t) ->
+              let seed =
+                Printf.sprintf "\xe2\x9f\xa8%s, %s, %s\xe2\x9f\xa9"
+                  (Context.start_value c)
+                  (Path.to_string (Context.path c))
+                  (Context.end_value c)
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s %s: to_string" name cname)
+                seed (Context.to_string c);
+              Alcotest.(check string)
+                (Printf.sprintf "%s %s: pp" name cname)
+                seed
+                (Format.asprintf "%a" Context.pp c))
+            (Extract.leaf_pairs idx cfg @ Extract.semi_paths idx cfg))
+        configs)
+    fig_trees
+
 (* ---------- property: equivalence on random trees ---------- *)
 
 let gen_tree =
@@ -272,6 +300,7 @@ let suite =
   [
     ( "golden",
       Alcotest.test_case "paper figure trees" `Quick fig_case
+      :: Alcotest.test_case "context rendering vs seed" `Quick to_string_case
       :: List.map
            (fun (lang : Pigeon.Lang.t) ->
              Alcotest.test_case

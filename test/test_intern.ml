@@ -1,0 +1,186 @@
+(* The shared interning layer: dense string ids, guarded id budgets
+   for the bit-packed key spaces, and hash-consing. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* ---------- Strtab ---------- *)
+
+let test_strtab_basic () =
+  let t = Intern.Strtab.create () in
+  check_int "first id" 0 (Intern.Strtab.intern t "alpha");
+  check_int "second id" 1 (Intern.Strtab.intern t "beta");
+  check_int "stable" 0 (Intern.Strtab.intern t "alpha");
+  check_int "size" 2 (Intern.Strtab.size t);
+  check_str "reverse" "beta" (Intern.Strtab.to_string t 1);
+  check_bool "find hit" true (Intern.Strtab.find t "beta" = Some 1);
+  check_bool "find miss allocates nothing" true
+    (Intern.Strtab.find t "gamma" = None && Intern.Strtab.size t = 2)
+
+let test_strtab_growth () =
+  (* Far past the initial capacity: ids stay dense and reversible. *)
+  let t = Intern.Strtab.create ~hint:2 () in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    check_int "dense id" i (Intern.Strtab.intern t (string_of_int i))
+  done;
+  check_int "size" n (Intern.Strtab.size t);
+  for i = 0 to n - 1 do
+    check_str "reverse survives growth" (string_of_int i)
+      (Intern.Strtab.to_string t i)
+  done;
+  (* Re-interning after growth returns the original ids. *)
+  check_int "stable after growth" 4242 (Intern.Strtab.intern t "4242")
+
+let test_strtab_out_of_range () =
+  let t = Intern.Strtab.create () in
+  ignore (Intern.Strtab.intern t "x");
+  check_bool "negative id rejected" true
+    (match Intern.Strtab.to_string t (-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "past-end id rejected" true
+    (match Intern.Strtab.to_string t 1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_strtab_snapshot () =
+  let t = Intern.Strtab.create () in
+  List.iter
+    (fun s -> ignore (Intern.Strtab.intern t s))
+    [ "a"; "b with space"; "\x1f\x00"; "d" ];
+  let snap = Intern.Strtab.snapshot t in
+  let t' = Intern.Strtab.of_snapshot snap in
+  check_int "same size" (Intern.Strtab.size t) (Intern.Strtab.size t');
+  Array.iteri
+    (fun i s ->
+      check_str "same id order" s (Intern.Strtab.to_string t' i);
+      check_bool "lookup restored" true (Intern.Strtab.find t' s = Some i))
+    snap;
+  check_bool "duplicate snapshot rejected" true
+    (match Intern.Strtab.of_snapshot [| "x"; "y"; "x" |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- guarded interning (packed-key budgets) ---------- *)
+
+let test_guard_boundary () =
+  let t = Intern.Strtab.create () in
+  let limit = 4 in
+  let g s = Intern.Strtab.intern_guarded t ~limit ~what:"test label" s in
+  for i = 0 to limit - 1 do
+    check_int "ids below the limit" i (g (string_of_int i))
+  done;
+  (* Existing strings re-intern fine even when the budget is full. *)
+  check_int "re-intern at the boundary" 2 (g "2");
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "one past the limit fails" true
+    (match g "overflow" with
+    | exception Failure msg ->
+        (* The message must name the id space and the budget. *)
+        contains msg "test label" && contains msg "4"
+    | _ -> false);
+  check_int "failed intern allocates no id" limit (Intern.Strtab.size t)
+
+let test_symbols_label_boundary () =
+  (* The real CRF budget: label ids must fit the 18-bit field of the
+     packed pairwise key. Interning 2^18 labels succeeds; one more
+     distinct label must fail with the diagnostic, not wrap. *)
+  let syms = Crf.Symbols.create () in
+  let n = 1 lsl 18 in
+  for i = 0 to n - 1 do
+    ignore (Crf.Symbols.label syms ("l" ^ string_of_int i))
+  done;
+  check_int "full budget interned" n (Crf.Symbols.num_labels syms);
+  check_bool "existing label still resolves" true
+    (Crf.Symbols.find_label syms "l0" = Some 0);
+  check_bool "2^18-th distinct label fails" true
+    (match Crf.Symbols.label syms "one too many" with
+    | exception Failure _ -> true
+    | _ -> false);
+  (* Relations share the guard with a 24-bit budget; exercise the
+     mechanism (the full 16M-id sweep is too slow for a unit test). *)
+  check_int "rel ids independent" 0 (Crf.Symbols.rel syms "r0")
+
+(* ---------- Hashcons ---------- *)
+
+let key_hash (a : int array) = Hashtbl.hash a
+
+let probe_key t (k : int array) =
+  Intern.Hashcons.probe t ~hash:(key_hash k)
+    ~equal:(fun id -> Intern.Hashcons.get t id = k)
+    ~build:(fun () -> k)
+
+let test_hashcons_dedup () =
+  let t = Intern.Hashcons.create () in
+  let id1 = probe_key t [| 1; 2; 3 |] in
+  let id2 = probe_key t [| 1; 2; 3 |] in
+  let id3 = probe_key t [| 1; 2; 4 |] in
+  check_int "same value, same id" id1 id2;
+  check_bool "distinct value, distinct id" true (id2 <> id3);
+  check_int "two distinct values stored" 2 (Intern.Hashcons.size t);
+  check_bool "get returns the canonical value" true
+    (Intern.Hashcons.get t id1 = [| 1; 2; 3 |])
+
+let test_hashcons_build_only_on_miss () =
+  let t = Intern.Hashcons.create () in
+  let builds = ref 0 in
+  let probe k =
+    Intern.Hashcons.probe t ~hash:(key_hash k)
+      ~equal:(fun id -> Intern.Hashcons.get t id = k)
+      ~build:(fun () ->
+        incr builds;
+        k)
+  in
+  ignore (probe [| 7 |]);
+  ignore (probe [| 7 |]);
+  ignore (probe [| 7 |]);
+  ignore (probe [| 8 |]);
+  check_int "build called once per distinct value" 2 !builds
+
+let test_hashcons_growth () =
+  let t = Intern.Hashcons.create ~hint:2 () in
+  let n = 5_000 in
+  for i = 0 to n - 1 do
+    check_int "dense ids" i (probe_key t [| i; i * 2 |])
+  done;
+  check_int "size" n (Intern.Hashcons.size t);
+  (* Every stored value still reachable by re-probe after growth. *)
+  check_int "re-probe after growth" 1234 (probe_key t [| 1234; 2468 |]);
+  let seen = ref 0 in
+  Intern.Hashcons.iter
+    (fun id v ->
+      if v.(0) <> id then Alcotest.failf "iter out of id order at %d" id;
+      incr seen)
+    t;
+  check_int "iter covers all" n !seen
+
+let () =
+  Alcotest.run "intern"
+    [
+      ( "strtab",
+        [
+          Alcotest.test_case "basic interning" `Quick test_strtab_basic;
+          Alcotest.test_case "growth" `Quick test_strtab_growth;
+          Alcotest.test_case "out-of-range ids" `Quick test_strtab_out_of_range;
+          Alcotest.test_case "snapshot round-trip" `Quick test_strtab_snapshot;
+        ] );
+      ( "guards",
+        [
+          Alcotest.test_case "guard boundary" `Quick test_guard_boundary;
+          Alcotest.test_case "symbols 18-bit label budget" `Quick
+            test_symbols_label_boundary;
+        ] );
+      ( "hashcons",
+        [
+          Alcotest.test_case "dedup" `Quick test_hashcons_dedup;
+          Alcotest.test_case "build only on miss" `Quick
+            test_hashcons_build_only_on_miss;
+          Alcotest.test_case "growth" `Quick test_hashcons_growth;
+        ] );
+    ]

@@ -231,11 +231,11 @@ let prop_scorer_matches_node_score =
       let m, g, eg, cand = Lazy.force scorer_fixture in
       let unknowns = Crf.Fast.unknown_nodes eg in
       let k = Array.length unknowns in
-      let labels = Crf.Fast.labels m in
+      let syms = Crf.Fast.symbols m in
       let assignment =
         Array.map
           (fun (nd : Crf.Graph.node) ->
-            Crf.Fast.Interner.intern labels nd.Crf.Graph.gold)
+            Crf.Symbols.label syms nd.Crf.Graph.gold)
           g.Crf.Graph.nodes
       in
       Array.iteri

@@ -287,7 +287,7 @@ let test_lower_flag_path () =
   let c = Astpath.Context.make ~idx ~start_node:a ~end_node:b in
   check_string "while-if-assign path"
     "NameExpr\xe2\x86\x91UnaryExpr!\xe2\x86\x91WhileStmt\xe2\x86\x93IfStmt\xe2\x86\x93AssignExpr=\xe2\x86\x93NameExpr"
-    (Astpath.Path.to_string c.Astpath.Context.path)
+    (Astpath.Path.to_string (Astpath.Context.path c))
 
 let test_lower_type_tags () =
   let src =

@@ -184,7 +184,7 @@ let test_lower_fig1_path () =
   let c = Astpath.Context.make ~idx ~start_node:a ~end_node:b in
   check_string "paper path I"
     "SymbolRef\xe2\x86\x91UnaryPrefix!\xe2\x86\x91While\xe2\x86\x93If\xe2\x86\x93Assign=\xe2\x86\x93SymbolRef"
-    (Astpath.Path.to_string c.Astpath.Context.path)
+    (Astpath.Path.to_string (Astpath.Context.path c))
 
 let test_lower_example45 () =
   let tree = Lower.program (Parser.parse "var item = array[i];") in
@@ -194,7 +194,7 @@ let test_lower_example45 () =
   let c = Astpath.Context.make ~idx ~start_node:item ~end_node:array in
   check_string "paper example 4.5"
     "SymbolVar\xe2\x86\x91VarDef\xe2\x86\x93Sub\xe2\x86\x93SymbolRef"
-    (Astpath.Path.to_string c.Astpath.Context.path)
+    (Astpath.Path.to_string (Astpath.Context.path c))
 
 let binder_of idx v =
   match Ast.Index.sort idx (List.hd (Ast.Index.terminals_with_value idx v)) with

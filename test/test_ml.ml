@@ -322,19 +322,21 @@ let test_reference_top_k_sorted () =
 (* ---------- fast engine internals ---------- *)
 
 let test_interner () =
-  let t = Crf.Fast.Interner.create () in
-  let a = Crf.Fast.Interner.intern t "alpha" in
-  let b = Crf.Fast.Interner.intern t "beta" in
+  let t = Crf.Symbols.create () in
+  let a = Crf.Symbols.label t "alpha" in
+  let b = Crf.Symbols.label t "beta" in
   check_int "distinct ids" 1 (abs (a - b));
-  check_int "stable" a (Crf.Fast.Interner.intern t "alpha");
-  check_string "reverse" "alpha" (Crf.Fast.Interner.to_string t a);
-  check_int "size" 2 (Crf.Fast.Interner.size t);
+  check_int "stable" a (Crf.Symbols.label t "alpha");
+  check_string "reverse" "alpha" (Crf.Symbols.label_string t a);
+  check_int "size" 2 (Crf.Symbols.num_labels t);
   (* growth beyond the initial capacity *)
   for i = 0 to 600 do
-    ignore (Crf.Fast.Interner.intern t (string_of_int i))
+    ignore (Crf.Symbols.label t (string_of_int i))
   done;
-  check_int "grown" 603 (Crf.Fast.Interner.size t);
-  check_string "still stable" "beta" (Crf.Fast.Interner.to_string t b)
+  check_int "grown" 603 (Crf.Symbols.num_labels t);
+  check_string "still stable" "beta" (Crf.Symbols.label_string t b);
+  (* relation ids live in their own space *)
+  check_int "rel space" 0 (Crf.Symbols.rel t "alpha")
 
 let test_export_weights () =
   (* The exported string-keyed weights must rank the gold label first

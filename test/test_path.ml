@@ -77,9 +77,9 @@ let test_context_fig1 () =
   let c = Context.make ~idx ~start_node:a ~end_node:b in
   check_string "paper path I"
     "SymbolRef\xe2\x86\x91UnaryPrefix!\xe2\x86\x91While\xe2\x86\x93If\xe2\x86\x93Assign=\xe2\x86\x93SymbolRef"
-    (Path.to_string c.Context.path);
-  check_string "start value" "d" c.Context.start_value;
-  check_string "end value" "d" c.Context.end_value
+    (Path.to_string (Context.path c));
+  check_string "start value" "d" (Context.start_value c);
+  check_string "end value" "d" (Context.end_value c)
 
 let test_context_fig4 () =
   (* ⟨item, SymbolVar ↑ VarDef ↓ Sub ↓ SymbolRef, array⟩ *)
@@ -89,7 +89,7 @@ let test_context_fig4 () =
   let c = Context.make ~idx ~start_node:item ~end_node:array in
   check_string "paper Example 4.5"
     "SymbolVar\xe2\x86\x91VarDef\xe2\x86\x93Sub\xe2\x86\x93SymbolRef"
-    (Path.to_string c.Context.path)
+    (Path.to_string (Context.path c))
 
 let test_context_reverse () =
   let idx = Ast.Index.build fig4 in
@@ -97,10 +97,10 @@ let test_context_reverse () =
   let i = List.hd (Ast.Index.terminals_with_value idx "i") in
   let c = Context.make ~idx ~start_node:item ~end_node:i in
   let r = Context.reverse c in
-  check_string "swap start" "i" r.Context.start_value;
-  check_string "swap end" "item" r.Context.end_value;
+  check_string "swap start" "i" (Context.start_value r);
+  check_string "swap end" "item" (Context.end_value r);
   check_bool "path reversed" true
-    (Path.equal (Path.reverse c.Context.path) r.Context.path)
+    (Path.equal (Path.reverse (Context.path c)) (Context.path r))
 
 let cfg ?semi l w = Config.make ?include_semi_paths:semi ~max_length:l ~max_width:w ()
 
@@ -144,7 +144,7 @@ let test_semi_paths () =
   List.iter
     (fun (c : Context.t) ->
       check_bool "pure up" true
-        (Array.for_all (fun d -> d = Path.Up) (Path.dirs c.Context.path)))
+        (Array.for_all (fun d -> d = Path.Up) (Path.dirs (Context.path c))))
     semis;
   let short = Extract.semi_paths idx (cfg 1 10) in
   check_int "length-limited" 3 (List.length short)
@@ -164,7 +164,7 @@ let test_leaf_to_node () =
   List.iter
     (fun (c : Context.t) ->
       check_int "target is end" sub c.Context.end_node;
-      check_string "end value is label" "Sub" c.Context.end_value)
+      check_string "end value is label" "Sub" (Context.end_value c))
     cs
 
 let test_star () =
@@ -247,7 +247,7 @@ let test_star_orientation () =
       List.iter
         (fun (c : Context.t) ->
           check_int "anchored node" anchor c.Context.start_node;
-          check_string "anchored value" value c.Context.start_value)
+          check_string "anchored value" value (Context.start_value c))
         star)
     [ (item, "item"); (i, "i") ]
 
@@ -265,8 +265,8 @@ let test_limit_boundaries_inclusive () =
   let has_ad c =
     List.exists
       (fun (x : Context.t) ->
-        String.equal x.Context.start_value "a"
-        && String.equal x.Context.end_value "d")
+        String.equal (Context.start_value x) "a"
+        && String.equal (Context.end_value x) "d")
       (Extract.leaf_pairs idx c)
   in
   check_bool "len = max_length kept" true (has_ad (cfg 4 3));
@@ -351,7 +351,7 @@ let prop_limits_respected =
             Ast.Index.width_between idx ~lca:l ctx.Context.start_node
               ctx.Context.end_node
           in
-          Path.length ctx.Context.path <= c.Config.max_length
+          Path.length (Context.path ctx) <= c.Config.max_length
           && w <= c.Config.max_width)
         (Extract.leaf_pairs idx c))
 
@@ -368,7 +368,7 @@ let prop_path_length_matches_depth =
             + Ast.Index.depth idx ctx.Context.end_node
             - (2 * Ast.Index.depth idx l)
           in
-          Path.length ctx.Context.path = expected)
+          Path.length (Context.path ctx) = expected)
         (Extract.leaf_pairs idx c))
 
 let prop_monotone_in_length =
@@ -390,7 +390,7 @@ let prop_abstraction_refines =
       let idx = Ast.Index.build t in
       let paths =
         List.map
-          (fun (c : Context.t) -> c.Context.path)
+          (fun (c : Context.t) -> (Context.path c))
           (Extract.leaf_pairs idx (Config.make ~max_length:12 ~max_width:8 ()))
       in
       let distinct a =
@@ -421,7 +421,7 @@ let prop_reverse_involution =
       let idx = Ast.Index.build t in
       List.for_all
         (fun (c : Context.t) ->
-          Path.equal c.Context.path (Path.reverse (Path.reverse c.Context.path)))
+          Path.equal (Context.path c) (Path.reverse (Path.reverse (Context.path c))))
         (Extract.leaf_pairs idx (Config.make ~max_length:10 ~max_width:8 ())))
 
 let prop_downsample_subset =

@@ -164,11 +164,30 @@ let test_trailing_garbage_detected () =
       check_bool "appended record is a corrupt-model error" true
         (diag_kind (Crf.Serialize.load path) = Lexkit.Diag.Corrupt_model))
 
+let save_v2 to_channel_v2 model path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> to_channel_v2 model oc)
+
+let test_v2_compat () =
+  (* The v2 text writer is kept for fixtures; its output must still
+     load into an equivalent model. *)
+  let model = train () in
+  with_temp_file ".crf" (fun path ->
+      save_v2 Crf.Serialize.to_channel_v2 model path;
+      let model' = Crf.Serialize.load_exn path in
+      List.iter
+        (fun g ->
+          check_bool "v2 file predicts identically" true
+            (Crf.Train.predict model g = Crf.Train.predict model' g))
+        (graphs ~n:40 ~seed:10))
+
 let test_v1_compat () =
   (* A version-1 file is a version-2 file minus the trailer. *)
   let model = train () in
   with_temp_file ".crf" (fun path ->
-      Crf.Serialize.save model path;
+      save_v2 Crf.Serialize.to_channel_v2 model path;
       let lines = String.split_on_char '\n' (read_file path) in
       let v1 =
         List.filter
@@ -183,6 +202,29 @@ let test_v1_compat () =
       let g = List.hd (graphs ~n:1 ~seed:11) in
       check_bool "v1 file predicts identically" true
         (Crf.Train.predict model g = Crf.Train.predict model' g))
+
+let test_v3_byte_identical_roundtrip () =
+  let model = train () in
+  with_temp_file ".crf" (fun path ->
+      Crf.Serialize.save model path;
+      let bytes = read_file path in
+      check_bool "writes the v3 magic" true
+        (String.length bytes > 19 && String.sub bytes 0 19 = "pigeon-crf-model 3\n");
+      let model' = Crf.Serialize.load_exn path in
+      check_bool "save(load(save)) is byte-identical" true
+        (String.equal bytes (Crf.Serialize.to_string model')))
+
+let test_v3_midfile_corruption () =
+  (* A single flipped bit deep inside a section payload is invisible
+     to the framing; the end-section checksum still rejects it. *)
+  let model = train () in
+  let bytes = Crf.Serialize.to_string model in
+  let b = Bytes.of_string bytes in
+  let i = String.length bytes / 2 in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+  check_bool "flipped payload bit is corrupt-model" true
+    (diag_kind (Crf.Serialize.of_string (Bytes.to_string b))
+    = Lexkit.Diag.Corrupt_model)
 
 let test_of_string_roundtrip () =
   let model = train () in
@@ -264,6 +306,38 @@ let test_w2v_truncation_detected () =
       check_bool "truncation is a corrupt-model error" true
         (diag_kind (Word2vec.Serialize.load path) = Lexkit.Diag.Corrupt_model))
 
+let test_w2v_v2_compat () =
+  let model =
+    Word2vec.Sgns.train
+      ~config:{ Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 10 }
+      (sgns_pairs ~n:800 ~seed:8)
+  in
+  with_temp_file ".w2v" (fun path ->
+      save_v2 Word2vec.Serialize.to_channel_v2 model path;
+      let model' = Word2vec.Serialize.load_exn path in
+      check_bool "v2 file ranks identically" true
+        (List.map fst (Word2vec.Sgns.predict model [ "loop ctx" ])
+        = List.map fst (Word2vec.Sgns.predict model' [ "loop ctx" ])))
+
+let test_w2v_v3_byte_identical_roundtrip () =
+  let model =
+    Word2vec.Sgns.train
+      ~config:{ Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 2 }
+      (sgns_pairs ~n:300 ~seed:9)
+  in
+  with_temp_file ".w2v" (fun path ->
+      Word2vec.Serialize.save model path;
+      let bytes = read_file path in
+      check_bool "writes the v3 magic" true
+        (String.length bytes > 19 && String.sub bytes 0 19 = "pigeon-w2v-model 3\n");
+      let model' = Word2vec.Serialize.load_exn path in
+      check_bool "save(load(save)) is byte-identical" true
+        (String.equal bytes (Word2vec.Serialize.to_string model'));
+      (* Binary floats round-trip exactly, not through decimal. *)
+      check_bool "vectors bitwise identical" true
+        (model.Word2vec.Sgns.word_vecs = model'.Word2vec.Sgns.word_vecs
+        && model.Word2vec.Sgns.context_vecs = model'.Word2vec.Sgns.context_vecs))
+
 let test_w2v_trailing_garbage_detected () =
   let model =
     Word2vec.Sgns.train
@@ -286,6 +360,9 @@ let suite =
         Alcotest.test_case "malformed input" `Quick test_w2v_malformed;
         Alcotest.test_case "truncation detected" `Quick test_w2v_truncation_detected;
         Alcotest.test_case "trailing garbage detected" `Quick test_w2v_trailing_garbage_detected;
+        Alcotest.test_case "v2 compatibility" `Quick test_w2v_v2_compat;
+        Alcotest.test_case "v3 byte-identical round-trip" `Quick
+          test_w2v_v3_byte_identical_roundtrip;
       ] );
     ( "serialize",
       [
@@ -300,6 +377,11 @@ let suite =
         Alcotest.test_case "truncation detected" `Quick test_truncation_detected;
         Alcotest.test_case "trailing garbage detected" `Quick test_trailing_garbage_detected;
         Alcotest.test_case "v1 compatibility" `Quick test_v1_compat;
+        Alcotest.test_case "v2 compatibility" `Quick test_v2_compat;
+        Alcotest.test_case "v3 byte-identical round-trip" `Quick
+          test_v3_byte_identical_roundtrip;
+        Alcotest.test_case "v3 mid-file corruption" `Quick
+          test_v3_midfile_corruption;
         Alcotest.test_case "of_string round-trip" `Quick test_of_string_roundtrip;
       ] );
   ]
