@@ -2006,6 +2006,153 @@ let micro () =
     results;
   extract_bench ()
 
+(* ---------- serve daemon throughput (BENCH_serve.json) ---------- *)
+
+(* N concurrent clients hammer a live daemon over a Unix socket with a
+   mixed well-formed/hostile request stream, measuring sustained
+   requests/sec and per-request latency (p50/p99). Hostile requests
+   must come back as structured errors without slowing the daemon
+   down — the isolation story under load, not just in unit tests.
+   Floors (full runs only): rps >= 30 and p99 <= 500 ms with 4
+   clients. Results go to BENCH_serve.json. *)
+let serve_bench () =
+  header "SERVE: daemon throughput and latency under concurrent clients";
+  let lang = Pigeon.Lang.javascript in
+  let train, test = corpus_for lang ~n:(scaled 160) in
+  let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+  let graphs =
+    Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals
+      train
+  in
+  let model = Crf.Train.train ~config:(crf_config 4) graphs in
+  let engine = Serve.Engine.create ~model () in
+  let pool = Parallel.create () in
+  let sock = Filename.temp_file "pigeon-bench" ".sock" in
+  Sys.remove sock;
+  let cfg =
+    { Serve.Server.default_config with Serve.Server.unix_socket = Some sock }
+  in
+  let server = Serve.Server.start ~pool engine cfg in
+  let sources =
+    match List.map snd test with
+    | [] -> [| "var fallback = 1; var other = fallback + 1;\n" |]
+    | xs -> Array.of_list xs
+  in
+  let predict_line ~id code =
+    Serve.Json.to_string
+      (Serve.Json.Obj
+         [ ("op", Serve.Json.Str "predict");
+           ("id", Serve.Json.Num (float_of_int id));
+           ("lang", Serve.Json.Str lang.Pigeon.Lang.name);
+           ("code", Serve.Json.Str code) ])
+  in
+  let hostile_code =
+    "function f(){ return " ^ String.make 4_000 '(' ^ "1"
+    ^ String.make 4_000 ')' ^ "; }\n"
+  in
+  (* byte-identity spot check before the timed burst: the daemon reply
+     equals Engine.handle's for the same request bytes *)
+  (let c = Serve.Client.connect_unix sock in
+   let line = predict_line ~id:0 sources.(0) in
+   (match Serve.Client.request c line with
+   | Some reply ->
+       let direct =
+         match Serve.Protocol.request_of_line line with
+         | Ok r -> Serve.Engine.handle engine r
+         | Error _ -> assert false
+       in
+       if not (String.equal reply direct) then
+         failwith "serve bench: daemon reply differs from Engine.handle"
+   | None -> failwith "serve bench: daemon closed the spot-check connection");
+   Serve.Client.close c);
+  let n_clients = 4 in
+  let per_client = if !quick then 15 else 60 in
+  let lat = Array.make (n_clients * per_client) 0.0 in
+  let oks = Array.make n_clients 0 and errs = Array.make n_clients 0 in
+  let n_hostile = ref 0 in
+  let client k =
+    let c = Serve.Client.connect_unix sock in
+    for i = 0 to per_client - 1 do
+      let id = (k * per_client) + i in
+      let hostile = id mod 7 = 3 in
+      let line =
+        if hostile then predict_line ~id hostile_code
+        else predict_line ~id sources.(id mod Array.length sources)
+      in
+      let t0 = Unix.gettimeofday () in
+      match Serve.Client.request c line with
+      | Some reply ->
+          lat.(id) <- Unix.gettimeofday () -. t0;
+          if Serve.Protocol.reply_ok reply then oks.(k) <- oks.(k) + 1
+          else errs.(k) <- errs.(k) + 1;
+          if hostile && Serve.Protocol.reply_ok reply then
+            failwith "serve bench: hostile request accepted"
+      | None -> failwith "serve bench: daemon dropped a client"
+    done;
+    Serve.Client.close c
+  in
+  List.iter
+    (fun id -> if id mod 7 = 3 then incr n_hostile)
+    (List.init (n_clients * per_client) Fun.id);
+  let wall0 = Unix.gettimeofday () in
+  let threads = List.init n_clients (fun k -> Thread.create client k) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. wall0 in
+  let stats = Serve.Server.stats server in
+  Serve.Server.request_stop server;
+  Serve.Server.wait server;
+  Parallel.shutdown pool;
+  let total = n_clients * per_client in
+  let ok_total = Array.fold_left ( + ) 0 oks
+  and err_total = Array.fold_left ( + ) 0 errs in
+  if err_total < !n_hostile then
+    failwith "serve bench: some hostile requests did not error";
+  if ok_total + err_total <> total then
+    failwith "serve bench: lost replies";
+  let rps = float_of_int total /. wall in
+  Array.sort compare lat;
+  let pctl p =
+    lat.(min (total - 1) (int_of_float (p *. float_of_int total))) *. 1000.
+  in
+  let p50 = pctl 0.50 and p99 = pctl 0.99 in
+  Printf.printf
+    "%d clients x %d requests (%d hostile): %.1f req/s, p50 %.1f ms, p99 %.1f \
+     ms, %d batches (max %d)\n\
+     %!"
+    n_clients per_client !n_hostile rps p50 p99 stats.Serve.Protocol.batches
+    stats.Serve.Protocol.max_batch;
+  let rps_floor = 30.0 and p99_floor_ms = 500.0 in
+  let floor_enforced = not !quick in
+  if floor_enforced then begin
+    if rps < rps_floor then
+      failwith
+        (Printf.sprintf "serve throughput %.1f req/s < floor %.1f" rps
+           rps_floor);
+    if p99 > p99_floor_ms then
+      failwith
+        (Printf.sprintf "serve p99 %.1f ms > floor %.1f ms" p99 p99_floor_ms)
+  end
+  else Printf.printf "latency floors not enforced (--quick)\n%!";
+  let oc = open_out "BENCH_serve.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"clients\": %d,\n  \"requests_per_client\": %d,\n"
+    n_clients per_client;
+  Printf.fprintf oc "  \"hostile_requests\": %d,\n" !n_hostile;
+  Printf.fprintf oc "  \"ok_replies\": %d,\n  \"error_replies\": %d,\n"
+    ok_total err_total;
+  Printf.fprintf oc "  \"jobs\": %d,\n" stats.Serve.Protocol.jobs;
+  Printf.fprintf oc "  \"batches\": %d,\n  \"max_batch\": %d,\n"
+    stats.Serve.Protocol.batches stats.Serve.Protocol.max_batch;
+  Printf.fprintf oc "  \"rps\": %.2f,\n  \"p50_ms\": %.2f,\n  \"p99_ms\": %.2f,\n"
+    rps p50 p99;
+  Printf.fprintf oc "  \"rps_floor\": %.1f,\n  \"p99_floor_ms\": %.1f,\n"
+    rps_floor p99_floor_ms;
+  Printf.fprintf oc "  \"floors_enforced\": %b\n" floor_enforced;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_serve.json\n%!"
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -2023,6 +2170,7 @@ let experiments =
     ("parallel", parallel_bench);
     ("train", train_bench);
     ("intern", intern_bench);
+    ("serve", serve_bench);
     ("micro", micro);
   ]
 

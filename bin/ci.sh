@@ -13,9 +13,13 @@
 # round-trips byte-identically and both loads predict identically;
 # full runs also enforce the encode/load floors and refresh
 # BENCH_intern.json), the v3 round-trip/corruption tests (part of
-# test_serialize, run under dune runtest), and the micro benchmark
+# test_serialize, run under dune runtest), the micro benchmark
 # (which also regenerates BENCH_extract.json and checks the iterator
-# engine against the naive baseline corpus-wide).
+# engine against the naive baseline corpus-wide), the serve tests
+# (hostile-request isolation, daemon byte-identity), a live daemon
+# smoke (train a model, start `pigeon serve` on a Unix socket, mixed
+# well-formed/hostile burst through `pigeon client`, clean shutdown),
+# and the quick serve throughput bench.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,3 +35,64 @@ dune exec test/test_serialize.exe
 dune exec test/test_intern.exe
 dune exec bench/main.exe -- --quick intern
 dune exec bench/main.exe -- --quick micro
+
+# ---- serve: unit/integration tests, live daemon smoke, quick bench ----
+dune exec test/test_serve.exe
+
+SMOKE_DIR=$(mktemp -d /tmp/pigeon-ci-serve.XXXXXX)
+SERVE_PID=""
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$SMOKE_DIR"
+}
+trap cleanup EXIT
+
+dune exec bin/pigeon_cli.exe -- train --files 60 -j 1 "$SMOKE_DIR/model.crf"
+dune exec bin/pigeon_cli.exe -- gen --files 3 "$SMOKE_DIR/corpus"
+
+SOCK="$SMOKE_DIR/pigeon.sock"
+dune exec bin/pigeon_cli.exe -- serve --model "$SMOKE_DIR/model.crf" \
+  --socket "$SOCK" -j 1 --max-input-bytes 65536 2>"$SMOKE_DIR/serve.log" &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "serve smoke: daemon never bound $SOCK" >&2
+    cat "$SMOKE_DIR/serve.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+client() { dune exec bin/pigeon_cli.exe -- client --socket "$SOCK" "$@"; }
+
+client --op ping
+for f in "$SMOKE_DIR"/corpus/*.js; do
+  client "$f"
+done
+# hostile: an input over the daemon's --max-input-bytes budget must
+# come back as a structured error (client exit 3), not a dead daemon
+head -c 100000 /dev/zero | tr '\0' 'x' >"$SMOKE_DIR/huge.js"
+if client "$SMOKE_DIR/huge.js"; then
+  echo "serve smoke: oversized request unexpectedly succeeded" >&2
+  exit 1
+elif [ $? -ne 3 ]; then
+  echo "serve smoke: expected a structured error (exit 3)" >&2
+  exit 1
+fi
+client "$SMOKE_DIR/corpus/sample_0000.js"
+client --op stats
+client --op shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+if [ -e "$SOCK" ]; then
+  echo "serve smoke: socket not unlinked on shutdown" >&2
+  exit 1
+fi
+echo "serve smoke: ok"
+
+dune exec bench/main.exe -- --quick serve

@@ -7,13 +7,17 @@
      rename   — deobfuscate: train on the fly and predict local names
      train    — train a variable-name model and save it to a file
      predict  — predict local names for a file using a saved model
+     serve    — long-lived prediction daemon over a Unix/TCP socket
+     client   — send one request to a running daemon
      stats    — Table-1 style corpus statistics of a directory
 
    Examples:
      pigeon paths --lang JavaScript file.js
      pigeon gen --lang Java --files 100 out/
      pigeon train --lang JavaScript --files 300 model.crf
-     pigeon predict --lang JavaScript --model model.crf minified.js *)
+     pigeon predict --lang JavaScript --model model.crf minified.js
+     pigeon serve --model model.crf --socket /tmp/pigeon.sock
+     pigeon client --socket /tmp/pigeon.sock --lang JavaScript minified.js *)
 
 open Cmdliner
 
@@ -223,36 +227,256 @@ let train_cmd =
 
 (* ---------- predict (from a saved model) ---------- *)
 
+let load_crf_model path =
+  match Crf.Serialize.load path with
+  | Ok m -> m
+  | Error d ->
+      Format.eprintf "error: cannot load model:%a@." Lexkit.Diag.pp d;
+      exit 1
+
 let predict_cmd =
   let model_arg =
     Arg.(required & opt (some file) None & info [ "model" ] ~docv:"MODEL"
          ~doc:"Model file written by `pigeon train`.")
   in
+  (* One-shot prediction goes through the exact code the daemon runs
+     (Serve.Engine), which is what makes the serve byte-identity
+     contract checkable: same input, same model, same pairs. *)
   let run lang model_path file =
-    handle_parse_errors @@ fun () ->
-    let model =
-      match Crf.Serialize.load model_path with
-      | Ok m -> m
-      | Error d ->
-          Format.eprintf "error: cannot load model:%a@." Lexkit.Diag.pp d;
-          exit 1
-    in
-    let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
-    let tree = lang.Pigeon.Lang.parse_tree (read_file file) in
-    let g =
-      Pigeon.Graphs.build repr ~def_labels:lang.Pigeon.Lang.def_labels
-        ~policy:Pigeon.Graphs.Locals tree
-    in
-    let pred = Crf.Train.predict model g in
-    let gold = Crf.Graph.gold_assignment g in
-    List.iter
-      (fun node -> Format.printf "  %-16s -> %s@." gold.(node) pred.(node))
-      (Crf.Graph.unknown_ids g)
+    let model = load_crf_model model_path in
+    let engine = Serve.Engine.create ~model () in
+    match Serve.Engine.predict_one engine ~lang ~code:(read_file file) with
+    | Ok pairs ->
+        List.iter
+          (fun (var, name) -> Format.printf "  %-16s -> %s@." var name)
+          pairs
+    | Error e ->
+        Format.eprintf "error: [%s] %s@." e.Serve.Protocol.kind
+          e.Serve.Protocol.msg;
+        exit 1
   in
   Cmd.v
     (Cmd.info "predict"
        ~doc:"Predict local-variable names for a file using a saved model.")
     Term.(const run $ lang_arg $ model_arg $ file_arg)
+
+(* ---------- serve ---------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path.")
+
+let serve_cmd =
+  let model_arg =
+    Arg.(required & opt (some file) None & info [ "model" ] ~docv:"MODEL"
+         ~doc:"CRF model file written by `pigeon train`.")
+  in
+  let w2v_arg =
+    Arg.(value & opt (some file) None & info [ "w2v" ] ~docv:"MODEL"
+         ~doc:"Optional word2vec model, enables the `similar` op.")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+         ~doc:"Also (or instead) listen on this TCP port.")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Bind host for --tcp.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 16 & info [ "max-batch" ] ~docv:"N"
+         ~doc:"Most requests fused into one batched inference round.")
+  in
+  let max_bytes_arg =
+    Arg.(value & opt (some int) None & info [ "max-input-bytes" ] ~docv:"N"
+         ~doc:"Per-request source size cap (default 8 MiB).")
+  in
+  let max_depth_arg =
+    Arg.(value & opt (some int) None & info [ "max-depth" ] ~docv:"N"
+         ~doc:"Per-request nesting depth cap (default 1000).")
+  in
+  let max_steps_arg =
+    Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N"
+         ~doc:"Per-request parse step budget (default 20M).")
+  in
+  let run model_path w2v_path socket tcp host jobs max_batch max_bytes
+      max_depth max_steps =
+    if socket = None && tcp = None then begin
+      Format.eprintf "error: pass --socket PATH and/or --tcp PORT@.";
+      exit 2
+    end;
+    let model = load_crf_model model_path in
+    let w2v =
+      match w2v_path with
+      | None -> None
+      | Some p -> (
+          match Word2vec.Serialize.load p with
+          | Ok m -> Some m
+          | Error d ->
+              Format.eprintf "error: cannot load w2v model:%a@."
+                Lexkit.Diag.pp d;
+              exit 1)
+    in
+    let limits =
+      let d = Lexkit.default_limits in
+      {
+        Lexkit.max_input_bytes =
+          Option.value ~default:d.Lexkit.max_input_bytes max_bytes;
+        max_depth = Option.value ~default:d.Lexkit.max_depth max_depth;
+        max_parse_steps =
+          Option.value ~default:d.Lexkit.max_parse_steps max_steps;
+      }
+    in
+    let pool = pool_of_jobs jobs in
+    let engine = Serve.Engine.create ?w2v ~limits ~model () in
+    let cfg =
+      {
+        Serve.Server.default_config with
+        Serve.Server.unix_socket = socket;
+        tcp = Option.map (fun p -> (host, p)) tcp;
+        max_batch;
+      }
+    in
+    let t =
+      try Serve.Server.start ?pool engine cfg
+      with e ->
+        Format.eprintf "error: cannot start server: %s@." (Printexc.to_string e);
+        exit 1
+    in
+    List.iter
+      (fun s -> Format.eprintf "pigeon serve: listening on %s@." s)
+      ((match socket with Some p -> [ p ] | None -> [])
+      @ match tcp with Some p -> [ Printf.sprintf "%s:%d" host p ] | None -> []);
+    (* Signal handlers only set a flag; the polling loop below does the
+       actual shutdown from a plain thread context (mutexes and
+       condition variables are not signal-safe). *)
+    let sig_stop = Atomic.make false in
+    let on_signal _ = Atomic.set sig_stop true in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+     with Invalid_argument _ | Sys_error _ -> ());
+    while (not (Serve.Server.stopped t)) && not (Atomic.get sig_stop) do
+      Thread.delay 0.05
+    done;
+    if Atomic.get sig_stop then Serve.Server.request_stop t;
+    Serve.Server.wait t;
+    Format.eprintf "pigeon serve: stopped@."
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived prediction daemon: load the model once, answer \
+          newline-delimited JSON requests over a Unix (and optionally TCP) \
+          socket, batching concurrent requests across the domain pool.")
+    Term.(
+      const run $ model_arg $ w2v_arg $ socket_arg $ tcp_arg $ host_arg
+      $ jobs_arg $ batch_arg $ max_bytes_arg $ max_depth_arg $ max_steps_arg)
+
+(* ---------- client ---------- *)
+
+let client_cmd =
+  let tcp_arg =
+    Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
+         ~doc:"Connect over TCP instead of the Unix socket.")
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Host for --tcp.")
+  in
+  let op_arg =
+    Arg.(
+      value
+      & opt (enum [ ("predict", `Predict); ("ping", `Ping); ("stats", `Stats);
+                    ("shutdown", `Shutdown); ("similar", `Similar) ])
+          `Predict
+      & info [ "op" ] ~docv:"OP"
+          ~doc:"Request kind: predict (default), ping, stats, shutdown, \
+                similar.")
+  in
+  let word_arg =
+    Arg.(value & opt (some string) None & info [ "word" ] ~docv:"WORD"
+         ~doc:"Word for --op similar.")
+  in
+  let k_arg =
+    Arg.(value & opt int 5 & info [ "k" ] ~docv:"N"
+         ~doc:"Neighbor count for --op similar.")
+  in
+  let file_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Source file for --op predict.")
+  in
+  (* Exit codes: 0 ok reply, 3 structured error reply, 1 transport or
+     usage failure — so shell smoke tests can tell "the daemon said
+     no" (isolation working) from "the daemon is gone" (it is not). *)
+  let run socket tcp host op lang word k file =
+    let conn =
+      match (socket, tcp) with
+      | Some path, _ -> (
+          try Serve.Client.connect_unix path
+          with e ->
+            Format.eprintf "error: cannot connect to %s: %s@." path
+              (Printexc.to_string e);
+            exit 1)
+      | None, Some port -> (
+          try Serve.Client.connect_tcp host port
+          with e ->
+            Format.eprintf "error: cannot connect to %s:%d: %s@." host port
+              (Printexc.to_string e);
+            exit 1)
+      | None, None ->
+          Format.eprintf "error: pass --socket PATH or --tcp PORT@.";
+          exit 2
+    in
+    let open Serve.Json in
+    let line =
+      match op with
+      | `Ping -> Obj [ ("op", Str "ping"); ("id", Num 0.) ]
+      | `Stats -> Obj [ ("op", Str "stats"); ("id", Num 0.) ]
+      | `Shutdown -> Obj [ ("op", Str "shutdown"); ("id", Num 0.) ]
+      | `Similar -> (
+          match word with
+          | None ->
+              Format.eprintf "error: --op similar needs --word@.";
+              exit 2
+          | Some w ->
+              Obj
+                [ ("op", Str "similar"); ("id", Num 0.); ("word", Str w);
+                  ("k", Num (float_of_int k)) ])
+      | `Predict -> (
+          match file with
+          | None ->
+              Format.eprintf "error: --op predict needs a FILE argument@.";
+              exit 2
+          | Some f ->
+              Obj
+                [ ("op", Str "predict"); ("id", Num 0.);
+                  ("lang", Str lang.Pigeon.Lang.name);
+                  ("code", Str (read_file f)) ])
+    in
+    let reply =
+      match Serve.Client.request conn (to_string line) with
+      | Some r -> r
+      | None ->
+          Format.eprintf "error: server closed the connection@.";
+          exit 1
+      | exception e ->
+          Format.eprintf "error: request failed: %s@." (Printexc.to_string e);
+          exit 1
+    in
+    Serve.Client.close conn;
+    print_endline reply;
+    if Serve.Protocol.reply_ok reply then exit 0 else exit 3
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running `pigeon serve` daemon and print \
+             the raw JSON reply.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ host_arg $ op_arg $ lang_arg
+      $ word_arg $ k_arg $ file_opt_arg)
 
 (* ---------- stats ---------- *)
 
@@ -287,4 +511,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "pigeon" ~version:"1.0.0" ~doc)
-          [ paths_cmd; ast_cmd; gen_cmd; rename_cmd; train_cmd; predict_cmd; stats_cmd ]))
+          [ paths_cmd; ast_cmd; gen_cmd; rename_cmd; train_cmd; predict_cmd;
+            serve_cmd; client_cmd; stats_cmd ]))

@@ -496,9 +496,10 @@ let from_channel ?source ic = parse_string ?source (In_channel.input_all ic)
 let of_string ?source s =
   Lexkit.protect ?file:source (fun () -> parse_string ?source s)
 
-let save model path =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel model oc)
+(* Temp-file + rename: a save interrupted at any point (crash, kill,
+   full disk) can never leave a truncated model where the next daemon
+   start would trip over it. *)
+let save model path = Lexkit.write_file_atomic path (to_string model)
 
 let load path =
   match open_in_bin path with

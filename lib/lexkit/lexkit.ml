@@ -111,6 +111,34 @@ let protect ?file f =
   | exception e -> (
       match diag_of_exn ?file e with Some d -> Result.Error d | None -> raise e)
 
+(* Atomic whole-file write: the contents go to a fresh temp file in the
+   target's directory (same filesystem, so the rename is atomic), then
+   [Sys.rename] over the target. A crash or kill at any point leaves
+   either the old file or the new one, never a truncated hybrid — the
+   property a long-lived daemon relies on when it loads a model some
+   other process may be rewriting. *)
+let write_file_atomic path contents =
+  let dir = Filename.dirname path in
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf "%s.tmp.%d.%d" (Filename.basename path)
+         (Unix.getpid ())
+         (Domain.self () :> int))
+  in
+  let oc = open_out_bin tmp in
+  match
+    output_string oc contents;
+    (* Flush to the OS before the rename publishes the file; a failure
+       here (ENOSPC) must surface before the old model is replaced. *)
+    flush oc;
+    close_out oc
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      close_out_noerr oc;
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e
+
 module Cursor = struct
   type t = { src : string; mutable pos : pos }
 
@@ -249,8 +277,11 @@ module Binio = struct
   let at_end r = r.pos >= String.length r.src
   let offset r = r.pos
 
+  (* [String.length r.src - r.pos] never overflows, unlike the naive
+     [r.pos + n > length] form, where a hostile length near [max_int]
+     wraps negative and sails through the bounds check. *)
   let need r n what =
-    if n < 0 || r.pos + n > String.length r.src then
+    if n < 0 || n > String.length r.src - r.pos then
       Printf.ksprintf failwith "truncated at byte %d (%s)" r.pos what
 
   let r_u8 r what =
@@ -284,8 +315,10 @@ module Binio = struct
 
   let r_floats r what =
     let n = r_int r what in
-    (* 8 bytes per element: bounds the whole array before allocating. *)
-    need r (8 * n) what;
+    (* 8 bytes per element: bounds the whole array before allocating.
+       The division form avoids overflowing [8 * n] on hostile counts. *)
+    if n < 0 || n > (String.length r.src - r.pos) / 8 then
+      Printf.ksprintf failwith "truncated at byte %d (%s)" r.pos what;
     Array.init n (fun _ -> r_float r what)
 
   let r_section r ~tag ~what =

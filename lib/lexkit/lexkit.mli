@@ -90,6 +90,13 @@ val protect : ?file:string -> (unit -> 'a) -> ('a, Diag.t) result
 (** Run a parse/load thunk, turning every classifiable exception into
     [Error diag]. Unclassifiable exceptions are re-raised. *)
 
+val write_file_atomic : string -> string -> unit
+(** [write_file_atomic path contents] writes [contents] to a temp file
+    in [path]'s directory and renames it over [path]. A crash (or
+    SIGKILL) at any point leaves either the previous file intact or the
+    complete new one — never a truncated mix. Raises [Sys_error] on I/O
+    failure, after removing the temp file. *)
+
 (** A character cursor over an in-memory source string, tracking line
     and column. *)
 module Cursor : sig

@@ -1,3 +1,15 @@
+exception Missing_result of { chunk : int; index : int }
+
+let () =
+  Printexc.register_printer (function
+    | Missing_result { chunk; index } ->
+        Some
+          (Printf.sprintf
+             "Parallel.Missing_result: worker finished chunk %d without \
+              storing a result for element %d (pool invariant violation)"
+             chunk index)
+    | _ -> None)
+
 type pool = {
   size : int;
   queue : (unit -> unit) Queue.t;
@@ -178,7 +190,18 @@ let map ?pool f arr =
     (match !failed with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
-    Array.map (function Some v -> v | None -> assert false) res
+    (* Every chunk ran without raising, so every slot must be filled.
+       If one is not, name the slot and its chunk instead of dying on
+       an [assert false]: a long-lived caller (the serve daemon) needs
+       an exception it can log and survive. *)
+    Array.mapi
+      (fun i -> function
+        | Some v -> v
+        | None ->
+            let chunk = ref 0 in
+            Array.iteri (fun k (lo, hi) -> if i >= lo && i <= hi then chunk := k) ranges;
+            raise (Missing_result { chunk = !chunk; index = i }))
+      res
   end
 
 let map_list ?pool f l = Array.to_list (map ?pool f (Array.of_list l))

@@ -28,6 +28,14 @@
 
 type pool
 
+exception Missing_result of { chunk : int; index : int }
+(** A finished batch left a result slot empty — a pool invariant
+    violation (every chunk ran without raising, yet some element has no
+    result). Carries the chunk and element index so a long-lived caller
+    can log exactly what was lost instead of crashing on an assertion.
+    Worker exceptions are {e not} reported this way: they re-raise with
+    their original backtrace (see {!map}). *)
+
 val default_jobs : unit -> int
 (** Effective job count for new default pools: the [PIGEON_JOBS]
     environment variable if set to a positive integer, any

@@ -1,0 +1,47 @@
+(* A tiny synchronous client for the serve protocol: one connection,
+   send a request line, read one reply line. Used by the CLI `client`
+   subcommand, the bench driver, and the isolation tests. *)
+
+type t = { fd : Unix.file_descr; lr : Netio.line_reader }
+
+let connect_fd fd = { fd; lr = Netio.line_reader fd }
+
+let connect_unix path =
+  Netio.ignore_sigpipe ();
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> connect_fd fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let connect_tcp host port =
+  Netio.ignore_sigpipe ();
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+  | () -> connect_fd fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let send_line t line = Netio.write_line t.fd line
+
+let recv_line t =
+  match Netio.read_line t.lr with
+  | Netio.Line l -> Some l
+  | Netio.Eof | Netio.Overflow -> None
+
+(* One round-trip. [None] when the server closed the connection
+   without replying. *)
+let request t line =
+  send_line t line;
+  recv_line t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,15 @@
+(** Synchronous client for the serve protocol (one reply line per
+    request line). Used by the CLI, the bench driver and the tests. *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : string -> int -> t
+
+val request : t -> string -> string option
+(** Send one request line, read one reply line. [None] when the
+    server closed the connection without replying. *)
+
+val send_line : t -> string -> unit
+val recv_line : t -> string option
+val close : t -> unit

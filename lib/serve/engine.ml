@@ -1,0 +1,167 @@
+(* The request-processing core, shared verbatim by the daemon, the CLI
+   one-shot path, and the tests — which is what makes "a jobs=1 daemon
+   replies byte-identical to a CLI prediction" true by construction:
+   both are this module.
+
+   Isolation contract: [handle_batch] is total. A hostile request
+   (oversized input, pathological nesting, step-budget exhaustion,
+   anything that makes a front-end or the predictor raise) costs its
+   own request a structured error reply and nothing else — concurrent
+   requests in the same batch still answer, and no exception crosses
+   the module boundary. *)
+
+type t = {
+  model : Crf.Train.model;
+  w2v : Word2vec.Sgns.t option;
+  limits : Lexkit.limits;  (** per-request resource budgets *)
+}
+
+let create ?w2v ?limits ~model () =
+  { model; w2v; limits = Option.value ~default:(Lexkit.current_limits ()) limits }
+
+let limits t = t.limits
+
+(* Classify every failure: Diag-shaped ones keep their kind, anything
+   else (a bug, not an input problem) becomes an "internal" error —
+   answered, logged by the caller, survived. *)
+let classify e =
+  match Lexkit.diag_of_exn e with
+  | Some d -> Protocol.error_of_diag d
+  | None -> Protocol.internal_error (Printexc.to_string e)
+
+let guarded t f =
+  match Lexkit.with_limits t.limits (fun () -> Lexkit.protect f) with
+  | Ok v -> Ok v
+  | Error d -> Error (Protocol.error_of_diag d)
+  | exception e -> Error (classify e)
+
+(* parse → build factor graph, under this engine's per-request
+   budgets. The front-end guards (input size, nesting depth, step
+   budget) all fire inside [lang.parse_tree]. *)
+let graph_of_code t (lang : Pigeon.Lang.t) code =
+  guarded t (fun () ->
+      let tree = lang.Pigeon.Lang.parse_tree code in
+      let repr =
+        Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned ()
+      in
+      Pigeon.Graphs.build repr ~def_labels:lang.Pigeon.Lang.def_labels
+        ~policy:Pigeon.Graphs.Locals tree)
+
+let pairs_of_prediction g pred =
+  let gold = Crf.Graph.gold_assignment g in
+  List.map (fun n -> (gold.(n), pred.(n))) (Crf.Graph.unknown_ids g)
+
+let predict_one t ~lang ~code =
+  match graph_of_code t lang code with
+  | Error e -> Error e
+  | Ok g -> (
+      match guarded t (fun () -> Crf.Train.predict t.model g) with
+      | Ok pred -> Ok (pairs_of_prediction g pred)
+      | Error e -> Error e)
+
+let similar t ~word ~k =
+  match t.w2v with
+  | None ->
+      Error
+        (Protocol.bad_request
+           "no word2vec model loaded (start the server with --w2v)")
+  | Some m -> (
+      match Lexkit.protect (fun () -> Word2vec.Sgns.most_similar m word ~k) with
+      | Ok xs -> Ok xs
+      | Error d -> Error (Protocol.error_of_diag d)
+      | exception e -> Error (classify e))
+
+(* ---------- batched handling ---------- *)
+
+(* Per-request state across the two stages: requests whose reply is
+   already decided (control ops, failed parses), and parsed graphs
+   waiting for the prediction stage. *)
+type slot =
+  | Done of string
+  | Pending of { id : Json.t; lang_name : string; graph : Crf.Graph.t }
+
+let prepare t req =
+  let id = Protocol.request_id req in
+  match req with
+  | Protocol.Ping _ -> Done (Protocol.render_pong ~id)
+  | Protocol.Shutdown _ -> Done (Protocol.render_stopping ~id)
+  | Protocol.Stats _ ->
+      Done
+        (Protocol.render_error ~id
+           (Protocol.bad_request "stats is only served by a running daemon"))
+  | Protocol.Similar { word; k; _ } -> (
+      match similar t ~word ~k with
+      | Ok xs -> Done (Protocol.render_similar ~id ~word xs)
+      | Error e -> Done (Protocol.render_error ~id e))
+  | Protocol.Predict { lang; code; _ } -> (
+      match Pigeon.Lang.by_name lang with
+      | None ->
+          Done
+            (Protocol.render_error ~id
+               (Protocol.bad_request "unknown language %S (use %s)" lang
+                  (String.concat ", "
+                     (List.map
+                        (fun (l : Pigeon.Lang.t) -> l.Pigeon.Lang.name)
+                        Pigeon.Lang.all))))
+      | Some l -> (
+          match graph_of_code t l code with
+          | Error e -> Done (Protocol.render_error ~id e)
+          | Ok graph ->
+              Pending { id; lang_name = l.Pigeon.Lang.name; graph }))
+
+let handle_batch ?pool t reqs =
+  let slots = List.map (prepare t) reqs in
+  let graphs =
+    List.filter_map
+      (function Pending { graph; _ } -> Some graph | Done _ -> None)
+      slots
+  in
+  let predictions =
+    if graphs = [] then []
+    else
+      (* Fast path: the whole batch through the domain pool at once.
+         If one graph poisons the batch (a predictor bug — guarded
+         inputs cannot reach here), fall back to per-graph prediction
+         so only the offending request pays. *)
+      match Crf.Train.predict_batch ?pool t.model graphs with
+      | preds -> List.map (fun p -> Ok p) preds
+      | exception _ ->
+          List.map
+            (fun g ->
+              match guarded t (fun () -> Crf.Train.predict t.model g) with
+              | Ok p -> Ok p
+              | Error e -> Error e)
+            graphs
+  in
+  let rec fill slots preds =
+    match (slots, preds) with
+    | [], _ -> []
+    | Done line :: rest, preds -> line :: fill rest preds
+    | Pending { id; lang_name; graph } :: rest, pred :: preds ->
+        let line =
+          match pred with
+          | Ok p ->
+              Protocol.render_predictions ~id ~lang:lang_name
+                (pairs_of_prediction graph p)
+          | Error e -> Protocol.render_error ~id e
+        in
+        line :: fill rest preds
+    | Pending { id; _ } :: rest, [] ->
+        (* Unreachable: one prediction per pending slot. Answer rather
+           than crash if the invariant ever breaks. *)
+        Protocol.render_error ~id
+          (Protocol.internal_error "prediction result missing for request")
+        :: fill rest []
+  in
+  fill slots predictions
+
+let handle ?pool t req =
+  match handle_batch ?pool t [ req ] with
+  | [ line ] -> line
+  | _ ->
+      Protocol.render_error ~id:(Protocol.request_id req)
+        (Protocol.internal_error "single request produced no reply")
+
+let jobs_of_pool = function
+  | Some p -> Parallel.jobs p
+  | None -> 1

@@ -1,0 +1,49 @@
+(** Request-processing core shared by the daemon, the CLI one-shot
+    path, and the tests.
+
+    Totality contract: {!handle_batch} (and therefore {!handle}) never
+    raises. A hostile request — oversized input, pathological nesting,
+    step-budget exhaustion, anything that makes a front-end raise —
+    costs its own request a structured error reply and nothing else.
+
+    Determinism contract: because the daemon and the one-shot path are
+    this same module, a daemon running over a 1-job pool replies
+    byte-identical to {!handle} called directly (and to the CLI, which
+    renders {!predict_one}'s pairs). *)
+
+type t
+
+val create :
+  ?w2v:Word2vec.Sgns.t -> ?limits:Lexkit.limits -> model:Crf.Train.model ->
+  unit -> t
+(** [limits] are the per-request resource budgets ({!Lexkit.Guard}):
+    every request is parsed under them, so one request can exhaust its
+    own budget only. Default: the ambient {!Lexkit.current_limits}. *)
+
+val limits : t -> Lexkit.limits
+
+val predict_one :
+  t -> lang:Pigeon.Lang.t -> code:string ->
+  ((string * string) list, Protocol.error) result
+(** parse → extract → MAP-infer one source; [(current_name,
+    predicted_name)] per unknown node, in slot order — exactly the
+    pairs the CLI [predict] command prints. *)
+
+val similar :
+  t -> word:string -> k:int -> ((string * float) list, Protocol.error) result
+(** Nearest neighbors from the word2vec model; an error when none is
+    loaded. Unknown words return the empty list. *)
+
+val handle_batch :
+  ?pool:Parallel.pool -> t -> Protocol.request list -> string list
+(** One rendered reply line per request, in request order. Predict
+    requests are parsed under the per-request budgets, then MAP
+    inference for the whole batch fans out over [pool] in one
+    {!Crf.Train.predict_batch} call (per-graph fallback if the batch
+    path raises). Control ops answer inline. Never raises. *)
+
+val handle : ?pool:Parallel.pool -> t -> Protocol.request -> string
+(** [handle t r] = [List.hd (handle_batch t [r])] — the one-shot path
+    the byte-identity tests compare the daemon against. *)
+
+val jobs_of_pool : Parallel.pool option -> int

@@ -1,0 +1,272 @@
+(* Minimal JSON for the serve wire protocol. No dependency: the opam
+   switch carries no JSON library, and the protocol needs only the
+   core data model. The printer emits object fields in construction
+   order with no whitespace, so a reply built the same way is the same
+   bytes — the basis of the serve byte-identity contract. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ---------- printing ---------- *)
+
+let escape_to buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Integral values print as integers (ids, counts); other floats get
+   the shortest decimal form that round-trips. *)
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%d" (int_of_float f)
+  else if Float.is_nan f || Float.is_integer (f /. 0.) then "null"
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f -> Buffer.add_string buf (number_to_string f)
+  | Str s -> escape_to buf s
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_to buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+(* Recursive descent with an explicit depth cap: request lines are
+   client-controlled bytes, so `[[[[...` must fail cleanly, never
+   overflow the stack. *)
+let max_depth = 256
+
+exception Bad of string * int
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (msg, !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let hex c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "bad \\u escape"
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      incr pos;
+      match c with
+      | '"' -> ()
+      | '\\' ->
+          (if !pos >= n then fail "unterminated escape";
+           let e = s.[!pos] in
+           incr pos;
+           match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let code =
+                 (hex s.[!pos] lsl 12)
+                 lor (hex s.[!pos + 1] lsl 8)
+                 lor (hex s.[!pos + 2] lsl 4)
+                 lor hex s.[!pos + 3]
+               in
+               pos := !pos + 4;
+               (* Encode the code point as UTF-8; surrogate pairs are
+                  passed through as two 3-byte sequences (WTF-8), which
+                  round-trips anything a well-formed client sends. *)
+               (match Uchar.of_int code with
+               | u -> Buffer.add_utf_8_uchar buf u
+               | exception Invalid_argument _ -> fail "bad \\u code point")
+           | _ -> fail "bad escape character");
+          go ()
+      | c when Char.code c < 0x20 -> fail "raw control character in string"
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = d0 then fail "malformed number"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ());
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> Num f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec elems () =
+            items := parse_value (depth + 1) :: !items;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elems ()
+            | Some ']' -> incr pos
+            | _ -> fail "expected ',' or ']'"
+          in
+          elems ();
+          Arr (List.rev !items)
+        end
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec members () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members ()
+            | Some '}' -> incr pos
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ();
+          Obj (List.rev !fields)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing bytes after the value";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (msg, at) -> Error (Printf.sprintf "%s at byte %d" msg at)
+
+(* ---------- accessors ---------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let string_opt = function Str s -> Some s | _ -> None
+let int_opt = function
+  | Num f when Float.is_integer f && Float.abs f < 1e15 ->
+      Some (int_of_float f)
+  | _ -> None
+
+let string_field key j = Option.bind (member key j) string_opt
+let int_field key j = Option.bind (member key j) int_opt
+let bool_field key j =
+  Option.bind (member key j) (function Bool b -> Some b | _ -> None)

@@ -1,0 +1,32 @@
+(** Minimal JSON data model for the serve wire protocol.
+
+    The printer is canonical: no whitespace, object fields in
+    construction order, integers printed without a fraction — so a
+    reply assembled the same way is byte-identical wherever it is
+    rendered (the serve determinism contract leans on this). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** Total on arbitrary bytes: either the parsed value or a message
+    with a byte offset. Nesting is capped (no stack overflow on
+    hostile [[[[…), raw control characters in strings are rejected,
+    trailing bytes after the value are an error. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val string_opt : t -> string option
+val int_opt : t -> int option
+
+val string_field : string -> t -> string option
+val int_field : string -> t -> int option
+val bool_field : string -> t -> bool option

@@ -1,0 +1,88 @@
+(* Socket plumbing shared by the server and client: EINTR-safe reads
+   and writes, a bounded line reader, and SIGPIPE suppression.
+
+   A disconnecting client must never kill the daemon: SIGPIPE is
+   ignored process-wide (writes then fail with EPIPE, which the server
+   turns into "drop this connection"), and every syscall retries on
+   EINTR so signal delivery (SIGCHLD in the CI harness, profiling
+   timers) cannot surface as a spurious I/O error mid-request. *)
+
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception (Invalid_argument _ | Sys_error _) ->
+      (* No SIGPIPE on this platform: nothing to suppress. *)
+      ()
+
+let rec write_all fd buf off len =
+  if len > 0 then
+    match Unix.write fd buf off len with
+    | n -> write_all fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd buf off len
+
+(* One request or reply: the payload plus the terminating newline in a
+   single buffer, so a line is one write call on the fast path. *)
+let write_line fd s =
+  let len = String.length s in
+  let b = Bytes.create (len + 1) in
+  Bytes.blit_string s 0 b 0 len;
+  Bytes.set b len '\n';
+  write_all fd b 0 (len + 1)
+
+let rec read_once fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_once fd buf
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      (* A vanished peer reads as end-of-stream, not as an error. *)
+      0
+
+type line = Line of string | Eof | Overflow
+
+type line_reader = {
+  fd : Unix.file_descr;
+  max_line : int;
+  chunk : Bytes.t;
+  mutable pending : Buffer.t;  (** bytes read but not yet consumed *)
+  mutable scanned : int;  (** prefix of [pending] known to be '\n'-free *)
+}
+
+let line_reader ?(max_line = 16 * 1024 * 1024) fd =
+  { fd; max_line; chunk = Bytes.create 65536; pending = Buffer.create 4096;
+    scanned = 0 }
+
+(* Pull the next newline-terminated line (without its '\n'; a final
+   unterminated line before EOF counts as a line). [Overflow] when a
+   single line exceeds [max_line] — the stream is no longer in sync
+   with line framing at that point, so callers should answer once and
+   close. *)
+let read_line r =
+  let take_line nl =
+    let all = Buffer.contents r.pending in
+    let line = String.sub all 0 nl in
+    let rest = Buffer.create 4096 in
+    (* nl = length means an unterminated final line: nothing left over. *)
+    if nl + 1 < String.length all then
+      Buffer.add_substring rest all (nl + 1) (String.length all - nl - 1);
+    r.pending <- rest;
+    r.scanned <- 0;
+    Line line
+  in
+  let rec scan () =
+    let all = Buffer.contents r.pending in
+    match String.index_from_opt all r.scanned '\n' with
+    | Some nl -> take_line nl
+    | None ->
+        r.scanned <- String.length all;
+        if r.scanned > r.max_line then Overflow
+        else begin
+          match read_once r.fd r.chunk with
+          | 0 ->
+              if Buffer.length r.pending = 0 then Eof
+              else take_line (Buffer.length r.pending)
+          | n ->
+              Buffer.add_subbytes r.pending r.chunk 0 n;
+              scan ()
+        end
+  in
+  scan ()

@@ -1,0 +1,24 @@
+(** EINTR/EPIPE-safe socket plumbing shared by the server and client. *)
+
+val ignore_sigpipe : unit -> unit
+(** Ignore SIGPIPE process-wide (no-op where it does not exist), so a
+    write to a disconnected peer fails with [EPIPE] instead of killing
+    the process. *)
+
+val write_line : Unix.file_descr -> string -> unit
+(** Write the string plus a terminating newline, retrying short writes
+    and [EINTR]. Raises [Unix.Unix_error] ([EPIPE], …) when the peer is
+    gone — callers drop the connection, nothing else. *)
+
+type line = Line of string | Eof | Overflow
+
+type line_reader
+
+val line_reader : ?max_line:int -> Unix.file_descr -> line_reader
+(** Buffered newline framing over a blocking fd. [max_line] (default
+    16 MiB) bounds a single line; beyond it {!read_line} returns
+    [Overflow] and the stream can no longer be trusted to be in sync. *)
+
+val read_line : line_reader -> line
+(** Next line without its ['\n'] (a final unterminated line before EOF
+    counts). Retries [EINTR]; a peer reset reads as [Eof]. *)

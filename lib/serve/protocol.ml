@@ -1,0 +1,198 @@
+(* The serve wire protocol: newline-delimited JSON, one request object
+   in, one reply object out, in order, per connection. Documented in
+   DESIGN.md §12.
+
+   Requests ("op" defaults to "predict" when a "code" field is
+   present):
+
+     {"op":"predict","id":1,"lang":"JavaScript","code":"..."}
+     {"op":"similar","id":2,"word":"count","k":5}
+     {"op":"ping","id":3}
+     {"op":"stats","id":4}
+     {"op":"shutdown","id":5}
+
+   Replies echo the request's "id" (null when absent) and carry
+   "ok":true with the result, or "ok":false with a structured error:
+
+     {"id":1,"ok":true,"lang":"JavaScript","count":2,
+      "predictions":[{"var":"a","name":"count"},...]}
+     {"id":1,"ok":false,"error":{"kind":"size-limit","msg":"...",
+      "line":1,"col":1}}
+
+   Error kinds are the Lexkit.Diag kinds (parse-error, depth-limit,
+   size-limit, io-error, corrupt-model) plus "bad-request" (malformed
+   JSON, missing field, unknown language or op) and "internal" (an
+   unclassified exception — the daemon answers and stays up). *)
+
+type error = { kind : string; msg : string; pos : Lexkit.pos option }
+
+let bad_request fmt =
+  Printf.ksprintf (fun msg -> { kind = "bad-request"; msg; pos = None }) fmt
+
+let internal_error msg = { kind = "internal"; msg; pos = None }
+
+let error_of_diag (d : Lexkit.Diag.t) =
+  { kind = Lexkit.Diag.kind_name d.Lexkit.Diag.kind;
+    msg = d.Lexkit.Diag.msg;
+    pos = d.Lexkit.Diag.pos }
+
+type request =
+  | Predict of { id : Json.t; lang : string; code : string }
+  | Similar of { id : Json.t; word : string; k : int }
+  | Ping of { id : Json.t }
+  | Stats of { id : Json.t }
+  | Shutdown of { id : Json.t }
+
+let request_id = function
+  | Predict { id; _ } | Similar { id; _ } | Ping { id } | Stats { id }
+  | Shutdown { id } ->
+      id
+
+(* [Error (id, err)] echoes the request's id when the line parsed far
+   enough to have one. *)
+let request_of_line line =
+  match Json.parse line with
+  | Error msg -> Error (Json.Null, bad_request "malformed JSON: %s" msg)
+  | Ok json -> (
+      let id = Option.value ~default:Json.Null (Json.member "id" json) in
+      let str_field name =
+        match Json.string_field name json with
+        | Some s -> Ok s
+        | None -> Error (id, bad_request "missing string field %S" name)
+      in
+      let op =
+        match Json.string_field "op" json with
+        | Some op -> op
+        | None -> (
+            (* Implicit op: a bare {"lang":..,"code":..} is a predict. *)
+            match Json.member "code" json with
+            | Some _ -> "predict"
+            | None -> "")
+      in
+      match op with
+      | "predict" -> (
+          match (str_field "lang", str_field "code") with
+          | Ok lang, Ok code -> Ok (Predict { id; lang; code })
+          | Error e, _ | _, Error e -> Error e)
+      | "similar" -> (
+          match str_field "word" with
+          | Error e -> Error e
+          | Ok word ->
+              let k =
+                match Json.int_field "k" json with Some k -> k | None -> 5
+              in
+              if k < 1 || k > 1000 then
+                Error (id, bad_request "k must be in [1, 1000]")
+              else Ok (Similar { id; word; k }))
+      | "ping" -> Ok (Ping { id })
+      | "stats" -> Ok (Stats { id })
+      | "shutdown" -> Ok (Shutdown { id })
+      | "" -> Error (id, bad_request "missing \"op\" (or \"code\") field")
+      | op -> Error (id, bad_request "unknown op %S" op))
+
+(* ---------- replies ---------- *)
+
+(* All replies are rendered through these constructors and nothing
+   else, so the daemon and a direct in-process call produce the same
+   bytes for the same result. *)
+
+let render json = Json.to_string json
+
+let render_error ~id (e : error) =
+  let err =
+    [ ("kind", Json.Str e.kind); ("msg", Json.Str e.msg) ]
+    @
+    match e.pos with
+    | None -> []
+    | Some p ->
+        [ ("line", Json.Num (float_of_int p.Lexkit.line));
+          ("col", Json.Num (float_of_int p.Lexkit.col)) ]
+  in
+  render
+    (Json.Obj [ ("id", id); ("ok", Json.Bool false); ("error", Json.Obj err) ])
+
+let render_predictions ~id ~lang pairs =
+  render
+    (Json.Obj
+       [ ("id", id);
+         ("ok", Json.Bool true);
+         ("lang", Json.Str lang);
+         ("count", Json.Num (float_of_int (List.length pairs)));
+         ( "predictions",
+           Json.Arr
+             (List.map
+                (fun (var, name) ->
+                  Json.Obj [ ("var", Json.Str var); ("name", Json.Str name) ])
+                pairs) ) ])
+
+let render_similar ~id ~word neighbors =
+  render
+    (Json.Obj
+       [ ("id", id);
+         ("ok", Json.Bool true);
+         ("word", Json.Str word);
+         ( "similar",
+           Json.Arr
+             (List.map
+                (fun (w, score) ->
+                  Json.Obj [ ("word", Json.Str w); ("score", Json.Num score) ])
+                neighbors) ) ])
+
+let render_pong ~id =
+  render (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("pong", Json.Bool true) ])
+
+let render_stopping ~id =
+  render
+    (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("stopping", Json.Bool true) ])
+
+type stats = {
+  uptime_ms : int;
+  served : int;  (** replies sent, including error replies *)
+  errors : int;  (** error replies among them *)
+  batches : int;  (** batch rounds the consumer ran *)
+  max_batch : int;  (** largest batch in one round *)
+  jobs : int;  (** domain-pool width predictions fan out over *)
+}
+
+let render_stats ~id s =
+  let num n = Json.Num (float_of_int n) in
+  render
+    (Json.Obj
+       [ ("id", id);
+         ("ok", Json.Bool true);
+         ( "stats",
+           Json.Obj
+             [ ("uptime_ms", num s.uptime_ms);
+               ("served", num s.served);
+               ("errors", num s.errors);
+               ("batches", num s.batches);
+               ("max_batch", num s.max_batch);
+               ("jobs", num s.jobs) ] ) ])
+
+(* Reply introspection for clients (the CLI and tests). *)
+
+let reply_ok line =
+  match Json.parse line with
+  | Ok j -> Json.bool_field "ok" j = Some true
+  | Error _ -> false
+
+let reply_error line =
+  match Json.parse line with
+  | Ok j -> (
+      match (Json.bool_field "ok" j, Json.member "error" j) with
+      | Some false, Some err -> (
+          match (Json.string_field "kind" err, Json.string_field "msg" err) with
+          | Some kind, Some msg ->
+              Some
+                { kind;
+                  msg;
+                  pos =
+                    (match
+                       (Json.int_field "line" err, Json.int_field "col" err)
+                     with
+                    | Some line, Some col ->
+                        Some { Lexkit.line; col; offset = 0 }
+                    | _ -> None) }
+          | _ -> None)
+      | _ -> None)
+  | Error _ -> None

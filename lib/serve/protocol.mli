@@ -1,0 +1,54 @@
+(** The serve wire protocol: newline-delimited JSON requests and
+    replies (DESIGN.md §12). One request object per line in, one reply
+    object per line out, in request order per connection. *)
+
+type error = { kind : string; msg : string; pos : Lexkit.pos option }
+(** Structured error reply payload. [kind] is a {!Lexkit.Diag.kind}
+    name, ["bad-request"], or ["internal"]. *)
+
+val bad_request : ('a, unit, string, error) format4 -> 'a
+val internal_error : string -> error
+val error_of_diag : Lexkit.Diag.t -> error
+
+type request =
+  | Predict of { id : Json.t; lang : string; code : string }
+  | Similar of { id : Json.t; word : string; k : int }
+  | Ping of { id : Json.t }
+  | Stats of { id : Json.t }
+  | Shutdown of { id : Json.t }
+
+val request_id : request -> Json.t
+
+val request_of_line : string -> (request, Json.t * error) result
+(** Total on arbitrary bytes. The error side carries the request id
+    when the line parsed far enough to have one (else [Json.Null]), so
+    even a rejected request gets a correlatable reply. *)
+
+(** {2 Reply rendering}
+
+    Every reply the daemon sends goes through exactly one of these, so
+    equal results render as equal bytes anywhere. No trailing
+    newline — the transport adds it. *)
+
+val render_error : id:Json.t -> error -> string
+val render_predictions : id:Json.t -> lang:string -> (string * string) list -> string
+val render_similar : id:Json.t -> word:string -> (string * float) list -> string
+val render_pong : id:Json.t -> string
+val render_stopping : id:Json.t -> string
+
+type stats = {
+  uptime_ms : int;
+  served : int;  (** replies sent, including error replies *)
+  errors : int;  (** error replies among them *)
+  batches : int;  (** batch rounds the consumer ran *)
+  max_batch : int;  (** largest batch in one round *)
+  jobs : int;  (** domain-pool width predictions fan out over *)
+}
+
+val render_stats : id:Json.t -> stats -> string
+
+val reply_ok : string -> bool
+(** Whether a reply line parses and says ["ok": true]. *)
+
+val reply_error : string -> error option
+(** The structured error of an ["ok": false] reply, if it is one. *)

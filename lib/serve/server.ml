@@ -1,0 +1,364 @@
+(* The long-lived daemon: listeners accept connections, one reader
+   thread per connection parses newline-delimited JSON requests, and a
+   producer/consumer queue feeds a single batcher thread that groups
+   up to [max_batch] pending requests and pushes them through the
+   domain pool in one [Crf.Train.predict_batch] round (via
+   [Engine.handle_batch]).
+
+   Threading model: sys-threads for I/O (they park in [read]/[accept]
+   and release the runtime lock), the domain pool for compute. Control
+   ops (ping, stats, shutdown) answer inline from the reader thread;
+   predict/similar requests are queued, so their replies stay in
+   request order per connection while a slow prediction never blocks a
+   ping.
+
+   Failure containment, in layers:
+   - a request that fails answers with a structured error (Engine);
+   - a connection that disconnects mid-reply costs that connection
+     (SIGPIPE is ignored; EPIPE marks the connection dead);
+   - a batcher-level surprise answers every request of the batch with
+     an "internal" error and keeps the daemon up. *)
+
+let log_src = Logs.Src.create "pigeon.serve" ~doc:"pigeon serve daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  unix_socket : string option;
+  tcp : (string * int) option;  (** bind host, port *)
+  max_batch : int;
+  max_line : int;  (** request-line byte cap (framing guard) *)
+  backlog : int;
+}
+
+let default_config =
+  {
+    unix_socket = None;
+    tcp = None;
+    max_batch = 16;
+    (* Requests wrap source files in JSON: allow the 8 MiB default
+       input cap escaped (×2) plus envelope slack. *)
+    max_line = 20 * 1024 * 1024;
+    backlog = 64;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;
+  mutable alive : bool;
+}
+
+type job = { conn : conn; req : Protocol.request }
+
+type t = {
+  engine : Engine.t;
+  pool : Parallel.pool option;
+  cfg : config;
+  m : Mutex.t;
+  work : Condition.t;
+  q : job Queue.t;
+  mutable stopping : bool;
+  mutable listeners : Unix.file_descr list;
+  mutable conns : conn list;
+  mutable io_threads : Thread.t list;  (** accept loops + batcher *)
+  mutable conn_threads : (int * Thread.t) list;  (** keyed by thread id *)
+  t0 : float;
+  mutable served : int;
+  mutable errors : int;
+  mutable batches : int;
+  mutable max_batch_seen : int;
+}
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let stats t =
+  locked t (fun () ->
+      {
+        Protocol.uptime_ms =
+          int_of_float (1000. *. (Unix.gettimeofday () -. t.t0));
+        served = t.served;
+        errors = t.errors;
+        batches = t.batches;
+        max_batch = t.max_batch_seen;
+        jobs = Engine.jobs_of_pool t.pool;
+      })
+
+(* Serialized, failure-absorbing reply write. A dead peer (EPIPE and
+   friends) marks the connection; the request that triggered the write
+   is the only thing lost. *)
+let send t conn line =
+  let sent =
+    Mutex.lock conn.wmutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock conn.wmutex)
+      (fun () ->
+        if not conn.alive then false
+        else
+          match Netio.write_line conn.fd line with
+          | () -> true
+          | exception Unix.Unix_error _ ->
+              conn.alive <- false;
+              (* Unblock the connection's reader so it can clean up. *)
+              (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+               with Unix.Unix_error _ -> ());
+              false)
+  in
+  if sent then
+    locked t (fun () ->
+        t.served <- t.served + 1;
+        if not (Protocol.reply_ok line) then t.errors <- t.errors + 1)
+
+let enqueue t job =
+  locked t (fun () ->
+      if not t.stopping then begin
+        Queue.add job t.q;
+        Condition.signal t.work
+      end)
+
+(* ---------- shutdown plumbing ---------- *)
+
+let request_stop t =
+  let listeners =
+    locked t (fun () ->
+        if t.stopping then []
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.work;
+          let ls = t.listeners in
+          t.listeners <- [];
+          ls
+        end)
+  in
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners
+
+let stopped t = locked t (fun () -> t.stopping)
+
+(* ---------- batcher ---------- *)
+
+let batcher t () =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q && not t.stopping do
+      Condition.wait t.work t.m
+    done;
+    if Queue.is_empty t.q then begin
+      (* stopping && drained: every queued request has been answered. *)
+      Mutex.unlock t.m;
+      ()
+    end
+    else begin
+      let jobs = ref [] in
+      while (not (Queue.is_empty t.q)) && List.length !jobs < t.cfg.max_batch do
+        jobs := Queue.take t.q :: !jobs
+      done;
+      let jobs = List.rev !jobs in
+      t.batches <- t.batches + 1;
+      if List.length jobs > t.max_batch_seen then
+        t.max_batch_seen <- List.length jobs;
+      Mutex.unlock t.m;
+      let replies =
+        (* Engine.handle_batch is total by contract; this second net
+           exists so a violation of that contract answers the batch
+           and keeps the daemon alive instead of killing the consumer
+           thread. The backtrace goes to the log, not the client. *)
+        match
+          Engine.handle_batch ?pool:t.pool t.engine
+            (List.map (fun j -> j.req) jobs)
+        with
+        | replies -> replies
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Log.err (fun m ->
+                m "batch failed: %s@.%s" (Printexc.to_string e)
+                  (Printexc.raw_backtrace_to_string bt));
+            List.map
+              (fun j ->
+                Protocol.render_error ~id:(Protocol.request_id j.req)
+                  (Protocol.internal_error (Printexc.to_string e)))
+              jobs
+      in
+      List.iter2 (fun j line -> send t j.conn line) jobs replies;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---------- per-connection reader ---------- *)
+
+let forget_conn t conn =
+  locked t (fun () -> t.conns <- List.filter (fun c -> c != conn) t.conns)
+
+let reader t conn () =
+  let lr = Netio.line_reader ~max_line:t.cfg.max_line conn.fd in
+  let rec loop () =
+    match Netio.read_line lr with
+    | Netio.Eof -> ()
+    | Netio.Overflow ->
+        (* Line framing is lost beyond the cap: answer once, close. *)
+        send t conn
+          (Protocol.render_error ~id:Json.Null
+             (Protocol.bad_request
+                "request line exceeds %d bytes; connection closed"
+                t.cfg.max_line))
+    | Netio.Line line ->
+        if String.trim line = "" then loop ()
+        else begin
+          (match Protocol.request_of_line line with
+          | Error (id, err) -> send t conn (Protocol.render_error ~id err)
+          | Ok (Protocol.Ping { id }) -> send t conn (Protocol.render_pong ~id)
+          | Ok (Protocol.Stats { id }) ->
+              send t conn (Protocol.render_stats ~id (stats t))
+          | Ok (Protocol.Shutdown { id }) ->
+              send t conn (Protocol.render_stopping ~id);
+              request_stop t
+          | Ok ((Protocol.Predict _ | Protocol.Similar _) as req) ->
+              enqueue t { conn; req });
+          loop ()
+        end
+    | exception Unix.Unix_error _ -> ()
+  in
+  (match loop () with () -> () | exception _ -> ());
+  Mutex.lock conn.wmutex;
+  conn.alive <- false;
+  Mutex.unlock conn.wmutex;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  forget_conn t conn;
+  (* Drop our own join handle: a daemon serving many short-lived
+     connections must not accumulate dead threads. *)
+  let me = Thread.id (Thread.self ()) in
+  locked t (fun () ->
+      t.conn_threads <- List.filter (fun (id, _) -> id <> me) t.conn_threads)
+
+let spawn_reader t fd =
+  let conn = { fd; wmutex = Mutex.create (); alive = true } in
+  locked t (fun () ->
+      if t.stopping then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        false
+      end
+      else begin
+        t.conns <- conn :: t.conns;
+        true
+      end)
+  |> fun accepted ->
+  if accepted then begin
+    let th = Thread.create (reader t conn) () in
+    locked t (fun () -> t.conn_threads <- (Thread.id th, th) :: t.conn_threads)
+  end
+
+(* ---------- accept loops ---------- *)
+
+(* select-with-timeout rather than a blocking accept, so stopping
+   never races a close against a thread parked in accept. *)
+let acceptor t lfd () =
+  let rec loop () =
+    if stopped t then ()
+    else
+      match Unix.select [ lfd ] [] [] 0.25 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+          match Unix.accept ~cloexec:true lfd with
+          | cfd, _ ->
+              spawn_reader t cfd;
+              loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error _ -> if stopped t then () else loop ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+  in
+  loop ()
+
+(* ---------- lifecycle ---------- *)
+
+let listen_unix path backlog =
+  (* A stale socket file from a crashed daemon would make bind fail;
+     replace it. Refuse to unlink anything that is not a socket. *)
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd backlog;
+  fd
+
+let listen_tcp host port backlog =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "cannot resolve bind host %S" host))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd backlog;
+  fd
+
+let start ?pool engine cfg =
+  if cfg.unix_socket = None && cfg.tcp = None then
+    invalid_arg "Serve.Server.start: no unix socket and no TCP address";
+  Netio.ignore_sigpipe ();
+  let listeners =
+    (match cfg.unix_socket with
+    | Some path -> [ listen_unix path cfg.backlog ]
+    | None -> [])
+    @
+    match cfg.tcp with
+    | Some (host, port) -> [ listen_tcp host port cfg.backlog ]
+    | None -> []
+  in
+  let t =
+    {
+      engine;
+      pool;
+      cfg;
+      m = Mutex.create ();
+      work = Condition.create ();
+      q = Queue.create ();
+      stopping = false;
+      listeners;
+      conns = [];
+      io_threads = [];
+      conn_threads = [];
+      t0 = Unix.gettimeofday ();
+      served = 0;
+      errors = 0;
+      batches = 0;
+      max_batch_seen = 0;
+    }
+  in
+  let threads =
+    Thread.create (batcher t) ()
+    :: List.map (fun lfd -> Thread.create (acceptor t lfd) ()) listeners
+  in
+  t.io_threads <- threads;
+  t
+
+let wait t =
+  (* Acceptors exit once stopping is set; the batcher exits once
+     stopping is set and the queue is drained — every request read
+     before shutdown gets its reply. *)
+  List.iter Thread.join t.io_threads;
+  (* No replies can be produced anymore: release the readers. *)
+  let conns = locked t (fun () -> t.conns) in
+  List.iter
+    (fun c ->
+      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  let readers = locked t (fun () -> List.map snd t.conn_threads) in
+  List.iter Thread.join readers;
+  match t.cfg.unix_socket with
+  | Some path -> (
+      match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ | (exception Unix.Unix_error _) -> ())
+  | None -> ()
+
+let run ?pool engine cfg =
+  let t = start ?pool engine cfg in
+  wait t

@@ -1,0 +1,46 @@
+(** The [pigeon serve] daemon: Unix/TCP listeners, one reader thread
+    per connection, and a producer/consumer queue feeding batched MAP
+    inference over the domain pool.
+
+    Isolation: a hostile request gets a structured error reply (see
+    {!Engine}); a disconnecting client costs its own connection
+    (SIGPIPE ignored, EPIPE/EINTR handled); a contract violation below
+    the batcher answers the whole batch with "internal" errors and the
+    daemon stays up. *)
+
+type config = {
+  unix_socket : string option;
+  tcp : (string * int) option;  (** bind host, port *)
+  max_batch : int;  (** most requests fused into one predict_batch round *)
+  max_line : int;  (** request-line byte cap (framing guard) *)
+  backlog : int;
+}
+
+val default_config : config
+(** No listeners (callers must set at least one), [max_batch = 16],
+    20 MiB line cap, backlog 64. *)
+
+type t
+
+val start : ?pool:Parallel.pool -> Engine.t -> config -> t
+(** Bind the listeners and spawn the I/O threads. Raises on bind
+    failure (bad path, port in use, existing non-socket file at the
+    Unix path). [pool] is the domain pool batches fan out over;
+    default is sequential prediction. *)
+
+val request_stop : t -> unit
+(** Begin shutdown (idempotent, thread-safe, callable from a signal
+    context via a flag): listeners close, queued requests drain and
+    answer, then connections close. *)
+
+val stopped : t -> bool
+
+val wait : t -> unit
+(** Block until the daemon has fully stopped (every accepted request
+    answered, threads joined, Unix socket unlinked). A client
+    [shutdown] request or {!request_stop} triggers that. *)
+
+val run : ?pool:Parallel.pool -> Engine.t -> config -> unit
+(** [start] then [wait]. *)
+
+val stats : t -> Protocol.stats

@@ -184,6 +184,14 @@ let parse_v3 ?source body =
           if dim <> config.Sgns.dim then
             Printf.ksprintf failwith "%s: bad vector size (%d, expected %d)"
               what dim config.Sgns.dim;
+          (* Bound the whole matrix against the bytes actually present
+             before allocating: a hostile dim (the config section is
+             unchecked integers) must fail as truncation, not as an
+             uncatchable Out_of_memory mid-[Array.init]. *)
+          if rows > 0 && dim > (String.length body - offset r) / 8 / rows
+          then
+            Printf.ksprintf failwith
+              "%s: %dx%d matrix larger than the file" what rows dim;
           Array.init rows (fun _ ->
               Array.init dim (fun _ -> r_float r what)))
     in
@@ -338,9 +346,10 @@ let from_channel ?source ic = parse_string ?source (In_channel.input_all ic)
 let of_string ?source s =
   Lexkit.protect ?file:source (fun () -> parse_string ?source s)
 
-let save m path =
-  let oc = open_out_bin path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel m oc)
+(* Temp-file + rename: a save interrupted at any point (crash, kill,
+   full disk) can never leave a truncated model where the next daemon
+   start would trip over it. *)
+let save m path = Lexkit.write_file_atomic path (to_string m)
 
 let load path =
   match open_in_bin path with

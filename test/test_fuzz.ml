@@ -204,6 +204,78 @@ let loader_tests =
       (loader_total (Word2vec.Serialize.of_string ~source:"<fuzz>"));
   ]
 
+(* A correct magic line followed by arbitrary bytes reaches the binary
+   section readers directly — the layer where an unchecked count or an
+   overflowing bound becomes a crash instead of a diagnostic. *)
+let v3_body_arb magic =
+  QCheck.make ~print:print_input
+    QCheck.Gen.(
+      map (fun s -> magic ^ s) (string_size ~gen:char (int_bound 2048)))
+
+(* The file-based [load] path adds I/O classification on top of
+   [of_string]; drive it through one reused temp file. *)
+let load_file_total load =
+  let path = lazy (Filename.temp_file "pigeon_fuzz_load" ".model") in
+  fun s ->
+    let path = Lazy.force path in
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc;
+    match load path with Ok _ | Error _ -> true
+
+let v3_loader_tests =
+  [
+    QCheck.Test.make ~count ~name:"crf loader total on v3 magic + random body"
+      (v3_body_arb "pigeon-crf-model 3\n")
+      (loader_total (Crf.Serialize.of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count ~name:"w2v loader total on v3 magic + random body"
+      (v3_body_arb "pigeon-w2v-model 3\n")
+      (loader_total (Word2vec.Serialize.of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count ~name:"crf load (file) total on random bytes"
+      bytes_arb
+      (load_file_total Crf.Serialize.load);
+    QCheck.Test.make ~count ~name:"w2v load (file) total on v3 magic + random body"
+      (v3_body_arb "pigeon-w2v-model 3\n")
+      (load_file_total Word2vec.Serialize.load);
+  ]
+
+(* ---------- serve request-line properties ---------- *)
+
+let request_total s =
+  match Serve.Protocol.request_of_line s with Ok _ | Error _ -> true
+
+let json_fragments =
+  [
+    "{"; "}"; "["; "]"; ":"; ","; "\""; "op"; "predict"; "similar"; "ping";
+    "id"; "lang"; "code"; "word"; "k"; "true"; "false"; "null"; "1"; "-";
+    "1e308"; "0.5"; "\\u0041"; "\\"; "\\n"; "\xc3\xa9"; "\x00"; " "; "\t";
+  ]
+
+let json_soup_arb =
+  QCheck.make ~print:print_input
+    QCheck.Gen.(
+      map (String.concat "") (list_size (int_bound 80) (oneofl json_fragments)))
+
+let serve_tests =
+  [
+    QCheck.Test.make ~count ~name:"request_of_line total on random bytes"
+      bytes_arb request_total;
+    QCheck.Test.make ~count ~name:"request_of_line total on JSON soup"
+      json_soup_arb request_total;
+    QCheck.Test.make ~count ~name:"json parse total on JSON soup" json_soup_arb
+      (fun s -> match Serve.Json.parse s with Ok _ | Error _ -> true);
+    QCheck.Test.make ~count ~name:"json print/parse round-trip" json_soup_arb
+      (fun s ->
+        match Serve.Json.parse s with
+        | Error _ -> true
+        | Ok v -> (
+            let printed = Serve.Json.to_string v in
+            match Serve.Json.parse printed with
+            | Ok v' -> Serve.Json.to_string v' = printed
+            | Error e ->
+                QCheck.Test.fail_reportf "canonical form rejected: %s" e));
+  ]
+
 (* ---------- deterministic pathological inputs ---------- *)
 
 let expect_kind name parse src kind =
@@ -350,8 +422,8 @@ let () =
   Alcotest.run "fuzz"
     [
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest (front_end_tests @ loader_tests)
-      );
+        List.map QCheck_alcotest.to_alcotest
+          (front_end_tests @ loader_tests @ v3_loader_tests @ serve_tests) );
       ( "pathological",
         [
           Alcotest.test_case "paren bomb" `Quick test_paren_bomb;

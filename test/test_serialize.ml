@@ -350,8 +350,84 @@ let test_w2v_trailing_garbage_detected () =
       check_bool "appended record is a corrupt-model error" true
         (diag_kind (Word2vec.Serialize.load path) = Lexkit.Diag.Corrupt_model))
 
+(* ---------- atomic saves ---------- *)
+
+let tmp_siblings path =
+  let dir = Filename.dirname path and base = Filename.basename path in
+  Array.to_list (Sys.readdir dir)
+  |> List.filter (fun f ->
+         String.length f > String.length base
+         && String.sub f 0 (String.length base) = base
+         && f <> base)
+
+let test_atomic_save_no_tmp_leftover () =
+  let model = train () in
+  with_temp_file ".crf" (fun path ->
+      Crf.Serialize.save model path;
+      Crf.Serialize.save model path;
+      Alcotest.(check (list string)) "no temp files left" [] (tmp_siblings path);
+      check_bool "overwritten model loads" true
+        (match Crf.Serialize.load path with Ok _ -> true | Error _ -> false));
+  let w2v =
+    Word2vec.Sgns.train
+      ~config:{ Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 1 }
+      (sgns_pairs ~n:100 ~seed:9)
+  in
+  with_temp_file ".w2v" (fun path ->
+      Word2vec.Serialize.save w2v path;
+      Word2vec.Serialize.save w2v path;
+      Alcotest.(check (list string)) "no temp files left" [] (tmp_siblings path);
+      check_bool "overwritten model loads" true
+        (match Word2vec.Serialize.load path with Ok _ -> true | Error _ -> false))
+
+(* The bug this pins down: the old save wrote straight into the target,
+   so a crash mid-write left a truncated file where a good model used
+   to be. With atomic saves the target always holds a complete model:
+   kill a child that overwrites the model in a tight loop, then load.
+   One iteration only proves atomicity probabilistically; several kills
+   make a regression to in-place writes essentially certain to fail. *)
+let test_atomic_save_survives_kill () =
+  let model = train () in
+  with_temp_file ".crf" (fun path ->
+      Crf.Serialize.save model path;
+      let golden = read_file path in
+      for _round = 1 to 3 do
+        (match Unix.fork () with
+        | 0 ->
+            (try
+               while true do
+                 Crf.Serialize.save model path
+               done
+             with _ -> ());
+            Unix._exit 1
+        | pid ->
+            (* let the child get into the middle of a write *)
+            ignore (Unix.select [] [] [] 0.05);
+            Unix.kill pid Sys.sigkill;
+            ignore (Unix.waitpid [] pid));
+        check_bool "model intact after SIGKILL mid-save" true
+          (match Crf.Serialize.load path with Ok _ -> true | Error _ -> false);
+        check_bool "target holds a complete model" true
+          (String.equal (read_file path) golden)
+      done;
+      (* killed children may leave a temp file behind; that temp never
+         shadows the target and a later save still lands cleanly *)
+      Crf.Serialize.save model path;
+      check_bool "post-kill save still loads" true
+        (match Crf.Serialize.load path with Ok _ -> true | Error _ -> false);
+      List.iter
+        (fun f -> Sys.remove (Filename.concat (Filename.dirname path) f))
+        (tmp_siblings path))
+
 let suite =
   [
+    ( "atomic-save",
+      [
+        Alcotest.test_case "no temp leftovers" `Quick
+          test_atomic_save_no_tmp_leftover;
+        Alcotest.test_case "SIGKILL mid-save keeps a loadable model" `Quick
+          test_atomic_save_survives_kill;
+      ] );
     ( "w2v-serialize",
       [
         Alcotest.test_case "prediction round-trip" `Quick test_w2v_roundtrip_predictions;

@@ -1,0 +1,454 @@
+(* Tests for the serve stack: the JSON codec, the wire protocol, the
+   request engine's isolation contract (hostile requests get structured
+   errors, never exceptions), and a real daemon over a Unix socket with
+   concurrent clients. The byte-identity checks pin the determinism
+   contract: a jobs=1 daemon replies with exactly the bytes
+   Engine.handle produces for the same request. *)
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+(* ---------- json codec ---------- *)
+
+let roundtrip s =
+  match Serve.Json.parse s with
+  | Ok v -> Serve.Json.to_string v
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let test_json_roundtrip () =
+  check_string "object" {|{"a":1,"b":[true,null,"x"]}|}
+    (roundtrip {| { "a" : 1, "b" : [ true, null, "x" ] } |});
+  check_string "nested" {|[[[]],{"k":{"v":-2.5}}]|}
+    (roundtrip {|[[[]],{"k":{"v":-2.5}}]|});
+  check_string "escapes" "{\"s\":\"a\\\"b\\\\c\\nd\"}"
+    (roundtrip "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+  (* \u escapes decode to UTF-8 and re-encode raw (canonical form). *)
+  check_string "unicode escape" "\"\xc3\xa9\"" (roundtrip {|"é"|});
+  check_string "integral floats print as ints" {|[0,-3,10000000]|}
+    (roundtrip {|[0.0,-3.0,1e7]|})
+
+let test_json_rejects () =
+  let bad s =
+    match Serve.Json.parse s with
+    | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "{\"a\":}";
+  bad "[1,]";
+  bad "[1] trailing";
+  bad "\"raw \x01 control\"";
+  bad "\"unterminated";
+  bad "nul";
+  bad (String.make 10_000 '[');
+  (* totality on arbitrary bytes, not just structured near-misses *)
+  let st = Random.State.make [| 0x5e71 |] in
+  for _ = 1 to 500 do
+    let n = Random.State.int st 64 in
+    let s = String.init n (fun _ -> Char.chr (Random.State.int st 256)) in
+    match Serve.Json.parse s with Ok _ | Error _ -> ()
+  done
+
+let test_json_accessors () =
+  let v =
+    match Serve.Json.parse {|{"op":"predict","id":7,"deep":{"k":3}}|} with
+    | Ok v -> v
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "member" true (Serve.Json.member "op" v <> None);
+  check_string "string_field" "predict"
+    (Option.get (Serve.Json.string_field "op" v));
+  check_int "int_field" 7 (Option.get (Serve.Json.int_field "id" v));
+  check_bool "missing" true (Serve.Json.member "nope" v = None)
+
+(* ---------- protocol ---------- *)
+
+let test_request_parse () =
+  let ok line =
+    match Serve.Protocol.request_of_line line with
+    | Ok r -> r
+    | Error (_, e) -> Alcotest.failf "%S rejected: %s" line e.Serve.Protocol.msg
+  in
+  (match ok {|{"op":"predict","id":1,"lang":"JavaScript","code":"var x;"}|} with
+  | Serve.Protocol.Predict { lang; code; _ } ->
+      check_string "lang" "JavaScript" lang;
+      check_string "code" "var x;" code
+  | _ -> Alcotest.fail "expected Predict");
+  (* op defaults to predict when code is present *)
+  (match ok {|{"id":2,"lang":"JavaScript","code":"var y;"}|} with
+  | Serve.Protocol.Predict _ -> ()
+  | _ -> Alcotest.fail "expected Predict default");
+  (match ok {|{"op":"ping"}|} with
+  | Serve.Protocol.Ping _ -> ()
+  | _ -> Alcotest.fail "expected Ping");
+  let err line =
+    match Serve.Protocol.request_of_line line with
+    | Ok _ -> Alcotest.failf "%S unexpectedly accepted" line
+    | Error (id, e) -> (id, e)
+  in
+  let _, e = err "not json at all" in
+  check_string "bad-request kind" "bad-request" e.Serve.Protocol.kind;
+  (* id survives even when the request is rejected *)
+  let id, _ = err {|{"op":"similar","id":42}|} in
+  check_bool "id carried" true (id = Serve.Json.Num 42.);
+  let _, e = err {|{"op":"similar","id":1,"word":"x","k":0}|} in
+  check_string "k range" "bad-request" e.Serve.Protocol.kind
+
+let test_reply_render () =
+  let line =
+    Serve.Protocol.render_predictions ~id:(Serve.Json.Num 3.)
+      ~lang:"JavaScript" [ ("a", "count"); ("b", "msg") ]
+  in
+  check_string "predictions shape"
+    {|{"id":3,"ok":true,"lang":"JavaScript","count":2,"predictions":[{"var":"a","name":"count"},{"var":"b","name":"msg"}]}|}
+    line;
+  check_bool "reply_ok" true (Serve.Protocol.reply_ok line);
+  let e =
+    Serve.Protocol.render_error ~id:Serve.Json.Null
+      { Serve.Protocol.kind = "size-limit"; msg = "too big"; pos = None }
+  in
+  check_string "error shape"
+    {|{"id":null,"ok":false,"error":{"kind":"size-limit","msg":"too big"}}|} e;
+  check_bool "reply_ok false" false (Serve.Protocol.reply_ok e);
+  (match Serve.Protocol.reply_error e with
+  | Some { Serve.Protocol.kind = "size-limit"; _ } -> ()
+  | _ -> Alcotest.fail "reply_error roundtrip")
+
+(* ---------- shared tiny model ---------- *)
+
+let corpus ~n ~seed =
+  let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed } in
+  Corpus.Gen.generate_sources config Corpus.Render.Js
+
+let lang = Pigeon.Lang.javascript
+
+let model =
+  lazy
+    (let sources = corpus ~n:40 ~seed:77 in
+     let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+     let graphs =
+       Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals
+         sources
+     in
+     let config = { Crf.Train.default_config with Crf.Train.iterations = 3 } in
+     Crf.Train.train ~config graphs)
+
+let engine ?limits () =
+  Serve.Engine.create ?limits ~model:(Lazy.force model) ()
+
+let sample_code =
+  "function f(a, b) { var total = a + b; var msg = 'x' + total; return msg; }\n"
+
+let predict_line ?(id = 1) code =
+  Serve.Json.to_string
+    (Serve.Json.Obj
+       [ ("op", Serve.Json.Str "predict");
+         ("id", Serve.Json.Num (float_of_int id));
+         ("lang", Serve.Json.Str "JavaScript");
+         ("code", Serve.Json.Str code) ])
+
+let parse_req line =
+  match Serve.Protocol.request_of_line line with
+  | Ok r -> r
+  | Error (_, e) -> Alcotest.failf "request rejected: %s" e.Serve.Protocol.msg
+
+let deep_code =
+  "function f(){ return " ^ String.make 5_000 '(' ^ "1"
+  ^ String.make 5_000 ')' ^ "; }\n"
+
+(* ---------- engine isolation ---------- *)
+
+let error_kind_of reply =
+  match Serve.Protocol.reply_error reply with
+  | Some e -> e.Serve.Protocol.kind
+  | None -> Alcotest.failf "expected an error reply, got %s" reply
+
+let test_engine_predict_ok () =
+  let e = engine () in
+  match Serve.Engine.predict_one e ~lang ~code:sample_code with
+  | Ok pairs ->
+      check_bool "has pairs" true (pairs <> []);
+      check_bool "vars seen" true (List.mem_assoc "total" pairs)
+  | Error err -> Alcotest.failf "predict failed: %s" err.Serve.Protocol.msg
+
+let test_engine_hostile () =
+  let e = engine () in
+  (* pathological nesting: structured depth-limit error, no exception *)
+  let reply = Serve.Engine.handle e (parse_req (predict_line deep_code)) in
+  check_string "depth" "depth-limit" (error_kind_of reply);
+  (* oversized input against a small per-request budget *)
+  let tiny =
+    { (Serve.Engine.limits e) with Lexkit.max_input_bytes = 64 }
+  in
+  let e_small = engine ~limits:tiny () in
+  let big = predict_line (String.make 1_000 ' ' ^ sample_code) in
+  let reply = Serve.Engine.handle e_small (parse_req big) in
+  check_string "oversized" "size-limit" (error_kind_of reply);
+  (* step-budget exhaustion: valid code, absurdly small budget *)
+  let starved =
+    { (Serve.Engine.limits e) with Lexkit.max_parse_steps = 5 }
+  in
+  let e_starved = engine ~limits:starved () in
+  let reply = Serve.Engine.handle e_starved (parse_req (predict_line sample_code)) in
+  check_string "steps" "size-limit" (error_kind_of reply);
+  (* unknown language *)
+  let reply =
+    Serve.Engine.handle e
+      (parse_req {|{"op":"predict","id":1,"lang":"COBOL","code":"x"}|})
+  in
+  check_string "unknown lang" "bad-request" (error_kind_of reply);
+  (* syntactically broken input *)
+  let reply =
+    Serve.Engine.handle e (parse_req (predict_line "function {{{ ???"))
+  in
+  check_string "parse error" "parse-error" (error_kind_of reply)
+
+let test_engine_batch_isolation () =
+  let e = engine () in
+  let good1 = parse_req (predict_line ~id:1 sample_code) in
+  let hostile = parse_req (predict_line ~id:2 deep_code) in
+  let good2 = parse_req (predict_line ~id:3 "var q = 1; var r = q + 2;\n") in
+  let batch = Serve.Engine.handle_batch e [ good1; hostile; good2 ] in
+  check_int "three replies" 3 (List.length batch);
+  let r1, r2, r3 =
+    match batch with [ a; b; c ] -> (a, b, c) | _ -> assert false
+  in
+  check_bool "good1 ok" true (Serve.Protocol.reply_ok r1);
+  check_string "hostile isolated" "depth-limit" (error_kind_of r2);
+  check_bool "good2 ok" true (Serve.Protocol.reply_ok r3);
+  (* byte-identity: batched replies equal the one-shot replies *)
+  check_string "batch = one-shot (1)" (Serve.Engine.handle e good1) r1;
+  check_string "batch = one-shot (3)" (Serve.Engine.handle e good2) r3
+
+let test_engine_batch_pool () =
+  (* same bytes whether prediction fans out over a pool or not *)
+  let e = engine () in
+  let reqs =
+    List.init 6 (fun i ->
+        parse_req
+          (predict_line ~id:i
+             (Printf.sprintf "var v%d = %d; var w = v%d + 1;\n" i i i)))
+  in
+  let seq = Serve.Engine.handle_batch e reqs in
+  let pool = Parallel.create ~jobs:2 () in
+  let par = Serve.Engine.handle_batch ~pool e reqs in
+  Parallel.shutdown pool;
+  List.iter2 (check_string "pooled batch byte-identical") seq par
+
+(* ---------- daemon over a unix socket ---------- *)
+
+let temp_sock () =
+  let path =
+    Filename.temp_file "pigeon-serve-test" ".sock"
+  in
+  Sys.remove path;
+  path
+
+let with_daemon ?pool ?(max_batch = 8) ?(max_line = 1024 * 1024) e f =
+  let path = temp_sock () in
+  let cfg =
+    {
+      Serve.Server.default_config with
+      Serve.Server.unix_socket = Some path;
+      max_batch;
+      max_line;
+    }
+  in
+  let t = Serve.Server.start ?pool e cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.request_stop t;
+      Serve.Server.wait t;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path t)
+
+let test_daemon_byte_identity () =
+  (* jobs=1 daemon (no pool): replies byte-identical to Engine.handle *)
+  let e = engine () in
+  with_daemon e (fun path _t ->
+      let c = Serve.Client.connect_unix path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let lines =
+        [ predict_line ~id:10 sample_code;
+          predict_line ~id:11 "var alpha = 3; var beta = alpha * 2;\n";
+          predict_line ~id:12 deep_code ]
+      in
+      List.iter
+        (fun line ->
+          let daemon_reply =
+            match Serve.Client.request c line with
+            | Some r -> r
+            | None -> Alcotest.fail "daemon closed connection"
+          in
+          let direct = Serve.Engine.handle e (parse_req line) in
+          check_string "daemon = direct" direct daemon_reply)
+        lines)
+
+let test_daemon_concurrent_isolation () =
+  (* 4 concurrent clients, each mixing hostile and well-formed
+     requests: every request answered, hostile ones structurally, and
+     the daemon survives to serve a final request. *)
+  let e = engine () in
+  let pool = Parallel.create ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
+  with_daemon ~pool e (fun path _t ->
+      let n_clients = 4 and per_client = 6 in
+      let failures = Queue.create () in
+      let fmutex = Mutex.create () in
+      let fail msg =
+        Mutex.lock fmutex;
+        Queue.add msg failures;
+        Mutex.unlock fmutex
+      in
+      let client k =
+        let c = Serve.Client.connect_unix path in
+        Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+        for i = 0 to per_client - 1 do
+          let id = (k * 100) + i in
+          let hostile = (i + k) mod 3 = 0 in
+          let line =
+            if hostile then predict_line ~id deep_code
+            else
+              predict_line ~id
+                (Printf.sprintf "var a%d = %d; var b = a%d + 1;\n" i i i)
+          in
+          match Serve.Client.request c line with
+          | None -> fail (Printf.sprintf "client %d: connection dropped" k)
+          | Some reply ->
+              let ok = Serve.Protocol.reply_ok reply in
+              if hostile && ok then
+                fail (Printf.sprintf "client %d: hostile request %d ok" k i);
+              if (not hostile) && not ok then
+                fail
+                  (Printf.sprintf "client %d req %d: unexpected error %s" k i
+                     reply);
+              (* replies are correlated: ours, not another client's *)
+              (match
+                 Serve.Protocol.reply_error reply, Serve.Json.parse reply
+               with
+              | _, Ok v ->
+                  if Serve.Json.int_field "id" v <> Some id then
+                    fail (Printf.sprintf "client %d: wrong id in reply" k)
+              | _, Error _ -> fail "unparseable reply")
+        done
+      in
+      let threads = List.init n_clients (fun k -> Thread.create client k) in
+      List.iter Thread.join threads;
+      check_int "no failures"
+        0
+        (Queue.length failures);
+      (* the daemon is still alive after the burst *)
+      let c = Serve.Client.connect_unix path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      match Serve.Client.request c {|{"op":"ping","id":99}|} with
+      | Some r -> check_bool "still serving" true (Serve.Protocol.reply_ok r)
+      | None -> Alcotest.fail "daemon died during the burst")
+
+let test_daemon_garbage_and_disconnect () =
+  let e = engine () in
+  with_daemon e (fun path _t ->
+      (* garbage line: structured bad-request, connection stays usable *)
+      let c = Serve.Client.connect_unix path in
+      (match Serve.Client.request c "this is not json" with
+      | Some r -> check_string "garbage" "bad-request" (error_kind_of r)
+      | None -> Alcotest.fail "no reply to garbage");
+      (match Serve.Client.request c {|{"op":"ping","id":1}|} with
+      | Some r -> check_bool "conn survives" true (Serve.Protocol.reply_ok r)
+      | None -> Alcotest.fail "connection dropped after garbage");
+      Serve.Client.close c;
+      (* disconnect mid-line: daemon ignores the partial request *)
+      let c2 = Serve.Client.connect_unix path in
+      Serve.Client.send_line c2 {|{"op":"predict","id":2,"la|};
+      Serve.Client.close c2;
+      (* oversized request line: error reply, then the server closes *)
+      let e2 = engine () in
+      ignore e2;
+      let c3 = Serve.Client.connect_unix path in
+      (match Serve.Client.request c3 {|{"op":"ping","id":3}|} with
+      | Some r -> check_bool "alive after disconnect" true (Serve.Protocol.reply_ok r)
+      | None -> Alcotest.fail "daemon died after mid-line disconnect");
+      Serve.Client.close c3)
+
+let test_daemon_oversized_line () =
+  let e = engine () in
+  with_daemon ~max_line:4096 e (fun path _t ->
+      let c = Serve.Client.connect_unix path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let huge = predict_line (String.make 100_000 'x') in
+      (match Serve.Client.request c huge with
+      | Some r -> check_string "framing guard" "bad-request" (error_kind_of r)
+      | None -> Alcotest.fail "no overflow reply");
+      (* a fresh connection still works *)
+      let c2 = Serve.Client.connect_unix path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c2) @@ fun () ->
+      match Serve.Client.request c2 {|{"op":"ping","id":1}|} with
+      | Some r -> check_bool "daemon alive" true (Serve.Protocol.reply_ok r)
+      | None -> Alcotest.fail "daemon died on oversized line")
+
+let test_daemon_shutdown_request () =
+  let e = engine () in
+  let path = temp_sock () in
+  let cfg =
+    { Serve.Server.default_config with Serve.Server.unix_socket = Some path }
+  in
+  let t = Serve.Server.start e cfg in
+  let c = Serve.Client.connect_unix path in
+  (match Serve.Client.request c {|{"op":"shutdown","id":5}|} with
+  | Some r ->
+      check_string "stopping reply" {|{"id":5,"ok":true,"stopping":true}|} r
+  | None -> Alcotest.fail "no shutdown reply");
+  Serve.Client.close c;
+  Serve.Server.wait t;
+  check_bool "stopped" true (Serve.Server.stopped t);
+  check_bool "socket unlinked" false (Sys.file_exists path)
+
+let test_daemon_stats () =
+  let e = engine () in
+  with_daemon e (fun path t ->
+      let c = Serve.Client.connect_unix path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      ignore (Serve.Client.request c (predict_line sample_code));
+      ignore (Serve.Client.request c "garbage");
+      (match Serve.Client.request c {|{"op":"stats","id":1}|} with
+      | Some r -> check_bool "stats ok" true (Serve.Protocol.reply_ok r)
+      | None -> Alcotest.fail "no stats reply");
+      let s = Serve.Server.stats t in
+      check_bool "served counted" true (s.Serve.Protocol.served >= 2);
+      check_bool "errors counted" true (s.Serve.Protocol.errors >= 1))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_json_rejects;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request parse" `Quick test_request_parse;
+          Alcotest.test_case "reply render" `Quick test_reply_render;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "predict ok" `Quick test_engine_predict_ok;
+          Alcotest.test_case "hostile isolation" `Quick test_engine_hostile;
+          Alcotest.test_case "batch isolation" `Quick test_engine_batch_isolation;
+          Alcotest.test_case "pool byte-identity" `Quick test_engine_batch_pool;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "byte-identity" `Quick test_daemon_byte_identity;
+          Alcotest.test_case "concurrent isolation" `Quick
+            test_daemon_concurrent_isolation;
+          Alcotest.test_case "garbage and disconnect" `Quick
+            test_daemon_garbage_and_disconnect;
+          Alcotest.test_case "oversized line" `Quick test_daemon_oversized_line;
+          Alcotest.test_case "shutdown request" `Quick
+            test_daemon_shutdown_request;
+          Alcotest.test_case "stats" `Quick test_daemon_stats;
+        ] );
+    ]
