@@ -2133,6 +2133,86 @@ let serve_bench () =
         (Printf.sprintf "serve p99 %.1f ms > floor %.1f ms" p99 p99_floor_ms)
   end
   else Printf.printf "latency floors not enforced (--quick)\n%!";
+  (* ---- overload burst: 2x more clients than queue slots ----
+     A bounded queue (max_queue) with a deliberately slowed batcher
+     (deterministic pre-batch delay, max_batch=1 so batching cannot
+     absorb the burst). Twice as many round-trip clients as queue
+     slots keeps the queue saturated: the excess must be shed with
+     structured "overloaded" replies — which is exactly what keeps
+     p99 bounded under overload instead of growing with the backlog.
+     Every request still gets exactly one reply. *)
+  let ov_queue = 4 in
+  let ov_clients = 2 * ov_queue in
+  let ov_sock = Filename.temp_file "pigeon-bench-ov" ".sock" in
+  Sys.remove ov_sock;
+  let ov_cfg =
+    {
+      Serve.Server.default_config with
+      Serve.Server.unix_socket = Some ov_sock;
+      max_batch = 1;
+      max_queue = ov_queue;
+      faults =
+        { Serve.Faults.disabled with Serve.Faults.pre_batch_delay_ms = 20 };
+    }
+  in
+  let ov_server = Serve.Server.start engine ov_cfg in
+  let ov_per = if !quick then 10 else 30 in
+  let ov_total = ov_clients * ov_per in
+  let ov_lat = Array.make ov_total 0.0 in
+  let ov_shed = Array.make ov_clients 0 in
+  let ov_client k =
+    let c = Serve.Client.connect_unix ~read_timeout:60. ov_sock in
+    for i = 0 to ov_per - 1 do
+      let id = (k * ov_per) + i in
+      let line = predict_line ~id sources.(id mod Array.length sources) in
+      let t0 = Unix.gettimeofday () in
+      match Serve.Client.request c line with
+      | Some reply -> (
+          ov_lat.(id) <- Unix.gettimeofday () -. t0;
+          match Serve.Protocol.reply_error reply with
+          | Some e when e.Serve.Protocol.kind = "overloaded" ->
+              ov_shed.(k) <- ov_shed.(k) + 1
+          | Some e ->
+              failwith
+                ("serve bench: unexpected error under overload: "
+                ^ e.Serve.Protocol.msg)
+          | None -> ())
+      | None -> failwith "serve bench: daemon dropped an overload client"
+    done;
+    Serve.Client.close c
+  in
+  let ov_threads = List.init ov_clients (fun k -> Thread.create ov_client k) in
+  List.iter Thread.join ov_threads;
+  let ov_stats = Serve.Server.stats ov_server in
+  Serve.Server.request_stop ov_server;
+  Serve.Server.wait ov_server;
+  let shed_total = Array.fold_left ( + ) 0 ov_shed in
+  let shed_rate = float_of_int shed_total /. float_of_int ov_total in
+  if ov_stats.Serve.Protocol.shed < shed_total then
+    failwith "serve bench: shed replies exceed the daemon's shed counter";
+  if ov_stats.Serve.Protocol.queue_hw > ov_queue then
+    failwith "serve bench: queue high-water above max_queue";
+  Array.sort compare ov_lat;
+  let ov_pctl p =
+    ov_lat.(min (ov_total - 1) (int_of_float (p *. float_of_int ov_total)))
+    *. 1000.
+  in
+  let ov_p50 = ov_pctl 0.50 and ov_p99 = ov_pctl 0.99 in
+  Printf.printf
+    "overload: %d clients vs %d queue slots, %d requests: %.0f%% shed, p50 \
+     %.1f ms, p99 %.1f ms (queue high-water %d)\n\
+     %!"
+    ov_clients ov_queue ov_total (100. *. shed_rate) ov_p50 ov_p99
+    ov_stats.Serve.Protocol.queue_hw;
+  let ov_p99_floor_ms = 2000.0 in
+  if floor_enforced then begin
+    if shed_total = 0 then
+      failwith "serve bench: 2x overload burst shed nothing — queue unbounded?";
+    if ov_p99 > ov_p99_floor_ms then
+      failwith
+        (Printf.sprintf "serve overload p99 %.1f ms > floor %.1f ms" ov_p99
+           ov_p99_floor_ms)
+  end;
   let oc = open_out "BENCH_serve.json" in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"quick\": %b,\n" !quick;
@@ -2148,7 +2228,19 @@ let serve_bench () =
     rps p50 p99;
   Printf.fprintf oc "  \"rps_floor\": %.1f,\n  \"p99_floor_ms\": %.1f,\n"
     rps_floor p99_floor_ms;
-  Printf.fprintf oc "  \"floors_enforced\": %b\n" floor_enforced;
+  Printf.fprintf oc "  \"floors_enforced\": %b,\n" floor_enforced;
+  Printf.fprintf oc "  \"overload\": {\n";
+  Printf.fprintf oc "    \"clients\": %d,\n    \"max_queue\": %d,\n"
+    ov_clients ov_queue;
+  Printf.fprintf oc "    \"requests\": %d,\n    \"shed\": %d,\n" ov_total
+    shed_total;
+  Printf.fprintf oc "    \"shed_rate\": %.4f,\n" shed_rate;
+  Printf.fprintf oc "    \"queue_high_water\": %d,\n"
+    ov_stats.Serve.Protocol.queue_hw;
+  Printf.fprintf oc "    \"p50_ms\": %.2f,\n    \"p99_ms\": %.2f,\n" ov_p50
+    ov_p99;
+  Printf.fprintf oc "    \"p99_floor_ms\": %.1f\n" ov_p99_floor_ms;
+  Printf.fprintf oc "  }\n";
   Printf.fprintf oc "}\n";
   close_out oc;
   Printf.printf "wrote BENCH_serve.json\n%!"

@@ -16,10 +16,15 @@
 # test_serialize, run under dune runtest), the micro benchmark
 # (which also regenerates BENCH_extract.json and checks the iterator
 # engine against the naive baseline corpus-wide), the serve tests
-# (hostile-request isolation, daemon byte-identity), a live daemon
-# smoke (train a model, start `pigeon serve` on a Unix socket, mixed
-# well-formed/hostile burst through `pigeon client`, clean shutdown),
-# and the quick serve throughput bench.
+# (hostile-request isolation, daemon byte-identity), the netio
+# edge-case tests, the bounded chaos harness (fault injection: torn
+# replies, engine errors, accept drops, overload, reload under load),
+# a live daemon smoke (train a model, start `pigeon serve` on a Unix
+# socket, mixed well-formed/hostile burst through `pigeon client`,
+# clean shutdown), lifecycle smokes (wire + SIGHUP hot reload,
+# SIGTERM drain with socket unlink, client exit-code contract, fail-
+# fast PIGEON_FAULTS parsing), and the quick serve throughput bench
+# including its 2x-overload shed phase.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,8 +41,10 @@ dune exec test/test_intern.exe
 dune exec bench/main.exe -- --quick intern
 dune exec bench/main.exe -- --quick micro
 
-# ---- serve: unit/integration tests, live daemon smoke, quick bench ----
+# ---- serve: unit/integration tests, netio edge cases, chaos, smokes ----
 dune exec test/test_serve.exe
+dune exec test/test_netio.exe
+PIGEON_CHAOS_COUNT=60 dune exec test/test_chaos.exe
 
 SMOKE_DIR=$(mktemp -d /tmp/pigeon-ci-serve.XXXXXX)
 SERVE_PID=""
@@ -94,5 +101,91 @@ if [ -e "$SOCK" ]; then
   exit 1
 fi
 echo "serve smoke: ok"
+
+# ---- lifecycle smokes: SIGHUP hot reload, SIGTERM drain, exit codes ----
+# The binary is invoked directly (dune build above produced it) so the
+# daemon PID is the daemon, not a dune wrapper — signals land for real.
+PIGEON_BIN=_build/default/bin/pigeon_cli.exe
+
+# a second model to hot-swap in, and a live path the daemon re-reads on SIGHUP
+"$PIGEON_BIN" train --files 40 -j 1 "$SMOKE_DIR/model2.crf"
+cp "$SMOKE_DIR/model.crf" "$SMOKE_DIR/model_live.crf"
+
+SOCK2="$SMOKE_DIR/pigeon2.sock"
+"$PIGEON_BIN" serve --model "$SMOKE_DIR/model_live.crf" --socket "$SOCK2" \
+  -j 1 2>"$SMOKE_DIR/serve2.log" &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK2" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "lifecycle smoke: daemon never bound $SOCK2" >&2
+    cat "$SMOKE_DIR/serve2.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$PIGEON_BIN" client --socket "$SOCK2" --op ping
+
+# hot reload, both ways: the wire op with an explicit path, then
+# SIGHUP re-reading the (swapped) live path
+"$PIGEON_BIN" client --socket "$SOCK2" --op reload \
+  --reload-model "$SMOKE_DIR/model2.crf"
+cp "$SMOKE_DIR/model2.crf" "$SMOKE_DIR/model_live.crf"
+kill -HUP "$SERVE_PID"
+i=0
+while ! grep -q "model reloaded (SIGHUP)" "$SMOKE_DIR/serve2.log"; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "lifecycle smoke: SIGHUP reload never logged" >&2
+    cat "$SMOKE_DIR/serve2.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+"$PIGEON_BIN" client --socket "$SOCK2" --op stats | grep -q '"reloads":2' || {
+  echo "lifecycle smoke: expected 2 reloads in stats" >&2
+  exit 1
+}
+"$PIGEON_BIN" client --socket "$SOCK2" "$SMOKE_DIR/corpus/sample_0000.js"
+
+# SIGTERM: drain then stop, exit 0, socket unlinked
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "lifecycle smoke: daemon exited non-zero on SIGTERM" >&2
+  cat "$SMOKE_DIR/serve2.log" >&2
+  exit 1
+fi
+SERVE_PID=""
+if [ -e "$SOCK2" ]; then
+  echo "lifecycle smoke: socket not unlinked on SIGTERM" >&2
+  exit 1
+fi
+
+# unreachable daemon: exit 4 (distinct from 3 = structured error),
+# after the bounded retry budget
+set +e
+"$PIGEON_BIN" client --socket "$SMOKE_DIR/nonexistent.sock" \
+  --timeout 1 --retries 2 --op ping 2>/dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 4 ]; then
+  echo "lifecycle smoke: expected exit 4 for unreachable daemon, got $rc" >&2
+  exit 1
+fi
+
+# a typoed PIGEON_FAULTS must refuse to start (exit 2), not silently
+# run an un-instrumented daemon
+set +e
+PIGEON_FAULTS="bogus=1" "$PIGEON_BIN" serve --model "$SMOKE_DIR/model.crf" \
+  --socket "$SMOKE_DIR/never.sock" 2>/dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 2 ]; then
+  echo "lifecycle smoke: expected exit 2 for bad PIGEON_FAULTS, got $rc" >&2
+  exit 1
+fi
+echo "lifecycle smoke: ok"
 
 dune exec bench/main.exe -- --quick serve

@@ -301,8 +301,27 @@ let serve_cmd =
     Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N"
          ~doc:"Per-request parse step budget (default 20M).")
   in
+  let max_queue_arg =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.max_queue
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Most predict/similar requests queued before excess ones \
+                   are shed with an \"overloaded\" error (0 = unbounded).")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int Serve.Server.default_config.Serve.Server.max_conns
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Most concurrent connections before excess ones are \
+                   rejected with an \"overloaded\" error (0 = unbounded).")
+  in
+  let idle_timeout_arg =
+    Arg.(value
+         & opt float Serve.Server.default_config.Serve.Server.idle_timeout
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-connection I/O budget: close connections that stay \
+                   silent (or stop draining replies) this long (0 = never).")
+  in
   let run model_path w2v_path socket tcp host jobs max_batch max_bytes
-      max_depth max_steps =
+      max_depth max_steps max_queue max_conns idle_timeout =
     if socket = None && tcp = None then begin
       Format.eprintf "error: pass --socket PATH and/or --tcp PORT@.";
       exit 2
@@ -329,14 +348,27 @@ let serve_cmd =
           Option.value ~default:d.Lexkit.max_parse_steps max_steps;
       }
     in
+    let faults =
+      match Serve.Faults.of_env () with
+      | Ok f -> f
+      | Error msg ->
+          Format.eprintf "error: PIGEON_FAULTS: %s@." msg;
+          exit 2
+    in
     let pool = pool_of_jobs jobs in
-    let engine = Serve.Engine.create ?w2v ~limits ~model () in
+    let engine =
+      Serve.Engine.create ?w2v ~limits ~model_path ?w2v_path ~model ()
+    in
     let cfg =
       {
         Serve.Server.default_config with
         Serve.Server.unix_socket = socket;
         tcp = Option.map (fun p -> (host, p)) tcp;
         max_batch;
+        max_queue;
+        max_conns;
+        idle_timeout;
+        faults;
       }
     in
     let t =
@@ -349,16 +381,28 @@ let serve_cmd =
       (fun s -> Format.eprintf "pigeon serve: listening on %s@." s)
       ((match socket with Some p -> [ p ] | None -> [])
       @ match tcp with Some p -> [ Printf.sprintf "%s:%d" host p ] | None -> []);
-    (* Signal handlers only set a flag; the polling loop below does the
-       actual shutdown from a plain thread context (mutexes and
-       condition variables are not signal-safe). *)
+    (* Signal handlers only set flags; the polling loop below does the
+       actual work from a plain thread context (mutexes and condition
+       variables are not signal-safe). SIGTERM/SIGINT drain then stop;
+       SIGHUP hot-reloads the model files from disk. *)
     let sig_stop = Atomic.make false in
-    let on_signal _ = Atomic.set sig_stop true in
-    (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
-     with Invalid_argument _ | Sys_error _ -> ());
-    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
-     with Invalid_argument _ | Sys_error _ -> ());
+    let sig_hup = Atomic.make false in
+    let set_signal s h =
+      try Sys.set_signal s (Sys.Signal_handle h)
+      with Invalid_argument _ | Sys_error _ -> ()
+    in
+    set_signal Sys.sigint (fun _ -> Atomic.set sig_stop true);
+    set_signal Sys.sigterm (fun _ -> Atomic.set sig_stop true);
+    set_signal Sys.sighup (fun _ -> Atomic.set sig_hup true);
     while (not (Serve.Server.stopped t)) && not (Atomic.get sig_stop) do
+      if Atomic.compare_and_set sig_hup true false then begin
+        match Serve.Server.reload t with
+        | Ok () -> Format.eprintf "pigeon serve: model reloaded (SIGHUP)@."
+        | Error e ->
+            Format.eprintf
+              "pigeon serve: reload failed, keeping old model: [%s] %s@."
+              e.Serve.Protocol.kind e.Serve.Protocol.msg
+      end;
       Thread.delay 0.05
     done;
     if Atomic.get sig_stop then Serve.Server.request_stop t;
@@ -370,10 +414,15 @@ let serve_cmd =
        ~doc:
          "Long-lived prediction daemon: load the model once, answer \
           newline-delimited JSON requests over a Unix (and optionally TCP) \
-          socket, batching concurrent requests across the domain pool.")
+          socket, batching concurrent requests across the domain pool. \
+          Overloads shed with structured errors (see --max-queue, \
+          --max-conns, --idle-timeout); SIGHUP (or the reload op) hot-swaps \
+          the model; SIGTERM/SIGINT drain then stop. Set PIGEON_FAULTS to \
+          inject faults for chaos testing.")
     Term.(
       const run $ model_arg $ w2v_arg $ socket_arg $ tcp_arg $ host_arg
-      $ jobs_arg $ batch_arg $ max_bytes_arg $ max_depth_arg $ max_steps_arg)
+      $ jobs_arg $ batch_arg $ max_bytes_arg $ max_depth_arg $ max_steps_arg
+      $ max_queue_arg $ max_conns_arg $ idle_timeout_arg)
 
 (* ---------- client ---------- *)
 
@@ -390,11 +439,12 @@ let client_cmd =
     Arg.(
       value
       & opt (enum [ ("predict", `Predict); ("ping", `Ping); ("stats", `Stats);
-                    ("shutdown", `Shutdown); ("similar", `Similar) ])
+                    ("shutdown", `Shutdown); ("similar", `Similar);
+                    ("reload", `Reload) ])
           `Predict
       & info [ "op" ] ~docv:"OP"
           ~doc:"Request kind: predict (default), ping, stats, shutdown, \
-                similar.")
+                similar, reload.")
   in
   let word_arg =
     Arg.(value & opt (some string) None & info [ "word" ] ~docv:"WORD"
@@ -404,31 +454,73 @@ let client_cmd =
     Arg.(value & opt int 5 & info [ "k" ] ~docv:"N"
          ~doc:"Neighbor count for --op similar.")
   in
+  let reload_model_arg =
+    Arg.(value & opt (some string) None & info [ "reload-model" ] ~docv:"PATH"
+         ~doc:"CRF model path for --op reload (default: the daemon re-reads \
+               the file it was started from).")
+  in
+  let reload_w2v_arg =
+    Arg.(value & opt (some string) None & info [ "reload-w2v" ] ~docv:"PATH"
+         ~doc:"word2vec model path for --op reload.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Connect and reply-wait budget per attempt (0 = wait forever).")
+  in
+  let retries_arg =
+    Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N"
+         ~doc:"Connect attempts on transient failures (refused, socket file \
+               missing, timeout), with exponential backoff plus jitter. Only \
+               the connect is retried; a request is never replayed.")
+  in
   let file_opt_arg =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
          ~doc:"Source file for --op predict.")
   in
-  (* Exit codes: 0 ok reply, 3 structured error reply, 1 transport or
-     usage failure — so shell smoke tests can tell "the daemon said
-     no" (isolation working) from "the daemon is gone" (it is not). *)
-  let run socket tcp host op lang word k file =
-    let conn =
+  (* Exit codes: 0 ok reply, 3 structured error reply (including
+     "overloaded" sheds — the daemon is up and said no), 4 daemon
+     unreachable or unresponsive after the retry budget
+     (connect-refused/timeout), 1 other transport failure, 2 usage —
+     so shell scripts can tell "the daemon said no" from "the daemon
+     is gone". *)
+  let run socket tcp host op lang word k reload_model reload_w2v timeout
+      retries file =
+    let timeout = if timeout <= 0. then None else Some timeout in
+    let retry =
+      { Serve.Client.default_retry with
+        Serve.Client.attempts = max 1 retries }
+    in
+    let endpoint =
       match (socket, tcp) with
-      | Some path, _ -> (
-          try Serve.Client.connect_unix path
-          with e ->
-            Format.eprintf "error: cannot connect to %s: %s@." path
-              (Printexc.to_string e);
-            exit 1)
-      | None, Some port -> (
-          try Serve.Client.connect_tcp host port
-          with e ->
-            Format.eprintf "error: cannot connect to %s:%d: %s@." host port
-              (Printexc.to_string e);
-            exit 1)
+      | Some path, _ -> Serve.Client.Unix_sock path
+      | None, Some port -> Serve.Client.Tcp (host, port)
       | None, None ->
           Format.eprintf "error: pass --socket PATH or --tcp PORT@.";
           exit 2
+    in
+    let describe = function
+      | Serve.Client.Unix_sock p -> p
+      | Serve.Client.Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+    in
+    let unreachable what e =
+      Format.eprintf
+        "error: daemon unreachable: %s %s: %s (after %d attempt%s)@."
+        what (describe endpoint) (Printexc.to_string e) retry.Serve.Client.attempts
+        (if retry.Serve.Client.attempts = 1 then "" else "s");
+      exit 4
+    in
+    let conn =
+      match
+        Serve.Client.connect ?connect_timeout:timeout ?read_timeout:timeout
+          ~retry endpoint
+      with
+      | c -> c
+      | exception (Unix.Unix_error _ as e) when Serve.Client.transient e ->
+          unreachable "cannot connect to" e
+      | exception e ->
+          Format.eprintf "error: cannot connect to %s: %s@."
+            (describe endpoint) (Printexc.to_string e);
+          exit 1
     in
     let open Serve.Json in
     let line =
@@ -436,6 +528,13 @@ let client_cmd =
       | `Ping -> Obj [ ("op", Str "ping"); ("id", Num 0.) ]
       | `Stats -> Obj [ ("op", Str "stats"); ("id", Num 0.) ]
       | `Shutdown -> Obj [ ("op", Str "shutdown"); ("id", Num 0.) ]
+      | `Reload ->
+          Obj
+            ([ ("op", Str "reload"); ("id", Num 0.) ]
+            @ (match reload_model with
+              | Some p -> [ ("model", Str p) ]
+              | None -> [])
+            @ match reload_w2v with Some p -> [ ("w2v", Str p) ] | None -> [])
       | `Similar -> (
           match word with
           | None ->
@@ -462,6 +561,11 @@ let client_cmd =
       | None ->
           Format.eprintf "error: server closed the connection@.";
           exit 1
+      | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) ->
+          Format.eprintf "error: no reply from %s within %.1fs@."
+            (describe endpoint)
+            (Option.value ~default:0. timeout);
+          exit 4
       | exception e ->
           Format.eprintf "error: request failed: %s@." (Printexc.to_string e);
           exit 1
@@ -473,10 +577,13 @@ let client_cmd =
   Cmd.v
     (Cmd.info "client"
        ~doc:"Send one request to a running `pigeon serve` daemon and print \
-             the raw JSON reply.")
+             the raw JSON reply. Exit codes: 0 ok, 3 the daemon replied with \
+             a structured error, 4 the daemon is unreachable or unresponsive \
+             (after --retries), 1 other transport failure, 2 usage.")
     Term.(
       const run $ socket_arg $ tcp_arg $ host_arg $ op_arg $ lang_arg
-      $ word_arg $ k_arg $ file_opt_arg)
+      $ word_arg $ k_arg $ reload_model_arg $ reload_w2v_arg $ timeout_arg
+      $ retries_arg $ file_opt_arg)
 
 (* ---------- stats ---------- *)
 

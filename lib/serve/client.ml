@@ -1,35 +1,128 @@
 (* A tiny synchronous client for the serve protocol: one connection,
    send a request line, read one reply line. Used by the CLI `client`
-   subcommand, the bench driver, and the isolation tests. *)
+   subcommand, the bench driver, the chaos harness, and the isolation
+   tests.
+
+   Robustness: connects can be bounded ([connect_timeout], a
+   non-blocking connect + select) and retried with exponential backoff
+   plus jitter ([retry]); reads can be bounded ([read_timeout]).
+   Retrying a *connect* is always safe — no request bytes have been
+   sent. Retrying a full round-trip is NOT done here: the server may
+   have executed a request whose reply was lost, so replaying is only
+   sound for idempotent ops (predict/similar/ping/stats are; shutdown
+   and reload are too in effect, but a caller that replays anything
+   else owns the consequences). [with_retries] is exposed so callers
+   can make that call explicitly. *)
 
 type t = { fd : Unix.file_descr; lr : Netio.line_reader }
 
-let connect_fd fd = { fd; lr = Netio.line_reader fd }
+type retry = {
+  attempts : int;  (** total tries, including the first *)
+  base_delay : float;  (** seconds before the second try *)
+  max_delay : float;  (** backoff ceiling *)
+  jitter : float;  (** 0..1: delay is scaled by 1 ± jitter/2 *)
+}
 
-let connect_unix path =
-  Netio.ignore_sigpipe ();
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX path) with
-  | () -> connect_fd fd
-  | exception e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise e
+let default_retry =
+  { attempts = 4; base_delay = 0.05; max_delay = 1.0; jitter = 0.5 }
 
-let connect_tcp host port =
-  Netio.ignore_sigpipe ();
-  let addr =
-    try Unix.inet_addr_of_string host
-    with Failure _ -> (
-      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
-      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
-      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+let no_retry = { default_retry with attempts = 1 }
+
+(* Transient transport failures: the peer may be about to exist
+   (daemon starting: ENOENT/ECONNREFUSED), briefly gone (restart:
+   ECONNRESET), or slow (ETIMEDOUT). Anything else — bad address,
+   permission, a protocol bug — retries would only repeat. *)
+let transient = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED
+        | Unix.ENETUNREACH | Unix.EHOSTUNREACH | Unix.ETIMEDOUT | Unix.EAGAIN
+        | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.ENOENT | Unix.EINTR ),
+        _,
+        _ ) ->
+      true
+  | _ -> false
+
+let jitter_state = lazy (Random.State.make_self_init ())
+
+let with_retries ?(retry = default_retry) f =
+  let attempts = max 1 retry.attempts in
+  let rec go i =
+    match f () with
+    | v -> v
+    | exception e when i < attempts && transient e ->
+        let exp_delay =
+          retry.base_delay *. (2. ** float_of_int (i - 1))
+        in
+        let capped = Float.min retry.max_delay exp_delay in
+        let scale =
+          (* 1 ± jitter/2: desynchronizes a thundering herd of
+             retrying clients without changing the order of
+             magnitude. *)
+          let j = Float.max 0. (Float.min 1. retry.jitter) in
+          1. -. (j /. 2.)
+          +. (j *. Random.State.float (Lazy.force jitter_state) 1.0)
+        in
+        Thread.delay (capped *. scale);
+        go (i + 1)
   in
-  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
-  | () -> connect_fd fd
-  | exception e ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      raise e
+  go 1
+
+let connect_fd ?read_timeout fd =
+  { fd; lr = Netio.line_reader ?idle_timeout:read_timeout fd }
+
+(* Bounded connect: non-blocking connect, select for writability, then
+   read the socket error back. Restores blocking mode. *)
+let connect_bounded fd addr timeout =
+  match timeout with
+  | None -> Unix.connect fd addr
+  | Some tmo -> (
+      Unix.set_nonblock fd;
+      let finish () =
+        match Unix.select [] [ fd ] [] tmo with
+        | _, _ :: _, _ -> (
+            match Unix.getsockopt_error fd with
+            | None -> ()
+            | Some err -> raise (Unix.Unix_error (err, "connect", "")))
+        | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+      in
+      (match Unix.connect fd addr with
+      | () -> ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+          finish ());
+      Unix.clear_nonblock fd)
+
+type endpoint = Unix_sock of string | Tcp of string * int
+
+let resolve = function
+  | Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Tcp (host, port) ->
+      let addr =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (addr, port))
+
+let connect ?connect_timeout ?read_timeout ?(retry = no_retry) endpoint =
+  Netio.ignore_sigpipe ();
+  let domain, addr = resolve endpoint in
+  with_retries ~retry (fun () ->
+      let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+      match connect_bounded fd addr connect_timeout with
+      | () -> connect_fd ?read_timeout fd
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e)
+
+let connect_unix ?connect_timeout ?read_timeout ?retry path =
+  connect ?connect_timeout ?read_timeout ?retry (Unix_sock path)
+
+let connect_tcp ?connect_timeout ?read_timeout ?retry host port =
+  connect ?connect_timeout ?read_timeout ?retry (Tcp (host, port))
 
 let send_line t line = Netio.write_line t.fd line
 
@@ -37,11 +130,20 @@ let recv_line t =
   match Netio.read_line t.lr with
   | Netio.Line l -> Some l
   | Netio.Eof | Netio.Overflow -> None
+  | Netio.Timeout ->
+      raise (Unix.Unix_error (Unix.ETIMEDOUT, "recv_line", ""))
 
 (* One round-trip. [None] when the server closed the connection
-   without replying. *)
+   without replying; raises ETIMEDOUT past the read timeout.
+
+   EPIPE mid-send means the server gave up on this connection while we
+   were still writing (e.g. it rejected an oversized line and closed)
+   — its parting structured error is usually already buffered on our
+   side, so read it rather than losing it to the exception. *)
 let request t line =
-  send_line t line;
+  (match send_line t line with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
   recv_line t
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,14 +1,60 @@
 (** Synchronous client for the serve protocol (one reply line per
-    request line). Used by the CLI, the bench driver and the tests. *)
+    request line). Used by the CLI, the bench driver, the chaos
+    harness and the tests. *)
 
 type t
 
-val connect_unix : string -> t
-val connect_tcp : string -> int -> t
+type retry = {
+  attempts : int;  (** total tries, including the first *)
+  base_delay : float;  (** seconds before the second try *)
+  max_delay : float;  (** backoff ceiling *)
+  jitter : float;  (** 0..1: each delay is scaled by 1 ± jitter/2 *)
+}
+
+val default_retry : retry
+(** 4 attempts, 50 ms base, 1 s ceiling, 0.5 jitter. *)
+
+val no_retry : retry
+
+val transient : exn -> bool
+(** Whether an exception is a transient transport failure (connection
+    refused/reset, socket file not there yet, timeout, …) that a
+    retry could fix. *)
+
+val with_retries : ?retry:retry -> (unit -> 'a) -> 'a
+(** Run [f], retrying {!transient} failures with exponential backoff
+    plus jitter until the attempt budget runs out (the last failure
+    re-raises). Only wrap operations that are safe to repeat: connects
+    always are; full request round-trips only when the op is
+    idempotent — a lost reply does not prove the request was not
+    executed. *)
+
+type endpoint = Unix_sock of string | Tcp of string * int
+
+val connect :
+  ?connect_timeout:float -> ?read_timeout:float -> ?retry:retry ->
+  endpoint -> t
+(** Connect, optionally bounding the connect ([connect_timeout],
+    non-blocking connect + select; raises [ETIMEDOUT]) and every
+    subsequent reply wait ([read_timeout]). [retry] backs off and
+    reconnects on transient failures (default: {!no_retry} — a single
+    attempt). *)
+
+val connect_unix :
+  ?connect_timeout:float -> ?read_timeout:float -> ?retry:retry ->
+  string -> t
+
+val connect_tcp :
+  ?connect_timeout:float -> ?read_timeout:float -> ?retry:retry ->
+  string -> int -> t
 
 val request : t -> string -> string option
 (** Send one request line, read one reply line. [None] when the
-    server closed the connection without replying. *)
+    server closed the connection without replying. Raises
+    [Unix.Unix_error (ETIMEDOUT, _, _)] when [read_timeout] elapses —
+    distinguishable from a clean close, so callers can tell "daemon
+    gone" from "daemon wedged". Not retried here; see
+    {!with_retries}. *)
 
 val send_line : t -> string -> unit
 val recv_line : t -> string option

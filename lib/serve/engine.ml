@@ -8,18 +8,72 @@
    anything that makes a front-end or the predictor raise) costs its
    own request a structured error reply and nothing else — concurrent
    requests in the same batch still answer, and no exception crosses
-   the module boundary. *)
+   the module boundary.
 
-type t = {
+   Hot reload: the models live in one immutable snapshot behind an
+   [Atomic.t]. Every batch reads the snapshot exactly once and uses it
+   throughout, so an in-flight batch finishes on the model it started
+   with while [reload] validates the new files off the request path
+   and publishes them with a single atomic store — readers never wait
+   on a lock, and no request observes a half-swapped model pair. A
+   reload that fails validation (unreadable file, corrupt model)
+   leaves the old snapshot serving. *)
+
+type snapshot = {
   model : Crf.Train.model;
   w2v : Word2vec.Sgns.t option;
-  limits : Lexkit.limits;  (** per-request resource budgets *)
 }
 
-let create ?w2v ?limits ~model () =
-  { model; w2v; limits = Option.value ~default:(Lexkit.current_limits ()) limits }
+type t = {
+  snap : snapshot Atomic.t;
+  limits : Lexkit.limits;  (** per-request resource budgets *)
+  reload_m : Mutex.t;  (** serializes concurrent reloads, not readers *)
+  mutable model_path : string option;
+  mutable w2v_path : string option;
+}
+
+let create ?w2v ?limits ?model_path ?w2v_path ~model () =
+  {
+    snap = Atomic.make { model; w2v };
+    limits = Option.value ~default:(Lexkit.current_limits ()) limits;
+    reload_m = Mutex.create ();
+    model_path;
+    w2v_path;
+  }
 
 let limits t = t.limits
+let reloadable t = t.model_path <> None
+
+let reload t ?model_path ?w2v_path () =
+  Mutex.lock t.reload_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.reload_m) @@ fun () ->
+  let first_some a b = match a with Some _ -> a | None -> b in
+  match first_some model_path t.model_path with
+  | None ->
+      Error
+        (Protocol.bad_request
+           "reload: no model path (the daemon was started from an in-memory \
+            model and the request named none)")
+  | Some mpath -> (
+      match Crf.Serialize.load mpath with
+      | Error d -> Error (Protocol.error_of_diag d)
+      | Ok model -> (
+          let wpath = first_some w2v_path t.w2v_path in
+          let w2v_r =
+            match wpath with
+            | None -> Ok None
+            | Some wp -> (
+                match Word2vec.Serialize.load wp with
+                | Ok m -> Ok (Some m)
+                | Error d -> Error (Protocol.error_of_diag d))
+          in
+          match w2v_r with
+          | Error e -> Error e
+          | Ok w2v ->
+              t.model_path <- Some mpath;
+              if wpath <> None then t.w2v_path <- wpath;
+              Atomic.set t.snap { model; w2v };
+              Ok ()))
 
 (* Classify every failure: Diag-shaped ones keep their kind, anything
    else (a bug, not an input problem) becomes an "internal" error —
@@ -52,15 +106,16 @@ let pairs_of_prediction g pred =
   List.map (fun n -> (gold.(n), pred.(n))) (Crf.Graph.unknown_ids g)
 
 let predict_one t ~lang ~code =
+  let snap = Atomic.get t.snap in
   match graph_of_code t lang code with
   | Error e -> Error e
   | Ok g -> (
-      match guarded t (fun () -> Crf.Train.predict t.model g) with
+      match guarded t (fun () -> Crf.Train.predict snap.model g) with
       | Ok pred -> Ok (pairs_of_prediction g pred)
       | Error e -> Error e)
 
-let similar t ~word ~k =
-  match t.w2v with
+let similar_snap snap ~word ~k =
+  match snap.w2v with
   | None ->
       Error
         (Protocol.bad_request
@@ -71,6 +126,8 @@ let similar t ~word ~k =
       | Error d -> Error (Protocol.error_of_diag d)
       | exception e -> Error (classify e))
 
+let similar t ~word ~k = similar_snap (Atomic.get t.snap) ~word ~k
+
 (* ---------- batched handling ---------- *)
 
 (* Per-request state across the two stages: requests whose reply is
@@ -80,7 +137,7 @@ type slot =
   | Done of string
   | Pending of { id : Json.t; lang_name : string; graph : Crf.Graph.t }
 
-let prepare t req =
+let prepare t snap req =
   let id = Protocol.request_id req in
   match req with
   | Protocol.Ping _ -> Done (Protocol.render_pong ~id)
@@ -89,8 +146,12 @@ let prepare t req =
       Done
         (Protocol.render_error ~id
            (Protocol.bad_request "stats is only served by a running daemon"))
+  | Protocol.Reload _ ->
+      Done
+        (Protocol.render_error ~id
+           (Protocol.bad_request "reload is only served by a running daemon"))
   | Protocol.Similar { word; k; _ } -> (
-      match similar t ~word ~k with
+      match similar_snap snap ~word ~k with
       | Ok xs -> Done (Protocol.render_similar ~id ~word xs)
       | Error e -> Done (Protocol.render_error ~id e))
   | Protocol.Predict { lang; code; _ } -> (
@@ -110,7 +171,10 @@ let prepare t req =
               Pending { id; lang_name = l.Pigeon.Lang.name; graph }))
 
 let handle_batch ?pool t reqs =
-  let slots = List.map (prepare t) reqs in
+  (* One snapshot for the whole batch: a concurrent reload affects the
+     next batch, never a half-processed one. *)
+  let snap = Atomic.get t.snap in
+  let slots = List.map (prepare t snap) reqs in
   let graphs =
     List.filter_map
       (function Pending { graph; _ } -> Some graph | Done _ -> None)
@@ -123,12 +187,12 @@ let handle_batch ?pool t reqs =
          If one graph poisons the batch (a predictor bug — guarded
          inputs cannot reach here), fall back to per-graph prediction
          so only the offending request pays. *)
-      match Crf.Train.predict_batch ?pool t.model graphs with
+      match Crf.Train.predict_batch ?pool snap.model graphs with
       | preds -> List.map (fun p -> Ok p) preds
       | exception _ ->
           List.map
             (fun g ->
-              match guarded t (fun () -> Crf.Train.predict t.model g) with
+              match guarded t (fun () -> Crf.Train.predict snap.model g) with
               | Ok p -> Ok p
               | Error e -> Error e)
             graphs

@@ -9,18 +9,48 @@
     Determinism contract: because the daemon and the one-shot path are
     this same module, a daemon running over a 1-job pool replies
     byte-identical to {!handle} called directly (and to the CLI, which
-    renders {!predict_one}'s pairs). *)
+    renders {!predict_one}'s pairs).
+
+    Reload contract: the models live in one immutable snapshot behind
+    an atomic reference. {!handle_batch} reads it once per batch, so
+    in-flight batches finish on the model they started with;
+    {!reload} loads and validates new files off the request path and
+    publishes them with a single atomic store — no request is dropped
+    or served by a half-swapped model pair, and a failed load leaves
+    the old snapshot serving. *)
 
 type t
 
 val create :
-  ?w2v:Word2vec.Sgns.t -> ?limits:Lexkit.limits -> model:Crf.Train.model ->
-  unit -> t
+  ?w2v:Word2vec.Sgns.t ->
+  ?limits:Lexkit.limits ->
+  ?model_path:string ->
+  ?w2v_path:string ->
+  model:Crf.Train.model ->
+  unit ->
+  t
 (** [limits] are the per-request resource budgets ({!Lexkit.Guard}):
     every request is parsed under them, so one request can exhaust its
-    own budget only. Default: the ambient {!Lexkit.current_limits}. *)
+    own budget only. Default: the ambient {!Lexkit.current_limits}.
+    [model_path]/[w2v_path] record where the models came from, which
+    is what a path-less {!reload} (SIGHUP, bare [{"op":"reload"}])
+    re-reads. *)
 
 val limits : t -> Lexkit.limits
+
+val reloadable : t -> bool
+(** Whether a path-less {!reload} has a model path to re-read. *)
+
+val reload :
+  t -> ?model_path:string -> ?w2v_path:string -> unit ->
+  (unit, Protocol.error) result
+(** Load the CRF model (and the word2vec model, when a path is known)
+    from disk, validate them (checksummed v1/v2/v3 loaders), and
+    atomically swap them in. Absent paths default to the last
+    successfully loaded ones. On [Error] ([io-error],
+    [corrupt-model], [bad-request] when no path is known) the old
+    models keep serving. Thread-safe; concurrent reloads serialize.
+    Never raises. *)
 
 val predict_one :
   t -> lang:Pigeon.Lang.t -> code:string ->

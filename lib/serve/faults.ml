@@ -1,0 +1,96 @@
+(* Deterministic fault injection (see the .mli). Counter-based rather
+   than random so a chaos run with a fixed request schedule injects
+   the same faults every time. *)
+
+type t = {
+  pre_batch_delay_ms : int;
+  engine_error_every : int;
+  torn_reply_every : int;
+  accept_drop_every : int;
+}
+
+let disabled =
+  {
+    pre_batch_delay_ms = 0;
+    engine_error_every = 0;
+    torn_reply_every = 0;
+    accept_drop_every = 0;
+  }
+
+let enabled f = f <> disabled
+
+let of_string s =
+  let parse_pair acc pair =
+    match acc with
+    | Error _ -> acc
+    | Ok cfg -> (
+        match String.index_opt pair '=' with
+        | None -> Error (Printf.sprintf "fault knob %S is not key=int" pair)
+        | Some i -> (
+            let key = String.sub pair 0 i in
+            let value = String.sub pair (i + 1) (String.length pair - i - 1) in
+            match int_of_string_opt value with
+            | None -> Error (Printf.sprintf "fault knob %S: %S is not an int" key value)
+            | Some n when n < 0 ->
+                Error (Printf.sprintf "fault knob %S: %d is negative" key n)
+            | Some n -> (
+                match key with
+                | "delay_ms" -> Ok { cfg with pre_batch_delay_ms = n }
+                | "engine_every" -> Ok { cfg with engine_error_every = n }
+                | "torn_every" -> Ok { cfg with torn_reply_every = n }
+                | "drop_every" -> Ok { cfg with accept_drop_every = n }
+                | _ -> Error (Printf.sprintf "unknown fault knob %S" key))))
+  in
+  String.split_on_char ',' s
+  |> List.filter (fun p -> String.trim p <> "")
+  |> List.map String.trim
+  |> List.fold_left parse_pair (Ok disabled)
+
+let of_env () =
+  match Sys.getenv_opt "PIGEON_FAULTS" with
+  | None | Some "" -> Ok disabled
+  | Some s -> of_string s
+
+type state = {
+  cfg : t;
+  m : Mutex.t;
+  mutable n_engine : int;
+  mutable n_torn : int;
+  mutable n_accept : int;
+}
+
+let state cfg = { cfg; m = Mutex.create (); n_engine = 0; n_torn = 0; n_accept = 0 }
+
+type kind = Engine_error | Torn_reply | Accept_drop
+
+let fire st kind =
+  Mutex.lock st.m;
+  let hit =
+    let count every get set =
+      if every <= 0 then false
+      else begin
+        let n = get () + 1 in
+        set n;
+        n mod every = 0
+      end
+    in
+    match kind with
+    | Engine_error ->
+        count st.cfg.engine_error_every
+          (fun () -> st.n_engine)
+          (fun n -> st.n_engine <- n)
+    | Torn_reply ->
+        count st.cfg.torn_reply_every
+          (fun () -> st.n_torn)
+          (fun n -> st.n_torn <- n)
+    | Accept_drop ->
+        count st.cfg.accept_drop_every
+          (fun () -> st.n_accept)
+          (fun n -> st.n_accept <- n)
+  in
+  Mutex.unlock st.m;
+  hit
+
+let pre_batch_delay st =
+  if st.cfg.pre_batch_delay_ms > 0 then
+    Thread.delay (float_of_int st.cfg.pre_batch_delay_ms /. 1000.)

@@ -1,0 +1,57 @@
+(** Deterministic fault injection for the serve stack.
+
+    Off by default and zero-cost when disabled: the server keeps no
+    {!state} and takes no branches beyond one [option] check per hook.
+    When enabled (programmatically, or via the [PIGEON_FAULTS]
+    environment variable in the CLI), counters — not randomness — pick
+    the victims, so a chaos run with a fixed request schedule injects
+    the same faults every time.
+
+    Knobs (each [0] = disabled):
+    - [pre_batch_delay_ms]: the batcher sleeps this long before every
+      inference round (simulates a slow model / saturated pool, makes
+      overload reproducible);
+    - [engine_error_every]: every Nth inference round raises inside
+      the batcher's containment net (the whole batch must answer with
+      structured ["internal"] errors and the daemon must stay up);
+    - [torn_reply_every]: every Nth reply write emits only a prefix of
+      the line, with no newline, and kills the connection (simulates a
+      crash mid-write; framing of other connections must be unharmed);
+    - [accept_drop_every]: every Nth accepted connection is closed
+      before reading anything (simulates accept-time resource
+      exhaustion).
+
+    [PIGEON_FAULTS] syntax: comma-separated [key=int] pairs, e.g.
+    [PIGEON_FAULTS=delay_ms=5,engine_every=7,torn_every=13,drop_every=11]. *)
+
+type t = {
+  pre_batch_delay_ms : int;
+  engine_error_every : int;
+  torn_reply_every : int;
+  accept_drop_every : int;
+}
+
+val disabled : t
+val enabled : t -> bool
+
+val of_string : string -> (t, string) result
+(** Parse the [PIGEON_FAULTS] syntax. Unknown keys and malformed
+    pairs are errors (fail fast: a typoed chaos knob that silently
+    disables itself would fake a passing run). *)
+
+val of_env : unit -> (t, string) result
+(** [of_string] on [PIGEON_FAULTS]; [Ok disabled] when unset/empty. *)
+
+type state
+(** Mutable injection counters (thread-safe). *)
+
+val state : t -> state
+
+type kind = Engine_error | Torn_reply | Accept_drop
+
+val fire : state -> kind -> bool
+(** Count one event of [kind]; [true] when this one is a victim
+    (every Nth, first victim at the Nth event). *)
+
+val pre_batch_delay : state -> unit
+(** Sleep [pre_batch_delay_ms]; no-op when 0. *)

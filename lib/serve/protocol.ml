@@ -21,13 +21,22 @@
 
    Error kinds are the Lexkit.Diag kinds (parse-error, depth-limit,
    size-limit, io-error, corrupt-model) plus "bad-request" (malformed
-   JSON, missing field, unknown language or op) and "internal" (an
-   unclassified exception — the daemon answers and stays up). *)
+   JSON, missing field, unknown language or op), "internal" (an
+   unclassified exception — the daemon answers and stays up),
+   "overloaded" (the request was shed: queue bound or connection cap
+   reached — retry later, the daemon is healthy), and "timeout" (the
+   connection sat idle beyond its budget and is being closed). *)
 
 type error = { kind : string; msg : string; pos : Lexkit.pos option }
 
 let bad_request fmt =
   Printf.ksprintf (fun msg -> { kind = "bad-request"; msg; pos = None }) fmt
+
+let overloaded fmt =
+  Printf.ksprintf (fun msg -> { kind = "overloaded"; msg; pos = None }) fmt
+
+let timeout fmt =
+  Printf.ksprintf (fun msg -> { kind = "timeout"; msg; pos = None }) fmt
 
 let internal_error msg = { kind = "internal"; msg; pos = None }
 
@@ -41,10 +50,12 @@ type request =
   | Similar of { id : Json.t; word : string; k : int }
   | Ping of { id : Json.t }
   | Stats of { id : Json.t }
+  | Reload of { id : Json.t; model : string option; w2v : string option }
   | Shutdown of { id : Json.t }
 
 let request_id = function
   | Predict { id; _ } | Similar { id; _ } | Ping { id } | Stats { id }
+  | Reload { id; _ }
   | Shutdown { id } ->
       id
 
@@ -86,6 +97,14 @@ let request_of_line line =
               else Ok (Similar { id; word; k }))
       | "ping" -> Ok (Ping { id })
       | "stats" -> Ok (Stats { id })
+      | "reload" ->
+          (* Both paths optional: a bare {"op":"reload"} re-reads the
+             files the daemon was started from (the SIGHUP semantics). *)
+          Ok
+            (Reload
+               { id;
+                 model = Json.string_field "model" json;
+                 w2v = Json.string_field "w2v" json })
       | "shutdown" -> Ok (Shutdown { id })
       | "" -> Error (id, bad_request "missing \"op\" (or \"code\") field")
       | op -> Error (id, bad_request "unknown op %S" op))
@@ -145,12 +164,21 @@ let render_stopping ~id =
   render
     (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("stopping", Json.Bool true) ])
 
+let render_reloaded ~id =
+  render
+    (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("reloaded", Json.Bool true) ])
+
 type stats = {
   uptime_ms : int;
   served : int;  (** replies sent, including error replies *)
   errors : int;  (** error replies among them *)
+  shed : int;  (** requests rejected as "overloaded" (queue/conn caps) *)
   batches : int;  (** batch rounds the consumer ran *)
   max_batch : int;  (** largest batch in one round *)
+  queue_depth : int;  (** predict/similar requests queued right now *)
+  queue_hw : int;  (** high-water mark of the queue depth *)
+  conns : int;  (** connections open right now *)
+  reloads : int;  (** successful hot model reloads *)
   jobs : int;  (** domain-pool width predictions fan out over *)
 }
 
@@ -165,8 +193,13 @@ let render_stats ~id s =
              [ ("uptime_ms", num s.uptime_ms);
                ("served", num s.served);
                ("errors", num s.errors);
+               ("shed", num s.shed);
                ("batches", num s.batches);
                ("max_batch", num s.max_batch);
+               ("queue_depth", num s.queue_depth);
+               ("queue_hw", num s.queue_hw);
+               ("conns", num s.conns);
+               ("reloads", num s.reloads);
                ("jobs", num s.jobs) ] ) ])
 
 (* Reply introspection for clients (the CLI and tests). *)

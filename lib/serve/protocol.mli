@@ -4,9 +4,13 @@
 
 type error = { kind : string; msg : string; pos : Lexkit.pos option }
 (** Structured error reply payload. [kind] is a {!Lexkit.Diag.kind}
-    name, ["bad-request"], or ["internal"]. *)
+    name, ["bad-request"], ["internal"], ["overloaded"] (the request
+    was shed — queue bound or connection cap; retry later), or
+    ["timeout"] (idle connection closed). *)
 
 val bad_request : ('a, unit, string, error) format4 -> 'a
+val overloaded : ('a, unit, string, error) format4 -> 'a
+val timeout : ('a, unit, string, error) format4 -> 'a
 val internal_error : string -> error
 val error_of_diag : Lexkit.Diag.t -> error
 
@@ -15,6 +19,9 @@ type request =
   | Similar of { id : Json.t; word : string; k : int }
   | Ping of { id : Json.t }
   | Stats of { id : Json.t }
+  | Reload of { id : Json.t; model : string option; w2v : string option }
+      (** Hot model reload (admin op). Absent paths re-read the files
+          the daemon was started from. *)
   | Shutdown of { id : Json.t }
 
 val request_id : request -> Json.t
@@ -35,13 +42,19 @@ val render_predictions : id:Json.t -> lang:string -> (string * string) list -> s
 val render_similar : id:Json.t -> word:string -> (string * float) list -> string
 val render_pong : id:Json.t -> string
 val render_stopping : id:Json.t -> string
+val render_reloaded : id:Json.t -> string
 
 type stats = {
   uptime_ms : int;
   served : int;  (** replies sent, including error replies *)
   errors : int;  (** error replies among them *)
+  shed : int;  (** requests rejected as "overloaded" (queue/conn caps) *)
   batches : int;  (** batch rounds the consumer ran *)
   max_batch : int;  (** largest batch in one round *)
+  queue_depth : int;  (** predict/similar requests queued right now *)
+  queue_hw : int;  (** high-water mark of the queue depth *)
+  conns : int;  (** connections open right now *)
+  reloads : int;  (** successful hot model reloads *)
   jobs : int;  (** domain-pool width predictions fan out over *)
 }
 

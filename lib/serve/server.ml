@@ -7,17 +7,43 @@
 
    Threading model: sys-threads for I/O (they park in [read]/[accept]
    and release the runtime lock), the domain pool for compute. Control
-   ops (ping, stats, shutdown) answer inline from the reader thread;
-   predict/similar requests are queued, so their replies stay in
-   request order per connection while a slow prediction never blocks a
-   ping.
+   ops (ping, stats, reload, shutdown) answer inline from the reader
+   thread; predict/similar requests are queued, so their replies stay
+   in request order per connection while a slow prediction never
+   blocks a ping. (Shed replies are the one exception: a rejected
+   request answers immediately, possibly before earlier queued ones —
+   pipelining clients correlate by id.)
+
+   Overload and lifecycle, in layers:
+   - the job queue is bounded ([max_queue]): excess predict/similar
+     requests answer immediately with a structured "overloaded" error
+     instead of growing latency without bound;
+   - connections are bounded ([max_conns]): excess accepts get one
+     "overloaded" line and a close, so the daemon's thread count and
+     fd table stay bounded under a connection flood;
+   - each connection has an idle budget ([idle_timeout], enforced with
+     bounded selects in Netio): a client that goes silent — including
+     mid-line, the slowloris pattern — gets a "timeout" error line,
+     best effort, and its connection closed; the same budget bounds
+     reply writes, so a client that stops draining its socket cannot
+     wedge the batcher;
+   - hot reload swaps the engine's model snapshot atomically
+     (Engine.reload): in-flight batches finish on the old model, no
+     request is dropped;
+   - shutdown drains: listeners close first, queued requests answer,
+     then connections close.
 
    Failure containment, in layers:
    - a request that fails answers with a structured error (Engine);
    - a connection that disconnects mid-reply costs that connection
      (SIGPIPE is ignored; EPIPE marks the connection dead);
    - a batcher-level surprise answers every request of the batch with
-     an "internal" error and keeps the daemon up. *)
+     an "internal" error and keeps the daemon up.
+
+   Fault injection (Serve.Faults, off by default) hooks into accept
+   (drop), the batcher (delay, injected raise), and the reply path
+   (torn write) — the chaos suite drives the containment layers
+   through exactly the code real faults would take. *)
 
 let log_src = Logs.Src.create "pigeon.serve" ~doc:"pigeon serve daemon"
 
@@ -29,6 +55,10 @@ type config = {
   max_batch : int;
   max_line : int;  (** request-line byte cap (framing guard) *)
   backlog : int;
+  max_queue : int;  (** queued predict/similar bound; 0 = unbounded *)
+  max_conns : int;  (** concurrent connection cap; 0 = unbounded *)
+  idle_timeout : float;  (** seconds; per-connection I/O budget; 0 = none *)
+  faults : Faults.t;  (** fault injection; disabled by default *)
 }
 
 let default_config =
@@ -40,6 +70,10 @@ let default_config =
        input cap escaped (×2) plus envelope slack. *)
     max_line = 20 * 1024 * 1024;
     backlog = 64;
+    max_queue = 256;
+    max_conns = 256;
+    idle_timeout = 300.;
+    faults = Faults.disabled;
   }
 
 type conn = {
@@ -54,19 +88,24 @@ type t = {
   engine : Engine.t;
   pool : Parallel.pool option;
   cfg : config;
+  faults : Faults.state option;  (** [None] = injection disabled: no cost *)
   m : Mutex.t;
   work : Condition.t;
   q : job Queue.t;
   mutable stopping : bool;
   mutable listeners : Unix.file_descr list;
   mutable conns : conn list;
+  mutable n_conns : int;
   mutable io_threads : Thread.t list;  (** accept loops + batcher *)
   mutable conn_threads : (int * Thread.t) list;  (** keyed by thread id *)
   t0 : float;
   mutable served : int;
   mutable errors : int;
+  mutable shed : int;
   mutable batches : int;
   mutable max_batch_seen : int;
+  mutable queue_hw : int;
+  mutable reloads : int;
 }
 
 let locked t f =
@@ -80,15 +119,29 @@ let stats t =
           int_of_float (1000. *. (Unix.gettimeofday () -. t.t0));
         served = t.served;
         errors = t.errors;
+        shed = t.shed;
         batches = t.batches;
         max_batch = t.max_batch_seen;
+        queue_depth = Queue.length t.q;
+        queue_hw = t.queue_hw;
+        conns = t.n_conns;
+        reloads = t.reloads;
         jobs = Engine.jobs_of_pool t.pool;
       })
 
+let io_timeout t =
+  if t.cfg.idle_timeout > 0. then Some t.cfg.idle_timeout else None
+
 (* Serialized, failure-absorbing reply write. A dead peer (EPIPE and
-   friends) marks the connection; the request that triggered the write
-   is the only thing lost. *)
+   friends) or one that stops draining its socket (write timeout)
+   marks the connection; the request that triggered the write is the
+   only thing lost. *)
 let send t conn line =
+  let kill_conn () =
+    conn.alive <- false;
+    (* Unblock the connection's reader so it can clean up. *)
+    try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+  in
   let sent =
     Mutex.lock conn.wmutex;
     Fun.protect
@@ -96,26 +149,60 @@ let send t conn line =
       (fun () ->
         if not conn.alive then false
         else
-          match Netio.write_line conn.fd line with
-          | () -> true
-          | exception Unix.Unix_error _ ->
-              conn.alive <- false;
-              (* Unblock the connection's reader so it can clean up. *)
-              (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+          match t.faults with
+          | Some st when Faults.fire st Faults.Torn_reply ->
+              (* Injected crash-mid-write: a reply prefix with no
+                 newline, then the connection dies. The peer must see
+                 a torn line ending in EOF, never a garbled frame. *)
+              (try
+                 ignore
+                   (Unix.write_substring conn.fd line 0
+                      (String.length line / 2))
                with Unix.Unix_error _ -> ());
-              false)
+              kill_conn ();
+              false
+          | _ -> (
+              match Netio.write_line ?timeout:(io_timeout t) conn.fd line with
+              | () -> true
+              | exception Unix.Unix_error _ ->
+                  kill_conn ();
+                  false))
   in
   if sent then
     locked t (fun () ->
         t.served <- t.served + 1;
         if not (Protocol.reply_ok line) then t.errors <- t.errors + 1)
 
+(* Backpressure: a full queue sheds the request with an immediate
+   structured "overloaded" reply instead of queueing unbounded
+   latency. The shed reply races ahead of this connection's queued
+   requests by design — correlate by id. *)
 let enqueue t job =
-  locked t (fun () ->
-      if not t.stopping then begin
-        Queue.add job t.q;
-        Condition.signal t.work
-      end)
+  let decision =
+    locked t (fun () ->
+        if t.stopping then `Drop
+        else if t.cfg.max_queue > 0 && Queue.length t.q >= t.cfg.max_queue
+        then begin
+          t.shed <- t.shed + 1;
+          `Shed
+        end
+        else begin
+          Queue.add job t.q;
+          let depth = Queue.length t.q in
+          if depth > t.queue_hw then t.queue_hw <- depth;
+          Condition.signal t.work;
+          `Queued
+        end)
+  in
+  match decision with
+  | `Queued | `Drop -> ()
+  | `Shed ->
+      send t job.conn
+        (Protocol.render_error
+           ~id:(Protocol.request_id job.req)
+           (Protocol.overloaded
+              "server overloaded: %d requests queued (max-queue); retry later"
+              t.cfg.max_queue))
 
 (* ---------- shutdown plumbing ---------- *)
 
@@ -135,6 +222,17 @@ let request_stop t =
 
 let stopped t = locked t (fun () -> t.stopping)
 
+let reload ?model_path ?w2v_path t =
+  match Engine.reload t.engine ?model_path ?w2v_path () with
+  | Ok () ->
+      locked t (fun () -> t.reloads <- t.reloads + 1);
+      Log.info (fun m -> m "model reloaded");
+      Ok ()
+  | Error e ->
+      Log.err (fun m ->
+          m "model reload failed: [%s] %s" e.Protocol.kind e.Protocol.msg);
+      Error e
+
 (* ---------- batcher ---------- *)
 
 let batcher t () =
@@ -149,21 +247,31 @@ let batcher t () =
       ()
     end
     else begin
-      let jobs = ref [] in
-      while (not (Queue.is_empty t.q)) && List.length !jobs < t.cfg.max_batch do
-        jobs := Queue.take t.q :: !jobs
+      (* Explicit count: [List.length] inside the take loop would make
+         batch assembly O(max_batch²). *)
+      let jobs = ref [] and count = ref 0 in
+      while (not (Queue.is_empty t.q)) && !count < t.cfg.max_batch do
+        jobs := Queue.take t.q :: !jobs;
+        incr count
       done;
       let jobs = List.rev !jobs in
       t.batches <- t.batches + 1;
-      if List.length jobs > t.max_batch_seen then
-        t.max_batch_seen <- List.length jobs;
+      if !count > t.max_batch_seen then t.max_batch_seen <- !count;
       Mutex.unlock t.m;
       let replies =
         (* Engine.handle_batch is total by contract; this second net
            exists so a violation of that contract answers the batch
            and keeps the daemon alive instead of killing the consumer
-           thread. The backtrace goes to the log, not the client. *)
+           thread. The backtrace goes to the log, not the client.
+           Fault injection raises right here for the same reason: the
+           chaos suite drives this exact containment path. *)
         match
+          (match t.faults with
+          | Some st ->
+              Faults.pre_batch_delay st;
+              if Faults.fire st Faults.Engine_error then
+                failwith "injected engine fault (PIGEON_FAULTS)"
+          | None -> ());
           Engine.handle_batch ?pool:t.pool t.engine
             (List.map (fun j -> j.req) jobs)
         with
@@ -188,13 +296,27 @@ let batcher t () =
 (* ---------- per-connection reader ---------- *)
 
 let forget_conn t conn =
-  locked t (fun () -> t.conns <- List.filter (fun c -> c != conn) t.conns)
+  locked t (fun () ->
+      t.conns <- List.filter (fun c -> c != conn) t.conns;
+      t.n_conns <- t.n_conns - 1)
 
 let reader t conn () =
-  let lr = Netio.line_reader ~max_line:t.cfg.max_line conn.fd in
+  let lr =
+    Netio.line_reader ~max_line:t.cfg.max_line ?idle_timeout:(io_timeout t)
+      conn.fd
+  in
   let rec loop () =
     match Netio.read_line lr with
     | Netio.Eof -> ()
+    | Netio.Timeout ->
+        (* Idle (or trickling) beyond the budget: one best-effort
+           structured line, then the connection closes. A slow writer
+           cannot park this thread forever. *)
+        send t conn
+          (Protocol.render_error ~id:Json.Null
+             (Protocol.timeout
+                "connection idle for %.0fs (idle-timeout); connection closed"
+                t.cfg.idle_timeout))
     | Netio.Overflow ->
         (* Line framing is lost beyond the cap: answer once, close. *)
         send t conn
@@ -210,6 +332,13 @@ let reader t conn () =
           | Ok (Protocol.Ping { id }) -> send t conn (Protocol.render_pong ~id)
           | Ok (Protocol.Stats { id }) ->
               send t conn (Protocol.render_stats ~id (stats t))
+          | Ok (Protocol.Reload { id; model; w2v }) -> (
+              (* Loads run here, in this connection's reader thread —
+                 off the batcher's request path, so prediction latency
+                 is untouched while the new model loads and validates. *)
+              match reload ?model_path:model ?w2v_path:w2v t with
+              | Ok () -> send t conn (Protocol.render_reloaded ~id)
+              | Error e -> send t conn (Protocol.render_error ~id e))
           | Ok (Protocol.Shutdown { id }) ->
               send t conn (Protocol.render_stopping ~id);
               request_stop t
@@ -232,21 +361,45 @@ let reader t conn () =
       t.conn_threads <- List.filter (fun (id, _) -> id <> me) t.conn_threads)
 
 let spawn_reader t fd =
+  (* Non-blocking + select-based waits in Netio: reads and writes both
+     honor the idle budget, on the same fd. *)
+  (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
   let conn = { fd; wmutex = Mutex.create (); alive = true } in
-  locked t (fun () ->
-      if t.stopping then begin
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        false
-      end
-      else begin
-        t.conns <- conn :: t.conns;
-        true
-      end)
-  |> fun accepted ->
-  if accepted then begin
-    let th = Thread.create (reader t conn) () in
-    locked t (fun () -> t.conn_threads <- (Thread.id th, th) :: t.conn_threads)
-  end
+  let decision =
+    locked t (fun () ->
+        if t.stopping then `Close
+        else if t.cfg.max_conns > 0 && t.n_conns >= t.cfg.max_conns then begin
+          t.shed <- t.shed + 1;
+          `Reject
+        end
+        else begin
+          t.conns <- conn :: t.conns;
+          t.n_conns <- t.n_conns + 1;
+          `Accept
+        end)
+  in
+  match decision with
+  | `Close -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | `Reject ->
+      (* One structured line, best effort, then close — from a helper
+         thread so a non-reading flooder cannot stall the accept loop. *)
+      let line =
+        Protocol.render_error ~id:Json.Null
+          (Protocol.overloaded
+             "server overloaded: %d connections open (max-conns); retry later"
+             t.cfg.max_conns)
+      in
+      ignore
+        (Thread.create
+           (fun () ->
+             (try Netio.write_line ~timeout:1.0 fd line
+              with Unix.Unix_error _ -> ());
+             try Unix.close fd with Unix.Unix_error _ -> ())
+           ())
+  | `Accept ->
+      let th = Thread.create (reader t conn) () in
+      locked t (fun () ->
+          t.conn_threads <- (Thread.id th, th) :: t.conn_threads)
 
 (* ---------- accept loops ---------- *)
 
@@ -261,9 +414,17 @@ let acceptor t lfd () =
       | _ :: _, _, _ -> (
           match Unix.accept ~cloexec:true lfd with
           | cfd, _ ->
-              spawn_reader t cfd;
+              (match t.faults with
+              | Some st when Faults.fire st Faults.Accept_drop -> (
+                  (* Injected accept-time drop: the peer sees an
+                     immediate EOF, the daemon moves on. *)
+                  try Unix.close cfd with Unix.Unix_error _ -> ())
+              | _ -> spawn_reader t cfd);
               loop ()
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              loop ()
           | exception Unix.Unix_error _ -> if stopped t then () else loop ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception Unix.Unix_error _ -> ()
@@ -316,19 +477,26 @@ let start ?pool engine cfg =
       engine;
       pool;
       cfg;
+      faults =
+        (if Faults.enabled cfg.faults then Some (Faults.state cfg.faults)
+         else None);
       m = Mutex.create ();
       work = Condition.create ();
       q = Queue.create ();
       stopping = false;
       listeners;
       conns = [];
+      n_conns = 0;
       io_threads = [];
       conn_threads = [];
       t0 = Unix.gettimeofday ();
       served = 0;
       errors = 0;
+      shed = 0;
       batches = 0;
       max_batch_seen = 0;
+      queue_hw = 0;
+      reloads = 0;
     }
   in
   let threads =

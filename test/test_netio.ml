@@ -1,0 +1,170 @@
+(* Edge-case tests for Serve.Netio over real socketpairs: the idle
+   timeout firing mid-line (slowloris), short-write retry under a tiny
+   SO_SNDBUF, write timeouts against a peer that stops draining, and
+   the pinned oversized-line behavior (Overflow is sticky — the stream
+   can never resync, callers must close). *)
+
+module Netio = Serve.Netio
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let socketpair () =
+  Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0
+
+let with_pair f =
+  let a, b = socketpair () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+(* ---------- idle timeout ---------- *)
+
+let test_timeout_no_data () =
+  with_pair (fun a _b ->
+      let lr = Netio.line_reader ~idle_timeout:0.1 a in
+      let t0 = Unix.gettimeofday () in
+      (match Netio.read_line lr with
+      | Netio.Timeout -> ()
+      | _ -> Alcotest.fail "expected Timeout on a silent peer");
+      let dt = Unix.gettimeofday () -. t0 in
+      check_bool "fired promptly" true (dt >= 0.09 && dt < 2.0))
+
+let test_timeout_mid_line () =
+  (* A slow writer that trickles a partial request and stalls: the
+     idle budget must fire even though bytes did arrive — the reader
+     is not parked forever waiting for the closing newline. *)
+  with_pair (fun a b ->
+      let lr = Netio.line_reader ~idle_timeout:0.15 a in
+      let writer =
+        Thread.create
+          (fun () ->
+            ignore (Unix.write_substring b "{\"op\":\"pi" 0 9)
+            (* …and never finishes the line *))
+          ()
+      in
+      (match Netio.read_line lr with
+      | Netio.Timeout -> ()
+      | Netio.Line l -> Alcotest.failf "unexpected line %S" l
+      | _ -> Alcotest.fail "expected Timeout mid-line");
+      Thread.join writer;
+      (* the trickled prefix is still buffered: finishing the line
+         after the timeout still frames correctly (the caller decides
+         to close; the reader itself stays consistent) *)
+      ignore (Unix.write_substring b "ng\"}\n" 0 5);
+      match Netio.read_line lr with
+      | Netio.Line l -> check_string "resumed frame" "{\"op\":\"ping\"}" l
+      | _ -> Alcotest.fail "expected the completed line")
+
+let test_timeout_resets_on_activity () =
+  (* Each arriving byte resets the idle budget: a line that takes
+     several budgets to arrive, with per-byte gaps under the budget,
+     still reads fine. *)
+  with_pair (fun a b ->
+      let lr = Netio.line_reader ~idle_timeout:0.2 a in
+      let msg = "slow but steady\n" in
+      let writer =
+        Thread.create
+          (fun () ->
+            String.iter
+              (fun c ->
+                Thread.delay 0.04;
+                ignore (Unix.write_substring b (String.make 1 c) 0 1))
+              msg)
+          ()
+      in
+      (match Netio.read_line lr with
+      | Netio.Line l -> check_string "whole line" "slow but steady" l
+      | _ -> Alcotest.fail "expected the line despite slow writing");
+      Thread.join writer)
+
+(* ---------- short writes ---------- *)
+
+let test_short_write_retry () =
+  (* Shrink both socket buffers so a large line cannot fit in one
+     write; write_line must loop through partial writes (and EAGAIN,
+     on a non-blocking fd) until every byte is out. *)
+  with_pair (fun a b ->
+      (try
+         Unix.setsockopt_int b Unix.SO_SNDBUF 4096;
+         Unix.setsockopt_int a Unix.SO_RCVBUF 4096
+       with Unix.Unix_error _ -> ());
+      Unix.set_nonblock b;
+      let payload = String.init 1_000_000 (fun i -> Char.chr (65 + (i mod 26))) in
+      let writer = Thread.create (fun () -> Netio.write_line b payload) () in
+      let lr = Netio.line_reader ~max_line:(2 * String.length payload) a in
+      (match Netio.read_line lr with
+      | Netio.Line l ->
+          check_bool "length intact" true (String.length l = String.length payload);
+          check_bool "bytes intact" true (String.equal l payload)
+      | _ -> Alcotest.fail "expected the full line");
+      Thread.join writer)
+
+let test_write_timeout_peer_not_draining () =
+  (* The peer never reads: once the socket buffers fill, a bounded
+     write_line must raise ETIMEDOUT instead of wedging the caller
+     (this is what protects the daemon's batcher from a client that
+     stops draining replies). *)
+  with_pair (fun _a b ->
+      Unix.set_nonblock b;
+      let payload = String.make 8_000_000 'x' in
+      match Netio.write_line ~timeout:0.2 b payload with
+      | () -> Alcotest.fail "expected ETIMEDOUT against a full buffer"
+      | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) -> ())
+
+(* ---------- oversized lines ---------- *)
+
+let test_overflow_sticky () =
+  (* Pinned behavior: once a line exceeds max_line, the reader reports
+     Overflow and keeps reporting it — framing is unrecoverable, the
+     caller must answer (at most once) and close. Even a newline
+     arriving later must not resync the stream. *)
+  with_pair (fun a b ->
+      let lr = Netio.line_reader ~max_line:64 a in
+      let chunk = String.make 256 'z' in
+      ignore (Unix.write_substring b chunk 0 (String.length chunk));
+      (match Netio.read_line lr with
+      | Netio.Overflow -> ()
+      | _ -> Alcotest.fail "expected Overflow");
+      ignore (Unix.write_substring b "\n" 0 1);
+      (match Netio.read_line lr with
+      | Netio.Overflow -> ()
+      | _ -> Alcotest.fail "Overflow must be sticky");
+      Unix.close b;
+      match Netio.read_line lr with
+      | Netio.Overflow -> ()
+      | _ -> Alcotest.fail "Overflow must be sticky after EOF too")
+
+let test_line_under_cap_ok () =
+  with_pair (fun a b ->
+      let lr = Netio.line_reader ~max_line:64 a in
+      ignore (Unix.write_substring b "short\n" 0 6);
+      match Netio.read_line lr with
+      | Netio.Line l -> check_string "short line" "short" l
+      | _ -> Alcotest.fail "expected the short line")
+
+let () =
+  Alcotest.run "netio"
+    [
+      ( "timeout",
+        [
+          Alcotest.test_case "silent peer" `Quick test_timeout_no_data;
+          Alcotest.test_case "mid-line (slowloris)" `Quick test_timeout_mid_line;
+          Alcotest.test_case "resets on activity" `Quick
+            test_timeout_resets_on_activity;
+        ] );
+      ( "writes",
+        [
+          Alcotest.test_case "short-write retry (tiny SO_SNDBUF)" `Quick
+            test_short_write_retry;
+          Alcotest.test_case "write timeout (peer not draining)" `Quick
+            test_write_timeout_peer_not_draining;
+        ] );
+      ( "overflow",
+        [
+          Alcotest.test_case "sticky overflow" `Quick test_overflow_sticky;
+          Alcotest.test_case "under cap" `Quick test_line_under_cap_ok;
+        ] );
+    ]

@@ -246,7 +246,8 @@ let temp_sock () =
   Sys.remove path;
   path
 
-let with_daemon ?pool ?(max_batch = 8) ?(max_line = 1024 * 1024) e f =
+let with_daemon ?pool ?(max_batch = 8) ?(max_line = 1024 * 1024) ?(max_queue = 0)
+    ?(max_conns = 0) ?idle_timeout ?(faults = Serve.Faults.disabled) e f =
   let path = temp_sock () in
   let cfg =
     {
@@ -254,6 +255,13 @@ let with_daemon ?pool ?(max_batch = 8) ?(max_line = 1024 * 1024) e f =
       Serve.Server.unix_socket = Some path;
       max_batch;
       max_line;
+      max_queue;
+      max_conns;
+      idle_timeout =
+        (match idle_timeout with
+        | Some s -> s
+        | None -> Serve.Server.default_config.Serve.Server.idle_timeout);
+      faults;
     }
   in
   let t = Serve.Server.start ?pool e cfg in
@@ -416,7 +424,221 @@ let test_daemon_stats () =
       | None -> Alcotest.fail "no stats reply");
       let s = Serve.Server.stats t in
       check_bool "served counted" true (s.Serve.Protocol.served >= 2);
-      check_bool "errors counted" true (s.Serve.Protocol.errors >= 1))
+      check_bool "errors counted" true (s.Serve.Protocol.errors >= 1);
+      (* the overload/lifecycle counters exist and are sane at rest *)
+      check_int "nothing shed" 0 s.Serve.Protocol.shed;
+      check_int "no reloads yet" 0 s.Serve.Protocol.reloads;
+      check_int "queue empty at rest" 0 s.Serve.Protocol.queue_depth;
+      check_bool "one connection open" true (s.Serve.Protocol.conns >= 1);
+      check_int "sequential jobs" 1 s.Serve.Protocol.jobs)
+
+(* ---------- fault injection knobs ---------- *)
+
+let test_faults_unit () =
+  (match Serve.Faults.of_string "delay_ms=3,engine_every=7" with
+  | Ok f ->
+      check_int "delay" 3 f.Serve.Faults.pre_batch_delay_ms;
+      check_int "engine" 7 f.Serve.Faults.engine_error_every;
+      check_int "torn stays off" 0 f.Serve.Faults.torn_reply_every;
+      check_bool "enabled" true (Serve.Faults.enabled f)
+  | Error e -> Alcotest.fail e);
+  (match Serve.Faults.of_string "" with
+  | Ok f -> check_bool "empty = disabled" false (Serve.Faults.enabled f)
+  | Error e -> Alcotest.fail e);
+  (* fail fast on typos: a silently self-disabling chaos knob would
+     fake a passing run *)
+  (match Serve.Faults.of_string "dleay_ms=3" with
+  | Ok _ -> Alcotest.fail "unknown key accepted"
+  | Error _ -> ());
+  (match Serve.Faults.of_string "delay_ms=soon" with
+  | Ok _ -> Alcotest.fail "non-integer accepted"
+  | Error _ -> ());
+  (* deterministic cadence: every Nth event fires, starting at the Nth *)
+  let st =
+    Serve.Faults.state
+      { Serve.Faults.disabled with Serve.Faults.engine_error_every = 3 }
+  in
+  let fired =
+    List.init 9 (fun _ -> Serve.Faults.fire st Serve.Faults.Engine_error)
+  in
+  Alcotest.(check (list bool))
+    "every 3rd"
+    [ false; false; true; false; false; true; false; false; true ]
+    fired;
+  check_bool "other kinds independent" false
+    (Serve.Faults.fire st Serve.Faults.Torn_reply)
+
+(* ---------- overload and lifecycle ---------- *)
+
+let test_daemon_overload_shed () =
+  (* max_queue=1 and a deliberately slow batcher: a pipelined burst
+     must answer every request — some ok, at least one shed with a
+     structured "overloaded" error — and never wedge or drop. *)
+  let e = engine () in
+  let faults =
+    { Serve.Faults.disabled with Serve.Faults.pre_batch_delay_ms = 20 }
+  in
+  with_daemon ~max_batch:1 ~max_queue:1 ~faults e (fun path t ->
+      let c = Serve.Client.connect_unix ~read_timeout:30. path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let n = 12 in
+      for i = 1 to n do
+        Serve.Client.send_line c (predict_line ~id:i sample_code)
+      done;
+      let oks = ref 0 and sheds = ref 0 in
+      for _ = 1 to n do
+        match Serve.Client.recv_line c with
+        | Some r when Serve.Protocol.reply_ok r -> incr oks
+        | Some r when error_kind_of r = "overloaded" -> incr sheds
+        | Some r -> Alcotest.failf "unexpected reply %s" r
+        | None -> Alcotest.fail "connection dropped mid-burst"
+      done;
+      check_int "every request answered" n (!oks + !sheds);
+      check_bool "some served" true (!oks > 0);
+      check_bool "some shed" true (!sheds > 0);
+      let s = Serve.Server.stats t in
+      check_bool "sheds counted" true (s.Serve.Protocol.shed >= !sheds);
+      check_bool "high-water bounded" true (s.Serve.Protocol.queue_hw <= 1))
+
+let test_daemon_idle_timeout () =
+  (* A connection that goes silent past its idle budget gets a
+     best-effort "timeout" error line, then EOF — and the daemon keeps
+     serving everyone else. *)
+  let e = engine () in
+  with_daemon ~idle_timeout:0.2 e (fun path _t ->
+      let c = Serve.Client.connect_unix ~read_timeout:10. path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      (match Serve.Client.recv_line c with
+      | Some line ->
+          check_string "timeout line" "timeout" (error_kind_of line)
+      | None -> Alcotest.fail "closed without the timeout line");
+      (match Serve.Client.recv_line c with
+      | None -> ()
+      | Some l -> Alcotest.failf "expected EOF after timeout, got %s" l);
+      (* a lively client is unaffected *)
+      let c2 = Serve.Client.connect_unix ~read_timeout:10. path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c2) @@ fun () ->
+      match Serve.Client.request c2 {|{"op":"ping","id":1}|} with
+      | Some r -> check_bool "still serving" true (Serve.Protocol.reply_ok r)
+      | None -> Alcotest.fail "daemon died with the idle connection")
+
+let test_daemon_max_conns () =
+  (* Connection cap: the excess connection gets one "overloaded" line
+     and a close; the resident connection is untouched. *)
+  let e = engine () in
+  with_daemon ~max_conns:1 e (fun path t ->
+      let c1 = Serve.Client.connect_unix ~read_timeout:10. path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c1) @@ fun () ->
+      (match Serve.Client.request c1 {|{"op":"ping","id":1}|} with
+      | Some r -> check_bool "first conn ok" true (Serve.Protocol.reply_ok r)
+      | None -> Alcotest.fail "first connection dropped");
+      let c2 = Serve.Client.connect_unix ~read_timeout:10. path in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c2) @@ fun () ->
+      (match Serve.Client.recv_line c2 with
+      | Some line -> check_string "capped" "overloaded" (error_kind_of line)
+      | None -> Alcotest.fail "no rejection line");
+      (match Serve.Client.recv_line c2 with
+      | None -> ()
+      | Some l -> Alcotest.failf "expected EOF after rejection, got %s" l);
+      (match Serve.Client.request c1 {|{"op":"ping","id":2}|} with
+      | Some r -> check_bool "resident conn fine" true (Serve.Protocol.reply_ok r)
+      | None -> Alcotest.fail "resident connection dropped");
+      let s = Serve.Server.stats t in
+      check_bool "rejection counted as shed" true (s.Serve.Protocol.shed >= 1))
+
+(* ---------- hot model reload ---------- *)
+
+let model_b =
+  lazy
+    (let sources = corpus ~n:36 ~seed:99 in
+     let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+     let graphs =
+       Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals
+         sources
+     in
+     let config = { Crf.Train.default_config with Crf.Train.iterations = 3 } in
+     Crf.Train.train ~config graphs)
+
+let save_model m =
+  let path = Filename.temp_file "pigeon-serve-model" ".crf" in
+  Crf.Serialize.save m path;
+  path
+
+let test_engine_reload_errors () =
+  (* no path known, bad path, and the old model surviving both *)
+  let e = engine () in
+  (match Serve.Engine.reload e () with
+  | Error err -> check_string "pathless" "bad-request" err.Serve.Protocol.kind
+  | Ok () -> Alcotest.fail "reload without any path must fail");
+  check_bool "not reloadable" false (Serve.Engine.reloadable e);
+  (match Serve.Engine.reload e ~model_path:"/nonexistent/model.crf" () with
+  | Error err -> check_string "missing file" "io-error" err.Serve.Protocol.kind
+  | Ok () -> Alcotest.fail "reload from a missing file must fail");
+  (* a failed reload leaves the engine serving *)
+  match Serve.Engine.predict_one e ~lang ~code:sample_code with
+  | Ok pairs -> check_bool "still predicting" true (pairs <> [])
+  | Error err -> Alcotest.failf "engine broken after failed reload: %s" err.Serve.Protocol.msg
+
+let test_daemon_reload () =
+  let path_a = save_model (Lazy.force model) in
+  let path_b = save_model (Lazy.force model_b) in
+  let e =
+    Serve.Engine.create ~model_path:path_a
+      ~model:(Crf.Serialize.load_exn path_a) ()
+  in
+  (* reference engines, loaded fresh from the same files *)
+  let ref_b =
+    Serve.Engine.create ~model_path:path_b
+      ~model:(Crf.Serialize.load_exn path_b) ()
+  in
+  check_bool "reloadable" true (Serve.Engine.reloadable e);
+  with_daemon e (fun sock t ->
+      let c = Serve.Client.connect_unix ~read_timeout:30. sock in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let probe = predict_line ~id:21 sample_code in
+      (* swap to model B over the wire *)
+      let reload_req =
+        Serve.Json.to_string
+          (Serve.Json.Obj
+             [ ("op", Serve.Json.Str "reload");
+               ("id", Serve.Json.Num 22.);
+               ("model", Serve.Json.Str path_b) ])
+      in
+      (match Serve.Client.request c reload_req with
+      | Some r ->
+          check_string "reloaded reply"
+            {|{"id":22,"ok":true,"reloaded":true}|} r
+      | None -> Alcotest.fail "no reload reply");
+      (match Serve.Client.request c probe with
+      | Some r ->
+          check_string "serves model B, byte-identical to a fresh load"
+            (Serve.Engine.handle ref_b (parse_req probe))
+            r
+      | None -> Alcotest.fail "no post-reload reply");
+      (* a bad reload answers structurally and keeps the old model *)
+      let bad_req =
+        {|{"op":"reload","id":23,"model":"/nonexistent/model.crf"}|}
+      in
+      (match Serve.Client.request c bad_req with
+      | Some r -> check_string "bad reload" "io-error" (error_kind_of r)
+      | None -> Alcotest.fail "no bad-reload reply");
+      (match Serve.Client.request c probe with
+      | Some r ->
+          check_string "old (= B) model keeps serving"
+            (Serve.Engine.handle ref_b (parse_req probe))
+            r
+      | None -> Alcotest.fail "no post-bad-reload reply");
+      (* path-less reload (the SIGHUP semantics): re-reads the last
+         successfully loaded paths *)
+      (match Serve.Client.request c {|{"op":"reload","id":24}|} with
+      | Some r ->
+          check_string "pathless reload ok"
+            {|{"id":24,"ok":true,"reloaded":true}|} r
+      | None -> Alcotest.fail "no pathless-reload reply");
+      let s = Serve.Server.stats t in
+      check_int "successful reloads counted" 2 s.Serve.Protocol.reloads);
+  Sys.remove path_a;
+  Sys.remove path_b
 
 let () =
   Alcotest.run "serve"
@@ -432,12 +654,15 @@ let () =
           Alcotest.test_case "request parse" `Quick test_request_parse;
           Alcotest.test_case "reply render" `Quick test_reply_render;
         ] );
+      ( "faults",
+        [ Alcotest.test_case "parse and cadence" `Quick test_faults_unit ] );
       ( "engine",
         [
           Alcotest.test_case "predict ok" `Quick test_engine_predict_ok;
           Alcotest.test_case "hostile isolation" `Quick test_engine_hostile;
           Alcotest.test_case "batch isolation" `Quick test_engine_batch_isolation;
           Alcotest.test_case "pool byte-identity" `Quick test_engine_batch_pool;
+          Alcotest.test_case "reload errors" `Quick test_engine_reload_errors;
         ] );
       ( "daemon",
         [
@@ -450,5 +675,9 @@ let () =
           Alcotest.test_case "shutdown request" `Quick
             test_daemon_shutdown_request;
           Alcotest.test_case "stats" `Quick test_daemon_stats;
+          Alcotest.test_case "overload shed" `Quick test_daemon_overload_shed;
+          Alcotest.test_case "idle timeout" `Quick test_daemon_idle_timeout;
+          Alcotest.test_case "connection cap" `Quick test_daemon_max_conns;
+          Alcotest.test_case "hot reload" `Quick test_daemon_reload;
         ] );
     ]
