@@ -1847,6 +1847,101 @@ let intern_bench () =
     t_wsave_v2 t_wsave_v3 (t_wsave_v2 /. t_wsave_v3) w2v_size_v2 w2v_size_v3;
   Printf.printf "%-24s %12.3f %12.3f %7.2fx\n%!" "w2v-load" t_wload_v2
     t_wload_v3 w2v_load_speedup;
+
+  (* Zero-copy mmap loaders, against the same v4 files: map-load walks
+     only headers and weight keys and wires the float runs to Bigarray
+     views over the mapped file, so load time stops scaling with the
+     weight payload. The deferred checksum pass lands on the first
+     inference (first-batch latency below); extra mapped models cost
+     page-cache, not private heap (RSS deltas below). *)
+  let map_load_crf path =
+    match Crf.Serialize.load_mapped path with
+    | Ok r -> r
+    | Error d ->
+        check
+          (Printf.sprintf "crf map-load failed: %s" (Lexkit.Diag.to_string d))
+          false;
+        (model, Lexkit.Storage.heap)
+  in
+  let map_load_w2v path =
+    match Word2vec.Serialize.load_mapped path with
+    | Ok r -> r
+    | Error d ->
+        check
+          (Printf.sprintf "w2v map-load failed: %s" (Lexkit.Diag.to_string d))
+          false;
+        (Word2vec.Sgns.view_of w2v, Lexkit.Storage.heap)
+  in
+  let (m_mapped, crf_map_storage), t_map_crf =
+    timed (fun () -> map_load_crf v3_path)
+  in
+  check "crf map-load downgraded to a heap copy"
+    (Lexkit.Storage.mapped_bytes crf_map_storage > 0);
+  let crf_map_speedup = t_load_v3 /. t_map_crf in
+  Printf.printf "%-24s %12.3f %12.3f %7.2fx  (copy-load vs map-load)\n%!"
+    "crf-map-load" t_load_v3 t_map_crf crf_map_speedup;
+  (* First batch after a map-load pays the lazy checksum verification
+     plus the page faults — the cost the O(header) load deferred.
+     Single run by construction: only the first batch is "first". *)
+  let t0_first = Unix.gettimeofday () in
+  let p_mapped = preds m_mapped in
+  let t_first_batch = Unix.gettimeofday () -. t0_first in
+  check "mapped crf model predicts differently" (p_mapped = p0);
+  Printf.printf "%-24s %12.3f %12s  (deferred checksums + faults)\n%!"
+    "map-first-batch" t_first_batch "";
+  let (w2v_view, w2v_map_storage), t_map_w2v =
+    timed (fun () -> map_load_w2v w3_path)
+  in
+  check "w2v map-load downgraded to a heap copy"
+    (Lexkit.Storage.mapped_bytes w2v_map_storage > 0);
+  check "w2v mapped view differs from the trained model"
+    (String.equal
+       (Word2vec.Serialize.to_string (Word2vec.Sgns.heap_of_view w2v_view))
+       (Word2vec.Serialize.to_string w2v));
+  let w2v_map_speedup = t_wload_v3 /. t_map_w2v in
+  Printf.printf "%-24s %12.3f %12.3f %7.2fx  (copy-load vs map-load)\n%!"
+    "w2v-map-load" t_wload_v3 t_map_w2v w2v_map_speedup;
+  (* Resident-set delta for holding 1 vs 3 mapped models open at once;
+     mappings of one file share pages, so the marginal model should
+     cost far less than its file size. Reported, not asserted — RSS is
+     GC- and kernel-noisy. *)
+  let rss_kb () =
+    match open_in "/proc/self/status" with
+    | exception Sys_error _ -> -1
+    | ic -> (
+        let rec go () =
+          match input_line ic with
+          | exception End_of_file ->
+              close_in ic;
+              -1
+          | line ->
+              if String.length line > 6 && String.sub line 0 6 = "VmRSS:" then begin
+                close_in ic;
+                try
+                  Scanf.sscanf
+                    (String.sub line 6 (String.length line - 6))
+                    " %d"
+                    (fun k -> k)
+                with Scanf.Scan_failure _ | Failure _ -> -1
+              end
+              else go ()
+        in
+        go ())
+  in
+  Gc.compact ();
+  let rss0 = rss_kb () in
+  let one_model = Sys.opaque_identity (map_load_crf v3_path) in
+  let rss1 = rss_kb () in
+  let more_models =
+    Sys.opaque_identity [ map_load_crf v3_path; map_load_crf v3_path ]
+  in
+  let rss3 = rss_kb () in
+  let rss_delta_1 = if rss0 < 0 || rss1 < 0 then -1 else rss1 - rss0 in
+  let rss_delta_3 = if rss0 < 0 || rss3 < 0 then -1 else rss3 - rss0 in
+  ignore (Sys.opaque_identity one_model);
+  ignore (Sys.opaque_identity more_models);
+  Printf.printf "%-24s %+11dkB %+11dkB  (RSS delta: 1 vs 3 mapped models)\n%!"
+    "map-resident" rss_delta_1 rss_delta_3;
   List.iter Sys.remove [ v2_path; v3_path; w2_path; w3_path ];
 
   (* Heap: live words held by the train-ready state — the counts, the
@@ -1884,23 +1979,26 @@ let intern_bench () =
   Printf.printf "peak heap: %d words (%.1f MB)\n%!" peak
     (float_of_int (peak * Sys.word_size / 8) /. 1048576.);
 
-  (* Floors: full runs only — quick workloads are too small to time. *)
-  let encode_floor = 1.5 and load_floor = 2.0 in
+  (* Floors: full runs only — quick workloads are too small to time.
+     Quick runs still surface any miss as a visible warning line. *)
+  let encode_floor = 1.5 and load_floor = 2.0 and map_floor = 5.0 in
   let floor_enforced = not !quick in
-  if floor_enforced then begin
-    check
-      (Printf.sprintf "encode speedup %.2fx < %.1fx" enc_speedup encode_floor)
-      (enc_speedup >= encode_floor);
-    check
-      (Printf.sprintf "crf model-load speedup %.2fx < %.1fx" crf_load_speedup
-         load_floor)
-      (crf_load_speedup >= load_floor);
-    check
-      (Printf.sprintf "w2v model-load speedup %.2fx < %.1fx" w2v_load_speedup
-         load_floor)
-      (w2v_load_speedup >= load_floor)
-  end
-  else Printf.printf "speedup floors not enforced (--quick)\n%!";
+  let floor_check name speedup floor =
+    if floor_enforced then
+      check
+        (Printf.sprintf "%s speedup %.2fx < %.1fx" name speedup floor)
+        (speedup >= floor)
+    else if speedup < floor then
+      Printf.printf "  warn: %s speedup %.2fx below-floor %.1fx (not enforced)\n%!"
+        name speedup floor
+  in
+  floor_check "encode" enc_speedup encode_floor;
+  floor_check "crf model-load" crf_load_speedup load_floor;
+  floor_check "w2v model-load" w2v_load_speedup load_floor;
+  floor_check "crf map-load" crf_map_speedup map_floor;
+  floor_check "w2v map-load" w2v_map_speedup map_floor;
+  if not floor_enforced then
+    Printf.printf "speedup floors not enforced (--quick)\n%!";
 
   let oc = open_out "BENCH_intern.json" in
   Printf.fprintf oc "{\n  \"bench\": \"interned-pipeline\",\n";
@@ -1927,6 +2025,16 @@ let intern_bench () =
     "  \"heap\": {\"old_live_words\": %d, \"new_live_words\": %d, \
      \"peak_heap_words\": %d},\n"
     live_old live_new peak;
+  Printf.fprintf oc
+    "  \"mmap\": {\"crf_copy_seconds\": %.4f, \"crf_map_seconds\": %.4f, \
+     \"crf_map_speedup\": %.2f,\n\
+    \           \"w2v_copy_seconds\": %.4f, \"w2v_map_seconds\": %.4f, \
+     \"w2v_map_speedup\": %.2f,\n\
+    \           \"first_batch_seconds\": %.4f,\n\
+    \           \"rss_delta_1_model_kb\": %d, \"rss_delta_3_models_kb\": %d, \
+     \"map_floor\": %.1f},\n"
+    t_load_v3 t_map_crf crf_map_speedup t_wload_v3 t_map_w2v w2v_map_speedup
+    t_first_batch rss_delta_1 rss_delta_3 map_floor;
   Printf.fprintf oc "  \"encode_floor\": %.1f,\n" encode_floor;
   Printf.fprintf oc "  \"load_floor\": %.1f,\n" load_floor;
   Printf.fprintf oc "  \"floors_enforced\": %b,\n" floor_enforced;

@@ -23,8 +23,11 @@
 # socket, mixed well-formed/hostile burst through `pigeon client`,
 # clean shutdown), lifecycle smokes (wire + SIGHUP hot reload,
 # SIGTERM drain with socket unlink, client exit-code contract, fail-
-# fast PIGEON_FAULTS parsing), and the quick serve throughput bench
-# including its 2x-overload shed phase.
+# fast PIGEON_FAULTS parsing), registry smokes (two models served side
+# by side, predict by name, LRU eviction under a tiny --max-mapped-bytes
+# budget with transparent revival, reload-by-name / unload / set-default
+# over the wire), and the quick serve throughput bench including its
+# 2x-overload shed phase.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -187,5 +190,68 @@ if [ "$rc" -ne 2 ]; then
   exit 1
 fi
 echo "lifecycle smoke: ok"
+
+# ---- registry smokes: named models, eviction + revival, wire admin ----
+SOCK3="$SMOKE_DIR/pigeon3.sock"
+"$PIGEON_BIN" serve --model "$SMOKE_DIR/model.crf" \
+  --named-model alt="$SMOKE_DIR/model2.crf" --max-mapped-bytes 1 \
+  --socket "$SOCK3" -j 1 2>"$SMOKE_DIR/serve3.log" &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK3" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "registry smoke: daemon never bound $SOCK3" >&2
+    cat "$SMOKE_DIR/serve3.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+rclient() { "$PIGEON_BIN" client --socket "$SOCK3" "$@"; }
+
+# both models answer, the default one zero-copy (v4 files map)
+rclient "$SMOKE_DIR/corpus/sample_0000.js"
+rclient --model-name alt "$SMOKE_DIR/corpus/sample_0000.js"
+rclient --op stats | grep -q '"storage":"mapped"' || {
+  echo "registry smoke: expected a mapped model in stats" >&2
+  exit 1
+}
+
+# load a third model by name over the wire; the 1-byte mapped budget
+# forces the LRU named model (alt) out of the map
+rclient --op reload --model-name third --reload-model "$SMOKE_DIR/model.crf"
+rclient --op stats | grep -q '"evictions":1' || {
+  echo "registry smoke: expected an eviction under --max-mapped-bytes 1" >&2
+  exit 1
+}
+# an evicted model revives transparently on its next request
+rclient --model-name alt "$SMOKE_DIR/corpus/sample_0000.js"
+
+rclient --op reload --set-default alt | grep -q '"default":"alt"' || {
+  echo "registry smoke: set-default not acknowledged" >&2
+  exit 1
+}
+rclient --op reload --unload third | grep -q '"unloaded":"third"' || {
+  echo "registry smoke: unload not acknowledged" >&2
+  exit 1
+}
+# an unloaded name is a structured error (exit 3), not a dead daemon
+set +e
+rclient --model-name third "$SMOKE_DIR/corpus/sample_0000.js" >/dev/null
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+  echo "registry smoke: expected exit 3 for an unknown model, got $rc" >&2
+  exit 1
+fi
+rclient --op stats | grep -q '^models:' || {
+  echo "registry smoke: stats table missing" >&2
+  exit 1
+}
+rclient --op shutdown
+wait "$SERVE_PID"
+SERVE_PID=""
+echo "registry smoke: ok"
 
 dune exec bench/main.exe -- --quick serve

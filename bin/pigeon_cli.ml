@@ -218,7 +218,7 @@ let train_cmd =
     let model = Crf.Train.train ?pool graphs in
     Crf.Serialize.save model out;
     Format.printf "wrote %s (%d features)@." out
-      (Crf.Model.size model.Crf.Train.weights)
+      (Crf.Model.size (Lazy.force model.Crf.Train.weights))
   in
   Cmd.v
     (Cmd.info "train"
@@ -241,10 +241,21 @@ let predict_cmd =
   in
   (* One-shot prediction goes through the exact code the daemon runs
      (Serve.Engine), which is what makes the serve byte-identity
-     contract checkable: same input, same model, same pairs. *)
+     contract checkable: same input, same model, same pairs. The model
+     is mapped, not copied — for a one-shot the load is most of the
+     work, and mapped predictions are byte-identical (tested). *)
   let run lang model_path file =
-    let model = load_crf_model model_path in
-    let engine = Serve.Engine.create ~model () in
+    let model, storage =
+      match Crf.Serialize.load_mapped model_path with
+      | Ok ms -> ms
+      | Error d ->
+          Format.eprintf "error: cannot load model:%a@." Lexkit.Diag.pp d;
+          exit 1
+    in
+    Option.iter
+      (fun n -> Format.eprintf "pigeon predict: %s@." n)
+      (Lexkit.Storage.note storage);
+    let engine = Serve.Engine.create ~storage ~model () in
     match Serve.Engine.predict_one engine ~lang ~code:(read_file file) with
     | Ok pairs ->
         List.iter
@@ -276,6 +287,23 @@ let serve_cmd =
   let w2v_arg =
     Arg.(value & opt (some file) None & info [ "w2v" ] ~docv:"MODEL"
          ~doc:"Optional word2vec model, enables the `similar` op.")
+  in
+  let named_arg =
+    Arg.(value & opt_all string [] & info [ "named-model" ] ~docv:"NAME=PATH"
+         ~doc:"Preload an extra CRF model into the registry under NAME \
+               (repeatable). Requests select it with a \"model\" field \
+               (client: --model-name).")
+  in
+  let no_mmap_arg =
+    Arg.(value & flag & info [ "no-mmap" ]
+         ~doc:"Load models as heap copies instead of mapping v4 files \
+               zero-copy.")
+  in
+  let max_mapped_arg =
+    Arg.(value & opt int 0 & info [ "max-mapped-bytes" ] ~docv:"N"
+         ~doc:"Evict least-recently-used non-default models once the mapped \
+               bytes across the registry exceed N (0 = unbounded). Evicted \
+               models revive on their next request.")
   in
   let tcp_arg =
     Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
@@ -320,23 +348,59 @@ let serve_cmd =
              ~doc:"Per-connection I/O budget: close connections that stay \
                    silent (or stop draining replies) this long (0 = never).")
   in
-  let run model_path w2v_path socket tcp host jobs max_batch max_bytes
-      max_depth max_steps max_queue max_conns idle_timeout =
+  let run model_path w2v_path named no_mmap max_mapped_bytes socket tcp host
+      jobs max_batch max_bytes max_depth max_steps max_queue max_conns
+      idle_timeout =
     if socket = None && tcp = None then begin
       Format.eprintf "error: pass --socket PATH and/or --tcp PORT@.";
       exit 2
     end;
-    let model = load_crf_model model_path in
-    let w2v =
+    let mmap = not no_mmap in
+    let named =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | Some i when i > 0 && i < String.length spec - 1 ->
+              ( String.sub spec 0 i,
+                String.sub spec (i + 1) (String.length spec - i - 1) )
+          | _ ->
+              Format.eprintf "error: --named-model wants NAME=PATH, got %S@."
+                spec;
+              exit 2)
+        named
+    in
+    let note_line n = Format.eprintf "pigeon serve: %s@." n in
+    let model, storage =
+      if mmap then
+        match Crf.Serialize.load_mapped model_path with
+        | Ok (m, s) ->
+            Option.iter note_line (Lexkit.Storage.note s);
+            (m, s)
+        | Error d ->
+            Format.eprintf "error: cannot load model:%a@." Lexkit.Diag.pp d;
+            exit 1
+      else (load_crf_model model_path, Lexkit.Storage.heap)
+    in
+    let w2v_view, storage =
       match w2v_path with
-      | None -> None
+      | None -> (None, storage)
       | Some p -> (
-          match Word2vec.Serialize.load p with
-          | Ok m -> Some m
-          | Error d ->
-              Format.eprintf "error: cannot load w2v model:%a@."
-                Lexkit.Diag.pp d;
-              exit 1)
+          if mmap then
+            match Word2vec.Serialize.load_mapped p with
+            | Ok (v, s) ->
+                Option.iter note_line (Lexkit.Storage.note s);
+                (Some v, Lexkit.Storage.merge storage s)
+            | Error d ->
+                Format.eprintf "error: cannot load w2v model:%a@."
+                  Lexkit.Diag.pp d;
+                exit 1
+          else
+            match Word2vec.Serialize.load p with
+            | Ok m -> (Some (Word2vec.Sgns.view_of m), storage)
+            | Error d ->
+                Format.eprintf "error: cannot load w2v model:%a@."
+                  Lexkit.Diag.pp d;
+                exit 1)
     in
     let limits =
       let d = Lexkit.default_limits in
@@ -357,8 +421,20 @@ let serve_cmd =
     in
     let pool = pool_of_jobs jobs in
     let engine =
-      Serve.Engine.create ?w2v ~limits ~model_path ?w2v_path ~model ()
+      Serve.Engine.create ?w2v_view ~storage ~limits ~model_path ?w2v_path
+        ~mmap ~max_mapped_bytes ~model ()
     in
+    List.iter
+      (fun (name, path) ->
+        match Serve.Engine.reload engine ~name ~model_path:path () with
+        | Ok note ->
+            Format.eprintf "pigeon serve: model %S loaded from %s@." name path;
+            Option.iter note_line note
+        | Error e ->
+            Format.eprintf "error: cannot load named model %S: [%s] %s@." name
+              e.Serve.Protocol.kind e.Serve.Protocol.msg;
+            exit 1)
+      named;
     let cfg =
       {
         Serve.Server.default_config with
@@ -417,11 +493,14 @@ let serve_cmd =
           socket, batching concurrent requests across the domain pool. \
           Overloads shed with structured errors (see --max-queue, \
           --max-conns, --idle-timeout); SIGHUP (or the reload op) hot-swaps \
-          the model; SIGTERM/SIGINT drain then stop. Set PIGEON_FAULTS to \
-          inject faults for chaos testing.")
+          the model; SIGTERM/SIGINT drain then stop. Model files map \
+          zero-copy by default (--no-mmap for heap copies); extra models \
+          preload with --named-model and evict under --max-mapped-bytes. Set \
+          PIGEON_FAULTS to inject faults for chaos testing.")
     Term.(
-      const run $ model_arg $ w2v_arg $ socket_arg $ tcp_arg $ host_arg
-      $ jobs_arg $ batch_arg $ max_bytes_arg $ max_depth_arg $ max_steps_arg
+      const run $ model_arg $ w2v_arg $ named_arg $ no_mmap_arg
+      $ max_mapped_arg $ socket_arg $ tcp_arg $ host_arg $ jobs_arg
+      $ batch_arg $ max_bytes_arg $ max_depth_arg $ max_steps_arg
       $ max_queue_arg $ max_conns_arg $ idle_timeout_arg)
 
 (* ---------- client ---------- *)
@@ -454,6 +533,12 @@ let client_cmd =
     Arg.(value & opt int 5 & info [ "k" ] ~docv:"N"
          ~doc:"Neighbor count for --op similar.")
   in
+  let model_name_arg =
+    Arg.(value & opt (some string) None & info [ "model-name" ] ~docv:"NAME"
+         ~doc:"Registry model to run the request against (predict/similar), \
+               or to load into with --op reload (default: the daemon's \
+               default model).")
+  in
   let reload_model_arg =
     Arg.(value & opt (some string) None & info [ "reload-model" ] ~docv:"PATH"
          ~doc:"CRF model path for --op reload (default: the daemon re-reads \
@@ -462,6 +547,14 @@ let client_cmd =
   let reload_w2v_arg =
     Arg.(value & opt (some string) None & info [ "reload-w2v" ] ~docv:"PATH"
          ~doc:"word2vec model path for --op reload.")
+  in
+  let unload_arg =
+    Arg.(value & opt (some string) None & info [ "unload" ] ~docv:"NAME"
+         ~doc:"With --op reload: drop this model from the daemon's registry.")
+  in
+  let set_default_arg =
+    Arg.(value & opt (some string) None & info [ "set-default" ] ~docv:"NAME"
+         ~doc:"With --op reload: make this model the daemon's default.")
   in
   let timeout_arg =
     Arg.(value & opt float 10. & info [ "timeout" ] ~docv:"SECONDS"
@@ -483,8 +576,8 @@ let client_cmd =
      (connect-refused/timeout), 1 other transport failure, 2 usage —
      so shell scripts can tell "the daemon said no" from "the daemon
      is gone". *)
-  let run socket tcp host op lang word k reload_model reload_w2v timeout
-      retries file =
+  let run socket tcp host op lang word k model_name reload_model reload_w2v
+      unload set_default timeout retries file =
     let timeout = if timeout <= 0. then None else Some timeout in
     let retry =
       { Serve.Client.default_retry with
@@ -523,18 +616,35 @@ let client_cmd =
           exit 1
     in
     let open Serve.Json in
+    let named_model =
+      match model_name with Some n -> [ ("model", Str n) ] | None -> []
+    in
     let line =
       match op with
       | `Ping -> Obj [ ("op", Str "ping"); ("id", Num 0.) ]
       | `Stats -> Obj [ ("op", Str "stats"); ("id", Num 0.) ]
       | `Shutdown -> Obj [ ("op", Str "shutdown"); ("id", Num 0.) ]
-      | `Reload ->
-          Obj
-            ([ ("op", Str "reload"); ("id", Num 0.) ]
-            @ (match reload_model with
-              | Some p -> [ ("model", Str p) ]
-              | None -> [])
-            @ match reload_w2v with Some p -> [ ("w2v", Str p) ] | None -> [])
+      | `Reload -> (
+          match (unload, set_default) with
+          | Some _, Some _ ->
+              Format.eprintf "error: --unload and --set-default are exclusive@.";
+              exit 2
+          | Some n, None ->
+              Obj [ ("op", Str "reload"); ("id", Num 0.); ("unload", Str n) ]
+          | None, Some n ->
+              Obj
+                [ ("op", Str "reload"); ("id", Num 0.); ("set_default", Str n) ]
+          | None, None ->
+              Obj
+                ([ ("op", Str "reload"); ("id", Num 0.) ]
+                @ (match model_name with
+                  | Some n -> [ ("name", Str n) ]
+                  | None -> [])
+                @ (match reload_model with
+                  | Some p -> [ ("model", Str p) ]
+                  | None -> [])
+                @
+                match reload_w2v with Some p -> [ ("w2v", Str p) ] | None -> []))
       | `Similar -> (
           match word with
           | None ->
@@ -542,8 +652,9 @@ let client_cmd =
               exit 2
           | Some w ->
               Obj
-                [ ("op", Str "similar"); ("id", Num 0.); ("word", Str w);
-                  ("k", Num (float_of_int k)) ])
+                ([ ("op", Str "similar"); ("id", Num 0.); ("word", Str w);
+                   ("k", Num (float_of_int k)) ]
+                @ named_model))
       | `Predict -> (
           match file with
           | None ->
@@ -551,9 +662,10 @@ let client_cmd =
               exit 2
           | Some f ->
               Obj
-                [ ("op", Str "predict"); ("id", Num 0.);
-                  ("lang", Str lang.Pigeon.Lang.name);
-                  ("code", Str (read_file f)) ])
+                ([ ("op", Str "predict"); ("id", Num 0.);
+                   ("lang", Str lang.Pigeon.Lang.name);
+                   ("code", Str (read_file f)) ]
+                @ named_model))
     in
     let reply =
       match Serve.Client.request conn (to_string line) with
@@ -571,7 +683,33 @@ let client_cmd =
           exit 1
     in
     Serve.Client.close conn;
+    (* The raw JSON line first — scripts parse it — then, for stats, a
+       readable per-model table. *)
     print_endline reply;
+    (if op = `Stats && Serve.Protocol.reply_ok reply then
+       match parse reply with
+       | Ok j -> (
+           match Option.bind (member "stats" j) (member "models") with
+           | Some (Arr models) ->
+               Format.printf "models:@.";
+               List.iter
+                 (fun m ->
+                   let str f = Option.value ~default:"-" (string_field f m) in
+                   let num f = Option.value ~default:0 (int_field f m) in
+                   let flag f = bool_field f m = Some true in
+                   Format.printf
+                     "  %-16s %s%s  storage=%s  mapped=%dB  last-used=%s  \
+                      evictions=%d@."
+                     (str "name")
+                     (if flag "default" then "default," else "")
+                     (if flag "loaded" then "loaded" else "evicted")
+                     (str "storage") (num "mapped_bytes")
+                     (let lu = num "last_used_ms" in
+                      if lu < 0 then "never" else Printf.sprintf "%dms ago" lu)
+                     (num "evictions"))
+                 models
+           | _ -> ())
+       | Error _ -> ());
     if Serve.Protocol.reply_ok reply then exit 0 else exit 3
   in
   Cmd.v
@@ -582,8 +720,9 @@ let client_cmd =
              (after --retries), 1 other transport failure, 2 usage.")
     Term.(
       const run $ socket_arg $ tcp_arg $ host_arg $ op_arg $ lang_arg
-      $ word_arg $ k_arg $ reload_model_arg $ reload_w2v_arg $ timeout_arg
-      $ retries_arg $ file_opt_arg)
+      $ word_arg $ k_arg $ model_name_arg $ reload_model_arg $ reload_w2v_arg
+      $ unload_arg $ set_default_arg $ timeout_arg $ retries_arg
+      $ file_opt_arg)
 
 (* ---------- stats ---------- *)
 

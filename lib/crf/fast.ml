@@ -877,7 +877,22 @@ let train ?pool cfg cands graphs =
   if cfg.averaged then finalize_average m;
   m
 
+(* Mapped weight tables checksum their file-backed payloads lazily;
+   forcing the check at every inference entry point means corruption
+   surfaces as a structured diagnostic before any weight is trusted,
+   and the hot loops below stay check-free. *)
+let verify_tables m =
+  Itbl.ensure_verified m.pw;
+  Itbl.ensure_verified m.un;
+  Itbl.ensure_verified m.bias
+
+let storage m =
+  match (Itbl.storage m.pw, Itbl.storage m.un, Itbl.storage m.bias) with
+  | `Heap, `Heap, `Heap -> `Heap
+  | _ -> `Mapped
+
 let predict cfg cands m g =
+  verify_tables m;
   let eg = encode m g in
   let assignment =
     map_assignment cfg cands m eg ~force_gold:false ~seed:cfg.seed
@@ -892,6 +907,7 @@ let predict cfg cands m g =
    results come back in input order — identical output for every job
    count. *)
 let predict_batch ?pool cfg cands m graphs =
+  verify_tables m;
   let prepped =
     Array.of_list
       (List.map
@@ -915,6 +931,7 @@ let predict_batch ?pool cfg cands m graphs =
   Array.to_list out
 
 let top_k cfg cands m g ~node ~k =
+  verify_tables m;
   let eg = encode m g in
   let assignment =
     map_assignment cfg cands m eg ~force_gold:false ~seed:cfg.seed
@@ -1019,3 +1036,52 @@ let restore d =
       Itbl.set m.bias k v)
     d.d_bias;
   m
+
+type mapped_table = {
+  mt_keys : int array;
+  mt_vals : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  mt_verify : unit -> unit;
+}
+
+(* [restore], but the weight values stay in the mapped file: only the
+   symbol tables and the probe indexes are built on the heap. Key
+   validation is identical to [restore] — it runs eagerly (the key
+   arrays were copied out of the file by the loader), while the float
+   payloads are checked lazily by each table's [mt_verify]. *)
+let restore_mapped ~labels ~rels ~pw ~un ~bias =
+  (* Not [create ()]: its presized training tables (the weight tables
+     this function immediately replaces, and the averaging
+     accumulators a read-only model never touches) are several MB of
+     zeroed arrays — real time on what should be an O(header) load. *)
+  let syms = Symbols.create () in
+  List.iter (fun s -> ignore (Symbols.label syms s)) labels;
+  List.iter (fun s -> ignore (Symbols.rel syms s)) rels;
+  let nl = Symbols.num_labels syms and nr = Symbols.num_rels syms in
+  let chk what ok k =
+    if not ok then Printf.ksprintf failwith "%s weight key %d out of range" what k
+  in
+  Array.iter
+    (fun k ->
+      chk "pairwise"
+        (k >= 0 && k lsr 42 < nl
+        && (k lsr 18) land 0xFFFFFF < nr
+        && k land 0x3FFFF < nl)
+        k)
+    pw.mt_keys;
+  Array.iter
+    (fun k -> chk "unary" (k >= 0 && k lsr 24 < nl && k land 0xFFFFFF < nr) k)
+    un.mt_keys;
+  Array.iter (fun k -> chk "bias" (k >= 0 && k < nl) k) bias.mt_keys;
+  let tbl t =
+    Itbl.of_sorted_mapped ~keys:t.mt_keys ~vals:t.mt_vals ~verify:t.mt_verify
+  in
+  {
+    syms;
+    pw = tbl pw;
+    un = tbl un;
+    bias = tbl bias;
+    pw_u = Itbl.create 0;
+    un_u = Itbl.create 0;
+    bias_u = Itbl.create 0;
+    steps = 0;
+  }

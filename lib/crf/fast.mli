@@ -184,3 +184,32 @@ type dump = {
 
 val dump : model -> dump
 val restore : dump -> model
+
+type mapped_table = {
+  mt_keys : int array;  (** strictly increasing packed keys *)
+  mt_vals : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+      (** view over the mapped file; [mt_vals.(j)] pairs with
+          [mt_keys.(j)] *)
+  mt_verify : unit -> unit;
+      (** lazy checksum of the mapped payload; raises
+          [Lexkit.Diag.Error] on mismatch *)
+}
+
+val restore_mapped :
+  labels:string list ->
+  rels:string list ->
+  pw:mapped_table ->
+  un:mapped_table ->
+  bias:mapped_table ->
+  model
+(** Like {!restore}, but weight values stay in the mapped file — only
+    symbol tables and probe indexes are heap-allocated. Key range
+    checks run eagerly; float payloads are verified lazily at the
+    first inference entry point. Raises [Failure] on out-of-range or
+    non-canonical keys. *)
+
+val storage : model -> [ `Heap | `Mapped ]
+
+val verify_tables : model -> unit
+(** Force the lazy checksums of mapped weight tables (no-op for heap
+    models). Every inference entry point calls this. *)

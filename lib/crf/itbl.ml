@@ -10,88 +10,197 @@
    Per-key arithmetic is identical to the [Hashtbl] code it replaces
    ([add] accumulates with a single [+.] in program order), so models
    trained on either table are byte-identical. Only iteration order
-   differs, which nothing semantic depends on. *)
+   differs, which nothing semantic depends on.
 
-type t = {
+   A table is either heap-backed (training: mutable, growable) or
+   map-backed (inference over an mmap'd model file: the probe index is
+   a small heap array built from the file's sorted key list, but the
+   values stay in the map as a [Bigarray.Array1] view — never copied).
+   Mapped values are checksummed lazily: the first read-path entry
+   point calls [ensure_verified], which runs the verify closure the
+   loader installed. *)
+
+type heap = {
   mutable keys : int array;
   mutable vals : float array;
   mutable mask : int;
   mutable count : int;
 }
 
+(* The probe index over a mapped table's sorted key run: key slots and
+   the file index each occupied slot maps to. Built lazily — load time
+   stays O(validation), and the build lands with the (also deferred)
+   checksum pass at the first inference entry point. *)
+type index = { x_keys : int array; x_idx : int array; x_mask : int }
+
+type mapped = {
+  m_sorted : int array;  (* the file's key run: strictly increasing *)
+  mutable m_index : index option;
+      (* Benign race (like [m_verified]): concurrent builders compute
+         identical indexes from the immutable [m_sorted] and the last
+         store wins. *)
+  m_count : int;
+  m_vals : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  m_verify : unit -> unit;
+  mutable m_verified : bool;
+      (* The benign race on this flag (two domains verifying at once)
+         only repeats an idempotent read-only checksum. *)
+}
+
+type t = H of heap | M of mapped
+
 let rec ceil_pow2 n c = if c >= n then c else ceil_pow2 n (c * 2)
 
 let create hint =
   let cap = ceil_pow2 (max 16 hint) 16 in
-  {
-    keys = Array.make cap (-1);
-    vals = Array.make cap 0.;
-    mask = cap - 1;
-    count = 0;
-  }
+  H
+    {
+      keys = Array.make cap (-1);
+      vals = Array.make cap 0.;
+      mask = cap - 1;
+      count = 0;
+    }
 
 (* Fibonacci-style multiplicative hash; [lsr] keeps the high (well
    mixed) bits and guarantees a non-negative index. *)
-let[@inline] start t k = (k * 0x2545F4914F6CDD1D) lsr 16 land t.mask
+let[@inline] start mask k = (k * 0x2545F4914F6CDD1D) lsr 16 land mask
 
-let length t = t.count
+let length = function H h -> h.count | M m -> m.m_count
 
 let rec probe keys mask k i =
   let kk = Array.unsafe_get keys i in
   if kk = k || kk = -1 then i else probe keys mask k ((i + 1) land mask)
 
-let[@inline] get t k =
-  let i = probe t.keys t.mask k (start t k) in
-  if Array.unsafe_get t.keys i = k then Array.unsafe_get t.vals i else 0.
+let build_index m =
+  match m.m_index with
+  | Some x -> x
+  | None ->
+      let n = Array.length m.m_sorted in
+      let cap = ceil_pow2 (max 16 (2 * n)) 16 in
+      let mask = cap - 1 in
+      let keys = Array.make cap (-1) and idx = Array.make cap 0 in
+      Array.iteri
+        (fun j k ->
+          let i = probe keys mask k (start mask k) in
+          Array.unsafe_set keys i k;
+          Array.unsafe_set idx i j)
+        m.m_sorted;
+      let x = { x_keys = keys; x_idx = idx; x_mask = mask } in
+      m.m_index <- Some x;
+      x
 
-let grow t =
-  let old_keys = t.keys and old_vals = t.vals in
+let[@inline] get t k =
+  match t with
+  | H h ->
+      let i = probe h.keys h.mask k (start h.mask k) in
+      if Array.unsafe_get h.keys i = k then Array.unsafe_get h.vals i else 0.
+  | M m ->
+      let x = match m.m_index with Some x -> x | None -> build_index m in
+      let i = probe x.x_keys x.x_mask k (start x.x_mask k) in
+      if Array.unsafe_get x.x_keys i = k then
+        Bigarray.Array1.unsafe_get m.m_vals (Array.unsafe_get x.x_idx i)
+      else 0.
+
+let grow h =
+  let old_keys = h.keys and old_vals = h.vals in
   let cap = 2 * Array.length old_keys in
-  t.keys <- Array.make cap (-1);
-  t.vals <- Array.make cap 0.;
-  t.mask <- cap - 1;
+  h.keys <- Array.make cap (-1);
+  h.vals <- Array.make cap 0.;
+  h.mask <- cap - 1;
   Array.iteri
     (fun i k ->
       if k >= 0 then begin
-        let j = probe t.keys t.mask k (start t k) in
-        Array.unsafe_set t.keys j k;
-        Array.unsafe_set t.vals j (Array.unsafe_get old_vals i)
+        let j = probe h.keys h.mask k (start h.mask k) in
+        Array.unsafe_set h.keys j k;
+        Array.unsafe_set h.vals j (Array.unsafe_get old_vals i)
       end)
     old_keys
 
-let[@inline] insert t i k v =
-  Array.unsafe_set t.keys i k;
-  Array.unsafe_set t.vals i v;
-  t.count <- t.count + 1;
+let[@inline] insert h i k v =
+  Array.unsafe_set h.keys i k;
+  Array.unsafe_set h.vals i v;
+  h.count <- h.count + 1;
   (* Load factor 1/2: probes stay short and the growth check is one
      compare per insert. *)
-  if 2 * t.count >= Array.length t.keys then grow t
+  if 2 * h.count >= Array.length h.keys then grow h
+
+let heap_of = function
+  | H h -> h
+  | M _ -> invalid_arg "Itbl: mapped tables are read-only"
 
 let add t k d =
   if d <> 0. then begin
-    let i = probe t.keys t.mask k (start t k) in
-    if Array.unsafe_get t.keys i = k then
-      Array.unsafe_set t.vals i (Array.unsafe_get t.vals i +. d)
-    else insert t i k d
+    let h = heap_of t in
+    let i = probe h.keys h.mask k (start h.mask k) in
+    if Array.unsafe_get h.keys i = k then
+      Array.unsafe_set h.vals i (Array.unsafe_get h.vals i +. d)
+    else insert h i k d
   end
 
 let set t k v =
-  let i = probe t.keys t.mask k (start t k) in
-  if Array.unsafe_get t.keys i = k then Array.unsafe_set t.vals i v
-  else insert t i k v
+  let h = heap_of t in
+  let i = probe h.keys h.mask k (start h.mask k) in
+  if Array.unsafe_get h.keys i = k then Array.unsafe_set h.vals i v
+  else insert h i k v
+
+let ensure_verified = function
+  | H _ -> ()
+  | M m ->
+      if not m.m_verified then begin
+        m.m_verify ();
+        m.m_verified <- true
+      end;
+      (* Piggyback the index build on the same entry point, so the
+         lookup hot path nearly always takes the [Some] branch. *)
+      if m.m_index = None then ignore (build_index m)
+
+let of_sorted_mapped ~keys ~vals ~verify =
+  let n = Array.length keys in
+  if Bigarray.Array1.dim vals <> n then
+    Printf.ksprintf failwith
+      "weight table key/value count mismatch: %d keys, %d values" n
+      (Bigarray.Array1.dim vals);
+  (* Strictly increasing is the canonical form the writer emits;
+     enforcing it here rejects duplicate keys (which would make
+     lookups depend on probe order) and negative keys (which would
+     collide with the empty-slot sentinel). Validation is eager — a
+     linear pass — while the probe index waits for first use. *)
+  let prev = ref (-1) in
+  Array.iteri
+    (fun j k ->
+      if k <= !prev then
+        Printf.ksprintf failwith
+          "weight table keys not strictly increasing at index %d (%d after %d)"
+          j k !prev;
+      prev := k)
+    keys;
+  M
+    {
+      m_sorted = keys;
+      m_index = None;
+      m_count = n;
+      m_vals = vals;
+      m_verify = verify;
+      m_verified = false;
+    }
+
+let storage = function H _ -> `Heap | M _ -> `Mapped
 
 let iter f t =
-  let keys = t.keys and vals = t.vals in
-  for i = 0 to Array.length keys - 1 do
-    let k = Array.unsafe_get keys i in
-    if k >= 0 then f k (Array.unsafe_get vals i)
-  done
+  ensure_verified t;
+  match t with
+  | H h ->
+      let keys = h.keys and vals = h.vals in
+      for i = 0 to Array.length keys - 1 do
+        let k = Array.unsafe_get keys i in
+        if k >= 0 then f k (Array.unsafe_get vals i)
+      done
+  | M m ->
+      (* File order (strictly increasing keys); callers sort anyway. *)
+      let vals = m.m_vals in
+      Array.iteri (fun j k -> f k (Bigarray.Array1.unsafe_get vals j)) m.m_sorted
 
 let fold f t acc =
-  let keys = t.keys and vals = t.vals in
   let acc = ref acc in
-  for i = 0 to Array.length keys - 1 do
-    let k = Array.unsafe_get keys i in
-    if k >= 0 then acc := f k (Array.unsafe_get vals i) !acc
-  done;
+  iter (fun k v -> acc := f k v !acc) t;
   !acc

@@ -4,13 +4,41 @@
     Keys must be non-negative ([-1] is the empty-slot sentinel), which
     every packed weight key in {!Fast} satisfies. Accumulation order
     per key matches the [Hashtbl] code this replaces, so weights are
-    byte-identical; only iteration order differs. *)
+    byte-identical; only iteration order differs.
+
+    A table is heap-backed (mutable, growable — what {!create} builds
+    and training uses) or map-backed (read-only values living in a
+    [Bigarray.Array1] view over an mmap'd model file — what
+    {!of_sorted_mapped} builds). Lookups behave identically in both;
+    {!add}/{!set} on a mapped table raise [Invalid_argument]. *)
 
 type t
 
 val create : int -> t
 (** [create hint] sizes the table for at least [hint] slots (rounded
     up to a power of two, minimum 16). *)
+
+val of_sorted_mapped :
+  keys:int array ->
+  vals:(float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+  verify:(unit -> unit) ->
+  t
+(** A read-only table whose values stay in [vals] (a view over a
+    mapped file; [vals.(j)] belongs to [keys.(j)]) and whose probe
+    index is built on the heap from [keys]. [keys] must be strictly
+    increasing and non-negative — the canonical order the v4 writer
+    emits — or [Failure] is raised. [verify] is the lazy checksum for
+    the mapped payload: it runs once, at the first read-path entry
+    point that calls {!ensure_verified}, and should raise
+    [Lexkit.Diag.Error] on mismatch. *)
+
+val ensure_verified : t -> unit
+(** Run the pending [verify] closure of a mapped table (idempotent;
+    no-op on heap tables). Called by {!Fast} at inference entry points
+    so corruption in a lazily-mapped payload surfaces as a structured
+    diagnostic before any value is trusted. *)
+
+val storage : t -> [ `Heap | `Mapped ]
 
 val get : t -> int -> float
 (** [get t k] is the value bound to [k], or [0.] when unbound. *)

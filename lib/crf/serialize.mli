@@ -1,21 +1,26 @@
 (** Saving and loading trained CRF models.
 
-    [save] writes the version-3 binary format: a text magic line, then
+    [save] writes the version-4 binary format: a text magic line, then
     length-prefixed sections — the label/rel string tables once, and
     every weight and candidate record as interned ids and raw
-    little-endian floats. The writer sorts each section, so it is a
+    little-endian floats. Weight sections store their keys and values
+    in separate runs and are preceded by pad sections that 8-align the
+    float run in the file, which is what lets {!load_mapped} serve the
+    values straight out of an [mmap] instead of copying them. The
+    writer sorts each section and pads deterministically, so it is a
     canonical form: save → load → save round-trips byte-identically.
 
-    Versions 1 and 2 (the older line-oriented text format, values
-    percent-escaped) still load; {!to_channel_v2} keeps a text writer
-    around for compatibility fixtures.
+    Version 3 (interleaved weight pairs, whole-body checksum) and
+    versions 1 and 2 (the older line-oriented text format, values
+    percent-escaped) still load; {!to_string_v3} and {!to_channel_v2}
+    keep writers around for compatibility fixtures.
 
     Every format is self-checking (v2's [end <record-count>] trailer,
-    v3's section framing and trailer), so truncation, trailing garbage
-    and bit-flips are detected. Loaders never raise [Failure]; every
-    malformed input is reported as a {!Lexkit.Diag.t} with kind
-    [Corrupt_model] — a line number for text formats, a byte offset in
-    the message for binary. *)
+    v3/v4's section framing and checksum trailer), so truncation,
+    trailing garbage and bit-flips are detected. Loaders never raise
+    [Failure]; every malformed input is reported as a {!Lexkit.Diag.t}
+    with kind [Corrupt_model] — a line number for text formats, a byte
+    offset in the message for binary. *)
 
 val save : Train.model -> string -> unit
 (** [save model path] writes the model to [path]. Raises [Sys_error]
@@ -28,10 +33,29 @@ val load : string -> (Train.model, Lexkit.Diag.t) result
 val load_exn : string -> Train.model
 (** Like {!load} but raises {!Lexkit.Diag.Error} on failure. *)
 
+val load_mapped :
+  string -> (Train.model * Lexkit.Storage.t, Lexkit.Diag.t) result
+(** Zero-copy load: walk the v4 structure reading only headers, symbol
+    tables, candidate ids and weight *keys*, then map the file and
+    wire the weight tables to [Bigarray] views over its float runs —
+    O(everything-but-the-floats), and the floats are the bulk of a
+    trained model. The mapped payloads are checksummed lazily, at the
+    first inference entry point; a mismatch then raises
+    {!Lexkit.Diag.Error} with kind [Corrupt_model].
+
+    Environmental obstacles (v1–v3 file, misaligned payload,
+    big-endian host, mmap failure) silently fall back to the copy
+    loader and report [Storage.Heap] with a note saying why; only
+    structural damage is an [Error]. The returned model is read-only
+    in its weight tables. *)
+
 val to_channel : Train.model -> out_channel -> unit
 
 val to_string : Train.model -> string
-(** The version-3 binary image [save]/[to_channel] write. *)
+(** The version-4 binary image [save]/[to_channel] write. *)
+
+val to_string_v3 : Train.model -> string
+(** Version-3 binary writer, for compatibility fixtures. *)
 
 val to_channel_v2 : Train.model -> out_channel -> unit
 (** Version-2 text writer, for compatibility fixtures. *)

@@ -20,8 +20,14 @@ let default_config =
   }
 
 type model = {
-  weights : Model.t;
-  candidates : Candidates.t;
+  weights : Model.t Lazy.t;
+      (* Decoding the int-keyed tables to string features costs more
+         than the entire binary load; inference never touches it, so
+         it is deferred until something actually inspects weights. *)
+  candidates : Candidates.t Lazy.t;
+      (* Same reason: a mapped load defers parsing (and checksumming)
+         the candidate sections to first use; the trainer already has
+         them in hand. *)
   config : config;
   fast : Fast.model;
 }
@@ -42,17 +48,22 @@ let fast_config config =
 let train ?pool ?(config = default_config) graphs =
   let candidates = Candidates.build graphs in
   let fast = Fast.train ?pool (fast_config config) candidates graphs in
-  { weights = Fast.export_weights fast; candidates; config; fast }
+  {
+    weights = lazy (Fast.export_weights fast);
+    candidates = lazy candidates;
+    config;
+    fast;
+  }
 
 let predict model g =
-  Fast.predict (fast_config model.config) model.candidates model.fast g
+  Fast.predict (fast_config model.config) (Lazy.force model.candidates) model.fast g
 
 let predict_batch ?pool model graphs =
-  Fast.predict_batch ?pool (fast_config model.config) model.candidates
+  Fast.predict_batch ?pool (fast_config model.config) (Lazy.force model.candidates)
     model.fast graphs
 
 let top_k model g ~node ~k =
-  Fast.top_k (fast_config model.config) model.candidates model.fast g ~node ~k
+  Fast.top_k (fast_config model.config) (Lazy.force model.candidates) model.fast g ~node ~k
 
 let accuracy ?pool model graphs =
   let preds = predict_batch ?pool model graphs in
@@ -76,7 +87,7 @@ let oov_rate model graphs =
       List.iter
         (fun n ->
           incr total;
-          if Candidates.label_count model.candidates gold.(n) = 0 then incr oov)
+          if Candidates.label_count (Lazy.force model.candidates) gold.(n) = 0 then incr oov)
         (Graph.unknown_ids g))
     graphs;
   if !total = 0 then 0. else float_of_int !oov /. float_of_int !total

@@ -28,11 +28,16 @@ type config = {
 val default_config : config
 
 type model = {
-  weights : Model.t;
+  weights : Model.t Lazy.t;
       (** Final (averaged) weights, decoded to the public feature
           table for inspection; prediction runs on the int-encoded
-          {!Fast.model} below. *)
-  candidates : Candidates.t;
+          {!Fast.model} below. Lazy because decoding to string
+          features dominates model-load time and inference never
+          reads it. *)
+  candidates : Candidates.t Lazy.t;
+      (** Lazy for the same reason: a mapped load defers parsing (and
+          checksumming) the candidate sections to first use, and the
+          trainer already has them in hand. *)
   config : config;
   fast : Fast.model;
 }

@@ -263,13 +263,20 @@ module Binio = struct
      just flips that break the framing. *)
   let mask62 = (1 lsl 62) - 1
   let fnv_offset = Int64.to_int 0xcbf29ce484222325L land mask62
+  let checksum_seed = fnv_offset
 
-  let checksum s =
-    let h = ref fnv_offset in
+  (* Incremental form: folding a string in pieces gives the same sum
+     as folding the concatenation, which is what lets a mapped loader
+     checksum a section prefix from the heap and the float payload
+     straight from the map. *)
+  let checksum_add h s =
+    let h = ref h in
     String.iter
       (fun c -> h := (!h lxor Char.code c) * 0x100000001b3 land mask62)
       s;
     !h
+
+  let checksum s = checksum_add checksum_seed s
 
   type reader = { src : string; mutable pos : int }
 
@@ -306,6 +313,10 @@ module Binio = struct
 
   let r_float r what = Int64.float_of_bits (r_i64 r what)
 
+  let r_skip r n what =
+    need r n what;
+    r.pos <- r.pos + n
+
   let r_string r what =
     let n = r_int r what in
     need r n what;
@@ -335,4 +346,81 @@ module Binio = struct
       Printf.ksprintf failwith
         "section %s length mismatch: payload ends at byte %d, header said %d"
         what r.pos stop
+end
+
+(* How a loaded model holds its float payloads: copied into the OCaml
+   heap, or read through [Bigarray] views over a mapped file. A heap
+   report carries an optional note explaining why a requested mapped
+   load was downgraded (old format version, misalignment, big-endian
+   host, map failure). *)
+module Storage = struct
+  type t = Heap of { note : string option } | Mapped of { bytes : int }
+
+  let heap = Heap { note = None }
+  let kind_name = function Heap _ -> "heap" | Mapped _ -> "mapped"
+  let mapped_bytes = function Heap _ -> 0 | Mapped { bytes } -> bytes
+  let note = function Heap { note } -> note | Mapped _ -> None
+
+  let merge a b =
+    match (a, b) with
+    | Mapped { bytes = x }, Mapped { bytes = y } -> Mapped { bytes = x + y }
+    | Heap { note = n }, Heap { note = m } ->
+        Heap { note = (match n with Some _ -> n | None -> m) }
+    (* A mixed pair (one file mapped, the other copied) reports as
+       mapped with the mapped half's bytes: the interesting number for
+       budget accounting is how much address space the entry pins. *)
+    | (Mapped _ as m), Heap _ | Heap _, (Mapped _ as m) -> m
+end
+
+module Mmap = struct
+  type t = {
+    path : string;
+    size : int;  (** file size in bytes at map time *)
+    floats : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  }
+
+  (* Maps the whole file read-only as a float64 view (any byte tail
+     shorter than 8 is dropped; callers slice sub-views at offsets they
+     have already bounds-checked against [size]). The fd is closed
+     right after mapping — the mapping keeps the pages alive — and the
+     pages are released when the bigarray is collected, which is what
+     makes dropping a model snapshot an implicit munmap. *)
+  let map_floats path =
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let size = (Unix.fstat fd).Unix.st_size in
+        let ga =
+          Unix.map_file fd Bigarray.float64 Bigarray.c_layout false
+            [| size / 8 |]
+        in
+        { path; size; floats = Bigarray.array1_of_genarray ga })
+
+  let path t = t.path
+  let size t = t.size
+
+  let sub t ~off_bytes ~len =
+    if off_bytes < 0 || off_bytes mod 8 <> 0 || len < 0
+       || len > (t.size - off_bytes) / 8
+    then
+      Printf.ksprintf failwith
+        "mapped slice out of bounds: %d floats at byte %d of %d" len off_bytes
+        t.size;
+    Bigarray.Array1.sub t.floats (off_bytes / 8) len
+
+  (* Continues a [Binio.checksum_add] fold over a float region of the
+     map, byte-for-byte identical to checksumming the file bytes on a
+     little-endian host (the only hosts the mapped path accepts). *)
+  let checksum_floats ?(h = Binio.checksum_seed) a ~off ~len =
+    let fnv = 0x100000001b3 and mask62 = Binio.mask62 in
+    let h = ref h in
+    for i = off to off + len - 1 do
+      let bits = Int64.bits_of_float (Bigarray.Array1.unsafe_get a i) in
+      for b = 0 to 7 do
+        let byte = Int64.to_int (Int64.shift_right_logical bits (8 * b)) land 0xff in
+        h := (!h lxor byte) * fnv land mask62
+      done
+    done;
+    !h
 end

@@ -164,6 +164,13 @@ module Binio : sig
   (** FNV-1a folded to 62 bits, over the full section body — the end
       section stores it so any bit flip is detected. *)
 
+  val checksum_seed : int
+  val checksum_add : int -> string -> int
+  (** Incremental checksum: [checksum_add checksum_seed s = checksum s],
+      and folding a string in pieces equals folding the concatenation.
+      Lets a mapped loader checksum a section prefix from the heap and
+      finish over the mapped float payload. *)
+
   type reader
 
   val reader : ?pos:int -> string -> reader
@@ -179,6 +186,10 @@ module Binio : sig
       messages. Fails on values outside OCaml's int range. *)
 
   val r_float : reader -> string -> float
+
+  val r_skip : reader -> int -> string -> unit
+  (** Advance past [n] bytes (bounds-checked). *)
+
   val r_string : reader -> string -> string
   val r_floats : reader -> string -> float array
 
@@ -188,4 +199,64 @@ module Binio : sig
 
   val end_section : reader -> stop:int -> what:string -> unit
   (** Verify the reader consumed the section exactly. *)
+end
+
+(** How a loaded model holds its float payloads: copied into the OCaml
+    heap, or read through [Bigarray] views over a mapped file. *)
+module Storage : sig
+  type t =
+    | Heap of { note : string option }
+        (** [note] explains why a requested mapped load was downgraded
+            to a copy (old format version, misaligned payload,
+            big-endian host, map failure); [None] for a plain load. *)
+    | Mapped of { bytes : int }  (** [bytes] = mapped file bytes. *)
+
+  val heap : t
+  (** [Heap { note = None }]. *)
+
+  val kind_name : t -> string
+  (** ["heap"] or ["mapped"]. *)
+
+  val mapped_bytes : t -> int
+  val note : t -> string option
+
+  val merge : t -> t -> t
+  (** Combine the reports of two files backing one model entry (CRF +
+      SGNS): mapped bytes add; a mixed pair reports as mapped. *)
+end
+
+(** Read-only file mappings for zero-copy model loading. *)
+module Mmap : sig
+  type t
+
+  val map_floats : string -> t
+  (** Map the whole file read-only as a [float64] view (any tail
+      shorter than 8 bytes is dropped). The fd is closed immediately;
+      the pages live until the bigarray is collected, so dropping the
+      last reference is an implicit munmap. Raises [Unix.Unix_error]
+      on open/map failure. *)
+
+  val path : t -> string
+
+  val size : t -> int
+  (** File size in bytes at map time. *)
+
+  val sub :
+    t ->
+    off_bytes:int ->
+    len:int ->
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** [len] floats starting at byte offset [off_bytes] (must be
+      8-aligned). Raises [Failure] when the slice leaves the file. *)
+
+  val checksum_floats :
+    ?h:int ->
+    (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    off:int ->
+    len:int ->
+    int
+  (** Continue a {!Binio.checksum_add} fold over [len] floats of a
+      mapped view starting at element [off] — byte-identical to
+      checksumming the underlying file bytes on a little-endian host
+      (the only hosts the mapped path accepts). *)
 end

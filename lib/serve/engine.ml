@@ -10,70 +10,362 @@
    requests in the same batch still answer, and no exception crosses
    the module boundary.
 
-   Hot reload: the models live in one immutable snapshot behind an
-   [Atomic.t]. Every batch reads the snapshot exactly once and uses it
-   throughout, so an in-flight batch finishes on the model it started
-   with while [reload] validates the new files off the request path
-   and publishes them with a single atomic store — readers never wait
-   on a lock, and no request observes a half-swapped model pair. A
-   reload that fails validation (unreadable file, corrupt model)
-   leaves the old snapshot serving. *)
+   Registry: the engine holds a name → model map in one immutable
+   snapshot behind an [Atomic.t]. Every batch reads the snapshot
+   exactly once and uses it throughout, so an in-flight batch finishes
+   on the models it started with while [reload]/[unload]/[set_default]
+   build a new snapshot off the request path and publish it with a
+   single atomic store — readers never wait on a lock, and no request
+   observes a half-swapped registry. A reload that fails validation
+   (unreadable file, corrupt model) leaves the old snapshot serving.
+
+   Eviction: when the mapped-bytes budget is set, loading a model may
+   push the total over it; the least-recently-used mapped entry that
+   is neither the default nor the one just loaded is then dropped from
+   the snapshot (its paths and eviction count stay). This is safe
+   precisely because snapshots are immutable: an in-flight batch keeps
+   the evicted model alive through its own snapshot reference, and the
+   mapping is unmapped when the last reference dies. An evicted entry
+   revives transparently — the next request naming it triggers a
+   reload from its recorded paths (O(header) for mapped models). *)
+
+type loaded = {
+  crf : Crf.Train.model;
+  w2v : Word2vec.Sgns.view option;
+  storage : Lexkit.Storage.t;  (** CRF and w2v storages merged *)
+}
+
+type entry = {
+  e_name : string;
+  e_model_path : string option;
+  e_w2v_path : string option;
+  e_loaded : loaded option;  (** [None] = evicted *)
+  e_evictions : int;
+  e_last_used : float Atomic.t;
+      (** epoch seconds of the last request served through this entry;
+          [0.] = never. Shared across snapshot generations of the same
+          name, so eviction ranks on real use. *)
+}
 
 type snapshot = {
-  model : Crf.Train.model;
-  w2v : Word2vec.Sgns.t option;
+  default_name : string;
+  entries : entry list;  (** load order; registries are small *)
 }
 
 type t = {
   snap : snapshot Atomic.t;
   limits : Lexkit.limits;  (** per-request resource budgets *)
-  reload_m : Mutex.t;  (** serializes concurrent reloads, not readers *)
-  mutable model_path : string option;
-  mutable w2v_path : string option;
+  reload_m : Mutex.t;  (** serializes registry writers, not readers *)
+  mmap : bool;  (** load through [load_mapped] (with its fallbacks)? *)
+  max_mapped_bytes : int;  (** eviction budget; 0 = unbounded *)
 }
 
-let create ?w2v ?limits ?model_path ?w2v_path ~model () =
+let default_name = "default"
+let find name entries = List.find_opt (fun e -> e.e_name = name) entries
+
+let create ?w2v ?w2v_view ?storage ?limits ?model_path ?w2v_path ?(mmap = true)
+    ?(max_mapped_bytes = 0) ?(name = default_name) ~model () =
+  let w2v =
+    match (w2v_view, w2v) with
+    | Some v, _ -> Some v
+    | None, Some m -> Some (Word2vec.Sgns.view_of m)
+    | None, None -> None
+  in
+  let entry =
+    {
+      e_name = name;
+      e_model_path = model_path;
+      e_w2v_path = w2v_path;
+      e_loaded =
+        Some
+          {
+            crf = model;
+            w2v;
+            storage = Option.value ~default:Lexkit.Storage.heap storage;
+          };
+      e_evictions = 0;
+      e_last_used = Atomic.make 0.;
+    }
+  in
   {
-    snap = Atomic.make { model; w2v };
+    snap = Atomic.make { default_name = name; entries = [ entry ] };
     limits = Option.value ~default:(Lexkit.current_limits ()) limits;
     reload_m = Mutex.create ();
-    model_path;
-    w2v_path;
+    mmap;
+    max_mapped_bytes;
   }
 
 let limits t = t.limits
-let reloadable t = t.model_path <> None
 
-let reload t ?model_path ?w2v_path () =
+let reloadable t =
+  let snap = Atomic.get t.snap in
+  match find snap.default_name snap.entries with
+  | Some e -> e.e_model_path <> None
+  | None -> false
+
+let loaded_names snap =
+  String.concat ", "
+    (List.map (fun e -> Printf.sprintf "%S" e.e_name) snap.entries)
+
+(* ---------- registry writers (all under [reload_m]) ---------- *)
+
+let load_files t ~model_path ~w2v_path =
+  let crf_r =
+    if t.mmap then Crf.Serialize.load_mapped model_path
+    else
+      Result.map (fun m -> (m, Lexkit.Storage.heap))
+        (Crf.Serialize.load model_path)
+  in
+  match crf_r with
+  | Error d -> Error (Protocol.error_of_diag d)
+  | Ok (crf, cs) -> (
+      match w2v_path with
+      | None -> Ok { crf; w2v = None; storage = cs }
+      | Some wp -> (
+          let w_r =
+            if t.mmap then Word2vec.Serialize.load_mapped wp
+            else
+              Result.map
+                (fun m -> (Word2vec.Sgns.view_of m, Lexkit.Storage.heap))
+                (Word2vec.Serialize.load wp)
+          in
+          match w_r with
+          | Error d -> Error (Protocol.error_of_diag d)
+          | Ok (v, ws) ->
+              Ok { crf; w2v = Some v; storage = Lexkit.Storage.merge cs ws }))
+
+let entry_mapped e =
+  match e.e_loaded with
+  | Some l -> Lexkit.Storage.mapped_bytes l.storage
+  | None -> 0
+
+let mapped_total entries =
+  List.fold_left (fun acc e -> acc + entry_mapped e) 0 entries
+
+(* Drop LRU mapped entries until the budget holds. Never the default,
+   never [keep] (the entry that just loaded), never heap entries
+   (dropping them frees no mapped bytes) — so each round strictly
+   shrinks the total and the loop terminates. Called under
+   [reload_m]. *)
+let evict_lru t snap ~keep =
+  if t.max_mapped_bytes <= 0 then snap
+  else
+    let rec go snap =
+      if mapped_total snap.entries <= t.max_mapped_bytes then snap
+      else
+        match
+          List.filter
+            (fun e ->
+              entry_mapped e > 0
+              && e.e_name <> snap.default_name
+              && e.e_name <> keep)
+            snap.entries
+        with
+        | [] -> snap (* the budget cannot be met; serve anyway *)
+        | v :: vs ->
+            let victim =
+              List.fold_left
+                (fun a b ->
+                  if Atomic.get b.e_last_used < Atomic.get a.e_last_used then b
+                  else a)
+                v vs
+            in
+            go
+              {
+                snap with
+                entries =
+                  List.map
+                    (fun e ->
+                      if e.e_name = victim.e_name then
+                        { e with e_loaded = None;
+                                 e_evictions = e.e_evictions + 1 }
+                      else e)
+                    snap.entries;
+              }
+    in
+    go snap
+
+let with_registry t f =
   Mutex.lock t.reload_m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.reload_m) @@ fun () ->
-  let first_some a b = match a with Some _ -> a | None -> b in
-  match first_some model_path t.model_path with
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.reload_m) f
+
+let first_some a b = match a with Some _ -> a | None -> b
+
+(* Load (or re-load, or revive) entry [name] — absent means the
+   default — from the given paths, defaulting to its recorded ones.
+   On success returns the storage's downgrade note (for the caller's
+   log); the new snapshot is already published. *)
+let reload t ?name ?model_path ?w2v_path () =
+  with_registry t @@ fun () ->
+  let snap = Atomic.get t.snap in
+  let nm = Option.value ~default:snap.default_name name in
+  let existing = find nm snap.entries in
+  match
+    first_some model_path (Option.bind existing (fun e -> e.e_model_path))
+  with
   | None ->
       Error
-        (Protocol.bad_request
-           "reload: no model path (the daemon was started from an in-memory \
-            model and the request named none)")
+        (if existing = None then
+           Protocol.bad_request
+             "reload: unknown model %S and no \"model\" path to load it from \
+              (loaded: %s)"
+             nm (loaded_names snap)
+         else
+           Protocol.bad_request
+             "reload: no model path (the daemon was started from an in-memory \
+              model and the request named none)")
   | Some mpath -> (
-      match Crf.Serialize.load mpath with
-      | Error d -> Error (Protocol.error_of_diag d)
-      | Ok model -> (
-          let wpath = first_some w2v_path t.w2v_path in
-          let w2v_r =
-            match wpath with
-            | None -> Ok None
-            | Some wp -> (
-                match Word2vec.Serialize.load wp with
-                | Ok m -> Ok (Some m)
-                | Error d -> Error (Protocol.error_of_diag d))
+      let wpath =
+        first_some w2v_path (Option.bind existing (fun e -> e.e_w2v_path))
+      in
+      match load_files t ~model_path:mpath ~w2v_path:wpath with
+      | Error e -> Error e
+      | Ok loaded ->
+          let entry =
+            {
+              e_name = nm;
+              e_model_path = Some mpath;
+              e_w2v_path = wpath;
+              e_loaded = Some loaded;
+              e_evictions =
+                (match existing with Some e -> e.e_evictions | None -> 0);
+              e_last_used =
+                (match existing with
+                | Some e -> e.e_last_used
+                | None -> Atomic.make 0.);
+            }
           in
-          match w2v_r with
-          | Error e -> Error e
-          | Ok w2v ->
-              t.model_path <- Some mpath;
-              if wpath <> None then t.w2v_path <- wpath;
-              Atomic.set t.snap { model; w2v };
-              Ok ()))
+          let entries =
+            match existing with
+            | Some _ ->
+                List.map
+                  (fun e -> if e.e_name = nm then entry else e)
+                  snap.entries
+            | None -> snap.entries @ [ entry ]
+          in
+          let snap' = evict_lru t { snap with entries } ~keep:nm in
+          Atomic.set t.snap snap';
+          Ok (Lexkit.Storage.note loaded.storage))
+
+let unload t name =
+  with_registry t @@ fun () ->
+  let snap = Atomic.get t.snap in
+  if name = snap.default_name then
+    Error
+      (Protocol.bad_request
+         "cannot unload the default model %S (set another default first)" name)
+  else if find name snap.entries = None then
+    Error
+      (Protocol.bad_request "unload: unknown model %S (loaded: %s)" name
+         (loaded_names snap))
+  else begin
+    Atomic.set t.snap
+      {
+        snap with
+        entries = List.filter (fun e -> e.e_name <> name) snap.entries;
+      };
+    Ok ()
+  end
+
+let set_default t name =
+  with_registry t @@ fun () ->
+  let snap = Atomic.get t.snap in
+  if find name snap.entries = None then
+    Error
+      (Protocol.bad_request "set_default: unknown model %S (loaded: %s)" name
+         (loaded_names snap))
+  else begin
+    Atomic.set t.snap { snap with default_name = name };
+    Ok ()
+  end
+
+(* Revive an evicted entry from its recorded paths. Re-checks under
+   the lock: a concurrent request may have revived it already. *)
+let revive t name =
+  with_registry t @@ fun () ->
+  let snap = Atomic.get t.snap in
+  match find name snap.entries with
+  | None ->
+      Error
+        (Protocol.bad_request "unknown model %S (loaded: %s)" name
+           (loaded_names snap))
+  | Some ({ e_loaded = Some _; _ } as e) -> Ok e
+  | Some ({ e_model_path = None; _ }) ->
+      Error
+        (Protocol.bad_request
+           "model %S was evicted and has no recorded path to revive it from"
+           name)
+  | Some ({ e_model_path = Some mpath; _ } as e) -> (
+      match load_files t ~model_path:mpath ~w2v_path:e.e_w2v_path with
+      | Error e -> Error e
+      | Ok loaded ->
+          let entry = { e with e_loaded = Some loaded } in
+          let entries =
+            List.map
+              (fun e -> if e.e_name = name then entry else e)
+              snap.entries
+          in
+          let snap' = evict_lru t { snap with entries } ~keep:name in
+          Atomic.set t.snap snap';
+          Ok entry)
+
+(* ---------- request-side resolution ---------- *)
+
+(* The entry a request runs against: the batch snapshot's, reviving
+   evicted ones on demand. Touches the LRU clock. *)
+let resolve t snap model =
+  let nm = Option.value ~default:snap.default_name model in
+  let r =
+    match find nm snap.entries with
+    | Some ({ e_loaded = Some _; _ } as e) -> Ok e
+    | Some _ -> revive t nm
+    | None ->
+        Error
+          (Protocol.bad_request "unknown model %S (loaded: %s)" nm
+             (loaded_names snap))
+  in
+  (match r with
+  | Ok e -> Atomic.set e.e_last_used (Unix.gettimeofday ())
+  | Error _ -> ());
+  r
+
+let entry_loaded e =
+  match e.e_loaded with
+  | Some l -> l
+  | None -> assert false (* resolve only returns loaded entries *)
+
+(* ---------- per-model stats ---------- *)
+
+let models t =
+  let snap = Atomic.get t.snap in
+  let now = Unix.gettimeofday () in
+  List.map
+    (fun e ->
+      let storage, note, bytes =
+        match e.e_loaded with
+        | Some l ->
+            ( Lexkit.Storage.kind_name l.storage,
+              Lexkit.Storage.note l.storage,
+              Lexkit.Storage.mapped_bytes l.storage )
+        | None -> ("unloaded", None, 0)
+      in
+      let lu = Atomic.get e.e_last_used in
+      {
+        Protocol.ms_name = e.e_name;
+        ms_default = e.e_name = snap.default_name;
+        ms_loaded = e.e_loaded <> None;
+        ms_storage = storage;
+        ms_note = note;
+        ms_mapped_bytes = bytes;
+        ms_model_path = e.e_model_path;
+        ms_w2v_path = e.e_w2v_path;
+        ms_last_used_ms =
+          (if lu = 0. then -1 else int_of_float (1000. *. (now -. lu)));
+        ms_evictions = e.e_evictions;
+      })
+    snap.entries
+
+(* ---------- request handling ---------- *)
 
 (* Classify every failure: Diag-shaped ones keep their kind, anything
    else (a bug, not an input problem) becomes an "internal" error —
@@ -107,35 +399,54 @@ let pairs_of_prediction g pred =
 
 let predict_one t ~lang ~code =
   let snap = Atomic.get t.snap in
-  match graph_of_code t lang code with
+  match resolve t snap None with
   | Error e -> Error e
-  | Ok g -> (
-      match guarded t (fun () -> Crf.Train.predict snap.model g) with
-      | Ok pred -> Ok (pairs_of_prediction g pred)
-      | Error e -> Error e)
+  | Ok entry -> (
+      let l = entry_loaded entry in
+      match graph_of_code t lang code with
+      | Error e -> Error e
+      | Ok g -> (
+          match guarded t (fun () -> Crf.Train.predict l.crf g) with
+          | Ok pred -> Ok (pairs_of_prediction g pred)
+          | Error e -> Error e))
 
-let similar_snap snap ~word ~k =
-  match snap.w2v with
+let similar_entry entry ~word ~k =
+  let l = entry_loaded entry in
+  match l.w2v with
   | None ->
       Error
         (Protocol.bad_request
-           "no word2vec model loaded (start the server with --w2v)")
-  | Some m -> (
-      match Lexkit.protect (fun () -> Word2vec.Sgns.most_similar m word ~k) with
+           "no word2vec model loaded for %S (start the server with --w2v or \
+            reload with a \"w2v\" path)"
+           entry.e_name)
+  | Some v -> (
+      match
+        Lexkit.protect (fun () -> Word2vec.Sgns.most_similar_view v word ~k)
+      with
       | Ok xs -> Ok xs
       | Error d -> Error (Protocol.error_of_diag d)
       | exception e -> Error (classify e))
 
-let similar t ~word ~k = similar_snap (Atomic.get t.snap) ~word ~k
+let similar ?model t ~word ~k =
+  let snap = Atomic.get t.snap in
+  match resolve t snap model with
+  | Error e -> Error e
+  | Ok entry -> similar_entry entry ~word ~k
 
 (* ---------- batched handling ---------- *)
 
 (* Per-request state across the two stages: requests whose reply is
    already decided (control ops, failed parses), and parsed graphs
-   waiting for the prediction stage. *)
+   waiting for the prediction stage, pinned to their registry entry. *)
 type slot =
   | Done of string
-  | Pending of { id : Json.t; lang_name : string; graph : Crf.Graph.t }
+  | Pending of {
+      id : Json.t;
+      lang_name : string;
+      graph : Crf.Graph.t;
+      model_name : string;
+      model : Crf.Train.model;
+    }
 
 let prepare t snap req =
   let id = Protocol.request_id req in
@@ -150,74 +461,99 @@ let prepare t snap req =
       Done
         (Protocol.render_error ~id
            (Protocol.bad_request "reload is only served by a running daemon"))
-  | Protocol.Similar { word; k; _ } -> (
-      match similar_snap snap ~word ~k with
-      | Ok xs -> Done (Protocol.render_similar ~id ~word xs)
-      | Error e -> Done (Protocol.render_error ~id e))
-  | Protocol.Predict { lang; code; _ } -> (
-      match Pigeon.Lang.by_name lang with
-      | None ->
-          Done
-            (Protocol.render_error ~id
-               (Protocol.bad_request "unknown language %S (use %s)" lang
-                  (String.concat ", "
-                     (List.map
-                        (fun (l : Pigeon.Lang.t) -> l.Pigeon.Lang.name)
-                        Pigeon.Lang.all))))
-      | Some l -> (
-          match graph_of_code t l code with
-          | Error e -> Done (Protocol.render_error ~id e)
-          | Ok graph ->
-              Pending { id; lang_name = l.Pigeon.Lang.name; graph }))
+  | Protocol.Similar { word; k; model; _ } -> (
+      match resolve t snap model with
+      | Error e -> Done (Protocol.render_error ~id e)
+      | Ok entry -> (
+          match similar_entry entry ~word ~k with
+          | Ok xs -> Done (Protocol.render_similar ~id ~word xs)
+          | Error e -> Done (Protocol.render_error ~id e)))
+  | Protocol.Predict { lang; code; model; _ } -> (
+      match resolve t snap model with
+      | Error e -> Done (Protocol.render_error ~id e)
+      | Ok entry -> (
+          match Pigeon.Lang.by_name lang with
+          | None ->
+              Done
+                (Protocol.render_error ~id
+                   (Protocol.bad_request "unknown language %S (use %s)" lang
+                      (String.concat ", "
+                         (List.map
+                            (fun (l : Pigeon.Lang.t) -> l.Pigeon.Lang.name)
+                            Pigeon.Lang.all))))
+          | Some l -> (
+              match graph_of_code t l code with
+              | Error e -> Done (Protocol.render_error ~id e)
+              | Ok graph ->
+                  Pending
+                    {
+                      id;
+                      lang_name = l.Pigeon.Lang.name;
+                      graph;
+                      model_name = entry.e_name;
+                      model = (entry_loaded entry).crf;
+                    })))
 
 let handle_batch ?pool t reqs =
   (* One snapshot for the whole batch: a concurrent reload affects the
      next batch, never a half-processed one. *)
   let snap = Atomic.get t.snap in
-  let slots = List.map (prepare t snap) reqs in
-  let graphs =
-    List.filter_map
-      (function Pending { graph; _ } -> Some graph | Done _ -> None)
-      slots
-  in
-  let predictions =
-    if graphs = [] then []
-    else
-      (* Fast path: the whole batch through the domain pool at once.
-         If one graph poisons the batch (a predictor bug — guarded
-         inputs cannot reach here), fall back to per-graph prediction
-         so only the offending request pays. *)
-      match Crf.Train.predict_batch ?pool snap.model graphs with
-      | preds -> List.map (fun p -> Ok p) preds
-      | exception _ ->
-          List.map
-            (fun g ->
-              match guarded t (fun () -> Crf.Train.predict snap.model g) with
-              | Ok p -> Ok p
-              | Error e -> Error e)
-            graphs
-  in
-  let rec fill slots preds =
-    match (slots, preds) with
-    | [], _ -> []
-    | Done line :: rest, preds -> line :: fill rest preds
-    | Pending { id; lang_name; graph } :: rest, pred :: preds ->
-        let line =
-          match pred with
-          | Ok p ->
-              Protocol.render_predictions ~id ~lang:lang_name
-                (pairs_of_prediction graph p)
-          | Error e -> Protocol.render_error ~id e
-        in
-        line :: fill rest preds
-    | Pending { id; _ } :: rest, [] ->
-        (* Unreachable: one prediction per pending slot. Answer rather
-           than crash if the invariant ever breaks. *)
-        Protocol.render_error ~id
-          (Protocol.internal_error "prediction result missing for request")
-        :: fill rest []
-  in
-  fill slots predictions
+  let slots = Array.of_list (List.map (prepare t snap) reqs) in
+  (* Group pending graphs per model — one predict_batch round per
+     model keeps the single-model case exactly as before while a mixed
+     batch still fans each group over the pool. *)
+  let groups = ref [] in
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Done _ -> ()
+      | Pending { graph; model_name; model; _ } -> (
+          match List.assoc_opt model_name !groups with
+          | Some (_, items) -> items := (i, graph) :: !items
+          | None ->
+              groups := !groups @ [ (model_name, (model, ref [ (i, graph) ])) ]))
+    slots;
+  let results = Array.make (Array.length slots) None in
+  List.iter
+    (fun (_, (model, items)) ->
+      let items = List.rev !items in
+      let graphs = List.map snd items in
+      let preds =
+        (* Fast path: the whole group through the domain pool at once.
+           If one graph poisons the batch (a predictor bug — guarded
+           inputs cannot reach here), fall back to per-graph prediction
+           so only the offending request pays. *)
+        match Crf.Train.predict_batch ?pool model graphs with
+        | preds -> List.map (fun p -> Ok p) preds
+        | exception _ ->
+            List.map
+              (fun g ->
+                match guarded t (fun () -> Crf.Train.predict model g) with
+                | Ok p -> Ok p
+                | Error e -> Error e)
+              graphs
+      in
+      List.iter2 (fun (i, _) p -> results.(i) <- Some p) items preds)
+    !groups;
+  Array.to_list
+    (Array.mapi
+       (fun i slot ->
+         match slot with
+         | Done line -> line
+         | Pending { id; lang_name; graph; _ } -> (
+             match results.(i) with
+             | Some (Ok p) ->
+                 Protocol.render_predictions ~id ~lang:lang_name
+                   (pairs_of_prediction graph p)
+             | Some (Error e) -> Protocol.render_error ~id e
+             | None ->
+                 (* Unreachable: every pending slot joined a group.
+                    Answer rather than crash if the invariant ever
+                    breaks. *)
+                 Protocol.render_error ~id
+                   (Protocol.internal_error
+                      "prediction result missing for request")))
+       slots)
 
 let handle ?pool t req =
   match handle_batch ?pool t [ req ] with

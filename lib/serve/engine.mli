@@ -11,30 +11,49 @@
     byte-identical to {!handle} called directly (and to the CLI, which
     renders {!predict_one}'s pairs).
 
-    Reload contract: the models live in one immutable snapshot behind
-    an atomic reference. {!handle_batch} reads it once per batch, so
-    in-flight batches finish on the model they started with;
-    {!reload} loads and validates new files off the request path and
-    publishes them with a single atomic store — no request is dropped
-    or served by a half-swapped model pair, and a failed load leaves
-    the old snapshot serving. *)
+    Registry contract: the engine holds a name → model registry in one
+    immutable snapshot behind an atomic reference. {!handle_batch}
+    reads it once per batch, so in-flight batches finish on the models
+    they started with; {!reload}, {!unload} and {!set_default} build a
+    new snapshot off the request path and publish it with a single
+    atomic store — no request is dropped or served by a half-swapped
+    registry, and a failed load leaves the old snapshot serving.
+
+    Eviction: with a mapped-bytes budget set, a load that pushes the
+    mapped total over it drops the least-recently-used mapped entry
+    (never the default, never the entry just loaded). The evicted
+    entry keeps its recorded paths and revives transparently on the
+    next request naming it. In-flight batches are safe: they hold the
+    old immutable snapshot, which keeps the evicted model's mapping
+    alive until they finish. *)
 
 type t
 
 val create :
   ?w2v:Word2vec.Sgns.t ->
+  ?w2v_view:Word2vec.Sgns.view ->
+  ?storage:Lexkit.Storage.t ->
   ?limits:Lexkit.limits ->
   ?model_path:string ->
   ?w2v_path:string ->
+  ?mmap:bool ->
+  ?max_mapped_bytes:int ->
+  ?name:string ->
   model:Crf.Train.model ->
   unit ->
   t
-(** [limits] are the per-request resource budgets ({!Lexkit.Guard}):
+(** An engine whose registry holds one entry, the default model.
+    [limits] are the per-request resource budgets ({!Lexkit.Guard}):
     every request is parsed under them, so one request can exhaust its
     own budget only. Default: the ambient {!Lexkit.current_limits}.
-    [model_path]/[w2v_path] record where the models came from, which
-    is what a path-less {!reload} (SIGHUP, bare [{"op":"reload"}])
-    re-reads. *)
+    [model_path]/[w2v_path] record where the models came from — what a
+    path-less {!reload} (SIGHUP, bare [{"op":"reload"}]) re-reads.
+    [storage] reports how the initial model was loaded (default heap);
+    [w2v_view] wins over [w2v] when both are given. [mmap] (default
+    true) makes subsequent loads go through the zero-copy
+    [load_mapped] loaders; [max_mapped_bytes] (default 0 = unbounded)
+    is the eviction budget; [name] (default ["default"]) names the
+    initial entry. *)
 
 val limits : t -> Lexkit.limits
 
@@ -42,35 +61,59 @@ val reloadable : t -> bool
 (** Whether a path-less {!reload} has a model path to re-read. *)
 
 val reload :
-  t -> ?model_path:string -> ?w2v_path:string -> unit ->
-  (unit, Protocol.error) result
+  t ->
+  ?name:string ->
+  ?model_path:string ->
+  ?w2v_path:string ->
+  unit ->
+  (string option, Protocol.error) result
 (** Load the CRF model (and the word2vec model, when a path is known)
-    from disk, validate them (checksummed v1/v2/v3 loaders), and
-    atomically swap them in. Absent paths default to the last
-    successfully loaded ones. On [Error] ([io-error],
-    [corrupt-model], [bad-request] when no path is known) the old
-    models keep serving. Thread-safe; concurrent reloads serialize.
-    Never raises. *)
+    from disk, validate it, and atomically publish a new registry
+    snapshot. [name] absent targets the default entry; a known [name]
+    re-loads that entry (reviving it if evicted); an unknown [name]
+    creates a new entry and then requires [model_path]. Absent paths
+    default to the entry's recorded ones. [Ok note] carries the
+    mapped-load downgrade reason when the loader fell back to a heap
+    copy (worth a log line). On [Error] ([io-error], [corrupt-model],
+    [bad-request]) the old snapshot keeps serving. Thread-safe;
+    concurrent registry writers serialize. Never raises. *)
+
+val unload : t -> string -> (unit, Protocol.error) result
+(** Drop a registry entry. The default model cannot be unloaded
+    ({!set_default} another entry first). *)
+
+val set_default : t -> string -> (unit, Protocol.error) result
+(** Make a known entry the default (the one requests without a
+    ["model"] field run against). *)
+
+val models : t -> Protocol.model_stat list
+(** Per-entry metadata of the current snapshot, in load order. *)
 
 val predict_one :
   t -> lang:Pigeon.Lang.t -> code:string ->
   ((string * string) list, Protocol.error) result
-(** parse → extract → MAP-infer one source; [(current_name,
-    predicted_name)] per unknown node, in slot order — exactly the
-    pairs the CLI [predict] command prints. *)
+(** parse → extract → MAP-infer one source against the default model;
+    [(current_name, predicted_name)] per unknown node, in slot order —
+    exactly the pairs the CLI [predict] command prints. *)
 
 val similar :
-  t -> word:string -> k:int -> ((string * float) list, Protocol.error) result
-(** Nearest neighbors from the word2vec model; an error when none is
-    loaded. Unknown words return the empty list. *)
+  ?model:string ->
+  t ->
+  word:string ->
+  k:int ->
+  ((string * float) list, Protocol.error) result
+(** Nearest neighbors from [model]'s (default: the default entry's)
+    word2vec model; an error when that entry has none. Unknown words
+    return the empty list. *)
 
 val handle_batch :
   ?pool:Parallel.pool -> t -> Protocol.request list -> string list
 (** One rendered reply line per request, in request order. Predict
-    requests are parsed under the per-request budgets, then MAP
-    inference for the whole batch fans out over [pool] in one
-    {!Crf.Train.predict_batch} call (per-graph fallback if the batch
-    path raises). Control ops answer inline. Never raises. *)
+    requests resolve their model (reviving evicted entries), are
+    parsed under the per-request budgets, then MAP inference runs one
+    {!Crf.Train.predict_batch} round per distinct model over [pool]
+    (per-graph fallback if a batch round raises). Control ops answer
+    inline. Never raises. *)
 
 val handle : ?pool:Parallel.pool -> t -> Protocol.request -> string
 (** [handle t r] = [List.hd (handle_batch t [r])] — the one-shot path

@@ -11,6 +11,16 @@
      {"op":"stats","id":4}
      {"op":"shutdown","id":5}
 
+   "predict" and "similar" take an optional "model" field naming a
+   registry entry; absent means the default model. The "reload" admin
+   op has four forms, told apart by their fields:
+
+     {"op":"reload"}                          re-read the default
+     {"op":"reload","model":P,"w2v":P}        default from new paths
+     {"op":"reload","name":N,...}             load/replace entry N
+     {"op":"reload","unload":N}               drop entry N
+     {"op":"reload","set_default":N}          make entry N the default
+
    Replies echo the request's "id" (null when absent) and carry
    "ok":true with the result, or "ok":false with a structured error:
 
@@ -45,12 +55,17 @@ let error_of_diag (d : Lexkit.Diag.t) =
     msg = d.Lexkit.Diag.msg;
     pos = d.Lexkit.Diag.pos }
 
+type reload_form =
+  | Load of { name : string option; model : string option; w2v : string option }
+  | Unload of string
+  | Set_default of string
+
 type request =
-  | Predict of { id : Json.t; lang : string; code : string }
-  | Similar of { id : Json.t; word : string; k : int }
+  | Predict of { id : Json.t; lang : string; code : string; model : string option }
+  | Similar of { id : Json.t; word : string; k : int; model : string option }
   | Ping of { id : Json.t }
   | Stats of { id : Json.t }
-  | Reload of { id : Json.t; model : string option; w2v : string option }
+  | Reload of { id : Json.t; form : reload_form }
   | Shutdown of { id : Json.t }
 
 let request_id = function
@@ -83,7 +98,10 @@ let request_of_line line =
       match op with
       | "predict" -> (
           match (str_field "lang", str_field "code") with
-          | Ok lang, Ok code -> Ok (Predict { id; lang; code })
+          | Ok lang, Ok code ->
+              Ok
+                (Predict
+                   { id; lang; code; model = Json.string_field "model" json })
           | Error e, _ | _, Error e -> Error e)
       | "similar" -> (
           match str_field "word" with
@@ -94,17 +112,41 @@ let request_of_line line =
               in
               if k < 1 || k > 1000 then
                 Error (id, bad_request "k must be in [1, 1000]")
-              else Ok (Similar { id; word; k }))
+              else
+                Ok
+                  (Similar
+                     { id; word; k; model = Json.string_field "model" json }))
       | "ping" -> Ok (Ping { id })
       | "stats" -> Ok (Stats { id })
-      | "reload" ->
-          (* Both paths optional: a bare {"op":"reload"} re-reads the
-             files the daemon was started from (the SIGHUP semantics). *)
-          Ok
-            (Reload
-               { id;
-                 model = Json.string_field "model" json;
-                 w2v = Json.string_field "w2v" json })
+      | "reload" -> (
+          (* Four forms (see the header comment). Everything optional —
+             a bare {"op":"reload"} re-reads the files the default
+             model was loaded from (the SIGHUP semantics) — but the
+             unload and set_default forms exclude every other field. *)
+          let name = Json.string_field "name" json in
+          let model = Json.string_field "model" json in
+          let w2v = Json.string_field "w2v" json in
+          let unload = Json.string_field "unload" json in
+          let set_default = Json.string_field "set_default" json in
+          let loady = name <> None || model <> None || w2v <> None in
+          match (unload, set_default) with
+          | Some _, Some _ ->
+              Error
+                (id, bad_request "reload: \"unload\" and \"set_default\" are exclusive")
+          | Some _, None when loady ->
+              Error
+                ( id,
+                  bad_request
+                    "reload: \"unload\" excludes \"name\"/\"model\"/\"w2v\"" )
+          | None, Some _ when loady ->
+              Error
+                ( id,
+                  bad_request
+                    "reload: \"set_default\" excludes \"name\"/\"model\"/\"w2v\""
+                )
+          | Some n, None -> Ok (Reload { id; form = Unload n })
+          | None, Some n -> Ok (Reload { id; form = Set_default n })
+          | None, None -> Ok (Reload { id; form = Load { name; model; w2v } }))
       | "shutdown" -> Ok (Shutdown { id })
       | "" -> Error (id, bad_request "missing \"op\" (or \"code\") field")
       | op -> Error (id, bad_request "unknown op %S" op))
@@ -168,6 +210,27 @@ let render_reloaded ~id =
   render
     (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("reloaded", Json.Bool true) ])
 
+let render_unloaded ~id name =
+  render
+    (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("unloaded", Json.Str name) ])
+
+let render_default_set ~id name =
+  render
+    (Json.Obj [ ("id", id); ("ok", Json.Bool true); ("default", Json.Str name) ])
+
+type model_stat = {
+  ms_name : string;
+  ms_default : bool;
+  ms_loaded : bool;  (** false = evicted (revives on demand) *)
+  ms_storage : string;  (** "heap" | "mapped" | "unloaded" *)
+  ms_note : string option;  (** the mapped-load downgrade reason, if any *)
+  ms_mapped_bytes : int;
+  ms_model_path : string option;
+  ms_w2v_path : string option;
+  ms_last_used_ms : int;  (** ms since last request; [-1] = never used *)
+  ms_evictions : int;  (** times this entry was evicted over its lifetime *)
+}
+
 type stats = {
   uptime_ms : int;
   served : int;  (** replies sent, including error replies *)
@@ -180,10 +243,30 @@ type stats = {
   conns : int;  (** connections open right now *)
   reloads : int;  (** successful hot model reloads *)
   jobs : int;  (** domain-pool width predictions fan out over *)
+  models : model_stat list;  (** per-registry-entry metadata *)
 }
 
 let render_stats ~id s =
   let num n = Json.Num (float_of_int n) in
+  let model m =
+    Json.Obj
+      ([ ("name", Json.Str m.ms_name);
+         ("default", Json.Bool m.ms_default);
+         ("loaded", Json.Bool m.ms_loaded);
+         ("storage", Json.Str m.ms_storage) ]
+      @ (match m.ms_note with
+        | Some n -> [ ("note", Json.Str n) ]
+        | None -> [])
+      @ [ ("mapped_bytes", num m.ms_mapped_bytes) ]
+      @ (match m.ms_model_path with
+        | Some p -> [ ("model_path", Json.Str p) ]
+        | None -> [])
+      @ (match m.ms_w2v_path with
+        | Some p -> [ ("w2v_path", Json.Str p) ]
+        | None -> [])
+      @ [ ("last_used_ms", num m.ms_last_used_ms);
+          ("evictions", num m.ms_evictions) ])
+  in
   render
     (Json.Obj
        [ ("id", id);
@@ -200,7 +283,8 @@ let render_stats ~id s =
                ("queue_hw", num s.queue_hw);
                ("conns", num s.conns);
                ("reloads", num s.reloads);
-               ("jobs", num s.jobs) ] ) ])
+               ("jobs", num s.jobs);
+               ("models", Json.Arr (List.map model s.models)) ] ) ])
 
 (* Reply introspection for clients (the CLI and tests). *)
 

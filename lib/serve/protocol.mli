@@ -14,14 +14,23 @@ val timeout : ('a, unit, string, error) format4 -> 'a
 val internal_error : string -> error
 val error_of_diag : Lexkit.Diag.t -> error
 
+(** The four shapes of the ["reload"] admin op, told apart by their
+    fields. [Load] with everything absent re-reads the default model's
+    files (the SIGHUP semantics); with [name] it loads or replaces a
+    registry entry (reviving an evicted one when the paths are
+    absent). *)
+type reload_form =
+  | Load of { name : string option; model : string option; w2v : string option }
+  | Unload of string
+  | Set_default of string
+
 type request =
-  | Predict of { id : Json.t; lang : string; code : string }
-  | Similar of { id : Json.t; word : string; k : int }
+  | Predict of { id : Json.t; lang : string; code : string; model : string option }
+      (** [model] names a registry entry; [None] = the default model. *)
+  | Similar of { id : Json.t; word : string; k : int; model : string option }
   | Ping of { id : Json.t }
   | Stats of { id : Json.t }
-  | Reload of { id : Json.t; model : string option; w2v : string option }
-      (** Hot model reload (admin op). Absent paths re-read the files
-          the daemon was started from. *)
+  | Reload of { id : Json.t; form : reload_form }
   | Shutdown of { id : Json.t }
 
 val request_id : request -> Json.t
@@ -43,6 +52,22 @@ val render_similar : id:Json.t -> word:string -> (string * float) list -> string
 val render_pong : id:Json.t -> string
 val render_stopping : id:Json.t -> string
 val render_reloaded : id:Json.t -> string
+val render_unloaded : id:Json.t -> string -> string
+val render_default_set : id:Json.t -> string -> string
+
+type model_stat = {
+  ms_name : string;
+  ms_default : bool;
+  ms_loaded : bool;  (** false = evicted (revives on demand) *)
+  ms_storage : string;  (** "heap" | "mapped" | "unloaded" *)
+  ms_note : string option;  (** the mapped-load downgrade reason, if any *)
+  ms_mapped_bytes : int;
+  ms_model_path : string option;
+  ms_w2v_path : string option;
+  ms_last_used_ms : int;  (** ms since last request; [-1] = never used *)
+  ms_evictions : int;  (** times this entry was evicted over its lifetime *)
+}
+(** Per-registry-entry metadata in a [stats] reply. *)
 
 type stats = {
   uptime_ms : int;
@@ -56,6 +81,7 @@ type stats = {
   conns : int;  (** connections open right now *)
   reloads : int;  (** successful hot model reloads *)
   jobs : int;  (** domain-pool width predictions fan out over *)
+  models : model_stat list;  (** per-registry-entry metadata *)
 }
 
 val render_stats : id:Json.t -> stats -> string

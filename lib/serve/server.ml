@@ -127,6 +127,7 @@ let stats t =
         conns = t.n_conns;
         reloads = t.reloads;
         jobs = Engine.jobs_of_pool t.pool;
+        models = Engine.models t.engine;
       })
 
 let io_timeout t =
@@ -222,11 +223,13 @@ let request_stop t =
 
 let stopped t = locked t (fun () -> t.stopping)
 
-let reload ?model_path ?w2v_path t =
-  match Engine.reload t.engine ?model_path ?w2v_path () with
-  | Ok () ->
+let reload ?name ?model_path ?w2v_path t =
+  match Engine.reload t.engine ?name ?model_path ?w2v_path () with
+  | Ok note ->
       locked t (fun () -> t.reloads <- t.reloads + 1);
-      Log.info (fun m -> m "model reloaded");
+      Log.info (fun m ->
+          m "model %S reloaded" (Option.value ~default:"default" name));
+      Option.iter (fun n -> Log.info (fun m -> m "%s" n)) note;
       Ok ()
   | Error e ->
       Log.err (fun m ->
@@ -332,13 +335,28 @@ let reader t conn () =
           | Ok (Protocol.Ping { id }) -> send t conn (Protocol.render_pong ~id)
           | Ok (Protocol.Stats { id }) ->
               send t conn (Protocol.render_stats ~id (stats t))
-          | Ok (Protocol.Reload { id; model; w2v }) -> (
-              (* Loads run here, in this connection's reader thread —
-                 off the batcher's request path, so prediction latency
-                 is untouched while the new model loads and validates. *)
-              match reload ?model_path:model ?w2v_path:w2v t with
-              | Ok () -> send t conn (Protocol.render_reloaded ~id)
-              | Error e -> send t conn (Protocol.render_error ~id e))
+          | Ok (Protocol.Reload { id; form }) -> (
+              (* Registry writes run here, in this connection's reader
+                 thread — off the batcher's request path, so prediction
+                 latency is untouched while a new model loads and
+                 validates. *)
+              match form with
+              | Protocol.Load { name; model; w2v } -> (
+                  match reload ?name ?model_path:model ?w2v_path:w2v t with
+                  | Ok () -> send t conn (Protocol.render_reloaded ~id)
+                  | Error e -> send t conn (Protocol.render_error ~id e))
+              | Protocol.Unload n -> (
+                  match Engine.unload t.engine n with
+                  | Ok () ->
+                      Log.info (fun m -> m "model %S unloaded" n);
+                      send t conn (Protocol.render_unloaded ~id n)
+                  | Error e -> send t conn (Protocol.render_error ~id e))
+              | Protocol.Set_default n -> (
+                  match Engine.set_default t.engine n with
+                  | Ok () ->
+                      Log.info (fun m -> m "default model set to %S" n);
+                      send t conn (Protocol.render_default_set ~id n)
+                  | Error e -> send t conn (Protocol.render_error ~id e)))
           | Ok (Protocol.Shutdown { id }) ->
               send t conn (Protocol.render_stopping ~id);
               request_stop t

@@ -58,10 +58,17 @@ val request_stop : t -> unit
 val stopped : t -> bool
 
 val reload :
-  ?model_path:string -> ?w2v_path:string -> t -> (unit, Protocol.error) result
+  ?name:string ->
+  ?model_path:string ->
+  ?w2v_path:string ->
+  t ->
+  (unit, Protocol.error) result
 (** Hot model reload ({!Engine.reload} + the reload counter + a log
-    line). Absent paths re-read the files the engine last loaded —
-    the SIGHUP semantics. On [Error] the old model keeps serving. *)
+    line, including the mapped-load downgrade note when the loader
+    fell back to a heap copy). [name] targets a registry entry
+    (default: the default model); absent paths re-read the files the
+    entry last loaded — the SIGHUP semantics. On [Error] the old
+    registry keeps serving. *)
 
 val wait : t -> unit
 (** Block until the daemon has fully stopped (every accepted request

@@ -1,23 +1,34 @@
-(* Version 3 (what [save] writes) is binary: the text magic line
-   "pigeon-w2v-model 3\n", then length-prefixed sections (tag byte,
-   payload length, payload — see {!Lexkit.Binio}):
+(* Version 4 (what [save] writes) is binary and mappable: the text
+   magic line "pigeon-w2v-model 4\n", then length-prefixed sections
+   (tag byte, payload length, payload — see {!Lexkit.Binio}):
 
      1 config        dim, epochs, negatives, raw LE float lr,
                      min_count, seed
      2 words         count, (string, count) in vocab-id order
+   254 pad           0-7 zero bytes, emitted before each matrix
+                     section so its float run (payload offset 16)
+                     lands 8-byte aligned in the file
      3 word-vecs     rows, dim, raw LE floats row-major
      4 contexts      count, (string, count)
+   254 pad
      5 context-vecs  rows, dim, raw floats
-   255 end           section count, FNV checksum of all section bytes
+   255 end           section count (pads included), then per section
+                     in file order: tag byte, FNV checksum of its
+                     payload
 
-   Everything is emitted in vocab-id order, so the writer is a
-   canonical form: save → load → save round-trips byte-identically.
+   Per-section checksums let the mapped loader verify everything it
+   copies eagerly and defer the (page-faulting) matrix checks until
+   first use. Everything is emitted in vocab-id order and pads are
+   deterministic, so the writer is a canonical form: save → load →
+   save round-trips byte-identically.
 
-   Versions 1 and 2 are line-oriented text in the word2vec
-   conventions ("w <escaped-token> <count> <floats...>"; version 2
-   adds an "end <record-count>" trailer) and still load. *)
+   Version 3 is the same minus pads, with a single whole-body checksum
+   in the end section. Versions 1 and 2 are line-oriented text in the
+   word2vec conventions ("w <escaped-token> <count> <floats...>";
+   version 2 adds an "end <record-count>" trailer). All still load,
+   as heap copies. *)
 
-let format_version = 3
+let format_version = 4
 let magic v = Printf.sprintf "pigeon-w2v-model %d" v
 
 let escape s =
@@ -79,8 +90,11 @@ let to_channel_v2 (m : Sgns.t) oc =
   Printf.fprintf oc "end %d\n" !records
 
 let n_sections = 5
+let pad_tag = 254
 
-let to_string (m : Sgns.t) =
+(* Version-3 binary writer, kept so the loaders' v3 compatibility path
+   stays testable against freshly written files. *)
+let to_string_v3 (m : Sgns.t) =
   let open Lexkit.Binio in
   let buf = Buffer.create (1 lsl 16) in
   let section tag fill =
@@ -118,7 +132,7 @@ let to_string (m : Sgns.t) =
   matrix_section 5 m.Sgns.context_vecs;
   let body = Buffer.contents buf in
   let out = Buffer.create (String.length body + 64) in
-  Buffer.add_string out (magic format_version);
+  Buffer.add_string out (magic 3);
   Buffer.add_char out '\n';
   Buffer.add_string out body;
   let trailer = Buffer.create 24 in
@@ -127,80 +141,155 @@ let to_string (m : Sgns.t) =
   w_section out ~tag:255 trailer;
   Buffer.contents out
 
+let to_string (m : Sgns.t) =
+  let open Lexkit.Binio in
+  let buf = Buffer.create (1 lsl 16) in
+  let magic_len = String.length (magic format_version) + 1 in
+  let sums = ref [] in
+  let section tag fill =
+    let payload = Buffer.create 1024 in
+    fill payload;
+    sums := (tag, checksum (Buffer.contents payload)) :: !sums;
+    w_section buf ~tag payload
+  in
+  (* Pad so the next section's payload starts 8-byte aligned in the
+     file (see the CRF writer): with [pos] the pad header's absolute
+     offset, the next payload starts at pos + 9 + p + 9. The matrix
+     float run sits at payload offset 16, which preserves 8-alignment. *)
+  let align () =
+    let pos = magic_len + Buffer.length buf in
+    let p = (8 - ((pos + 18) mod 8)) mod 8 in
+    section pad_tag (fun b ->
+        for _ = 1 to p do
+          w_u8 b 0
+        done)
+  in
+  let c = m.Sgns.config in
+  section 1 (fun b ->
+      w_int b c.Sgns.dim;
+      w_int b c.Sgns.epochs;
+      w_int b c.Sgns.negatives;
+      w_float b c.Sgns.learning_rate;
+      w_int b c.Sgns.min_count;
+      w_int b c.Sgns.seed);
+  let vocab_section tag vocab =
+    section tag (fun b ->
+        let n = Vocab.size vocab in
+        w_int b n;
+        for i = 0 to n - 1 do
+          w_string b (Vocab.word vocab i);
+          w_int b (Vocab.count vocab i)
+        done)
+  in
+  let matrix_section tag vecs =
+    align ();
+    section tag (fun b ->
+        let rows = Array.length vecs in
+        w_int b rows;
+        w_int b (if rows = 0 then c.Sgns.dim else Array.length vecs.(0));
+        Array.iter (fun row -> Array.iter (w_float b) row) vecs)
+  in
+  vocab_section 2 m.Sgns.words;
+  matrix_section 3 m.Sgns.word_vecs;
+  vocab_section 4 m.Sgns.contexts;
+  matrix_section 5 m.Sgns.context_vecs;
+  let out = Buffer.create (Buffer.length buf + 128) in
+  Buffer.add_string out (magic format_version);
+  Buffer.add_char out '\n';
+  Buffer.add_buffer out buf;
+  let entries = List.rev !sums in
+  let trailer = Buffer.create 128 in
+  w_int trailer (List.length entries);
+  List.iter
+    (fun (tag, sum) ->
+      w_u8 trailer tag;
+      w_int trailer sum)
+    entries;
+  w_section out ~tag:255 trailer;
+  Buffer.contents out
+
 let to_channel m oc = output_string oc (to_string m)
+
+let corrupt ?source fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise
+        (Lexkit.Diag.Error
+           (Lexkit.Diag.make ?file:source Lexkit.Diag.Corrupt_model msg)))
+    fmt
+
+let count_ what n =
+  if n < 0 then Printf.ksprintf failwith "%s: negative count" what;
+  n
+
+(* ---------- shared section-payload parsers ---------- *)
+
+let read_config r =
+  let open Lexkit.Binio in
+  let dim = r_int r "dim" in
+  let epochs = r_int r "epochs" in
+  let negatives = r_int r "negatives" in
+  let learning_rate = r_float r "learning_rate" in
+  let min_count = r_int r "min_count" in
+  let seed = r_int r "seed" in
+  if dim < 0 then failwith "negative vector dimension";
+  { Sgns.dim; epochs; negatives; learning_rate; min_count; seed }
+
+let read_vocab r what =
+  let open Lexkit.Binio in
+  let n = count_ what (r_int r what) in
+  let items =
+    List.init n (fun _ ->
+        let w = r_string r what in
+        (w, r_int r what))
+  in
+  Vocab.of_items items
+
+(* Shared sanity checks for a matrix header: [avail] is the byte count
+   actually present after the rows/dim words, so a hostile dim fails
+   as a size mismatch, not as an uncatchable Out_of_memory. *)
+let check_matrix_header ~what ~config ~vocab ~rows ~dim ~avail =
+  if rows <> Vocab.size vocab then
+    Printf.ksprintf failwith "%s: %d rows for a vocabulary of %d" what rows
+      (Vocab.size vocab);
+  if dim <> config.Sgns.dim then
+    Printf.ksprintf failwith "%s: bad vector size (%d, expected %d)" what dim
+      config.Sgns.dim;
+  if
+    (if rows = 0 then avail <> 0
+     else dim > avail / 8 / rows || avail <> 8 * rows * dim)
+  then
+    Printf.ksprintf failwith "%s: %dx%d matrix does not match the file" what
+      rows dim
 
 (* [body] is everything after the magic line; failures carry a byte
    offset and surface as [Corrupt_model] diagnostics. *)
 let parse_v3 ?source body =
-  let fail fmt =
-    Format.kasprintf
-      (fun msg ->
-        raise
-          (Lexkit.Diag.Error
-             (Lexkit.Diag.make ?file:source Lexkit.Diag.Corrupt_model msg)))
-      fmt
-  in
   match
     let open Lexkit.Binio in
     let r = reader body in
     let sect tag what fill =
       let stop = r_section r ~tag ~what in
-      let v = fill () in
+      let v = fill stop in
       end_section r ~stop ~what;
       v
     in
-    let count what n =
-      if n < 0 then Printf.ksprintf failwith "%s: negative count" what;
-      n
-    in
-    let config =
-      sect 1 "config" (fun () ->
-          let dim = r_int r "dim" in
-          let epochs = r_int r "epochs" in
-          let negatives = r_int r "negatives" in
-          let learning_rate = r_float r "learning_rate" in
-          let min_count = r_int r "min_count" in
-          let seed = r_int r "seed" in
-          { Sgns.dim; epochs; negatives; learning_rate; min_count; seed })
-    in
-    if config.Sgns.dim < 0 then failwith "negative vector dimension";
-    let vocab tag what =
-      sect tag what (fun () ->
-          let n = count what (r_int r what) in
-          let items =
-            List.init n (fun _ ->
-                let w = r_string r what in
-                (w, r_int r what))
-          in
-          Vocab.of_items items)
-    in
+    let config = sect 1 "config" (fun _ -> read_config r) in
     let matrix tag what vocab =
-      sect tag what (fun () ->
-          let rows = count what (r_int r what) in
+      sect tag what (fun stop ->
+          let rows = count_ what (r_int r what) in
           let dim = r_int r what in
-          if rows <> Vocab.size vocab then
-            Printf.ksprintf failwith
-              "%s: %d rows for a vocabulary of %d" what rows (Vocab.size vocab);
-          if dim <> config.Sgns.dim then
-            Printf.ksprintf failwith "%s: bad vector size (%d, expected %d)"
-              what dim config.Sgns.dim;
-          (* Bound the whole matrix against the bytes actually present
-             before allocating: a hostile dim (the config section is
-             unchecked integers) must fail as truncation, not as an
-             uncatchable Out_of_memory mid-[Array.init]. *)
-          if rows > 0 && dim > (String.length body - offset r) / 8 / rows
-          then
-            Printf.ksprintf failwith
-              "%s: %dx%d matrix larger than the file" what rows dim;
+          check_matrix_header ~what ~config ~vocab ~rows ~dim
+            ~avail:(stop - offset r);
           Array.init rows (fun _ ->
               Array.init dim (fun _ -> r_float r what)))
     in
-    let words = vocab 2 "words" in
+    let words = sect 2 "words" (fun _ -> read_vocab r "words") in
     let word_vecs = matrix 3 "word-vecs" words in
-    let contexts = vocab 4 "contexts" in
+    let contexts = sect 4 "contexts" (fun _ -> read_vocab r "contexts") in
     let context_vecs = matrix 5 "context-vecs" contexts in
     let body_len = offset r in
-    sect 255 "end" (fun () ->
+    sect 255 "end" (fun _ ->
         let n = r_int r "section count" in
         if n <> n_sections then
           Printf.ksprintf failwith
@@ -214,7 +303,70 @@ let parse_v3 ?source body =
   with
   | m -> m
   | exception (Failure msg | Invalid_argument msg) ->
-      fail "corrupt binary model: %s" msg
+      corrupt ?source "corrupt binary model: %s" msg
+
+(* The v4 copy parser — same result as the mapped loader, every
+   payload on the heap. *)
+let parse_v4 ?source body =
+  match
+    let open Lexkit.Binio in
+    let r = reader body in
+    let sums = ref [] in
+    let sect tag what fill =
+      let stop = r_section r ~tag ~what in
+      let start = offset r in
+      let v = fill stop in
+      end_section r ~stop ~what;
+      sums := (tag, checksum (String.sub body start (stop - start))) :: !sums;
+      v
+    in
+    let pad what =
+      sect pad_tag what (fun stop ->
+          let n = stop - offset r in
+          if n > 7 then
+            Printf.ksprintf failwith "%s: oversized pad (%d bytes)" what n;
+          r_skip r n what)
+    in
+    let config = sect 1 "config" (fun _ -> read_config r) in
+    let matrix tag what vocab =
+      pad (what ^ " pad");
+      sect tag what (fun stop ->
+          let rows = count_ what (r_int r what) in
+          let dim = r_int r what in
+          check_matrix_header ~what ~config ~vocab ~rows ~dim
+            ~avail:(stop - offset r);
+          Array.init rows (fun _ ->
+              Array.init dim (fun _ -> r_float r what)))
+    in
+    let words = sect 2 "words" (fun _ -> read_vocab r "words") in
+    let word_vecs = matrix 3 "word-vecs" words in
+    let contexts = sect 4 "contexts" (fun _ -> read_vocab r "contexts") in
+    let context_vecs = matrix 5 "context-vecs" contexts in
+    let stop = r_section r ~tag:255 ~what:"end" in
+    let entries = List.rev !sums in
+    let n = r_int r "section count" in
+    if n <> List.length entries then
+      Printf.ksprintf failwith
+        "section count mismatch: trailer says %d, file has %d" n
+        (List.length entries);
+    List.iter
+      (fun (tag, sum) ->
+        let t = r_u8 r "trailer tag" in
+        let s = r_int r "trailer checksum" in
+        if t <> tag then
+          Printf.ksprintf failwith
+            "trailer tag mismatch: file section %d recorded as %d" tag t;
+        if s <> sum then
+          Printf.ksprintf failwith
+            "checksum mismatch in section %d: model data is corrupted" tag)
+      entries;
+    end_section r ~stop ~what:"end";
+    if not (at_end r) then failwith "trailing data after the model";
+    { Sgns.config; words; contexts; word_vecs; context_vecs }
+  with
+  | m -> m
+  | exception (Failure msg | Invalid_argument msg) ->
+      corrupt ?source "corrupt binary model: %s" msg
 
 (* Parse from a [next_line] pull function so channels and in-memory
    strings (the fuzz suite) share one code path. Every malformed input
@@ -320,16 +472,18 @@ let parse ?source next_line =
   drain ();
   { Sgns.config; words; contexts; word_vecs; context_vecs }
 
-(* The magic line picks the parser: version 3 is binary (it cannot be
-   split on newlines), versions 1 and 2 are line-oriented text. *)
+(* The magic line picks the parser: versions 3 and 4 are binary (they
+   cannot be split on newlines), versions 1 and 2 are line-oriented
+   text. *)
 let parse_string ?source s =
   let nl = match String.index_opt s '\n' with Some i -> i | None -> String.length s in
-  if String.equal (String.sub s 0 nl) (magic 3) then
-    let body =
-      if nl >= String.length s then ""
-      else String.sub s (nl + 1) (String.length s - nl - 1)
-    in
-    parse_v3 ?source body
+  let head = String.sub s 0 nl in
+  let body () =
+    if nl >= String.length s then ""
+    else String.sub s (nl + 1) (String.length s - nl - 1)
+  in
+  if String.equal head (magic 4) then parse_v4 ?source (body ())
+  else if String.equal head (magic 3) then parse_v3 ?source (body ())
   else
     let rest = ref (String.split_on_char '\n' s) in
     let next () =
@@ -365,3 +519,205 @@ let load_exn path =
   match load path with
   | Ok m -> m
   | Error d -> raise (Lexkit.Diag.Error d)
+
+(* ---------- mapped loading ----------
+
+   Mirrors {!Crf.Serialize.load_mapped}: the structure walk reads
+   config, vocabularies and the checksum trailer through the channel,
+   skips the matrix float runs with [seek_in], then maps the file once
+   and wires each matrix to a [Sgns.Mat] view with a lazy verify
+   closure. The matrices are the bulk of a trained model, so a load is
+   O(vocabulary). *)
+
+exception Downgrade of string
+
+type matrix_walk = {
+  x_what : string;
+  x_rows : int;
+  x_dim : int;
+  x_prefix : int;  (* checksum over the rows/dim words *)
+  x_off : int;  (* absolute byte offset of the float run *)
+  mutable x_expect : int;
+}
+
+type w2v_walk = Full of string * int | Msec of matrix_walk
+
+let map_v4 path ic size =
+  let open Lexkit.Binio in
+  let ch_bytes n what =
+    if n < 0 || n > size - pos_in ic then
+      Printf.ksprintf failwith "truncated at byte %d (%s)" (pos_in ic) what;
+    really_input_string ic n
+  in
+  let ch_u8 what = Char.code (ch_bytes 1 what).[0] in
+  let ch_int what =
+    let s = ch_bytes 8 what in
+    let v = String.get_int64_le s 0 in
+    let n = Int64.to_int v in
+    if Int64.of_int n <> v then
+      Printf.ksprintf failwith "integer out of range at byte %d (%s)"
+        (pos_in ic - 8) what;
+    n
+  in
+  let header what =
+    let tag = ch_u8 what in
+    let len = ch_int what in
+    if len < 0 || len > size - pos_in ic then
+      Printf.ksprintf failwith "truncated at byte %d (%s)" (pos_in ic) what;
+    (tag, len)
+  in
+  let walk = ref [] in
+  let small tag what parse =
+    let t, len = header what in
+    if t <> tag then
+      Printf.ksprintf failwith "expected section %d (%s), found %d at byte %d"
+        tag what t
+        (pos_in ic - 9);
+    let payload = ch_bytes len what in
+    walk := (tag, Full (what, checksum payload)) :: !walk;
+    let r = reader payload in
+    let v = parse r in
+    if not (at_end r) then
+      Printf.ksprintf failwith
+        "section %s length mismatch: payload ends at byte %d, header said %d"
+        what (offset r) len;
+    v
+  in
+  let pad what =
+    let t, len = header what in
+    if t <> pad_tag then
+      Printf.ksprintf failwith "expected pad section before %s, found %d" what
+        t;
+    if len > 7 then
+      Printf.ksprintf failwith "%s: oversized pad (%d bytes)" what len;
+    let payload = ch_bytes len what in
+    walk := (pad_tag, Full (what ^ " pad", checksum payload)) :: !walk
+  in
+  let msect tag what ~config ~vocab =
+    pad what;
+    let t, len = header what in
+    if t <> tag then
+      Printf.ksprintf failwith "expected section %d (%s), found %d at byte %d"
+        tag what t
+        (pos_in ic - 9);
+    let head_bytes = ch_bytes 16 what in
+    let word i = Int64.to_int (String.get_int64_le head_bytes (8 * i)) in
+    let rows = count_ what (word 0) in
+    let dim = word 1 in
+    check_matrix_header ~what ~config ~vocab ~rows ~dim ~avail:(len - 16);
+    let prefix = checksum_add checksum_seed head_bytes in
+    let off = pos_in ic in
+    if off mod 8 <> 0 then
+      raise (Downgrade (Printf.sprintf "%s float payload misaligned" what));
+    seek_in ic (off + (8 * rows * dim));
+    let x =
+      { x_what = what; x_rows = rows; x_dim = dim; x_prefix = prefix;
+        x_off = off; x_expect = 0 }
+    in
+    walk := (tag, Msec x) :: !walk;
+    x
+  in
+  let config = small 1 "config" read_config in
+  let words = small 2 "words" (fun r -> read_vocab r "words") in
+  let wm = msect 3 "word-vecs" ~config ~vocab:words in
+  let contexts = small 4 "contexts" (fun r -> read_vocab r "contexts") in
+  let cm = msect 5 "context-vecs" ~config ~vocab:contexts in
+  let t, len = header "end" in
+  if t <> 255 then
+    Printf.ksprintf failwith "expected end section, found %d" t;
+  let payload = ch_bytes len "end" in
+  if pos_in ic <> size then failwith "trailing data after the model";
+  let r = reader payload in
+  let entries = List.rev !walk in
+  let n = r_int r "section count" in
+  if n <> List.length entries then
+    Printf.ksprintf failwith
+      "section count mismatch: trailer says %d, file has %d" n
+      (List.length entries);
+  List.iter
+    (fun (tag, entry) ->
+      let t = r_u8 r "trailer tag" in
+      let sum = r_int r "trailer checksum" in
+      if t <> tag then
+        Printf.ksprintf failwith
+          "trailer tag mismatch: file section %d recorded as %d" tag t;
+      match entry with
+      | Full (what, s) ->
+          if s <> sum then
+            Printf.ksprintf failwith
+              "checksum mismatch in section %s: model data is corrupted" what
+      | Msec x -> x.x_expect <- sum)
+    entries;
+  if not (at_end r) then failwith "trailing data in the end section";
+  let mm =
+    try Lexkit.Mmap.map_floats path
+    with Unix.Unix_error (e, _, _) ->
+      raise (Downgrade (Printf.sprintf "mmap failed: %s" (Unix.error_message e)))
+  in
+  let mat x =
+    let n = x.x_rows * x.x_dim in
+    let vals = Lexkit.Mmap.sub mm ~off_bytes:x.x_off ~len:n in
+    let expect = x.x_expect and what = x.x_what and prefix = x.x_prefix in
+    let verify () =
+      let sum = Lexkit.Mmap.checksum_floats ~h:prefix vals ~off:0 ~len:n in
+      if sum <> expect then
+        raise
+          (Lexkit.Diag.Error
+             (Lexkit.Diag.make ~file:path Lexkit.Diag.Corrupt_model
+                (Printf.sprintf
+                   "checksum mismatch in section %s: mapped model data is corrupted"
+                   what)))
+    in
+    Sgns.Mat.of_mapped ~vals ~rows:x.x_rows ~dim:x.x_dim ~verify
+  in
+  let view =
+    {
+      Sgns.v_config = config;
+      v_words = words;
+      v_contexts = contexts;
+      v_word_vecs = mat wm;
+      v_context_vecs = mat cm;
+    }
+  in
+  (view, Lexkit.Mmap.size mm)
+
+let load_mapped path =
+  match open_in_bin path with
+  | exception Sys_error msg ->
+      Result.Error (Lexkit.Diag.make ~file:path Lexkit.Diag.Io_error msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          Lexkit.protect ~file:path (fun () ->
+              let size = in_channel_length ic in
+              let head =
+                let want = magic format_version ^ "\n" in
+                let n = String.length want in
+                if size >= n && String.equal (really_input_string ic n) want
+                then Some ()
+                else None
+              in
+              let fallback note =
+                seek_in ic 0;
+                ( Sgns.view_of (from_channel ~source:path ic),
+                  Lexkit.Storage.Heap { note = Some note } )
+              in
+              match head with
+              | Some () when not Sys.big_endian -> (
+                  match map_v4 path ic size with
+                  | view, bytes -> (view, Lexkit.Storage.Mapped { bytes })
+                  | exception Downgrade reason ->
+                      fallback
+                        (Printf.sprintf
+                           "mapped load downgraded to a heap copy: %s" reason)
+                  | exception (Failure msg | Invalid_argument msg) ->
+                      corrupt ~source:path "corrupt binary model: %s" msg)
+              | Some () ->
+                  fallback
+                    "mapped load downgraded to a heap copy: big-endian host"
+              | None ->
+                  fallback
+                    (Printf.sprintf
+                       "mapped load downgraded to a heap copy: not a v%d model"
+                       format_version)))

@@ -725,36 +725,171 @@ let word_vec t w = Option.map (fun i -> t.word_vecs.(i)) (Vocab.id t.words w)
 let context_vec t c =
   Option.map (fun i -> t.context_vecs.(i)) (Vocab.id t.contexts c)
 
-let predict t context_strings =
-  let cvs = List.filter_map (context_vec t) context_strings in
+let norm v = sqrt (dot v v)
+
+(* An embedding matrix behind a storage abstraction: boxed heap rows
+   (what training produces) or one flat float64 view over an mmap'd
+   model file (row i at elements [i*dim, (i+1)*dim)). Every operation
+   runs the same float operations in the same order on both, so
+   predictions are byte-identical across storages. Mapped values are
+   checksummed lazily by the verify closure the loader installs. *)
+module Mat = struct
+  type flat = {
+    f_vals : (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    f_rows : int;
+    f_dim : int;
+    f_verify : unit -> unit;
+    mutable f_verified : bool;
+        (* benign race: concurrent first uses just repeat an
+           idempotent read-only checksum *)
+  }
+
+  type t = Rows of float array array | Flat of flat
+
+  let of_rows rows = Rows rows
+
+  let of_mapped ~vals ~rows ~dim ~verify =
+    if rows < 0 || dim < 0 || Bigarray.Array1.dim vals <> rows * dim then
+      Printf.ksprintf failwith
+        "matrix view size mismatch: %d rows x %d dim over %d floats" rows dim
+        (Bigarray.Array1.dim vals);
+    Flat { f_vals = vals; f_rows = rows; f_dim = dim; f_verify = verify;
+           f_verified = false }
+
+  let rows = function Rows r -> Array.length r | Flat f -> f.f_rows
+
+  let ensure_verified = function
+    | Rows _ -> ()
+    | Flat f ->
+        if not f.f_verified then begin
+          f.f_verify ();
+          f.f_verified <- true
+        end
+
+  let row m i =
+    match m with
+    | Rows r -> r.(i)
+    | Flat f ->
+        let base = i * f.f_dim in
+        Array.init f.f_dim (fun d ->
+            Bigarray.Array1.unsafe_get f.f_vals (base + d))
+
+  (* Same element order as [dot] on two heap rows (and IEEE multiply
+     commutes), so scores are byte-identical across storages. *)
+  let dot_row m i b =
+    match m with
+    | Rows r -> dot r.(i) b
+    | Flat f ->
+        let base = i * f.f_dim in
+        let acc = ref 0. in
+        for d = 0 to f.f_dim - 1 do
+          acc :=
+            !acc
+            +. Bigarray.Array1.unsafe_get f.f_vals (base + d)
+               *. Array.unsafe_get b d
+        done;
+        !acc
+
+  let norm_row m i =
+    match m with
+    | Rows r -> norm r.(i)
+    | Flat f ->
+        let base = i * f.f_dim in
+        let acc = ref 0. in
+        for d = 0 to f.f_dim - 1 do
+          let x = Bigarray.Array1.unsafe_get f.f_vals (base + d) in
+          acc := !acc +. (x *. x)
+        done;
+        sqrt !acc
+
+  let to_rows m =
+    match m with
+    | Rows r -> r
+    | Flat f ->
+        ensure_verified m;
+        Array.init f.f_rows (fun i -> row m i)
+
+  let storage = function Rows _ -> `Heap | Flat _ -> `Mapped
+end
+
+(* A model whose matrices sit behind {!Mat}: what inference paths
+   (the serve engine, [predict_view]) consume, so one code path serves
+   heap-trained and mapped models alike. *)
+type view = {
+  v_config : config;
+  v_words : Vocab.t;
+  v_contexts : Vocab.t;
+  v_word_vecs : Mat.t;
+  v_context_vecs : Mat.t;
+}
+
+let view_of t =
+  {
+    v_config = t.config;
+    v_words = t.words;
+    v_contexts = t.contexts;
+    v_word_vecs = Mat.of_rows t.word_vecs;
+    v_context_vecs = Mat.of_rows t.context_vecs;
+  }
+
+let heap_of_view v =
+  {
+    config = v.v_config;
+    words = v.v_words;
+    contexts = v.v_contexts;
+    word_vecs = Mat.to_rows v.v_word_vecs;
+    context_vecs = Mat.to_rows v.v_context_vecs;
+  }
+
+let view_storage v =
+  match (Mat.storage v.v_word_vecs, Mat.storage v.v_context_vecs) with
+  | `Heap, `Heap -> `Heap
+  | _ -> `Mapped
+
+let verify_view v =
+  Mat.ensure_verified v.v_word_vecs;
+  Mat.ensure_verified v.v_context_vecs
+
+let predict_view v context_strings =
+  verify_view v;
+  let cvs =
+    List.filter_map
+      (fun c -> Option.map (Mat.row v.v_context_vecs) (Vocab.id v.v_contexts c))
+      context_strings
+  in
   let scores =
-    Array.mapi
-      (fun wi wv ->
-        let s = List.fold_left (fun acc cv -> acc +. dot wv cv) 0. cvs in
-        (Vocab.word t.words wi, s))
-      t.word_vecs
+    Array.init (Mat.rows v.v_word_vecs) (fun wi ->
+        let s =
+          List.fold_left
+            (fun acc cv -> acc +. Mat.dot_row v.v_word_vecs wi cv)
+            0. cvs
+        in
+        (Vocab.word v.v_words wi, s))
   in
   Array.to_list scores
   |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
 
-let norm v = sqrt (dot v v)
-
-let most_similar t w ~k =
-  match Vocab.id t.words w with
+let most_similar_view v w ~k =
+  verify_view v;
+  match Vocab.id v.v_words w with
   | None -> []
   | Some wi ->
-      let wv = t.word_vecs.(wi) in
+      let wv = Mat.row v.v_word_vecs wi in
       let nw = norm wv in
       (* All row norms once per call, not once per candidate
          comparison; same floats as computing them inline. *)
-      let norms = Array.map norm t.word_vecs in
+      let n = Mat.rows v.v_word_vecs in
+      let norms = Array.init n (fun i -> Mat.norm_row v.v_word_vecs i) in
       Array.to_list
-        (Array.mapi
-           (fun i v ->
+        (Array.init n (fun i ->
              let d = norms.(i) *. nw in
-             ( Vocab.word t.words i,
-               if d = 0. then 0. else dot wv v /. d ))
-           t.word_vecs)
+             ( Vocab.word v.v_words i,
+               if d = 0. then 0. else Mat.dot_row v.v_word_vecs i wv /. d )))
       |> List.filter (fun (x, _) -> not (String.equal x w))
       |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
       |> List.filteri (fun i _ -> i < k)
+
+(* The heap entry points delegate through an O(1) view wrap: one
+   implementation, so heap/mapped byte-identity holds by construction. *)
+let predict t context_strings = predict_view (view_of t) context_strings
+let most_similar t w ~k = most_similar_view (view_of t) w ~k

@@ -82,6 +82,68 @@ val most_similar : t -> string -> k:int -> (string * float) list
 (** Cosine-nearest words to the given word (for the Table 4b
     semantic-similarity probe). *)
 
+(** An embedding matrix behind a storage abstraction: boxed heap rows
+    (what training produces) or a flat float64 [Bigarray] view over an
+    mmap'd model file. Operations run the same float operations in the
+    same order on both, so predictions are byte-identical across
+    storages. *)
+module Mat : sig
+  type t
+
+  val of_rows : float array array -> t
+
+  val of_mapped :
+    vals:(float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t ->
+    rows:int ->
+    dim:int ->
+    verify:(unit -> unit) ->
+    t
+  (** A mapped matrix: row [i] lives at elements [i*dim .. (i+1)*dim-1]
+      of [vals]. [verify] is the lazy payload checksum (run once, at
+      the first read; should raise [Lexkit.Diag.Error] on mismatch).
+      Raises [Failure] when [vals] does not hold exactly [rows*dim]
+      floats. *)
+
+  val rows : t -> int
+  val row : t -> int -> float array
+  (** Heap matrices return the row itself; mapped ones materialize a
+      copy. *)
+
+  val to_rows : t -> float array array
+  val storage : t -> [ `Heap | `Mapped ]
+  val ensure_verified : t -> unit
+end
+
+(** A model whose matrices sit behind {!Mat} — what inference paths
+    (the serve engine) consume, so one code path serves heap-trained
+    and mapped models alike. *)
+type view = {
+  v_config : config;
+  v_words : Vocab.t;
+  v_contexts : Vocab.t;
+  v_word_vecs : Mat.t;
+  v_context_vecs : Mat.t;
+}
+
+val view_of : t -> view
+(** O(1) wrap of a heap model. *)
+
+val heap_of_view : view -> t
+(** Materialize every row on the heap (verifies mapped payloads
+    first). *)
+
+val view_storage : view -> [ `Heap | `Mapped ]
+
+val verify_view : view -> unit
+(** Force the lazy checksums of mapped matrices; no-op on heap
+    views. *)
+
+val predict_view : view -> string list -> (string * float) list
+(** {!predict} over a view — byte-identical to the heap path. *)
+
+val most_similar_view : view -> string -> k:int -> (string * float) list
+(** {!most_similar} over a view — byte-identical to the heap path. *)
+
 val sigmoid : float -> float
 
 val sigmoid_lut : float -> float

@@ -533,6 +533,165 @@ let test_reload_under_load () =
   let s = Serve.Server.stats t in
   check_bool "reload counted" true (s.Serve.Protocol.reloads >= 1)
 
+(* ---------- registry thrash: eviction + revival under load ---------- *)
+
+let test_registry_eviction_under_load () =
+  with_watchdog 120 @@ fun () ->
+  let a_path = Lazy.force model_a_path and b_path = Lazy.force model_b_path in
+  let sock = temp_sock () in
+  let cfg =
+    {
+      Serve.Server.default_config with
+      Serve.Server.unix_socket = Some sock;
+      max_batch = 4;
+      max_queue = 0;
+      (* unbounded queue, no faults: accounting must be strict *)
+    }
+  in
+  (* a one-byte mapped budget: at most one named entry stays mapped,
+     so every request naming the other one forces an evict + revive
+     cycle while requests against the old snapshot are in flight *)
+  let engine =
+    Serve.Engine.create ~model_path:a_path ~max_mapped_bytes:1
+      ~model:(Crf.Serialize.load_exn a_path) ()
+  in
+  let pool = Parallel.create ~jobs:2 () in
+  Fun.protect ~finally:(fun () -> Parallel.shutdown pool) @@ fun () ->
+  let t = Serve.Server.start ~pool engine cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.request_stop t;
+      Serve.Server.wait t;
+      if Sys.file_exists sock then Sys.remove sock)
+  @@ fun () ->
+  (* preload two named entries over the wire (both from model B's
+     file: distinct registry entries, identical predictions) *)
+  let rc = Serve.Client.connect_unix ~read_timeout:30. sock in
+  let load id name =
+    let line =
+      Serve.Json.to_string
+        (Serve.Json.Obj
+           [ ("op", Serve.Json.Str "reload");
+             ("id", Serve.Json.Num (float_of_int id));
+             ("name", Serve.Json.Str name);
+             ("model", Serve.Json.Str b_path) ])
+    in
+    match Serve.Client.request rc line with
+    | Some r when Serve.Protocol.reply_ok r -> ()
+    | Some r -> Alcotest.failf "load %s rejected: %s" name r
+    | None -> Alcotest.failf "no reply loading %s" name
+  in
+  load 1 "b";
+  load 2 "c";
+  Serve.Client.close rc;
+  (* mixed load: every third request names b or c; the rest run the
+     default. Exactly-once accounting via the pipelining client. *)
+  let line_of id =
+    let code = sample_codes.(id mod Array.length sample_codes) in
+    let fields =
+      [ ("op", Serve.Json.Str "predict");
+        ("id", Serve.Json.Num (float_of_int id));
+        ("lang", Serve.Json.Str "JavaScript");
+        ("code", Serve.Json.Str code) ]
+    in
+    let fields =
+      match id mod 3 with
+      | 1 -> fields @ [ ("model", Serve.Json.Str "b") ]
+      | 2 -> fields @ [ ("model", Serve.Json.Str "c") ]
+      | _ -> fields
+    in
+    Serve.Json.to_string (Serve.Json.Obj fields)
+  in
+  let n_clients = 4 in
+  let outcomes = Array.make n_clients (fresh_outcome ()) in
+  let client k =
+    let base = (k + 1) * 100_000 in
+    let ids = List.init chaos_count (fun i -> base + i) in
+    outcomes.(k) <- pipelining_client ~sock ~ids ~line_of ()
+  in
+  let threads = List.init n_clients (fun k -> Thread.create client k) in
+  (* reload-by-name mid-storm: re-read entry b from disk while
+     requests naming it are in flight *)
+  let reload_ok = ref 0 in
+  for i = 1 to 3 do
+    Thread.delay 0.05;
+    match Serve.Client.connect_unix ~read_timeout:30. sock with
+    | exception _ -> ()
+    | c ->
+        Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+        let line =
+          Serve.Json.to_string
+            (Serve.Json.Obj
+               [ ("op", Serve.Json.Str "reload");
+                 ("id", Serve.Json.Num (float_of_int (500 + i)));
+                 ("name", Serve.Json.Str "b");
+                 ("model", Serve.Json.Str b_path) ])
+        in
+        (match Serve.Client.request c line with
+        | Some r when Serve.Protocol.reply_ok r -> incr reload_ok
+        | Some _ | None -> ())
+  done;
+  List.iter Thread.join threads;
+  check_bool "reload-by-name succeeded under load" true (!reload_ok > 0);
+  assert_no_violations "registry" (Array.to_list outcomes);
+  Array.iteri
+    (fun k o ->
+      check_bool (Printf.sprintf "client %d survived" k) false o.conn_died;
+      check_int
+        (Printf.sprintf "client %d: every request answered exactly once" k)
+        chaos_count o.received;
+      check_int (Printf.sprintf "client %d: no error replies" k) 0 o.errors;
+      check_int (Printf.sprintf "client %d: nothing shed" k) 0 o.overloaded)
+    outcomes;
+  (* eviction actually thrashed, and the registry stayed coherent *)
+  let s = Serve.Server.stats t in
+  let models = s.Serve.Protocol.models in
+  check_int "three registry entries" 3 (List.length models);
+  let evictions =
+    List.fold_left (fun acc m -> acc + m.Serve.Protocol.ms_evictions) 0 models
+  in
+  check_bool "evictions happened under load" true (evictions > 0);
+  List.iter
+    (fun m ->
+      if m.Serve.Protocol.ms_name = "default" then begin
+        check_bool "default never evicted" true
+          (m.Serve.Protocol.ms_evictions = 0);
+        check_bool "default stays loaded" true m.Serve.Protocol.ms_loaded
+      end)
+    models;
+  (* post-storm: named predictions still byte-identical to a fresh
+     engine on the same file, whichever entry ended up evicted *)
+  let ref_b = engine_of b_path in
+  let probe name id =
+    let code = sample_codes.(0) in
+    let line =
+      Serve.Json.to_string
+        (Serve.Json.Obj
+           [ ("op", Serve.Json.Str "predict");
+             ("id", Serve.Json.Num (float_of_int id));
+             ("lang", Serve.Json.Str "JavaScript");
+             ("code", Serve.Json.Str code);
+             ("model", Serve.Json.Str name) ])
+    in
+    let c = Serve.Client.connect_unix ~read_timeout:30. sock in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    match Serve.Client.request c line with
+    | Some reply ->
+        let expect =
+          match
+            Serve.Protocol.request_of_line (predict_line ~id code)
+          with
+          | Ok r -> Serve.Engine.handle ref_b r
+          | Error _ -> assert false
+        in
+        Alcotest.(check string)
+          (Printf.sprintf "post-storm %s byte-identity" name)
+          expect reply
+    | None -> Alcotest.failf "daemon dropped the %s probe" name
+  in
+  probe "b" 7001;
+  probe "c" 7002
+
 let () =
   Alcotest.run "chaos"
     [
@@ -542,6 +701,8 @@ let () =
             test_overload_burst;
           Alcotest.test_case "reload under load is byte-exact" `Quick
             test_reload_under_load;
+          Alcotest.test_case "registry eviction under load" `Quick
+            test_registry_eviction_under_load;
           Alcotest.test_case "mixed hostile storm" `Quick test_chaos_mixed;
         ] );
     ]

@@ -146,8 +146,8 @@ let test_icm_train_golden () =
 let test_inference_engine_golden () =
   let train_graphs, test_graphs = Lazy.force js_fixture in
   let model = Crf.Train.train ~config:quick_pl train_graphs in
-  let weights = model.Crf.Train.weights
-  and cands = model.Crf.Train.candidates in
+  let weights = Lazy.force model.Crf.Train.weights
+  and cands = (Lazy.force model.Crf.Train.candidates) in
   let run ?force_candidates engine g =
     Crf.Inference.map_assignment ~engine ?force_candidates weights cands g
   in
@@ -205,7 +205,7 @@ let scorer_fixture =
     (let train_graphs, test_graphs = Lazy.force js_fixture in
      let model = Crf.Train.train ~config:quick_pl train_graphs in
      let m = model.Crf.Train.fast in
-     let cands = model.Crf.Train.candidates in
+     let cands = (Lazy.force model.Crf.Train.candidates) in
      (* The test graph with the most unknowns — the richest factor
         neighborhood available. *)
      let g =

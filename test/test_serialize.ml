@@ -105,13 +105,13 @@ let test_weights_survive () =
   let model = train () in
   let model' = roundtrip model in
   check_int "same number of features"
-    (Crf.Model.size model.Crf.Train.weights)
-    (Crf.Model.size model'.Crf.Train.weights);
+    (Crf.Model.size (Lazy.force model.Crf.Train.weights))
+    (Crf.Model.size (Lazy.force model'.Crf.Train.weights));
   (* spot-check every feature's weight *)
-  Crf.Model.iter model.Crf.Train.weights (fun f w ->
+  Crf.Model.iter (Lazy.force model.Crf.Train.weights) (fun f w ->
       Alcotest.(check (float 1e-12))
         "weight preserved" w
-        (Crf.Model.get model'.Crf.Train.weights f))
+        (Crf.Model.get (Lazy.force model'.Crf.Train.weights) f))
 
 let test_double_roundtrip_stable () =
   let model = train () in
@@ -203,28 +203,44 @@ let test_v1_compat () =
       check_bool "v1 file predicts identically" true
         (Crf.Train.predict model g = Crf.Train.predict model' g))
 
-let test_v3_byte_identical_roundtrip () =
+let test_v4_byte_identical_roundtrip () =
   let model = train () in
   with_temp_file ".crf" (fun path ->
       Crf.Serialize.save model path;
       let bytes = read_file path in
-      check_bool "writes the v3 magic" true
-        (String.length bytes > 19 && String.sub bytes 0 19 = "pigeon-crf-model 3\n");
+      check_bool "writes the v4 magic" true
+        (String.length bytes > 19 && String.sub bytes 0 19 = "pigeon-crf-model 4\n");
       let model' = Crf.Serialize.load_exn path in
       check_bool "save(load(save)) is byte-identical" true
         (String.equal bytes (Crf.Serialize.to_string model')))
 
-let test_v3_midfile_corruption () =
-  (* A single flipped bit deep inside a section payload is invisible
-     to the framing; the end-section checksum still rejects it. *)
+let test_v3_compat () =
+  (* The v3 binary writer is kept for fixtures; its output must still
+     load into a model predicting identically. *)
   let model = train () in
-  let bytes = Crf.Serialize.to_string model in
-  let b = Bytes.of_string bytes in
-  let i = String.length bytes / 2 in
-  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
-  check_bool "flipped payload bit is corrupt-model" true
-    (diag_kind (Crf.Serialize.of_string (Bytes.to_string b))
-    = Lexkit.Diag.Corrupt_model)
+  with_temp_file ".crf" (fun path ->
+      write_file path (Crf.Serialize.to_string_v3 model);
+      let model' = Crf.Serialize.load_exn path in
+      List.iter
+        (fun g ->
+          check_bool "v3 file predicts identically" true
+            (Crf.Train.predict model g = Crf.Train.predict model' g))
+        (graphs ~n:40 ~seed:13))
+
+let test_binary_midfile_corruption () =
+  (* A single flipped bit deep inside a section payload is invisible
+     to the framing; the checksum trailer still rejects it — in both
+     binary generations. *)
+  let model = train () in
+  List.iter
+    (fun bytes ->
+      let b = Bytes.of_string bytes in
+      let i = String.length bytes / 2 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+      check_bool "flipped payload bit is corrupt-model" true
+        (diag_kind (Crf.Serialize.of_string (Bytes.to_string b))
+        = Lexkit.Diag.Corrupt_model))
+    [ Crf.Serialize.to_string model; Crf.Serialize.to_string_v3 model ]
 
 let test_of_string_roundtrip () =
   let model = train () in
@@ -319,7 +335,7 @@ let test_w2v_v2_compat () =
         (List.map fst (Word2vec.Sgns.predict model [ "loop ctx" ])
         = List.map fst (Word2vec.Sgns.predict model' [ "loop ctx" ])))
 
-let test_w2v_v3_byte_identical_roundtrip () =
+let test_w2v_v4_byte_identical_roundtrip () =
   let model =
     Word2vec.Sgns.train
       ~config:{ Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 2 }
@@ -328,13 +344,26 @@ let test_w2v_v3_byte_identical_roundtrip () =
   with_temp_file ".w2v" (fun path ->
       Word2vec.Serialize.save model path;
       let bytes = read_file path in
-      check_bool "writes the v3 magic" true
-        (String.length bytes > 19 && String.sub bytes 0 19 = "pigeon-w2v-model 3\n");
+      check_bool "writes the v4 magic" true
+        (String.length bytes > 19 && String.sub bytes 0 19 = "pigeon-w2v-model 4\n");
       let model' = Word2vec.Serialize.load_exn path in
       check_bool "save(load(save)) is byte-identical" true
         (String.equal bytes (Word2vec.Serialize.to_string model'));
       (* Binary floats round-trip exactly, not through decimal. *)
       check_bool "vectors bitwise identical" true
+        (model.Word2vec.Sgns.word_vecs = model'.Word2vec.Sgns.word_vecs
+        && model.Word2vec.Sgns.context_vecs = model'.Word2vec.Sgns.context_vecs))
+
+let test_w2v_v3_compat () =
+  let model =
+    Word2vec.Sgns.train
+      ~config:{ Word2vec.Sgns.default_config with Word2vec.Sgns.epochs = 2 }
+      (sgns_pairs ~n:300 ~seed:10)
+  in
+  with_temp_file ".w2v" (fun path ->
+      write_file path (Word2vec.Serialize.to_string_v3 model);
+      let model' = Word2vec.Serialize.load_exn path in
+      check_bool "v3 vectors bitwise identical" true
         (model.Word2vec.Sgns.word_vecs = model'.Word2vec.Sgns.word_vecs
         && model.Word2vec.Sgns.context_vecs = model'.Word2vec.Sgns.context_vecs))
 
@@ -437,8 +466,9 @@ let suite =
         Alcotest.test_case "truncation detected" `Quick test_w2v_truncation_detected;
         Alcotest.test_case "trailing garbage detected" `Quick test_w2v_trailing_garbage_detected;
         Alcotest.test_case "v2 compatibility" `Quick test_w2v_v2_compat;
-        Alcotest.test_case "v3 byte-identical round-trip" `Quick
-          test_w2v_v3_byte_identical_roundtrip;
+        Alcotest.test_case "v3 compatibility" `Quick test_w2v_v3_compat;
+        Alcotest.test_case "v4 byte-identical round-trip" `Quick
+          test_w2v_v4_byte_identical_roundtrip;
       ] );
     ( "serialize",
       [
@@ -454,10 +484,11 @@ let suite =
         Alcotest.test_case "trailing garbage detected" `Quick test_trailing_garbage_detected;
         Alcotest.test_case "v1 compatibility" `Quick test_v1_compat;
         Alcotest.test_case "v2 compatibility" `Quick test_v2_compat;
-        Alcotest.test_case "v3 byte-identical round-trip" `Quick
-          test_v3_byte_identical_roundtrip;
-        Alcotest.test_case "v3 mid-file corruption" `Quick
-          test_v3_midfile_corruption;
+        Alcotest.test_case "v3 compatibility" `Quick test_v3_compat;
+        Alcotest.test_case "v4 byte-identical round-trip" `Quick
+          test_v4_byte_identical_roundtrip;
+        Alcotest.test_case "binary mid-file corruption" `Quick
+          test_binary_midfile_corruption;
         Alcotest.test_case "of_string round-trip" `Quick test_of_string_roundtrip;
       ] );
   ]

@@ -569,11 +569,11 @@ let test_engine_reload_errors () =
   let e = engine () in
   (match Serve.Engine.reload e () with
   | Error err -> check_string "pathless" "bad-request" err.Serve.Protocol.kind
-  | Ok () -> Alcotest.fail "reload without any path must fail");
+  | Ok _ -> Alcotest.fail "reload without any path must fail");
   check_bool "not reloadable" false (Serve.Engine.reloadable e);
   (match Serve.Engine.reload e ~model_path:"/nonexistent/model.crf" () with
   | Error err -> check_string "missing file" "io-error" err.Serve.Protocol.kind
-  | Ok () -> Alcotest.fail "reload from a missing file must fail");
+  | Ok _ -> Alcotest.fail "reload from a missing file must fail");
   (* a failed reload leaves the engine serving *)
   match Serve.Engine.predict_one e ~lang ~code:sample_code with
   | Ok pairs -> check_bool "still predicting" true (pairs <> [])
@@ -640,6 +640,241 @@ let test_daemon_reload () =
   Sys.remove path_a;
   Sys.remove path_b
 
+(* ---------- multi-model registry ---------- *)
+
+let predict_line_for ?(id = 1) ~model code =
+  Serve.Json.to_string
+    (Serve.Json.Obj
+       [ ("op", Serve.Json.Str "predict");
+         ("id", Serve.Json.Num (float_of_int id));
+         ("lang", Serve.Json.Str "JavaScript");
+         ("code", Serve.Json.Str code);
+         ("model", Serve.Json.Str model) ])
+
+let find_stat name stats =
+  match
+    List.find_opt (fun m -> m.Serve.Protocol.ms_name = name) stats
+  with
+  | Some m -> m
+  | None ->
+      Alcotest.failf "no registry entry %S (have: %s)" name
+        (String.concat ", "
+           (List.map (fun m -> m.Serve.Protocol.ms_name) stats))
+
+let test_engine_registry_routing () =
+  let path_b = save_model (Lazy.force model_b) in
+  let e = engine () in
+  (match Serve.Engine.reload e ~name:"b" ~model_path:path_b () with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "load b: %s" err.Serve.Protocol.msg);
+  (* ["model":"b"] routes to B, byte-identical to a fresh engine built
+     on the same file; no model field still serves the default *)
+  let ref_b =
+    Serve.Engine.create ~model:(Crf.Serialize.load_exn path_b) ()
+  in
+  let named = predict_line_for ~id:41 ~model:"b" sample_code in
+  let plain = predict_line ~id:41 sample_code in
+  check_string "named routes to B"
+    (Serve.Engine.handle ref_b (parse_req plain))
+    (Serve.Engine.handle e (parse_req named));
+  check_string "plain still serves the default"
+    (Serve.Engine.handle (engine ()) (parse_req plain))
+    (Serve.Engine.handle e (parse_req plain));
+  (* unknown model: structured bad-request naming the loaded entries *)
+  let reply =
+    Serve.Engine.handle e (parse_req (predict_line_for ~model:"nope" sample_code))
+  in
+  check_string "unknown model" "bad-request" (error_kind_of reply);
+  (* a mixed batch keeps per-request routing and request order *)
+  let reqs =
+    [ parse_req (predict_line ~id:1 sample_code);
+      parse_req (predict_line_for ~id:2 ~model:"b" sample_code);
+      parse_req (predict_line_for ~id:3 ~model:"nope" sample_code) ]
+  in
+  (match Serve.Engine.handle_batch e reqs with
+  | [ r1; r2; r3 ] ->
+      check_string "batch default = one-shot"
+        (Serve.Engine.handle e (List.nth reqs 0)) r1;
+      check_string "batch named = one-shot"
+        (Serve.Engine.handle e (List.nth reqs 1)) r2;
+      check_string "batch unknown isolated" "bad-request" (error_kind_of r3)
+  | rs -> Alcotest.failf "expected 3 replies, got %d" (List.length rs));
+  Sys.remove path_b
+
+let test_engine_unload_set_default () =
+  let path_b = save_model (Lazy.force model_b) in
+  let e = engine () in
+  (match Serve.Engine.unload e "default" with
+  | Error err ->
+      check_string "cannot unload the default" "bad-request"
+        err.Serve.Protocol.kind
+  | Ok () -> Alcotest.fail "unloading the default must fail");
+  (match Serve.Engine.set_default e "ghost" with
+  | Error err -> check_string "unknown default" "bad-request" err.Serve.Protocol.kind
+  | Ok () -> Alcotest.fail "set_default on an unknown entry must fail");
+  (match Serve.Engine.reload e ~name:"b" ~model_path:path_b () with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "load b: %s" err.Serve.Protocol.msg);
+  (match Serve.Engine.set_default e "b" with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "set_default b: %s" err.Serve.Protocol.msg);
+  (* plain requests now serve B *)
+  let ref_b =
+    Serve.Engine.create ~model:(Crf.Serialize.load_exn path_b) ()
+  in
+  let plain = predict_line ~id:51 sample_code in
+  check_string "default switched to B"
+    (Serve.Engine.handle ref_b (parse_req plain))
+    (Serve.Engine.handle e (parse_req plain));
+  (* the old default is now unloadable, and its name then 404s *)
+  (match Serve.Engine.unload e "default" with
+  | Ok () -> ()
+  | Error err -> Alcotest.failf "unload default: %s" err.Serve.Protocol.msg);
+  let reply =
+    Serve.Engine.handle e
+      (parse_req (predict_line_for ~model:"default" sample_code))
+  in
+  check_string "unloaded entry is gone" "bad-request" (error_kind_of reply);
+  check_int "one entry left" 1 (List.length (Serve.Engine.models e));
+  Sys.remove path_b
+
+let test_engine_models_stats () =
+  let path_b = save_model (Lazy.force model_b) in
+  let e = engine () in
+  (match Serve.Engine.reload e ~name:"b" ~model_path:path_b () with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "load b: %s" err.Serve.Protocol.msg);
+  let stats = Serve.Engine.models e in
+  check_int "two entries" 2 (List.length stats);
+  let d = find_stat "default" stats in
+  check_bool "default flagged" true d.Serve.Protocol.ms_default;
+  check_string "in-memory default is heap" "heap" d.Serve.Protocol.ms_storage;
+  check_int "heap maps nothing" 0 d.Serve.Protocol.ms_mapped_bytes;
+  let b = find_stat "b" stats in
+  check_bool "b not default" false b.Serve.Protocol.ms_default;
+  check_bool "b loaded" true b.Serve.Protocol.ms_loaded;
+  check_string "b mapped" "mapped" b.Serve.Protocol.ms_storage;
+  check_int "b maps the whole file" (Unix.stat path_b).Unix.st_size
+    b.Serve.Protocol.ms_mapped_bytes;
+  check_bool "b path recorded" true
+    (b.Serve.Protocol.ms_model_path = Some path_b);
+  check_int "never used yet" (-1) b.Serve.Protocol.ms_last_used_ms;
+  ignore
+    (Serve.Engine.handle e (parse_req (predict_line_for ~model:"b" sample_code)));
+  let b = find_stat "b" (Serve.Engine.models e) in
+  check_bool "last-used set after a request" true
+    (b.Serve.Protocol.ms_last_used_ms >= 0);
+  Sys.remove path_b
+
+let test_engine_eviction_and_revival () =
+  let path_b = save_model (Lazy.force model_b) in
+  (* budget of one byte: at most the just-loaded entry stays mapped *)
+  let e =
+    Serve.Engine.create ~max_mapped_bytes:1 ~model:(Lazy.force model) ()
+  in
+  (match Serve.Engine.reload e ~name:"b" ~model_path:path_b () with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "load b: %s" err.Serve.Protocol.msg);
+  (match Serve.Engine.reload e ~name:"c" ~model_path:path_b () with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "load c: %s" err.Serve.Protocol.msg);
+  (* loading c evicted b (the only non-default mapped candidate) *)
+  let b = find_stat "b" (Serve.Engine.models e) in
+  check_bool "b evicted" false b.Serve.Protocol.ms_loaded;
+  check_string "b storage" "unloaded" b.Serve.Protocol.ms_storage;
+  check_int "b eviction counted" 1 b.Serve.Protocol.ms_evictions;
+  check_bool "b keeps its path" true
+    (b.Serve.Protocol.ms_model_path = Some path_b);
+  (* naming the evicted entry revives it transparently, with the same
+     bytes a fresh load would serve; c is evicted in turn *)
+  let ref_b =
+    Serve.Engine.create ~model:(Crf.Serialize.load_exn path_b) ()
+  in
+  let named = predict_line_for ~id:61 ~model:"b" sample_code in
+  let plain = predict_line ~id:61 sample_code in
+  check_string "revived b serves the same bytes"
+    (Serve.Engine.handle ref_b (parse_req plain))
+    (Serve.Engine.handle e (parse_req named));
+  let stats = Serve.Engine.models e in
+  check_bool "b live again" true (find_stat "b" stats).Serve.Protocol.ms_loaded;
+  check_bool "c evicted in turn" false
+    (find_stat "c" stats).Serve.Protocol.ms_loaded;
+  (* the default (heap, zero mapped bytes) is never an eviction victim *)
+  check_bool "default untouched" true
+    (find_stat "default" stats).Serve.Protocol.ms_loaded;
+  check_int "default never evicted" 0
+    (find_stat "default" stats).Serve.Protocol.ms_evictions;
+  Sys.remove path_b
+
+let test_daemon_registry () =
+  let path_a = save_model (Lazy.force model) in
+  let path_b = save_model (Lazy.force model_b) in
+  let e =
+    Serve.Engine.create ~model_path:path_a
+      ~model:(Crf.Serialize.load_exn path_a) ()
+  in
+  let ref_b =
+    Serve.Engine.create ~model_path:path_b
+      ~model:(Crf.Serialize.load_exn path_b) ()
+  in
+  with_daemon e (fun sock t ->
+      let c = Serve.Client.connect_unix ~read_timeout:30. sock in
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+      let req line =
+        match Serve.Client.request c line with
+        | Some r -> r
+        | None -> Alcotest.failf "daemon closed on %s" line
+      in
+      (* load B under a name over the wire *)
+      let load_b =
+        Serve.Json.to_string
+          (Serve.Json.Obj
+             [ ("op", Serve.Json.Str "reload");
+               ("id", Serve.Json.Num 70.);
+               ("name", Serve.Json.Str "b");
+               ("model", Serve.Json.Str path_b) ])
+      in
+      check_string "named load reply" {|{"id":70,"ok":true,"reloaded":true}|}
+        (req load_b);
+      (* route by name; the default is untouched *)
+      check_string "predict by name"
+        (Serve.Engine.handle ref_b (parse_req (predict_line ~id:71 sample_code)))
+        (req (predict_line_for ~id:71 ~model:"b" sample_code));
+      check_string "unknown name over the wire" "bad-request"
+        (error_kind_of (req (predict_line_for ~id:72 ~model:"zzz" sample_code)));
+      (* set_default / unload wire forms *)
+      check_string "set_default reply" {|{"id":73,"ok":true,"default":"b"}|}
+        (req {|{"op":"reload","id":73,"set_default":"b"}|});
+      check_string "plain predict now serves B"
+        (Serve.Engine.handle ref_b (parse_req (predict_line ~id:74 sample_code)))
+        (req (predict_line ~id:74 sample_code));
+      check_string "unload reply" {|{"id":75,"ok":true,"unloaded":"default"}|}
+        (req {|{"op":"reload","id":75,"unload":"default"}|});
+      check_string "unloading the default refused" "bad-request"
+        (error_kind_of (req {|{"op":"reload","id":76,"unload":"b"}|}));
+      check_string "exclusive forms refused" "bad-request"
+        (error_kind_of
+           (req {|{"op":"reload","id":77,"unload":"b","set_default":"b"}|}));
+      (* per-model stats over the wire *)
+      let stats_reply = req {|{"op":"stats","id":78}|} in
+      let contains needle =
+        let n = String.length needle and h = String.length stats_reply in
+        let rec go i =
+          i + n <= h && (String.sub stats_reply i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      check_bool "stats lists models" true (contains {|"models":[|});
+      check_bool "stats names b as default" true
+        (contains {|"name":"b","default":true|});
+      check_bool "stats reports storage" true (contains {|"storage":|});
+      let s = Serve.Server.stats t in
+      check_int "only the load bumped the reload counter" 1
+        s.Serve.Protocol.reloads;
+      check_int "one entry left" 1 (List.length s.Serve.Protocol.models));
+  Sys.remove path_a;
+  Sys.remove path_b
+
 let () =
   Alcotest.run "serve"
     [
@@ -663,6 +898,17 @@ let () =
           Alcotest.test_case "batch isolation" `Quick test_engine_batch_isolation;
           Alcotest.test_case "pool byte-identity" `Quick test_engine_batch_pool;
           Alcotest.test_case "reload errors" `Quick test_engine_reload_errors;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "model routing" `Quick
+            test_engine_registry_routing;
+          Alcotest.test_case "unload and set_default" `Quick
+            test_engine_unload_set_default;
+          Alcotest.test_case "per-model stats" `Quick test_engine_models_stats;
+          Alcotest.test_case "eviction and revival" `Quick
+            test_engine_eviction_and_revival;
+          Alcotest.test_case "wire ops" `Quick test_daemon_registry;
         ] );
       ( "daemon",
         [
