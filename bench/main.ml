@@ -6,7 +6,8 @@
      dune exec bench/main.exe --quick all     -- smaller corpora
 
    Experiments: table1 table2-var table2-method table2-type table3
-   table4 fig10 fig11 fig12 fault parallel train intern micro.
+   table4 fig10 fig11 fig12 fault parallel train intern serve incremental
+   micro.
 
    Absolute numbers are not expected to match the paper (our corpora
    are synthetic and laptop-sized); the *shape* — which representation
@@ -2353,6 +2354,184 @@ let serve_bench () =
   close_out oc;
   Printf.printf "wrote BENCH_serve.json\n%!"
 
+(* ---------- incremental extraction (BENCH_incremental.json) ---------- *)
+
+(* Editor workload: replay a generated edit trace (one buffer, one
+   function replaced/inserted/deleted per step) through the
+   incremental extraction cache and compare it, per edit, against
+   from-scratch extraction. Two gates:
+
+   - correctness, always: the cached context stream must be
+     byte-identical (rendered strings, in order) to from-scratch at
+     EVERY step, including the cold open;
+   - speed, full runs only: >= 5x median per-edit extraction speedup
+     (the cached side's first — truly incremental — extract after each
+     edit, against a fresh-index fresh-tab extract of the same buffer;
+     index builds excluded from both sides). End-to-end (index build
+     included) is reported unenforced.
+
+   Results go to BENCH_incremental.json. *)
+
+let incremental_bench () =
+  header "incremental: edit-trace extraction (cache vs from-scratch)";
+  let lang = Pigeon.Lang.javascript in
+  let cfg = lang.Pigeon.Lang.tuned in
+  let funcs = if !quick then 10 else 28 in
+  let steps = if !quick then 8 else 30 in
+  let gen_config =
+    {
+      Corpus.Gen.default with
+      Corpus.Gen.min_funcs = funcs;
+      max_funcs = funcs;
+      seed = 2018;
+    }
+  in
+  let trace = Corpus.Gen.edit_trace ~steps gen_config lang.Pigeon.Lang.render_lang in
+  let cache = Astpath.Cache.create () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  (* Per step: (extract speedup, end-to-end speedup); step 0 is the
+     cold open — charged to the cache (it records everything) but not
+     an edit, so it stays out of the per-edit medians. *)
+  let ext_speedups = ref [] in
+  let e2e_speedups = ref [] in
+  let contexts = ref 0 in
+  let nodes = ref 0 in
+  List.iteri
+    (fun step src ->
+      let tree = lang.Pigeon.Lang.parse_tree src in
+      (* From-scratch side: fresh index, fresh tab — what a stateless
+         server does for every request. *)
+      let idx_s = ref None in
+      let t_idx_s = time (fun () -> idx_s := Some (Ast.Index.build tree)) in
+      let idx_s = Option.get !idx_s in
+      let n_s = ref 0 in
+      let t_ext_s =
+        time (fun () ->
+            let tab = Astpath.Context.Tab.create idx_s in
+            Astpath.Extract.iter_all ~tab idx_s cfg (fun _ -> incr n_s))
+      in
+      (* Cached side: session index (shared label table), then the
+         first — truly incremental — extract after this edit. *)
+      let idx_c = ref None in
+      let t_idx_c =
+        time (fun () -> idx_c := Some (Astpath.Cache.index cache tree))
+      in
+      let idx_c = Option.get !idx_c in
+      let n_c = ref 0 in
+      let t_ext_c =
+        time (fun () ->
+            Astpath.Extract.iter_all_cached ~cache idx_c cfg (fun _ ->
+                incr n_c))
+      in
+      if !n_s <> !n_c then
+        failwith
+          (Printf.sprintf
+             "incremental bench: step %d emitted %d cached contexts vs %d \
+              from-scratch"
+             step !n_c !n_s);
+      (* Byte-identity, every step: untimed replay of both sides,
+         rendered. The cache re-extract is all-hits — the contract
+         says its stream is still the from-scratch one. *)
+      let strings iter =
+        let acc = ref [] in
+        iter (fun c -> acc := Astpath.Context.to_string c :: !acc);
+        List.rev !acc
+      in
+      let s_side =
+        strings (fun f ->
+            let tab = Astpath.Context.Tab.create idx_s in
+            Astpath.Extract.iter_all ~tab idx_s cfg f)
+      in
+      let c_side =
+        strings (fun f -> Astpath.Extract.iter_all_cached ~cache idx_c cfg f)
+      in
+      List.iteri
+        (fun i (a, b) ->
+          if not (String.equal a b) then
+            failwith
+              (Printf.sprintf
+                 "incremental bench: step %d context %d differs:\n\
+                    scratch: %s\n\
+                    cached:  %s"
+                 step i a b))
+        (List.combine s_side c_side);
+      contexts := !contexts + !n_s;
+      nodes := !nodes + Ast.Index.size idx_s;
+      if step > 0 then begin
+        let ext = t_ext_s /. Float.max 1e-9 t_ext_c in
+        let e2e =
+          (t_idx_s +. t_ext_s) /. Float.max 1e-9 (t_idx_c +. t_ext_c)
+        in
+        ext_speedups := ext :: !ext_speedups;
+        e2e_speedups := e2e :: !e2e_speedups
+      end)
+    trace;
+  let median xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let ext_med = median !ext_speedups and e2e_med = median !e2e_speedups in
+  let stats = Astpath.Cache.stats cache in
+  Printf.printf
+    "%d-function buffer, %d edits, %d contexts/step avg, %d nodes/step avg\n"
+    funcs steps
+    (!contexts / (steps + 1))
+    (!nodes / (steps + 1));
+  Printf.printf
+    "cache: %d hits, %d misses, %d contexts replayed, %d paths stored (%d \
+     bytes)\n"
+    stats.Astpath.Cache.hits stats.Astpath.Cache.misses
+    (Astpath.Cache.replayed cache)
+    stats.Astpath.Cache.cached_paths stats.Astpath.Cache.bytes;
+  Printf.printf
+    "per-edit extraction speedup: median %.2fx (min %.2fx, max %.2fx)\n"
+    ext_med
+    (List.fold_left Float.min infinity !ext_speedups)
+    (List.fold_left Float.max 0. !ext_speedups);
+  Printf.printf "per-edit end-to-end speedup (incl. index build): median %.2fx\n%!"
+    e2e_med;
+  (* Floor: full runs only — quick traces are too small to time. *)
+  let floor = 5.0 in
+  let floor_enforced = not !quick in
+  if floor_enforced then begin
+    if ext_med < floor then
+      failwith
+        (Printf.sprintf
+           "incremental extraction speedup %.2fx < %.1fx floor" ext_med floor)
+  end
+  else if ext_med < floor then
+    Printf.printf
+      "  warn: extraction speedup %.2fx below-floor %.1f (not enforced)\n%!"
+      ext_med floor;
+  let oc = open_out "BENCH_incremental.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"functions\": %d,\n  \"edits\": %d,\n" funcs steps;
+  Printf.fprintf oc "  \"avg_contexts_per_step\": %d,\n"
+    (!contexts / (steps + 1));
+  Printf.fprintf oc "  \"avg_nodes_per_step\": %d,\n" (!nodes / (steps + 1));
+  Printf.fprintf oc "  \"cache_hits\": %d,\n  \"cache_misses\": %d,\n"
+    stats.Astpath.Cache.hits stats.Astpath.Cache.misses;
+  Printf.fprintf oc "  \"contexts_replayed\": %d,\n"
+    (Astpath.Cache.replayed cache);
+  Printf.fprintf oc "  \"cached_paths\": %d,\n  \"cache_bytes\": %d,\n"
+    stats.Astpath.Cache.cached_paths stats.Astpath.Cache.bytes;
+  Printf.fprintf oc "  \"extract_speedup_median\": %.3f,\n" ext_med;
+  Printf.fprintf oc "  \"e2e_speedup_median\": %.3f,\n" e2e_med;
+  Printf.fprintf oc "  \"extract_speedups\": [%s],\n"
+    (String.concat ", "
+       (List.rev_map (Printf.sprintf "%.3f") !ext_speedups));
+  Printf.fprintf oc "  \"speedup_floor\": %.1f,\n" floor;
+  Printf.fprintf oc "  \"speedup_floor_enforced\": %b\n" floor_enforced;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_incremental.json\n%!"
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -2371,6 +2550,7 @@ let experiments =
     ("train", train_bench);
     ("intern", intern_bench);
     ("serve", serve_bench);
+    ("incremental", incremental_bench);
     ("micro", micro);
   ]
 

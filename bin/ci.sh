@@ -26,8 +26,14 @@
 # fast PIGEON_FAULTS parsing), registry smokes (two models served side
 # by side, predict by name, LRU eviction under a tiny --max-mapped-bytes
 # budget with transparent revival, reload-by-name / unload / set-default
-# over the wire), and the quick serve throughput bench including its
-# 2x-overload shed phase.
+# over the wire), a session smoke (an editor session — open, two
+# full-buffer edits, close — through the real binaries; every session
+# reply's prediction fields must be byte-identical to a one-shot
+# predict of the same buffer, then SIGTERM), the quick serve
+# throughput bench including its 2x-overload shed phase, and the
+# quick incremental bench (edit-trace replay: cached extraction
+# byte-identical to from-scratch at every step; the 5x speedup floor
+# is enforced on full runs only).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -254,4 +260,72 @@ wait "$SERVE_PID"
 SERVE_PID=""
 echo "registry smoke: ok"
 
+# ---- session smoke: an editor session through the real binaries ----
+SOCK4="$SMOKE_DIR/pigeon4.sock"
+"$PIGEON_BIN" serve --model "$SMOKE_DIR/model.crf" --socket "$SOCK4" \
+  -j 1 2>"$SMOKE_DIR/serve4.log" &
+SERVE_PID=$!
+i=0
+while [ ! -S "$SOCK4" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 50 ]; then
+    echo "session smoke: daemon never bound $SOCK4" >&2
+    cat "$SMOKE_DIR/serve4.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+sclient() { "$PIGEON_BIN" client --socket "$SOCK4" "$@"; }
+
+# open one buffer, send two full-buffer edits, close — one connection.
+# Incremental extraction must be invisible on the wire: each session
+# reply's prediction fields are byte-identical to a one-shot predict of
+# the same buffer (only the request id and the trailing session field
+# differ).
+B0="$SMOKE_DIR/corpus/sample_0000.js"
+B1="$SMOKE_DIR/corpus/sample_0001.js"
+B2="$SMOKE_DIR/corpus/sample_0002.js"
+sclient --op session "$B0" --edit "$B1" --edit "$B2" \
+  >"$SMOKE_DIR/session.out"
+if [ "$(wc -l <"$SMOKE_DIR/session.out")" -ne 4 ]; then
+  echo "session smoke: expected 4 reply lines (open, 2 edits, close)" >&2
+  cat "$SMOKE_DIR/session.out" >&2
+  exit 1
+fi
+step=0
+for b in "$B0" "$B1" "$B2"; do
+  step=$((step + 1))
+  session_reply=$(sed -n "${step}p" "$SMOKE_DIR/session.out")
+  oneshot=$(sclient "$b")
+  sess_body=${session_reply#*,}
+  sess_body=${sess_body%,\"session\":\"default\"\}}
+  one_body=${oneshot#*,}
+  one_body=${one_body%\}}
+  if [ "$sess_body" != "$one_body" ]; then
+    echo "session smoke: step $step diverged from one-shot predict" >&2
+    echo "  session: $session_reply" >&2
+    echo "  oneshot: $oneshot" >&2
+    exit 1
+  fi
+done
+grep -q '"closed":"default","edits":2}' "$SMOKE_DIR/session.out" || {
+  echo "session smoke: close reply missing or wrong edit count" >&2
+  cat "$SMOKE_DIR/session.out" >&2
+  exit 1
+}
+sclient --op stats | grep -q '"session_cache":{' || {
+  echo "session smoke: stats missing session cache counters" >&2
+  exit 1
+}
+kill -TERM "$SERVE_PID"
+if ! wait "$SERVE_PID"; then
+  echo "session smoke: daemon exited non-zero on SIGTERM" >&2
+  cat "$SMOKE_DIR/serve4.log" >&2
+  exit 1
+fi
+SERVE_PID=""
+echo "session smoke: ok"
+
 dune exec bench/main.exe -- --quick serve
+dune exec bench/main.exe -- --quick incremental

@@ -305,6 +305,12 @@ let serve_cmd =
                bytes across the registry exceed N (0 = unbounded). Evicted \
                models revive on their next request.")
   in
+  let max_session_arg =
+    Arg.(value & opt int 0 & info [ "max-session-bytes" ] ~docv:"N"
+         ~doc:"Evict least-recently-used edit sessions once their summed \
+               extraction-cache bytes exceed N (0 = unbounded). An evicted \
+               session's next edit answers \"no-session\"; clients re-open.")
+  in
   let tcp_arg =
     Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT"
          ~doc:"Also (or instead) listen on this TCP port.")
@@ -348,9 +354,9 @@ let serve_cmd =
              ~doc:"Per-connection I/O budget: close connections that stay \
                    silent (or stop draining replies) this long (0 = never).")
   in
-  let run model_path w2v_path named no_mmap max_mapped_bytes socket tcp host
-      jobs max_batch max_bytes max_depth max_steps max_queue max_conns
-      idle_timeout =
+  let run model_path w2v_path named no_mmap max_mapped_bytes max_session_bytes
+      socket tcp host jobs max_batch max_bytes max_depth max_steps max_queue
+      max_conns idle_timeout =
     if socket = None && tcp = None then begin
       Format.eprintf "error: pass --socket PATH and/or --tcp PORT@.";
       exit 2
@@ -422,7 +428,7 @@ let serve_cmd =
     let pool = pool_of_jobs jobs in
     let engine =
       Serve.Engine.create ?w2v_view ~storage ~limits ~model_path ?w2v_path
-        ~mmap ~max_mapped_bytes ~model ()
+        ~mmap ~max_mapped_bytes ~max_session_bytes ~model ()
     in
     List.iter
       (fun (name, path) ->
@@ -495,12 +501,14 @@ let serve_cmd =
           --max-conns, --idle-timeout); SIGHUP (or the reload op) hot-swaps \
           the model; SIGTERM/SIGINT drain then stop. Model files map \
           zero-copy by default (--no-mmap for heap copies); extra models \
-          preload with --named-model and evict under --max-mapped-bytes. Set \
+          preload with --named-model and evict under --max-mapped-bytes. \
+          Editor clients open edit sessions (open/edit/close ops) whose \
+          incremental extraction caches evict under --max-session-bytes. Set \
           PIGEON_FAULTS to inject faults for chaos testing.")
     Term.(
       const run $ model_arg $ w2v_arg $ named_arg $ no_mmap_arg
-      $ max_mapped_arg $ socket_arg $ tcp_arg $ host_arg $ jobs_arg
-      $ batch_arg $ max_bytes_arg $ max_depth_arg $ max_steps_arg
+      $ max_mapped_arg $ max_session_arg $ socket_arg $ tcp_arg $ host_arg
+      $ jobs_arg $ batch_arg $ max_bytes_arg $ max_depth_arg $ max_steps_arg
       $ max_queue_arg $ max_conns_arg $ idle_timeout_arg)
 
 (* ---------- client ---------- *)
@@ -519,11 +527,21 @@ let client_cmd =
       value
       & opt (enum [ ("predict", `Predict); ("ping", `Ping); ("stats", `Stats);
                     ("shutdown", `Shutdown); ("similar", `Similar);
-                    ("reload", `Reload) ])
+                    ("reload", `Reload); ("session", `Session) ])
           `Predict
       & info [ "op" ] ~docv:"OP"
           ~doc:"Request kind: predict (default), ping, stats, shutdown, \
-                similar, reload.")
+                similar, reload, session (open FILE, apply each --edit, \
+                close — one reply line per step).")
+  in
+  let edit_arg =
+    Arg.(value & opt_all file [] & info [ "edit" ] ~docv:"FILE"
+         ~doc:"With --op session: send this file as the next full-buffer \
+               edit (repeatable; applied in order between open and close).")
+  in
+  let session_name_arg =
+    Arg.(value & opt string "default" & info [ "session" ] ~docv:"NAME"
+         ~doc:"Session (buffer) name for --op session.")
   in
   let word_arg =
     Arg.(value & opt (some string) None & info [ "word" ] ~docv:"WORD"
@@ -568,7 +586,8 @@ let client_cmd =
   in
   let file_opt_arg =
     Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
-         ~doc:"Source file for --op predict.")
+         ~doc:"Source file for --op predict (or the buffer --op session \
+               opens).")
   in
   (* Exit codes: 0 ok reply, 3 structured error reply (including
      "overloaded" sheds — the daemon is up and said no), 4 daemon
@@ -577,7 +596,7 @@ let client_cmd =
      so shell scripts can tell "the daemon said no" from "the daemon
      is gone". *)
   let run socket tcp host op lang word k model_name reload_model reload_w2v
-      unload set_default timeout retries file =
+      unload set_default timeout retries session_name edits file =
     let timeout = if timeout <= 0. then None else Some timeout in
     let retry =
       { Serve.Client.default_retry with
@@ -619,8 +638,68 @@ let client_cmd =
     let named_model =
       match model_name with Some n -> [ ("model", Str n) ] | None -> []
     in
+    let roundtrip line =
+      match Serve.Client.request conn (to_string line) with
+      | Some r -> r
+      | None ->
+          Format.eprintf "error: server closed the connection@.";
+          exit 1
+      | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) ->
+          Format.eprintf "error: no reply from %s within %.1fs@."
+            (describe endpoint)
+            (Option.value ~default:0. timeout);
+          exit 4
+      | exception e ->
+          Format.eprintf "error: request failed: %s@." (Printexc.to_string e);
+          exit 1
+    in
+    (* Session mode holds the one connection across the whole
+       open/edit*/close exchange (sessions are connection-scoped) and
+       prints each reply line as it arrives. *)
+    (match op with
+    | `Session ->
+        let f =
+          match file with
+          | Some f -> f
+          | None ->
+              Format.eprintf
+                "error: --op session needs a FILE argument (the buffer to \
+                 open)@.";
+              exit 2
+        in
+        let sess = [ ("session", Str session_name) ] in
+        let all_ok = ref true in
+        let step line =
+          let reply = roundtrip line in
+          print_endline reply;
+          if not (Serve.Protocol.reply_ok reply) then all_ok := false
+        in
+        step
+          (Obj
+             ([ ("op", Str "open"); ("id", Num 0.) ]
+             @ sess
+             @ [ ("lang", Str lang.Pigeon.Lang.name);
+                 ("code", Str (read_file f)) ]
+             @ named_model));
+        List.iteri
+          (fun i e ->
+            step
+              (Obj
+                 ([ ("op", Str "edit"); ("id", Num (float_of_int (i + 1))) ]
+                 @ sess
+                 @ [ ("code", Str (read_file e)) ])))
+          edits;
+        step
+          (Obj
+             ([ ("op", Str "close");
+                ("id", Num (float_of_int (List.length edits + 1))) ]
+             @ sess));
+        Serve.Client.close conn;
+        exit (if !all_ok then 0 else 3)
+    | _ -> ());
     let line =
       match op with
+      | `Session -> assert false (* handled above *)
       | `Ping -> Obj [ ("op", Str "ping"); ("id", Num 0.) ]
       | `Stats -> Obj [ ("op", Str "stats"); ("id", Num 0.) ]
       | `Shutdown -> Obj [ ("op", Str "shutdown"); ("id", Num 0.) ]
@@ -667,29 +746,23 @@ let client_cmd =
                    ("code", Str (read_file f)) ]
                 @ named_model))
     in
-    let reply =
-      match Serve.Client.request conn (to_string line) with
-      | Some r -> r
-      | None ->
-          Format.eprintf "error: server closed the connection@.";
-          exit 1
-      | exception Unix.Unix_error (Unix.ETIMEDOUT, _, _) ->
-          Format.eprintf "error: no reply from %s within %.1fs@."
-            (describe endpoint)
-            (Option.value ~default:0. timeout);
-          exit 4
-      | exception e ->
-          Format.eprintf "error: request failed: %s@." (Printexc.to_string e);
-          exit 1
-    in
+    let reply = roundtrip line in
     Serve.Client.close conn;
     (* The raw JSON line first — scripts parse it — then, for stats, a
        readable per-model table. *)
     print_endline reply;
     (if op = `Stats && Serve.Protocol.reply_ok reply then
        match parse reply with
-       | Ok j -> (
-           match Option.bind (member "stats" j) (member "models") with
+       | Ok j ->
+           let stats = member "stats" j in
+           let cache_line indent c =
+             let num f = Option.value ~default:0 (int_field f c) in
+             Format.printf
+               "%shits=%d misses=%d paths=%d bytes=%dB evictions=%d@." indent
+               (num "hits") (num "misses") (num "paths") (num "bytes")
+               (num "evictions")
+           in
+           (match Option.bind stats (member "models") with
            | Some (Arr models) ->
                Format.printf "models:@.";
                List.iter
@@ -708,7 +781,26 @@ let client_cmd =
                       if lu < 0 then "never" else Printf.sprintf "%dms ago" lu)
                      (num "evictions"))
                  models
-           | _ -> ())
+           | _ -> ());
+           (match Option.bind stats (member "sessions") with
+           | Some (Arr ((_ :: _) as sessions)) ->
+               Format.printf "sessions:@.";
+               List.iter
+                 (fun s ->
+                   let str f = Option.value ~default:"-" (string_field f s) in
+                   let num f = Option.value ~default:0 (int_field f s) in
+                   Format.printf "  %-16s conn=%d lang=%s edits=%d  cache: "
+                     (str "name") (num "conn") (str "lang") (num "edits");
+                   match member "cache" s with
+                   | Some c -> cache_line "" c
+                   | None -> Format.printf "-@.")
+                 sessions
+           | _ -> ());
+           (match Option.bind stats (member "session_cache") with
+           | Some c ->
+               Format.printf "session cache (aggregate):@.";
+               cache_line "  " c
+           | None -> ())
        | Error _ -> ());
     if Serve.Protocol.reply_ok reply then exit 0 else exit 3
   in
@@ -722,7 +814,7 @@ let client_cmd =
       const run $ socket_arg $ tcp_arg $ host_arg $ op_arg $ lang_arg
       $ word_arg $ k_arg $ model_name_arg $ reload_model_arg $ reload_w2v_arg
       $ unload_arg $ set_default_arg $ timeout_arg $ retries_arg
-      $ file_opt_arg)
+      $ session_name_arg $ edit_arg $ file_opt_arg)
 
 (* ---------- stats ---------- *)
 

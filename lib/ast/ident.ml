@@ -1,0 +1,57 @@
+(* Structural subtree identity over an [Index.t].
+
+   One bottom-up pass interns, per node, a key made of its label, its
+   terminal value, and its children's already-assigned identity ids.
+   That key is total over everything path extraction can observe
+   inside the subtree — path node labels (including the nonterminal
+   value fallback), terminal end values, child order (and with it
+   length and width, which are relative quantities) — so two nodes
+   share an identity id exactly when their subtrees extract identical
+   path-context sets.
+
+   Deliberately NOT in the key: terminal sorts and nonterminal tags.
+   Extraction never reads them, and sorts carry program-global binder
+   ids ([Tree.Var]) that renumber when an unrelated earlier function
+   is edited — keying on them would destroy exactly the cross-edit
+   sharing this pass exists to provide. Consumers that do need sorts
+   or tags read them from the current build's index by node id, which
+   cache replay preserves.
+
+   Interning goes through session-owned tables ([syms], [tab]), so the
+   sharing holds across builds: re-index an edited file and every
+   subtree the edit did not touch keeps the id it had before, which is
+   what the incremental extraction cache keys on.
+
+   Preorder node ids put children after their parent, so iterating
+   ids downward visits children first; the pass is O(n) probes. *)
+
+let assign ~syms ~tab idx =
+  let n = Index.size idx in
+  let ids = Array.make n (-1) in
+  let buf = ref (Array.make 16 0) in
+  let ensure k =
+    if Array.length !buf < k then
+      buf := Array.make (max k (2 * Array.length !buf)) 0
+  in
+  for v = n - 1 downto 0 do
+    let lbl = Intern.Strtab.intern syms (Index.label idx v) in
+    match Index.value idx v with
+    | Some value ->
+        let vid = Intern.Strtab.intern syms value in
+        ensure 3;
+        let b = !buf in
+        b.(0) <- 0;
+        b.(1) <- lbl;
+        b.(2) <- vid;
+        ids.(v) <- Intern.Keytab.intern_sub tab b ~len:3
+    | None ->
+        let cs = Index.children idx v in
+        let k = Array.length cs in
+        ensure (2 + k);
+        let b = !buf in
+        b.(0) <- 1;
+        b.(1) <- lbl;
+        Array.iteri (fun i c -> b.(2 + i) <- ids.(c)) cs;
+        ids.(v) <- Intern.Keytab.intern_sub tab b ~len:(2 + k)
+  done;
+  ids

@@ -1,0 +1,19 @@
+(** Structural subtree identity: the hash-consing pass behind the
+    incremental extraction cache.
+
+    [assign ~syms ~tab idx] returns one identity id per node, assigned
+    bottom-up through {!Intern.Keytab}: two nodes — in this tree or in
+    any tree whose pass shared the same [syms]/[tab] — receive the
+    same id exactly when their subtrees are extraction-equivalent:
+    same labels, terminal values, and child order. Terminal sorts and
+    nonterminal tags are deliberately excluded — extraction never
+    observes them, and {!Tree.Var} binder ids are program-global, so
+    keying on them would break sharing across unrelated edits. An
+    edited file re-indexed against the same session tables therefore
+    keeps the ids of every subtree the edit did not touch. *)
+
+val assign :
+  syms:Intern.Strtab.t -> tab:Intern.Keytab.t -> Index.t -> int array
+(** O(n) probes; [syms] interns the label/value/tag symbols the keys
+    are built from, [tab] stores the keys. Both must be the session's
+    own — mixing tables across sessions mixes id spaces. *)

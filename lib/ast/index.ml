@@ -3,7 +3,15 @@ type t = {
   labels : string array;
       (* interned: nodes sharing a label share one string *)
   label_ids : int array;
-  label_pool : string array;
+  label_pool : string array;  (* private interning only; [||] when shared *)
+  shared_labels : Intern.Strtab.t option;
+      (* the session table label ids were interned through, when the
+         caller passed one to [build] — label ids are then stable
+         across every index built over the same table, which is what
+         lets a session-persistent path hash-cons outlive one tree *)
+  subtree_size : int array;  (* subtree of v = preorder ids [v, v+size) *)
+  subtree_leaves : int array;  (* leaves under v *)
+  subtree_first_leaf : int array;  (* leaf rank of v's leftmost leaf; -1 *)
   values : string option array;
   sorts : Tree.sort option array;
   tags : string option array;
@@ -26,7 +34,7 @@ type t = {
   by_value : (string, int list) Hashtbl.t;  (* ascending node ids *)
 }
 
-let build tree =
+let build ?labels:shared_labels tree =
   let n = Tree.size tree in
   let labels = Array.make n "" in
   let label_ids = Array.make n 0 in
@@ -41,22 +49,33 @@ let build tree =
   let intern = Hashtbl.create 64 in
   let pool_rev = ref [] in
   let n_pool = ref 0 in
+  let intern_label =
+    (* Private per-tree interning by default (dense ids in pool order);
+       through the caller's shared table when one is given, so the ids
+       — and the canonical strings — are stable across builds. *)
+    match shared_labels with
+    | None ->
+        fun lbl ->
+          (match Hashtbl.find_opt intern lbl with
+          | Some (lid, canonical) -> (lid, canonical)
+          | None ->
+              let lid = !n_pool in
+              incr n_pool;
+              Hashtbl.add intern lbl (lid, lbl);
+              pool_rev := lbl :: !pool_rev;
+              (lid, lbl))
+    | Some tab ->
+        fun lbl ->
+          let lid = Intern.Strtab.intern tab lbl in
+          (lid, Intern.Strtab.to_string tab lid)
+  in
   let next = ref 0 in
   let rec go node ~parent_id ~rank ~d =
     let id = !next in
     incr next;
-    let lbl = Tree.label node in
-    (match Hashtbl.find_opt intern lbl with
-    | Some (lid, canonical) ->
-        labels.(id) <- canonical;
-        label_ids.(id) <- lid
-    | None ->
-        let lid = !n_pool in
-        incr n_pool;
-        Hashtbl.add intern lbl (lid, lbl);
-        pool_rev := lbl :: !pool_rev;
-        labels.(id) <- lbl;
-        label_ids.(id) <- lid);
+    let lid, canonical = intern_label (Tree.label node) in
+    labels.(id) <- canonical;
+    label_ids.(id) <- lid;
     values.(id) <- Tree.value node;
     sorts.(id) <- Tree.sort node;
     tags.(id) <- Tree.tag node;
@@ -77,6 +96,28 @@ let build tree =
   let leaves = Array.of_list (List.rev !leaves_rev) in
   let leaf_rank = Array.make n (-1) in
   Array.iteri (fun r id -> leaf_rank.(id) <- r) leaves;
+  (* Subtree spans: preorder ids make every subtree a contiguous id
+     range and its leaves a contiguous leaf-rank range — the basis of
+     the incremental extraction cache's unit partition. One upward
+     O(n) pass (children have larger ids than their parent). *)
+  let subtree_size = Array.make n 1 in
+  let subtree_leaves = Array.make n 0 in
+  let subtree_first_leaf = Array.make n max_int in
+  Array.iteri
+    (fun r id ->
+      subtree_first_leaf.(id) <- r;
+      subtree_leaves.(id) <- 1)
+    leaves;
+  for i = n - 1 downto 1 do
+    let p = parent.(i) in
+    subtree_size.(p) <- subtree_size.(p) + subtree_size.(i);
+    subtree_leaves.(p) <- subtree_leaves.(p) + subtree_leaves.(i);
+    if subtree_first_leaf.(i) < subtree_first_leaf.(p) then
+      subtree_first_leaf.(p) <- subtree_first_leaf.(i)
+  done;
+  for i = 0 to n - 1 do
+    if subtree_first_leaf.(i) = max_int then subtree_first_leaf.(i) <- -1
+  done;
   (* Euler tour: visit a node, then re-visit it after each child. *)
   let m = (2 * n) - 1 in
   let euler = Array.make m 0 in
@@ -137,6 +178,10 @@ let build tree =
     labels;
     label_ids;
     label_pool;
+    shared_labels;
+    subtree_size;
+    subtree_leaves;
+    subtree_first_leaf;
     values;
     sorts;
     tags;
@@ -159,8 +204,21 @@ let size t = t.n
 let root _ = 0
 let label t i = t.labels.(i)
 let label_id t i = t.label_ids.(i)
-let num_label_ids t = Array.length t.label_pool
-let label_of_id t i = t.label_pool.(i)
+
+let num_label_ids t =
+  match t.shared_labels with
+  | None -> Array.length t.label_pool
+  | Some tab -> Intern.Strtab.size tab
+
+let label_of_id t i =
+  match t.shared_labels with
+  | None -> t.label_pool.(i)
+  | Some tab -> Intern.Strtab.to_string tab i
+
+let shared_labels t = t.shared_labels
+let subtree_size t i = t.subtree_size.(i)
+let subtree_leaf_count t i = t.subtree_leaves.(i)
+let subtree_first_leaf t i = t.subtree_first_leaf.(i)
 let value t i = t.values.(i)
 let sort t i = t.sorts.(i)
 let tag t i = t.tags.(i)

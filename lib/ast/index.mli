@@ -12,7 +12,14 @@
 
 type t
 
-val build : Tree.t -> t
+val build : ?labels:Intern.Strtab.t -> Tree.t -> t
+(** [labels] interns label ids through the caller's shared table
+    instead of a private per-tree one: ids (and canonical strings) are
+    then stable across every index built over the same table — the
+    property that lets a session-persistent path hash-cons (see
+    {!Astpath.Context.Tab}) outlive a single tree in the incremental
+    extraction engine. Without it ids are dense per tree as before. *)
+
 val size : t -> int
 val root : t -> int
 
@@ -24,10 +31,26 @@ val label_id : t -> int -> int
 (** Dense interned id of a node's label, in [0, num_label_ids). *)
 
 val num_label_ids : t -> int
-(** Number of distinct labels in the tree. *)
+(** Number of distinct labels in the tree — or in the shared table,
+    when the index was built over one. *)
 
 val label_of_id : t -> int -> string
 (** Canonical string for an interned label id. *)
+
+val shared_labels : t -> Intern.Strtab.t option
+(** The shared label table passed to {!build}, if any. *)
+
+val subtree_size : t -> int -> int
+(** Nodes in [v]'s subtree (including [v]); node ids are preorder, so
+    the subtree is exactly the contiguous id range
+    [v, v + subtree_size v). *)
+
+val subtree_leaf_count : t -> int -> int
+(** Leaves in [v]'s subtree — also contiguous, in leaf-rank order,
+    starting at {!subtree_first_leaf}. *)
+
+val subtree_first_leaf : t -> int -> int
+(** Leaf rank of [v]'s leftmost leaf; [-1] for a leafless subtree. *)
 
 val value : t -> int -> string option
 val sort : t -> int -> Tree.sort option

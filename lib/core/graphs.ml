@@ -54,8 +54,12 @@ let elem_of idx leaf =
       Option.map (fun v -> Literal v) (Ast.Index.value idx leaf)
   | Some Ast.Tree.Kw | None -> None
 
-let build repr ~def_labels ~policy tree =
-  let idx = Ast.Index.build tree in
+(* Graph construction over a prebuilt index and an abstract context
+   iterator — the one body behind [build] (from-scratch extraction)
+   and [build_cached] (incremental replay). Everything downstream of
+   the iterator is identical, so a cache that emits the from-scratch
+   stream yields the identical graph. *)
+let build_over repr ~def_labels ~policy idx ~iter =
   let leaves = Ast.Index.leaves idx in
   (* Which binders / named groups contain a definition-name leaf? *)
   let def_elems = Hashtbl.create 8 in
@@ -112,16 +116,10 @@ let build repr ~def_labels ~policy tree =
           end)
     leaves;
   (* Path-contexts -> factors, streamed straight off the extraction
-     iterator: contexts are never materialized as a list, and leaf
-     occurrences are downsampled before pair enumeration (paper §5.5)
-     so dropped occurrences pay no extraction cost. *)
-  let rng = Random.State.make [| repr.seed |] in
+     iterator: contexts are never materialized as a list. *)
   let factors = ref [] in
   let rel_memo = Astpath.Abstraction.memo repr.abstraction in
-  Astpath.Extract.iter_all
-    ~downsample:(rng, repr.downsample_p)
-    idx repr.config
-    (fun (c : Astpath.Context.t) ->
+  iter (fun (c : Astpath.Context.t) ->
       if keep_context repr c then
         let rel () = Astpath.Abstraction.apply_memo rel_memo c in
         let unknown i = Hashtbl.mem unknown_ids i in
@@ -145,6 +143,28 @@ let build repr ~def_labels ~policy tree =
               factors := Crf.Graph.unary ~n:a ~rel:(rel ()) :: !factors
         | _ -> ());
   Crf.Graph.make ~nodes:(List.rev !nodes_rev) ~factors:(List.rev !factors)
+
+let build repr ~def_labels ~policy tree =
+  let idx = Ast.Index.build tree in
+  build_over repr ~def_labels ~policy idx ~iter:(fun f ->
+      (* Leaf occurrences are downsampled before pair enumeration
+         (paper §5.5) so dropped occurrences pay no extraction cost. *)
+      let rng = Random.State.make [| repr.seed |] in
+      Astpath.Extract.iter_all
+        ~downsample:(rng, repr.downsample_p)
+        idx repr.config f)
+
+let build_cached repr ~def_labels ~policy ~cache tree =
+  (* The cache contract covers the full (undownsampled) stream only;
+     a downsampling repr falls back to from-scratch extraction. The
+     serve path uses [default_repr] (p = 1.0), which at p = 1.0 draws
+     nothing and emits the full stream — so the cached and plain
+     builds construct the identical graph. *)
+  if repr.downsample_p < 1.0 then build repr ~def_labels ~policy tree
+  else
+    let idx = Astpath.Cache.index cache tree in
+    build_over repr ~def_labels ~policy idx ~iter:(fun f ->
+        Astpath.Extract.iter_all_cached ~cache idx repr.config f)
 
 let full_type_graph repr tree =
   let idx = Ast.Index.build tree in

@@ -32,6 +32,22 @@ type policy =
 
 val build : repr -> def_labels:string list -> policy:policy -> Ast.Tree.t -> Crf.Graph.t
 
+val build_cached :
+  repr ->
+  def_labels:string list ->
+  policy:policy ->
+  cache:Astpath.Cache.t ->
+  Ast.Tree.t ->
+  Crf.Graph.t
+(** [build] through a session's incremental extraction cache: the
+    index is built over the cache's shared label table and contexts
+    stream through {!Astpath.Extract.iter_all_cached}, so unchanged
+    subtrees of a previously extracted buffer replay instead of
+    re-extracting. The resulting graph is identical to {!build}'s when
+    [repr.downsample_p = 1.0] (the cached stream is byte-identical to
+    the from-scratch one); a downsampling repr falls back to {!build}
+    — the cache contract covers the full stream only. *)
+
 val full_type_graph : repr -> Ast.Tree.t -> Crf.Graph.t
 (** Full-type task over a typed tree (tags ["type:..."]): each tagged
     expression nonterminal is an unknown node whose factors are its

@@ -107,12 +107,10 @@ let gen_driver rng funcs =
   in
   { Ir.f_name = "run_all"; f_params = []; f_ret = None; f_body = body }
 
-let generate config =
-  let rng = Random.State.make [| config.seed |] in
+let gen_func rng config ~used_names =
   let range lo hi = lo + Random.State.int rng (max 1 (hi - lo + 1)) in
-  let gen_func ~used_names =
-    let st = make_alloc rng in
-    let n_templates = range config.min_templates config.max_templates in
+  let st = make_alloc rng in
+  let n_templates = range config.min_templates config.max_templates in
     let primary = Templates.pick rng in
     let rest = List.init (n_templates - 1) (fun _ -> Templates.pick rng) in
     let instances =
@@ -192,12 +190,17 @@ let generate config =
       f_ret = Option.map fst ret_info;
       f_body = body;
     }
-  in
+
+let generate config =
+  let rng = Random.State.make [| config.seed |] in
+  let range lo hi = lo + Random.State.int rng (max 1 (hi - lo + 1)) in
   let files =
     List.init config.n_files (fun id ->
         let n_funcs = range config.min_funcs config.max_funcs in
         let used_names = Hashtbl.create 8 in
-        let funcs = List.init n_funcs (fun _ -> gen_func ~used_names) in
+        let funcs =
+          List.init n_funcs (fun _ -> gen_func rng config ~used_names)
+        in
         let funcs =
           if Random.State.float rng 1.0 < config.driver_prob then
             funcs @ [ gen_driver rng funcs ]
@@ -218,6 +221,49 @@ let generate config =
         files_arr.(Random.State.int rng (Array.length files_arr)))
   in
   files @ dups
+
+(* Editor-session traces: one buffer, function-level edits. Each step
+   replaces, inserts, or deletes one function and re-renders the whole
+   buffer; untouched functions render byte-identically, so their
+   subtrees are exactly what the incremental extraction cache shares
+   across steps. *)
+let edit_trace ?(steps = 20) config lang =
+  let rng = Random.State.make [| config.seed; 0x9E3779B1 |] in
+  let range lo hi = lo + Random.State.int rng (max 1 (hi - lo + 1)) in
+  let used_names = Hashtbl.create 16 in
+  let funcs =
+    ref
+      (Array.init (range config.min_funcs config.max_funcs) (fun _ ->
+           gen_func rng config ~used_names))
+  in
+  let render () =
+    Render.render lang
+      { Ir.file_name = "session_buffer"; funcs = Array.to_list !funcs }
+  in
+  let snapshots = ref [ render () ] in
+  for _ = 1 to steps do
+    let n = Array.length !funcs in
+    let op = if n <= 1 then 1 else Random.State.int rng 3 in
+    (match op with
+    | 0 ->
+        (* replace one function *)
+        !funcs.(Random.State.int rng n) <- gen_func rng config ~used_names
+    | 1 ->
+        (* insert a new function *)
+        let k = Random.State.int rng (n + 1) in
+        let f = gen_func rng config ~used_names in
+        funcs :=
+          Array.concat
+            [ Array.sub !funcs 0 k; [| f |]; Array.sub !funcs k (n - k) ]
+    | _ ->
+        (* delete one function *)
+        let k = Random.State.int rng n in
+        funcs :=
+          Array.concat
+            [ Array.sub !funcs 0 k; Array.sub !funcs (k + 1) (n - k - 1) ]);
+    snapshots := render () :: !snapshots
+  done;
+  List.rev !snapshots
 
 let generate_sources config lang =
   let seen = Hashtbl.create 64 in

@@ -25,3 +25,12 @@ val generate : config -> Ir.file list
 
 val generate_sources : config -> Render.lang -> (string * string) list
 (** [(filename, source)] pairs for one language. *)
+
+val edit_trace : ?steps:int -> config -> Render.lang -> string list
+(** An editor-session trace: the rendered buffer before any edit, then
+    after each of [steps] (default 20) function-level edits (replace,
+    insert, or delete one function; the initial function count is
+    drawn from [min_funcs]/[max_funcs]). Deterministic in
+    [config.seed]. Unedited functions render byte-identically across
+    consecutive snapshots — the subtree sharing the incremental
+    extraction cache exploits. *)

@@ -226,3 +226,41 @@ module Hashcons = struct
       f i t.rev.(i)
     done
 end
+
+(* Int-array keys over [Hashcons]: the structural-identity table. A
+   subtree's key is its label/value symbols plus its children's ids,
+   so interning bottom-up gives every structurally identical subtree
+   the same dense id — across trees, as long as they share the table.
+   [intern_sub] probes against a caller-owned scratch buffer and only
+   copies the key when it is new. *)
+module Keytab = struct
+  type t = int array Hashcons.t
+
+  let create ?hint () : t = Hashcons.create ?hint ()
+  let size = Hashcons.size
+
+  let hash_sub buf ~len =
+    let h = ref 17 in
+    for i = 0 to len - 1 do
+      h := ((!h * 0x9E3779B1) + Array.unsafe_get buf i + 1) land mask62
+    done;
+    !h
+
+  let intern_sub (t : t) buf ~len =
+    let equal id =
+      let key = t.rev.(id) in
+      Array.length key = len
+      && begin
+           let ok = ref true in
+           for i = 0 to len - 1 do
+             if Array.unsafe_get key i <> Array.unsafe_get buf i then ok := false
+           done;
+           !ok
+         end
+    in
+    Hashcons.probe t ~hash:(hash_sub buf ~len) ~equal ~build:(fun () ->
+        Array.sub buf 0 len)
+
+  let intern t key = intern_sub t key ~len:(Array.length key)
+  let get (t : t) id = Hashcons.get t id
+end

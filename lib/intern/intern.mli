@@ -76,3 +76,28 @@ module Hashcons : sig
   val iter : (int -> 'a -> unit) -> 'a t -> unit
   (** In id order. *)
 end
+
+(** Structural hash-consing of [int array] keys (built on {!Hashcons}).
+
+    The subtree-identity pass ({!Ast.Ident}) interns one key per AST
+    node — label/value symbols plus the children's already-assigned
+    ids — bottom-up, so two structurally identical subtrees receive
+    the same dense id even across trees, as long as they share the
+    table. That shared-id property is what the incremental extraction
+    cache keys on. *)
+module Keytab : sig
+  type t
+
+  val create : ?hint:int -> unit -> t
+  val size : t -> int
+
+  val intern : t -> int array -> int
+  (** Dense id of the key, allocating the next id on first sight. *)
+
+  val intern_sub : t -> int array -> len:int -> int
+  (** {!intern} over [buf.(0 .. len-1)]; the buffer is only copied when
+      the key is new, so callers can reuse one scratch array. *)
+
+  val get : t -> int -> int array
+  (** The stored key for an id — treat as read-only. *)
+end

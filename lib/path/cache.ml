@@ -1,0 +1,526 @@
+(* Incremental extraction: a session-persistent path-context cache.
+
+   The session owns three intern tables — shared labels (so label ids,
+   and with them path hash-cons keys, are stable across builds), the
+   identity symbol/key tables behind [Ast.Ident.assign] — plus one
+   [Context.Tab.t] rebound to each new index. An edited file re-parsed
+   and re-indexed against these tables gives every subtree the edit
+   did not touch the same identity id it had before, and that id is
+   what cache entries are keyed on.
+
+   Cache unit = a topmost subtree with at most [unit_size] nodes (the
+   preorder scan marks a node a unit root when its subtree fits, else
+   descends; leaves always fit, so every leaf lands in exactly one
+   unit, and preorder makes each unit's leaves a contiguous leaf-rank
+   range). Per unit the entry stores, for every local end leaf, the
+   packed (start offset, start value id, path id) triples of the
+   *internal* pairs — both ends in the unit — that pass the filters,
+   in emission order; and for every local leaf the packed (node
+   offset, end value id, path id) triples of its semi-path steps that
+   stay inside the unit. Filter outcomes for internal pairs are
+   structural (the LCA of two in-unit leaves is in the unit; length
+   and width are relative quantities), so a structurally identical
+   subtree elsewhere — or in a later build — replays the same set.
+
+   Replay preserves the from-scratch emission order exactly. Pairs:
+   for each end leaf, [Extract.iter_within] scans starts ascending
+   from the feasibility-window edge; starts left of the unit (the
+   crossing part) run live, then the internal suffix replays in
+   ascending stored order. The stored set equals the live internal
+   set because the window edge only ever skips length-filter failures.
+   Semi-paths: steps walk bottom-up, so the in-unit prefix replays,
+   then the live continuation resumes above the unit root. Replayed
+   ids are valid in the current build because values and paths intern
+   through session tables ([Context.Tab.rebind]): identical strings
+   and identical label-id sequences re-intern to their existing ids.
+
+   The cached stream is therefore byte-identical — same contexts,
+   same order, same rendered strings — to a from-scratch
+   [Extract.iter_all] with no downsampling. A fingerprint of the
+   config flushes the cache when limits change, and an LRU byte
+   budget bounds the whole thing. *)
+
+(* Growable flat int buffer for triple rows. *)
+type buf = { mutable a : int array; mutable len : int }
+
+let buf_make () = { a = [||]; len = 0 }
+
+let buf_push3 b x y z =
+  if b.len + 3 > Array.length b.a then begin
+    let a = Array.make (max 12 (2 * Array.length b.a)) 0 in
+    Array.blit b.a 0 a 0 b.len;
+    b.a <- a
+  end;
+  b.a.(b.len) <- x;
+  b.a.(b.len + 1) <- y;
+  b.a.(b.len + 2) <- z;
+  b.len <- b.len + 3
+
+let buf_contents b = Array.sub b.a 0 b.len
+
+type entry = {
+  e_pairs : int array array;
+      (* per local end-leaf rank: internal (start_off, start_vid,
+         path_id) triples, ascending start — for a unit entry the
+         start offset is a leaf rank within the same unit; for a
+         sibling-pair entry it is a leaf rank within the start unit *)
+  e_semi : int array array;
+      (* per local leaf rank: in-unit (node_off, end_vid, path_id)
+         semi-path triples, ascending steps; [||] rows for pair
+         entries *)
+  e_bytes : int;
+  e_paths : int;  (* triples stored *)
+  mutable e_used : int;  (* LRU tick *)
+}
+
+type recorder = { r_ident : int; r_pairs : buf array; r_semi : buf array }
+type state = Hit of entry | Record of recorder
+
+(* Cross-unit pairs between two units whose roots are siblings: the
+   LCA of any such pair is the shared parent [P], and the width is the
+   child-rank gap of the two roots — one number for the whole unit
+   pair. Entry content (which pairs pass, their paths, their values)
+   therefore depends only on the two subtree identities and [P]'s
+   label, not on where under [P] the units sit: rank shifts from
+   inserting or deleting an unrelated sibling never invalidate it.
+   Pairs at a rank gap beyond [max_width] are skipped wholesale
+   (width fails for every pair), and never recorded — an entry always
+   holds the width-passing content. Non-sibling unit pairs fall back
+   to live extraction. *)
+type pair_state =
+  | PHit of entry
+  | PRecord of int * int * int * buf array  (* key + rows per end leaf *)
+  | PSkip  (* sibling, rank gap > max_width: nothing can pass *)
+  | PLive  (* roots not siblings: no constant-width shortcut *)
+
+type t = {
+  labels : Intern.Strtab.t;
+  syms : Intern.Strtab.t;
+  idents : Intern.Keytab.t;
+  mutable tab : Context.Tab.t option;
+  entries : (int, entry) Hashtbl.t;  (* ident id -> unit entry *)
+  pentries : (int * int * int, entry) Hashtbl.t;
+      (* (start ident, end ident, parent label id) -> pair entry *)
+  unit_size : int;
+  max_bytes : int;  (* 0 = unbounded *)
+  mutable bytes : int;
+  mutable stored : int;  (* triples currently cached *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable replays : int;
+  mutable evictions : int;
+  mutable cfg : (int * int * bool) option;  (* config fingerprint *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  cached_paths : int;
+  bytes : int;
+  evictions : int;
+}
+
+let create ?(unit_size = 192) ?(max_bytes = 0) () =
+  if unit_size < 1 then invalid_arg "Cache.create: unit_size must be >= 1";
+  if max_bytes < 0 then invalid_arg "Cache.create: max_bytes must be >= 0";
+  {
+    labels = Intern.Strtab.create ~hint:256 ();
+    syms = Intern.Strtab.create ~hint:256 ();
+    idents = Intern.Keytab.create ~hint:256 ();
+    tab = None;
+    entries = Hashtbl.create 64;
+    pentries = Hashtbl.create 64;
+    unit_size;
+    max_bytes;
+    bytes = 0;
+    stored = 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    replays = 0;
+    evictions = 0;
+    cfg = None;
+  }
+
+let labels (t : t) = t.labels
+let index (t : t) tree = Ast.Index.build ~labels:t.labels tree
+let bytes (t : t) = t.bytes
+let replayed (t : t) = t.replays
+
+let stats (t : t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    cached_paths = t.stored;
+    bytes = t.bytes;
+    evictions = t.evictions;
+  }
+
+let forget (t : t) e =
+  t.bytes <- t.bytes - e.e_bytes;
+  t.stored <- t.stored - e.e_paths;
+  t.evictions <- t.evictions + 1
+
+let evict_to_budget t =
+  while
+    t.max_bytes > 0 && t.bytes > t.max_bytes
+    && Hashtbl.length t.entries + Hashtbl.length t.pentries > 0
+  do
+    (* Oldest of both tables goes first; a full scan per eviction is
+       fine at cache-unit granularity. *)
+    let u_victim =
+      Hashtbl.fold
+        (fun id e acc ->
+          match acc with
+          | Some (_, best) when best.e_used <= e.e_used -> acc
+          | _ -> Some (id, e))
+        t.entries None
+    in
+    let p_victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.e_used <= e.e_used -> acc
+          | _ -> Some (key, e))
+        t.pentries None
+    in
+    match (u_victim, p_victim) with
+    | Some (id, ue), Some (_, pe) when ue.e_used <= pe.e_used ->
+        Hashtbl.remove t.entries id;
+        forget t ue
+    | _, Some (key, pe) ->
+        Hashtbl.remove t.pentries key;
+        forget t pe
+    | Some (id, ue), None ->
+        Hashtbl.remove t.entries id;
+        forget t ue
+    | None, None -> ()
+  done
+
+let flush t =
+  Hashtbl.reset t.entries;
+  Hashtbl.reset t.pentries;
+  t.bytes <- 0;
+  t.stored <- 0
+
+let extract t idx (cfg : Config.t) f =
+  (match Ast.Index.shared_labels idx with
+  | Some l when l == t.labels -> ()
+  | _ ->
+      invalid_arg
+        "Cache.extract: index was not built over this cache's label table \
+         (build it with Cache.index)");
+  (* Entries are only valid under the limits they were recorded with. *)
+  let fp = (cfg.max_length, cfg.max_width, cfg.include_semi_paths) in
+  (match t.cfg with
+  | Some fp' when fp' = fp -> ()
+  | Some _ ->
+      flush t;
+      t.cfg <- Some fp
+  | None -> t.cfg <- Some fp);
+  let tab =
+    match t.tab with
+    | Some tab ->
+        Context.Tab.rebind tab idx;
+        tab
+    | None ->
+        let tab = Context.Tab.create idx in
+        t.tab <- Some tab;
+        tab
+  in
+  t.clock <- t.clock + 1;
+  let ids = Ast.Ident.assign ~syms:t.syms ~tab:t.idents idx in
+  let n_nodes = Ast.Index.size idx in
+  let leaves = Ast.Index.leaves idx in
+  let n = Array.length leaves in
+  (* Unit partition: topmost subtrees that fit the budget. The budget
+     is capped at half the tree so a small buffer never collapses into
+     one whole-tree unit (whose root identity changes on every edit —
+     zero sharing); entry contents depend only on the subtree and the
+     config, never on the partition that chose it, so the cap is free
+     to vary with tree size. *)
+  let budget = min t.unit_size (max 1 (n_nodes / 2)) in
+  let roots_rev = ref [] and nu = ref 0 in
+  let v = ref 0 in
+  while !v < n_nodes do
+    let sz = Ast.Index.subtree_size idx !v in
+    if sz <= budget then begin
+      if Ast.Index.subtree_leaf_count idx !v > 0 then begin
+        roots_rev := !v :: !roots_rev;
+        incr nu
+      end;
+      v := !v + sz
+    end
+    else incr v
+  done;
+  let nu = !nu in
+  let u_root = Array.make (max 1 nu) 0 in
+  List.iteri (fun i r -> u_root.(nu - 1 - i) <- r) !roots_rev;
+  let u_first = Array.init nu (fun i -> Ast.Index.subtree_first_leaf idx u_root.(i)) in
+  let u_leaves =
+    Array.init nu (fun i -> Ast.Index.subtree_leaf_count idx u_root.(i))
+  in
+  let unit_of_leaf = Array.make (max 1 n) 0 in
+  for i = 0 to nu - 1 do
+    for r = u_first.(i) to u_first.(i) + u_leaves.(i) - 1 do
+      unit_of_leaf.(r) <- i
+    done
+  done;
+  let state =
+    Array.init nu (fun i ->
+        let ident = ids.(u_root.(i)) in
+        match Hashtbl.find_opt t.entries ident with
+        | Some e ->
+            e.e_used <- t.clock;
+            t.hits <- t.hits + 1;
+            Hit e
+        | None ->
+            (* Two same-ident units in one build both record; finalize
+               keeps the first. *)
+            t.misses <- t.misses + 1;
+            Record
+              {
+                r_ident = ident;
+                r_pairs = Array.init u_leaves.(i) (fun _ -> buf_make ());
+                r_semi = Array.init u_leaves.(i) (fun _ -> buf_make ());
+              })
+  in
+  let depth = Ast.Index.depth_array idx in
+  let max_length = cfg.max_length and max_width = cfg.max_width in
+  (* Sibling-pair states, resolved lazily per (start unit, end unit)
+     the first time an end leaf's window reaches into the start unit. *)
+  let u_parent = Array.init nu (fun i -> Ast.Index.parent idx u_root.(i)) in
+  let u_rank = Array.init nu (fun i -> Ast.Index.child_rank idx u_root.(i)) in
+  let u_ident = Array.init nu (fun i -> ids.(u_root.(i))) in
+  let label_ids = Ast.Index.label_id_array idx in
+  let pstate_tbl = Hashtbl.create 64 in
+  (* Flat int key: tuple keys would allocate on every probe of the
+     per-end-leaf segment walk. *)
+  let pair_state a_u b_u =
+    match Hashtbl.find_opt pstate_tbl ((a_u * nu) + b_u) with
+    | Some s -> s
+    | None ->
+        let s =
+          let pa = u_parent.(a_u) and pb = u_parent.(b_u) in
+          if pa < 0 || pa <> pb then PLive
+          else if u_rank.(b_u) - u_rank.(a_u) > max_width then PSkip
+          else begin
+            let key = (u_ident.(a_u), u_ident.(b_u), label_ids.(pb)) in
+            match Hashtbl.find_opt t.pentries key with
+            | Some e ->
+                e.e_used <- t.clock;
+                t.hits <- t.hits + 1;
+                PHit e
+            | None ->
+                t.misses <- t.misses + 1;
+                let ia, ib, pl = key in
+                PRecord
+                  (ia, ib, pl, Array.init u_leaves.(b_u) (fun _ -> buf_make ()))
+          end
+        in
+        Hashtbl.add pstate_tbl ((a_u * nu) + b_u) s;
+        s
+  in
+  (* Pairs phase: mirror of [Extract.iter_within]'s window loop, with
+     the internal suffix of each end leaf's window replayed on a unit
+     hit and the crossing prefix replayed unit-by-unit on pair hits. *)
+  for j = 1 to n - 1 do
+    let b = Array.unsafe_get leaves j in
+    let db = Array.unsafe_get depth b in
+    let feasible i =
+      db
+      - Array.unsafe_get depth (Ast.Index.lca idx (Array.unsafe_get leaves i) b)
+      + 1
+      <= max_length
+    in
+    if feasible (j - 1) then begin
+      let lo = ref 0 and hi = ref (j - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if feasible mid then hi := mid else lo := mid + 1
+      done;
+      let ju = unit_of_leaf.(j) in
+      let boundary = u_first.(ju) in
+      (* [base] anchors the recorded start offset: the end unit's first
+         leaf for internal rows, the start unit's for pair rows. *)
+      let live record base i =
+        let a = Array.unsafe_get leaves i in
+        let l = Ast.Index.lca idx a b in
+        let len =
+          Array.unsafe_get depth a + db - (2 * Array.unsafe_get depth l)
+        in
+        if
+          len >= 1 && len <= max_length
+          && Ast.Index.width_between idx ~lca:l a b <= max_width
+        then begin
+          let c = Context.make_with_lca ~tab ~lca:l ~start_node:a ~end_node:b in
+          (match record with
+          | Some buf ->
+              buf_push3 buf (i - base) c.Context.start_vid c.Context.path_id
+          | None -> ());
+          f c
+        end
+      in
+      let replay_row row ~first_leaf =
+        let m = Array.length row / 3 in
+        if m > 0 then begin
+          let b_vid = Context.Tab.vid tab b in
+          for k = 0 to m - 1 do
+            f
+              {
+                Context.start_node =
+                  Array.unsafe_get leaves (first_leaf + row.(3 * k));
+                end_node = b;
+                start_vid = row.((3 * k) + 1);
+                end_vid = b_vid;
+                path_id = row.((3 * k) + 2);
+                tab;
+              }
+          done;
+          t.replays <- t.replays + m
+        end
+      in
+      (* Crossing part: starts left of this unit, one segment per start
+         unit. A replayed pair row is complete even when the window
+         edge falls inside the start unit: starts left of the edge fail
+         the length filter (feasibility is monotone), so they were
+         never recorded. *)
+      let i = ref !lo in
+      while !i < boundary do
+        let u = unit_of_leaf.(!i) in
+        let u_last = u_first.(u) + u_leaves.(u) - 1 in
+        (match pair_state u ju with
+        | PSkip -> ()
+        | PLive ->
+            for k = !i to u_last do
+              live None 0 k
+            done
+        | PHit e -> replay_row e.e_pairs.(j - boundary) ~first_leaf:u_first.(u)
+        | PRecord (_, _, _, rows) ->
+            let record = Some rows.(j - boundary) in
+            for k = !i to u_last do
+              live record u_first.(u) k
+            done);
+        i := u_last + 1
+      done;
+      (* Internal part: replay or record. *)
+      (match state.(ju) with
+      | Hit e -> replay_row e.e_pairs.(j - boundary) ~first_leaf:boundary
+      | Record rc ->
+          let record = Some rc.r_pairs.(j - boundary) in
+          for i = max !lo boundary to j - 1 do
+            live record boundary i
+          done)
+    end
+  done;
+  (* Semi-path phase: in-unit prefix replays, continuation above the
+     unit root runs live. No downsampling in cached mode. *)
+  if cfg.include_semi_paths then begin
+    let parent = Ast.Index.parent_array idx in
+    for r = 0 to n - 1 do
+      let leaf = Array.unsafe_get leaves r in
+      let u = unit_of_leaf.(r) in
+      let root = u_root.(u) in
+      let dl_rel = depth.(leaf) - depth.(root) in
+      match state.(u) with
+      | Hit e ->
+          let row = e.e_semi.(r - u_first.(u)) in
+          let m = Array.length row / 3 in
+          if m > 0 then begin
+            let s_vid = Context.Tab.vid tab leaf in
+            for k = 0 to m - 1 do
+              f
+                {
+                  Context.start_node = leaf;
+                  end_node = root + row.(3 * k);
+                  start_vid = s_vid;
+                  end_vid = row.((3 * k) + 1);
+                  path_id = row.((3 * k) + 2);
+                  tab;
+                }
+            done;
+            t.replays <- t.replays + m
+          end;
+          if dl_rel < max_length then begin
+            let node = ref parent.(root) and steps = ref (dl_rel + 1) in
+            while !steps <= max_length && !node <> -1 do
+              f
+                (Context.make_with_lca ~tab ~lca:!node ~start_node:leaf
+                   ~end_node:!node);
+              node := parent.(!node);
+              incr steps
+            done
+          end
+      | Record rc ->
+          let buf = rc.r_semi.(r - u_first.(u)) in
+          let node = ref parent.(leaf) and steps = ref 1 in
+          while !steps <= max_length && !node <> -1 do
+            let c =
+              Context.make_with_lca ~tab ~lca:!node ~start_node:leaf
+                ~end_node:!node
+            in
+            if !steps <= dl_rel then
+              buf_push3 buf (!node - root) c.Context.end_vid c.Context.path_id;
+            f c;
+            node := parent.(!node);
+            incr steps
+          done
+    done
+  end;
+  (* Finalize: freeze this build's recordings (first recording wins
+     when one build saw the same identity twice), then enforce the
+     byte budget — entries just recorded are the freshest, so LRU
+     eviction under a tiny budget sheds older units first. *)
+  let triples rows =
+    Array.fold_left (fun acc r -> acc + (Array.length r / 3)) 0 rows
+  in
+  let words rows =
+    Array.fold_left (fun acc r -> acc + Array.length r + 3) 0 rows
+  in
+  let add e =
+    t.bytes <- t.bytes + e.e_bytes;
+    t.stored <- t.stored + e.e_paths
+  in
+  Array.iter
+    (function
+      | Hit _ -> ()
+      | Record rc ->
+          if not (Hashtbl.mem t.entries rc.r_ident) then begin
+            let pairs = Array.map buf_contents rc.r_pairs in
+            let semi = Array.map buf_contents rc.r_semi in
+            let e =
+              {
+                e_pairs = pairs;
+                e_semi = semi;
+                e_bytes = 8 * (words pairs + words semi + 8);
+                e_paths = triples pairs + triples semi;
+                e_used = t.clock;
+              }
+            in
+            Hashtbl.replace t.entries rc.r_ident e;
+            add e
+          end)
+    state;
+  Hashtbl.iter
+    (fun _ s ->
+      match s with
+      | PRecord (ia, ib, pl, rows) ->
+          let key = (ia, ib, pl) in
+          if not (Hashtbl.mem t.pentries key) then begin
+            let pairs = Array.map buf_contents rows in
+            let e =
+              {
+                e_pairs = pairs;
+                e_semi = [||];
+                e_bytes = 8 * (words pairs + 8);
+                e_paths = triples pairs;
+                e_used = t.clock;
+              }
+            in
+            Hashtbl.replace t.pentries key e;
+            add e
+          end
+      | PHit _ | PSkip | PLive -> ())
+    pstate_tbl;
+  evict_to_budget t

@@ -1,0 +1,61 @@
+(** Incremental extraction: a session-persistent path-context cache
+    for editor-style edit streams.
+
+    A cache owns the intern tables of one editing session: a shared
+    label table every index of the session is built over, the symbol
+    and key tables of the {!Ast.Ident} structural-identity pass, and
+    one {!Context.Tab} rebound to each new index (so values and paths
+    keep their ids across builds). Extraction is memoized per {e cache
+    unit} — a topmost subtree with at most [unit_size] nodes — keyed
+    by the unit root's structural identity id: re-extracting an edited
+    file replays the memoized path-context sets of every unit the edit
+    did not touch and only runs live for changed units and for pairs
+    crossing unit boundaries.
+
+    Contract: for a given config, {!extract} emits a stream
+    byte-identical — same contexts, same order, same interned ids,
+    same rendered strings — to a from-scratch
+    [Extract.iter_all ~tab idx cfg] with no downsampling. Entries are
+    invalidated when the config limits change (fingerprint flush) and
+    evicted LRU when [max_bytes] is exceeded. *)
+
+type t
+
+type stats = {
+  hits : int;  (** Units replayed from cache, summed over extracts. *)
+  misses : int;  (** Units extracted live and recorded. *)
+  cached_paths : int;  (** Path-context triples currently stored. *)
+  bytes : int;  (** Estimated heap bytes of stored entries. *)
+  evictions : int;  (** Entries dropped to respect [max_bytes]. *)
+}
+
+val create : ?unit_size:int -> ?max_bytes:int -> unit -> t
+(** [unit_size] (default 192) is the max node count of a cache unit —
+    smaller units survive more edits but widen the live crossing
+    fringe. The effective budget per extract is additionally capped at
+    half the tree's node count, so a small buffer never degenerates
+    into a single whole-tree unit that every edit invalidates.
+    [max_bytes] (default 0 = unbounded) bounds stored entries,
+    evicting least-recently-used units past it. Raises
+    [Invalid_argument] on [unit_size < 1] or negative [max_bytes]. *)
+
+val labels : t -> Intern.Strtab.t
+(** The session's shared label table; every index passed to {!extract}
+    must be built over it. *)
+
+val index : t -> Ast.Tree.t -> Ast.Index.t
+(** [index t tree] is [Ast.Index.build ~labels:(labels t) tree] — the
+    only correct way to build indexes for {!extract}. *)
+
+val extract : t -> Ast.Index.t -> Config.t -> (Context.t -> unit) -> unit
+(** Emit the full path-context stream of [idx] (pairs, then semi-paths
+    when the config asks for them) in from-scratch order, replaying
+    cached units and recording missed ones. Raises [Invalid_argument]
+    if [idx] was not built through {!index}/{!labels}. Not
+    thread-safe: one cache belongs to one session. *)
+
+val stats : t -> stats
+val bytes : t -> int
+
+val replayed : t -> int
+(** Total contexts replayed from cache across all extracts. *)

@@ -10,9 +10,9 @@
 
 module Tab = struct
   type t = {
-    idx : Ast.Index.t;
+    mutable idx : Ast.Index.t;
     values : Intern.Strtab.t;
-    vids : int array;  (* node -> value id; -1 = not yet interned *)
+    mutable vids : int array;  (* node -> value id; -1 = not yet interned *)
     paths : Path.t Intern.Hashcons.t;
     mutable keys : int array array;
         (* per path id: [|n_up; label ids in path order|] — the
@@ -27,6 +27,23 @@ module Tab = struct
       paths = Intern.Hashcons.create ~hint:64 ();
       keys = Array.make 64 [||];
     }
+
+  (* Point the table at a new index, keeping every interned value and
+     consed path. Sound only when the new index interned its labels
+     through the same shared [Intern.Strtab] as every index this table
+     was ever bound to: the stored path keys are label ids, and probing
+     compares them against the current index's [label_id_array]. The
+     incremental extraction session owns exactly that invariant. *)
+  let rebind t idx =
+    (match (Ast.Index.shared_labels t.idx, Ast.Index.shared_labels idx) with
+    | Some a, Some b when a == b -> ()
+    | _ ->
+        invalid_arg
+          "Context.Tab.rebind: old and new index must share one label table");
+    t.idx <- idx;
+    let n = max 1 (Ast.Index.size idx) in
+    if Array.length t.vids < n then t.vids <- Array.make n (-1)
+    else Array.fill t.vids 0 (Array.length t.vids) (-1)
 
   let index t = t.idx
   let num_paths t = Intern.Hashcons.size t.paths

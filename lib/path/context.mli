@@ -19,6 +19,16 @@ module Tab : sig
   val create : Ast.Index.t -> t
   val index : t -> Ast.Index.t
 
+  val rebind : t -> Ast.Index.t -> unit
+  (** Point the table at a new index, keeping every interned value and
+      hash-consed path (and their ids). Requires both the current and
+      the new index to be built over the same shared label table
+      ([Ast.Index.build ~labels]) — stored path keys are label ids and
+      are only meaningful under one id space; raises
+      [Invalid_argument] otherwise. This is what lets the incremental
+      extraction session reuse one table across edits, so replayed
+      cache entries carry ids valid for the current build. *)
+
   val num_paths : t -> int
   (** Ids handed out so far are [0 .. num_paths - 1]; path ids are
       dense, so per-path memo tables can be plain arrays. *)
@@ -26,6 +36,13 @@ module Tab : sig
   val num_values : t -> int
   val value_string : t -> int -> string
   val path : t -> int -> Path.t
+
+  val vid : t -> int -> int
+  (** Interned value id of a node (its value, or its label for a
+      nonterminal), interning on first sight — the id {!make_with_lca}
+      would put in a context with that node as an end. The incremental
+      cache replay uses this to stamp the live end of a replayed
+      context. *)
 end
 
 type t = {

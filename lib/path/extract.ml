@@ -63,18 +63,24 @@ let iter ?downsample ?tab idx cfg f =
 
 let iter_semi_paths ?downsample ?tab idx (cfg : Config.t) f =
   let tab = tab_for ?tab idx in
-  let emit =
+  (* The downsampling decision runs BEFORE the context is built: a
+     dropped semi-path costs one rng draw and nothing else — no LCA
+     walk, no value interning, no path consing. One draw per candidate
+     in enumeration order, so the kept set for a given seed is
+     identical to the old construct-then-decide implementation. *)
+  let keep =
     match downsample with
-    | None -> f
-    | Some (rng, p) -> fun c -> if Downsample.decide rng ~p then f c
+    | None -> fun () -> true
+    | Some (rng, p) -> fun () -> Downsample.decide rng ~p
   in
   Array.iter
     (fun leaf ->
       let rec go node steps =
         if steps <= cfg.max_length && node <> -1 then begin
-          emit
-            (Context.make_with_lca ~tab ~lca:node ~start_node:leaf
-               ~end_node:node);
+          if keep () then
+            f
+              (Context.make_with_lca ~tab ~lca:node ~start_node:leaf
+                 ~end_node:node);
           go (Ast.Index.parent idx node) (steps + 1)
         end
       in
@@ -85,6 +91,8 @@ let iter_all ?downsample ?tab idx (cfg : Config.t) f =
   let tab = tab_for ?tab idx in
   iter ?downsample ~tab idx cfg f;
   if cfg.include_semi_paths then iter_semi_paths ?downsample ~tab idx cfg f
+
+let iter_all_cached ~cache idx cfg f = Cache.extract cache idx cfg f
 
 let collect run =
   let acc = ref [] in

@@ -38,9 +38,13 @@ val iter_semi_paths :
   (Context.t -> unit) ->
   unit
 (** Semi-paths, streamed: from each terminal up to each of its strict
-    ancestors, up to [max_length] edges. [downsample] post-filters each
-    emitted context with probability [p] (occurrence downsampling does
-    not apply: a semi-path has only one leaf end). *)
+    ancestors, up to [max_length] edges. [downsample] filters each
+    candidate with probability [p] {e before} the context is built
+    (occurrence downsampling does not apply: a semi-path has only one
+    leaf end), so dropped semi-paths cost one rng draw and no
+    construction or interning. The rng is drawn once per candidate in
+    enumeration order, so the kept set for a given seed is exactly the
+    one the historical construct-then-decide implementation kept. *)
 
 val iter_all :
   ?downsample:Random.State.t * float ->
@@ -51,6 +55,13 @@ val iter_all :
   unit
 (** {!iter}, then {!iter_semi_paths} when the config enables them —
     both over the same [tab]. *)
+
+val iter_all_cached :
+  cache:Cache.t -> Ast.Index.t -> Config.t -> (Context.t -> unit) -> unit
+(** Cached mode of {!iter_all}: the same stream, byte-identical and in
+    the same order, but replayed from [cache] for every subtree the
+    cache has seen before (see {!Cache}). No downsampling — the cached
+    stream is the full one. [idx] must be built via {!Cache.index}. *)
 
 val leaf_pairs : Ast.Index.t -> Config.t -> Context.t list
 (** {!iter}'s output as a list. *)

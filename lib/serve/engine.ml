@@ -52,19 +52,42 @@ type snapshot = {
   entries : entry list;  (** load order; registries are small *)
 }
 
+(* An edit session: one editor buffer, scoped to one connection. The
+   session owns an incremental extraction cache (label/symbol/path
+   intern tables plus memoized per-subtree path-context sets); each
+   edit re-parses the full new buffer but replays extraction for every
+   subtree the edit did not touch. Sessions are touched only from the
+   single batcher thread (opens, edits, closes all queue), so the
+   mutex below guards the *table* against concurrent stats reads and
+   disconnect cleanup, not the caches themselves. *)
+type session = {
+  s_name : string;
+  s_conn : int;
+  s_lang : Pigeon.Lang.t;
+  s_model : string option;  (** registry entry predictions run against *)
+  s_cache : Astpath.Cache.t;
+  mutable s_edits : int;  (** successful edits since open *)
+  mutable s_last_used : float;  (** epoch seconds of the last open/edit *)
+}
+
 type t = {
   snap : snapshot Atomic.t;
   limits : Lexkit.limits;  (** per-request resource budgets *)
   reload_m : Mutex.t;  (** serializes registry writers, not readers *)
   mmap : bool;  (** load through [load_mapped] (with its fallbacks)? *)
   max_mapped_bytes : int;  (** eviction budget; 0 = unbounded *)
+  sessions : (int * string, session) Hashtbl.t;  (** (conn, name) *)
+  sessions_m : Mutex.t;
+  max_session_bytes : int;  (** session-cache budget; 0 = unbounded *)
+  mutable sessions_evicted : int;  (** whole sessions dropped to it *)
 }
 
 let default_name = "default"
 let find name entries = List.find_opt (fun e -> e.e_name = name) entries
 
 let create ?w2v ?w2v_view ?storage ?limits ?model_path ?w2v_path ?(mmap = true)
-    ?(max_mapped_bytes = 0) ?(name = default_name) ~model () =
+    ?(max_mapped_bytes = 0) ?(max_session_bytes = 0) ?(name = default_name)
+    ~model () =
   let w2v =
     match (w2v_view, w2v) with
     | Some v, _ -> Some v
@@ -93,6 +116,10 @@ let create ?w2v ?w2v_view ?storage ?limits ?model_path ?w2v_path ?(mmap = true)
     reload_m = Mutex.create ();
     mmap;
     max_mapped_bytes;
+    sessions = Hashtbl.create 16;
+    sessions_m = Mutex.create ();
+    max_session_bytes;
+    sessions_evicted = 0;
   }
 
 let limits t = t.limits
@@ -397,6 +424,125 @@ let pairs_of_prediction g pred =
   let gold = Crf.Graph.gold_assignment g in
   List.map (fun n -> (gold.(n), pred.(n))) (Crf.Graph.unknown_ids g)
 
+(* ---------- edit sessions ---------- *)
+
+let with_sessions t f =
+  Mutex.lock t.sessions_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.sessions_m) f
+
+(* Whole-session LRU eviction to the byte budget. Evicting a whole
+   session (rather than trimming its cache) keeps the budget simple
+   and honest: a session's intern tables are part of its footprint and
+   cannot be trimmed entry-wise. Never evicts [keep] — the session
+   that just extracted — so one oversized buffer degrades to
+   from-scratch speed instead of thrashing. *)
+let evict_sessions t ~keep =
+  if t.max_session_bytes > 0 then
+    with_sessions t (fun () ->
+        let total () =
+          Hashtbl.fold
+            (fun _ s acc -> acc + Astpath.Cache.bytes s.s_cache)
+            t.sessions 0
+        in
+        let rec go () =
+          if total () > t.max_session_bytes then begin
+            let victim =
+              Hashtbl.fold
+                (fun key s acc ->
+                  if key = keep then acc
+                  else
+                    match acc with
+                    | Some (_, best) when best.s_last_used <= s.s_last_used ->
+                        acc
+                    | _ -> Some (key, s))
+                t.sessions None
+            in
+            match victim with
+            | None -> ()
+            | Some (key, _) ->
+                Hashtbl.remove t.sessions key;
+                t.sessions_evicted <- t.sessions_evicted + 1;
+                go ()
+          end
+        in
+        go ())
+
+let drop_conn t ~conn =
+  with_sessions t (fun () ->
+      let keys =
+        Hashtbl.fold
+          (fun ((c, _) as k) _ acc -> if c = conn then k :: acc else acc)
+          t.sessions []
+      in
+      List.iter (Hashtbl.remove t.sessions) keys)
+
+let cache_stat_of (c : Astpath.Cache.stats) =
+  {
+    Protocol.cache_hits = c.Astpath.Cache.hits;
+    cache_misses = c.Astpath.Cache.misses;
+    cached_paths = c.Astpath.Cache.cached_paths;
+    cache_bytes = c.Astpath.Cache.bytes;
+    cache_evictions = c.Astpath.Cache.evictions;
+  }
+
+let session_stats t =
+  with_sessions t (fun () ->
+      let now = Unix.gettimeofday () in
+      let stat s =
+        {
+          Protocol.ss_name = s.s_name;
+          ss_conn = s.s_conn;
+          ss_lang = s.s_lang.Pigeon.Lang.name;
+          ss_edits = s.s_edits;
+          ss_last_used_ms =
+            (if s.s_last_used = 0. then -1
+             else int_of_float (1000. *. (now -. s.s_last_used)));
+          ss_cache = cache_stat_of (Astpath.Cache.stats s.s_cache);
+        }
+      in
+      let sessions =
+        Hashtbl.fold (fun _ s acc -> stat s :: acc) t.sessions []
+        |> List.sort (fun a b ->
+               compare
+                 (a.Protocol.ss_conn, a.Protocol.ss_name)
+                 (b.Protocol.ss_conn, b.Protocol.ss_name))
+      in
+      let agg =
+        List.fold_left
+          (fun a ss ->
+            let c = ss.Protocol.ss_cache in
+            {
+              Protocol.cache_hits = a.Protocol.cache_hits + c.Protocol.cache_hits;
+              cache_misses = a.Protocol.cache_misses + c.Protocol.cache_misses;
+              cached_paths = a.Protocol.cached_paths + c.Protocol.cached_paths;
+              cache_bytes = a.Protocol.cache_bytes + c.Protocol.cache_bytes;
+              cache_evictions =
+                a.Protocol.cache_evictions + c.Protocol.cache_evictions;
+            })
+          {
+            Protocol.cache_hits = 0;
+            cache_misses = 0;
+            cached_paths = 0;
+            cache_bytes = 0;
+            cache_evictions = t.sessions_evicted;
+          }
+          sessions
+      in
+      (sessions, agg))
+
+(* parse → build factor graph through the session's incremental
+   cache. Same guards as [graph_of_code]; a failed parse costs the
+   request its reply and leaves the session untouched. *)
+let graph_of_session t (sess : session) code =
+  guarded t (fun () ->
+      let tree = sess.s_lang.Pigeon.Lang.parse_tree code in
+      let repr =
+        Pigeon.Graphs.default_repr ~config:sess.s_lang.Pigeon.Lang.tuned ()
+      in
+      Pigeon.Graphs.build_cached repr ~cache:sess.s_cache
+        ~def_labels:sess.s_lang.Pigeon.Lang.def_labels
+        ~policy:Pigeon.Graphs.Locals tree)
+
 let predict_one t ~lang ~code =
   let snap = Atomic.get t.snap in
   match resolve t snap None with
@@ -446,9 +592,103 @@ type slot =
       graph : Crf.Graph.t;
       model_name : string;
       model : Crf.Train.model;
+      session : string option;  (** echoed in the reply when set *)
     }
 
-let prepare t snap req =
+let unknown_lang ~id lang =
+  Protocol.render_error ~id
+    (Protocol.bad_request "unknown language %S (use %s)" lang
+       (String.concat ", "
+          (List.map (fun (l : Pigeon.Lang.t) -> l.Pigeon.Lang.name)
+             Pigeon.Lang.all)))
+
+(* Session ops run here, on the single batcher thread, in queue order
+   per connection — an open, its edits, and its close cannot race each
+   other. Re-opening a name replaces the session (a fresh cache): the
+   editor reloaded the buffer. *)
+let open_session t snap ~conn ~id ~name ~lang ~code ~model =
+  match resolve t snap model with
+  | Error e -> Done (Protocol.render_error ~id e)
+  | Ok entry -> (
+      match Pigeon.Lang.by_name lang with
+      | None -> Done (unknown_lang ~id lang)
+      | Some l -> (
+          let sess =
+            {
+              s_name = name;
+              s_conn = conn;
+              s_lang = l;
+              s_model = model;
+              s_cache = Astpath.Cache.create ();
+              s_edits = 0;
+              s_last_used = Unix.gettimeofday ();
+            }
+          in
+          match graph_of_session t sess code with
+          | Error e -> Done (Protocol.render_error ~id e)
+          | Ok graph ->
+              with_sessions t (fun () ->
+                  Hashtbl.replace t.sessions (conn, name) sess);
+              evict_sessions t ~keep:(conn, name);
+              Pending
+                {
+                  id;
+                  lang_name = l.Pigeon.Lang.name;
+                  graph;
+                  model_name = entry.e_name;
+                  model = (entry_loaded entry).crf;
+                  session = Some name;
+                }))
+
+let edit_session t snap ~conn ~id ~name ~code =
+  match with_sessions t (fun () -> Hashtbl.find_opt t.sessions (conn, name)) with
+  | None ->
+      Done
+        (Protocol.render_error ~id
+           (Protocol.no_session
+              "no open session %S on this connection (open it first; closed \
+               and evicted sessions must be re-opened)"
+              name))
+  | Some sess -> (
+      match resolve t snap sess.s_model with
+      | Error e -> Done (Protocol.render_error ~id e)
+      | Ok entry -> (
+          match graph_of_session t sess code with
+          | Error e ->
+              (* The edit failed (parse error, oversized buffer, …):
+                 its request answers and the session survives on its
+                 previous state. *)
+              Done (Protocol.render_error ~id e)
+          | Ok graph ->
+              sess.s_edits <- sess.s_edits + 1;
+              sess.s_last_used <- Unix.gettimeofday ();
+              evict_sessions t ~keep:(conn, name);
+              Pending
+                {
+                  id;
+                  lang_name = sess.s_lang.Pigeon.Lang.name;
+                  graph;
+                  model_name = entry.e_name;
+                  model = (entry_loaded entry).crf;
+                  session = Some name;
+                }))
+
+let close_session t ~conn ~id ~name =
+  match
+    with_sessions t (fun () ->
+        match Hashtbl.find_opt t.sessions (conn, name) with
+        | None -> None
+        | Some s ->
+            Hashtbl.remove t.sessions (conn, name);
+            Some s)
+  with
+  | None ->
+      Done
+        (Protocol.render_error ~id
+           (Protocol.no_session "no open session %S on this connection" name))
+  | Some s -> Done (Protocol.render_closed ~id ~session:name ~edits:s.s_edits)
+
+let prepare t snap ~conn req =
   let id = Protocol.request_id req in
   match req with
   | Protocol.Ping _ -> Done (Protocol.render_pong ~id)
@@ -473,14 +713,7 @@ let prepare t snap req =
       | Error e -> Done (Protocol.render_error ~id e)
       | Ok entry -> (
           match Pigeon.Lang.by_name lang with
-          | None ->
-              Done
-                (Protocol.render_error ~id
-                   (Protocol.bad_request "unknown language %S (use %s)" lang
-                      (String.concat ", "
-                         (List.map
-                            (fun (l : Pigeon.Lang.t) -> l.Pigeon.Lang.name)
-                            Pigeon.Lang.all))))
+          | None -> Done (unknown_lang ~id lang)
           | Some l -> (
               match graph_of_code t l code with
               | Error e -> Done (Protocol.render_error ~id e)
@@ -492,13 +725,20 @@ let prepare t snap req =
                       graph;
                       model_name = entry.e_name;
                       model = (entry_loaded entry).crf;
+                      session = None;
                     })))
+  | Protocol.Open { name; lang; code; model; _ } ->
+      open_session t snap ~conn ~id ~name ~lang ~code ~model
+  | Protocol.Edit { name; code; _ } -> edit_session t snap ~conn ~id ~name ~code
+  | Protocol.Close { name; _ } -> close_session t ~conn ~id ~name
 
-let handle_batch ?pool t reqs =
+let handle_batch_conn ?pool t reqs =
   (* One snapshot for the whole batch: a concurrent reload affects the
      next batch, never a half-processed one. *)
   let snap = Atomic.get t.snap in
-  let slots = Array.of_list (List.map (prepare t snap) reqs) in
+  let slots =
+    Array.of_list (List.map (fun (conn, req) -> prepare t snap ~conn req) reqs)
+  in
   (* Group pending graphs per model — one predict_batch round per
      model keeps the single-model case exactly as before while a mixed
      batch still fans each group over the pool. *)
@@ -540,11 +780,15 @@ let handle_batch ?pool t reqs =
        (fun i slot ->
          match slot with
          | Done line -> line
-         | Pending { id; lang_name; graph; _ } -> (
+         | Pending { id; lang_name; graph; session; _ } -> (
              match results.(i) with
-             | Some (Ok p) ->
-                 Protocol.render_predictions ~id ~lang:lang_name
-                   (pairs_of_prediction graph p)
+             | Some (Ok p) -> (
+                 let pairs = pairs_of_prediction graph p in
+                 match session with
+                 | Some s ->
+                     Protocol.render_session_predictions ~id ~lang:lang_name
+                       ~session:s pairs
+                 | None -> Protocol.render_predictions ~id ~lang:lang_name pairs)
              | Some (Error e) -> Protocol.render_error ~id e
              | None ->
                  (* Unreachable: every pending slot joined a group.
@@ -554,6 +798,9 @@ let handle_batch ?pool t reqs =
                    (Protocol.internal_error
                       "prediction result missing for request")))
        slots)
+
+let handle_batch ?pool t reqs =
+  handle_batch_conn ?pool t (List.map (fun r -> (0, r)) reqs)
 
 let handle ?pool t req =
   match handle_batch ?pool t [ req ] with

@@ -38,6 +38,7 @@ val create :
   ?w2v_path:string ->
   ?mmap:bool ->
   ?max_mapped_bytes:int ->
+  ?max_session_bytes:int ->
   ?name:string ->
   model:Crf.Train.model ->
   unit ->
@@ -52,8 +53,12 @@ val create :
     [w2v_view] wins over [w2v] when both are given. [mmap] (default
     true) makes subsequent loads go through the zero-copy
     [load_mapped] loaders; [max_mapped_bytes] (default 0 = unbounded)
-    is the eviction budget; [name] (default ["default"]) names the
-    initial entry. *)
+    is the eviction budget; [max_session_bytes] (default 0 =
+    unbounded) bounds the summed extraction-cache bytes of all edit
+    sessions, evicting whole least-recently-used sessions past it
+    (an evicted session's next edit answers ["no-session"] — the
+    client re-opens); [name] (default ["default"]) names the initial
+    entry. *)
 
 val limits : t -> Lexkit.limits
 
@@ -106,14 +111,38 @@ val similar :
     word2vec model; an error when that entry has none. Unknown words
     return the empty list. *)
 
+val handle_batch_conn :
+  ?pool:Parallel.pool -> t -> (int * Protocol.request) list -> string list
+(** One rendered reply line per [(conn, request)] pair, in request
+    order. Predict requests resolve their model (reviving evicted
+    entries), are parsed under the per-request budgets, then MAP
+    inference runs one {!Crf.Train.predict_batch} round per distinct
+    model over [pool] (per-graph fallback if a batch round raises).
+    Control ops answer inline. Session ops ([open]/[edit]/[close]) are
+    keyed by [conn]: sessions are invisible across connections, and a
+    batch processes them in list order so an open and its edits
+    sequence correctly. Never raises.
+
+    Session extraction is incremental: [open] seeds the session's
+    {!Astpath.Cache.t}, each [edit] re-parses the full buffer but
+    replays the memoized path-contexts of every unchanged subtree.
+    Because the cached stream is byte-identical to from-scratch
+    extraction, a session predict reply's prediction fields are
+    byte-identical to a one-shot predict of the same buffer. *)
+
 val handle_batch :
   ?pool:Parallel.pool -> t -> Protocol.request list -> string list
-(** One rendered reply line per request, in request order. Predict
-    requests resolve their model (reviving evicted entries), are
-    parsed under the per-request budgets, then MAP inference runs one
-    {!Crf.Train.predict_batch} round per distinct model over [pool]
-    (per-graph fallback if a batch round raises). Control ops answer
-    inline. Never raises. *)
+(** {!handle_batch_conn} with every request on connection [0] — the
+    one-shot CLI path and the tests. *)
+
+val drop_conn : t -> conn:int -> unit
+(** Drop every session owned by [conn] (its reader disconnected). *)
+
+val session_stats :
+  t -> Protocol.session_stat list * Protocol.cache_stat
+(** Live sessions (sorted by connection then name) and the aggregate
+    cache counters; the aggregate's evictions include whole sessions
+    evicted to the session-bytes budget. *)
 
 val handle : ?pool:Parallel.pool -> t -> Protocol.request -> string
 (** [handle t r] = [List.hd (handle_batch t [r])] — the one-shot path

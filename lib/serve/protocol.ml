@@ -11,6 +11,18 @@
      {"op":"stats","id":4}
      {"op":"shutdown","id":5}
 
+   Edit sessions (the editor workload): "session" names a buffer,
+   default "default", scoped to the requesting connection. "open"
+   parses the buffer, predicts, and seeds the session's incremental
+   extraction cache; each "edit" carries the FULL new buffer and
+   predicts through the cache (unchanged subtrees replay instead of
+   re-extracting); "close" drops the session. Session predict replies
+   are the one-shot predict reply plus a trailing "session" field.
+
+     {"op":"open","id":6,"session":"a.js","lang":"JavaScript","code":"..."}
+     {"op":"edit","id":7,"session":"a.js","code":"..."}
+     {"op":"close","id":8,"session":"a.js"}
+
    "predict" and "similar" take an optional "model" field naming a
    registry entry; absent means the default model. The "reload" admin
    op has four forms, told apart by their fields:
@@ -34,8 +46,10 @@
    JSON, missing field, unknown language or op), "internal" (an
    unclassified exception — the daemon answers and stays up),
    "overloaded" (the request was shed: queue bound or connection cap
-   reached — retry later, the daemon is healthy), and "timeout" (the
-   connection sat idle beyond its budget and is being closed). *)
+   reached — retry later, the daemon is healthy), "timeout" (the
+   connection sat idle beyond its budget and is being closed), and
+   "no-session" (an edit/close named a session this connection never
+   opened, or one already closed or evicted). *)
 
 type error = { kind : string; msg : string; pos : Lexkit.pos option }
 
@@ -47,6 +61,9 @@ let overloaded fmt =
 
 let timeout fmt =
   Printf.ksprintf (fun msg -> { kind = "timeout"; msg; pos = None }) fmt
+
+let no_session fmt =
+  Printf.ksprintf (fun msg -> { kind = "no-session"; msg; pos = None }) fmt
 
 let internal_error msg = { kind = "internal"; msg; pos = None }
 
@@ -67,11 +84,23 @@ type request =
   | Stats of { id : Json.t }
   | Reload of { id : Json.t; form : reload_form }
   | Shutdown of { id : Json.t }
+  | Open of {
+      id : Json.t;
+      name : string;
+      lang : string;
+      code : string;
+      model : string option;
+    }
+  | Edit of { id : Json.t; name : string; code : string }
+  | Close of { id : Json.t; name : string }
 
 let request_id = function
   | Predict { id; _ } | Similar { id; _ } | Ping { id } | Stats { id }
   | Reload { id; _ }
-  | Shutdown { id } ->
+  | Shutdown { id }
+  | Open { id; _ }
+  | Edit { id; _ }
+  | Close { id; _ } ->
       id
 
 (* [Error (id, err)] echoes the request's id when the line parsed far
@@ -116,6 +145,38 @@ let request_of_line line =
                 Ok
                   (Similar
                      { id; word; k; model = Json.string_field "model" json }))
+      | "open" -> (
+          (* Edit sessions: "session" names the buffer (default
+             "default"), scoped to this connection. [open] parses the
+             initial buffer, predicts, and seeds the session's
+             incremental-extraction cache; each [edit] carries the full
+             new buffer and predicts through the cache; [close] drops
+             the session. *)
+          let name =
+            Option.value ~default:"default" (Json.string_field "session" json)
+          in
+          match (str_field "lang", str_field "code") with
+          | Ok lang, Ok code ->
+              Ok
+                (Open
+                   { id; name; lang; code; model = Json.string_field "model" json })
+          | Error e, _ | _, Error e -> Error e)
+      | "edit" -> (
+          let name =
+            Option.value ~default:"default" (Json.string_field "session" json)
+          in
+          match str_field "code" with
+          | Ok code -> Ok (Edit { id; name; code })
+          | Error e -> Error e)
+      | "close" ->
+          Ok
+            (Close
+               {
+                 id;
+                 name =
+                   Option.value ~default:"default"
+                     (Json.string_field "session" json);
+               })
       | "ping" -> Ok (Ping { id })
       | "stats" -> Ok (Stats { id })
       | "reload" -> (
@@ -172,19 +233,35 @@ let render_error ~id (e : error) =
   render
     (Json.Obj [ ("id", id); ("ok", Json.Bool false); ("error", Json.Obj err) ])
 
+(* Shared by the one-shot and session predict replies, so a session
+   reply is the one-shot reply plus a trailing "session" field — the
+   byte-identity smoke tests compare the common prefix directly. *)
+let prediction_fields ~id ~lang pairs =
+  [ ("id", id);
+    ("ok", Json.Bool true);
+    ("lang", Json.Str lang);
+    ("count", Json.Num (float_of_int (List.length pairs)));
+    ( "predictions",
+      Json.Arr
+        (List.map
+           (fun (var, name) ->
+             Json.Obj [ ("var", Json.Str var); ("name", Json.Str name) ])
+           pairs) ) ]
+
 let render_predictions ~id ~lang pairs =
+  render (Json.Obj (prediction_fields ~id ~lang pairs))
+
+let render_session_predictions ~id ~lang ~session pairs =
+  render
+    (Json.Obj (prediction_fields ~id ~lang pairs @ [ ("session", Json.Str session) ]))
+
+let render_closed ~id ~session ~edits =
   render
     (Json.Obj
        [ ("id", id);
          ("ok", Json.Bool true);
-         ("lang", Json.Str lang);
-         ("count", Json.Num (float_of_int (List.length pairs)));
-         ( "predictions",
-           Json.Arr
-             (List.map
-                (fun (var, name) ->
-                  Json.Obj [ ("var", Json.Str var); ("name", Json.Str name) ])
-                pairs) ) ])
+         ("closed", Json.Str session);
+         ("edits", Json.Num (float_of_int edits)) ])
 
 let render_similar ~id ~word neighbors =
   render
@@ -231,6 +308,23 @@ type model_stat = {
   ms_evictions : int;  (** times this entry was evicted over its lifetime *)
 }
 
+type cache_stat = {
+  cache_hits : int;
+  cache_misses : int;
+  cached_paths : int;
+  cache_bytes : int;
+  cache_evictions : int;
+}
+
+type session_stat = {
+  ss_name : string;
+  ss_conn : int;  (** owning connection id *)
+  ss_lang : string;
+  ss_edits : int;  (** successful edits since open *)
+  ss_last_used_ms : int;  (** ms since last open/edit; [-1] = never *)
+  ss_cache : cache_stat;
+}
+
 type stats = {
   uptime_ms : int;
   served : int;  (** replies sent, including error replies *)
@@ -244,10 +338,31 @@ type stats = {
   reloads : int;  (** successful hot model reloads *)
   jobs : int;  (** domain-pool width predictions fan out over *)
   models : model_stat list;  (** per-registry-entry metadata *)
+  sessions : session_stat list;  (** live edit sessions *)
+  session_cache : cache_stat;
+      (** aggregate over live sessions; evictions also counts whole
+          sessions dropped to the session-bytes budget *)
 }
 
 let render_stats ~id s =
   let num n = Json.Num (float_of_int n) in
+  let cache c =
+    Json.Obj
+      [ ("hits", num c.cache_hits);
+        ("misses", num c.cache_misses);
+        ("paths", num c.cached_paths);
+        ("bytes", num c.cache_bytes);
+        ("evictions", num c.cache_evictions) ]
+  in
+  let session ss =
+    Json.Obj
+      [ ("name", Json.Str ss.ss_name);
+        ("conn", num ss.ss_conn);
+        ("lang", Json.Str ss.ss_lang);
+        ("edits", num ss.ss_edits);
+        ("last_used_ms", num ss.ss_last_used_ms);
+        ("cache", cache ss.ss_cache) ]
+  in
   let model m =
     Json.Obj
       ([ ("name", Json.Str m.ms_name);
@@ -284,7 +399,9 @@ let render_stats ~id s =
                ("conns", num s.conns);
                ("reloads", num s.reloads);
                ("jobs", num s.jobs);
-               ("models", Json.Arr (List.map model s.models)) ] ) ])
+               ("models", Json.Arr (List.map model s.models));
+               ("sessions", Json.Arr (List.map session s.sessions));
+               ("session_cache", cache s.session_cache) ] ) ])
 
 (* Reply introspection for clients (the CLI and tests). *)
 

@@ -5,12 +5,15 @@
 type error = { kind : string; msg : string; pos : Lexkit.pos option }
 (** Structured error reply payload. [kind] is a {!Lexkit.Diag.kind}
     name, ["bad-request"], ["internal"], ["overloaded"] (the request
-    was shed — queue bound or connection cap; retry later), or
-    ["timeout"] (idle connection closed). *)
+    was shed — queue bound or connection cap; retry later),
+    ["timeout"] (idle connection closed), or ["no-session"] (an
+    edit/close named a session this connection never opened, or one
+    already closed or evicted). *)
 
 val bad_request : ('a, unit, string, error) format4 -> 'a
 val overloaded : ('a, unit, string, error) format4 -> 'a
 val timeout : ('a, unit, string, error) format4 -> 'a
+val no_session : ('a, unit, string, error) format4 -> 'a
 val internal_error : string -> error
 val error_of_diag : Lexkit.Diag.t -> error
 
@@ -24,6 +27,12 @@ type reload_form =
   | Unload of string
   | Set_default of string
 
+(** Edit sessions ([Open]/[Edit]/[Close]): [name] is the buffer name
+    from the request's ["session"] field (default ["default"]), scoped
+    to the requesting connection. [Open] parses the initial buffer,
+    predicts, and seeds the session's incremental extraction cache;
+    each [Edit] carries the {e full} new buffer and predicts through
+    the cache; [Close] drops the session. *)
 type request =
   | Predict of { id : Json.t; lang : string; code : string; model : string option }
       (** [model] names a registry entry; [None] = the default model. *)
@@ -32,6 +41,15 @@ type request =
   | Stats of { id : Json.t }
   | Reload of { id : Json.t; form : reload_form }
   | Shutdown of { id : Json.t }
+  | Open of {
+      id : Json.t;
+      name : string;
+      lang : string;
+      code : string;
+      model : string option;
+    }
+  | Edit of { id : Json.t; name : string; code : string }
+  | Close of { id : Json.t; name : string }
 
 val request_id : request -> Json.t
 
@@ -48,6 +66,14 @@ val request_of_line : string -> (request, Json.t * error) result
 
 val render_error : id:Json.t -> error -> string
 val render_predictions : id:Json.t -> lang:string -> (string * string) list -> string
+
+val render_session_predictions :
+  id:Json.t -> lang:string -> session:string -> (string * string) list -> string
+(** The one-shot predictions reply with a trailing ["session"] field —
+    every byte before it matches {!render_predictions} for the same
+    pairs, which is what the live smoke test compares. *)
+
+val render_closed : id:Json.t -> session:string -> edits:int -> string
 val render_similar : id:Json.t -> word:string -> (string * float) list -> string
 val render_pong : id:Json.t -> string
 val render_stopping : id:Json.t -> string
@@ -69,6 +95,25 @@ type model_stat = {
 }
 (** Per-registry-entry metadata in a [stats] reply. *)
 
+type cache_stat = {
+  cache_hits : int;  (** cache units (and unit pairs) replayed *)
+  cache_misses : int;  (** units extracted live and recorded *)
+  cached_paths : int;  (** path-context triples currently stored *)
+  cache_bytes : int;  (** estimated heap bytes of stored entries *)
+  cache_evictions : int;  (** entries (or whole sessions) evicted *)
+}
+(** Incremental-extraction cache counters ({!Astpath.Cache.stats}). *)
+
+type session_stat = {
+  ss_name : string;
+  ss_conn : int;  (** owning connection id *)
+  ss_lang : string;
+  ss_edits : int;  (** successful edits since open *)
+  ss_last_used_ms : int;  (** ms since last open/edit; [-1] = never *)
+  ss_cache : cache_stat;
+}
+(** Per-edit-session metadata in a [stats] reply. *)
+
 type stats = {
   uptime_ms : int;
   served : int;  (** replies sent, including error replies *)
@@ -82,6 +127,10 @@ type stats = {
   reloads : int;  (** successful hot model reloads *)
   jobs : int;  (** domain-pool width predictions fan out over *)
   models : model_stat list;  (** per-registry-entry metadata *)
+  sessions : session_stat list;  (** live edit sessions *)
+  session_cache : cache_stat;
+      (** aggregate over live sessions; evictions also counts whole
+          sessions dropped to the session-bytes budget *)
 }
 
 val render_stats : id:Json.t -> stats -> string

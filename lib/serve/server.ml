@@ -77,6 +77,7 @@ let default_config =
   }
 
 type conn = {
+  id : int;  (** scopes edit sessions; unique for the daemon's life *)
   fd : Unix.file_descr;
   wmutex : Mutex.t;
   mutable alive : bool;
@@ -106,6 +107,7 @@ type t = {
   mutable max_batch_seen : int;
   mutable queue_hw : int;
   mutable reloads : int;
+  mutable conn_seq : int;  (** next connection id *)
 }
 
 let locked t f =
@@ -128,7 +130,23 @@ let stats t =
         reloads = t.reloads;
         jobs = Engine.jobs_of_pool t.pool;
         models = Engine.models t.engine;
+        sessions = [];
+        session_cache =
+          {
+            Protocol.cache_hits = 0;
+            cache_misses = 0;
+            cached_paths = 0;
+            cache_bytes = 0;
+            cache_evictions = 0;
+          };
       })
+
+(* Session stats read the engine's session table under its own lock —
+   outside [t.m], so a stats request never holds the job-queue lock
+   while folding over caches. *)
+let stats t =
+  let sessions, session_cache = Engine.session_stats t.engine in
+  { (stats t) with Protocol.sessions; session_cache }
 
 let io_timeout t =
   if t.cfg.idle_timeout > 0. then Some t.cfg.idle_timeout else None
@@ -275,8 +293,8 @@ let batcher t () =
               if Faults.fire st Faults.Engine_error then
                 failwith "injected engine fault (PIGEON_FAULTS)"
           | None -> ());
-          Engine.handle_batch ?pool:t.pool t.engine
-            (List.map (fun j -> j.req) jobs)
+          Engine.handle_batch_conn ?pool:t.pool t.engine
+            (List.map (fun j -> (j.conn.id, j.req)) jobs)
         with
         | replies -> replies
         | exception e ->
@@ -360,7 +378,11 @@ let reader t conn () =
           | Ok (Protocol.Shutdown { id }) ->
               send t conn (Protocol.render_stopping ~id);
               request_stop t
-          | Ok ((Protocol.Predict _ | Protocol.Similar _) as req) ->
+          | Ok
+              (( Protocol.Predict _ | Protocol.Similar _ | Protocol.Open _
+               | Protocol.Edit _ | Protocol.Close _ ) as req) ->
+              (* Session ops queue like predicts — running close inline
+                 here would race this connection's still-queued edits. *)
               enqueue t { conn; req });
           loop ()
         end
@@ -371,6 +393,9 @@ let reader t conn () =
   conn.alive <- false;
   Mutex.unlock conn.wmutex;
   (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  (* A disconnect closes the connection's edit sessions; their queued
+     requests (if any) answer "no-session" into a dead socket. *)
+  Engine.drop_conn t.engine ~conn:conn.id;
   forget_conn t conn;
   (* Drop our own join handle: a daemon serving many short-lived
      connections must not accumulate dead threads. *)
@@ -382,7 +407,12 @@ let spawn_reader t fd =
   (* Non-blocking + select-based waits in Netio: reads and writes both
      honor the idle budget, on the same fd. *)
   (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
-  let conn = { fd; wmutex = Mutex.create (); alive = true } in
+  let id = locked t (fun () ->
+      let id = t.conn_seq in
+      t.conn_seq <- id + 1;
+      id)
+  in
+  let conn = { id; fd; wmutex = Mutex.create (); alive = true } in
   let decision =
     locked t (fun () ->
         if t.stopping then `Close
@@ -515,6 +545,7 @@ let start ?pool engine cfg =
       max_batch_seen = 0;
       queue_hw = 0;
       reloads = 0;
+      conn_seq = 1;
     }
   in
   let threads =

@@ -1,0 +1,312 @@
+(* Incremental extraction: subtree identity (Intern.Keytab +
+   Ast.Ident), the session path-context cache (Astpath.Cache), and the
+   hard contract behind both — cached extraction is byte-identical, in
+   content and order, to from-scratch extraction at every step of an
+   edit trace. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_strings = Alcotest.(check (list string))
+
+let js = Pigeon.Lang.javascript
+let parse src = js.Pigeon.Lang.parse_tree src
+
+let trace_config ~funcs ~seed =
+  {
+    Corpus.Gen.default with
+    Corpus.Gen.min_funcs = funcs;
+    max_funcs = funcs;
+    seed;
+  }
+
+let trace ?(funcs = 6) ~steps ~seed () =
+  Corpus.Gen.edit_trace ~steps (trace_config ~funcs ~seed) Corpus.Render.Js
+
+(* Rendered context stream of a from-scratch extraction. *)
+let scratch_strings tree cfg =
+  let idx = Ast.Index.build tree in
+  let tab = Astpath.Context.Tab.create idx in
+  let acc = ref [] in
+  Astpath.Extract.iter_all ~tab idx cfg (fun c ->
+      acc := Astpath.Context.to_string c :: !acc);
+  List.rev !acc
+
+let cached_strings cache tree cfg =
+  let idx = Astpath.Cache.index cache tree in
+  let acc = ref [] in
+  Astpath.Extract.iter_all_cached ~cache idx cfg (fun c ->
+      acc := Astpath.Context.to_string c :: !acc);
+  List.rev !acc
+
+(* ---------- Keytab ---------- *)
+
+let test_keytab_basic () =
+  let t = Intern.Keytab.create () in
+  check_int "first id" 0 (Intern.Keytab.intern t [| 1; 2; 3 |]);
+  check_int "second id" 1 (Intern.Keytab.intern t [| 1; 2 |]);
+  check_int "stable" 0 (Intern.Keytab.intern t [| 1; 2; 3 |]);
+  check_int "size" 2 (Intern.Keytab.size t);
+  check_bool "round trip" true (Intern.Keytab.get t 1 = [| 1; 2 |])
+
+let test_keytab_sub () =
+  (* [intern_sub] probes against a scratch prefix and must copy only
+     the live prefix — trailing garbage is invisible. *)
+  let t = Intern.Keytab.create () in
+  let buf = [| 7; 8; 9; 999; 999 |] in
+  let id = Intern.Keytab.intern_sub t buf ~len:3 in
+  check_bool "prefix copied" true (Intern.Keytab.get t id = [| 7; 8; 9 |]);
+  buf.(0) <- 7;
+  buf.(3) <- -1;
+  check_int "same prefix, same id" id (Intern.Keytab.intern_sub t buf ~len:3);
+  check_int "shorter prefix is distinct" (id + 1)
+    (Intern.Keytab.intern_sub t buf ~len:2)
+
+let test_keytab_growth () =
+  let t = Intern.Keytab.create ~hint:2 () in
+  for i = 0 to 4_000 do
+    check_int "dense" i (Intern.Keytab.intern t [| i; i + 1 |])
+  done;
+  check_int "stable after growth" 1234 (Intern.Keytab.intern t [| 1234; 1235 |])
+
+(* ---------- Ast.Ident ---------- *)
+
+let test_ident_stable_across_builds () =
+  (* Two indexes of the same source against one session's tables must
+     assign identical identity ids node for node. *)
+  let src = List.hd (trace ~steps:0 ~seed:11 ()) in
+  let labels = Intern.Strtab.create () in
+  let syms = Intern.Strtab.create () in
+  let tab = Intern.Keytab.create () in
+  let ids idx = Ast.Ident.assign ~syms ~tab idx in
+  let a = ids (Ast.Index.build ~labels (parse src)) in
+  let b = ids (Ast.Index.build ~labels (parse src)) in
+  check_bool "identical trees, identical ids" true (a = b)
+
+let test_ident_distinguishes_values () =
+  (* Same shape, different terminal value: roots must differ. *)
+  let t1 = parse "function f(a) { return a; }" in
+  let t2 = parse "function f(b) { return b; }" in
+  let syms = Intern.Strtab.create () in
+  let tab = Intern.Keytab.create () in
+  let labels = Intern.Strtab.create () in
+  let root_id t = (Ast.Ident.assign ~syms ~tab (Ast.Index.build ~labels t)).(0) in
+  check_bool "renamed variable changes the root identity" true
+    (root_id t1 <> root_id t2);
+  check_int "same source, same root identity" (root_id t1) (root_id t1)
+
+let test_ident_shares_across_edit () =
+  (* An edit to one function must keep the identity ids of the other
+     functions' subtrees. *)
+  let steps = trace ~steps:1 ~seed:3 () in
+  let src0 = List.nth steps 0 and src1 = List.nth steps 1 in
+  let labels = Intern.Strtab.create () in
+  let syms = Intern.Strtab.create () in
+  let tab = Intern.Keytab.create () in
+  let idents src =
+    let idx = Ast.Index.build ~labels (parse src) in
+    let ids = Ast.Ident.assign ~syms ~tab idx in
+    (idx, ids)
+  in
+  let _, ids0 = idents src0 in
+  let _, ids1 = idents src1 in
+  let module S = Set.Make (Int) in
+  let set ids = S.of_list (Array.to_list ids) in
+  let shared = S.cardinal (S.inter (set ids0) (set ids1)) in
+  check_bool "edited buffer shares subtree identities" true (shared > 10)
+
+(* ---------- byte-identity: the hard contract ---------- *)
+
+let assert_trace_identical ?unit_size ?max_bytes ~cfg steps =
+  let cache = Astpath.Cache.create ?unit_size ?max_bytes () in
+  List.iteri
+    (fun i src ->
+      let tree = parse src in
+      check_strings
+        (Printf.sprintf "edit %d: cached = from-scratch" i)
+        (scratch_strings tree cfg)
+        (cached_strings cache tree cfg))
+    steps;
+  cache
+
+let tuned = js.Pigeon.Lang.tuned
+
+let test_trace_identity_tuned () =
+  let cache = assert_trace_identical ~cfg:tuned (trace ~steps:8 ~seed:42 ()) in
+  let s = Astpath.Cache.stats cache in
+  check_bool "cache actually hit" true (s.Astpath.Cache.hits > 0);
+  check_bool "contexts replayed" true (Astpath.Cache.replayed cache > 0)
+
+let test_trace_identity_no_semi () =
+  let cfg = Astpath.Config.make ~max_length:5 ~max_width:2 () in
+  ignore (assert_trace_identical ~cfg (trace ~steps:6 ~seed:7 ()))
+
+let test_identical_rebuild_hits () =
+  (* Re-extracting an unchanged buffer must hit on every unit. *)
+  let src = List.hd (trace ~steps:0 ~seed:19 ()) in
+  let cache = assert_trace_identical ~cfg:tuned [ src; src; src ] in
+  let s = Astpath.Cache.stats cache in
+  check_bool "second and third builds are pure replays" true
+    (s.Astpath.Cache.hits >= 2 * s.Astpath.Cache.misses)
+
+let test_unit_size_extremes () =
+  (* Degenerate partitions must not change the stream: unit_size 1
+     (every leaf its own unit) and unit_size huge (whole tree one
+     unit). *)
+  let steps = trace ~steps:4 ~seed:23 () in
+  ignore (assert_trace_identical ~unit_size:1 ~cfg:tuned steps);
+  ignore (assert_trace_identical ~unit_size:1_000_000 ~cfg:tuned steps)
+
+let test_tiny_budget_identity () =
+  (* A 1-byte budget evicts everything after every extract; output must
+     stay identical, evictions must be observable. *)
+  let cache =
+    assert_trace_identical ~max_bytes:1 ~cfg:tuned (trace ~steps:5 ~seed:31 ())
+  in
+  let s = Astpath.Cache.stats cache in
+  check_bool "budget enforced" true (s.Astpath.Cache.evictions > 0);
+  check_bool "budget respected" true (Astpath.Cache.bytes cache <= 1)
+
+let test_config_change_flushes () =
+  (* Switching limits mid-session must flush, not corrupt. *)
+  let src = List.hd (trace ~steps:0 ~seed:47 ()) in
+  let tree = parse src in
+  let cache = Astpath.Cache.create () in
+  let narrow = Astpath.Config.make ~max_length:3 ~max_width:1 () in
+  check_strings "tuned pass" (scratch_strings tree tuned)
+    (cached_strings cache tree tuned);
+  check_strings "narrow pass after flush" (scratch_strings tree narrow)
+    (cached_strings cache tree narrow);
+  check_strings "back to tuned" (scratch_strings tree tuned)
+    (cached_strings cache tree tuned)
+
+let test_foreign_index_rejected () =
+  let src = List.hd (trace ~steps:0 ~seed:5 ()) in
+  let idx = Ast.Index.build (parse src) in
+  let cache = Astpath.Cache.create () in
+  check_bool "index without the session label table is rejected" true
+    (match Astpath.Extract.iter_all_cached ~cache idx tuned ignore with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_cache_stats_counters () =
+  let cache = Astpath.Cache.create () in
+  let s0 = Astpath.Cache.stats cache in
+  check_int "fresh hits" 0 s0.Astpath.Cache.hits;
+  check_int "fresh misses" 0 s0.Astpath.Cache.misses;
+  check_int "fresh bytes" 0 s0.Astpath.Cache.bytes;
+  let src = List.hd (trace ~steps:0 ~seed:53 ()) in
+  ignore (cached_strings cache (parse src) tuned);
+  let s1 = Astpath.Cache.stats cache in
+  check_bool "first build misses" true (s1.Astpath.Cache.misses > 0);
+  check_int "first build cannot hit" 0 s1.Astpath.Cache.hits;
+  check_bool "paths stored" true (s1.Astpath.Cache.cached_paths > 0);
+  check_bool "bytes accounted" true (s1.Astpath.Cache.bytes > 0);
+  ignore (cached_strings cache (parse src) tuned);
+  let s2 = Astpath.Cache.stats cache in
+  check_bool "rebuild hits" true (s2.Astpath.Cache.hits > 0)
+
+(* ---------- semi-path downsampling (pre-filter) ---------- *)
+
+let test_semi_downsample_prefilter () =
+  let src = List.hd (trace ~steps:0 ~seed:61 ()) in
+  let idx = Ast.Index.build (parse src) in
+  let cfg =
+    Astpath.Config.make ~include_semi_paths:true ~max_length:7 ~max_width:3 ()
+  in
+  let collect ?downsample () =
+    let acc = ref [] in
+    Astpath.Extract.iter_semi_paths ?downsample idx cfg (fun c ->
+        acc := Astpath.Context.to_string c :: !acc);
+    List.rev !acc
+  in
+  let full = collect () in
+  let sampled seed =
+    collect ~downsample:(Random.State.make [| seed |], 0.4) ()
+  in
+  check_strings "same seed, same kept set" (sampled 9) (sampled 9);
+  check_strings "p = 1.0 keeps everything" full
+    (collect ~downsample:(Random.State.make [| 1 |], 1.0) ());
+  (* Kept set is a sub-sequence of the full enumeration. *)
+  let rec subseq xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs', y :: ys' -> if x = y then subseq xs' ys' else subseq xs ys'
+  in
+  check_bool "kept set is a sub-sequence" true (subseq (sampled 9) full);
+  check_bool "p = 0.4 actually drops" true
+    (List.length (sampled 9) < List.length full)
+
+(* ---------- property: random edit sequences ---------- *)
+
+let prop_random_trace_identity =
+  QCheck2.Test.make ~name:"cache: incremental = from-scratch on random traces"
+    ~count:12
+    QCheck2.Gen.(
+      triple (int_range 1 1000) (int_range 1 6) (int_range 2 5))
+    (fun (seed, steps, funcs) ->
+      let cache = Astpath.Cache.create ~unit_size:96 () in
+      List.for_all
+        (fun src ->
+          let tree = parse src in
+          scratch_strings tree tuned = cached_strings cache tree tuned)
+        (trace ~funcs ~steps ~seed ()))
+
+let prop_random_trace_identity_budget =
+  QCheck2.Test.make
+    ~name:"cache: identity holds under random tiny byte budgets" ~count:8
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 1 50_000))
+    (fun (seed, max_bytes) ->
+      let cache = Astpath.Cache.create ~max_bytes () in
+      List.for_all
+        (fun src ->
+          let tree = parse src in
+          scratch_strings tree tuned = cached_strings cache tree tuned)
+        (trace ~funcs:3 ~steps:3 ~seed ()))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  [
+    ( "keytab",
+      [
+        Alcotest.test_case "basic" `Quick test_keytab_basic;
+        Alcotest.test_case "intern_sub prefix" `Quick test_keytab_sub;
+        Alcotest.test_case "growth" `Quick test_keytab_growth;
+      ] );
+    ( "ident",
+      [
+        Alcotest.test_case "stable across builds" `Quick
+          test_ident_stable_across_builds;
+        Alcotest.test_case "distinguishes values" `Quick
+          test_ident_distinguishes_values;
+        Alcotest.test_case "shares across an edit" `Quick
+          test_ident_shares_across_edit;
+      ] );
+    ( "cache",
+      [
+        Alcotest.test_case "trace identity (tuned)" `Quick
+          test_trace_identity_tuned;
+        Alcotest.test_case "trace identity (no semi-paths)" `Quick
+          test_trace_identity_no_semi;
+        Alcotest.test_case "identical rebuild hits" `Quick
+          test_identical_rebuild_hits;
+        Alcotest.test_case "unit-size extremes" `Quick test_unit_size_extremes;
+        Alcotest.test_case "tiny byte budget" `Quick test_tiny_budget_identity;
+        Alcotest.test_case "config change flushes" `Quick
+          test_config_change_flushes;
+        Alcotest.test_case "foreign index rejected" `Quick
+          test_foreign_index_rejected;
+        Alcotest.test_case "stats counters" `Quick test_cache_stats_counters;
+      ] );
+    ( "downsample",
+      [
+        Alcotest.test_case "semi-path pre-filter" `Quick
+          test_semi_downsample_prefilter;
+      ] );
+    ( "properties",
+      qcheck [ prop_random_trace_identity; prop_random_trace_identity_budget ]
+    );
+  ]
+
+let () = Alcotest.run "incremental" suite

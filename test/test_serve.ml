@@ -94,7 +94,26 @@ let test_request_parse () =
   let id, _ = err {|{"op":"similar","id":42}|} in
   check_bool "id carried" true (id = Serve.Json.Num 42.);
   let _, e = err {|{"op":"similar","id":1,"word":"x","k":0}|} in
-  check_string "k range" "bad-request" e.Serve.Protocol.kind
+  check_string "k range" "bad-request" e.Serve.Protocol.kind;
+  (* session ops *)
+  (match
+     ok {|{"op":"open","id":9,"session":"b.js","lang":"JavaScript","code":"var x;"}|}
+   with
+  | Serve.Protocol.Open { name; lang; _ } ->
+      check_string "session name" "b.js" name;
+      check_string "open lang" "JavaScript" lang
+  | _ -> Alcotest.fail "expected Open");
+  (match ok {|{"op":"edit","code":"var y;"}|} with
+  | Serve.Protocol.Edit { name; _ } ->
+      check_string "default session name" "default" name
+  | _ -> Alcotest.fail "expected Edit");
+  (match ok {|{"op":"close"}|} with
+  | Serve.Protocol.Close _ -> ()
+  | _ -> Alcotest.fail "expected Close");
+  let _, e = err {|{"op":"edit","id":1}|} in
+  check_string "edit needs code" "bad-request" e.Serve.Protocol.kind;
+  let _, e = err {|{"op":"open","id":1,"code":"var x;"}|} in
+  check_string "open needs lang" "bad-request" e.Serve.Protocol.kind
 
 let test_reply_render () =
   let line =
@@ -875,6 +894,136 @@ let test_daemon_registry () =
   Sys.remove path_a;
   Sys.remove path_b
 
+(* ---------- edit sessions ---------- *)
+
+let session_line op ?(session = "default") ~id fields =
+  Serve.Json.to_string
+    (Serve.Json.Obj
+       ([ ("op", Serve.Json.Str op);
+          ("id", Serve.Json.Num (float_of_int id));
+          ("session", Serve.Json.Str session) ]
+       @ fields))
+
+let open_line ?session ~id code =
+  session_line "open" ?session ~id
+    [ ("lang", Serve.Json.Str "JavaScript"); ("code", Serve.Json.Str code) ]
+
+let edit_line ?session ~id code =
+  session_line "edit" ?session ~id [ ("code", Serve.Json.Str code) ]
+
+let close_line ?session ~id () = session_line "close" ?session ~id []
+
+let one ?(conn = 1) e line =
+  match Serve.Engine.handle_batch_conn e [ (conn, parse_req line) ] with
+  | [ r ] -> r
+  | rs -> Alcotest.failf "expected one reply, got %d" (List.length rs)
+
+(* A session reply is the one-shot predict reply with a trailing
+   "session" field — the byte-prefix contract the live smoke relies
+   on. *)
+let with_session_suffix ?(session = "default") oneshot =
+  String.sub oneshot 0 (String.length oneshot - 1)
+  ^ {|,"session":"|} ^ session ^ {|"}|}
+
+let reply_ok = Serve.Protocol.reply_ok
+
+let test_session_byte_identity () =
+  let e = engine () in
+  let code2 = "function g(a) { var sum = a + 1; return sum; }\n" in
+  let r_open = one e (open_line ~id:1 sample_code) in
+  let oneshot = Serve.Engine.handle e (parse_req (predict_line ~id:1 sample_code)) in
+  check_string "open = one-shot + session" (with_session_suffix oneshot) r_open;
+  let r_edit = one e (edit_line ~id:2 code2) in
+  let oneshot2 = Serve.Engine.handle e (parse_req (predict_line ~id:2 code2)) in
+  check_string "edit = one-shot + session" (with_session_suffix oneshot2) r_edit;
+  check_string "close reports edit count"
+    {|{"id":3,"ok":true,"closed":"default","edits":1}|}
+    (one e (close_line ~id:3 ()))
+
+let test_session_edit_stream () =
+  let e = engine () in
+  let config =
+    { Corpus.Gen.default with Corpus.Gen.min_funcs = 3; max_funcs = 3; seed = 11 }
+  in
+  match Corpus.Gen.edit_trace ~steps:6 config Corpus.Render.Js with
+  | [] -> assert false
+  | first :: edits ->
+      let expect id src =
+        with_session_suffix
+          (Serve.Engine.handle e (parse_req (predict_line ~id src)))
+      in
+      check_string "step 0" (expect 0 first) (one e (open_line ~id:0 first));
+      List.iteri
+        (fun i src ->
+          let id = i + 1 in
+          check_string
+            (Printf.sprintf "step %d" id)
+            (expect id src)
+            (one e (edit_line ~id src)))
+        edits
+
+let test_session_no_session () =
+  let e = engine () in
+  check_string "edit unopened" "no-session"
+    (error_kind_of (one e (edit_line ~id:1 sample_code)));
+  check_string "close unopened" "no-session"
+    (error_kind_of (one e (close_line ~id:2 ())));
+  check_bool "open ok" true (reply_ok (one e (open_line ~id:3 sample_code)));
+  check_bool "close ok" true (reply_ok (one e (close_line ~id:4 ())));
+  check_string "edit after close" "no-session"
+    (error_kind_of (one e (edit_line ~id:5 sample_code)))
+
+let test_session_conn_isolation () =
+  let e = engine () in
+  check_bool "conn 1 open" true
+    (reply_ok (one ~conn:1 e (open_line ~id:1 sample_code)));
+  (* the same session name on another connection is a different session *)
+  check_string "conn 2 blind" "no-session"
+    (error_kind_of (one ~conn:2 e (edit_line ~id:2 sample_code)));
+  check_bool "conn 2 open" true
+    (reply_ok (one ~conn:2 e (open_line ~id:3 sample_code)));
+  Serve.Engine.drop_conn e ~conn:1;
+  check_string "conn 1 dropped" "no-session"
+    (error_kind_of (one ~conn:1 e (edit_line ~id:4 sample_code)));
+  check_bool "conn 2 survives" true
+    (reply_ok (one ~conn:2 e (edit_line ~id:5 sample_code)))
+
+let test_session_hostile_edit () =
+  let e = engine () in
+  check_bool "open" true (reply_ok (one e (open_line ~id:1 sample_code)));
+  (* a hostile edit costs its own request an error, not the session *)
+  check_string "deep edit" "depth-limit"
+    (error_kind_of (one e (edit_line ~id:2 deep_code)));
+  check_string "garbage edit" "parse-error"
+    (error_kind_of (one e (edit_line ~id:3 "function {{{ ???")));
+  check_bool "session survives" true
+    (reply_ok (one e (edit_line ~id:4 sample_code)));
+  check_string "only good edits counted"
+    {|{"id":5,"ok":true,"closed":"default","edits":1}|}
+    (one e (close_line ~id:5 ()))
+
+let test_session_eviction () =
+  let e =
+    Serve.Engine.create ~model:(Lazy.force model) ~max_session_bytes:1 ()
+  in
+  check_bool "open a" true
+    (reply_ok (one e (open_line ~session:"a" ~id:1 sample_code)));
+  (* opening b pushes the total over the 1-byte budget: a, least
+     recently used, is evicted — never b, which just extracted *)
+  check_bool "open b" true
+    (reply_ok (one e (open_line ~session:"b" ~id:2 sample_code)));
+  check_string "a evicted" "no-session"
+    (error_kind_of (one e (edit_line ~session:"a" ~id:3 sample_code)));
+  check_bool "b lives" true
+    (reply_ok (one e (edit_line ~session:"b" ~id:4 sample_code)));
+  (* re-opening revives the evicted name *)
+  check_bool "a re-opens" true
+    (reply_ok (one e (open_line ~session:"a" ~id:5 sample_code)));
+  let sessions, agg = Serve.Engine.session_stats e in
+  check_bool "live sessions" true (List.length sessions >= 1);
+  check_bool "whole-session evictions counted" true
+    (agg.Serve.Protocol.cache_evictions >= 1)
+
 let () =
   Alcotest.run "serve"
     [
@@ -909,6 +1058,16 @@ let () =
           Alcotest.test_case "eviction and revival" `Quick
             test_engine_eviction_and_revival;
           Alcotest.test_case "wire ops" `Quick test_daemon_registry;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "byte-identity" `Quick test_session_byte_identity;
+          Alcotest.test_case "edit stream" `Quick test_session_edit_stream;
+          Alcotest.test_case "no-session" `Quick test_session_no_session;
+          Alcotest.test_case "connection isolation" `Quick
+            test_session_conn_isolation;
+          Alcotest.test_case "hostile edit" `Quick test_session_hostile_edit;
+          Alcotest.test_case "eviction" `Quick test_session_eviction;
         ] );
       ( "daemon",
         [
