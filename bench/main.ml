@@ -7,7 +7,7 @@
 
    Experiments: table1 table2-var table2-method table2-type table3
    table4 fig10 fig11 fig12 fault parallel train intern serve incremental
-   micro.
+   oocore micro.
 
    Absolute numbers are not expected to match the paper (our corpora
    are synthetic and laptop-sized); the *shape* — which representation
@@ -2532,6 +2532,246 @@ let incremental_bench () =
   close_out oc;
   Printf.printf "wrote BENCH_incremental.json\n%!"
 
+(* ---------- out-of-core training (BENCH_oocore.json) ---------- *)
+
+(* The out-of-core contract, measured end to end on the SGNS trainer:
+
+   - extraction streams (word, context) pairs to disk shards, so the
+     corpus never materializes in memory. We report the bytes the
+     in-memory pipeline would have held (streamed estimate: string
+     payloads plus list/tuple overhead) against a heap cap;
+   - training streams the shards back; peak live heap is sampled
+     (after a full major collection) at every shard boundary;
+   - a run killed mid-training (simulated by raising out of the
+     checkpoint callback) resumes from its checkpoint to a final model
+     byte-identical to the uninterrupted run. The CRF trainer's
+     resume gets the same check on a smaller graph corpus.
+
+   Full runs enforce: materialized estimate > cap, peak live heap
+   under the cap, and both resume byte-identities. --quick only warns
+   (its corpus is too small to dwarf the base heap). Results go to
+   BENCH_oocore.json. *)
+
+let oocore_bench () =
+  header "out-of-core: disk shards, bounded heap, checkpoint/resume";
+  let lang = Pigeon.Lang.javascript in
+  let n_files = if !quick then 40 else 240 in
+  let sgns_config =
+    {
+      Word2vec.Sgns.default_config with
+      Word2vec.Sgns.dim = 32;
+      epochs = (if !quick then 2 else 3);
+    }
+  in
+  let cap_mb = 32 in
+  let cap_words = cap_mb * 1024 * 1024 / 8 in
+  let records_per_shard = 16384 in
+  let tmp =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pigeon-bench-oocore-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir tmp 0o700;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm tmp with Sys_error _ -> ())
+  @@ fun () ->
+  let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
+  let peak_live = ref 0 in
+  let sample_live () =
+    Gc.full_major ();
+    peak_live := max !peak_live (Gc.stat ()).Gc.live_words
+  in
+  (* Extraction: sources stay local to this block so nothing keeps the
+     corpus strings alive once the shards are on disk. *)
+  let t0 = Unix.gettimeofday () in
+  let set =
+    let sources =
+      Corpus.Gen.generate_sources
+        { Corpus.Gen.default with Corpus.Gen.n_files; seed = 2018 }
+        lang.Pigeon.Lang.render_lang
+    in
+    let set, report =
+      Pigeon.W2v_task.extract_pair_shards ~records_per_shard ~lang
+        ~mode:(Pigeon.W2v_task.Paths repr)
+        ~dir:(Filename.concat tmp "pairs")
+        sources
+    in
+    Pigeon.Ingest.log ~label:"oocore extract" report;
+    set
+  in
+  let extract_s = Unix.gettimeofday () -. t0 in
+  (* What the in-memory pipeline holds: a [(string * string) list] of
+     every pair — per pair two string payloads (header word + data)
+     plus a cons cell (3 words) and a tuple (3 words). Streamed, so
+     the estimate itself allocates nothing that survives. *)
+  let str_words len = 1 + ((len + 8) / 8) in
+  let materialized_words =
+    Corpus.Shard.fold_pairs set ~init:0 ~f:(fun acc a b ->
+        acc
+        + str_words (String.length (Corpus.Shard.string_of_id set a))
+        + str_words (String.length (Corpus.Shard.string_of_id set b))
+        + 6)
+  in
+  let plan =
+    Pigeon.W2v_task.plan_of_set ~min_count:sgns_config.Word2vec.Sgns.min_count
+      set
+  in
+  let shard_sizes = plan.Pigeon.W2v_task.plan_sizes in
+  let n_shards = Array.length shard_sizes in
+  let total_pairs = Array.fold_left ( + ) 0 shard_sizes in
+  let train_stream ?from ?on_shard () =
+    Word2vec.Sgns.train_stream ~config:sgns_config
+      ~words:plan.Pigeon.W2v_task.plan_words
+      ~contexts:plan.Pigeon.W2v_task.plan_contexts ~shard_sizes
+      ~pairs_of_shard:(Pigeon.W2v_task.plan_pairs plan)
+      ?from ?on_shard ()
+  in
+  sample_live ();
+  let t1 = Unix.gettimeofday () in
+  let golden =
+    train_stream ~on_shard:(fun ~epoch:_ ~shard:_ _ -> sample_live ()) ()
+  in
+  let train_s = Unix.gettimeofday () -. t1 in
+  let golden_bytes = Word2vec.Serialize.to_string golden in
+  let pairs_per_s =
+    float_of_int (sgns_config.Word2vec.Sgns.epochs * total_pairs) /. train_s
+  in
+  (* Kill mid-training: the checkpoint callback raises after half the
+     (epoch, shard) units, exactly what a SIGKILL between two shards
+     leaves behind; then resume from the surviving checkpoint. *)
+  let kill_at = max 1 (sgns_config.Word2vec.Sgns.epochs * n_shards / 2) in
+  let image = ref "" and units = ref 0 in
+  (try
+     ignore
+       (train_stream
+          ~on_shard:(fun ~epoch:_ ~shard:_ ck ->
+            incr units;
+            if !units = kill_at then begin
+              image := Word2vec.Serialize.checkpoint_to_string ck;
+              raise Exit
+            end)
+          ())
+   with Exit -> ());
+  let w2v_resumed_identical =
+    match Word2vec.Serialize.checkpoint_of_string !image with
+    | Error d -> failwith (Lexkit.Diag.to_string d)
+    | Ok ck ->
+        String.equal (Word2vec.Serialize.to_string (train_stream ~from:ck ()))
+          golden_bytes
+  in
+  (* CRF trainer: same kill/resume discipline on a graph shard set. *)
+  let crf_resumed_identical =
+    let dir = Filename.concat tmp "graphs" in
+    let sources =
+      Corpus.Gen.generate_sources
+        { Corpus.Gen.default with Corpus.Gen.n_files = 40; seed = 2018 }
+        lang.Pigeon.Lang.render_lang
+    in
+    let set, report =
+      Pigeon.Task.extract_graph_shards ~records_per_shard:16 ~repr ~lang
+        ~policy:Pigeon.Graphs.Locals ~dir sources
+    in
+    Pigeon.Ingest.log ~label:"oocore graphs" report;
+    let n_shards = Corpus.Shard.n_shards set in
+    let config = crf_config 2 in
+    let train ?from ?on_shard () =
+      Crf.Train.train_of_shards ~config ~n_shards
+        ~graphs_of_shard:(Pigeon.Task.graphs_of_shard set)
+        ?from ?on_shard ()
+    in
+    let golden = Crf.Serialize.to_string (train ()) in
+    let kill_at = max 1 (2 * n_shards / 2) in
+    let image = ref "" and units = ref 0 in
+    (try
+       ignore
+         (train
+            ~on_shard:(fun ~it ~shard m ->
+              incr units;
+              if !units = kill_at then begin
+                let next_it, next_shard =
+                  if shard + 1 = n_shards then (it + 1, 0) else (it, shard + 1)
+                in
+                image :=
+                  Crf.Serialize.checkpoint_to_string ~config ~next_it
+                    ~next_shard ~n_shards ~jobs:1 m;
+                raise Exit
+              end)
+            ())
+     with Exit -> ());
+    match Crf.Serialize.checkpoint_of_string !image with
+    | Error d -> failwith (Lexkit.Diag.to_string d)
+    | Ok ck ->
+        String.equal
+          (Crf.Serialize.to_string
+             (train
+                ~from:
+                  ( ck.Crf.Serialize.ck_fast,
+                    ck.Crf.Serialize.ck_next_it,
+                    ck.Crf.Serialize.ck_next_shard )
+                ()))
+          golden
+  in
+  let mb words = float_of_int words *. 8. /. 1024. /. 1024. in
+  Printf.printf
+    "%d files -> %d pairs in %d shards (%d records/shard), extract %.1fs\n"
+    n_files total_pairs n_shards records_per_shard extract_s;
+  Printf.printf
+    "materialized in-memory estimate: %.1f MB; heap cap: %d MB; peak live \
+     heap during streaming training: %.1f MB\n"
+    (mb materialized_words) cap_mb (mb !peak_live);
+  Printf.printf "streaming training: %.1fs (%.0f pairs/s over %d epochs)\n"
+    train_s pairs_per_s sgns_config.Word2vec.Sgns.epochs;
+  Printf.printf "killed-then-resumed vs uninterrupted: sgns %s, crf %s\n%!"
+    (if w2v_resumed_identical then "byte-identical" else "DIFFERS")
+    (if crf_resumed_identical then "byte-identical" else "DIFFERS");
+  let floors_enforced = not !quick in
+  let fail_or_warn msg =
+    if floors_enforced then failwith msg
+    else Printf.printf "  warn: %s (not enforced under --quick)\n%!" msg
+  in
+  if not w2v_resumed_identical then
+    fail_or_warn "sgns resumed model differs from uninterrupted run";
+  if not crf_resumed_identical then
+    fail_or_warn "crf resumed model differs from uninterrupted run";
+  if materialized_words <= cap_words then
+    fail_or_warn
+      (Printf.sprintf
+         "materialized corpus estimate %.1f MB does not exceed the %d MB cap"
+         (mb materialized_words) cap_mb);
+  if !peak_live > cap_words then
+    fail_or_warn
+      (Printf.sprintf "peak live heap %.1f MB exceeds the %d MB cap"
+         (mb !peak_live) cap_mb);
+  let oc = open_out "BENCH_oocore.json" in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"quick\": %b,\n" !quick;
+  Printf.fprintf oc "  \"files\": %d,\n" n_files;
+  Printf.fprintf oc "  \"pairs\": %d,\n  \"shards\": %d,\n" total_pairs
+    n_shards;
+  Printf.fprintf oc "  \"records_per_shard\": %d,\n" records_per_shard;
+  Printf.fprintf oc "  \"epochs\": %d,\n" sgns_config.Word2vec.Sgns.epochs;
+  Printf.fprintf oc "  \"extract_seconds\": %.3f,\n" extract_s;
+  Printf.fprintf oc "  \"train_seconds\": %.3f,\n" train_s;
+  Printf.fprintf oc "  \"pairs_per_second\": %.0f,\n" pairs_per_s;
+  Printf.fprintf oc "  \"heap_cap_mb\": %d,\n" cap_mb;
+  Printf.fprintf oc "  \"materialized_estimate_mb\": %.2f,\n"
+    (mb materialized_words);
+  Printf.fprintf oc "  \"peak_live_heap_mb\": %.2f,\n" (mb !peak_live);
+  Printf.fprintf oc "  \"sgns_resume_byte_identical\": %b,\n"
+    w2v_resumed_identical;
+  Printf.fprintf oc "  \"crf_resume_byte_identical\": %b,\n"
+    crf_resumed_identical;
+  Printf.fprintf oc "  \"floors_enforced\": %b\n" floors_enforced;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_oocore.json\n%!"
+
 (* ---------- driver ---------- *)
 
 let experiments =
@@ -2551,6 +2791,7 @@ let experiments =
     ("intern", intern_bench);
     ("serve", serve_bench);
     ("incremental", incremental_bench);
+    ("oocore", oocore_bench);
     ("micro", micro);
   ]
 

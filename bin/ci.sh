@@ -33,7 +33,13 @@
 # throughput bench including its 2x-overload shed phase, and the
 # quick incremental bench (edit-trace replay: cached extraction
 # byte-identical to from-scratch at every step; the 5x speedup floor
-# is enforced on full runs only).
+# is enforced on full runs only), an out-of-core smoke (train to disk
+# shards with a tiny heap budget, SIGKILL the checkpointed run
+# mid-training, resume it, and require the resumed model to be
+# byte-identical to an uninterrupted run), and the quick oocore bench
+# (streamed shards, peak-live-heap sampling, in-process kill/resume
+# byte-identity for both trainers; heap-cap and identity floors are
+# enforced on full runs only).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -57,10 +63,15 @@ PIGEON_CHAOS_COUNT=60 dune exec test/test_chaos.exe
 
 SMOKE_DIR=$(mktemp -d /tmp/pigeon-ci-serve.XXXXXX)
 SERVE_PID=""
+TRAIN_PID=""
 cleanup() {
   if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
     kill "$SERVE_PID" 2>/dev/null || true
     wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  if [ -n "$TRAIN_PID" ] && kill -0 "$TRAIN_PID" 2>/dev/null; then
+    kill -KILL "$TRAIN_PID" 2>/dev/null || true
+    wait "$TRAIN_PID" 2>/dev/null || true
   fi
   rm -rf "$SMOKE_DIR"
 }
@@ -329,3 +340,46 @@ echo "session smoke: ok"
 
 dune exec bench/main.exe -- --quick serve
 dune exec bench/main.exe -- --quick incremental
+
+# ---- out-of-core smoke: disk shards, SIGKILL mid-training, resume ----
+# Reference run: extraction streamed to disk shards under a 1 MB heap
+# budget, trained straight through. Then the same training is run with
+# a checkpoint, SIGKILLed as soon as the first checkpoint lands, and
+# resumed — the resumed model must be byte-identical to the reference.
+# (If the run wins the race and finishes before the kill, the resume
+# is a no-op from the final checkpoint and the comparison still holds.)
+OOC="$SMOKE_DIR/oocore"
+mkdir -p "$OOC"
+"$PIGEON_BIN" train --files 120 -j 1 --shard-dir "$OOC/shards_a" \
+  --max-heap-mb 1 "$OOC/model_a.crf"
+"$PIGEON_BIN" train --files 120 -j 1 --shard-dir "$OOC/shards_b" \
+  --checkpoint "$OOC/train.ckpt" --max-heap-mb 1 "$OOC/model_b.crf" \
+  2>"$OOC/train.log" &
+TRAIN_PID=$!
+i=0
+while [ ! -f "$OOC/train.ckpt" ] && kill -0 "$TRAIN_PID" 2>/dev/null; do
+  i=$((i + 1))
+  if [ "$i" -gt 600 ]; then
+    echo "oocore smoke: no checkpoint after 60s" >&2
+    cat "$OOC/train.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+kill -KILL "$TRAIN_PID" 2>/dev/null || true
+wait "$TRAIN_PID" 2>/dev/null || true
+TRAIN_PID=""
+if [ ! -f "$OOC/train.ckpt" ]; then
+  echo "oocore smoke: killed run left no checkpoint" >&2
+  cat "$OOC/train.log" >&2
+  exit 1
+fi
+"$PIGEON_BIN" train --files 120 -j 1 --shard-dir "$OOC/shards_b" \
+  --checkpoint "$OOC/train.ckpt" --resume --max-heap-mb 1 "$OOC/model_b.crf"
+cmp "$OOC/model_a.crf" "$OOC/model_b.crf" || {
+  echo "oocore smoke: resumed model differs from uninterrupted run" >&2
+  exit 1
+}
+echo "oocore smoke: ok (killed run resumed to a byte-identical model)"
+
+dune exec bench/main.exe -- --quick oocore

@@ -202,28 +202,234 @@ let train_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL"
          ~doc:"Output model file.")
   in
-  let run lang n jobs out =
+  let w2v_arg =
+    Arg.(value & flag & info [ "w2v" ]
+         ~doc:"Train a word2vec (SGNS) model over AST-path contexts instead \
+               of a CRF.")
+  in
+  let shard_dir_arg =
+    Arg.(value & opt (some string) None & info [ "shard-dir" ] ~docv:"DIR"
+         ~doc:"Out-of-core mode: extract into a shard set under DIR (reusing \
+               a finished set already there) and stream training from disk \
+               with bounded memory.")
+  in
+  let checkpoint_arg =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH"
+         ~doc:"Write the trainer state to PATH, atomically, after every \
+               shard (needs --shard-dir). A killed run loses at most one \
+               shard of work.")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+         ~doc:"Continue from --checkpoint PATH when it exists (fresh start \
+               otherwise). The finished model is byte-identical to an \
+               uninterrupted run with the same job count.")
+  in
+  let heap_arg =
+    Arg.(value & opt (some int) None & info [ "max-heap-mb" ] ~docv:"MB"
+         ~doc:"Memory budget for out-of-core runs: sizes extraction shards \
+               so one shard's decoded working set stays within the budget.")
+  in
+  (* Size shards so one decoded shard fits the budget. The two record
+     kinds differ by orders of magnitude: a graph record carries a
+     whole file's nodes and factors (~16 KiB decoded on synthetic
+     corpora), a training pair is two ids plus its share of the string
+     table (~512 B). Estimates are deliberately conservative. *)
+  let graphs_for_budget mb = max 16 (mb * 64) in
+  let pairs_for_budget mb = max 1024 (mb * 2048) in
+  let run lang n w2v shard_dir checkpoint resume max_heap_mb jobs out =
     handle_parse_errors @@ fun () ->
+    (match (checkpoint, resume, shard_dir) with
+    | Some _, _, None | None, true, _ ->
+        Format.eprintf
+          "error: --checkpoint needs --shard-dir, and --resume needs \
+           --checkpoint@.";
+        exit 2
+    | _ -> ());
     let pool = pool_of_jobs jobs in
-    let config = { Corpus.Gen.default with Corpus.Gen.n_files = n; seed = 42 } in
-    let sources =
+    let jobs_n = match pool with Some p -> Parallel.jobs p | None -> 1 in
+    let records_per_shard =
+      Option.map
+        (if w2v then pairs_for_budget else graphs_for_budget)
+        max_heap_mb
+    in
+    let sources () =
+      let config =
+        { Corpus.Gen.default with Corpus.Gen.n_files = n; seed = 42 }
+      in
       Corpus.Gen.generate_sources config lang.Pigeon.Lang.render_lang
     in
     let repr = Pigeon.Graphs.default_repr ~config:lang.Pigeon.Lang.tuned () in
-    let graphs =
-      Pigeon.Task.graphs_of_sources ~repr ~lang ~policy:Pigeon.Graphs.Locals
-        sources
+    (* Reuse a finished shard set instead of re-extracting: that is
+       what makes --resume cheap, and the set is immutable so the
+       resumed run streams the exact records the killed run did. *)
+    let shard_set ~extract dir =
+      if Corpus.Shard.exists dir then begin
+        Format.eprintf "pigeon train: reusing shard set in %s@." dir;
+        Corpus.Shard.open_set dir
+      end
+      else begin
+        let set, report = extract dir (sources ()) in
+        Pigeon.Ingest.log ~label:(lang.Pigeon.Lang.name ^ " extract") report;
+        set
+      end
     in
-    Format.eprintf "training on %d graphs...@." (List.length graphs);
-    let model = Crf.Train.train ?pool graphs in
-    Crf.Serialize.save model out;
-    Format.printf "wrote %s (%d features)@." out
-      (Crf.Model.size (Lazy.force model.Crf.Train.weights))
+    let load_ckpt path load =
+      if resume && Sys.file_exists path then
+        match load path with
+        | Ok ck -> Some ck
+        | Error d ->
+            Format.eprintf "error: cannot resume:%a@." Lexkit.Diag.pp d;
+            exit 1
+      else None
+    in
+    let warn_jobs ck_jobs =
+      if ck_jobs <> jobs_n then
+        Format.eprintf
+          "pigeon train: warning: checkpoint was written with %d job(s), \
+           resuming with %d — the result will not be bit-identical to an \
+           uninterrupted run@."
+          ck_jobs jobs_n
+    in
+    if w2v then begin
+      let sgns_config = Word2vec.Sgns.default_config in
+      let model =
+        match shard_dir with
+        | None ->
+            let elems, report =
+              Pigeon.Ingest.run
+                ~f:(fun _name src ->
+                  Pigeon.W2v_task.pairs_of_source ~lang
+                    ~mode:(Pigeon.W2v_task.Paths repr) src)
+                (sources ())
+            in
+            Pigeon.Ingest.log ~label:(lang.Pigeon.Lang.name ^ " w2v") report;
+            let pairs =
+              List.concat_map
+                (fun (name, ctxs) -> List.map (fun c -> (name, c)) ctxs)
+                (List.concat elems)
+            in
+            Format.eprintf "training on %d pairs...@." (List.length pairs);
+            Word2vec.Sgns.train ?pool ~config:sgns_config pairs
+        | Some dir ->
+            let set =
+              shard_set dir ~extract:(fun dir srcs ->
+                  Pigeon.W2v_task.extract_pair_shards ?records_per_shard ~lang
+                    ~mode:(Pigeon.W2v_task.Paths repr) ~dir srcs)
+            in
+            let plan =
+              Pigeon.W2v_task.plan_of_set
+                ~min_count:sgns_config.Word2vec.Sgns.min_count set
+            in
+            let from =
+              Option.bind checkpoint (fun path ->
+                  load_ckpt path Word2vec.Serialize.checkpoint_load)
+            in
+            let config =
+              match from with
+              | Some ck ->
+                  warn_jobs ck.Word2vec.Sgns.ck_jobs;
+                  Format.eprintf "pigeon train: resuming at epoch %d, shard %d@."
+                    ck.Word2vec.Sgns.ck_next_epoch ck.Word2vec.Sgns.ck_next_shard;
+                  ck.Word2vec.Sgns.ck_config
+              | None -> sgns_config
+            in
+            let on_shard =
+              Option.map
+                (fun path ~epoch:_ ~shard:_ ck ->
+                  Word2vec.Serialize.checkpoint_save path ck)
+                checkpoint
+            in
+            Format.eprintf "training on %d pairs in %d shards...@."
+              (Array.fold_left ( + ) 0 plan.Pigeon.W2v_task.plan_sizes)
+              (Corpus.Shard.n_shards set);
+            Word2vec.Sgns.train_stream ?pool ~config
+              ~words:plan.Pigeon.W2v_task.plan_words
+              ~contexts:plan.Pigeon.W2v_task.plan_contexts
+              ~shard_sizes:plan.Pigeon.W2v_task.plan_sizes
+              ~pairs_of_shard:(Pigeon.W2v_task.plan_pairs plan)
+              ?from ?on_shard ()
+      in
+      Word2vec.Serialize.save model out;
+      Format.printf "wrote %s (%d words, %d contexts)@." out
+        (Word2vec.Vocab.size model.Word2vec.Sgns.words)
+        (Word2vec.Vocab.size model.Word2vec.Sgns.contexts)
+    end
+    else begin
+      let model =
+        match shard_dir with
+        | None ->
+            let graphs =
+              Pigeon.Task.graphs_of_sources ~repr ~lang
+                ~policy:Pigeon.Graphs.Locals (sources ())
+            in
+            Format.eprintf "training on %d graphs...@." (List.length graphs);
+            Crf.Train.train ?pool graphs
+        | Some dir ->
+            let set =
+              shard_set dir ~extract:(fun dir srcs ->
+                  Pigeon.Task.extract_graph_shards ?pool ?records_per_shard
+                    ~repr ~lang ~policy:Pigeon.Graphs.Locals ~dir srcs)
+            in
+            let n_shards = Corpus.Shard.n_shards set in
+            if n_shards = 0 then begin
+              Format.eprintf "error: the shard set in %s is empty@." dir;
+              exit 1
+            end;
+            let from, config =
+              match
+                Option.bind checkpoint (fun path ->
+                    load_ckpt path Crf.Serialize.checkpoint_load)
+              with
+              | Some ck ->
+                  if ck.Crf.Serialize.ck_n_shards <> n_shards then begin
+                    Format.eprintf
+                      "error: checkpoint was taken over %d shards, the set \
+                       has %d — re-extract or drop --resume@."
+                      ck.Crf.Serialize.ck_n_shards n_shards;
+                    exit 1
+                  end;
+                  warn_jobs ck.Crf.Serialize.ck_jobs;
+                  Format.eprintf
+                    "pigeon train: resuming at iteration %d, shard %d@."
+                    ck.Crf.Serialize.ck_next_it ck.Crf.Serialize.ck_next_shard;
+                  ( Some
+                      ( ck.Crf.Serialize.ck_fast,
+                        ck.Crf.Serialize.ck_next_it,
+                        ck.Crf.Serialize.ck_next_shard ),
+                    ck.Crf.Serialize.ck_config )
+              | None -> (None, Crf.Train.default_config)
+            in
+            let on_shard =
+              Option.map
+                (fun path ~it ~shard m ->
+                  let next_it, next_shard =
+                    if shard + 1 = n_shards then (it + 1, 0) else (it, shard + 1)
+                  in
+                  Crf.Serialize.checkpoint_save path ~config ~next_it
+                    ~next_shard ~n_shards ~jobs:jobs_n m)
+                checkpoint
+            in
+            Format.eprintf "training on %d graphs in %d shards...@."
+              (Corpus.Shard.total set) n_shards;
+            Crf.Train.train_of_shards ?pool ~config ~n_shards
+              ~graphs_of_shard:(Pigeon.Task.graphs_of_shard set)
+              ?from ?on_shard ()
+      in
+      Crf.Serialize.save model out;
+      Format.printf "wrote %s (%d features)@." out
+        (Crf.Model.size (Lazy.force model.Crf.Train.weights))
+    end
   in
   Cmd.v
     (Cmd.info "train"
-       ~doc:"Train a variable-name model on a synthetic corpus and save it.")
-    Term.(const run $ lang_arg $ files_arg $ jobs_arg $ out_arg)
+       ~doc:"Train a variable-name model on a synthetic corpus and save it. \
+             With --shard-dir, extraction streams to disk shards and \
+             training streams them back with bounded memory; --checkpoint \
+             and --resume make such runs kill-safe (a resumed single-job run \
+             finishes byte-identical to an uninterrupted one).")
+    Term.(const run $ lang_arg $ files_arg $ w2v_arg $ shard_dir_arg
+          $ checkpoint_arg $ resume_arg $ heap_arg $ jobs_arg $ out_arg)
 
 (* ---------- predict (from a saved model) ---------- *)
 

@@ -71,6 +71,31 @@ let run ?pool ~f sources =
       skipped = List.rev !skipped;
     } )
 
+(* Streaming variant for out-of-core extraction: fan one batch out,
+   hand its results to [emit] in source order, drop them, move on.
+   Peak memory is one batch of results instead of the whole corpus —
+   [emit] typically appends to shard files. Same per-file semantics
+   and the same source-order determinism as [run]. *)
+let stream ?pool ?(batch = 64) ~f ~emit sources =
+  if batch <= 0 then invalid_arg "Ingest.stream: batch must be positive";
+  let rec take n acc rest =
+    if n = 0 then (List.rev acc, rest)
+    else
+      match rest with
+      | [] -> (List.rev acc, [])
+      | x :: tl -> take (n - 1) (x :: acc) tl
+  in
+  let rec go reports rest =
+    match rest with
+    | [] -> merge_all (List.rev reports)
+    | _ ->
+        let chunk, rest = take batch [] rest in
+        let results, rep = run ?pool ~f chunk in
+        List.iter emit results;
+        go (rep :: reports) rest
+  in
+  go [] sources
+
 let counts report =
   List.filter_map
     (fun kind ->

@@ -35,6 +35,21 @@ val run :
     identical for every job count, and byte-identical to a sequential
     run when the pool has one job. [f] must be pure per file. *)
 
+val stream :
+  ?pool:Parallel.pool ->
+  ?batch:int ->
+  f:(string -> string -> 'a) ->
+  emit:('a -> unit) ->
+  (string * string) list ->
+  report
+(** {!run}, out-of-core: sources are processed in batches of [batch]
+    (default 64) files; each batch fans out over the pool, then its
+    results pass to [emit] one by one — in source order, exactly the
+    order {!run} would have returned them — and are dropped. Peak
+    memory is one batch of results instead of the whole corpus; [emit]
+    typically appends to shard files ({!Corpus.Shard}). [emit] runs on
+    the calling domain. *)
+
 val counts : report -> (Lexkit.Diag.kind * int) list
 (** Skips bucketed by error kind; only non-zero buckets, in the
     declaration order of {!Lexkit.Diag.kind}. *)

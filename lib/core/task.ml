@@ -69,6 +69,76 @@ let run_crf ?pool ?repr ?(crf_config = Crf.Train.default_config) ~lang ~policy
   let summary = Metrics.summarize (eval_pairs model test_graphs) in
   { summary; train_seconds; model; train_skips; test_skips }
 
+(* ---------- Out-of-core: factor graphs on disk ---------- *)
+
+(* The shard layer stores graphs as interned ids only (it sits below
+   Crf in the library graph); these two converters are the bridge.
+   [Graph.make] is idempotent on an already-merged factor list and
+   keeps first-occurrence order, so write → read round-trips to a
+   structurally identical graph. *)
+let rec_of_graph ~intern (g : Crf.Graph.t) =
+  let pw = ref [] and un = ref [] in
+  List.iter
+    (function
+      | Crf.Graph.Pairwise { a; b; rel; mult } ->
+          pw := (a, b, intern rel, mult) :: !pw
+      | Crf.Graph.Unary { n; rel; mult } -> un := (n, intern rel, mult) :: !un)
+    g.Crf.Graph.factors;
+  {
+    Corpus.Shard.g_gold =
+      Array.map (fun (n : Crf.Graph.node) -> intern n.Crf.Graph.gold) g.nodes;
+    g_unknown =
+      Array.map (fun (n : Crf.Graph.node) -> n.kind = `Unknown) g.nodes;
+    g_pw = Array.of_list (List.rev !pw);
+    g_un = Array.of_list (List.rev !un);
+  }
+
+let graph_of_rec ~resolve (r : Corpus.Shard.graph_rec) =
+  let nodes =
+    List.init
+      (Array.length r.Corpus.Shard.g_gold)
+      (fun i ->
+        {
+          Crf.Graph.id = i;
+          gold = resolve r.Corpus.Shard.g_gold.(i);
+          kind = (if r.Corpus.Shard.g_unknown.(i) then `Unknown else `Known);
+        })
+  in
+  let factors =
+    Array.to_list
+      (Array.map
+         (fun (a, b, rel, mult) ->
+           Crf.Graph.Pairwise { a; b; rel = resolve rel; mult })
+         r.Corpus.Shard.g_pw)
+    @ Array.to_list
+        (Array.map
+           (fun (n, rel, mult) ->
+             Crf.Graph.Unary { n; rel = resolve rel; mult })
+           r.Corpus.Shard.g_un)
+  in
+  Crf.Graph.make ~nodes ~factors
+
+let extract_graph_shards ?pool ?batch ?records_per_shard ~repr ~lang ~policy
+    ~dir sources =
+  let w =
+    Corpus.Shard.create_writer ~dir ~kind:Corpus.Shard.Graphs
+      ?records_per_shard ()
+  in
+  let intern = Corpus.Shard.intern w in
+  let report =
+    Ingest.stream ?pool ?batch
+      ~f:(fun _name src ->
+        Graphs.build repr ~def_labels:lang.Lang.def_labels ~policy
+          (lang.Lang.parse_tree src))
+      ~emit:(fun g -> Corpus.Shard.add_graph w (rec_of_graph ~intern g))
+      sources
+  in
+  (Corpus.Shard.finish w, report)
+
+let graphs_of_shard set s =
+  let resolve = Corpus.Shard.string_of_id set in
+  Array.to_list (Array.map (graph_of_rec ~resolve) (Corpus.Shard.graphs set s))
+
 let typed_graphs_report ~repr sources =
   match Lang.java.Lang.parse_typed_tree with
   | None ->

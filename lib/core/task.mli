@@ -32,6 +32,46 @@ val graphs_of_sources :
 (** {!graphs_of_sources_report} with the report sent to the log, as a
     real corpus pipeline would. *)
 
+(** {2 Out-of-core extraction}
+
+    The disk-backed side of streaming CRF training: build graphs file
+    by file, convert them to interned-id records and append them to a
+    {!Corpus.Shard} set, so training ({!Crf.Train.train_of_shards})
+    can later stream them back one bounded shard at a time. *)
+
+val rec_of_graph :
+  intern:(string -> int) -> Crf.Graph.t -> Corpus.Shard.graph_rec
+(** Encode a factor graph for the shard layer; [intern] maps every
+    label and relation string to its id (typically
+    [Corpus.Shard.intern writer]). *)
+
+val graph_of_rec :
+  resolve:(int -> string) -> Corpus.Shard.graph_rec -> Crf.Graph.t
+(** Inverse of {!rec_of_graph}; round-trips to a structurally
+    identical graph (tested). Raises [Invalid_argument] on a record
+    whose shape {!Crf.Graph.make} rejects. *)
+
+val extract_graph_shards :
+  ?pool:Parallel.pool ->
+  ?batch:int ->
+  ?records_per_shard:int ->
+  repr:Graphs.repr ->
+  lang:Lang.t ->
+  policy:Graphs.policy ->
+  dir:string ->
+  (string * string) list ->
+  Corpus.Shard.set * Ingest.report
+(** {!graphs_of_sources_report}, out-of-core: graphs stream through
+    {!Ingest.stream} straight into a [Graphs] shard set under [dir]
+    and are dropped — peak memory is one ingestion batch plus one
+    shard buffer, never the corpus. Same fault isolation and the same
+    source-order determinism as the in-memory path. *)
+
+val graphs_of_shard : Corpus.Shard.set -> int -> Crf.Graph.t list
+(** Decode one shard back to factor graphs — the
+    [graphs_of_shard] closure {!Crf.Train.train_of_shards} wants.
+    Raises [Lexkit.Diag.Error] (kind [Corrupt_model]) on damage. *)
+
 val run_crf :
   ?pool:Parallel.pool ->
   ?repr:Graphs.repr ->

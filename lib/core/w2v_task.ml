@@ -111,6 +111,86 @@ let pairs_of_source ~lang ~mode src =
       path_pairs ~hide_path:true ~repr lang src
   | Linear_tokens window -> token_pairs ~window lang src
 
+(* ---------- Out-of-core: training pairs on disk ---------- *)
+
+let extract_pair_shards ?pool ?batch ?records_per_shard ~lang ~mode ~dir
+    sources =
+  let w =
+    Corpus.Shard.create_writer ~dir ~kind:Corpus.Shard.Pairs ?records_per_shard
+      ()
+  in
+  let report =
+    Ingest.stream ?pool ?batch
+      ~f:(fun _name src -> pairs_of_source ~lang ~mode src)
+      ~emit:(fun elems ->
+        List.iter
+          (fun (name, ctxs) ->
+            let wid = Corpus.Shard.intern w name in
+            List.iter
+              (fun c -> Corpus.Shard.add_pair w wid (Corpus.Shard.intern w c))
+              ctxs)
+          elems)
+      sources
+  in
+  (Corpus.Shard.finish w, report)
+
+type plan = {
+  plan_set : Corpus.Shard.set;
+  plan_words : Word2vec.Vocab.t;
+  plan_contexts : Word2vec.Vocab.t;
+  plan_sizes : int array;
+}
+
+(* Decode one shard and drop pairs whose word or context fell to
+   min_count — the exact filter [Sgns.prepare] applies in memory, so
+   the streamed pair sequence matches what the in-memory trainer would
+   see. *)
+let plan_pairs plan s =
+  let raw = Corpus.Shard.pairs plan.plan_set s in
+  let out = Array.make (max (Array.length raw) 1) (0, 0) in
+  let k = ref 0 in
+  Array.iter
+    (fun (a, b) ->
+      let va = Word2vec.Vocab.of_interned plan.plan_words a
+      and vb = Word2vec.Vocab.of_interned plan.plan_contexts b in
+      if va >= 0 && vb >= 0 then begin
+        out.(!k) <- (va, vb);
+        incr k
+      end)
+    raw;
+  Array.sub out 0 !k
+
+(* Counting is per interned id over the set's (already resident)
+   string table — exact, one int-array slot per distinct string — then
+   both vocabularies share that table, so the remap in [plan_pairs] is
+   two array lookups per pair, no string hashing. Everything is
+   derived deterministically from the shard set, so a resumed run
+   rebuilds vocabularies and shard sizes identical to the saving
+   run's. *)
+let plan_of_set ?(min_count = 1) set =
+  (match Corpus.Shard.kind set with
+  | Corpus.Shard.Pairs -> ()
+  | k ->
+      invalid_arg
+        ("W2v_task.plan_of_set: a " ^ Corpus.Shard.kind_name k ^ " shard set"));
+  let n = Corpus.Shard.n_strings set in
+  let wc = Array.make (max n 1) 0 and cc = Array.make (max n 1) 0 in
+  Corpus.Shard.fold_pairs set ~init:() ~f:(fun () a b ->
+      wc.(a) <- wc.(a) + 1;
+      cc.(b) <- cc.(b) + 1);
+  let tab = Corpus.Shard.strtab set in
+  let words = Word2vec.Vocab.of_strtab ~min_count tab (Array.sub wc 0 n) in
+  let contexts = Word2vec.Vocab.of_strtab ~min_count tab (Array.sub cc 0 n) in
+  let plan =
+    { plan_set = set; plan_words = words; plan_contexts = contexts;
+      plan_sizes = [||] }
+  in
+  let plan_sizes =
+    Array.init (Corpus.Shard.n_shards set) (fun s ->
+        Array.length (plan_pairs plan s))
+  in
+  { plan with plan_sizes }
+
 type result = {
   summary : Metrics.summary;
   model : Word2vec.Sgns.t;

@@ -24,6 +24,48 @@ val pairs_of_source : lang:Lang.t -> mode:mode -> string -> (string * string lis
 (** [(variable name, contexts of all its occurrences)] for each local
     element of one source file. *)
 
+(** {2 Out-of-core training}
+
+    Pairs stream through {!Ingest.stream} into a [Pairs]
+    {!Corpus.Shard} set; a {!plan} then derives everything
+    {!Word2vec.Sgns.train_stream} needs from the finished set —
+    vocabularies, post-filter shard sizes, and the per-shard pair
+    loader. Every piece is a deterministic function of the set, so a
+    resumed run rebuilds the exact state of the run that checkpointed. *)
+
+val extract_pair_shards :
+  ?pool:Parallel.pool ->
+  ?batch:int ->
+  ?records_per_shard:int ->
+  lang:Lang.t ->
+  mode:mode ->
+  dir:string ->
+  (string * string) list ->
+  Corpus.Shard.set * Ingest.report
+(** Extract (word, context) pairs file by file into a shard set under
+    [dir]; peak memory is one ingestion batch plus one shard buffer.
+    Same fault isolation as {!run}'s collection phase. *)
+
+type plan = {
+  plan_set : Corpus.Shard.set;
+  plan_words : Word2vec.Vocab.t;  (** over words at [min_count] *)
+  plan_contexts : Word2vec.Vocab.t;
+  plan_sizes : int array;
+      (** pairs per shard surviving the [min_count] filter — the
+          [shard_sizes] {!Word2vec.Sgns.train_stream} wants *)
+}
+
+val plan_of_set : ?min_count:int -> Corpus.Shard.set -> plan
+(** Count both sides of every pair (one streaming pass), build both
+    vocabularies over the set's string table, and measure the
+    post-filter shard sizes (a second pass). Raises [Invalid_argument]
+    on a non-[Pairs] set. *)
+
+val plan_pairs : plan -> int -> (int * int) array
+(** Load shard [s] as vocab-id pairs, dropping pairs with a filtered
+    side — exactly {!Word2vec.Sgns.prepare}'s in-memory filter.
+    Returns [plan_sizes.(s)] pairs, identical on every call. *)
+
 type result = {
   summary : Metrics.summary;
   model : Word2vec.Sgns.t;

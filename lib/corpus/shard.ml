@@ -1,0 +1,493 @@
+(* Shard sets: extraction output on disk, interned ids only. The
+   format follows the v4 model-file idiom — a text magic line, then
+   Binio length-prefixed fields, then an FNV-1a checksum trailer — so
+   the same overflow-safe reader discipline (subtraction-form bounds,
+   per-element size caps before allocation) contains hostile lengths
+   here too. Every file is written through [Lexkit.write_file_atomic],
+   and [meta.psm] is written last: a killed writer leaves either a
+   complete, readable set or no set at all. *)
+
+module B = Lexkit.Binio
+
+type kind = Pairs | Contexts | Graphs
+
+let kind_name = function
+  | Pairs -> "pairs"
+  | Contexts -> "contexts"
+  | Graphs -> "graphs"
+
+let kind_tag = function Pairs -> 1 | Contexts -> 2 | Graphs -> 3
+
+let kind_of_tag = function
+  | 1 -> Pairs
+  | 2 -> Contexts
+  | 3 -> Graphs
+  | t -> Printf.ksprintf failwith "unknown shard kind tag %d" t
+
+let shard_magic = "pigeon shard 1\n"
+let strings_magic = "pigeon shard strings 1\n"
+let meta_magic = "pigeon shard meta 1\n"
+
+let shard_file dir i = Filename.concat dir (Printf.sprintf "shard-%04d.psh" i)
+let strings_file dir = Filename.concat dir "strings.pst"
+let meta_file dir = Filename.concat dir "meta.psm"
+
+let corrupt ?file fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise (Lexkit.Diag.Error (Lexkit.Diag.make ?file Lexkit.Diag.Corrupt_model msg)))
+    fmt
+
+let io_error ?file fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise (Lexkit.Diag.Error (Lexkit.Diag.make ?file Lexkit.Diag.Io_error msg)))
+    fmt
+
+type graph_rec = {
+  g_gold : int array;
+  g_unknown : bool array;
+  g_pw : (int * int * int * int) array;
+  g_un : (int * int * int) array;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Writing *)
+
+type writer = {
+  w_dir : string;
+  w_kind : kind;
+  w_per_shard : int;
+  w_tab : Intern.Strtab.t;
+  w_buf : Buffer.t;  (* current shard payload; bounded *)
+  mutable w_in_shard : int;
+  mutable w_counts_rev : int list;
+  mutable w_total : int;
+  mutable w_done : bool;
+}
+
+let create_writer ~dir ~kind ?(records_per_shard = 65536) () =
+  if records_per_shard < 1 then
+    invalid_arg "Shard.create_writer: records_per_shard < 1";
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  if Sys.file_exists (meta_file dir) then
+    invalid_arg
+      (Printf.sprintf "Shard.create_writer: %s already holds a finished set"
+         dir);
+  {
+    w_dir = dir;
+    w_kind = kind;
+    w_per_shard = records_per_shard;
+    w_tab = Intern.Strtab.create ~hint:1024 ();
+    w_buf = Buffer.create (records_per_shard * 16);
+    w_in_shard = 0;
+    w_counts_rev = [];
+    w_total = 0;
+    w_done = false;
+  }
+
+let intern w s = Intern.Strtab.intern w.w_tab s
+
+(* Shard files stream out through the writer callback: magic, header,
+   the buffered payload, then the checksum of everything between magic
+   and trailer — the incremental [checksum_add] makes the fold over
+   header + payload equal to checksumming their concatenation. *)
+let write_shard_file w i =
+  let head = Buffer.create 16 in
+  B.w_u8 head (kind_tag w.w_kind);
+  B.w_int head w.w_in_shard;
+  let payload = Buffer.contents w.w_buf in
+  let sum = B.checksum_add (B.checksum (Buffer.contents head)) payload in
+  Lexkit.write_file_atomic_gen (shard_file w.w_dir i) (fun oc ->
+      output_string oc shard_magic;
+      Buffer.output_buffer oc head;
+      output_string oc payload;
+      let tr = Buffer.create 8 in
+      B.w_int tr sum;
+      Buffer.output_buffer oc tr)
+
+let flush_shard w =
+  if w.w_in_shard > 0 then begin
+    write_shard_file w (List.length w.w_counts_rev);
+    w.w_counts_rev <- w.w_in_shard :: w.w_counts_rev;
+    w.w_in_shard <- 0;
+    Buffer.clear w.w_buf
+  end
+
+let check_open w =
+  if w.w_done then invalid_arg "Shard: writer already finished"
+
+let check_id w what id =
+  if id < 0 || id >= Intern.Strtab.size w.w_tab then
+    invalid_arg (Printf.sprintf "Shard: %s id %d not interned" what id)
+
+let begin_record w =
+  check_open w;
+  if w.w_in_shard >= w.w_per_shard then flush_shard w;
+  w.w_in_shard <- w.w_in_shard + 1;
+  w.w_total <- w.w_total + 1
+
+let add_pair w a b =
+  if w.w_kind <> Pairs then
+    invalid_arg "Shard.add_pair: not a pairs set";
+  check_id w "word" a;
+  check_id w "context" b;
+  begin_record w;
+  B.w_int w.w_buf a;
+  B.w_int w.w_buf b
+
+let add_context w ~start ~rel ~end_ =
+  if w.w_kind <> Contexts then
+    invalid_arg "Shard.add_context: not a contexts set";
+  check_id w "start" start;
+  check_id w "rel" rel;
+  check_id w "end" end_;
+  begin_record w;
+  B.w_int w.w_buf start;
+  B.w_int w.w_buf rel;
+  B.w_int w.w_buf end_
+
+let add_graph w (g : graph_rec) =
+  if w.w_kind <> Graphs then
+    invalid_arg "Shard.add_graph: not a graphs set";
+  let n = Array.length g.g_gold in
+  if Array.length g.g_unknown <> n then
+    invalid_arg "Shard.add_graph: gold/unknown length mismatch";
+  Array.iter (check_id w "gold label") g.g_gold;
+  let chk_node what i =
+    if i < 0 || i >= n then
+      invalid_arg (Printf.sprintf "Shard.add_graph: %s node %d of %d" what i n)
+  in
+  Array.iter
+    (fun (a, b, rel, mult) ->
+      chk_node "pairwise" a;
+      chk_node "pairwise" b;
+      check_id w "rel" rel;
+      if mult < 1 then invalid_arg "Shard.add_graph: mult < 1")
+    g.g_pw;
+  Array.iter
+    (fun (i, rel, mult) ->
+      chk_node "unary" i;
+      check_id w "rel" rel;
+      if mult < 1 then invalid_arg "Shard.add_graph: mult < 1")
+    g.g_un;
+  begin_record w;
+  let buf = w.w_buf in
+  B.w_int buf n;
+  for i = 0 to n - 1 do
+    B.w_int buf g.g_gold.(i);
+    B.w_u8 buf (if g.g_unknown.(i) then 1 else 0)
+  done;
+  B.w_int buf (Array.length g.g_pw);
+  Array.iter
+    (fun (a, b, rel, mult) ->
+      B.w_int buf a;
+      B.w_int buf b;
+      B.w_int buf rel;
+      B.w_int buf mult)
+    g.g_pw;
+  B.w_int buf (Array.length g.g_un);
+  Array.iter
+    (fun (i, rel, mult) ->
+      B.w_int buf i;
+      B.w_int buf rel;
+      B.w_int buf mult)
+    g.g_un
+
+type set = {
+  s_dir : string;
+  s_kind : kind;
+  s_counts : int array;
+  s_total : int;
+  s_tab : Intern.Strtab.t;
+}
+
+let write_strings w =
+  let buf = Buffer.create (16 * Intern.Strtab.size w.w_tab) in
+  B.w_int buf (Intern.Strtab.size w.w_tab);
+  Intern.Strtab.iter (fun _ s -> B.w_string buf s) w.w_tab;
+  let body = Buffer.contents buf in
+  let tr = Buffer.create 8 in
+  B.w_int tr (B.checksum body);
+  Lexkit.write_file_atomic (strings_file w.w_dir)
+    (strings_magic ^ body ^ Buffer.contents tr)
+
+let write_meta w counts =
+  let buf = Buffer.create 64 in
+  B.w_u8 buf (kind_tag w.w_kind);
+  B.w_int buf (Intern.Strtab.size w.w_tab);
+  B.w_int buf (Array.length counts);
+  B.w_int buf w.w_total;
+  Array.iter (B.w_int buf) counts;
+  let body = Buffer.contents buf in
+  let tr = Buffer.create 8 in
+  B.w_int tr (B.checksum body);
+  Lexkit.write_file_atomic (meta_file w.w_dir)
+    (meta_magic ^ body ^ Buffer.contents tr)
+
+let finish w =
+  check_open w;
+  flush_shard w;
+  let counts = Array.of_list (List.rev w.w_counts_rev) in
+  write_strings w;
+  (* Last: the set exists only once its metadata does. *)
+  write_meta w counts;
+  w.w_done <- true;
+  {
+    s_dir = w.w_dir;
+    s_kind = w.w_kind;
+    s_counts = counts;
+    s_total = w.w_total;
+    s_tab = w.w_tab;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Reading *)
+
+let read_file_str path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | s -> s
+  | exception Sys_error msg -> io_error ~file:path "%s" msg
+  | exception End_of_file -> corrupt ~file:path "file shrank while reading"
+
+(* Magic + trailer framing shared by all three file types: returns a
+   reader over the checksummed body after verifying the trailer. *)
+let open_body ~file ~magic s =
+  let mlen = String.length magic in
+  if String.length s < mlen || not (String.equal (String.sub s 0 mlen) magic)
+  then corrupt ~file "bad magic (not a %s file)" (Filename.basename file);
+  if String.length s < mlen + 8 then corrupt ~file "truncated (no trailer)";
+  let body = String.sub s mlen (String.length s - mlen - 8) in
+  let r = B.reader ~pos:(String.length s - 8) s in
+  let stored = B.r_int r "checksum trailer" in
+  let sum = B.checksum body in
+  if stored <> sum then
+    corrupt ~file "checksum mismatch: stored %d, computed %d" stored sum;
+  B.reader body
+
+(* Binio reader failures ([Failure] from hostile lengths, truncation,
+   bad tags) become [Corrupt_model] diagnostics carrying the file. *)
+let guarded ~file f =
+  match f () with
+  | v -> v
+  | exception Failure msg -> corrupt ~file "%s" msg
+
+let load_meta dir =
+  let file = meta_file dir in
+  if not (Sys.file_exists file) then
+    io_error ~file "no shard set at %s (missing meta.psm)" dir;
+  let r = open_body ~file ~magic:meta_magic (read_file_str file) in
+  guarded ~file (fun () ->
+      let kind = kind_of_tag (B.r_u8 r "kind") in
+      let n_strings = B.r_int r "string count" in
+      let n_shards = B.r_int r "shard count" in
+      let total = B.r_int r "record count" in
+      if n_strings < 0 then failwith "negative string count";
+      if n_shards < 0 || n_shards > B.remaining r / 8 then
+        failwith "shard count out of range";
+      let counts = Array.init n_shards (fun _ -> B.r_int r "shard records") in
+      let sum = Array.fold_left ( + ) 0 counts in
+      if total < 0 || sum <> total then
+        Printf.ksprintf failwith
+          "record counts disagree: shards sum to %d, metadata says %d" sum
+          total;
+      Array.iter (fun c -> if c < 0 then failwith "negative shard count") counts;
+      if not (B.at_end r) then failwith "trailing bytes after metadata";
+      (kind, n_strings, counts, total))
+
+let load_strings dir ~n_strings =
+  let file = strings_file dir in
+  if not (Sys.file_exists file) then
+    io_error ~file "shard set missing its string table";
+  let r = open_body ~file ~magic:strings_magic (read_file_str file) in
+  guarded ~file (fun () ->
+      let n = B.r_int r "string count" in
+      if n <> n_strings then
+        Printf.ksprintf failwith
+          "string table holds %d strings, metadata says %d" n n_strings;
+      let tab = Intern.Strtab.create ~hint:(max 8 n) () in
+      for i = 0 to n - 1 do
+        let s = B.r_string r "string" in
+        if Intern.Strtab.intern tab s <> i then
+          Printf.ksprintf failwith "duplicate string %S in table" s
+      done;
+      if not (B.at_end r) then failwith "trailing bytes after string table";
+      tab)
+
+let open_set dirname =
+  let kind, n_strings, counts, total = load_meta dirname in
+  let tab = load_strings dirname ~n_strings in
+  { s_dir = dirname; s_kind = kind; s_counts = counts; s_total = total;
+    s_tab = tab }
+
+let exists dirname = Sys.file_exists (meta_file dirname)
+
+let dir s = s.s_dir
+let kind s = s.s_kind
+let n_shards s = Array.length s.s_counts
+let total s = s.s_total
+
+let shard_records s i =
+  if i < 0 || i >= Array.length s.s_counts then
+    invalid_arg (Printf.sprintf "Shard.shard_records: shard %d of %d" i
+                   (Array.length s.s_counts));
+  s.s_counts.(i)
+
+let n_strings s = Intern.Strtab.size s.s_tab
+let string_of_id s i = Intern.Strtab.to_string s.s_tab i
+let strtab s = s.s_tab
+
+(* One shard, verified: checksum first, then kind/count cross-checked
+   against the metadata (a shard file copied in from another set fails
+   here even if internally consistent). Returns a reader positioned at
+   the payload plus the record count. *)
+let open_shard s i =
+  if i < 0 || i >= Array.length s.s_counts then
+    invalid_arg (Printf.sprintf "Shard: shard %d of %d" i
+                   (Array.length s.s_counts));
+  let file = shard_file s.s_dir i in
+  if not (Sys.file_exists file) then
+    io_error ~file "shard set missing shard %d" i;
+  let r = open_body ~file ~magic:shard_magic (read_file_str file) in
+  let count =
+    guarded ~file (fun () ->
+        let k = kind_of_tag (B.r_u8 r "kind") in
+        if k <> s.s_kind then
+          Printf.ksprintf failwith "shard kind %s, set kind %s" (kind_name k)
+            (kind_name s.s_kind);
+        let n = B.r_int r "record count" in
+        if n <> s.s_counts.(i) then
+          Printf.ksprintf failwith
+            "shard holds %d records, metadata says %d" n s.s_counts.(i);
+        n)
+  in
+  (file, r, count)
+
+let check_sid s ~file id what =
+  if id < 0 || id >= Intern.Strtab.size s.s_tab then
+    corrupt ~file "%s id %d outside the string table (%d strings)" what id
+      (Intern.Strtab.size s.s_tab)
+
+let pairs s i =
+  if s.s_kind <> Pairs then invalid_arg "Shard.pairs: not a pairs set";
+  let file, r, n = open_shard s i in
+  guarded ~file (fun () ->
+      (* 16 bytes per record: bound the claimed count before
+         allocating (division form — no overflow on hostile counts). *)
+      if n > B.remaining r / 16 then
+        failwith "record count exceeds shard payload";
+      let out =
+        Array.init n (fun _ ->
+            let a = B.r_int r "pair word" in
+            let b = B.r_int r "pair context" in
+            (a, b))
+      in
+      if not (B.at_end r) then failwith "trailing bytes after records";
+      Array.iter
+        (fun (a, b) ->
+          check_sid s ~file a "word";
+          check_sid s ~file b "context")
+        out;
+      out)
+
+let contexts s i =
+  if s.s_kind <> Contexts then invalid_arg "Shard.contexts: not a contexts set";
+  let file, r, n = open_shard s i in
+  guarded ~file (fun () ->
+      if n > B.remaining r / 24 then
+        failwith "record count exceeds shard payload";
+      let out =
+        Array.init n (fun _ ->
+            let a = B.r_int r "context start" in
+            let b = B.r_int r "context rel" in
+            let c = B.r_int r "context end" in
+            (a, b, c))
+      in
+      if not (B.at_end r) then failwith "trailing bytes after records";
+      Array.iter
+        (fun (a, b, c) ->
+          check_sid s ~file a "start";
+          check_sid s ~file b "rel";
+          check_sid s ~file c "end")
+        out;
+      out)
+
+let graphs s i =
+  if s.s_kind <> Graphs then invalid_arg "Shard.graphs: not a graphs set";
+  let file, r, n = open_shard s i in
+  guarded ~file (fun () ->
+      (* Graphs are variable-length; a record costs at least 24 bytes
+         (three counts), which still bounds hostile record counts. *)
+      if n > B.remaining r / 24 then
+        failwith "record count exceeds shard payload";
+            let read_graph () =
+        let nn = B.r_int r "node count" in
+        if nn < 0 || nn > B.remaining r / 9 then
+          failwith "node count exceeds shard payload";
+        let g_gold = Array.make (max 1 nn) 0
+        and g_unknown = Array.make (max 1 nn) false in
+        for k = 0 to nn - 1 do
+          let sid = B.r_int r "gold label" in
+          check_sid s ~file sid "gold label";
+          g_gold.(k) <- sid;
+          g_unknown.(k) <- B.r_u8 r "node kind" <> 0
+        done;
+        let g_gold = Array.sub g_gold 0 nn
+        and g_unknown = Array.sub g_unknown 0 nn in
+        let chk_node what v =
+          if v < 0 || v >= nn then
+            Printf.ksprintf failwith "%s node %d outside %d nodes" what v nn
+        in
+        let npw = B.r_int r "pairwise count" in
+        if npw < 0 || npw > B.remaining r / 32 then
+          failwith "pairwise count exceeds shard payload";
+        let g_pw =
+          Array.init npw (fun _ ->
+              let a = B.r_int r "pairwise a" in
+              let b = B.r_int r "pairwise b" in
+              let rel = B.r_int r "pairwise rel" in
+              let mult = B.r_int r "pairwise mult" in
+              chk_node "pairwise" a;
+              chk_node "pairwise" b;
+              check_sid s ~file rel "rel";
+              if mult < 1 then failwith "pairwise mult < 1";
+              (a, b, rel, mult))
+        in
+        let nun = B.r_int r "unary count" in
+        if nun < 0 || nun > B.remaining r / 24 then
+          failwith "unary count exceeds shard payload";
+        let g_un =
+          Array.init nun (fun _ ->
+              let v = B.r_int r "unary node" in
+              let rel = B.r_int r "unary rel" in
+              let mult = B.r_int r "unary mult" in
+              chk_node "unary" v;
+              check_sid s ~file rel "rel";
+              if mult < 1 then failwith "unary mult < 1";
+              (v, rel, mult))
+        in
+        { g_gold; g_unknown; g_pw; g_un }
+      in
+      let out = Array.init n (fun _ -> read_graph ()) in
+      if not (B.at_end r) then failwith "trailing bytes after records";
+      out)
+
+let fold_over load ?(from_shard = 0) s ~init ~f =
+  let acc = ref init in
+  for i = max 0 from_shard to Array.length s.s_counts - 1 do
+    acc := Array.fold_left f !acc (load s i)
+  done;
+  !acc
+
+let fold_pairs ?from_shard s ~init ~f =
+  fold_over pairs ?from_shard s ~init ~f:(fun acc (a, b) -> f acc a b)
+
+let fold_contexts ?from_shard s ~init ~f =
+  fold_over contexts ?from_shard s ~init ~f:(fun acc (a, b, c) -> f acc a b c)
+
+let fold_graphs ?from_shard s ~init ~f = fold_over graphs ?from_shard s ~init ~f

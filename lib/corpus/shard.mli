@@ -1,0 +1,119 @@
+(** Disk-backed extraction shards: the out-of-core training corpus.
+
+    A *shard set* is a directory holding the extraction output of a
+    corpus in a form training can stream with bounded memory:
+
+    - [shard-NNNN.psh] — fixed-size runs of records, interned ids
+      only, each file independently checksummed (FNV-1a trailer, the
+      {!Lexkit.Binio} checksum);
+    - [strings.pst] — the string table, written once per set: every
+      id in every shard resolves here;
+    - [meta.psm] — kind, shard count and per-shard record counts,
+      written last and atomically, so its presence marks a complete
+      set (a killed writer leaves no [meta.psm] and the set reads as
+      absent, never as truncated).
+
+    Three record kinds cover both trainers: {!Pairs} ((word, context)
+    — SGNS training pairs), {!Contexts} ((start, rel, end) path
+    contexts), and {!Graphs} (encoded CRF factor graphs). Readers
+    verify magic, kind, record counts and the per-shard checksum
+    before yielding a single record; any damage — truncation, bit
+    flips, hostile lengths — surfaces as a structured
+    [Lexkit.Diag.Error] with kind [Corrupt_model]. *)
+
+type kind = Pairs | Contexts | Graphs
+
+val kind_name : kind -> string
+
+(** {2 Writing} *)
+
+type writer
+
+val create_writer :
+  dir:string -> kind:kind -> ?records_per_shard:int -> unit -> writer
+(** Start a shard set in [dir] (created if needed; an existing
+    [meta.psm] there is an error — sets are immutable once finished).
+    [records_per_shard] (default 65536) bounds the writer's in-memory
+    buffer: one shard's payload plus the string table. *)
+
+val intern : writer -> string -> int
+(** Intern a string into the set's table, returning its id. *)
+
+val add_pair : writer -> int -> int -> unit
+(** [Pairs] sets only: append a (word, context) record of interned
+    ids. Raises [Invalid_argument] on a kind mismatch or an id not
+    from {!intern}. *)
+
+val add_context : writer -> start:int -> rel:int -> end_:int -> unit
+(** [Contexts] sets only: append a (start, rel, end) path context. *)
+
+(** An encoded factor graph: node gold labels and factor relations as
+    interned ids. The neutral form lets the corpus layer stay below
+    [Crf] in the library graph; [Pigeon.Task] converts to and from
+    [Crf.Graph.t]. *)
+type graph_rec = {
+  g_gold : int array;  (** per node, in node-id order *)
+  g_unknown : bool array;  (** per node *)
+  g_pw : (int * int * int * int) array;  (** (a, b, rel, mult) *)
+  g_un : (int * int * int) array;  (** (n, rel, mult) *)
+}
+
+val add_graph : writer -> graph_rec -> unit
+(** [Graphs] sets only. Raises [Invalid_argument] on malformed shape
+    (mismatched node arrays, out-of-range ids, mult < 1). *)
+
+type set
+
+val finish : writer -> set
+(** Flush the final partial shard, write the string table, then
+    publish [meta.psm] atomically. The writer is dead afterwards. *)
+
+(** {2 Reading} *)
+
+val open_set : string -> set
+(** Open a finished set: loads and verifies [meta.psm] and
+    [strings.pst]. Raises [Lexkit.Diag.Error] — [Io_error] when the
+    set is absent or unreadable, [Corrupt_model] on any structural or
+    checksum damage. *)
+
+val exists : string -> bool
+(** Whether [dir] holds a finished set (a [meta.psm]). *)
+
+val dir : set -> string
+val kind : set -> kind
+val n_shards : set -> int
+val total : set -> int
+(** Total records across all shards. *)
+
+val shard_records : set -> int -> int
+(** Record count of one shard (from the metadata — no shard read). *)
+
+val n_strings : set -> int
+val string_of_id : set -> int -> string
+val strtab : set -> Intern.Strtab.t
+(** The set's string table. Shared, read-only: resolve ids through
+    it, do not intern into it. *)
+
+val pairs : set -> int -> (int * int) array
+(** Load, verify and decode one shard of a [Pairs] set — the bounded
+    unit of streaming (at most [records_per_shard] records). Raises
+    [Lexkit.Diag.Error] with kind [Corrupt_model] on damage. *)
+
+val contexts : set -> int -> (int * int * int) array
+val graphs : set -> int -> graph_rec array
+
+val fold_pairs :
+  ?from_shard:int -> set -> init:'a -> f:('a -> int -> int -> 'a) -> 'a
+(** Stream every pair in shard order, one verified shard in memory at
+    a time. [from_shard] starts the walk at a later shard — the resume
+    cursor's entry point. *)
+
+val fold_contexts :
+  ?from_shard:int ->
+  set ->
+  init:'a ->
+  f:('a -> int -> int -> int -> 'a) ->
+  'a
+
+val fold_graphs :
+  ?from_shard:int -> set -> init:'a -> f:('a -> graph_rec -> 'a) -> 'a

@@ -49,40 +49,46 @@ let create ?symbols () =
     sorted_global = [||];
   }
 
+(* One graph's counts, the unit of streaming: [build] is a fold of
+   this over an in-memory corpus, and the out-of-core path calls it
+   per shard-loaded graph so the whole corpus never has to coexist
+   with the counts. Invalidate the ranking cache — counting after a
+   query must not leave a stale global top behind. *)
+let count_graph t (g : Graph.t) =
+  let label = Symbols.label t.syms and rel_id = Symbols.rel t.syms in
+  let gold = Graph.gold_assignment g in
+  let gold_ids = Array.map label gold in
+  Array.iter
+    (fun (n : Graph.node) ->
+      if n.Graph.kind = `Unknown then
+        incr_count t.global (label n.Graph.gold))
+    g.Graph.nodes;
+  (* Every factor's relation is interned, used in a count or not:
+     [Fast.encode] then finds every training rel already present,
+     so rel ids are assigned in plain corpus factor order. *)
+  List.iter
+    (fun f ->
+      match f with
+      | Graph.Unary { n; rel; mult } ->
+          let r = rel_id rel in
+          if g.Graph.nodes.(n).Graph.kind = `Unknown then
+            bump ~by:mult t.unary r gold_ids.(n)
+      | Graph.Pairwise { a; b; rel; mult } ->
+          let r = rel_id rel in
+          if g.Graph.nodes.(a).Graph.kind = `Unknown then
+            bump ~by:mult t.pairwise
+              (pack ~dir:0 ~rel:r ~other:gold_ids.(b))
+              gold_ids.(a);
+          if g.Graph.nodes.(b).Graph.kind = `Unknown then
+            bump ~by:mult t.pairwise
+              (pack ~dir:1 ~rel:r ~other:gold_ids.(a))
+              gold_ids.(b))
+    g.Graph.factors;
+  t.sorted_global <- [||]
+
 let build ?symbols graphs =
   let t = create ?symbols () in
-  let label = Symbols.label t.syms and rel_id = Symbols.rel t.syms in
-  List.iter
-    (fun (g : Graph.t) ->
-      let gold = Graph.gold_assignment g in
-      let gold_ids = Array.map label gold in
-      Array.iter
-        (fun (n : Graph.node) ->
-          if n.Graph.kind = `Unknown then
-            incr_count t.global (label n.Graph.gold))
-        g.Graph.nodes;
-      (* Every factor's relation is interned, used in a count or not:
-         [Fast.encode] then finds every training rel already present,
-         so rel ids are assigned in plain corpus factor order. *)
-      List.iter
-        (fun f ->
-          match f with
-          | Graph.Unary { n; rel; mult } ->
-              let r = rel_id rel in
-              if g.Graph.nodes.(n).Graph.kind = `Unknown then
-                bump ~by:mult t.unary r gold_ids.(n)
-          | Graph.Pairwise { a; b; rel; mult } ->
-              let r = rel_id rel in
-              if g.Graph.nodes.(a).Graph.kind = `Unknown then
-                bump ~by:mult t.pairwise
-                  (pack ~dir:0 ~rel:r ~other:gold_ids.(b))
-                  gold_ids.(a);
-              if g.Graph.nodes.(b).Graph.kind = `Unknown then
-                bump ~by:mult t.pairwise
-                  (pack ~dir:1 ~rel:r ~other:gold_ids.(a))
-                  gold_ids.(b))
-        g.Graph.factors)
-    graphs;
+  List.iter (count_graph t) graphs;
   t
 
 let num_labels t = Hashtbl.length t.global

@@ -19,6 +19,18 @@ val build : ?symbols:Symbols.t -> Graph.t list -> t
     gold labels and relations into [symbols] (fresh when omitted) in
     corpus order. *)
 
+val create : ?symbols:Symbols.t -> unit -> t
+(** An empty table, for streaming construction: feed graphs through
+    {!count_graph} as they come off disk. [build] = [create] + a fold
+    of {!count_graph}, so a streamed build over the same graphs in the
+    same order is identical. *)
+
+val count_graph : t -> Graph.t -> unit
+(** Fold one graph's gold co-occurrences into the table — the
+    out-of-core counting pass's unit. Safe to interleave with queries
+    (the ranking cache is invalidated), though normal use counts
+    everything first. *)
+
 val symbols : t -> Symbols.t
 
 val num_labels : t -> int

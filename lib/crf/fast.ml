@@ -706,29 +706,12 @@ let count_range egs lo hi =
   done;
   (pw_c, un_c, bias_c)
 
-let init_from_counts ?pool m egs ~style ~scale ~min_count =
-  let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
-  let n = Array.length egs in
-  let pw_c, un_c, bias_c =
-    if jobs <= 1 || n <= 1 then count_range egs 0 (n - 1)
-    else begin
-      let parts =
-        Parallel.map ?pool
-          (fun (lo, hi) -> count_range egs lo hi)
-          (Parallel.chunk_ranges ~chunks:jobs n)
-      in
-      let pw_c = Hashtbl.create 65536 in
-      let un_c = Hashtbl.create 16384 in
-      let bias_c = Hashtbl.create 512 in
-      Array.iter
-        (fun (pw, un, bias) ->
-          Hashtbl.iter (bump_count pw_c) pw;
-          Hashtbl.iter (bump_count un_c) un;
-          Hashtbl.iter (bump_count bias_c) bias)
-        parts;
-      (pw_c, un_c, bias_c)
-    end
-  in
+(* Turn accumulated gold-feature counts into initial weights. Split
+   from the counting so the out-of-core path can merge per-shard
+   counts into one accumulator before applying — count tables are
+   O(features), never O(corpus). Per-key application order is
+   irrelevant: each key is set once. *)
+let apply_init m (pw_c, un_c, bias_c) ~style ~scale ~min_count =
   (* Naive-Bayes-style conditional estimates: a relation feature's
      weight is log P(feature | label) up to a label-independent
      constant — log(1+c(label,feature)) − log(1+c(label)) — and the
@@ -762,6 +745,31 @@ let init_from_counts ?pool m egs ~style ~scale ~min_count =
         add m.un k (scale *. (log (1. +. c) -. log (label_total l))))
     un_c;
   Hashtbl.iter (fun k c -> add m.bias k (scale *. log (1. +. c))) bias_c
+
+let init_from_counts ?pool m egs ~style ~scale ~min_count =
+  let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
+  let n = Array.length egs in
+  let counts =
+    if jobs <= 1 || n <= 1 then count_range egs 0 (n - 1)
+    else begin
+      let parts =
+        Parallel.map ?pool
+          (fun (lo, hi) -> count_range egs lo hi)
+          (Parallel.chunk_ranges ~chunks:jobs n)
+      in
+      let pw_c = Hashtbl.create 65536 in
+      let un_c = Hashtbl.create 16384 in
+      let bias_c = Hashtbl.create 512 in
+      Array.iter
+        (fun (pw, un, bias) ->
+          Hashtbl.iter (bump_count pw_c) pw;
+          Hashtbl.iter (bump_count un_c) un;
+          Hashtbl.iter (bump_count bias_c) bias)
+        parts;
+      (pw_c, un_c, bias_c)
+    end
+  in
+  apply_init m counts ~style ~scale ~min_count
 
 let mode_of cfg it =
   match cfg.trainer with
@@ -805,10 +813,61 @@ let steps_of_graph mode ~cand =
    barrier. 4 measured well on synthetic corpora. *)
 let round_graphs_per_domain = 4
 
+(* One shuffled pass over [order] (indices into [egs]/[cand_cache]).
+   Shared by the in-memory trainer (order spans the whole corpus) and
+   the streaming trainer (order spans one shard), so both produce the
+   same update sequence for the same order. *)
+let run_pass ?pool cfg cands m ~mode ~it ~egs ~cand_cache ~order =
+  let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
+  let n = Array.length order in
+  if jobs <= 1 || n <= 1 then
+    Array.iter
+      (fun gi ->
+        run_graph_pass cfg cands ~rd:m ~wr:m ~mode ~it ~cand:cand_cache.(gi)
+          egs.(gi))
+      order
+  else begin
+    (* Parallel pass: synchronized rounds over the shuffled order.
+       Each domain trains a contiguous slice of the round against
+       the weights as of the round barrier (a synchronous-minibatch
+       view of the same objective), writing into a private delta;
+       deltas merge in slice order, and each graph is assigned the
+       step number the sequential pass order would have given it —
+       so the run is reproducible for a fixed job count, and the
+       averaged-perceptron clock is unchanged. *)
+    let prefix = Array.make (n + 1) m.steps in
+    for k = 0 to n - 1 do
+      prefix.(k + 1) <-
+        prefix.(k) + steps_of_graph mode ~cand:cand_cache.(order.(k))
+    done;
+    let per_round = jobs * round_graphs_per_domain in
+    let start = ref 0 in
+    while !start < n do
+      let base = !start in
+      let stop = min n (base + per_round) in
+      let slices = Parallel.chunk_ranges ~chunks:jobs (stop - base) in
+      let deltas =
+        Parallel.map ?pool
+          (fun (lo, hi) ->
+            let wr = delta_of m in
+            for k = base + lo to base + hi do
+              let gi = order.(k) in
+              wr.steps <- prefix.(k);
+              run_graph_pass cfg cands ~rd:m ~wr ~mode ~it
+                ~cand:cand_cache.(gi) egs.(gi)
+            done;
+            wr)
+          slices
+      in
+      Array.iter (merge_delta m) deltas;
+      m.steps <- prefix.(stop);
+      start := stop
+    done
+  end
+
 let train ?pool cfg cands graphs =
   let m = create ~symbols:(Candidates.symbols cands) () in
   let egs = Array.of_list (List.map (encode m) graphs) in
-  let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
   (match cfg.init with
   | No_init -> ()
   | (Log_counts | Naive_bayes) as style ->
@@ -828,52 +887,78 @@ let train ?pool cfg cands graphs =
   for it = 0 to cfg.iterations - 1 do
     let order = Array.init n Fun.id in
     shuffle rng order;
-    let mode = mode_of cfg it in
-    if jobs <= 1 || n <= 1 then
-      Array.iter
-        (fun gi ->
-          run_graph_pass cfg cands ~rd:m ~wr:m ~mode ~it ~cand:cand_cache.(gi)
-            egs.(gi))
-        order
-    else begin
-      (* Parallel pass: synchronized rounds over the shuffled order.
-         Each domain trains a contiguous slice of the round against
-         the weights as of the round barrier (a synchronous-minibatch
-         view of the same objective), writing into a private delta;
-         deltas merge in slice order, and each graph is assigned the
-         step number the sequential pass order would have given it —
-         so the run is reproducible for a fixed job count, and the
-         averaged-perceptron clock is unchanged. *)
-      let prefix = Array.make (n + 1) m.steps in
-      for k = 0 to n - 1 do
-        prefix.(k + 1) <-
-          prefix.(k) + steps_of_graph mode ~cand:cand_cache.(order.(k))
-      done;
-      let per_round = jobs * round_graphs_per_domain in
-      let start = ref 0 in
-      while !start < n do
-        let base = !start in
-        let stop = min n (base + per_round) in
-        let slices = Parallel.chunk_ranges ~chunks:jobs (stop - base) in
-        let deltas =
-          Parallel.map ?pool
-            (fun (lo, hi) ->
-              let wr = delta_of m in
-              for k = base + lo to base + hi do
-                let gi = order.(k) in
-                wr.steps <- prefix.(k);
-                run_graph_pass cfg cands ~rd:m ~wr ~mode ~it
-                  ~cand:cand_cache.(gi) egs.(gi)
-              done;
-              wr)
-            slices
-        in
-        Array.iter (merge_delta m) deltas;
-        m.steps <- prefix.(stop);
-        start := stop
-      done
-    end
+    run_pass ?pool cfg cands m ~mode:(mode_of cfg it) ~it ~egs ~cand_cache
+      ~order
   done;
+  if cfg.averaged then finalize_average m;
+  m
+
+(* {2 Out-of-core training}
+
+   The streaming trainer never holds more than one shard's graphs.
+   Within a shard the pass is the same machinery as [train]; across
+   shards the only coupling is the weight tables and the step clock,
+   both of which a checkpoint captures exactly. Shuffling is per
+   (iteration, shard) with an rng *derived* from those coordinates —
+   no long-lived rng state survives a shard boundary, so resuming at
+   a boundary replays nothing and needs no rng serialization to be
+   bit-exact. The trade against [train] is the shuffle radius: graphs
+   only mix within their shard, which matters as little as the shard
+   size is large. *)
+
+let train_stream ?pool cfg cands ~n_shards ~graphs_of_shard ?from ?on_shard ()
+    =
+  if n_shards <= 0 then invalid_arg "Fast.train_stream: n_shards must be > 0";
+  let m, start_it, start_shard =
+    match from with
+    | Some (m, it, s) ->
+        if s < 0 || s >= n_shards || it < 0 then
+          invalid_arg "Fast.train_stream: cursor out of range";
+        (m, it, s)
+    | None ->
+        let m = create ~symbols:(Candidates.symbols cands) () in
+        (match cfg.init with
+        | No_init -> ()
+        | (Log_counts | Naive_bayes) as style ->
+            (* Counting pass, one shard at a time; merged counts are
+               O(features). Merge order per key is commutative float
+               addition in shard order — same order every run. *)
+            let pw_c = Hashtbl.create 65536 in
+            let un_c = Hashtbl.create 16384 in
+            let bias_c = Hashtbl.create 512 in
+            for s = 0 to n_shards - 1 do
+              let egs =
+                Array.of_list (List.map (encode m) (graphs_of_shard s))
+              in
+              let pw, un, bias = count_range egs 0 (Array.length egs - 1) in
+              Hashtbl.iter (bump_count pw_c) pw;
+              Hashtbl.iter (bump_count un_c) un;
+              Hashtbl.iter (bump_count bias_c) bias
+            done;
+            apply_init m (pw_c, un_c, bias_c) ~style ~scale:cfg.init_scale
+              ~min_count:cfg.init_min_count);
+        (m, 0, 0)
+  in
+  ignore (Candidates.global_top cands 1);
+  if start_it < cfg.iterations then
+    for it = start_it to cfg.iterations - 1 do
+      let mode = mode_of cfg it in
+      for s = (if it = start_it then start_shard else 0) to n_shards - 1 do
+        let graphs = graphs_of_shard s in
+        let egs = Array.of_list (List.map (encode m) graphs) in
+        let cand_cache =
+          Array.map (fun eg -> candidate_ids cfg cands m eg ~force_gold:true)
+            egs
+        in
+        let n = Array.length egs in
+        if n > 0 then begin
+          let order = Array.init n Fun.id in
+          shuffle (Random.State.make [| cfg.seed; 0x5eed; it; s |]) order;
+          run_pass ?pool cfg cands m ~mode ~it ~egs ~cand_cache ~order
+        end;
+        match on_shard with None -> () | Some f -> f ~it ~shard:s m
+      done
+    done;
   if cfg.averaged then finalize_average m;
   m
 
@@ -979,24 +1064,24 @@ type dump = {
   d_bias : (int * float) list;
 }
 
+(* Key-sorted: the keys sort as an unboxed int array (no generic
+   compare on boxed pairs), and the v3 writer emits the list as-is,
+   so the canonical on-disk order costs one int sort here. *)
+let tbl_list tbl =
+  let n = Itbl.length tbl in
+  let keys = Array.make (max 1 n) 0 in
+  let i = ref 0 in
+  Itbl.iter
+    (fun k _ ->
+      keys.(!i) <- k;
+      incr i)
+    tbl;
+  let keys = if n = Array.length keys then keys else Array.sub keys 0 n in
+  Array.sort Int.compare keys;
+  Array.fold_right (fun k acc -> (k, Itbl.get tbl k) :: acc) keys []
+
 let dump m =
   let snap = Symbols.snapshot m.syms in
-  (* Key-sorted: the keys sort as an unboxed int array (no generic
-     compare on boxed pairs), and the v3 writer emits the list as-is,
-     so the canonical on-disk order costs one int sort here. *)
-  let tbl_list tbl =
-    let n = Itbl.length tbl in
-    let keys = Array.make (max 1 n) 0 in
-    let i = ref 0 in
-    Itbl.iter
-      (fun k _ ->
-        keys.(!i) <- k;
-        incr i)
-      tbl;
-    let keys = if n = Array.length keys then keys else Array.sub keys 0 n in
-    Array.sort Int.compare keys;
-    Array.fold_right (fun k acc -> (k, Itbl.get tbl k) :: acc) keys []
-  in
   {
     d_labels = Array.to_list snap.Symbols.s_labels;
     d_rels = Array.to_list snap.Symbols.s_rels;
@@ -1035,6 +1120,57 @@ let restore d =
       chk "bias" (k >= 0 && k < nl) k;
       Itbl.set m.bias k v)
     d.d_bias;
+  m
+
+(* Full trainer state: [dump] plus the averaging accumulators and the
+   step clock — everything a mid-training checkpoint needs for the
+   resumed run to make bit-identical updates. Values round-trip as
+   exact IEEE-754 bits through the v4 checkpoint writer, so restoring
+   and continuing equals never having stopped. *)
+type full_dump = {
+  f_weights : dump;
+  f_pw_u : (int * float) list;
+  f_un_u : (int * float) list;
+  f_bias_u : (int * float) list;
+  f_steps : int;
+}
+
+let dump_full m =
+  {
+    f_weights = dump m;
+    f_pw_u = tbl_list m.pw_u;
+    f_un_u = tbl_list m.un_u;
+    f_bias_u = tbl_list m.bias_u;
+    f_steps = m.steps;
+  }
+
+let restore_full f =
+  let m = restore f.f_weights in
+  let nl = Symbols.num_labels m.syms and nr = Symbols.num_rels m.syms in
+  let chk what ok k =
+    if not ok then Printf.ksprintf failwith "%s weight key %d out of range" what k
+  in
+  List.iter
+    (fun (k, v) ->
+      chk "pairwise-accumulator"
+        (k >= 0 && k lsr 42 < nl
+        && (k lsr 18) land 0xFFFFFF < nr
+        && k land 0x3FFFF < nl)
+        k;
+      Itbl.set m.pw_u k v)
+    f.f_pw_u;
+  List.iter
+    (fun (k, v) ->
+      chk "unary-accumulator" (k >= 0 && k lsr 24 < nl && k land 0xFFFFFF < nr) k;
+      Itbl.set m.un_u k v)
+    f.f_un_u;
+  List.iter
+    (fun (k, v) ->
+      chk "bias-accumulator" (k >= 0 && k < nl) k;
+      Itbl.set m.bias_u k v)
+    f.f_bias_u;
+  if f.f_steps < 0 then failwith "negative step counter";
+  m.steps <- f.f_steps;
   m
 
 type mapped_table = {

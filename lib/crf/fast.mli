@@ -146,6 +146,40 @@ val train : ?pool:Parallel.pool -> config -> Candidates.t -> Graph.t list -> mod
     fixed job count (a synchronous-minibatch view of the same
     objective — not bitwise-equal to the sequential run). *)
 
+val train_stream :
+  ?pool:Parallel.pool ->
+  config ->
+  Candidates.t ->
+  n_shards:int ->
+  graphs_of_shard:(int -> Graph.t list) ->
+  ?from:model * int * int ->
+  ?on_shard:(it:int -> shard:int -> model -> unit) ->
+  unit ->
+  model
+(** Out-of-core {!train}: the corpus arrives shard by shard through
+    [graphs_of_shard] and at most one shard's graphs (plus their
+    encodings and candidate caches) are live at a time — memory is
+    O(model + largest shard), never O(corpus). Within a shard the pass
+    is {!train}'s machinery verbatim; the shuffle is per
+    (iteration, shard) with an rng derived from [(seed, it, shard)],
+    so no rng state crosses a shard boundary.
+
+    [on_shard ~it ~shard m] fires after each shard completes — the
+    checkpoint hook. [from (m, it, shard)] resumes at that cursor
+    ([m] from {!restore_full}; [it = iterations] with [shard = 0]
+    resumes a run that finished its passes but died before
+    finalization). Resume is bit-exact: a run checkpointed at any
+    shard boundary and resumed from it produces the same model, byte
+    for byte, as the uninterrupted run with the same job count —
+    derived rngs mean nothing needs replaying, and {!dump_full}
+    round-trips floats exactly. [Candidates] passed on resume must be
+    rebuilt over the same shards against the restored model's symbol
+    table (see {!Train.train_of_shards}).
+
+    Averaging is finalized only on the final return, never in
+    checkpoints. Raises [Invalid_argument] on an out-of-range cursor
+    or [n_shards <= 0]. *)
+
 val predict : config -> Candidates.t -> model -> Graph.t -> string array
 
 val predict_batch :
@@ -184,6 +218,25 @@ type dump = {
 
 val dump : model -> dump
 val restore : dump -> model
+
+type full_dump = {
+  f_weights : dump;
+  f_pw_u : (int * float) list;  (** averaging accumulators, key-sorted *)
+  f_un_u : (int * float) list;
+  f_bias_u : (int * float) list;
+  f_steps : int;  (** averaged-perceptron step clock *)
+}
+
+val dump_full : model -> full_dump
+(** {!dump} plus the averaging accumulators and step clock — the
+    complete mid-training state. A model restored from this and
+    trained onward makes bit-identical updates to one that never
+    stopped; plain {!dump} only captures what inference needs. *)
+
+val restore_full : full_dump -> model
+(** Raises [Failure] on out-of-range keys or a negative step clock
+    (the checkpoint loaders convert this to a corrupt-model
+    diagnostic). *)
 
 type mapped_table = {
   mt_keys : int array;  (** strictly increasing packed keys *)

@@ -723,6 +723,201 @@ let load_exn path =
   | Ok model -> model
   | Error d -> raise (Lexkit.Diag.Error d)
 
+(* ---------- training checkpoints ----------
+
+   "pigeon-crf-checkpoint 1\n", then v3-style sections with one
+   whole-body checksum in the end trailer (checkpoints are transient
+   scratch state — nothing maps them, so the v4 alignment machinery
+   would buy nothing):
+
+     1 header    model config (as in the model's config section), then
+                 the resume cursor: next_it, next_shard, n_shards,
+                 jobs, and the averaged-perceptron step clock
+     2 labels    3 rels     as in the model format
+     4 pw  5 un  6 bias     count, (packed key, raw float) pairs
+     7 pw_u  8 un_u  9 bias_u   the averaging accumulators, same shape
+   255 end       section count, FNV checksum of the body
+
+   Floats are raw IEEE-754 bits, so restore → continue is bit-exact.
+   [n_shards] is stored to reject resuming against a re-sharded
+   corpus; [jobs] because bit-identity only holds for a fixed job
+   count — the caller decides whether a mismatch is an error. *)
+
+let ckpt_magic = "pigeon-crf-checkpoint 1"
+let ckpt_sections = 10
+
+type checkpoint = {
+  ck_config : Train.config;
+  ck_next_it : int;
+  ck_next_shard : int;
+  ck_n_shards : int;
+  ck_jobs : int;
+  ck_fast : Fast.model;
+}
+
+let checkpoint_to_string ~config ~next_it ~next_shard ~n_shards ~jobs fast =
+  let open Lexkit.Binio in
+  let buf = Buffer.create (1 lsl 16) in
+  let section tag fill =
+    let payload = Buffer.create 1024 in
+    fill payload;
+    w_section buf ~tag payload
+  in
+  let f = Fast.dump_full fast in
+  let c = config in
+  let inf = c.Train.inference in
+  section 1 (fun b ->
+      w_int b c.Train.iterations;
+      w_int b inf.Inference.max_candidates;
+      w_int b inf.Inference.max_passes;
+      w_int b c.Train.seed;
+      w_u8 b (if c.Train.averaged then 1 else 0);
+      w_string b (trainer_name c.Train.trainer);
+      w_string b (init_name c.Train.init);
+      w_int b next_it;
+      w_int b next_shard;
+      w_int b n_shards;
+      w_int b jobs;
+      w_int b f.Fast.f_steps);
+  let d = f.Fast.f_weights in
+  let strings tag ss =
+    section tag (fun b ->
+        w_int b (List.length ss);
+        List.iter (w_string b) ss)
+  in
+  strings 2 d.Fast.d_labels;
+  strings 3 d.Fast.d_rels;
+  let weights tag ws =
+    section tag (fun b ->
+        w_int b (List.length ws);
+        List.iter
+          (fun (k, w) ->
+            w_int b k;
+            w_float b w)
+          ws)
+  in
+  weights 4 d.Fast.d_pw;
+  weights 5 d.Fast.d_un;
+  weights 6 d.Fast.d_bias;
+  weights 7 f.Fast.f_pw_u;
+  weights 8 f.Fast.f_un_u;
+  weights 9 f.Fast.f_bias_u;
+  let body = Buffer.contents buf in
+  let out = Buffer.create (String.length body + 64) in
+  Buffer.add_string out ckpt_magic;
+  Buffer.add_char out '\n';
+  Buffer.add_string out body;
+  let trailer = Buffer.create 24 in
+  w_int trailer ckpt_sections;
+  w_int trailer (checksum body);
+  w_section out ~tag:255 trailer;
+  Buffer.contents out
+
+let checkpoint_save path ~config ~next_it ~next_shard ~n_shards ~jobs fast =
+  Lexkit.write_file_atomic path
+    (checkpoint_to_string ~config ~next_it ~next_shard ~n_shards ~jobs fast)
+
+let parse_checkpoint ?source body =
+  match
+    let open Lexkit.Binio in
+    let r = reader body in
+    let sect tag what fill =
+      let stop = r_section r ~tag ~what in
+      let v = fill () in
+      end_section r ~stop ~what;
+      v
+    in
+    let config, next_it, next_shard, n_shards, jobs, steps =
+      sect 1 "header" (fun () ->
+          let config = read_config r in
+          let next_it = r_int r "next_it" in
+          let next_shard = r_int r "next_shard" in
+          let n_shards = r_int r "n_shards" in
+          let jobs = r_int r "jobs" in
+          let steps = r_int r "steps" in
+          if n_shards <= 0 then failwith "non-positive shard count";
+          if next_shard < 0 || next_shard >= n_shards then
+            Printf.ksprintf failwith "shard cursor %d outside [0, %d)"
+              next_shard n_shards;
+          if next_it < 0 || next_it > config.Train.iterations then
+            Printf.ksprintf failwith "iteration cursor %d outside [0, %d]"
+              next_it config.Train.iterations;
+          if jobs <= 0 then failwith "non-positive job count";
+          (config, next_it, next_shard, n_shards, jobs, steps))
+    in
+    let labels = sect 2 "labels" (fun () -> read_strings r "labels") in
+    let rels = sect 3 "rels" (fun () -> read_strings r "rels") in
+    let weights tag what =
+      sect tag what (fun () ->
+          let n = count_ what (r_int r what) in
+          List.init n (fun _ ->
+              let k = r_int r what in
+              let w = r_float r what in
+              (k, w)))
+    in
+    let pw = weights 4 "pw" in
+    let un = weights 5 "un" in
+    let bias = weights 6 "bias" in
+    let pw_u = weights 7 "pw_u" in
+    let un_u = weights 8 "un_u" in
+    let bias_u = weights 9 "bias_u" in
+    let body_len = offset r in
+    sect 255 "end" (fun () ->
+        let n = r_int r "section count" in
+        if n <> ckpt_sections then
+          Printf.ksprintf failwith
+            "section count mismatch: trailer says %d, format has %d" n
+            ckpt_sections;
+        let sum = r_int r "checksum" in
+        if sum <> checksum (String.sub body 0 body_len) then
+          failwith "checksum mismatch: checkpoint data is corrupted");
+    if not (at_end r) then failwith "trailing data after the checkpoint";
+    let fast =
+      Fast.restore_full
+        {
+          Fast.f_weights =
+            { Fast.d_labels = labels; d_rels = rels; d_pw = pw; d_un = un;
+              d_bias = bias };
+          f_pw_u = pw_u;
+          f_un_u = un_u;
+          f_bias_u = bias_u;
+          f_steps = steps;
+        }
+    in
+    {
+      ck_config = config;
+      ck_next_it = next_it;
+      ck_next_shard = next_shard;
+      ck_n_shards = n_shards;
+      ck_jobs = jobs;
+      ck_fast = fast;
+    }
+  with
+  | ck -> ck
+  | exception (Failure msg | Invalid_argument msg) ->
+      corrupt ?source "corrupt checkpoint: %s" msg
+
+let checkpoint_of_string ?source s =
+  Lexkit.protect ?file:source (fun () ->
+      let nl =
+        match String.index_opt s '\n' with
+        | Some i -> i
+        | None -> String.length s
+      in
+      if not (String.equal (String.sub s 0 nl) ckpt_magic) then
+        corrupt ?source "bad magic (not a pigeon-crf-checkpoint file)";
+      let body =
+        if nl >= String.length s then ""
+        else String.sub s (nl + 1) (String.length s - nl - 1)
+      in
+      parse_checkpoint ?source body)
+
+let checkpoint_load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg ->
+      Result.Error (Lexkit.Diag.make ~file:path Lexkit.Diag.Io_error msg)
+  | s -> checkpoint_of_string ~source:path s
+
 (* ---------- mapped loading ----------
 
    The structure walk below reads everything *except* the weight-value

@@ -66,3 +66,55 @@ val from_channel : ?source:string -> in_channel -> Train.model
 
 val of_string : ?source:string -> string -> (Train.model, Lexkit.Diag.t) result
 (** Parse a model held in memory — the fuzz suite's entry point. *)
+
+(** {2 Training checkpoints}
+
+    Mid-training state for out-of-core runs ({!Train.train_of_shards}):
+    the full trainer state from {!Fast.dump_full} — weights, averaging
+    accumulators, step clock — plus the model config and the resume
+    cursor. Floats round-trip as exact bits, so a resumed run makes
+    bit-identical updates. Checkpoint files are self-checking like
+    models (magic line, section framing, checksum trailer) and load
+    through the same diagnostic discipline. *)
+
+type checkpoint = {
+  ck_config : Train.config;
+  ck_next_it : int;  (** first iteration the resumed run executes *)
+  ck_next_shard : int;  (** first shard of that iteration *)
+  ck_n_shards : int;
+      (** shard count at save time — resuming against a re-sharded
+          corpus is rejected at load *)
+  ck_jobs : int;
+      (** job count of the saving run; bit-identity only holds when
+          the resumed run matches it *)
+  ck_fast : Fast.model;  (** via {!Fast.restore_full} *)
+}
+
+val checkpoint_save :
+  string ->
+  config:Train.config ->
+  next_it:int ->
+  next_shard:int ->
+  n_shards:int ->
+  jobs:int ->
+  Fast.model ->
+  unit
+(** Atomically write a checkpoint (temp file + rename): a SIGKILL at
+    any point leaves the previous checkpoint intact or the new one
+    complete, never a torn file. Raises [Sys_error] on I/O failure. *)
+
+val checkpoint_to_string :
+  config:Train.config ->
+  next_it:int ->
+  next_shard:int ->
+  n_shards:int ->
+  jobs:int ->
+  Fast.model ->
+  string
+
+val checkpoint_load : string -> (checkpoint, Lexkit.Diag.t) result
+(** [Error] carries [Io_error] (unreadable) or [Corrupt_model]
+    (truncated, mangled, bad cursor, or count/checksum mismatch). *)
+
+val checkpoint_of_string :
+  ?source:string -> string -> (checkpoint, Lexkit.Diag.t) result

@@ -55,6 +55,33 @@ let train ?pool ?(config = default_config) graphs =
     fast;
   }
 
+(* Out-of-core [train]: candidate counting and every training pass
+   stream shard by shard. The candidate table is rebuilt from the
+   shards on every call (fresh or resumed) rather than checkpointed:
+   counting is one cheap pass, and rebuilding against the restored
+   symbol table re-interns the same strings in the same order, so all
+   ids — and therefore all packed weight keys — line up with the
+   checkpoint by construction. *)
+let train_of_shards ?pool ?(config = default_config) ~n_shards
+    ~graphs_of_shard ?from ?on_shard () =
+  let symbols =
+    match from with Some (m, _, _) -> Some (Fast.symbols m) | None -> None
+  in
+  let candidates = Candidates.create ?symbols () in
+  for s = 0 to n_shards - 1 do
+    List.iter (Candidates.count_graph candidates) (graphs_of_shard s)
+  done;
+  let fast =
+    Fast.train_stream ?pool (fast_config config) candidates ~n_shards
+      ~graphs_of_shard ?from ?on_shard ()
+  in
+  {
+    weights = lazy (Fast.export_weights fast);
+    candidates = lazy candidates;
+    config;
+    fast;
+  }
+
 let predict model g =
   Fast.predict (fast_config model.config) (Lazy.force model.candidates) model.fast g
 

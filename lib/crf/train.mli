@@ -47,6 +47,24 @@ val train : ?pool:Parallel.pool -> ?config:config -> Graph.t list -> model
     releases). With one, training passes run in synchronized parallel
     rounds — see {!Fast.train} for the exact semantics. *)
 
+val train_of_shards :
+  ?pool:Parallel.pool ->
+  ?config:config ->
+  n_shards:int ->
+  graphs_of_shard:(int -> Graph.t list) ->
+  ?from:Fast.model * int * int ->
+  ?on_shard:(it:int -> shard:int -> Fast.model -> unit) ->
+  unit ->
+  model
+(** Out-of-core {!train}: graphs arrive shard by shard and at most one
+    shard is in memory at a time (see {!Fast.train_stream} for the
+    exact pass semantics and the bit-exact resume contract).
+    [graphs_of_shard] must be stable — same graphs, same order, every
+    call — which shard files on disk guarantee. [on_shard] is the
+    checkpoint hook; [from] resumes from a {!Fast.restore_full}'d
+    model and its (iteration, shard) cursor, rebuilding the candidate
+    table from the shards against the restored symbol table. *)
+
 val predict : model -> Graph.t -> string array
 (** MAP assignment; known nodes keep their labels. *)
 

@@ -117,7 +117,7 @@ let protect ?file f =
    either the old file or the new one, never a truncated hybrid — the
    property a long-lived daemon relies on when it loads a model some
    other process may be rewriting. *)
-let write_file_atomic path contents =
+let write_file_atomic_gen path writer =
   let dir = Filename.dirname path in
   let tmp =
     Filename.concat dir
@@ -127,17 +127,30 @@ let write_file_atomic path contents =
   in
   let oc = open_out_bin tmp in
   match
-    output_string oc contents;
+    writer oc;
     (* Flush to the OS before the rename publishes the file; a failure
        here (ENOSPC) must surface before the old model is replaced. *)
     flush oc;
     close_out oc
   with
-  | () -> Sys.rename tmp path
+  | () -> (
+      match Sys.rename tmp path with
+      | () -> ()
+      | exception e ->
+          (* A failed rename (target directory vanished, EXDEV…) must
+             not leave the temp file behind either. *)
+          (try Sys.remove tmp with Sys_error _ -> ());
+          raise e)
   | exception e ->
+      (* Any failure — including the writer callback raising mid-save —
+         unlinks the temp file: error paths never leak `.tmp` litter
+         next to models and checkpoints. *)
       close_out_noerr oc;
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e
+
+let write_file_atomic path contents =
+  write_file_atomic_gen path (fun oc -> output_string oc contents)
 
 module Cursor = struct
   type t = { src : string; mutable pos : pos }
@@ -283,6 +296,7 @@ module Binio = struct
   let reader ?(pos = 0) src = { src; pos }
   let at_end r = r.pos >= String.length r.src
   let offset r = r.pos
+  let remaining r = String.length r.src - r.pos
 
   (* [String.length r.src - r.pos] never overflows, unlike the naive
      [r.pos + n > length] form, where a hostile length near [max_int]

@@ -97,6 +97,15 @@ val write_file_atomic : string -> string -> unit
     complete new one — never a truncated mix. Raises [Sys_error] on I/O
     failure, after removing the temp file. *)
 
+val write_file_atomic_gen : string -> (out_channel -> unit) -> unit
+(** {!write_file_atomic} with a writer callback instead of an
+    in-memory string: the callback streams the contents straight to the
+    temp file's channel, so a large artifact (a shard, a training
+    checkpoint) never has to exist as one heap string. Same atomicity
+    contract, and the same cleanup contract on every error path: if the
+    callback raises mid-save — or the flush, close, or rename fails —
+    the temp file is unlinked before the exception propagates. *)
+
 (** A character cursor over an in-memory source string, tracking line
     and column. *)
 module Cursor : sig
@@ -178,6 +187,10 @@ module Binio : sig
 
   val offset : reader -> int
   (** Current read position, in bytes. *)
+
+  val remaining : reader -> int
+  (** Bytes left to read — what per-element size caps bound hostile
+      counts against before allocating. *)
 
   val r_u8 : reader -> string -> int
 

@@ -520,6 +520,174 @@ let load_exn path =
   | Ok m -> m
   | Error d -> raise (Lexkit.Diag.Error d)
 
+(* ---------- training checkpoints ----------
+
+   "pigeon-w2v-checkpoint 1\n", then v3-style sections with one
+   whole-body checksum (checkpoints are transient — nothing maps
+   them):
+
+     1 header   config as in the model format, then the resume cursor:
+                next_epoch, next_shard, jobs, and the shard layout
+                (count, pairs-per-shard ints)
+     2 words    count, (string, count) in vocab-id order
+     3 w        rows, dim, raw LE floats (the flat training matrix)
+     4 contexts 5 c    same pair for the context side
+   255 end      section count, FNV checksum of the body
+
+   Floats are raw bits, so restore → continue is bit-exact. *)
+
+let ckpt_magic = "pigeon-w2v-checkpoint 1"
+let ckpt_sections = 6
+
+let checkpoint_to_string (ck : Sgns.ckpt) =
+  let open Lexkit.Binio in
+  let buf = Buffer.create (1 lsl 16) in
+  let section tag fill =
+    let payload = Buffer.create 1024 in
+    fill payload;
+    w_section buf ~tag payload
+  in
+  let c = ck.Sgns.ck_config in
+  section 1 (fun b ->
+      w_int b c.Sgns.dim;
+      w_int b c.Sgns.epochs;
+      w_int b c.Sgns.negatives;
+      w_float b c.Sgns.learning_rate;
+      w_int b c.Sgns.min_count;
+      w_int b c.Sgns.seed;
+      w_int b ck.Sgns.ck_next_epoch;
+      w_int b ck.Sgns.ck_next_shard;
+      w_int b ck.Sgns.ck_jobs;
+      w_int b (Array.length ck.Sgns.ck_shard_sizes);
+      Array.iter (w_int b) ck.Sgns.ck_shard_sizes);
+  let vocab_section tag vocab =
+    section tag (fun b ->
+        let n = Vocab.size vocab in
+        w_int b n;
+        for i = 0 to n - 1 do
+          w_string b (Vocab.word vocab i);
+          w_int b (Vocab.count vocab i)
+        done)
+  in
+  let matrix_section tag fa rows =
+    section tag (fun b ->
+        w_int b rows;
+        w_int b c.Sgns.dim;
+        Float.Array.iter (w_float b) fa)
+  in
+  vocab_section 2 ck.Sgns.ck_words;
+  matrix_section 3 ck.Sgns.ck_w (Vocab.size ck.Sgns.ck_words);
+  vocab_section 4 ck.Sgns.ck_contexts;
+  matrix_section 5 ck.Sgns.ck_c (Vocab.size ck.Sgns.ck_contexts);
+  let body = Buffer.contents buf in
+  let out = Buffer.create (String.length body + 64) in
+  Buffer.add_string out ckpt_magic;
+  Buffer.add_char out '\n';
+  Buffer.add_string out body;
+  let trailer = Buffer.create 24 in
+  w_int trailer ckpt_sections;
+  w_int trailer (checksum body);
+  w_section out ~tag:255 trailer;
+  Buffer.contents out
+
+let checkpoint_save path ck =
+  Lexkit.write_file_atomic path (checkpoint_to_string ck)
+
+let parse_checkpoint ?source body =
+  match
+    let open Lexkit.Binio in
+    let r = reader body in
+    let sect tag what fill =
+      let stop = r_section r ~tag ~what in
+      let v = fill stop in
+      end_section r ~stop ~what;
+      v
+    in
+    let config, next_epoch, next_shard, jobs, shard_sizes =
+      sect 1 "header" (fun stop ->
+          let config = read_config r in
+          let next_epoch = r_int r "next_epoch" in
+          let next_shard = r_int r "next_shard" in
+          let jobs = r_int r "jobs" in
+          let n_shards = count_ "shard count" (r_int r "shard count") in
+          if n_shards > (stop - offset r) / 8 then
+            failwith "shard layout does not fit the header";
+          let shard_sizes =
+            Array.init n_shards (fun _ -> r_int r "shard size")
+          in
+          Array.iter
+            (fun s -> if s < 0 then failwith "negative shard size")
+            shard_sizes;
+          if n_shards = 0 then failwith "empty shard layout";
+          if next_shard < 0 || next_shard >= n_shards then
+            Printf.ksprintf failwith "shard cursor %d outside [0, %d)"
+              next_shard n_shards;
+          if next_epoch < 0 || next_epoch > config.Sgns.epochs then
+            Printf.ksprintf failwith "epoch cursor %d outside [0, %d]"
+              next_epoch config.Sgns.epochs;
+          if jobs <= 0 then failwith "non-positive job count";
+          (config, next_epoch, next_shard, jobs, shard_sizes))
+    in
+    let matrix tag what vocab =
+      sect tag what (fun stop ->
+          let rows = count_ what (r_int r what) in
+          let dim = r_int r what in
+          check_matrix_header ~what ~config ~vocab ~rows ~dim
+            ~avail:(stop - offset r);
+          Float.Array.init (rows * dim) (fun _ -> r_float r what))
+    in
+    let words = sect 2 "words" (fun _ -> read_vocab r "words") in
+    let w = matrix 3 "w" words in
+    let contexts = sect 4 "contexts" (fun _ -> read_vocab r "contexts") in
+    let c = matrix 5 "c" contexts in
+    let body_len = offset r in
+    sect 255 "end" (fun _ ->
+        let n = r_int r "section count" in
+        if n <> ckpt_sections then
+          Printf.ksprintf failwith
+            "section count mismatch: trailer says %d, format has %d" n
+            ckpt_sections;
+        let sum = r_int r "checksum" in
+        if sum <> checksum (String.sub body 0 body_len) then
+          failwith "checksum mismatch: checkpoint data is corrupted");
+    if not (at_end r) then failwith "trailing data after the checkpoint";
+    {
+      Sgns.ck_config = config;
+      ck_words = words;
+      ck_contexts = contexts;
+      ck_w = w;
+      ck_c = c;
+      ck_next_epoch = next_epoch;
+      ck_next_shard = next_shard;
+      ck_shard_sizes = shard_sizes;
+      ck_jobs = jobs;
+    }
+  with
+  | ck -> ck
+  | exception (Failure msg | Invalid_argument msg) ->
+      corrupt ?source "corrupt checkpoint: %s" msg
+
+let checkpoint_of_string ?source s =
+  Lexkit.protect ?file:source (fun () ->
+      let nl =
+        match String.index_opt s '\n' with
+        | Some i -> i
+        | None -> String.length s
+      in
+      if not (String.equal (String.sub s 0 nl) ckpt_magic) then
+        corrupt ?source "bad magic (not a pigeon-w2v-checkpoint file)";
+      let body =
+        if nl >= String.length s then ""
+        else String.sub s (nl + 1) (String.length s - nl - 1)
+      in
+      parse_checkpoint ?source body)
+
+let checkpoint_load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg ->
+      Result.Error (Lexkit.Diag.make ~file:path Lexkit.Diag.Io_error msg)
+  | s -> checkpoint_of_string ~source:path s
+
 (* ---------- mapped loading ----------
 
    Mirrors {!Crf.Serialize.load_mapped}: the structure walk reads

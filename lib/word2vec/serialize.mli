@@ -65,3 +65,26 @@ val from_channel : ?source:string -> in_channel -> Sgns.t
 
 val of_string : ?source:string -> string -> (Sgns.t, Lexkit.Diag.t) result
 (** Parse a model held in memory — the fuzz suite's entry point. *)
+
+(** {2 Training checkpoints}
+
+    Mid-training state for out-of-core runs ({!Sgns.train_stream}):
+    both flat matrices as raw float bits, the vocabularies, the
+    config, the resume cursor and the shard layout. Self-checking like
+    models (magic line, section framing, checksum trailer); a restored
+    checkpoint resumes bit-exactly. *)
+
+val checkpoint_save : string -> Sgns.ckpt -> unit
+(** Atomic (temp file + rename): a SIGKILL mid-save leaves the
+    previous checkpoint intact or the new one complete, never a torn
+    file. Raises [Sys_error] on I/O failure. *)
+
+val checkpoint_to_string : Sgns.ckpt -> string
+
+val checkpoint_load : string -> (Sgns.ckpt, Lexkit.Diag.t) result
+(** [Error] carries [Io_error] (unreadable) or [Corrupt_model]
+    (truncated, mangled, bad cursor or shard layout, checksum
+    mismatch). *)
+
+val checkpoint_of_string :
+  ?source:string -> string -> (Sgns.ckpt, Lexkit.Diag.t) result

@@ -543,6 +543,191 @@ let train ?pool ?(mode = Deterministic) ?(config = default_config)
   }
 
 (* ---------------------------------------------------------------- *)
+(* Out-of-core training: pairs arrive shard by shard (already as
+   vocab ids) and at most one shard's pair array is live at a time.
+   All randomness is *derived* per (epoch, shard) — the shuffle rng
+   and the C kernel's per-slice LCG seeds come from
+   [Random.State.make [| seed; tag; epoch; shard |]], fully consumed
+   within the shard — so no rng state crosses a shard boundary and a
+   checkpoint at any boundary resumes bit-exactly: matrices round-trip
+   as raw float bits, cursors are ints, and everything else is
+   recomputed from them. The learning-rate schedule stays the global
+   one (the kernel's step base is offset by the shard's position in
+   the epoch), so shard granularity does not perturb the sequential
+   annealing. The trade against [train] is shuffle radius — pairs mix
+   only within their shard — and the negative-sample stream, which is
+   per-shard rather than per-epoch. *)
+
+type ckpt = {
+  ck_config : config;
+  ck_words : Vocab.t;
+  ck_contexts : Vocab.t;
+  ck_w : Float.Array.t;  (* flat row-major, Vocab.size words x dim *)
+  ck_c : Float.Array.t;
+  ck_next_epoch : int;
+  ck_next_shard : int;
+  ck_shard_sizes : int array;
+  ck_jobs : int;
+}
+
+let train_stream ?pool ?(config = default_config) ~words ~contexts
+    ~shard_sizes ~pairs_of_shard ?from ?on_shard () =
+  let n_shards = Array.length shard_sizes in
+  if n_shards = 0 then invalid_arg "Sgns.train_stream: no shards";
+  let n_pairs = Array.fold_left ( + ) 0 shard_sizes in
+  let offsets = Array.make n_shards 0 in
+  for s = 1 to n_shards - 1 do
+    offsets.(s) <- offsets.(s - 1) + shard_sizes.(s - 1)
+  done;
+  let dim = config.dim in
+  let nw = Vocab.size words and nc = Vocab.size contexts in
+  let jobs = match pool with Some p -> Parallel.jobs p | None -> 1 in
+  let w, c, start_epoch, start_shard =
+    match from with
+    | Some ck ->
+        if
+          Float.Array.length ck.ck_w <> nw * dim
+          || Float.Array.length ck.ck_c <> nc * dim
+        then invalid_arg "Sgns.train_stream: checkpoint shape mismatch";
+        if ck.ck_shard_sizes <> shard_sizes then
+          invalid_arg "Sgns.train_stream: checkpoint shard layout mismatch";
+        if ck.ck_next_shard < 0 || ck.ck_next_shard >= n_shards
+           || ck.ck_next_epoch < 0
+        then invalid_arg "Sgns.train_stream: cursor out of range";
+        (ck.ck_w, ck.ck_c, ck.ck_next_epoch, ck.ck_next_shard)
+    | None ->
+        (* Same draw order as [train]: all of w, then all of c, from
+           the config-seeded rng. *)
+        let rng = Random.State.make [| config.seed |] in
+        let w = init_flat rng ~rows:nw ~dim in
+        let c = init_flat rng ~rows:nc ~dim in
+        (w, c, 0, 0)
+  in
+  let neg_table = build_neg_table contexts 100_000 in
+  let iparams = Array.make 8 0 in
+  iparams.(0) <- dim;
+  iparams.(1) <- config.negatives;
+  iparams.(5) <- config.epochs * n_pairs;
+  let fparams =
+    Float.Array.of_list [ config.learning_rate; lut_range; lut_scale ]
+  in
+  let run_shard_sequential ~epoch ~shard pairs =
+    let len = Array.length pairs in
+    let rng = Random.State.make [| config.seed; 0x0c0a; epoch; shard |] in
+    fisher_yates rng pairs;
+    (* Step base = this shard's global position in the epoch, so the
+       kernel's lr schedule matches a whole-epoch walk exactly. *)
+    iparams.(4) <- (epoch * n_pairs) + offsets.(shard);
+    let lo = ref 0 in
+    while !lo < len do
+      let hi = min len (!lo + slice_pairs) in
+      let seed = Random.State.bits64 rng in
+      iparams.(2) <- !lo;
+      iparams.(3) <- hi;
+      iparams.(6) <- Int64.to_int (Int64.logand seed 0xFFFFFFFFL);
+      iparams.(7) <- Int64.to_int (Int64.shift_right_logical seed 32);
+      train_slice_c w c sigmoid_table pairs neg_table iparams fparams;
+      lo := hi
+    done
+  in
+  (* Pooled path: [train_sharded_flat]'s deterministic rounds, scoped
+     to one disk shard — sub-slices with derived rngs, delta slabs
+     applied in sub order at each barrier. Reproducible for a fixed
+     job count; matrices only change at barriers, so a shard-boundary
+     checkpoint still captures the whole state. *)
+  let run_shard_pooled pool ~epoch ~shard pairs =
+    let subs =
+      Parallel.chunk_ranges ~chunks:(Parallel.jobs pool) (Array.length pairs)
+    in
+    let k = Array.length subs in
+    let slices =
+      Array.map (fun (lo, hi) -> Array.sub pairs lo (hi - lo + 1)) subs
+    in
+    let rngs =
+      Array.init k (fun sub ->
+          Random.State.make [| config.seed; 0x0c0a; epoch; shard; sub |])
+    in
+    let sub_ids = Array.init k Fun.id in
+    Array.iteri (fun sub slice -> fisher_yates rngs.(sub) slice) slices;
+    let max_len =
+      Array.fold_left (fun acc sl -> max acc (Array.length sl)) 0 slices
+    in
+    let off = ref 0 in
+    while !off < max_len do
+      let lo = !off in
+      let deltas =
+        Parallel.map ~pool
+          (fun sub ->
+            let slice = slices.(sub) and rng = rngs.(sub) in
+            let len = Array.length slice in
+            let hi = min len (lo + round_pairs_per_shard) in
+            if lo >= hi then None
+            else begin
+              let dw = slab_create config.dim 64
+              and dc = slab_create config.dim 256 in
+              let grad_w = Float.Array.make config.dim 0. in
+              let total = config.epochs * len in
+              for i = lo to hi - 1 do
+                let step = (epoch * len) + i + 1 in
+                let lr = learning_rate_at config ~step ~total in
+                sgd_step_delta_flat config ~neg_table ~w ~c ~grad_w ~rng ~lr
+                  ~lut:true ~dw ~dc slice.(i)
+              done;
+              Some (dw, dc)
+            end)
+          sub_ids
+      in
+      Array.iter
+        (function
+          | None -> ()
+          | Some (dw, dc) ->
+              apply_slab w dw;
+              apply_slab c dc)
+        deltas;
+      off := lo + round_pairs_per_shard
+    done
+  in
+  if n_pairs > 0 && Array.length neg_table > 0 && start_epoch < config.epochs
+  then
+    for epoch = start_epoch to config.epochs - 1 do
+      for shard = (if epoch = start_epoch then start_shard else 0)
+                  to n_shards - 1 do
+        let pairs = pairs_of_shard shard in
+        if Array.length pairs <> shard_sizes.(shard) then
+          invalid_arg "Sgns.train_stream: shard size changed under the trainer";
+        (match pool with
+        | Some pool when jobs > 1 && Array.length pairs >= jobs ->
+            run_shard_pooled pool ~epoch ~shard pairs
+        | _ -> run_shard_sequential ~epoch ~shard pairs);
+        match on_shard with
+        | None -> ()
+        | Some f ->
+            let next_epoch, next_shard =
+              if shard + 1 = n_shards then (epoch + 1, 0) else (epoch, shard + 1)
+            in
+            f ~epoch ~shard
+              {
+                ck_config = config;
+                ck_words = words;
+                ck_contexts = contexts;
+                ck_w = w;
+                ck_c = c;
+                ck_next_epoch = next_epoch;
+                ck_next_shard = next_shard;
+                ck_shard_sizes = Array.copy shard_sizes;
+                ck_jobs = jobs;
+              }
+      done
+    done;
+  {
+    config;
+    words;
+    contexts;
+    word_vecs = rows_of w ~rows:nw ~dim;
+    context_vecs = rows_of c ~rows:nc ~dim;
+  }
+
+(* ---------------------------------------------------------------- *)
 (* The pre-flat-kernel trainer, kept verbatim (nested [float array
    array] matrices, exact sigmoid, boxed per-row deltas) as the golden
    baseline: [train ~sigmoid:`Exact] must reproduce it bitwise, and

@@ -60,6 +60,58 @@ val train :
     schedule. [mode] (default [Deterministic]) picks the update
     discipline. *)
 
+(** {2 Out-of-core training} *)
+
+type ckpt = {
+  ck_config : config;
+  ck_words : Vocab.t;
+  ck_contexts : Vocab.t;
+  ck_w : Float.Array.t;
+      (** word matrix, flat row-major ([Vocab.size words * dim]).
+          Inside [on_shard] this aliases the live training matrix:
+          serialize it before the callback returns, don't hold it. *)
+  ck_c : Float.Array.t;  (** context matrix, same layout *)
+  ck_next_epoch : int;  (** first epoch the resumed run executes *)
+  ck_next_shard : int;  (** first shard of that epoch *)
+  ck_shard_sizes : int array;
+      (** pairs per shard at save time — resuming against a re-sharded
+          corpus is rejected *)
+  ck_jobs : int;
+      (** job count of the saving run; bit-identity on resume only
+          holds for the same job count *)
+}
+
+val train_stream :
+  ?pool:Parallel.pool ->
+  ?config:config ->
+  words:Vocab.t ->
+  contexts:Vocab.t ->
+  shard_sizes:int array ->
+  pairs_of_shard:(int -> (int * int) array) ->
+  ?from:ckpt ->
+  ?on_shard:(epoch:int -> shard:int -> ckpt -> unit) ->
+  unit ->
+  t
+(** Out-of-core {!train}: pairs arrive shard by shard as vocab id
+    pairs ([pairs_of_shard s] must return [shard_sizes.(s)] pairs,
+    same pairs in the same order on every call — shard files on disk
+    guarantee this) and at most one shard's array is live at a time.
+    Vocabularies are built by the caller (stream the corpus through
+    {!Vocab.Counter} for bounded memory) and fixed for the whole run.
+
+    Always the [`Lut] sigmoid. Sequential runs use the C epoch kernel
+    with the global learning-rate schedule (step numbers match a
+    whole-epoch walk); with a pool, each shard runs {!train}'s
+    deterministic synchronized rounds scoped to that shard. Every rng
+    is derived from [(seed, epoch, shard)] and fully consumed within
+    the shard, so a checkpoint taken at any shard boundary ([on_shard],
+    which fires after each shard) resumes — via [from] — to a final
+    model bit-identical to the uninterrupted run with the same job
+    count. Averaging-free, so checkpoints need only matrices + cursor.
+
+    Raises [Invalid_argument] on an empty shard list, a cursor or
+    matrix shape that does not match, or a shard whose size changed. *)
+
 (** The pre-flat-kernel trainer (nested [float array array] matrices,
     exact sigmoid), kept verbatim as the golden/benchmark baseline. *)
 module Reference : sig

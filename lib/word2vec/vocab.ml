@@ -55,16 +55,99 @@ let count_into tab counts word =
   a.(sid) <- a.(sid) + 1;
   sid
 
-let of_counts ?min_count items =
-  let tab = Intern.Strtab.create ~hint:(max 8 (List.length items)) () in
-  let counts = ref (Array.make (max 8 (List.length items)) 0) in
-  List.iter
-    (fun (w, c) ->
-      let sid = count_into tab counts w in
-      (* [count_into] added 1; duplicates accumulate. *)
-      !counts.(sid) <- !counts.(sid) + c - 1)
-    items;
-  of_strtab ?min_count tab (Array.sub !counts 0 (Intern.Strtab.size tab))
+(* Bounded counting, word2vec.c style: count through an interned
+   table, and whenever the table outgrows [cap], drop every word at or
+   below the current floor and raise the floor by one (the C
+   implementation's ReduceVocab/min_reduce discipline). Memory stays
+   O(cap) however large the streamed corpus is. The documented
+   approximation is word2vec.c's too: a pruned word that reappears
+   restarts from zero — its pre-prune occurrences are forgotten. *)
+module Counter = struct
+  type counter = {
+    mutable tab : Intern.Strtab.t;
+    mutable counts : int array;  (* per interned id *)
+    cap : int;
+    mutable floor : int;  (* next prune drops counts <= floor *)
+    mutable dropped : int;  (* occurrences lost to pruning *)
+  }
+
+  let create ?(cap = max_int) () =
+    if cap < 1 then invalid_arg "Vocab.Counter.create: cap < 1";
+    (* not [min 1024 (cap + 1)]: the default cap is max_int and the
+       increment must not wrap negative *)
+    let hint = if cap >= 1024 then 1024 else cap + 1 in
+    {
+      tab = Intern.Strtab.create ~hint ();
+      counts = Array.make hint 0;
+      cap;
+      floor = 1;
+      dropped = 0;
+    }
+
+  (* The rebuild compacts counts in place — a survivor's new id is
+     never larger than its old one, so one ascending walk re-interns
+     survivors and slides their counts down without allocating a
+     second counts array per prune. Only the string table is rebuilt
+     (interned ids are append-only). *)
+  let reduce t =
+    let n = Intern.Strtab.size t.tab in
+    let tab = Intern.Strtab.create ~hint:n () in
+    let counts = t.counts in
+    let kept = ref 0 in
+    for sid = 0 to n - 1 do
+      let c = counts.(sid) in
+      if c > t.floor then begin
+        ignore (Intern.Strtab.intern tab (Intern.Strtab.to_string t.tab sid));
+        counts.(!kept) <- c;
+        incr kept
+      end
+      else t.dropped <- t.dropped + c
+    done;
+    Array.fill counts !kept (n - !kept) 0;
+    t.tab <- tab;
+    t.floor <- t.floor + 1
+
+  let add ?(count = 1) t w =
+    if count < 0 then invalid_arg "Vocab.Counter.add: negative count";
+    if count > 0 then begin
+      let sid = Intern.Strtab.intern t.tab w in
+      if sid >= Array.length t.counts then begin
+        let b = Array.make (max (2 * Array.length t.counts) (sid + 1)) 0 in
+        Array.blit t.counts 0 b 0 (Array.length t.counts);
+        t.counts <- b
+      end;
+      t.counts.(sid) <- t.counts.(sid) + count;
+      if Intern.Strtab.size t.tab > t.cap then reduce t
+    end
+
+  let size t = Intern.Strtab.size t.tab
+  let floor t = t.floor
+  let dropped t = t.dropped
+
+  let to_vocab ?min_count t =
+    of_strtab ?min_count t.tab
+      (Array.sub t.counts 0 (Intern.Strtab.size t.tab))
+end
+
+let of_counts ?min_count ?cap items =
+  match cap with
+  | Some cap ->
+      (* Bounded fast path: counting prunes mid-stream, so the table
+         never exceeds [cap] entries no matter how many items flow
+         through. *)
+      let c = Counter.create ~cap () in
+      List.iter (fun (w, n) -> Counter.add ~count:n c w) items;
+      Counter.to_vocab ?min_count c
+  | None ->
+      let tab = Intern.Strtab.create ~hint:(max 8 (List.length items)) () in
+      let counts = ref (Array.make (max 8 (List.length items)) 0) in
+      List.iter
+        (fun (w, c) ->
+          let sid = count_into tab counts w in
+          (* [count_into] added 1; duplicates accumulate. *)
+          !counts.(sid) <- !counts.(sid) + c - 1)
+        items;
+      of_strtab ?min_count tab (Array.sub !counts 0 (Intern.Strtab.size tab))
 
 let build ?min_count tokens =
   let tab = Intern.Strtab.create ~hint:1024 () in
@@ -83,11 +166,17 @@ let of_items items =
         invalid_arg "Vocab.of_items: duplicate word";
       counts.(i) <- c)
     items;
+  (* Both permutations are the identity and neither is ever mutated,
+     so one shared array serves both fields — the old second
+     allocation (an [Array.sub] copy of the first) is hoisted away.
+     [of_interned] tolerates the [max 1] padding: the padded slot maps
+     id [n] (never interned) to itself, which [vid_of_sid] bounds
+     already exclude for real lookups when [n = 0]. *)
   let ident = Array.init (max 1 n) Fun.id in
   {
     tab;
-    vid_of_sid = ident;
-    sid_of_vid = Array.sub ident 0 n;
+    vid_of_sid = (if n = 0 then [||] else ident);
+    sid_of_vid = (if n = Array.length ident then ident else Array.sub ident 0 n);
     counts;
     total = Array.fold_left ( + ) 0 counts;
   }

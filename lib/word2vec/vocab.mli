@@ -11,11 +11,54 @@ val build : ?min_count:int -> string list -> t
 (** Index the given tokens; tokens rarer than [min_count] (default 1)
     are dropped. *)
 
-val of_counts : ?min_count:int -> (string * int) list -> t
+val of_counts : ?min_count:int -> ?cap:int -> (string * int) list -> t
 (** [build] for callers that already hold the frequency table. Ids are
     assigned by (count desc, name asc) — a total order, so the result
     is independent of the list order and identical to what [build]
-    would produce from the underlying tokens. *)
+    would produce from the underlying tokens.
+
+    With [cap], counting runs through a {!Counter}: the intermediate
+    table is pruned mid-count whenever it outgrows [cap] entries
+    (word2vec.c's ReduceVocab discipline), so memory stays O(cap)
+    regardless of how many distinct words stream past. See {!Counter}
+    for the approximation this buys that bound with. *)
+
+(** Bounded streaming counting for out-of-core corpora (word2vec.c
+    style). Words are counted into an interned table; whenever the
+    table exceeds its cap, every word whose count is at or below the
+    current floor is dropped and the floor rises by one. The
+    approximation is the C implementation's: a pruned word that
+    reappears restarts from zero. Exact (identical to unbounded
+    counting) whenever the final distinct-word count stays within the
+    cap and no prune ever fires. *)
+module Counter : sig
+  type counter
+
+  val create : ?cap:int -> unit -> counter
+  (** Default cap: unbounded. Raises [Invalid_argument] when [cap < 1]. *)
+
+  val add : ?count:int -> counter -> string -> unit
+  (** Count [count] (default 1) occurrences of a word. Raises
+      [Invalid_argument] on a negative count; zero counts are ignored
+      (they must not resurrect a pruned word). *)
+
+  val size : counter -> int
+  (** Distinct words currently tracked (always <= cap after [add]). *)
+
+  val floor : counter -> int
+  (** The pruning floor the *next* reduction will apply; 1 until the
+      first prune fires. *)
+
+  val dropped : counter -> int
+  (** Total occurrences forgotten by pruning so far — 0 means the
+      counts are exact. *)
+
+  val to_vocab : ?min_count:int -> counter -> t
+  (** Finish counting: vocabulary over the surviving words, same
+      (count desc, name asc) id order as {!of_counts}. Transfers
+      ownership of the underlying table — the counter must not be
+      used afterwards. *)
+end
 
 val of_strtab : ?min_count:int -> Intern.Strtab.t -> int array -> t
 (** [of_strtab tab counts]: the caller interned the corpus into [tab]

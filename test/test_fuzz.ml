@@ -384,6 +384,127 @@ let test_v3_bit_flips () =
     (Word2vec.Serialize.of_string ~source:"<flip>")
     (Lazy.force w2v_model_text)
 
+(* ---------- training checkpoints ---------- *)
+
+(* Checkpoint images carry raw float matrices and a resume cursor; a
+   hostile or damaged one must never crash the loader or resume from a
+   mangled cursor. Same discipline as models: loaders are total, and
+   every single-byte corruption is a structured [Corrupt_model]. *)
+let crf_ckpt_text =
+  lazy
+    (let m = Lazy.force crf_model in
+     Crf.Serialize.checkpoint_to_string ~config:m.Crf.Train.config ~next_it:1
+       ~next_shard:0 ~n_shards:2 ~jobs:1 m.Crf.Train.fast)
+
+let w2v_ckpt_text =
+  lazy
+    (let config =
+       { Word2vec.Sgns.default_config with Word2vec.Sgns.dim = 4; epochs = 2 }
+     in
+     let words = Word2vec.Vocab.of_items [ ("count", 3); ("i", 2) ] in
+     let contexts = Word2vec.Vocab.of_items [ ("c0", 3); ("c1", 2) ] in
+     let image = ref "" in
+     ignore
+       (Word2vec.Sgns.train_stream ~config ~words ~contexts
+          ~shard_sizes:[| 3 |]
+          ~pairs_of_shard:(fun _ -> [| (0, 0); (0, 1); (1, 0) |])
+          ~on_shard:(fun ~epoch:_ ~shard:_ ck ->
+            if !image = "" then
+              image := Word2vec.Serialize.checkpoint_to_string ck)
+          ());
+     !image)
+
+let ckpt_loader_tests =
+  [
+    QCheck.Test.make ~count ~name:"crf checkpoint loader total on random bytes"
+      bytes_arb
+      (loader_total (Crf.Serialize.checkpoint_of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count
+      ~name:"crf checkpoint loader total on mutated checkpoints"
+      (mutated_arb [ Lazy.force crf_ckpt_text ])
+      (loader_total (Crf.Serialize.checkpoint_of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count ~name:"w2v checkpoint loader total on random bytes"
+      bytes_arb
+      (loader_total (Word2vec.Serialize.checkpoint_of_string ~source:"<fuzz>"));
+    QCheck.Test.make ~count
+      ~name:"w2v checkpoint loader total on mutated checkpoints"
+      (mutated_arb [ Lazy.force w2v_ckpt_text ])
+      (loader_total (Word2vec.Serialize.checkpoint_of_string ~source:"<fuzz>"));
+  ]
+
+let test_checkpoint_bit_flips () =
+  let flip_all name load text =
+    String.iteri
+      (fun i _ ->
+        let b = Bytes.of_string text in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x04));
+        match load (Bytes.to_string b) with
+        | Ok _ -> Alcotest.failf "%s: flipped byte %d accepted" name i
+        | Error d ->
+            if d.Lexkit.Diag.kind <> Lexkit.Diag.Corrupt_model then
+              Alcotest.failf "%s: flipped byte %d: unexpected %s" name i
+                (Lexkit.Diag.to_string d))
+      text
+  in
+  flip_all "crf-ckpt"
+    (Crf.Serialize.checkpoint_of_string ~source:"<flip>")
+    (Lazy.force crf_ckpt_text);
+  flip_all "w2v-ckpt"
+    (Word2vec.Serialize.checkpoint_of_string ~source:"<flip>")
+    (Lazy.force w2v_ckpt_text)
+
+(* ---------- shard files ---------- *)
+
+(* Every single-byte corruption of a shard file must surface as a
+   structured [Corrupt_model] when the shard is read — never a crash,
+   never silently different records. *)
+let test_shard_bit_flips () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pigeon-fuzz-shard-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> Sys.remove (Filename.concat dir e))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let w =
+        Corpus.Shard.create_writer ~dir ~kind:Corpus.Shard.Pairs
+          ~records_per_shard:16 ()
+      in
+      for i = 0 to 9 do
+        Corpus.Shard.add_pair w
+          (Corpus.Shard.intern w (Printf.sprintf "w%d" i))
+          (Corpus.Shard.intern w (Printf.sprintf "c%d" (i mod 3)))
+      done;
+      ignore (Corpus.Shard.finish w);
+      let shard0 = Filename.concat dir "shard-0000.psh" in
+      let pristine =
+        let ic = open_in_bin shard0 in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      String.iteri
+        (fun i _ ->
+          let b = Bytes.of_string pristine in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x04));
+          let oc = open_out_bin shard0 in
+          output_bytes oc b;
+          close_out oc;
+          let set = Corpus.Shard.open_set dir in
+          match Corpus.Shard.pairs set 0 with
+          | _ -> Alcotest.failf "shard: flipped byte %d accepted" i
+          | exception Lexkit.Diag.Error d ->
+              if d.Lexkit.Diag.kind <> Lexkit.Diag.Corrupt_model then
+                Alcotest.failf "shard: flipped byte %d: unexpected %s" i
+                  (Lexkit.Diag.to_string d))
+        pristine)
+
 (* ---------- end-to-end: corrupt corpus, exact skip tally ---------- *)
 
 let test_corrupt_corpus_training () =
@@ -423,7 +544,8 @@ let () =
     [
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          (front_end_tests @ loader_tests @ v3_loader_tests @ serve_tests) );
+          (front_end_tests @ loader_tests @ v3_loader_tests
+         @ ckpt_loader_tests @ serve_tests) );
       ( "pathological",
         [
           Alcotest.test_case "paren bomb" `Quick test_paren_bomb;
@@ -437,6 +559,10 @@ let () =
             test_loader_pathological;
           Alcotest.test_case "v3 single-byte corruption" `Quick
             test_v3_bit_flips;
+          Alcotest.test_case "checkpoint single-byte corruption" `Quick
+            test_checkpoint_bit_flips;
+          Alcotest.test_case "shard single-byte corruption" `Quick
+            test_shard_bit_flips;
         ] );
       ( "fault-injection",
         [
